@@ -1,0 +1,53 @@
+// Ablation for the paper's search-space reduction: "Normalization (N) and
+// polynomial (G) were fixed to speedup the search process" (Section 5.2).
+// Runs the same requirement with G/N fixed (the paper's configuration) and
+// unfixed, comparing space size, evaluation counts, and result quality.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/viterbi_metacore.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+int main() {
+  bench::print_header("Ablation: fixing G and N to speed the search",
+                      "Section 5.2");
+
+  core::ViterbiRequirements base;
+  base.target_ber = 1e-3;
+  base.esn0_db = 1.0;
+  base.throughput_mbps = 2.0;
+
+  util::TextTable table({"configuration", "space size", "evaluations",
+                         "best design", "area mm^2"});
+
+  for (const bool fixed : {true, false}) {
+    core::ViterbiRequirements req = base;
+    req.fix_polynomial = fixed;
+    req.fix_normalization = fixed;
+    core::ViterbiMetaCore metacore(req);
+
+    search::SearchConfig config;
+    config.initial_points_per_dim = 4;
+    config.max_resolution = 2;
+    config.regions_per_level = 3;
+    config.max_evaluations = bench::quick_mode() ? 100 : 260;
+    const auto result = metacore.search(config);
+
+    std::string best = "not found", area = "-";
+    if (result.found_feasible) {
+      best = metacore.decode_point(result.best.values).label();
+      area = util::format_double(result.best.eval.metric("area_mm2"), 2);
+    }
+    table.add_row({fixed ? "G, N fixed (paper)" : "G, N free",
+                   std::to_string(metacore.design_space().size()),
+                   std::to_string(result.evaluations), best, area});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: fixing G and N shrinks the space ~8x; at equal\n"
+               "budgets the fixed search reaches comparable-or-better area\n"
+               "because its budget concentrates on the influential axes —\n"
+               "the paper's rationale for fixing them.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation for the IIR structure trade-off behind Table 4: for each
+// realization structure, the minimum spec-meeting word length (coefficient
+// sensitivity), the recurrence bound (pipelinability), and the estimated
+// area across sample periods — the raw map the MetaCore search optimizes
+// over.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/iir_metacore.hpp"
+#include "dsp/structures.hpp"
+#include "synth/area.hpp"
+#include "synth/dfg.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+int main() {
+  bench::print_header("Ablation: IIR structure map (sensitivity/recurrence/area)",
+                      "Section 4.5 / Table 4");
+
+  const auto req = core::paper_bandpass_requirements(1.0);
+  // Design with the 0.7 ripple-fraction margin the MetaCore search uses:
+  // the nominal design consumes 70% of the ripple budget and quantization
+  // error lives in the remainder.
+  dsp::FilterSpec margined = req.filter;
+  margined.passband_ripple_db *= 0.7;
+  margined.stopband_atten_db += 3.1;  // -20 log10(0.7)
+  const auto design = dsp::design_filter(margined);
+
+  // Minimum spec-meeting word length per structure.
+  auto min_word_bits = [&](dsp::StructureKind kind) {
+    for (int bits = 8; bits <= 24; ++bits) {
+      try {
+        const auto q = dsp::realize(design.zpk, kind)->quantized(bits);
+        const auto tf = q->effective_tf();
+        if (!tf.is_stable()) continue;
+        const auto m = dsp::measure_bandpass(tf, req.filter.pass_lo,
+                                             req.filter.pass_hi,
+                                             req.filter.stop_lo,
+                                             req.filter.stop_hi);
+        if (m.passband_ripple_db <= req.filter.passband_ripple_db &&
+            m.max_stopband_gain_db <= -req.filter.stopband_atten_db) {
+          return bits;
+        }
+      } catch (const std::exception&) {
+        return -1;
+      }
+    }
+    return -1;
+  };
+
+  util::TextTable table({"structure", "min bits", "recurrence MII",
+                         "area @5us", "area @1us", "area @0.25us"});
+  for (const auto kind : dsp::all_structures()) {
+    const int bits = min_word_bits(kind);
+    const synth::Dfg dfg = synth::build_filter_dfg(kind, design.tf.order());
+    const int mii = dfg.recurrence_mii(synth::kMulLatency, synth::kAddLatency);
+    std::vector<std::string> row{dsp::to_string(kind),
+                                 bits > 0 ? std::to_string(bits) : "> 24",
+                                 std::to_string(mii)};
+    for (double period : {5.0, 1.0, 0.25}) {
+      if (bits < 0) {
+        row.push_back("-");
+        continue;
+      }
+      synth::IirCostQuery query;
+      query.structure = kind;
+      query.order = design.tf.order();
+      query.word_bits = bits;
+      query.sample_period_us = period;
+      const auto cost = synth::evaluate_iir_cost(query);
+      row.push_back(cost.feasible ? util::format_double(cost.area_mm2, 2)
+                                  : "infeasible");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: direct forms need huge words (coefficient sensitivity\n"
+         "of the raw order-8 polynomials); the ladder's word length and\n"
+         "recurrence both exceed the cascade/parallel forms; the winners\n"
+         "Table 4 picks are the structures combining small words with low\n"
+         "recurrence bounds at the required rate.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation for the Section 4.4 claims about the multiresolution search:
+//
+//  1. Greedy multiresolution search vs exhaustive enumeration on a reduced
+//     Viterbi space: solution quality vs evaluation count ("the optimality
+//     of the search ... can be increased ... at the cost of significantly
+//     longer runtimes").
+//  2. The value of the Bayesian BER guard: search with and without the
+//     probabilistic-metric pruning.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/viterbi_metacore.hpp"
+#include "search/baselines.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+namespace {
+
+/// A reduced Viterbi design space small enough for exhaustive search:
+/// K x L_mult x R1 x M_frac with everything else fixed.
+search::DesignSpace reduced_space() {
+  using search::Correlation;
+  using search::ParameterDef;
+  std::vector<ParameterDef> params(8);
+  params[0] = {"K", {3, 5, 7}, false, Correlation::Monotonic};
+  params[1] = {"L_mult", {3, 5}, false, Correlation::Smooth};
+  params[2] = {"G", {0}, false, Correlation::NonCorrelated};
+  params[3] = {"R1", {1, 2, 3}, false, Correlation::Monotonic};
+  params[4] = {"R2", {3}, false, Correlation::Monotonic};
+  params[5] = {"Q", {1}, false, Correlation::NonCorrelated};
+  params[6] = {"N", {1}, false, Correlation::Smooth};
+  params[7] = {"M_frac", {0.0, 0.25}, false, Correlation::Monotonic};
+  return search::DesignSpace(std::move(params));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: greedy multiresolution search vs exhaustive baseline",
+      "Section 4.4");
+
+  core::ViterbiRequirements req;
+  req.target_ber = 1e-3;
+  req.esn0_db = 1.5;
+  req.throughput_mbps = 1.0;
+  comm::BerRunConfig ber;
+  ber.max_bits = bench::budget(60'000);
+  ber.min_bits = ber.max_bits / 4;
+  ber.max_errors = 300;
+  core::ViterbiMetaCore metacore(req, ber);
+
+  const auto space = reduced_space();
+  const auto objective = metacore.objective();
+  const auto evaluate = metacore.evaluator();
+
+  // Exhaustive baseline at fidelity 1 (36 points).
+  const auto exhaustive =
+      search::exhaustive_search(space, objective, evaluate, 1);
+
+  util::TextTable table(
+      {"method", "evaluations", "best area mm^2", "best BER", "feasible"});
+  auto add = [&](const std::string& name, const search::SearchResult& r) {
+    table.add_row(
+        {name, std::to_string(r.evaluations),
+         r.found_feasible ? util::format_double(r.best.eval.metric("area_mm2"), 2)
+                          : "-",
+         r.found_feasible
+             ? util::format_scientific(r.best.eval.metric("ber"), 1)
+             : "-",
+         r.found_feasible ? "yes" : "no"});
+  };
+  add("exhaustive (fidelity 1)", exhaustive);
+
+  // Multiresolution greedy with the Bayesian BER guard.
+  {
+    search::SearchConfig config;
+    config.initial_points_per_dim = 2;
+    config.max_resolution = 2;
+    config.regions_per_level = 2;
+    config.probabilistic_metric = "ber";
+    search::MultiresolutionSearch engine(space, objective, evaluate, config);
+    auto result = engine.run();
+    result = search::verify_top_candidates(std::move(result), space, objective,
+                                           evaluate, 5, 2);
+    add("multiresolution + Bayesian guard", result);
+  }
+
+  // Multiresolution greedy without the guard (pure interpolation ranking).
+  {
+    search::SearchConfig config;
+    config.initial_points_per_dim = 2;
+    config.max_resolution = 2;
+    config.regions_per_level = 2;
+    search::MultiresolutionSearch engine(space, objective, evaluate, config);
+    auto result = engine.run();
+    result = search::verify_top_candidates(std::move(result), space, objective,
+                                           evaluate, 5, 2);
+    add("multiresolution, no Bayesian guard", result);
+  }
+
+  // Stochastic baselines at a comparable budget.
+  add("random sampling (30 evals)",
+      search::random_search(space, objective, evaluate, 30, 1));
+  {
+    search::AnnealingConfig config;
+    config.budget = 30;
+    config.cooling = 0.93;
+    add("simulated annealing (30 evals)",
+        search::annealing_search(space, objective, evaluate, config, 1));
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected: the multiresolution search reaches (near-)\n"
+               "exhaustive solution quality with a fraction of the\n"
+               "evaluations; the stochastic baselines at the same budget\n"
+               "are less reliable, and removing the Bayesian guard costs\n"
+               "quality or extra evaluations on the noisy BER constraint.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation for the Section 3.1 algorithm-selection claim: "sequential
+// decoding performs very well with long-constraint codes [but] has a
+// variable decoding time and is less suited for hardware implementations
+// [while] the Viterbi decoding algorithm has fixed decoding times".
+//
+// Measures, across SNR: decode accuracy and *work* (tree extensions per
+// bit for sequential, a constant states-per-bit for Viterbi) plus the
+// sequential overflow rate.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "comm/channel.hpp"
+#include "comm/sequential.hpp"
+#include "comm/viterbi.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+using namespace metacore::comm;
+
+int main() {
+  bench::print_header("Ablation: Viterbi vs sequential decoding work profile",
+                      "Section 3.1");
+
+  const CodeSpec code = best_rate_half_code(7);
+  const Trellis trellis(code);
+  const std::size_t block_bits = 1'024;
+  const int blocks = bench::quick_mode() ? 6 : 24;
+
+  util::TextTable table({"Es/N0 dB", "Viterbi BER", "Viterbi work/bit",
+                         "sequential BER", "seq. work/bit (avg)",
+                         "seq. work/bit (max)", "seq. overflows"});
+
+  for (double esn0 : {5.0, 3.0, 1.0, 0.0, -1.0, -2.0}) {
+    util::Random data_rng(42);
+    AwgnChannel channel(esn0, 1.0, 7);
+    const Quantizer quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0,
+                              channel.noise_sigma());
+    SequentialConfig seq_config;
+    seq_config.max_extensions_per_bit = 256.0;
+    const SequentialDecoder sequential(code, quantizer, seq_config);
+
+    std::uint64_t vit_errors = 0, seq_errors = 0, seq_bits = 0;
+    double seq_work_sum = 0.0, seq_work_max = 0.0;
+    int overflows = 0;
+    for (int b = 0; b < blocks; ++b) {
+      std::vector<int> bits(block_bits);
+      for (auto& bit : bits) bit = data_rng.bit() ? 1 : 0;
+      for (int i = 0; i < code.constraint_length - 1; ++i) {
+        bits[block_bits - 1 - static_cast<std::size_t>(i)] = 0;
+      }
+      ConvolutionalEncoder encoder(code);
+      BpskModulator mod;
+      const auto rx = channel.transmit(mod.modulate(encoder.encode(bits)));
+
+      ViterbiDecoder viterbi(trellis, 49, quantizer);
+      const auto vit_out = viterbi.decode(rx);
+      for (std::size_t i = 0; i + 6 < block_bits; ++i) {
+        vit_errors += vit_out[i] != bits[i];
+      }
+
+      const auto seq = sequential.decode(rx);
+      if (!seq.completed) {
+        ++overflows;
+        seq_work_sum += seq_config.max_extensions_per_bit;
+        seq_work_max =
+            std::max(seq_work_max, seq_config.max_extensions_per_bit);
+        continue;
+      }
+      for (std::size_t i = 0; i < seq.bits.size(); ++i) {
+        seq_errors += seq.bits[i] != bits[i];
+      }
+      seq_bits += seq.bits.size();
+      seq_work_sum += seq.extensions_per_bit();
+      seq_work_max = std::max(seq_work_max, seq.extensions_per_bit());
+    }
+
+    const double denom = static_cast<double>(blocks) * (block_bits - 6);
+    table.add_row(
+        {util::format_double(esn0, 1),
+         util::format_scientific(vit_errors / denom, 1),
+         // Viterbi work: 2 ACS per state per bit, constant by construction.
+         util::format_double(2.0 * trellis.num_states(), 0) + " (fixed)",
+         seq_bits ? util::format_scientific(
+                        static_cast<double>(seq_errors) / seq_bits, 1)
+                  : "-",
+         util::format_double(seq_work_sum / blocks, 1),
+         util::format_double(seq_work_max, 1),
+         std::to_string(overflows) + "/" + std::to_string(blocks)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: comparable BER at usable SNR, but the sequential\n"
+               "decoder's work per bit is tiny at high SNR and explodes (or\n"
+               "overflows outright) as the channel degrades — while the\n"
+               "Viterbi work profile is constant, which is why it is the\n"
+               "hardware-friendly choice the MetaCore builds on. The\n"
+               "overflow onset between 3 and 1 dB brackets the theoretical\n"
+               "cutoff-rate threshold for rate-1/2 BPSK (~2.4 dB Es/N0),\n"
+               "below which sequential decoding effort is unbounded.\n";
+  return 0;
+}

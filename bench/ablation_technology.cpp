@@ -1,0 +1,61 @@
+// Ablation for the Section 4.3 technology-scaling model: the Table 1
+// instances priced across feature sizes. Area must follow the paper's
+// quadratic lambda = (alpha/0.35)^2 (modulated by the clock speed-up
+// changing the cheapest machine/replication choice), and the required
+// core count must fall as clocks rise.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "comm/ber.hpp"
+#include "cost/viterbi_cost.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+int main() {
+  bench::print_header("Ablation: area vs feature size (lambda scaling)",
+                      "Section 4.3");
+
+  comm::DecoderSpec spec;
+  spec.code = comm::best_rate_half_code(7);
+  spec.traceback_depth = 35;
+  spec.kind = comm::DecoderKind::Multires;
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = 4;
+
+  util::TextTable table({"feature um", "lambda", "area mm^2", "cores",
+                         "achievable MHz", "machine"});
+  double area_035 = 0.0;
+  for (double feature : {0.35, 0.25, 0.18, 0.13}) {
+    cost::ViterbiCostQuery query;
+    query.spec = spec;
+    query.throughput_mbps = 1.0;
+    query.tech.feature_um = feature;
+    const auto result = cost::evaluate_viterbi_cost(query);
+    if (feature == 0.35) area_035 = result.area_mm2;
+    table.add_row({util::format_double(feature, 2),
+                   util::format_double(query.tech.area_lambda(), 3),
+                   result.feasible ? util::format_double(result.area_mm2, 3)
+                                   : "infeasible",
+                   std::to_string(result.cores),
+                   util::format_double(result.achievable_clock_mhz, 0),
+                   result.machine.label()});
+  }
+  table.print(std::cout);
+  std::cout << "\nAt 0.13 um the same decoder costs "
+            << util::format_percent(
+                   1.0 - (area_035 > 0.0
+                              ? cost::evaluate_viterbi_cost([&] {
+                                  cost::ViterbiCostQuery q;
+                                  q.spec = spec;
+                                  q.throughput_mbps = 1.0;
+                                  q.tech.feature_um = 0.13;
+                                  return q;
+                                }()).area_mm2 / area_035
+                              : 0.0),
+                   0)
+            << " less area than at 0.35 um — the quadratic lambda scaling\n"
+               "partially offset by cheaper machine choices at faster clocks.\n";
+  return 0;
+}

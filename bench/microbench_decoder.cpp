@@ -1,0 +1,71 @@
+// Google-benchmark microbenchmarks for the decoder kernels: decode
+// throughput (bits/second) of hard, soft, and multiresolution Viterbi
+// across constraint lengths — the quantities the VLIW cost engine models.
+#include <benchmark/benchmark.h>
+
+#include "comm/ber.hpp"
+#include "comm/channel.hpp"
+#include "util/rng.hpp"
+
+using namespace metacore;
+
+namespace {
+
+struct Workload {
+  comm::Trellis trellis;
+  std::vector<double> rx;
+  double sigma;
+
+  Workload(const comm::DecoderSpec& spec, std::size_t bits)
+      : trellis(spec.code), sigma(0.6) {
+    util::Random rng(99);
+    comm::ConvolutionalEncoder encoder(spec.code);
+    comm::BpskModulator mod;
+    comm::AwgnChannel channel(2.0, 1.0, 7);
+    sigma = channel.noise_sigma();
+    std::vector<int> data(bits);
+    for (auto& b : data) b = rng.bit() ? 1 : 0;
+    rx = channel.transmit(mod.modulate(encoder.encode(data)));
+  }
+};
+
+comm::DecoderSpec make_spec(comm::DecoderKind kind, int k) {
+  comm::DecoderSpec spec;
+  spec.code = comm::best_rate_half_code(k);
+  spec.traceback_depth = 5 * k;
+  spec.kind = kind;
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = std::min(8, spec.code.num_states());
+  return spec;
+}
+
+void run_decoder(benchmark::State& state, comm::DecoderKind kind) {
+  const int k = static_cast<int>(state.range(0));
+  const comm::DecoderSpec spec = make_spec(kind, k);
+  const Workload workload(spec, 4'096);
+  auto decoder = spec.make_decoder(workload.trellis, 1.0, workload.sigma);
+  for (auto _ : state) {
+    decoder->reset();
+    benchmark::DoNotOptimize(decoder->decode(workload.rx));
+  }
+  state.SetItemsProcessed(state.iterations() * 4'096);
+}
+
+void BM_HardDecode(benchmark::State& state) {
+  run_decoder(state, comm::DecoderKind::Hard);
+}
+void BM_SoftDecode(benchmark::State& state) {
+  run_decoder(state, comm::DecoderKind::Soft);
+}
+void BM_MultiresDecode(benchmark::State& state) {
+  run_decoder(state, comm::DecoderKind::Multires);
+}
+
+}  // namespace
+
+BENCHMARK(BM_HardDecode)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+BENCHMARK(BM_SoftDecode)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+BENCHMARK(BM_MultiresDecode)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+BENCHMARK_MAIN();

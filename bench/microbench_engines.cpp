@@ -1,0 +1,68 @@
+// Google-benchmark microbenchmarks for the cost-evaluation engines: VLIW
+// kernel profiling (the Trimaran substitute), behavioral-synthesis
+// estimation (the HYPER substitute), and filter design.
+#include <benchmark/benchmark.h>
+
+#include "cost/viterbi_cost.hpp"
+#include "core/iir_metacore.hpp"
+#include "dsp/design.hpp"
+#include "synth/area.hpp"
+#include "vliw/viterbi_kernel.hpp"
+
+using namespace metacore;
+
+namespace {
+
+void BM_ViterbiKernelProfile(benchmark::State& state) {
+  comm::DecoderSpec spec;
+  spec.code = comm::best_rate_half_code(static_cast<int>(state.range(0)));
+  spec.traceback_depth = 5 * spec.code.constraint_length;
+  spec.kind = comm::DecoderKind::Multires;
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = 4;
+  const auto kernel = vliw::build_viterbi_kernel(spec);
+  const auto machines = vliw::standard_config_family(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vliw::profile_kernel(kernel, machines[3]));
+  }
+}
+
+void BM_ViterbiCostEvaluation(benchmark::State& state) {
+  cost::ViterbiCostQuery query;
+  query.spec.code = comm::best_rate_half_code(static_cast<int>(state.range(0)));
+  query.spec.traceback_depth = 5 * query.spec.code.constraint_length;
+  query.spec.kind = comm::DecoderKind::Soft;
+  query.spec.high_res_bits = 3;
+  query.throughput_mbps = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost::evaluate_viterbi_cost(query));
+  }
+}
+
+void BM_IirSynthesisEstimate(benchmark::State& state) {
+  synth::IirCostQuery query;
+  query.structure = dsp::all_structures()[static_cast<std::size_t>(state.range(0))];
+  query.order = 8;
+  query.word_bits = 12;
+  query.sample_period_us = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::evaluate_iir_cost(query));
+  }
+}
+
+void BM_EllipticBandpassDesign(benchmark::State& state) {
+  const auto req = core::paper_bandpass_requirements(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::design_filter(req.filter));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ViterbiKernelProfile)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+BENCHMARK(BM_ViterbiCostEvaluation)->Arg(3)->Arg(7);
+BENCHMARK(BM_IirSynthesisEstimate)->DenseRange(0, 5);
+BENCHMARK(BM_EllipticBandpassDesign);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Reproduces Table 1: area estimates of three Viterbi decoder instances
+// under a fixed 1 Mbps throughput requirement.
+//
+// Paper values (0.35 um): K=3 -> 0.26 mm^2, K=5 multires M=8 -> 0.56 mm^2,
+// K=7 multires M=4 -> 1.73 mm^2. The expected *shape* is the strong
+// monotone growth with constraint length at comparable BER.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "comm/ber.hpp"
+#include "cost/viterbi_cost.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+int main() {
+  bench::print_header("Table 1: Viterbi instance areas @ 1 Mbps", "Table 1");
+
+  struct Row {
+    comm::DecoderSpec spec;
+    const char* trellis_depth;
+    const char* quant;
+    const char* paths;
+    double paper_area;
+  };
+
+  comm::DecoderSpec i1;
+  i1.code = comm::best_rate_half_code(3);
+  i1.traceback_depth = 2 * 3;
+  i1.kind = comm::DecoderKind::Soft;
+  i1.high_res_bits = 3;
+
+  comm::DecoderSpec i2;
+  i2.code = comm::best_rate_half_code(5);
+  i2.traceback_depth = 5 * 5;
+  i2.kind = comm::DecoderKind::Multires;
+  i2.low_res_bits = 1;
+  i2.high_res_bits = 3;
+  i2.num_high_res_paths = 8;
+
+  comm::DecoderSpec i3 = i2;
+  i3.code = comm::best_rate_half_code(7);
+  i3.traceback_depth = 5 * 7;
+  i3.num_high_res_paths = 4;
+
+  const Row rows[] = {
+      {i1, "2", "3 / NA", "NA", 0.26},
+      {i2, "5", "1/3", "8", 0.56},
+      {i3, "5", "1/3", "4", 1.73},
+  };
+
+  util::TextTable table({"K", "Trellis Depth (xK)", "Quant. bits (lo/hi)",
+                         "Multi-res paths", "Area mm^2 (paper)",
+                         "Area mm^2 (measured)", "cycles/bit", "cores",
+                         "machine"});
+  for (const Row& row : rows) {
+    cost::ViterbiCostQuery query;
+    query.spec = row.spec;
+    query.throughput_mbps = 1.0;
+    const auto result = cost::evaluate_viterbi_cost(query);
+    table.add_row({std::to_string(row.spec.code.constraint_length),
+                   row.trellis_depth, row.quant, row.paths,
+                   util::format_double(row.paper_area, 2),
+                   result.feasible ? util::format_double(result.area_mm2, 2)
+                                   : "infeasible",
+                   util::format_double(result.cycles_per_bit, 0),
+                   std::to_string(result.cores), result.machine.label()});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: areas must grow monotonically down the table.\n";
+  return 0;
+}

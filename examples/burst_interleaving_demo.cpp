@@ -1,0 +1,83 @@
+// Burst-channel demo: the same coded stream over a Gilbert-Elliott burst
+// channel, decoded with and without a block interleaver, for each decoder
+// family — showing both the burst sensitivity of convolutional coding and
+// how the interleaver restores the AWGN-like operating point the MetaCore
+// cost models assume.
+//
+//   $ ./build/examples/burst_interleaving_demo
+#include <iostream>
+
+#include "comm/ber.hpp"
+#include "comm/burst_channel.hpp"
+#include "comm/channel.hpp"
+#include "comm/interleaver.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+using namespace metacore::comm;
+
+int main() {
+  const CodeSpec code = best_rate_half_code(5);
+  const Trellis trellis(code);
+
+  GilbertElliottParams params;
+  params.good_esn0_db = 6.0;
+  params.bad_esn0_db = -6.0;
+  params.p_good_to_bad = 0.004;  // ~1 burst per 250 symbols
+  params.p_bad_to_good = 0.10;   // mean burst length 10 symbols
+
+  std::cout << "Gilbert-Elliott channel: good " << params.good_esn0_db
+            << " dB, bursts at " << params.bad_esn0_db << " dB, "
+            << util::format_percent(params.bad_fraction(), 1)
+            << " of symbols inside bursts\n\n";
+
+  constexpr std::size_t kBits = 49'152;
+  util::Random data_rng(2);
+  std::vector<int> data(kBits);
+  for (auto& b : data) b = data_rng.bit() ? 1 : 0;
+  ConvolutionalEncoder encoder(code);
+  BpskModulator mod;
+  const auto tx = mod.modulate(encoder.encode(data));
+
+  BlockInterleaver interleaver(64, 96);
+
+  auto decode_errors = [&](DecoderKind kind, bool use_interleaver) {
+    GilbertElliottChannel channel(params, 1.0, 77);
+    std::vector<double> rx;
+    if (use_interleaver) {
+      const auto shuffled = interleaver.interleave(std::span<const double>(tx));
+      rx = interleaver.deinterleave(
+          std::span<const double>(channel.transmit(shuffled)));
+    } else {
+      rx = channel.transmit(tx);
+    }
+    DecoderSpec spec;
+    spec.code = code;
+    spec.traceback_depth = 25;
+    spec.kind = kind;
+    spec.low_res_bits = 1;
+    spec.high_res_bits = 3;
+    spec.num_high_res_paths = 8;
+    auto decoder =
+        spec.make_decoder(trellis, 1.0, channel.average_noise_sigma());
+    const auto out = decoder->decode(rx);
+    int errors = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) errors += out[i] != data[i];
+    return errors;
+  };
+
+  util::TextTable table(
+      {"decoder", "errors (no interleaver)", "errors (interleaved)"});
+  for (const auto kind :
+       {DecoderKind::Hard, DecoderKind::Multires, DecoderKind::Soft}) {
+    table.add_row({to_string(kind),
+                   std::to_string(decode_errors(kind, false)),
+                   std::to_string(decode_errors(kind, true))});
+  }
+  table.print(std::cout);
+  std::cout << "\nBursts overwhelm the code's constraint length; spreading\n"
+               "them across " << interleaver.rows() << "x" << interleaver.cols()
+            << " blocks restores near-AWGN behaviour for every decoder.\n";
+  return 0;
+}

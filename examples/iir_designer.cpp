@@ -1,0 +1,115 @@
+// IIR MetaCore designer: designs the paper's Section 5.3 elliptic bandpass
+// (or a user-specified band), sweeps every realization structure across
+// word lengths, and runs the MetaCore search to recommend the cheapest
+// implementation for a required sample period.
+//
+//   $ ./build/examples/iir_designer [sample_period_us]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/iir_metacore.hpp"
+#include "dsp/structures.hpp"
+#include "synth/area.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+int main(int argc, char** argv) {
+  const double period = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const auto req = core::paper_bandpass_requirements(period);
+
+  std::cout << "Bandpass specification (paper Sec. 5.3):\n"
+            << "  passband  [" << req.filter.pass_lo << ", "
+            << req.filter.pass_hi << "] x pi rad/sample\n"
+            << "  stopbands below " << req.filter.stop_lo << " and above "
+            << req.filter.stop_hi << "\n"
+            << "  ripple " << util::format_double(req.filter.passband_ripple_db, 3)
+            << " dB, attenuation "
+            << util::format_double(req.filter.stopband_atten_db, 1) << " dB\n"
+            << "  sample period " << period << " us @ "
+            << req.tech.feature_um << " um\n\n";
+
+  // Design with a 0.7 ripple-fraction margin (as the MetaCore search does):
+  // the nominal filter spends 70% of the ripple budget, leaving the rest
+  // for coefficient quantization error.
+  dsp::FilterSpec margined = req.filter;
+  margined.passband_ripple_db *= 0.7;
+  margined.stopband_atten_db += 3.1;
+  const auto design = dsp::design_filter(margined);
+  std::cout << "Elliptic design (with quantization margin): prototype order "
+            << design.prototype_order << ", digital order "
+            << design.tf.order() << ", stable: "
+            << (design.tf.is_stable() ? "yes" : "no") << "\n\n";
+
+  // Structure x word-length map: which combinations meet the spec, and at
+  // what estimated area.
+  util::TextTable sweep({"structure", "min word bits meeting spec",
+                         "area at that word length", "recurrence-limited?"});
+  for (const auto kind : dsp::all_structures()) {
+    int min_bits = -1;
+    double area = 0.0;
+    bool feasible_at_period = true;
+    for (int bits = 8; bits <= 24; ++bits) {
+      const auto realization = dsp::realize(design.zpk, kind);
+      const auto quantized = realization->quantized(bits);
+      const auto tf = quantized->effective_tf();
+      if (!tf.is_stable()) continue;
+      const auto metrics = dsp::measure_bandpass(
+          tf, req.filter.pass_lo, req.filter.pass_hi, req.filter.stop_lo,
+          req.filter.stop_hi);
+      if (metrics.passband_ripple_db > req.filter.passband_ripple_db ||
+          metrics.max_stopband_gain_db > -req.filter.stopband_atten_db) {
+        continue;
+      }
+      synth::IirCostQuery query;
+      query.structure = kind;
+      query.order = design.tf.order();
+      query.word_bits = bits;
+      query.sample_period_us = period;
+      const auto cost = synth::evaluate_iir_cost(query);
+      min_bits = bits;
+      feasible_at_period = cost.feasible;
+      area = cost.area_mm2;
+      break;
+    }
+    sweep.add_row({dsp::to_string(kind),
+                   min_bits > 0 ? std::to_string(min_bits) : "> 24",
+                   min_bits > 0 && feasible_at_period
+                       ? util::format_double(area, 2) + " mm^2"
+                       : "-",
+                   feasible_at_period ? "no" : "yes"});
+  }
+  sweep.print(std::cout);
+
+  // Full MetaCore search over structure x stages x word length x ripple
+  // allocation.
+  std::cout << "\nRunning the multiresolution MetaCore search...\n";
+  core::IirMetaCore metacore(req);
+  search::SearchConfig config;
+  config.initial_points_per_dim = 4;
+  config.max_resolution = 2;
+  config.max_evaluations = 300;
+  const auto result = metacore.search(config);
+  if (!result.found_feasible) {
+    std::cout << "No feasible implementation at this sample period.\n";
+    return 0;
+  }
+  const auto structure =
+      core::IirMetaCore::structure_at(static_cast<int>(result.best.values[0]));
+  std::cout << "Recommended implementation ("
+            << result.evaluations << " evaluations):\n"
+            << "  structure:    " << dsp::to_string(structure) << "\n"
+            << "  extra stages: " << result.best.values[1] << "\n"
+            << "  word length:  " << result.best.values[2] << " bits\n"
+            << "  area:         "
+            << util::format_double(result.best.eval.metric("area_mm2"), 2)
+            << " mm^2\n"
+            << "  latency:      "
+            << util::format_double(result.best.eval.metric("latency_us"), 3)
+            << " us\n"
+            << "  ripple:       "
+            << util::format_double(result.best.eval.metric("passband_ripple_db"), 4)
+            << " dB (spec "
+            << util::format_double(req.filter.passband_ripple_db, 4) << ")\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: decode a noisy convolutionally-coded stream with the three
+// decoder families and evaluate what the cheapest hardware implementation
+// of each would cost — the library's two halves in ~60 lines.
+//
+//   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "comm/ber.hpp"
+#include "cost/viterbi_cost.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+int main() {
+  // A K=5 rate-1/2 code (the classic (35,23) generators), 2 Mbps target.
+  comm::DecoderSpec spec;
+  spec.code = comm::best_rate_half_code(5);
+  spec.traceback_depth = 25;
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = 4;
+
+  std::cout << "Channel: BPSK over AWGN at Es/N0 = 1.5 dB\n"
+            << "Code:    K=5, G=(" << spec.code.generators_octal()
+            << "), rate 1/2, traceback depth 25\n\n";
+
+  comm::BerRunConfig sim;
+  sim.max_bits = 300'000;
+  sim.min_bits = 300'000;
+  sim.max_errors = 1u << 30;
+
+  util::TextTable table({"decoder", "measured BER", "area @ 2 Mbps (mm^2)",
+                         "cycles/bit", "cores"});
+  for (const auto kind : {comm::DecoderKind::Hard, comm::DecoderKind::Multires,
+                          comm::DecoderKind::Soft}) {
+    spec.kind = kind;
+    // Application-level performance: Monte-Carlo BER simulation.
+    const auto ber = comm::measure_ber(spec, /*esn0_db=*/1.5, sim);
+    // Implementation cost: the Trimaran-substitute VLIW cost engine.
+    cost::ViterbiCostQuery query;
+    query.spec = spec;
+    query.throughput_mbps = 2.0;
+    const auto cost = cost::evaluate_viterbi_cost(query);
+    table.add_row({comm::to_string(kind),
+                   util::format_scientific(ber.ber(), 2),
+                   cost.feasible ? util::format_double(cost.area_mm2, 2)
+                                 : "infeasible",
+                   util::format_double(cost.cycles_per_bit, 0),
+                   std::to_string(cost.cores)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe multiresolution decoder recovers most of the hard ->\n"
+               "soft BER gap. On the programmable-VLIW cost model (the\n"
+               "paper's Trimaran-based engine) its area lands near plain\n"
+               "soft decoding at equal K; the MetaCore search exploits it\n"
+               "when trading constraint length against resolution.\n";
+  return 0;
+}

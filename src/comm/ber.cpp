@@ -1,0 +1,144 @@
+#include "comm/ber.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "comm/channel.hpp"
+#include "util/rng.hpp"
+
+namespace metacore::comm {
+
+std::string to_string(DecoderKind kind) {
+  switch (kind) {
+    case DecoderKind::Hard:
+      return "hard";
+    case DecoderKind::Soft:
+      return "soft";
+    case DecoderKind::Multires:
+      return "multires";
+  }
+  return "?";
+}
+
+std::unique_ptr<Decoder> DecoderSpec::make_decoder(const Trellis& trellis,
+                                                   double amplitude,
+                                                   double noise_sigma) const {
+  switch (kind) {
+    case DecoderKind::Hard:
+      return make_hard_decoder(trellis, traceback_depth, amplitude,
+                               noise_sigma);
+    case DecoderKind::Soft:
+      return make_soft_decoder(trellis, traceback_depth, high_res_bits,
+                               quantization, amplitude, noise_sigma);
+    case DecoderKind::Multires: {
+      MultiresConfig config{traceback_depth, low_res_bits, high_res_bits,
+                            quantization, num_high_res_paths,
+                            normalization_terms};
+      return make_multires_decoder(trellis, config, amplitude, noise_sigma);
+    }
+  }
+  throw std::logic_error("DecoderSpec::make_decoder: unknown kind");
+}
+
+std::string DecoderSpec::label() const {
+  std::string out = to_string(kind);
+  out += " K=" + std::to_string(code.constraint_length);
+  out += " L=" + std::to_string(traceback_depth);
+  if (kind == DecoderKind::Soft) {
+    out += " R=" + std::to_string(high_res_bits);
+  } else if (kind == DecoderKind::Multires) {
+    out += " R1=" + std::to_string(low_res_bits);
+    out += " R2=" + std::to_string(high_res_bits);
+    out += " M=" + std::to_string(num_high_res_paths);
+    out += " N=" + std::to_string(normalization_terms);
+  }
+  if (kind != DecoderKind::Hard) {
+    out += " Q=";
+    out += quantization == QuantizationMethod::AdaptiveSoft ? "A" : "F";
+  }
+  return out;
+}
+
+BerPoint measure_ber(const DecoderSpec& spec, double esn0_db,
+                     const BerRunConfig& config) {
+  if (config.max_bits == 0) {
+    throw std::invalid_argument("measure_ber: max_bits must be positive");
+  }
+  const Trellis trellis(spec.code);
+  const int n = trellis.symbols_per_step();
+  constexpr double kAmplitude = 1.0;
+
+  // Derive a distinct seed per (spec, channel point) so curves are
+  // reproducible yet independent across points.
+  const std::uint64_t point_seed =
+      config.seed ^ (static_cast<std::uint64_t>(
+                         std::llround(esn0_db * 1000.0 + 1e6))
+                     << 20) ^
+      (static_cast<std::uint64_t>(spec.code.constraint_length) << 8) ^
+      static_cast<std::uint64_t>(spec.traceback_depth);
+
+  AwgnChannel channel(esn0_db, kAmplitude * kAmplitude, point_seed);
+  util::Random data_rng(point_seed ^ 0xDA7A'B175ULL);
+  BpskModulator modulator(kAmplitude);
+  auto decoder =
+      spec.make_decoder(trellis, kAmplitude, channel.noise_sigma());
+
+  BerPoint point;
+  point.esn0_db = esn0_db;
+
+  // Continuous stream decoding: the decoder runs uninterrupted over the
+  // whole simulation, so there are no block-boundary traceback artifacts —
+  // each decoded bit emerges L steps after its symbols and is compared
+  // against the matching transmitted bit through a delay line. The last
+  // L-1 bits of the stream are simply not counted.
+  ConvolutionalEncoder encoder(spec.code);
+  std::vector<int> pending;  // transmitted bits awaiting their decode
+  std::size_t pending_head = 0;
+  std::vector<double> rx(static_cast<std::size_t>(n));
+  std::uint64_t next_decision_check = std::max<std::uint64_t>(
+      config.min_bits, 8'192);
+  while (point.errors.trials < config.max_bits &&
+         (point.errors.trials < config.min_bits ||
+          point.errors.successes < config.max_errors)) {
+    if (config.decision_ber > 0.0 &&
+        point.errors.trials >= next_decision_check) {
+      const auto interval = point.errors.wilson();
+      if (interval.high < config.decision_ber / 1.5 ||
+          interval.low > config.decision_ber * 1.5) {
+        break;  // confidently decided either way
+      }
+      next_decision_check += 8'192;
+    }
+    const int bit = data_rng.bit() ? 1 : 0;
+    const std::uint32_t symbols = encoder.encode_bit(bit);
+    for (int j = 0; j < n; ++j) {
+      rx[static_cast<std::size_t>(j)] = channel.transmit(
+          modulator.modulate(static_cast<int>((symbols >> j) & 1u)));
+    }
+    pending.push_back(bit);
+    if (const auto decoded = decoder->step(rx)) {
+      point.errors.add(*decoded != pending[pending_head++]);
+    }
+    // Keep the delay line compact on long runs.
+    if (pending_head > 8'192) {
+      pending.erase(pending.begin(),
+                    pending.begin() + static_cast<std::ptrdiff_t>(pending_head));
+      pending_head = 0;
+    }
+  }
+  return point;
+}
+
+std::vector<BerPoint> measure_ber_curve(
+    const DecoderSpec& spec, const std::vector<double>& esn0_db_points,
+    const BerRunConfig& config) {
+  std::vector<BerPoint> curve;
+  curve.reserve(esn0_db_points.size());
+  for (double esn0 : esn0_db_points) {
+    curve.push_back(measure_ber(spec, esn0, config));
+  }
+  return curve;
+}
+
+}  // namespace metacore::comm

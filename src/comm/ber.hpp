@@ -1,0 +1,81 @@
+// Monte-Carlo bit-error-rate measurement: the "software simulation" arm of
+// the paper's cost evaluation engine. Runs random data through
+// encode -> BPSK -> AWGN -> decode and counts disagreements, with optional
+// early termination once enough errors have been observed and Wilson
+// confidence intervals on the estimate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/convolutional.hpp"
+#include "comm/multires_viterbi.hpp"
+#include "comm/trellis.hpp"
+#include "comm/viterbi.hpp"
+#include "util/stats.hpp"
+
+namespace metacore::comm {
+
+/// The decoder taxonomy of the paper: pure hard decision, pure soft
+/// decision (R2-bit), or multiresolution (R1-bit update, R2-bit refinement
+/// of M paths).
+enum class DecoderKind : std::uint8_t { Hard, Soft, Multires };
+
+std::string to_string(DecoderKind kind);
+
+/// Full specification of one decoder instance — the 8 parameters of the
+/// paper's Table 2 plus the channel amplitude convention.
+struct DecoderSpec {
+  CodeSpec code;                 // K and G
+  int traceback_depth = 15;      // L
+  DecoderKind kind = DecoderKind::Hard;
+  int low_res_bits = 1;          // R1 (multires only)
+  int high_res_bits = 3;         // R2 (soft and multires)
+  QuantizationMethod quantization = QuantizationMethod::AdaptiveSoft;  // Q
+  int normalization_terms = 1;   // N (multires only)
+  int num_high_res_paths = 1;    // M (multires only)
+
+  /// Builds a decoder for the given channel conditions. The adaptive
+  /// quantizer needs the true noise sigma, mirroring the paper's Es/N0-
+  /// derived decision level D (Figure 4).
+  std::unique_ptr<Decoder> make_decoder(const Trellis& trellis,
+                                        double amplitude,
+                                        double noise_sigma) const;
+
+  std::string label() const;
+};
+
+struct BerRunConfig {
+  std::uint64_t max_bits = 200'000;   ///< simulation length cap per point
+  std::uint64_t max_errors = 2'000;   ///< stop early once this many errors seen
+  std::uint64_t min_bits = 10'000;    ///< never stop before this many bits
+  std::uint64_t seed = 0xC0FFEE;      ///< base RNG seed
+  /// Sequential decision test: when nonzero, the run also stops as soon as
+  /// the Wilson 95% interval confidently separates from this threshold
+  /// (upper bound < threshold/1.5 -> confident pass; lower bound >
+  /// 1.5*threshold -> confident fail). Decision-directed runs finish in a
+  /// fraction of max_bits on clear points; only borderline candidates pay
+  /// the full budget. The resulting point estimate is mildly biased by the
+  /// stopping rule — use it against thresholds, not as a curve sample.
+  double decision_ber = 0.0;
+};
+
+struct BerPoint {
+  double esn0_db = 0.0;
+  util::ProportionEstimate errors;  ///< bit errors over decoded bits
+  double ber() const { return errors.rate(); }
+};
+
+/// Measures BER for one decoder spec at one channel point.
+BerPoint measure_ber(const DecoderSpec& spec, double esn0_db,
+                     const BerRunConfig& config);
+
+/// Measures a whole BER-vs-Es/N0 curve (one Figure-1/Figure-8 series).
+std::vector<BerPoint> measure_ber_curve(const DecoderSpec& spec,
+                                        const std::vector<double>& esn0_db_points,
+                                        const BerRunConfig& config);
+
+}  // namespace metacore::comm

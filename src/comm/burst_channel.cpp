@@ -1,0 +1,66 @@
+#include "comm/burst_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace metacore::comm {
+
+void GilbertElliottParams::validate() const {
+  if (p_good_to_bad <= 0.0 || p_good_to_bad >= 1.0 || p_bad_to_good <= 0.0 ||
+      p_bad_to_good >= 1.0) {
+    throw std::invalid_argument(
+        "GilbertElliottParams: transition probabilities must be in (0, 1)");
+  }
+  if (bad_esn0_db >= good_esn0_db) {
+    throw std::invalid_argument(
+        "GilbertElliottParams: the bad state must be worse than the good one");
+  }
+}
+
+namespace {
+double sigma_for(double esn0_db, double symbol_energy) {
+  const double n0 = symbol_energy / util::db_to_linear(esn0_db);
+  return std::sqrt(n0 / 2.0);
+}
+}  // namespace
+
+GilbertElliottChannel::GilbertElliottChannel(GilbertElliottParams params,
+                                             double symbol_energy,
+                                             std::uint64_t seed)
+    : params_(params),
+      sigma_good_(sigma_for(params.good_esn0_db, symbol_energy)),
+      sigma_bad_(sigma_for(params.bad_esn0_db, symbol_energy)),
+      rng_(seed) {
+  params_.validate();
+  if (symbol_energy <= 0.0) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: symbol energy must be positive");
+  }
+}
+
+double GilbertElliottChannel::transmit(double symbol) {
+  // State transition first, then emission from the current state.
+  const double p = bad_ ? params_.p_bad_to_good : params_.p_good_to_bad;
+  if (rng_.bernoulli(p)) bad_ = !bad_;
+  return symbol + rng_.normal(0.0, bad_ ? sigma_bad_ : sigma_good_);
+}
+
+std::vector<double> GilbertElliottChannel::transmit(
+    std::span<const double> symbols) {
+  std::vector<double> out;
+  out.reserve(symbols.size());
+  for (double s : symbols) out.push_back(transmit(s));
+  return out;
+}
+
+double GilbertElliottChannel::average_noise_sigma() const {
+  const double f = params_.bad_fraction();
+  // Average the noise *power*, then take the root.
+  const double power =
+      (1.0 - f) * sigma_good_ * sigma_good_ + f * sigma_bad_ * sigma_bad_;
+  return std::sqrt(power);
+}
+
+}  // namespace metacore::comm

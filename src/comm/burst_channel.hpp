@@ -1,0 +1,53 @@
+// Gilbert-Elliott two-state burst channel: alternates between a good state
+// (mild AWGN) and a bad state (deep noise), with geometric sojourn times.
+// The AWGN channel of the paper's experiments models the atmospheric-noise
+// regime it targets; this model extends the evaluation to bursty
+// impairments, where interleaving (see interleaver.hpp) becomes the
+// relevant design lever.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace metacore::comm {
+
+struct GilbertElliottParams {
+  double good_esn0_db = 6.0;   ///< channel quality in the good state
+  double bad_esn0_db = -4.0;   ///< channel quality inside a burst
+  double p_good_to_bad = 0.01; ///< per-symbol transition probability
+  double p_bad_to_good = 0.2;  ///< per-symbol recovery probability
+
+  /// Stationary probability of the bad state.
+  double bad_fraction() const {
+    return p_good_to_bad / (p_good_to_bad + p_bad_to_good);
+  }
+
+  void validate() const;
+};
+
+class GilbertElliottChannel {
+ public:
+  GilbertElliottChannel(GilbertElliottParams params, double symbol_energy = 1.0,
+                        std::uint64_t seed = 1);
+
+  double transmit(double symbol);
+  std::vector<double> transmit(std::span<const double> symbols);
+
+  /// Average noise sigma weighted by state occupancy — what an adaptive
+  /// quantizer tracking long-term statistics would estimate.
+  double average_noise_sigma() const;
+
+  bool in_bad_state() const { return bad_; }
+  const GilbertElliottParams& params() const { return params_; }
+
+ private:
+  GilbertElliottParams params_;
+  double sigma_good_;
+  double sigma_bad_;
+  bool bad_ = false;
+  util::Random rng_;
+};
+
+}  // namespace metacore::comm

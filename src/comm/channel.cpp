@@ -1,0 +1,40 @@
+#include "comm/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace metacore::comm {
+
+std::vector<double> BpskModulator::modulate(std::span<const int> bits) const {
+  std::vector<double> out;
+  out.reserve(bits.size());
+  for (int bit : bits) out.push_back(modulate(bit));
+  return out;
+}
+
+AwgnChannel::AwgnChannel(double esn0_db, double symbol_energy,
+                         std::uint64_t seed)
+    : esn0_db_(esn0_db),
+      esn0_linear_(util::db_to_linear(esn0_db)),
+      rng_(seed) {
+  if (symbol_energy <= 0.0) {
+    throw std::invalid_argument("AwgnChannel: symbol energy must be positive");
+  }
+  const double n0 = symbol_energy / esn0_linear_;
+  sigma_ = std::sqrt(n0 / 2.0);
+}
+
+double AwgnChannel::transmit(double symbol) {
+  return symbol + rng_.normal(0.0, sigma_);
+}
+
+std::vector<double> AwgnChannel::transmit(std::span<const double> symbols) {
+  std::vector<double> out;
+  out.reserve(symbols.size());
+  for (double s : symbols) out.push_back(transmit(s));
+  return out;
+}
+
+}  // namespace metacore::comm

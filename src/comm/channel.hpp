@@ -1,0 +1,52 @@
+// BPSK modulation over an additive white Gaussian noise channel — the
+// "software simulation" substrate behind every BER figure in the paper
+// (Figures 1 and 8). Fully deterministic given a seed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace metacore::comm {
+
+/// Antipodal BPSK: bit 0 -> -amplitude, bit 1 -> +amplitude.
+class BpskModulator {
+ public:
+  explicit BpskModulator(double amplitude = 1.0) : amplitude_(amplitude) {}
+
+  double modulate(int bit) const { return bit ? amplitude_ : -amplitude_; }
+
+  std::vector<double> modulate(std::span<const int> bits) const;
+
+  double amplitude() const { return amplitude_; }
+
+ private:
+  double amplitude_;
+};
+
+/// AWGN channel parameterized by Es/N0 (energy per *channel symbol* to noise
+/// density). The paper sweeps Es/N0 directly on its BER axes, so the channel
+/// is configured the same way. With unit-energy BPSK symbols the per-sample
+/// noise is N(0, N0/2) with N0 = Es / (Es/N0).
+class AwgnChannel {
+ public:
+  AwgnChannel(double esn0_db, double symbol_energy = 1.0,
+              std::uint64_t seed = 1);
+
+  double transmit(double symbol);
+  std::vector<double> transmit(std::span<const double> symbols);
+
+  /// Standard deviation of the additive noise.
+  double noise_sigma() const { return sigma_; }
+  double esn0_db() const { return esn0_db_; }
+  double esn0_linear() const { return esn0_linear_; }
+
+ private:
+  double esn0_db_;
+  double esn0_linear_;
+  double sigma_;
+  util::Random rng_;
+};
+
+}  // namespace metacore::comm

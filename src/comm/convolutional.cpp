@@ -1,0 +1,138 @@
+#include "comm/convolutional.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace metacore::comm {
+
+void CodeSpec::validate() const {
+  if (constraint_length < 2 || constraint_length > 16) {
+    throw std::invalid_argument("CodeSpec: K must be in [2, 16]");
+  }
+  if (generators.empty()) {
+    throw std::invalid_argument("CodeSpec: need at least one generator");
+  }
+  const std::uint32_t mask = (1u << constraint_length) - 1;
+  for (std::uint32_t g : generators) {
+    if (g == 0 || (g & ~mask) != 0) {
+      throw std::invalid_argument("CodeSpec: generator does not fit in K bits");
+    }
+  }
+  // At least one generator must tap the current input bit, or the code has
+  // pure delay and wastes constraint length.
+  bool taps_input = false;
+  for (std::uint32_t g : generators) {
+    taps_input |= (g >> (constraint_length - 1)) & 1u;
+  }
+  if (!taps_input) {
+    throw std::invalid_argument("CodeSpec: no generator taps the input bit");
+  }
+}
+
+std::string CodeSpec::generators_octal() const {
+  std::string out;
+  for (std::size_t i = 0; i < generators.size(); ++i) {
+    if (i) out += ',';
+    // Render in octal without a leading zero, matching the paper's "171,133".
+    std::string oct;
+    std::uint32_t g = generators[i];
+    do {
+      oct.insert(oct.begin(), static_cast<char>('0' + (g & 7u)));
+      g >>= 3;
+    } while (g);
+    out += oct;
+  }
+  return out;
+}
+
+CodeSpec best_rate_half_code(int constraint_length) {
+  // Octal generator pairs with maximal free distance (Larsen 1973).
+  switch (constraint_length) {
+    case 3:
+      return {3, {07, 05}};
+    case 4:
+      return {4, {017, 015}};
+    case 5:
+      return {5, {035, 023}};
+    case 6:
+      return {6, {075, 053}};
+    case 7:
+      return {7, {0171, 0133}};
+    case 8:
+      return {8, {0371, 0247}};
+    case 9:
+      return {9, {0753, 0561}};
+    default:
+      throw std::invalid_argument(
+          "best_rate_half_code: tabulated only for K in [3, 9]");
+  }
+}
+
+std::vector<CodeSpec> candidate_rate_half_codes(int constraint_length) {
+  std::vector<CodeSpec> out;
+  out.push_back(best_rate_half_code(constraint_length));
+  // Secondary candidates: good but non-optimal pairs, giving the search a
+  // real G axis. Each taps the input bit and the oldest register.
+  switch (constraint_length) {
+    case 3:
+      out.push_back({3, {07, 06}});
+      break;
+    case 4:
+      out.push_back({4, {017, 013}});
+      break;
+    case 5:
+      out.push_back({5, {037, 025}});
+      break;
+    case 6:
+      out.push_back({6, {073, 061}});
+      break;
+    case 7:
+      out.push_back({7, {0165, 0127}});
+      break;
+    case 8:
+      out.push_back({8, {0345, 0237}});
+      break;
+    case 9:
+      out.push_back({9, {0715, 0527}});
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+ConvolutionalEncoder::ConvolutionalEncoder(CodeSpec spec)
+    : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+std::uint32_t ConvolutionalEncoder::encode_bit(int bit) {
+  const int k = spec_.constraint_length;
+  const std::uint32_t reg =
+      (static_cast<std::uint32_t>(bit & 1) << (k - 1)) | state_;
+  std::uint32_t out = 0;
+  for (std::size_t j = 0; j < spec_.generators.size(); ++j) {
+    const auto parity =
+        static_cast<std::uint32_t>(std::popcount(reg & spec_.generators[j]) & 1);
+    out |= parity << j;
+  }
+  if (k >= 2) {
+    state_ = (state_ >> 1) |
+             (static_cast<std::uint32_t>(bit & 1) << (k - 2));
+  }
+  return out;
+}
+
+std::vector<int> ConvolutionalEncoder::encode(std::span<const int> bits) {
+  std::vector<int> out;
+  out.reserve(bits.size() * spec_.generators.size());
+  for (int bit : bits) {
+    const std::uint32_t symbols = encode_bit(bit);
+    for (std::size_t j = 0; j < spec_.generators.size(); ++j) {
+      out.push_back(static_cast<int>((symbols >> j) & 1u));
+    }
+  }
+  return out;
+}
+
+}  // namespace metacore::comm

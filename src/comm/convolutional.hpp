@@ -1,0 +1,70 @@
+// Convolutional encoding (rate 1/n, constraint length K) and the standard
+// maximal-free-distance generator polynomial tables the paper draws its G
+// values from ([Lar73], [Ode70]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace metacore::comm {
+
+/// A rate 1/n convolutional code: each input bit produces one output symbol
+/// per generator polynomial.
+///
+/// Generators are given in the conventional octal notation, e.g. the
+/// ubiquitous K=7 code {0171, 0133}. Bit (K-1) of a generator taps the
+/// current input bit; bit 0 taps the oldest register.
+struct CodeSpec {
+  int constraint_length = 3;             ///< K; number of taps including input
+  std::vector<std::uint32_t> generators; ///< one mask per output symbol
+
+  int rate_denominator() const { return static_cast<int>(generators.size()); }
+  int num_states() const { return 1 << (constraint_length - 1); }
+
+  /// Validates K in [2, 16] and that every generator fits in K bits and taps
+  /// the input bit (otherwise the code is catastrophic-by-construction).
+  void validate() const;
+
+  /// Renders generators in octal, e.g. "171,133".
+  std::string generators_octal() const;
+
+  bool operator==(const CodeSpec&) const = default;
+};
+
+/// Best known rate-1/2 maximum-free-distance generators for K = 3..9
+/// (Larsen's table, the same family the paper's Table 3 selects from:
+/// K=3 -> 7,5; K=5 -> 35,23; K=7 -> 171,133).
+CodeSpec best_rate_half_code(int constraint_length);
+
+/// Alternative (non-optimal but valid) rate-1/2 generators per K, giving the
+/// search a genuine G degree of freedom when the user unfixes it.
+std::vector<CodeSpec> candidate_rate_half_codes(int constraint_length);
+
+/// Feed-forward shift-register encoder for a CodeSpec.
+class ConvolutionalEncoder {
+ public:
+  explicit ConvolutionalEncoder(CodeSpec spec);
+
+  /// Encodes one input bit; returns the n output symbols packed LSB-first
+  /// (bit j of the result is generator j's output).
+  std::uint32_t encode_bit(int bit);
+
+  /// Encodes a bit vector; output has spec.generators.size() bits per input
+  /// bit, in generator order.
+  std::vector<int> encode(std::span<const int> bits);
+
+  /// Encoder state = the K-1 most recent input bits (newest in the MSB of
+  /// the state word, matching trellis numbering).
+  std::uint32_t state() const { return state_; }
+  void reset() { state_ = 0; }
+
+  const CodeSpec& spec() const { return spec_; }
+
+ private:
+  CodeSpec spec_;
+  std::uint32_t state_ = 0;
+};
+
+}  // namespace metacore::comm

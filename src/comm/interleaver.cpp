@@ -1,0 +1,55 @@
+#include "comm/interleaver.hpp"
+
+#include <stdexcept>
+
+namespace metacore::comm {
+
+BlockInterleaver::BlockInterleaver(int rows, int cols)
+    : rows_(rows), cols_(cols) {
+  if (rows_ < 1 || cols_ < 1 || rows_ * cols_ > (1 << 24)) {
+    throw std::invalid_argument("BlockInterleaver: bad dimensions");
+  }
+}
+
+template <typename T>
+std::vector<T> BlockInterleaver::permute(std::span<const T> input,
+                                         bool forward) const {
+  if (input.size() % depth() != 0) {
+    throw std::invalid_argument(
+        "BlockInterleaver: stream length must be a multiple of depth()");
+  }
+  std::vector<T> out(input.size());
+  const std::size_t block = depth();
+  for (std::size_t base = 0; base < input.size(); base += block) {
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        const std::size_t row_major = static_cast<std::size_t>(r * cols_ + c);
+        const std::size_t col_major = static_cast<std::size_t>(c * rows_ + r);
+        if (forward) {
+          out[base + col_major] = input[base + row_major];
+        } else {
+          out[base + row_major] = input[base + col_major];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> BlockInterleaver::interleave(
+    std::span<const double> input) const {
+  return permute(input, true);
+}
+std::vector<double> BlockInterleaver::deinterleave(
+    std::span<const double> input) const {
+  return permute(input, false);
+}
+std::vector<int> BlockInterleaver::interleave(std::span<const int> input) const {
+  return permute(input, true);
+}
+std::vector<int> BlockInterleaver::deinterleave(
+    std::span<const int> input) const {
+  return permute(input, false);
+}
+
+}  // namespace metacore::comm

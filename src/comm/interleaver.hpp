@@ -1,0 +1,36 @@
+// Block interleaving: writes symbols row-wise into a rows x cols matrix and
+// reads them column-wise, spreading a burst of B corrupted symbols across
+// ceil(B / rows) distinct codeword neighborhoods — the standard companion
+// to convolutional coding on bursty channels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace metacore::comm {
+
+class BlockInterleaver {
+ public:
+  /// rows x cols block; depth() = rows * cols symbols per block.
+  BlockInterleaver(int rows, int cols);
+
+  std::size_t depth() const { return static_cast<std::size_t>(rows_ * cols_); }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Permutes a stream whose length must be a multiple of depth().
+  std::vector<double> interleave(std::span<const double> input) const;
+  std::vector<double> deinterleave(std::span<const double> input) const;
+  std::vector<int> interleave(std::span<const int> input) const;
+  std::vector<int> deinterleave(std::span<const int> input) const;
+
+ private:
+  template <typename T>
+  std::vector<T> permute(std::span<const T> input, bool forward) const;
+
+  int rows_;
+  int cols_;
+};
+
+}  // namespace metacore::comm

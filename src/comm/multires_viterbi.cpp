@@ -1,0 +1,217 @@
+#include "comm/multires_viterbi.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace metacore::comm {
+
+namespace {
+constexpr double kUnreachable = 1e15;
+constexpr double kNormalizeThreshold = 1e12;
+}  // namespace
+
+void MultiresConfig::validate(int num_states) const {
+  if (traceback_depth < 1) {
+    throw std::invalid_argument("MultiresConfig: traceback depth must be >= 1");
+  }
+  if (low_res_bits < 1 || high_res_bits < 1 || low_res_bits > 8 ||
+      high_res_bits > 8) {
+    throw std::invalid_argument("MultiresConfig: resolutions must be in [1,8]");
+  }
+  if (high_res_bits < low_res_bits) {
+    throw std::invalid_argument(
+        "MultiresConfig: R2 must be at least as fine as R1");
+  }
+  if (num_high_res_paths < 1 || num_high_res_paths > num_states) {
+    throw std::invalid_argument(
+        "MultiresConfig: M must be in [1, num_states]");
+  }
+  if (normalization_terms < 1 || normalization_terms > num_high_res_paths) {
+    throw std::invalid_argument("MultiresConfig: N must be in [1, M]");
+  }
+}
+
+MultiresViterbiDecoder::MultiresViterbiDecoder(const Trellis& trellis,
+                                               const MultiresConfig& config,
+                                               double amplitude,
+                                               double noise_sigma)
+    : trellis_(&trellis),
+      config_(config),
+      // Low-resolution trellis update: 1-bit R1 degenerates to hard slicing
+      // regardless of method, matching the paper's R1=1 experiments.
+      low_(config.low_res_bits == 1 ? QuantizationMethod::Hard : config.method,
+           config.low_res_bits, amplitude, noise_sigma),
+      high_(config.method, config.high_res_bits, amplitude, noise_sigma) {
+  config_.validate(trellis_->num_states());
+  scale_ = static_cast<double>(high_.max_level()) /
+           static_cast<double>(low_.max_level());
+  const auto states = static_cast<std::size_t>(trellis_->num_states());
+  acc_.resize(states);
+  next_acc_.resize(states);
+  survivors_.assign(static_cast<std::size_t>(config_.traceback_depth),
+                    std::vector<std::uint8_t>(states, 0));
+  quantized_low_.resize(static_cast<std::size_t>(trellis_->symbols_per_step()));
+  quantized_high_.resize(quantized_low_.size());
+  winning_low_metric_.resize(states);
+  order_.resize(states);
+  reset();
+}
+
+void MultiresViterbiDecoder::reset() {
+  std::fill(acc_.begin(), acc_.end(), kUnreachable);
+  acc_[0] = 0.0;
+  steps_ = 0;
+}
+
+int MultiresViterbiDecoder::low_branch_metric(
+    std::uint32_t expected_symbols) const {
+  int metric = 0;
+  for (std::size_t j = 0; j < quantized_low_.size(); ++j) {
+    metric += low_.branch_metric(quantized_low_[j],
+                                 static_cast<int>((expected_symbols >> j) & 1u));
+  }
+  return metric;
+}
+
+int MultiresViterbiDecoder::high_branch_metric(
+    std::uint32_t expected_symbols) const {
+  int metric = 0;
+  for (std::size_t j = 0; j < quantized_high_.size(); ++j) {
+    metric += high_.branch_metric(
+        quantized_high_[j], static_cast<int>((expected_symbols >> j) & 1u));
+  }
+  return metric;
+}
+
+std::optional<int> MultiresViterbiDecoder::step(std::span<const double> rx) {
+  if (rx.size() != quantized_low_.size()) {
+    throw std::invalid_argument("MultiresViterbiDecoder::step: wrong symbol count");
+  }
+  for (std::size_t j = 0; j < rx.size(); ++j) {
+    quantized_low_[j] = low_.quantize(rx[j]);
+    quantized_high_[j] = high_.quantize(rx[j]);
+  }
+
+  const int states = trellis_->num_states();
+  auto& survivor_row =
+      survivors_[static_cast<std::size_t>(steps_ % config_.traceback_depth)];
+
+  // Precompute the 2^n distinct low-resolution branch metrics per step.
+  const int patterns = 1 << quantized_low_.size();
+  low_metric_by_pattern_.resize(static_cast<std::size_t>(patterns));
+  for (int p = 0; p < patterns; ++p) {
+    low_metric_by_pattern_[static_cast<std::size_t>(p)] =
+        low_branch_metric(static_cast<std::uint32_t>(p));
+  }
+
+  // Phase 1: full low-resolution add-compare-select. Low-res metrics are
+  // scaled into high-resolution units so both phases accumulate compatibly.
+  for (int s = 0; s < states; ++s) {
+    const auto& preds = trellis_->predecessors(static_cast<std::uint32_t>(s));
+    const int bm0 = low_metric_by_pattern_[preds[0].symbols];
+    const int bm1 = low_metric_by_pattern_[preds[1].symbols];
+    const double cand0 = acc_[preds[0].from_state] + scale_ * bm0;
+    const double cand1 = acc_[preds[1].from_state] + scale_ * bm1;
+    if (cand1 < cand0) {
+      next_acc_[static_cast<std::size_t>(s)] = cand1;
+      survivor_row[static_cast<std::size_t>(s)] = 1;
+      winning_low_metric_[static_cast<std::size_t>(s)] = bm1;
+    } else {
+      next_acc_[static_cast<std::size_t>(s)] = cand0;
+      survivor_row[static_cast<std::size_t>(s)] = 0;
+      winning_low_metric_[static_cast<std::size_t>(s)] = bm0;
+    }
+  }
+
+  // Phase 2: pick the M states with the smallest accumulated error — the
+  // plausible traceback candidates — and recompute their winning branch
+  // metrics at high resolution.
+  const int m = config_.num_high_res_paths;
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::partial_sort(order_.begin(), order_.begin() + m, order_.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      return next_acc_[a] < next_acc_[b];
+                    });
+
+  // Correction term: the average (high − scaled-low) metric difference over
+  // the N best recomputed branches. Subtracting it from the recomputed
+  // metrics keeps the expected accumulation equal for refined and
+  // unrefined states, so no state gains an unfair traceback advantage.
+  std::vector<double> high_metrics(static_cast<std::size_t>(m));
+  double correction = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const std::uint32_t s = order_[static_cast<std::size_t>(i)];
+    const auto& branch = trellis_->predecessors(s)[survivor_row[s]];
+    high_metrics[static_cast<std::size_t>(i)] =
+        static_cast<double>(high_branch_metric(branch.symbols));
+    if (i < config_.normalization_terms) {
+      correction += high_metrics[static_cast<std::size_t>(i)] -
+                    scale_ * winning_low_metric_[s];
+    }
+  }
+  correction /= static_cast<double>(config_.normalization_terms);
+
+  for (int i = 0; i < m; ++i) {
+    const std::uint32_t s = order_[static_cast<std::size_t>(i)];
+    const auto& branch = trellis_->predecessors(s)[survivor_row[s]];
+    next_acc_[s] = acc_[branch.from_state] +
+                   high_metrics[static_cast<std::size_t>(i)] - correction;
+  }
+
+  acc_.swap(next_acc_);
+  ++steps_;
+
+  const double floor = *std::min_element(acc_.begin(), acc_.end());
+  if (floor > kNormalizeThreshold) {
+    for (auto& a : acc_) a -= floor;
+  }
+
+  if (steps_ < config_.traceback_depth) return std::nullopt;
+  return traceback_bit();
+}
+
+std::uint32_t MultiresViterbiDecoder::best_state() const {
+  return static_cast<std::uint32_t>(
+      std::min_element(acc_.begin(), acc_.end()) - acc_.begin());
+}
+
+int MultiresViterbiDecoder::traceback_bit() const {
+  std::uint32_t state = best_state();
+  int bit = 0;
+  for (int d = 0; d < config_.traceback_depth; ++d) {
+    const std::int64_t t = steps_ - 1 - d;
+    const auto& row =
+        survivors_[static_cast<std::size_t>(t % config_.traceback_depth)];
+    const auto& branch = trellis_->predecessors(state)[row[state]];
+    bit = branch.input_bit;
+    state = branch.from_state;
+  }
+  return bit;
+}
+
+std::vector<int> MultiresViterbiDecoder::flush() {
+  const std::int64_t window = config_.traceback_depth;
+  const std::int64_t pending = steps_ < window ? steps_ : window - 1;
+  std::vector<int> bits(static_cast<std::size_t>(pending));
+  std::uint32_t state = best_state();
+  for (std::int64_t d = 0; d < pending; ++d) {
+    const std::int64_t t = steps_ - 1 - d;
+    const auto& row = survivors_[static_cast<std::size_t>(t % window)];
+    const auto& branch = trellis_->predecessors(state)[row[state]];
+    bits[static_cast<std::size_t>(pending - 1 - d)] = branch.input_bit;
+    state = branch.from_state;
+  }
+  return bits;
+}
+
+std::unique_ptr<Decoder> make_multires_decoder(const Trellis& trellis,
+                                               const MultiresConfig& config,
+                                               double amplitude,
+                                               double noise_sigma) {
+  return std::make_unique<MultiresViterbiDecoder>(trellis, config, amplitude,
+                                                  noise_sigma);
+}
+
+}  // namespace metacore::comm

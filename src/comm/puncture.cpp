@@ -1,0 +1,112 @@
+#include "comm/puncture.hpp"
+
+#include <stdexcept>
+
+namespace metacore::comm {
+
+int PuncturePattern::transmitted_per_period() const {
+  int n = 0;
+  for (std::uint8_t k : keep) n += k ? 1 : 0;
+  return n;
+}
+
+double PuncturePattern::rate(int mother_n) const {
+  validate(mother_n);
+  return static_cast<double>(period) / transmitted_per_period();
+}
+
+void PuncturePattern::validate(int mother_n) const {
+  if (period < 1) {
+    throw std::invalid_argument("PuncturePattern: period must be >= 1");
+  }
+  if (keep.size() != static_cast<std::size_t>(period * mother_n)) {
+    throw std::invalid_argument(
+        "PuncturePattern: keep mask size must equal period * n");
+  }
+  if (transmitted_per_period() < period) {
+    // Fewer transmitted symbols than input bits would push the rate above
+    // 1 — information-theoretically unusable.
+    throw std::invalid_argument(
+        "PuncturePattern: pattern punctures below rate 1");
+  }
+}
+
+std::string PuncturePattern::label() const {
+  std::string out = "rate " + std::to_string(period) + "/" +
+                    std::to_string(transmitted_per_period());
+  return out;
+}
+
+// Patterns are stored bit-interleaved per input bit: entry i*n + j is
+// generator j at period position i.
+PuncturePattern rate_2_3_pattern() {
+  // P1 = [1 1], P2 = [1 0]: 3 of 4 symbols transmitted over 2 bits.
+  return {2, {1, 1, 1, 0}};
+}
+
+PuncturePattern rate_3_4_pattern() {
+  // P1 = [1 0 1], P2 = [1 1 0].
+  return {3, {1, 1, 0, 1, 1, 0}};
+}
+
+PuncturePattern rate_5_6_pattern() {
+  // P1 = [1 0 1 0 1], P2 = [1 1 0 1 0].
+  return {5, {1, 1, 0, 1, 1, 0, 0, 1, 1, 0}};
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> puncture_impl(std::span<const T> symbols,
+                             const PuncturePattern& pattern, int mother_n) {
+  pattern.validate(mother_n);
+  if (symbols.size() % static_cast<std::size_t>(mother_n) != 0) {
+    throw std::invalid_argument("puncture: stream not a multiple of n");
+  }
+  std::vector<T> out;
+  out.reserve(symbols.size());
+  const std::size_t mask_size = pattern.keep.size();
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (pattern.keep[i % mask_size]) out.push_back(symbols[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> puncture(std::span<const int> symbols,
+                          const PuncturePattern& pattern, int mother_n) {
+  return puncture_impl(symbols, pattern, mother_n);
+}
+
+std::vector<double> puncture(std::span<const double> samples,
+                             const PuncturePattern& pattern, int mother_n) {
+  return puncture_impl(samples, pattern, mother_n);
+}
+
+std::vector<double> depuncture(std::span<const double> received,
+                               const PuncturePattern& pattern,
+                               std::size_t trellis_steps, double neutral,
+                               int mother_n) {
+  pattern.validate(mother_n);
+  const std::size_t total = trellis_steps * static_cast<std::size_t>(mother_n);
+  const std::size_t mask_size = pattern.keep.size();
+  std::vector<double> out(total, neutral);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (pattern.keep[i % mask_size]) {
+      if (cursor >= received.size()) {
+        throw std::invalid_argument(
+            "depuncture: received stream shorter than the pattern implies");
+      }
+      out[i] = received[cursor++];
+    }
+  }
+  if (cursor != received.size()) {
+    throw std::invalid_argument(
+        "depuncture: received stream longer than the pattern implies");
+  }
+  return out;
+}
+
+}  // namespace metacore::comm

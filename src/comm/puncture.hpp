@@ -1,0 +1,56 @@
+// Punctured convolutional codes: higher code rates (2/3, 3/4, ...) derived
+// from the mother rate-1/2 code by periodically deleting channel symbols.
+// Extends the code-rate (k/n) degree of freedom the paper introduces in
+// Section 3.1 beyond the rate-1/2 family used in its experiments.
+//
+// Decoding reuses the standard Viterbi decoder: deleted positions are
+// re-inserted as *erasures* — samples at the quantizer's neutral midpoint
+// contribute identical branch metrics to both symbol hypotheses, so they
+// carry no information, which is exactly the maximum-likelihood treatment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace metacore::comm {
+
+/// A puncturing pattern over the mother code's output stream: entry (i, j)
+/// tells whether generator j's symbol in period position i is transmitted.
+/// Patterns follow the conventional column-major "P1/P2" notation.
+struct PuncturePattern {
+  int period = 1;                  ///< input bits per pattern period
+  std::vector<std::uint8_t> keep;  ///< period * n entries, 1 = transmit
+
+  /// Transmitted symbols per period (popcount of keep).
+  int transmitted_per_period() const;
+  /// Resulting code rate as (k, n') = (period, transmitted_per_period()).
+  double rate(int mother_n = 2) const;
+
+  /// Throws unless the pattern is non-degenerate (at least one kept symbol
+  /// per input bit period overall, sizes consistent with mother_n).
+  void validate(int mother_n = 2) const;
+
+  std::string label() const;
+};
+
+/// Standard DVB/industry patterns for the rate-1/2 mother code.
+PuncturePattern rate_2_3_pattern();
+PuncturePattern rate_3_4_pattern();
+PuncturePattern rate_5_6_pattern();
+
+/// Deletes punctured symbols from an encoded stream (mother rate 1/n).
+std::vector<int> puncture(std::span<const int> symbols,
+                          const PuncturePattern& pattern, int mother_n = 2);
+std::vector<double> puncture(std::span<const double> samples,
+                             const PuncturePattern& pattern, int mother_n = 2);
+
+/// Re-inserts erasures (value `neutral`) at punctured positions so the
+/// stream regains the mother code's symbol cadence for decoding.
+std::vector<double> depuncture(std::span<const double> received,
+                               const PuncturePattern& pattern,
+                               std::size_t trellis_steps, double neutral = 0.0,
+                               int mother_n = 2);
+
+}  // namespace metacore::comm

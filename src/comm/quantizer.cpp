@@ -1,0 +1,57 @@
+#include "comm/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::comm {
+
+std::string to_string(QuantizationMethod method) {
+  switch (method) {
+    case QuantizationMethod::Hard:
+      return "hard";
+    case QuantizationMethod::FixedSoft:
+      return "fixed";
+    case QuantizationMethod::AdaptiveSoft:
+      return "adaptive";
+  }
+  return "?";
+}
+
+Quantizer::Quantizer(QuantizationMethod method, int bits, double amplitude,
+                     double noise_sigma)
+    : method_(method), bits_(method == QuantizationMethod::Hard ? 1 : bits) {
+  if (bits_ < 1 || bits_ > 8) {
+    throw std::invalid_argument("Quantizer: bits must be in [1, 8]");
+  }
+  if (amplitude <= 0.0) {
+    throw std::invalid_argument("Quantizer: amplitude must be positive");
+  }
+  const int num_levels = 1 << bits_;
+  switch (method_) {
+    case QuantizationMethod::Hard:
+    case QuantizationMethod::FixedSoft:
+      // Uniform over the nominal signal swing [-A, +A].
+      step_ = 2.0 * amplitude / num_levels;
+      offset_ = -amplitude;
+      break;
+    case QuantizationMethod::AdaptiveSoft:
+      // Thresholds spaced D = kD * sigma apart, centered on zero (Figure 4).
+      if (noise_sigma <= 0.0) {
+        throw std::invalid_argument(
+            "Quantizer: adaptive quantization needs a positive noise sigma");
+      }
+      step_ = kAdaptiveDecisionFactor * noise_sigma;
+      offset_ = -step_ * (num_levels / 2);
+      break;
+  }
+}
+
+int Quantizer::quantize(double rx) const {
+  const int num_levels = 1 << bits_;
+  const double scaled = (rx - offset_) / step_;
+  const int level = static_cast<int>(std::floor(scaled));
+  return std::clamp(level, 0, num_levels - 1);
+}
+
+}  // namespace metacore::comm

@@ -1,0 +1,62 @@
+// Channel-symbol quantization (the Q, R1, R2 degrees of freedom in Table 2
+// of the paper). Three methods are modeled, mirroring Section 3.2 and the
+// AHA application note [Aha95] the paper builds on:
+//
+//  * Hard      — 1-bit sign slicing, regardless of the configured width.
+//  * FixedSoft — b-bit uniform quantizer whose step is fixed from the
+//                nominal signal amplitude (no knowledge of the noise).
+//  * AdaptiveSoft — b-bit uniform quantizer whose decision level D is
+//                derived from the measured Es/N0 (i.e. the noise sigma),
+//                the scheme of Figure 4 in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace metacore::comm {
+
+enum class QuantizationMethod : std::uint8_t { Hard, FixedSoft, AdaptiveSoft };
+
+std::string to_string(QuantizationMethod method);
+
+class Quantizer {
+ public:
+  /// `bits` is the output resolution (1..8). For Hard the resolution is
+  /// forced to 1. `amplitude` is the nominal BPSK amplitude; `noise_sigma`
+  /// is used only by AdaptiveSoft to place the decision level.
+  Quantizer(QuantizationMethod method, int bits, double amplitude,
+            double noise_sigma);
+
+  /// Maps a received sample to an integer level in [0, levels()-1]; level 0
+  /// is "most confidently bit 0", the top level "most confidently bit 1".
+  int quantize(double rx) const;
+
+  int bits() const { return bits_; }
+  int levels() const { return 1 << bits_; }
+  /// Largest per-symbol branch-metric contribution, = levels()-1.
+  int max_level() const { return levels() - 1; }
+  QuantizationMethod method() const { return method_; }
+
+  /// Distance-to-expected-symbol metric contribution: the integer soft
+  /// metric is the distance from the quantized level to the level a
+  /// noiseless transmission of `expected_bit` would produce.
+  int branch_metric(int level, int expected_bit) const {
+    return expected_bit ? (max_level() - level) : level;
+  }
+
+  /// Decision step between adjacent quantizer thresholds.
+  double step() const { return step_; }
+
+ private:
+  QuantizationMethod method_;
+  int bits_;
+  double step_;
+  double offset_;  ///< rx is shifted by this before dividing by step_
+};
+
+/// The decision-level constant for adaptive quantization: D = kD * sigma.
+/// [Aha95] recommends spacing thresholds roughly half a noise deviation
+/// apart for 3-bit quantization; we expose the constant for tests/ablation.
+inline constexpr double kAdaptiveDecisionFactor = 0.5;
+
+}  // namespace metacore::comm

@@ -1,0 +1,137 @@
+#include "comm/sequential.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+
+#include "comm/trellis.hpp"
+
+namespace metacore::comm {
+
+namespace {
+
+/// Tree node: paths share prefixes through parent pointers (kept alive by
+/// shared ownership so popped-but-referenced prefixes survive).
+struct Node {
+  std::shared_ptr<const Node> parent;
+  int bit = 0;        // branch taken from the parent
+  int depth = 0;      // trellis steps consumed
+  std::uint32_t encoder_state = 0;
+  double metric = 0.0;
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<const Node>& a,
+                  const std::shared_ptr<const Node>& b) const {
+    return a->metric < b->metric;  // max-heap on the Fano metric
+  }
+};
+
+}  // namespace
+
+SequentialDecoder::SequentialDecoder(CodeSpec code, Quantizer quantizer,
+                                     SequentialConfig config)
+    : code_(std::move(code)), quantizer_(quantizer), config_(config) {
+  code_.validate();
+  if (config_.bias <= 0.0) {
+    throw std::invalid_argument("SequentialDecoder: bias must be positive");
+  }
+  if (config_.max_extensions_per_bit < 1.0 || config_.max_stack < 16) {
+    throw std::invalid_argument("SequentialDecoder: degenerate work limits");
+  }
+}
+
+SequentialResult SequentialDecoder::decode(std::span<const double> rx) const {
+  const int n = code_.rate_denominator();
+  const int k = code_.constraint_length;
+  if (rx.size() % static_cast<std::size_t>(n) != 0) {
+    throw std::invalid_argument(
+        "SequentialDecoder: stream length not a multiple of n");
+  }
+  const int steps = static_cast<int>(rx.size() / static_cast<std::size_t>(n));
+  if (steps < k) {
+    throw std::invalid_argument(
+        "SequentialDecoder: block shorter than the termination tail");
+  }
+
+  // Quantize the whole block once.
+  std::vector<int> levels(rx.size());
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    levels[i] = quantizer_.quantize(rx[i]);
+  }
+  const Trellis trellis(code_);
+
+  // Fano branch gain: sum over symbols of (bias * max_level - distance).
+  const double per_symbol_bias = config_.bias * quantizer_.max_level();
+  auto branch_gain = [&](int step, std::uint32_t symbols) {
+    double gain = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const int level = levels[static_cast<std::size_t>(step * n + j)];
+      const int expected = static_cast<int>((symbols >> j) & 1u);
+      gain += per_symbol_bias - quantizer_.branch_metric(level, expected);
+    }
+    return gain;
+  };
+
+  const auto max_extensions = static_cast<std::uint64_t>(
+      config_.max_extensions_per_bit * static_cast<double>(steps));
+
+  std::priority_queue<std::shared_ptr<const Node>,
+                      std::vector<std::shared_ptr<const Node>>, NodeOrder>
+      stack;
+  stack.push(std::make_shared<Node>());
+
+  SequentialResult result;
+  const int tail_start = steps - (k - 1);
+  while (!stack.empty()) {
+    const auto node = stack.top();
+    stack.pop();
+    if (node->depth == steps) {
+      // Reconstruct the data bits (drop the K-1 tail bits).
+      std::vector<int> bits(static_cast<std::size_t>(steps));
+      const Node* cur = node.get();
+      for (int d = steps; d-- > 0;) {
+        bits[static_cast<std::size_t>(d)] = cur->bit;
+        cur = cur->parent.get();
+      }
+      bits.resize(static_cast<std::size_t>(tail_start));
+      result.completed = true;
+      result.bits = std::move(bits);
+      return result;
+    }
+    if (result.extensions >= max_extensions) {
+      return result;  // computational overflow
+    }
+    ++result.extensions;
+
+    // Terminated tail: only the 0 branch is admissible.
+    const int max_bit = node->depth >= tail_start ? 0 : 1;
+    for (int bit = 0; bit <= max_bit; ++bit) {
+      auto child = std::make_shared<Node>();
+      child->parent = node;
+      child->bit = bit;
+      child->depth = node->depth + 1;
+      child->encoder_state = trellis.next_state(node->encoder_state, bit);
+      child->metric =
+          node->metric +
+          branch_gain(node->depth,
+                      trellis.output_symbols(node->encoder_state, bit));
+      stack.push(std::move(child));
+    }
+    // Bound the stack: rebuild without the worst entries when oversized.
+    if (stack.size() > config_.max_stack) {
+      std::vector<std::shared_ptr<const Node>> keep;
+      keep.reserve(config_.max_stack / 2);
+      while (!stack.empty() && keep.size() < config_.max_stack / 2) {
+        keep.push_back(stack.top());
+        stack.pop();
+      }
+      while (!stack.empty()) stack.pop();
+      for (auto& node_kept : keep) stack.push(std::move(node_kept));
+    }
+  }
+  return result;
+}
+
+}  // namespace metacore::comm

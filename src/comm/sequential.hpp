@@ -1,0 +1,77 @@
+// Sequential decoding — the alternative decoding family the paper
+// contrasts with Viterbi decoding in Section 3.1: near-ML performance for
+// long constraint lengths, but with *variable* decoding effort that makes
+// it less suited to fixed-throughput hardware ("sequential decoding ...
+// has a variable decoding time"). Implemented as a baseline so that
+// trade-off can be measured rather than asserted.
+//
+// This is the stack (Zigangirov-Jelinek) algorithm: a best-first search of
+// the code tree ordered by the Fano metric. Decoding work (tree-node
+// extensions) is reported so benchmarks can show the characteristic
+// effort explosion at low SNR.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/convolutional.hpp"
+#include "comm/quantizer.hpp"
+
+namespace metacore::comm {
+
+struct SequentialConfig {
+  /// Fano metric bias as a fraction of the per-symbol worst-case distance:
+  /// each branch contributes sum_j (bias * max_level - distance_j).
+  ///
+  /// The binding condition is on the *best child* of a wrong node, because
+  /// a best-first search is free to follow locally lucky branches. With
+  /// complementary branch pairs (both generators tap the input bit) and a
+  /// saturated quantizer, a wrong node's branch distances over a rate-1/2
+  /// branch are (0, 2m) half the time and (m, m) half the time, m the
+  /// per-symbol maximum, so E[best-child gain] = 2m*bias - m/2: the bias
+  /// must stay below 1/4 or wrong paths drift *upward* along their best
+  /// children and the search returns garbage. The default of 1/8 leaves a
+  /// -m/4 per-branch down-drift on wrong paths while the correct path
+  /// (E[distance] << m/4 per symbol at usable SNR) still climbs. Below the
+  /// channel's computational cutoff the correct path sinks too and effort
+  /// explodes — sequential decoding's textbook failure mode.
+  double bias = 0.125;
+  /// Abort threshold: maximum tree-node extensions per decoded bit before
+  /// the decode is declared a computational overflow — sequential
+  /// decoding's classic failure mode.
+  double max_extensions_per_bit = 1024.0;
+  /// Cap on the stack size; the worst entries are discarded beyond it.
+  std::size_t max_stack = 1u << 16;
+};
+
+struct SequentialResult {
+  bool completed = false;     ///< false on computational overflow
+  std::vector<int> bits;      ///< decoded data (tail bits stripped)
+  std::uint64_t extensions = 0;  ///< tree nodes expanded (work metric)
+  double extensions_per_bit() const {
+    return bits.empty() ? 0.0
+                        : static_cast<double>(extensions) / bits.size();
+  }
+};
+
+/// Decodes one *terminated* block: the transmitted data must end with K-1
+/// zero tail bits (present in `rx`; stripped from the returned bits), so
+/// the search can anchor the end of the code tree.
+class SequentialDecoder {
+ public:
+  SequentialDecoder(CodeSpec code, Quantizer quantizer,
+                    SequentialConfig config = {});
+
+  /// `rx` holds raw channel samples, n per input bit, like the Viterbi API.
+  SequentialResult decode(std::span<const double> rx) const;
+
+  const CodeSpec& code() const { return code_; }
+
+ private:
+  CodeSpec code_;
+  Quantizer quantizer_;
+  SequentialConfig config_;
+};
+
+}  // namespace metacore::comm

@@ -1,0 +1,64 @@
+// The decoder-side trellis: the convolutional encoder's state-transition
+// diagram unrolled in time (Figure 3 of the paper). Precomputes, for every
+// (state, input-bit) pair, the successor state and expected channel symbols,
+// plus the reverse predecessor view the add-compare-select step iterates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "comm/convolutional.hpp"
+
+namespace metacore::comm {
+
+class Trellis {
+ public:
+  explicit Trellis(CodeSpec spec);
+
+  const CodeSpec& spec() const { return spec_; }
+  int num_states() const { return num_states_; }
+  int symbols_per_step() const { return symbols_per_step_; }
+
+  /// Successor of `state` on input `bit`.
+  std::uint32_t next_state(std::uint32_t state, int bit) const {
+    return next_state_[(state << 1) | static_cast<std::uint32_t>(bit & 1)];
+  }
+
+  /// Expected channel symbols (packed LSB-first, one bit per generator) on
+  /// the branch leaving `state` with input `bit`.
+  std::uint32_t output_symbols(std::uint32_t state, int bit) const {
+    return output_[(state << 1) | static_cast<std::uint32_t>(bit & 1)];
+  }
+
+  /// A branch entering a state in the predecessor view.
+  struct Predecessor {
+    std::uint32_t from_state;   ///< state the branch leaves
+    int input_bit;              ///< encoder input that takes the branch
+    std::uint32_t symbols;      ///< expected channel symbols on the branch
+  };
+
+  /// Every state in a binary-input trellis has exactly two predecessors.
+  const std::array<Predecessor, 2>& predecessors(std::uint32_t state) const {
+    return predecessors_[state];
+  }
+
+  /// Text rendering of the state-transition structure (one line per
+  /// branch, grouped by state) — the textual analog of the paper's
+  /// Figure 3 trellis diagram.
+  std::string to_string() const;
+
+ private:
+  CodeSpec spec_;
+  int num_states_ = 0;
+  int symbols_per_step_ = 0;
+  std::vector<std::uint32_t> next_state_;  ///< indexed by (state<<1)|bit
+  std::vector<std::uint32_t> output_;      ///< indexed by (state<<1)|bit
+  std::vector<std::array<Predecessor, 2>> predecessors_;
+};
+
+/// Text rendering of the shift-register encoder (taps per generator) — the
+/// textual analog of the paper's Figure 2.
+std::string describe_encoder(const CodeSpec& spec);
+
+}  // namespace metacore::comm

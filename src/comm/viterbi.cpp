@@ -1,0 +1,173 @@
+#include "comm/viterbi.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace metacore::comm {
+
+namespace {
+/// Large-but-safe initial metric for states other than the encoder's known
+/// start state; far below the int64 overflow horizon even after long runs.
+constexpr std::int64_t kUnreachable = std::int64_t{1} << 40;
+/// Renormalize accumulated metrics once they exceed this bound.
+constexpr std::int64_t kNormalizeThreshold = std::int64_t{1} << 50;
+}  // namespace
+
+std::vector<int> Decoder::decode(std::span<const double> rx_stream) {
+  const int n = trellis().symbols_per_step();
+  if (rx_stream.size() % static_cast<std::size_t>(n) != 0) {
+    throw std::invalid_argument(
+        "Decoder::decode: stream length not a multiple of symbols per step");
+  }
+  std::vector<int> out;
+  out.reserve(rx_stream.size() / static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < rx_stream.size(); i += static_cast<std::size_t>(n)) {
+    if (auto bit = step(rx_stream.subspan(i, static_cast<std::size_t>(n)))) {
+      out.push_back(*bit);
+    }
+  }
+  auto tail = flush();
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+ViterbiDecoder::ViterbiDecoder(const Trellis& trellis, int traceback_depth,
+                               Quantizer quantizer)
+    : trellis_(&trellis),
+      traceback_depth_(traceback_depth),
+      quantizer_(quantizer) {
+  if (traceback_depth_ < 1) {
+    throw std::invalid_argument("ViterbiDecoder: traceback depth must be >= 1");
+  }
+  const auto states = static_cast<std::size_t>(trellis_->num_states());
+  acc_.resize(states);
+  next_acc_.resize(states);
+  survivors_.assign(static_cast<std::size_t>(traceback_depth_),
+                    std::vector<std::uint8_t>(states, 0));
+  quantized_.resize(static_cast<std::size_t>(trellis_->symbols_per_step()));
+  reset();
+}
+
+void ViterbiDecoder::reset() {
+  std::fill(acc_.begin(), acc_.end(), kUnreachable);
+  acc_[0] = 0;  // the encoder starts from the all-zero state
+  steps_ = 0;
+}
+
+int ViterbiDecoder::branch_metric(std::uint32_t expected_symbols) const {
+  int metric = 0;
+  for (std::size_t j = 0; j < quantized_.size(); ++j) {
+    const int expected_bit = static_cast<int>((expected_symbols >> j) & 1u);
+    metric += quantizer_.branch_metric(quantized_[j], expected_bit);
+  }
+  return metric;
+}
+
+std::optional<int> ViterbiDecoder::step(std::span<const double> rx) {
+  if (rx.size() != quantized_.size()) {
+    throw std::invalid_argument("ViterbiDecoder::step: wrong symbol count");
+  }
+  for (std::size_t j = 0; j < rx.size(); ++j) {
+    quantized_[j] = quantizer_.quantize(rx[j]);
+  }
+
+  // Only 2^n distinct branch metrics exist per step (one per expected
+  // symbol pattern); precomputing them takes the metric work out of the
+  // per-state loop — the same table a hardware ACS array would share.
+  const int patterns = 1 << quantized_.size();
+  metric_by_pattern_.resize(static_cast<std::size_t>(patterns));
+  for (int p = 0; p < patterns; ++p) {
+    metric_by_pattern_[static_cast<std::size_t>(p)] =
+        branch_metric(static_cast<std::uint32_t>(p));
+  }
+
+  const int states = trellis_->num_states();
+  auto& survivor_row =
+      survivors_[static_cast<std::size_t>(steps_ % traceback_depth_)];
+  for (int s = 0; s < states; ++s) {
+    const auto& preds = trellis_->predecessors(static_cast<std::uint32_t>(s));
+    const std::int64_t cand0 =
+        acc_[preds[0].from_state] + metric_by_pattern_[preds[0].symbols];
+    const std::int64_t cand1 =
+        acc_[preds[1].from_state] + metric_by_pattern_[preds[1].symbols];
+    // Compare-select: ties break toward predecessor 0 deterministically.
+    if (cand1 < cand0) {
+      next_acc_[static_cast<std::size_t>(s)] = cand1;
+      survivor_row[static_cast<std::size_t>(s)] = 1;
+    } else {
+      next_acc_[static_cast<std::size_t>(s)] = cand0;
+      survivor_row[static_cast<std::size_t>(s)] = 0;
+    }
+  }
+  acc_.swap(next_acc_);
+  ++steps_;
+
+  // Keep metrics bounded for indefinite streaming.
+  if (*std::min_element(acc_.begin(), acc_.end()) > kNormalizeThreshold) {
+    const std::int64_t floor = *std::min_element(acc_.begin(), acc_.end());
+    for (auto& a : acc_) a -= floor;
+  }
+
+  if (steps_ < traceback_depth_) return std::nullopt;
+  return traceback_bit();
+}
+
+std::uint32_t ViterbiDecoder::best_state() const {
+  return static_cast<std::uint32_t>(
+      std::min_element(acc_.begin(), acc_.end()) - acc_.begin());
+}
+
+int ViterbiDecoder::traceback_bit() const {
+  // Walk the survivor memory from the current best state back
+  // traceback_depth_ steps; the initial branch of that path is the decoded
+  // decision (Section 3.2).
+  std::uint32_t state = best_state();
+  int bit = 0;
+  for (int d = 0; d < traceback_depth_; ++d) {
+    const std::int64_t t = steps_ - 1 - d;
+    const auto& row = survivors_[static_cast<std::size_t>(t % traceback_depth_)];
+    const auto& branch = trellis_->predecessors(state)[row[state]];
+    bit = branch.input_bit;
+    state = branch.from_state;
+  }
+  return bit;
+}
+
+std::vector<int> ViterbiDecoder::flush() {
+  // Bits not yet emitted: the most recent min(steps, L-1) decisions (or all
+  // of them when the stream was shorter than the window).
+  const std::int64_t pending =
+      steps_ < traceback_depth_ ? steps_
+                                : static_cast<std::int64_t>(traceback_depth_) - 1;
+  std::vector<int> bits(static_cast<std::size_t>(pending));
+  std::uint32_t state = best_state();
+  for (std::int64_t d = 0; d < pending; ++d) {
+    const std::int64_t t = steps_ - 1 - d;
+    const auto& row = survivors_[static_cast<std::size_t>(t % traceback_depth_)];
+    const auto& branch = trellis_->predecessors(state)[row[state]];
+    bits[static_cast<std::size_t>(pending - 1 - d)] = branch.input_bit;
+    state = branch.from_state;
+  }
+  return bits;
+}
+
+std::unique_ptr<Decoder> make_hard_decoder(const Trellis& trellis,
+                                           int traceback_depth,
+                                           double amplitude,
+                                           double noise_sigma) {
+  return std::make_unique<ViterbiDecoder>(
+      trellis, traceback_depth,
+      Quantizer(QuantizationMethod::Hard, 1, amplitude, noise_sigma));
+}
+
+std::unique_ptr<Decoder> make_soft_decoder(const Trellis& trellis,
+                                           int traceback_depth, int bits,
+                                           QuantizationMethod method,
+                                           double amplitude,
+                                           double noise_sigma) {
+  return std::make_unique<ViterbiDecoder>(
+      trellis, traceback_depth, Quantizer(method, bits, amplitude, noise_sigma));
+}
+
+}  // namespace metacore::comm

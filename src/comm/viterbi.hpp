@@ -1,0 +1,94 @@
+// Streaming Viterbi decoding (Section 3.2 of the paper): trellis update via
+// add-compare-select with quantized branch metrics, sliding-window traceback
+// at depth L, and final flush. Covers both hard-decision (1-bit) and
+// soft-decision (multi-bit) decoding through the configured Quantizer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "comm/quantizer.hpp"
+#include "comm/trellis.hpp"
+
+namespace metacore::comm {
+
+/// Abstract streaming decoder: consumed by the BER simulator so that hard,
+/// soft, and multiresolution decoders are interchangeable.
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  /// Consumes one trellis step worth of raw channel samples (n per step for
+  /// a rate 1/n code). Returns the decoded bit from `traceback_depth` steps
+  /// ago once the decoding window has filled.
+  virtual std::optional<int> step(std::span<const double> rx) = 0;
+
+  /// Emits the bits still held in the decoding window (final traceback from
+  /// the best end state). The decoder must be reset before reuse.
+  virtual std::vector<int> flush() = 0;
+
+  virtual void reset() = 0;
+
+  /// Convenience: step through an entire received stream and flush. The
+  /// result has exactly one bit per trellis step.
+  std::vector<int> decode(std::span<const double> rx_stream);
+
+  virtual const Trellis& trellis() const = 0;
+};
+
+/// Classic single-resolution Viterbi decoder with integer path metrics.
+class ViterbiDecoder final : public Decoder {
+ public:
+  /// `traceback_depth` is the paper's L parameter (typically a multiple of
+  /// K; depths beyond ~7K buy no BER, per Section 4.1).
+  ViterbiDecoder(const Trellis& trellis, int traceback_depth,
+                 Quantizer quantizer);
+
+  std::optional<int> step(std::span<const double> rx) override;
+  std::vector<int> flush() override;
+  void reset() override;
+  const Trellis& trellis() const override { return *trellis_; }
+
+  const Quantizer& quantizer() const { return quantizer_; }
+  int traceback_depth() const { return traceback_depth_; }
+
+  /// State with the smallest accumulated error (the traceback candidate).
+  std::uint32_t best_state() const;
+
+  /// Accumulated error metric per state (exposed for tests and for the
+  /// multiresolution decoder's instrumentation).
+  std::span<const std::int64_t> accumulated_errors() const { return acc_; }
+
+ private:
+  int branch_metric(std::uint32_t expected_symbols) const;
+  int traceback_bit() const;
+
+  const Trellis* trellis_;
+  int traceback_depth_;
+  Quantizer quantizer_;
+
+  std::vector<std::int64_t> acc_;
+  std::vector<std::int64_t> next_acc_;
+  /// Circular survivor store: survivors_[t % L][state] is the index (0/1)
+  /// of the winning predecessor branch at step t.
+  std::vector<std::vector<std::uint8_t>> survivors_;
+  std::vector<int> quantized_;  ///< scratch: quantized symbols for this step
+  std::vector<int> metric_by_pattern_;  ///< scratch: metric per symbol pattern
+  std::int64_t steps_ = 0;
+};
+
+/// Convenience factories matching the paper's decoder taxonomy.
+std::unique_ptr<Decoder> make_hard_decoder(const Trellis& trellis,
+                                           int traceback_depth,
+                                           double amplitude,
+                                           double noise_sigma);
+std::unique_ptr<Decoder> make_soft_decoder(const Trellis& trellis,
+                                           int traceback_depth, int bits,
+                                           QuantizationMethod method,
+                                           double amplitude,
+                                           double noise_sigma);
+
+}  // namespace metacore::comm

@@ -1,0 +1,90 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+namespace metacore::core {
+
+std::string summarize(const search::SearchResult& result,
+                      const search::Objective& objective) {
+  std::string out = "search: " + std::to_string(result.evaluations) +
+                    " evaluations, " + std::to_string(result.levels_executed) +
+                    " resolution level(s), " +
+                    std::to_string(result.history.size()) +
+                    " distinct points; ";
+  if (!result.found_feasible) {
+    return out + "no feasible design found";
+  }
+  out += "best";
+  if (!objective.minimize.empty() &&
+      result.best.eval.has_metric(objective.minimize)) {
+    out += " " + objective.minimize + " = " +
+           util::format_double(result.best.eval.metric(objective.minimize), 3);
+  }
+  for (const auto& c : objective.constraints) {
+    if (result.best.eval.has_metric(c.metric)) {
+      out += ", " + c.metric + " = " +
+             util::format_scientific(result.best.eval.metric(c.metric), 2);
+    }
+  }
+  return out;
+}
+
+util::TextTable ranking_table(const search::SearchResult& result,
+                              const search::Objective& objective,
+                              const std::vector<std::string>& metric_columns,
+                              std::size_t top_k) {
+  std::vector<const search::EvaluatedPoint*> ranked;
+  ranked.reserve(result.history.size());
+  for (const auto& p : result.history) ranked.push_back(&p);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const search::EvaluatedPoint* a,
+                const search::EvaluatedPoint* b) {
+              return objective.better(a->eval, b->eval);
+            });
+
+  std::vector<std::string> headers{"rank", "point"};
+  headers.insert(headers.end(), metric_columns.begin(), metric_columns.end());
+  util::TextTable table(std::move(headers));
+  for (std::size_t i = 0; i < std::min(top_k, ranked.size()); ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    std::string point = "(";
+    for (std::size_t d = 0; d < ranked[i]->values.size(); ++d) {
+      if (d) point += ", ";
+      point += util::format_double(ranked[i]->values[d], 3);
+    }
+    point += ")";
+    row.push_back(std::move(point));
+    for (const auto& metric : metric_columns) {
+      row.push_back(ranked[i]->eval.has_metric(metric)
+                        ? util::format_scientific(
+                              ranked[i]->eval.metric(metric), 3)
+                        : "");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void write_history_csv(std::ostream& os, const search::SearchResult& result,
+                       const search::DesignSpace& space,
+                       const std::vector<std::string>& metric_columns) {
+  for (std::size_t d = 0; d < space.dimensions(); ++d) {
+    if (d) os << ',';
+    os << space.parameters()[d].name;
+  }
+  for (const auto& metric : metric_columns) os << ',' << metric;
+  os << ",feasible\n";
+  for (const auto& p : result.history) {
+    for (std::size_t d = 0; d < p.values.size(); ++d) {
+      if (d) os << ',';
+      os << p.values[d];
+    }
+    for (const auto& metric : metric_columns) {
+      os << ',';
+      if (p.eval.has_metric(metric)) os << p.eval.metric(metric);
+    }
+    os << ',' << (p.eval.feasible ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace metacore::core

@@ -1,0 +1,35 @@
+// Reporting helpers: uniform rendering of search results and evaluation
+// histories as text tables or CSV, so examples and benchmark harnesses all
+// narrate outcomes the same way (and downstream users can feed the CSV to
+// their plotting of choice).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "search/multires_search.hpp"
+#include "util/table.hpp"
+
+namespace metacore::core {
+
+/// One-paragraph summary of a finished search: evaluations, levels,
+/// feasibility, and the winning metrics.
+std::string summarize(const search::SearchResult& result,
+                      const search::Objective& objective);
+
+/// Table of the best `top_k` evaluated points (by the objective's ordering)
+/// with one column per metric in `metric_columns`.
+util::TextTable ranking_table(const search::SearchResult& result,
+                              const search::Objective& objective,
+                              const std::vector<std::string>& metric_columns,
+                              std::size_t top_k = 10);
+
+/// Dumps the full evaluation history as CSV: one row per point, columns =
+/// design-space parameter names then `metric_columns` (missing metrics
+/// render empty). Intended for offline analysis/plotting.
+void write_history_csv(std::ostream& os, const search::SearchResult& result,
+                       const search::DesignSpace& space,
+                       const std::vector<std::string>& metric_columns);
+
+}  // namespace metacore::core

@@ -1,0 +1,77 @@
+// The Viterbi MetaCore: the paper's primary case study. Wraps the
+// 8-dimensional parameter space of Table 2, the coupled BER + area/
+// throughput evaluator (software simulation + the Trimaran-substitute cost
+// engine), the objective ("minimize area subject to BER and throughput"),
+// and the multiresolution search — i.e., everything behind Table 3.
+#pragma once
+
+#include <string>
+
+#include "comm/ber.hpp"
+#include "cost/viterbi_cost.hpp"
+#include "search/multires_search.hpp"
+
+namespace metacore::core {
+
+/// A design request, one row of the paper's Table 3: a BER target at a
+/// reference channel point plus a throughput requirement.
+struct ViterbiRequirements {
+  double target_ber = 1e-4;
+  double esn0_db = 1.0;          ///< channel point the BER target refers to
+  double throughput_mbps = 1.0;
+  cost::TechnologyParams tech{};
+  /// The paper fixes G (generator polynomial) and N (normalization) "to
+  /// speed up the search process"; unfixing them widens the space.
+  bool fix_polynomial = true;
+  bool fix_normalization = true;
+};
+
+class ViterbiMetaCore {
+ public:
+  /// `ber_base` is the fidelity-0 screening budget; pass {} to derive it
+  /// from the BER target via recommended_ber_config().
+  explicit ViterbiMetaCore(ViterbiRequirements requirements,
+                           comm::BerRunConfig ber_base);
+  explicit ViterbiMetaCore(ViterbiRequirements requirements);
+
+  /// Screening-run simulation budget scaled to the target: roughly 20
+  /// expected errors at the target BER, with early termination for clearly
+  /// failing points.
+  static comm::BerRunConfig recommended_ber_config(double target_ber);
+
+  const ViterbiRequirements& requirements() const { return requirements_; }
+
+  /// The solution space of Table 2: K, L/K, G, R1, R2, Q, N, M (M encoded
+  /// as a fraction of the 2^(K-1) states so one axis serves every K).
+  search::DesignSpace design_space() const;
+
+  search::Objective objective() const;
+
+  /// Maps a design-space point to a concrete decoder specification.
+  /// Degenerate combinations are repaired deterministically (R2 := max(R1,
+  /// R2); N := min(N, M)) so every point is evaluable.
+  comm::DecoderSpec decode_point(const std::vector<double>& point) const;
+
+  /// Full evaluation: Monte-Carlo BER at the requirement's channel point
+  /// (simulation length scales 4x per fidelity level) plus the cheapest
+  /// feasible hardware implementation. Metrics: "ber", "area_mm2",
+  /// "cycles_per_bit", "required_clock_mhz", "cores".
+  search::Evaluation evaluate(const std::vector<double>& point,
+                              int fidelity) const;
+
+  search::EvaluateFn evaluator() const;
+
+  /// Runs the multiresolution search with Viterbi-appropriate defaults
+  /// (BER as the Bayesian-guarded probabilistic metric).
+  search::SearchResult search(search::SearchConfig config = {}) const;
+
+ private:
+  ViterbiRequirements requirements_;
+  comm::BerRunConfig ber_base_;
+};
+
+/// Human-readable one-line summary of a decoder spec + area, in the format
+/// of the paper's Table 3 rows.
+std::string describe(const comm::DecoderSpec& spec, double area_mm2);
+
+}  // namespace metacore::core

@@ -1,0 +1,63 @@
+#include "cost/area_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metacore::cost {
+
+double datapath_area_factor(int bits, const AreaModelParams& params) {
+  if (bits < 1 || bits > 64) {
+    throw std::invalid_argument("datapath_area_factor: bits out of range");
+  }
+  const double width_ratio = static_cast<double>(bits) / 32.0;
+  return params.width_fixed_fraction +
+         (1.0 - params.width_fixed_fraction) * width_ratio;
+}
+
+double multiplier_area_factor(int bits) {
+  if (bits < 1 || bits > 64) {
+    throw std::invalid_argument("multiplier_area_factor: bits out of range");
+  }
+  const double width_ratio = static_cast<double>(bits) / 32.0;
+  return width_ratio * width_ratio;
+}
+
+double datapath_clock_factor(int bits) {
+  if (bits < 1 || bits > 64) {
+    throw std::invalid_argument("datapath_clock_factor: bits out of range");
+  }
+  // Carry chains shorten with width; logarithmic sensitivity keeps the
+  // factor in the empirically reasonable 1.0-1.5x band for 8..32 bits.
+  const double width_ratio = static_cast<double>(bits) / 32.0;
+  return 1.0 / (0.62 + 0.38 * width_ratio);
+}
+
+double machine_area_mm2(const vliw::MachineConfig& machine,
+                        const AreaModelParams& params,
+                        const TechnologyParams& tech) {
+  machine.validate();
+  const double width = datapath_area_factor(machine.datapath_bits, params);
+  double area = params.control_area;
+  area += machine.num_alus * params.alu_area * width;
+  area += machine.num_multipliers * params.mul_area *
+          multiplier_area_factor(machine.datapath_bits);
+  area += machine.num_memory_ports * params.mem_port_area * width;
+  area += machine.num_branch_units * params.branch_unit_area;
+  area += machine.register_file_size * params.reg_area_per_word * width;
+  return area * tech.area_lambda();
+}
+
+double sram_area_mm2(double kbits, const AreaModelParams& params,
+                     const TechnologyParams& tech) {
+  if (kbits < 0.0) {
+    throw std::invalid_argument("sram_area_mm2: negative capacity");
+  }
+  return kbits * params.sram_mm2_per_kbit * tech.area_lambda();
+}
+
+double achievable_clock_mhz(int datapath_bits, const TechnologyParams& tech) {
+  return tech.base_clock_mhz * tech.clock_scale() *
+         datapath_clock_factor(datapath_bits);
+}
+
+}  // namespace metacore::cost

@@ -1,0 +1,78 @@
+// Hardware area and clock model (Section 4.3 of the paper).
+//
+// The paper anchors its Trimaran area model on the LSI Logic TR4101
+// embedded microprocessor — 0.35 um feature size, 81 MHz maximum clock,
+// 32-bit datapath — and scales with
+//
+//     lambda = (alpha / 0.35)^2 * data_path_factor
+//
+// for a target feature size alpha, where data_path_factor (from [Erc98])
+// adjusts for datapath width. Clock rates scale linearly with feature size
+// and are likewise adjusted for datapath width.
+//
+// Our calibration decomposes the core into control, functional units,
+// register file, and on-chip SRAM so that richer machine configurations
+// (more ALUs, bigger register files, deeper survivor memories) cost
+// proportionally more. Absolute constants are calibrated so that the
+// paper's Table 1 reference points land in the right regime; all relative
+// comparisons — which is what the design-space search consumes — follow
+// from the decomposition.
+#pragma once
+
+#include "vliw/machine.hpp"
+
+namespace metacore::cost {
+
+/// Process technology parameters; defaults are the paper's TR4101 anchor.
+struct TechnologyParams {
+  double base_feature_um = 0.35;  ///< feature size the constants are quoted at
+  double feature_um = 0.35;       ///< target feature size (alpha)
+  double base_clock_mhz = 81.0;   ///< TR4101 maximum clock at 0.35 um
+
+  /// The paper's quadratic area scaling factor, before data_path_factor.
+  double area_lambda() const {
+    const double r = feature_um / base_feature_um;
+    return r * r;
+  }
+
+  /// Linear clock scaling with feature size (smaller -> faster).
+  double clock_scale() const { return base_feature_um / feature_um; }
+};
+
+/// Calibration constants (mm^2 at 0.35 um for a 32-bit datapath).
+struct AreaModelParams {
+  double control_area = 0.14;       ///< fetch/decode/sequencing per core
+  double alu_area = 0.045;          ///< one 32-bit ALU
+  double mul_area = 0.16;           ///< one 32-bit multiplier
+  double mem_port_area = 0.055;     ///< one load/store port + buffers
+  double branch_unit_area = 0.02;
+  double reg_area_per_word = 0.0015;  ///< 32-bit register incl. ports
+  double sram_mm2_per_kbit = 0.011;   ///< on-chip SRAM macro density
+  /// Fraction of core area that does not shrink with datapath width
+  /// (control, clocking, branch logic) — the [Erc98] width adjustment
+  /// applies only to the remaining fraction.
+  double width_fixed_fraction = 0.30;
+};
+
+/// Width adjustment for datapath-proportional area ([Erc98]): linear in the
+/// number of bits for adders/registers, quadratic for array multipliers.
+double datapath_area_factor(int bits, const AreaModelParams& params);
+double multiplier_area_factor(int bits);
+
+/// Narrower datapaths close timing faster: the carry/bypass critical path
+/// shortens with width. Factor multiplies the technology clock.
+double datapath_clock_factor(int bits);
+
+/// Area of one VLIW core instance (no memories) at the given technology.
+double machine_area_mm2(const vliw::MachineConfig& machine,
+                        const AreaModelParams& params,
+                        const TechnologyParams& tech);
+
+/// Area of `kbits` of on-chip SRAM at the given technology.
+double sram_area_mm2(double kbits, const AreaModelParams& params,
+                     const TechnologyParams& tech);
+
+/// Maximum clock (MHz) of a core with the given datapath width.
+double achievable_clock_mhz(int datapath_bits, const TechnologyParams& tech);
+
+}  // namespace metacore::cost

@@ -1,0 +1,83 @@
+#include "cost/viterbi_cost.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "vliw/viterbi_kernel.hpp"
+
+namespace metacore::cost {
+
+double decoder_memory_kbits(const comm::DecoderSpec& spec,
+                            int datapath_bits) {
+  const double states = spec.code.num_states();
+  // Survivor memory: one bit per state per trellis step in the window.
+  const double survivor_bits = states * spec.traceback_depth;
+  // Path metric storage: two metric banks (current/next) of datapath width.
+  const double metric_bits = 2.0 * states * datapath_bits;
+  // Quantizer tables and branch-metric scratch: a handful of words.
+  const double table_bits = 16.0 * datapath_bits;
+  return (survivor_bits + metric_bits + table_bits) / 1024.0;
+}
+
+ViterbiCostResult evaluate_viterbi_cost(const ViterbiCostQuery& query,
+                                        const AreaModelParams& params) {
+  if (query.throughput_mbps <= 0.0) {
+    throw std::invalid_argument(
+        "evaluate_viterbi_cost: throughput must be positive");
+  }
+  const int bits = vliw::required_datapath_bits(query.spec);
+  const vliw::Kernel kernel = vliw::build_viterbi_kernel(query.spec);
+  const double clock_mhz = achievable_clock_mhz(bits, query.tech);
+  const double memory_area =
+      sram_area_mm2(decoder_memory_kbits(query.spec, bits), params, query.tech);
+
+  ViterbiCostResult best;
+  best.feasible = false;
+  best.area_mm2 = std::numeric_limits<double>::infinity();
+  best.datapath_bits = bits;
+  best.achievable_clock_mhz = clock_mhz;
+
+  for (const auto& machine : vliw::standard_config_family(bits)) {
+    // Skip configurations missing a functional unit the kernel needs
+    // (e.g. multiplier-less minimal cores for soft-decision quantizers).
+    bool fits = true;
+    for (const auto& block : kernel.blocks) {
+      for (const auto& op : block.ops) {
+        if (machine.slots(vliw::fu_class(op.op)) == 0) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) break;
+    }
+    if (!fits) continue;
+    const vliw::ExecutionProfile profile =
+        vliw::profile_kernel(kernel, machine);
+    // Throughput in Mbps, clock in MHz: required MHz = cycles/bit * Mbps.
+    const double required_mhz = profile.cycles_per_unit * query.throughput_mbps;
+    const int cores =
+        static_cast<int>(std::ceil(required_mhz / clock_mhz - 1e-9));
+    if (cores < 1 || cores > kMaxCores) continue;
+    const double core_area =
+        cores * machine_area_mm2(machine, params, query.tech);
+    const double total = core_area + memory_area;
+    if (total < best.area_mm2) {
+      best.feasible = true;
+      best.area_mm2 = total;
+      best.core_area_mm2 = core_area;
+      best.memory_area_mm2 = memory_area;
+      best.cycles_per_bit = profile.cycles_per_unit;
+      best.required_clock_mhz = required_mhz;
+      best.cores = cores;
+      best.machine = machine;
+      best.profile = profile;
+    }
+  }
+  if (!best.feasible) {
+    best.area_mm2 = 0.0;
+  }
+  return best;
+}
+
+}  // namespace metacore::cost

@@ -1,0 +1,54 @@
+// The cost evaluation engine for Viterbi MetaCores: composes the kernel
+// generator, the VLIW scheduler/simulator, and the TR4101 area model to
+// answer the question the paper's search asks at every design point —
+// "what is the cheapest implementation of this decoder configuration that
+// sustains the required throughput?"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/ber.hpp"
+#include "cost/area_model.hpp"
+#include "vliw/machine.hpp"
+#include "vliw/simulator.hpp"
+
+namespace metacore::cost {
+
+struct ViterbiCostQuery {
+  comm::DecoderSpec spec;
+  double throughput_mbps = 1.0;
+  TechnologyParams tech{};
+};
+
+struct ViterbiCostResult {
+  bool feasible = false;
+  double area_mm2 = 0.0;          ///< total: cores + survivor/metric memory
+  double core_area_mm2 = 0.0;
+  double memory_area_mm2 = 0.0;
+  double cycles_per_bit = 0.0;
+  double required_clock_mhz = 0.0;
+  double achievable_clock_mhz = 0.0;
+  int cores = 0;                  ///< block-interleaved decoder engines
+  int datapath_bits = 0;
+  vliw::MachineConfig machine{};
+  vliw::ExecutionProfile profile{};
+};
+
+/// Maximum decoder engines ganged on one stream before block-interleaving
+/// overhead makes further replication useless.
+inline constexpr int kMaxCores = 16;
+
+/// Evaluates the cheapest feasible implementation: enumerates the standard
+/// machine-configuration family at the spec's required datapath width,
+/// profiles the generated kernel on each, determines the replication count
+/// needed to meet the throughput, and returns the minimum-area choice.
+/// `feasible == false` when even the widest machine at kMaxCores falls
+/// short.
+ViterbiCostResult evaluate_viterbi_cost(const ViterbiCostQuery& query,
+                                        const AreaModelParams& params = {});
+
+/// Survivor + path-metric storage for the spec, in kbits. Exposed for tests.
+double decoder_memory_kbits(const comm::DecoderSpec& spec, int datapath_bits);
+
+}  // namespace metacore::cost

@@ -1,0 +1,89 @@
+#include "dsp/bit_accurate.hpp"
+
+#include <stdexcept>
+
+#include "dsp/signal.hpp"
+
+namespace metacore::dsp {
+
+BitAccurateCascade::BitAccurateCascade(const Zpk& zpk,
+                                       BitAccurateConfig config)
+    : config_(config) {
+  config_.signal_format.validate();
+  config_.coefficient_format.validate();
+  const auto sos = to_sos(zpk);
+  if (sos.empty()) {
+    throw std::invalid_argument("BitAccurateCascade: empty decomposition");
+  }
+  const auto& cf = config_.coefficient_format;
+  const auto& sf = config_.signal_format;
+  for (const auto& s : sos) {
+    Section section{
+        util::Fixed(s.b0, cf), util::Fixed(s.b1, cf), util::Fixed(s.b2, cf),
+        util::Fixed(s.a1, cf), util::Fixed(s.a2, cf),
+        util::Fixed(0.0, sf),  util::Fixed(0.0, sf)};
+    // A coefficient that saturates its ROM format makes the filter
+    // structurally wrong, not merely noisy — reject outright.
+    if (section.b0.saturated() || section.b1.saturated() ||
+        section.b2.saturated() || section.a1.saturated() ||
+        section.a2.saturated()) {
+      throw std::invalid_argument(
+          "BitAccurateCascade: coefficient exceeds the coefficient format "
+          "range (" + cf.label() + ")");
+    }
+    sections_.push_back(section);
+  }
+}
+
+double BitAccurateCascade::process(double x) {
+  const auto& sf = config_.signal_format;
+  util::Fixed v(x, sf);
+  if (v.saturated()) ++saturations_;
+  for (auto& s : sections_) {
+    // Direct form II, every product rounded into the signal format and
+    // every sum saturating — one rounding site per hardware multiplier.
+    const util::Fixed a1w1 = s.w1.mul(s.a1);
+    const util::Fixed a2w2 = s.w2.mul(s.a2);
+    const util::Fixed w0 = v.sub(a1w1.add(a2w2));
+    const util::Fixed y =
+        w0.mul(s.b0).add(s.w1.mul(s.b1)).add(s.w2.mul(s.b2));
+    saturations_ += (a1w1.saturated() || a2w2.saturated() || w0.saturated() ||
+                     y.saturated())
+                        ? 1
+                        : 0;
+    s.w2 = s.w1;
+    s.w1 = w0;
+    v = y;
+  }
+  return v.to_double();
+}
+
+std::vector<double> BitAccurateCascade::process(
+    std::span<const double> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (double x : samples) out.push_back(process(x));
+  return out;
+}
+
+void BitAccurateCascade::reset() {
+  const auto& sf = config_.signal_format;
+  for (auto& s : sections_) {
+    s.w1 = util::Fixed(0.0, sf);
+    s.w2 = util::Fixed(0.0, sf);
+  }
+  saturations_ = 0;
+}
+
+double bit_accurate_snr_db(const Zpk& zpk, const BitAccurateConfig& config,
+                           std::span<const double> stimulus) {
+  BitAccurateCascade fixed(zpk, config);
+  auto reference = realize(zpk, StructureKind::Cascade);
+  std::vector<double> ref_out;
+  ref_out.reserve(stimulus.size());
+  for (double x : stimulus) ref_out.push_back(reference->process(x));
+  const std::vector<double> fixed_out = fixed.process(stimulus);
+  return output_snr_db(ref_out, fixed_out);
+}
+
+}  // namespace metacore::dsp

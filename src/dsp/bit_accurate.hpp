@@ -1,0 +1,60 @@
+// Bit-accurate fixed-point simulation of a cascade-of-biquads datapath:
+// unlike Realization::quantized(), which only quantizes *coefficients*,
+// this models the full hardware word-level behaviour — signal quantization
+// at the input, rounding after every multiply, and saturating accumulation
+// — so the round-off-noise component of the word-length trade-off can be
+// measured (the second half of the classic word-length story).
+#pragma once
+
+#include <vector>
+
+#include "dsp/structures.hpp"
+#include "dsp/transfer_function.hpp"
+#include "util/fixed.hpp"
+
+namespace metacore::dsp {
+
+struct BitAccurateConfig {
+  util::QFormat signal_format{16, 13};       ///< input/state/output format
+  util::QFormat coefficient_format{16, 14};  ///< coefficient ROM format
+};
+
+/// A cascade of second-order sections evaluated entirely in fixed point.
+/// Constructed from a designed filter's pole/zero form (the same
+/// decomposition Realization uses for StructureKind::Cascade).
+class BitAccurateCascade {
+ public:
+  BitAccurateCascade(const Zpk& zpk, BitAccurateConfig config);
+
+  /// Processes one sample through every section in fixed point.
+  double process(double x);
+  std::vector<double> process(std::span<const double> samples);
+
+  void reset();
+
+  /// Number of saturation events observed since construction/reset —
+  /// nonzero counts indicate the signal format lacks integer headroom.
+  std::uint64_t saturation_events() const { return saturations_; }
+
+  int sections() const { return static_cast<int>(sections_.size()); }
+  const BitAccurateConfig& config() const { return config_; }
+
+ private:
+  struct Section {
+    // Coefficients in the coefficient format.
+    util::Fixed b0, b1, b2, a1, a2;
+    // State in the signal format.
+    util::Fixed w1, w2;
+  };
+
+  BitAccurateConfig config_;
+  std::vector<Section> sections_;
+  std::uint64_t saturations_ = 0;
+};
+
+/// Round-off + quantization SNR of the bit-accurate datapath against the
+/// double-precision reference on the given stimulus (dB).
+double bit_accurate_snr_db(const Zpk& zpk, const BitAccurateConfig& config,
+                           std::span<const double> stimulus);
+
+}  // namespace metacore::dsp

@@ -1,0 +1,264 @@
+#include "dsp/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::dsp {
+
+namespace {
+
+double prewarp(double f_pi_units) { return std::tan(M_PI * f_pi_units / 2.0); }
+
+/// Real part of prod(c - roots) — used for gain bookkeeping in transforms.
+double real_prod_offset(const std::vector<Complex>& roots, Complex c) {
+  Complex prod{1.0, 0.0};
+  for (const Complex& r : roots) prod *= c - r;
+  return prod.real();
+}
+
+}  // namespace
+
+std::string to_string(BandType band) {
+  switch (band) {
+    case BandType::Lowpass:
+      return "lowpass";
+    case BandType::Highpass:
+      return "highpass";
+    case BandType::Bandpass:
+      return "bandpass";
+    case BandType::Bandstop:
+      return "bandstop";
+  }
+  return "?";
+}
+
+void FilterSpec::validate() const {
+  auto in_range = [](double f) { return f > 0.0 && f < 1.0; };
+  switch (band) {
+    case BandType::Lowpass:
+      if (!in_range(pass_hi) || !in_range(stop_hi) || pass_hi >= stop_hi) {
+        throw std::invalid_argument("FilterSpec: need 0 < pass_hi < stop_hi < 1");
+      }
+      break;
+    case BandType::Highpass:
+      if (!in_range(pass_lo) || !in_range(stop_lo) || stop_lo >= pass_lo) {
+        throw std::invalid_argument("FilterSpec: need 0 < stop_lo < pass_lo < 1");
+      }
+      break;
+    case BandType::Bandpass:
+      if (!in_range(stop_lo) || !in_range(stop_hi) || !in_range(pass_lo) ||
+          !in_range(pass_hi) || !(stop_lo < pass_lo && pass_lo < pass_hi &&
+                                  pass_hi < stop_hi)) {
+        throw std::invalid_argument(
+            "FilterSpec: need stop_lo < pass_lo < pass_hi < stop_hi");
+      }
+      break;
+    case BandType::Bandstop:
+      if (!in_range(stop_lo) || !in_range(stop_hi) || !in_range(pass_lo) ||
+          !in_range(pass_hi) || !(pass_lo < stop_lo && stop_lo < stop_hi &&
+                                  stop_hi < pass_hi)) {
+        throw std::invalid_argument(
+            "FilterSpec: need pass_lo < stop_lo < stop_hi < pass_hi");
+      }
+      break;
+  }
+  if (passband_ripple_db <= 0.0 || stopband_atten_db <= 0.0) {
+    throw std::invalid_argument("FilterSpec: ripple/attenuation must be > 0 dB");
+  }
+  if (order_override < 0 || order_override > 24) {
+    throw std::invalid_argument("FilterSpec: order override out of range");
+  }
+}
+
+double passband_ripple_db_from_eps(double eps_p) {
+  if (eps_p <= 0.0 || eps_p >= 1.0) {
+    throw std::invalid_argument("passband eps must be in (0, 1)");
+  }
+  return -20.0 * std::log10(1.0 - eps_p);
+}
+
+double stopband_atten_db_from_eps(double eps_s) {
+  if (eps_s <= 0.0 || eps_s >= 1.0) {
+    throw std::invalid_argument("stopband eps must be in (0, 1)");
+  }
+  return -20.0 * std::log10(eps_s);
+}
+
+Zpk lp_to_lp(const Zpk& proto, double w0) {
+  Zpk out;
+  for (const Complex& z : proto.zeros) out.zeros.push_back(z * w0);
+  for (const Complex& p : proto.poles) out.poles.push_back(p * w0);
+  const int excess =
+      static_cast<int>(proto.poles.size()) - static_cast<int>(proto.zeros.size());
+  out.gain = proto.gain * std::pow(w0, excess);
+  return out;
+}
+
+Zpk lp_to_hp(const Zpk& proto, double w0) {
+  Zpk out;
+  for (const Complex& z : proto.zeros) out.zeros.push_back(w0 / z);
+  for (const Complex& p : proto.poles) out.poles.push_back(w0 / p);
+  // Excess poles become zeros at s = 0.
+  const int excess =
+      static_cast<int>(proto.poles.size()) - static_cast<int>(proto.zeros.size());
+  for (int i = 0; i < excess; ++i) out.zeros.push_back(Complex{0.0, 0.0});
+  // Gain: lim_{s->inf} requires prod(-z)/prod(-p) bookkeeping.
+  out.gain = proto.gain * (real_prod_offset(proto.zeros, Complex{0.0, 0.0}) /
+                           real_prod_offset(proto.poles, Complex{0.0, 0.0}));
+  return out;
+}
+
+namespace {
+/// Applies the quadratic bandpass root map s -> roots of
+/// s_bp^2 - (bw * s) s_bp + w0^2 = 0 to each root.
+void bp_map(const std::vector<Complex>& roots, double w0, double bw,
+            std::vector<Complex>& out) {
+  for (const Complex& r : roots) {
+    const Complex half = r * (bw / 2.0);
+    const Complex disc = std::sqrt(half * half - w0 * w0);
+    out.push_back(half + disc);
+    out.push_back(half - disc);
+  }
+}
+}  // namespace
+
+Zpk lp_to_bp(const Zpk& proto, double w0, double bw) {
+  Zpk out;
+  bp_map(proto.zeros, w0, bw, out.zeros);
+  bp_map(proto.poles, w0, bw, out.poles);
+  const int excess =
+      static_cast<int>(proto.poles.size()) - static_cast<int>(proto.zeros.size());
+  // Excess poles contribute zeros at s = 0.
+  for (int i = 0; i < excess; ++i) out.zeros.push_back(Complex{0.0, 0.0});
+  out.gain = proto.gain * std::pow(bw, excess);
+  return out;
+}
+
+Zpk lp_to_bs(const Zpk& proto, double w0, double bw) {
+  // s -> bw * s / (s^2 + w0^2): first invert the prototype (lp->hp at 1),
+  // then apply the bandpass map; algebraically identical to the direct
+  // bandstop substitution.
+  Zpk inverted = lp_to_hp(proto, 1.0);
+  Zpk out;
+  bp_map(inverted.zeros, w0, bw, out.zeros);
+  bp_map(inverted.poles, w0, bw, out.poles);
+  const int excess = static_cast<int>(inverted.poles.size()) -
+                     static_cast<int>(inverted.zeros.size());
+  for (int i = 0; i < excess; ++i) {
+    out.zeros.push_back(Complex{0.0, w0});
+    out.zeros.push_back(Complex{0.0, -w0});
+  }
+  out.gain = inverted.gain;
+  return out;
+}
+
+Zpk bilinear(const Zpk& analog) {
+  Zpk out;
+  const Complex one{1.0, 0.0};
+  Complex gain_num{1.0, 0.0};
+  Complex gain_den{1.0, 0.0};
+  for (const Complex& z : analog.zeros) {
+    out.zeros.push_back((one + z) / (one - z));
+    gain_num *= one - z;
+  }
+  for (const Complex& p : analog.poles) {
+    out.poles.push_back((one + p) / (one - p));
+    gain_den *= one - p;
+  }
+  // Excess poles map zeros at z = -1 (s = infinity).
+  const int excess = static_cast<int>(analog.poles.size()) -
+                     static_cast<int>(analog.zeros.size());
+  for (int i = 0; i < excess; ++i) out.zeros.push_back(Complex{-1.0, 0.0});
+  out.gain = analog.gain * (gain_num / gain_den).real();
+  return out;
+}
+
+DesignedFilter design_filter(const FilterSpec& spec) {
+  spec.validate();
+  DesignedFilter result;
+  result.spec = spec;
+
+  // Prewarped analog band edges.
+  const double wp_lo = prewarp(spec.pass_lo);
+  const double wp_hi = prewarp(spec.pass_hi);
+  const double ws_lo = prewarp(spec.stop_lo);
+  const double ws_hi = prewarp(spec.stop_hi);
+
+  // Reduce to an equivalent analog lowpass selectivity (passband at 1).
+  double selectivity = 0.0;  // Omega_s of the equivalent lowpass
+  double w0 = 0.0, bw = 0.0;
+  switch (spec.band) {
+    case BandType::Lowpass:
+      selectivity = ws_hi / wp_hi;
+      break;
+    case BandType::Highpass:
+      selectivity = wp_lo / ws_lo;
+      break;
+    case BandType::Bandpass: {
+      w0 = std::sqrt(wp_lo * wp_hi);
+      bw = wp_hi - wp_lo;
+      const double s1 =
+          std::abs((ws_lo * ws_lo - w0 * w0) / (bw * ws_lo));
+      const double s2 =
+          std::abs((ws_hi * ws_hi - w0 * w0) / (bw * ws_hi));
+      selectivity = std::min(s1, s2);
+      break;
+    }
+    case BandType::Bandstop: {
+      w0 = std::sqrt(wp_lo * wp_hi);
+      bw = wp_hi - wp_lo;
+      // Equivalent-lowpass frequency of a bandstop edge w is
+      // |bw * w / (w0^2 - w^2)|; the binding stopband edge is the smaller.
+      const double s1 =
+          std::abs((bw * ws_lo) / (w0 * w0 - ws_lo * ws_lo));
+      const double s2 =
+          std::abs((bw * ws_hi) / (w0 * w0 - ws_hi * ws_hi));
+      selectivity = std::min(s1, s2);
+      break;
+    }
+  }
+  if (selectivity <= 1.0) {
+    throw std::invalid_argument(
+        "design_filter: degenerate spec (stopband inside passband after "
+        "warping)");
+  }
+
+  const int order =
+      spec.order_override > 0
+          ? spec.order_override
+          : minimum_order(spec.family, 1.0, selectivity,
+                          spec.passband_ripple_db, spec.stopband_atten_db);
+  result.prototype_order = order;
+
+  Zpk proto = analog_lowpass_prototype(spec.family, order,
+                                       spec.passband_ripple_db,
+                                       spec.stopband_atten_db);
+  // Chebyshev-II prototypes are stopband-normalized: rescale so that the
+  // equivalent-lowpass stopband edge lands at `selectivity`.
+  if (spec.family == FilterFamily::Chebyshev2) {
+    proto = lp_to_lp(proto, selectivity);
+  }
+
+  Zpk analog;
+  switch (spec.band) {
+    case BandType::Lowpass:
+      analog = lp_to_lp(proto, wp_hi);
+      break;
+    case BandType::Highpass:
+      analog = lp_to_hp(proto, wp_lo);
+      break;
+    case BandType::Bandpass:
+      analog = lp_to_bp(proto, w0, bw);
+      break;
+    case BandType::Bandstop:
+      analog = lp_to_bs(proto, w0, bw);
+      break;
+  }
+
+  result.zpk = bilinear(analog);
+  result.tf = result.zpk.to_tf();
+  return result;
+}
+
+}  // namespace metacore::dsp

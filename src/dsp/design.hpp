@@ -1,0 +1,66 @@
+// Digital IIR filter design: analog prototype -> frequency/band transform
+// -> bilinear transform with prewarping. This is the front half of the
+// paper's IIR design flow (the part SPW/MATLAB provided), producing the
+// transfer functions the structure realizations and the HYPER-substitute
+// synthesis estimator consume.
+#pragma once
+
+#include "dsp/prototypes.hpp"
+#include "dsp/transfer_function.hpp"
+
+namespace metacore::dsp {
+
+enum class BandType : int { Lowpass, Highpass, Bandpass, Bandstop };
+
+std::string to_string(BandType band);
+
+/// Frequencies in units of pi rad/sample, i.e. 1.0 is the Nyquist rate —
+/// the paper's omega/pi convention (Section 5.3). For Lowpass/Highpass
+/// only `pass_hi`/`stop_hi` (Lowpass) or `pass_lo`/`stop_lo` (Highpass)
+/// are used.
+struct FilterSpec {
+  BandType band = BandType::Lowpass;
+  FilterFamily family = FilterFamily::Elliptic;
+  double pass_lo = 0.0;
+  double pass_hi = 0.0;
+  double stop_lo = 0.0;
+  double stop_hi = 0.0;
+  double passband_ripple_db = 0.1;
+  double stopband_atten_db = 40.0;
+  /// 0 = derive the minimum order from the spec; otherwise force this
+  /// prototype order (a degree of freedom the MetaCore search exercises).
+  int order_override = 0;
+
+  void validate() const;
+};
+
+/// Converts the paper's linear ripple values (epsilon_p, epsilon_s — peak
+/// deviations of |H| from 1 in the passband and from 0 in the stopband)
+/// into the dB quantities the design routines use.
+double passband_ripple_db_from_eps(double eps_p);
+double stopband_atten_db_from_eps(double eps_s);
+
+struct DesignedFilter {
+  FilterSpec spec;
+  int prototype_order = 0;  ///< analog lowpass prototype order
+  Zpk zpk;                  ///< digital poles/zeros
+  TransferFunction tf;      ///< digital coefficients, a[0] == 1
+};
+
+DesignedFilter design_filter(const FilterSpec& spec);
+
+// --- Analog-domain helpers (exposed for unit testing). ---------------------
+
+/// Lowpass -> lowpass rescale to cutoff w0.
+Zpk lp_to_lp(const Zpk& proto, double w0);
+/// Lowpass -> highpass at cutoff w0.
+Zpk lp_to_hp(const Zpk& proto, double w0);
+/// Lowpass -> bandpass, center w0 = sqrt(w1 w2), bandwidth bw = w2 - w1.
+Zpk lp_to_bp(const Zpk& proto, double w0, double bw);
+/// Lowpass -> bandstop.
+Zpk lp_to_bs(const Zpk& proto, double w0, double bw);
+/// Bilinear transform s = (z - 1)/(z + 1); inputs must be prewarped with
+/// Omega = tan(omega/2).
+Zpk bilinear(const Zpk& analog);
+
+}  // namespace metacore::dsp

@@ -1,0 +1,119 @@
+#include "dsp/elliptic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::dsp {
+
+namespace {
+using Cx = std::complex<double>;
+}  // namespace
+
+std::vector<double> landen_sequence(double k, double tol) {
+  if (k < 0.0 || k >= 1.0) {
+    throw std::invalid_argument("landen_sequence: modulus must be in [0, 1)");
+  }
+  std::vector<double> seq;
+  double kn = k;
+  // Each descending Landen step roughly squares the (small) modulus, so a
+  // couple dozen iterations is far more than double precision ever needs.
+  for (int i = 0; i < 32 && kn > tol; ++i) {
+    const double kp = std::sqrt(1.0 - kn * kn);
+    kn = (1.0 - kp) / (1.0 + kp);
+    seq.push_back(kn);
+  }
+  return seq;
+}
+
+double ellipk(double k) {
+  if (k < 0.0 || k >= 1.0) {
+    throw std::invalid_argument("ellipk: modulus must be in [0, 1)");
+  }
+  // K(k) = pi/2 * prod (1 + k_n) over the descending Landen sequence.
+  double product = 1.0;
+  for (double kn : landen_sequence(k)) product *= 1.0 + kn;
+  return M_PI / 2.0 * product;
+}
+
+Cx cde(Cx u, double k) {
+  const std::vector<double> seq = landen_sequence(k);
+  Cx w = std::cos(u * (M_PI / 2.0));
+  // Ascend through the Gauss transformation from modulus ~0 back to k:
+  // cd_n = (1 + k_{n+1}) cd_{n+1} / (1 + k_{n+1} cd_{n+1}^2).
+  for (std::size_t i = seq.size(); i-- > 0;) {
+    const double kn = seq[i];
+    w = (1.0 + kn) * w / (1.0 + kn * w * w);
+  }
+  return w;
+}
+
+Cx sne(Cx u, double k) {
+  const std::vector<double> seq = landen_sequence(k);
+  Cx w = std::sin(u * (M_PI / 2.0));
+  for (std::size_t i = seq.size(); i-- > 0;) {
+    const double kn = seq[i];
+    w = (1.0 + kn) * w / (1.0 + kn * w * w);
+  }
+  return w;
+}
+
+Cx asne(Cx w, double k) {
+  const Cx target = w;
+  const std::vector<double> seq = landen_sequence(k);
+  // Descend: invert the Gauss step w_prev = (1+kn) w / (1 + kn w^2) for w,
+  // choosing the root continuous with w at kn -> 0.
+  for (double kn : seq) {
+    if (kn == 0.0) break;
+    const Cx s = std::sqrt((1.0 + kn) * (1.0 + kn) - 4.0 * kn * w * w);
+    w = (std::abs(w) < 1e-300) ? w : ((1.0 + kn) - s) / (2.0 * kn * w);
+  }
+  // At modulus ~0, sn(u K, 0) = sin(u pi / 2).
+  Cx u = std::asin(w) * (2.0 / M_PI);
+  // Newton polish on sne(u) = target: the branch arithmetic above is only
+  // accurate to ~1e-4 for large |w|; two or three corrections restore full
+  // double precision via numeric differentiation.
+  for (int iter = 0; iter < 4; ++iter) {
+    const Cx f = sne(u, k) - target;
+    if (std::abs(f) < 1e-13 * std::max(1.0, std::abs(target))) break;
+    const Cx h{1e-7, 0.0};
+    const Cx df = (sne(u + h, k) - sne(u - h, k)) / (2.0 * h);
+    if (std::abs(df) < 1e-30) break;
+    u -= f / df;
+  }
+  return u;
+}
+
+double solve_degree_equation(int order, double k1) {
+  if (order < 1) {
+    throw std::invalid_argument("solve_degree_equation: order must be >= 1");
+  }
+  if (k1 <= 0.0 || k1 >= 1.0) {
+    throw std::invalid_argument("solve_degree_equation: k1 must be in (0, 1)");
+  }
+  // Work through the complementary moduli: with k1' = sqrt(1 - k1^2),
+  //   k' = (k1')^N * prod_i sne(u_i, k1')^4,  u_i = (2i - 1) / N,
+  // and then k = sqrt(1 - k'^2).
+  const double k1p = std::sqrt(1.0 - k1 * k1);
+  const int half = order / 2;
+  double kp = std::pow(k1p, order);
+  for (int i = 1; i <= half; ++i) {
+    const double u = (2.0 * i - 1.0) / order;
+    const double s = sne(Cx{u, 0.0}, k1p).real();
+    kp *= s * s * s * s;
+  }
+  const double k = std::sqrt(std::max(0.0, 1.0 - kp * kp));
+  return k;
+}
+
+int elliptic_min_order(double k, double k1) {
+  if (k <= 0.0 || k >= 1.0 || k1 <= 0.0 || k1 >= 1.0) {
+    throw std::invalid_argument("elliptic_min_order: moduli must be in (0, 1)");
+  }
+  const double kp = std::sqrt(1.0 - k * k);
+  const double k1p = std::sqrt(1.0 - k1 * k1);
+  const double n =
+      (ellipk(k) / ellipk(kp)) * (ellipk(k1p) / ellipk(k1));
+  return static_cast<int>(std::ceil(n - 1e-9));
+}
+
+}  // namespace metacore::dsp

@@ -1,0 +1,41 @@
+// Jacobi elliptic function machinery for elliptic (Cauer) filter design,
+// following the Landen-transformation formulation of Orfanidis' classic
+// elliptic-design notes: complete elliptic integrals via the descending
+// Landen sequence, the normalized sn/cd functions and the inverse sn for
+// complex arguments, and the exact degree equation.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace metacore::dsp {
+
+/// Complete elliptic integral of the first kind K(k), modulus convention
+/// (not parameter m = k^2). Valid for 0 <= k < 1.
+double ellipk(double k);
+
+/// Descending Landen sequence k_1, k_2, ... starting from k_0 = k, iterated
+/// until k_n < tol (typically 5-8 steps for double precision).
+std::vector<double> landen_sequence(double k, double tol = 1e-16);
+
+/// cd(u*K(k), k) for normalized complex argument u (in units of the quarter
+/// period K).
+std::complex<double> cde(std::complex<double> u, double k);
+
+/// sn(u*K(k), k) for normalized complex argument u.
+std::complex<double> sne(std::complex<double> u, double k);
+
+/// Inverse of sne: returns normalized u with sne(u, k) == w.
+std::complex<double> asne(std::complex<double> w, double k);
+
+/// The elliptic degree equation: given the filter order N and the
+/// discrimination factor k1 = eps_p / eps_s, returns the exact selectivity
+/// k = Omega_p / Omega_s achievable (Orfanidis eq. 47, solved through the
+/// complementary moduli).
+double solve_degree_equation(int order, double k1);
+
+/// Minimum order from selectivity k and discrimination k1 (degree equation
+/// N >= (K(k)/K'(k)) * (K'(k1)/K(k1))).
+int elliptic_min_order(double k, double k1);
+
+}  // namespace metacore::dsp

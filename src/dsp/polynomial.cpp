@@ -1,0 +1,138 @@
+#include "dsp/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::dsp {
+
+Complex poly_eval(std::span<const double> coeffs, Complex x) {
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+Complex poly_eval(std::span<const Complex> coeffs, Complex x) {
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+Poly poly_mul(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return {};
+  Poly out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+CPoly poly_mul(std::span<const Complex> a, std::span<const Complex> b) {
+  if (a.empty() || b.empty()) return {};
+  CPoly out(a.size() + b.size() - 1, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+CPoly poly_from_roots(std::span<const Complex> roots) {
+  CPoly poly{Complex{1.0, 0.0}};
+  for (const Complex& root : roots) {
+    const CPoly factor{-root, Complex{1.0, 0.0}};
+    poly = poly_mul(poly, factor);
+  }
+  return poly;
+}
+
+Poly real_poly_from_roots(std::span<const Complex> roots, double gain,
+                          double tol) {
+  const CPoly cpoly = poly_from_roots(roots);
+  Poly out(cpoly.size());
+  double scale = 0.0;
+  for (const Complex& c : cpoly) scale = std::max(scale, std::abs(c));
+  for (std::size_t i = 0; i < cpoly.size(); ++i) {
+    if (std::abs(cpoly[i].imag()) > tol * std::max(1.0, scale)) {
+      throw std::invalid_argument(
+          "real_poly_from_roots: root set is not conjugate-closed");
+    }
+    out[i] = gain * cpoly[i].real();
+  }
+  return out;
+}
+
+std::vector<Complex> poly_roots(std::span<const double> coeffs,
+                                int max_iterations, double tol) {
+  // Trim leading (highest-power) zeros.
+  std::size_t degree_plus_one = coeffs.size();
+  while (degree_plus_one > 0 && coeffs[degree_plus_one - 1] == 0.0) {
+    --degree_plus_one;
+  }
+  if (degree_plus_one == 0) {
+    throw std::invalid_argument("poly_roots: zero polynomial");
+  }
+  const std::size_t degree = degree_plus_one - 1;
+  if (degree == 0) return {};
+
+  // Normalize to monic complex coefficients.
+  CPoly monic(degree_plus_one);
+  const double lead = coeffs[degree];
+  for (std::size_t i = 0; i < degree_plus_one; ++i) {
+    monic[i] = Complex{coeffs[i] / lead, 0.0};
+  }
+
+  // Durand-Kerner from non-real, non-symmetric initial guesses on a circle
+  // whose radius follows the Cauchy root bound.
+  double bound = 0.0;
+  for (std::size_t i = 0; i < degree; ++i) {
+    bound = std::max(bound, std::abs(monic[i]));
+  }
+  const double radius = 1.0 + bound;
+  std::vector<Complex> roots(degree);
+  for (std::size_t i = 0; i < degree; ++i) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(degree) + 0.4;
+    roots[i] = radius * Complex{std::cos(angle), std::sin(angle)};
+  }
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      Complex denom{1.0, 0.0};
+      for (std::size_t j = 0; j < degree; ++j) {
+        if (j != i) denom *= roots[i] - roots[j];
+      }
+      if (std::abs(denom) < 1e-300) {
+        // Perturb coincident estimates and continue.
+        roots[i] += Complex{1e-8, 1e-8};
+        max_step = 1.0;
+        continue;
+      }
+      const Complex step = poly_eval(std::span<const Complex>(monic), roots[i]) / denom;
+      roots[i] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < tol) break;
+  }
+  return roots;
+}
+
+void sort_conjugate_pairs(std::vector<Complex>& roots) {
+  std::sort(roots.begin(), roots.end(), [](const Complex& a, const Complex& b) {
+    const double ia = std::abs(a.imag());
+    const double ib = std::abs(b.imag());
+    if (std::abs(ia - ib) > 1e-12) return ia < ib;
+    if (std::abs(a.real() - b.real()) > 1e-12) return a.real() < b.real();
+    return a.imag() > b.imag();
+  });
+}
+
+}  // namespace metacore::dsp

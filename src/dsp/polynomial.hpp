@@ -1,0 +1,44 @@
+// Real- and complex-coefficient polynomial utilities for filter design:
+// multiplication, evaluation, root finding (Durand-Kerner), and
+// reconstruction of real polynomials from conjugate-closed root sets.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace metacore::dsp {
+
+using Complex = std::complex<double>;
+
+/// Coefficients are stored lowest power first: p[k] multiplies x^k.
+using Poly = std::vector<double>;
+using CPoly = std::vector<Complex>;
+
+/// Evaluates a real polynomial at a complex point (Horner).
+Complex poly_eval(std::span<const double> coeffs, Complex x);
+Complex poly_eval(std::span<const Complex> coeffs, Complex x);
+
+/// Polynomial product.
+Poly poly_mul(std::span<const double> a, std::span<const double> b);
+CPoly poly_mul(std::span<const Complex> a, std::span<const Complex> b);
+
+/// Builds the monic polynomial with the given roots (complex coefficients).
+CPoly poly_from_roots(std::span<const Complex> roots);
+
+/// Builds a real polynomial from a conjugate-closed root multiset, scaled by
+/// `gain`. Throws if the imaginary residue exceeds `tol`.
+Poly real_poly_from_roots(std::span<const Complex> roots, double gain,
+                          double tol = 1e-6);
+
+/// All roots of a polynomial via Durand-Kerner iteration. Leading zero
+/// coefficients are trimmed; the zero polynomial is rejected. Degree-0
+/// polynomials return no roots.
+std::vector<Complex> poly_roots(std::span<const double> coeffs,
+                                int max_iterations = 500, double tol = 1e-12);
+
+/// Sorts roots into conjugate pairs (ascending imaginary magnitude, then
+/// real part) so pair-wise grouping (e.g. second-order sections) is stable.
+void sort_conjugate_pairs(std::vector<Complex>& roots);
+
+}  // namespace metacore::dsp

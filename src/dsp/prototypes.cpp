@@ -1,0 +1,195 @@
+#include "dsp/prototypes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/elliptic.hpp"
+
+namespace metacore::dsp {
+
+namespace {
+
+double ripple_eps(double ripple_db) {
+  return std::sqrt(std::pow(10.0, ripple_db / 10.0) - 1.0);
+}
+
+Zpk butterworth(int order) {
+  Zpk zpk;
+  for (int k = 0; k < order; ++k) {
+    const double theta = M_PI * (2.0 * k + 1.0) / (2.0 * order) + M_PI / 2.0;
+    zpk.poles.push_back(Complex{std::cos(theta), std::sin(theta)});
+  }
+  // Unity DC gain: H(0) = gain / prod(-p) = 1.
+  Complex prod{1.0, 0.0};
+  for (const Complex& p : zpk.poles) prod *= -p;
+  zpk.gain = prod.real();
+  return zpk;
+}
+
+Zpk chebyshev1(int order, double rp_db) {
+  const double eps = ripple_eps(rp_db);
+  const double mu = std::asinh(1.0 / eps) / order;
+  Zpk zpk;
+  for (int k = 0; k < order; ++k) {
+    const double theta = M_PI * (2.0 * k + 1.0) / (2.0 * order);
+    zpk.poles.push_back(Complex{-std::sinh(mu) * std::sin(theta),
+                                std::cosh(mu) * std::cos(theta)});
+  }
+  Complex prod{1.0, 0.0};
+  for (const Complex& p : zpk.poles) prod *= -p;
+  zpk.gain = prod.real();
+  if (order % 2 == 0) {
+    // Even-order Chebyshev-I has gain 1/sqrt(1+eps^2) at DC.
+    zpk.gain /= std::sqrt(1.0 + eps * eps);
+  }
+  return zpk;
+}
+
+Zpk chebyshev2(int order, double rs_db) {
+  // Inverse Chebyshev: equiripple stopband starting at Omega = 1; we then
+  // rescale so the *passband* edge sits at 1 like the other families (the
+  // band transform code assumes a unity passband edge). The passband edge
+  // for a -3 dB crossing would require rp; instead we keep the standard
+  // convention of stopband edge at 1/k handled by minimum_order, and place
+  // the equiripple stopband edge at 1 * (no rescale). Downstream design
+  // code treats Chebyshev-II prototypes as stopband-normalized.
+  const double eps = 1.0 / std::sqrt(std::pow(10.0, rs_db / 10.0) - 1.0);
+  const double mu = std::asinh(1.0 / eps) / order;
+  Zpk zpk;
+  for (int k = 0; k < order; ++k) {
+    const double theta = M_PI * (2.0 * k + 1.0) / (2.0 * order);
+    const Complex p{-std::sinh(mu) * std::sin(theta),
+                    std::cosh(mu) * std::cos(theta)};
+    zpk.poles.push_back(1.0 / p);  // inversion maps Cheb-I poles to Cheb-II
+    const double zero_im = 1.0 / std::cos(theta);
+    if (std::isfinite(zero_im) && std::abs(std::cos(theta)) > 1e-12) {
+      if (order % 2 == 1 && k == (order - 1) / 2) {
+        continue;  // middle term has its zero at infinity
+      }
+      zpk.zeros.push_back(Complex{0.0, zero_im});
+    }
+  }
+  Complex pp{1.0, 0.0};
+  for (const Complex& p : zpk.poles) pp *= -p;
+  Complex zz{1.0, 0.0};
+  for (const Complex& z : zpk.zeros) zz *= -z;
+  zpk.gain = (pp / zz).real();
+  return zpk;
+}
+
+Zpk elliptic(int order, double rp_db, double rs_db) {
+  const double eps_p = ripple_eps(rp_db);
+  const double eps_s = ripple_eps(rs_db);
+  const double k1 = eps_p / eps_s;
+  const double k = solve_degree_equation(order, k1);
+  const int half = order / 2;
+  const bool odd = order % 2 == 1;
+
+  Zpk zpk;
+  // Normalized pole offset v0 from the passband ripple.
+  const Complex j{0.0, 1.0};
+  const Complex v0 = -j * asne(j / eps_p, k1) / static_cast<double>(order);
+
+  for (int i = 1; i <= half; ++i) {
+    const double u = (2.0 * i - 1.0) / order;
+    // Transmission zeros on the imaginary axis.
+    const double zeta = cde(Complex{u, 0.0}, k).real();
+    const Complex zero = j / (k * zeta);
+    zpk.zeros.push_back(zero);
+    zpk.zeros.push_back(std::conj(zero));
+    // Poles: j * cd((u - j v0) K, k).
+    const Complex pole = j * cde(Complex{u, 0.0} - j * v0, k);
+    zpk.poles.push_back(pole);
+    zpk.poles.push_back(std::conj(pole));
+  }
+  if (odd) {
+    const Complex pole = j * sne(j * v0, k);
+    zpk.poles.push_back(Complex{pole.real(), 0.0});
+  }
+
+  Complex pp{1.0, 0.0};
+  for (const Complex& p : zpk.poles) pp *= -p;
+  Complex zz{1.0, 0.0};
+  for (const Complex& z : zpk.zeros) zz *= -z;
+  double gain = (pp / zz).real();
+  if (!odd) gain /= std::sqrt(1.0 + eps_p * eps_p);  // equiripple at DC
+  zpk.gain = gain;
+  return zpk;
+}
+
+}  // namespace
+
+std::string to_string(FilterFamily family) {
+  switch (family) {
+    case FilterFamily::Butterworth:
+      return "butterworth";
+    case FilterFamily::Chebyshev1:
+      return "chebyshev1";
+    case FilterFamily::Chebyshev2:
+      return "chebyshev2";
+    case FilterFamily::Elliptic:
+      return "elliptic";
+  }
+  return "?";
+}
+
+Zpk analog_lowpass_prototype(FilterFamily family, int order,
+                             double passband_ripple_db,
+                             double stopband_atten_db) {
+  if (order < 1 || order > 24) {
+    throw std::invalid_argument(
+        "analog_lowpass_prototype: order out of supported range [1, 24]");
+  }
+  if (passband_ripple_db <= 0.0) {
+    throw std::invalid_argument(
+        "analog_lowpass_prototype: passband ripple must be positive dB");
+  }
+  switch (family) {
+    case FilterFamily::Butterworth: {
+      // The classic prototype is 3-dB-normalized; rescale the cutoff so the
+      // attenuation at Omega = 1 is exactly the requested passband ripple:
+      // |H(1)|^2 = 1 / (1 + (1/wc)^2N) = 1 / (1 + eps^2)  =>  wc = eps^(-1/N).
+      Zpk proto = butterworth(order);
+      const double eps = ripple_eps(passband_ripple_db);
+      const double wc = std::pow(eps, -1.0 / order);
+      Zpk scaled;
+      for (const Complex& p : proto.poles) scaled.poles.push_back(p * wc);
+      scaled.gain = proto.gain * std::pow(wc, order);
+      return scaled;
+    }
+    case FilterFamily::Chebyshev1:
+      return chebyshev1(order, passband_ripple_db);
+    case FilterFamily::Chebyshev2:
+      return chebyshev2(order, stopband_atten_db);
+    case FilterFamily::Elliptic:
+      return elliptic(order, passband_ripple_db, stopband_atten_db);
+  }
+  throw std::logic_error("analog_lowpass_prototype: unknown family");
+}
+
+int minimum_order(FilterFamily family, double wp, double ws, double rp_db,
+                  double rs_db) {
+  if (!(wp > 0.0 && ws > wp)) {
+    throw std::invalid_argument("minimum_order: need 0 < wp < ws");
+  }
+  const double selectivity = ws / wp;
+  const double discrim = (std::pow(10.0, rs_db / 10.0) - 1.0) /
+                         (std::pow(10.0, rp_db / 10.0) - 1.0);
+  switch (family) {
+    case FilterFamily::Butterworth:
+      return static_cast<int>(
+          std::ceil(std::log10(discrim) / (2.0 * std::log10(selectivity))));
+    case FilterFamily::Chebyshev1:
+    case FilterFamily::Chebyshev2:
+      return static_cast<int>(std::ceil(std::acosh(std::sqrt(discrim)) /
+                                        std::acosh(selectivity)));
+    case FilterFamily::Elliptic: {
+      const double k = wp / ws;
+      const double k1 = 1.0 / std::sqrt(discrim);
+      return elliptic_min_order(k, k1);
+    }
+  }
+  throw std::logic_error("minimum_order: unknown family");
+}
+
+}  // namespace metacore::dsp

@@ -1,0 +1,31 @@
+// Analog lowpass prototype design (passband edge normalized to 1 rad/s) for
+// the four classical approximation families, in pole-zero-gain form.
+#pragma once
+
+#include <string>
+
+#include "dsp/transfer_function.hpp"
+
+namespace metacore::dsp {
+
+enum class FilterFamily : int { Butterworth, Chebyshev1, Chebyshev2, Elliptic };
+
+std::string to_string(FilterFamily family);
+
+/// Analog lowpass prototype of the given order.
+///
+/// Conventions: the passband edge is at Omega = 1 rad/s with at most
+/// `passband_ripple_db` attenuation there; `stopband_atten_db` is used by
+/// the Chebyshev-II and elliptic families (ignored by Butterworth and
+/// Chebyshev-I). For elliptic prototypes the stopband edge follows from
+/// the degree equation.
+Zpk analog_lowpass_prototype(FilterFamily family, int order,
+                             double passband_ripple_db,
+                             double stopband_atten_db);
+
+/// Minimum order meeting (Omega_p = wp, Omega_s = ws, rp dB, rs dB) for the
+/// family; wp < ws required.
+int minimum_order(FilterFamily family, double wp, double ws, double rp_db,
+                  double rs_db);
+
+}  // namespace metacore::dsp

@@ -1,0 +1,76 @@
+#include "dsp/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace metacore::dsp {
+
+std::vector<double> sine_wave(std::size_t samples, double omega,
+                              double amplitude, double phase) {
+  std::vector<double> out(samples);
+  for (std::size_t n = 0; n < samples; ++n) {
+    out[n] = amplitude * std::sin(omega * static_cast<double>(n) + phase);
+  }
+  return out;
+}
+
+std::vector<double> linear_chirp(std::size_t samples, double omega_start,
+                                 double omega_end, double amplitude) {
+  if (samples < 2) {
+    throw std::invalid_argument("linear_chirp: need at least two samples");
+  }
+  std::vector<double> out(samples);
+  const double slope =
+      (omega_end - omega_start) / static_cast<double>(samples - 1);
+  double phase = 0.0;
+  for (std::size_t n = 0; n < samples; ++n) {
+    out[n] = amplitude * std::sin(phase);
+    phase += omega_start + slope * static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<double> white_noise(std::size_t samples, double stddev,
+                                std::uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<double> out(samples);
+  for (auto& s : out) s = rng.normal(0.0, stddev);
+  return out;
+}
+
+double output_snr_db(std::span<const double> reference,
+                     std::span<const double> actual) {
+  if (reference.size() != actual.size() || reference.empty()) {
+    throw std::invalid_argument("output_snr_db: size mismatch or empty");
+  }
+  double signal = 0.0, noise = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    signal += reference[i] * reference[i];
+    const double e = reference[i] - actual[i];
+    noise += e * e;
+  }
+  if (signal <= 0.0) {
+    throw std::invalid_argument("output_snr_db: zero reference energy");
+  }
+  if (noise <= signal * 1e-30) return 300.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+double group_delay(const TransferFunction& tf, double omega, double step) {
+  // Unwrapped phase difference over a small interval; the small step keeps
+  // us inside one phase branch except exactly at zeros of H, where group
+  // delay is ill-defined anyway.
+  const double lo = std::max(step, omega - step);
+  const double hi = std::min(M_PI - step, omega + step);
+  const Complex h_lo = tf.response(lo);
+  const Complex h_hi = tf.response(hi);
+  double dphase = std::arg(h_hi) - std::arg(h_lo);
+  while (dphase > M_PI) dphase -= 2.0 * M_PI;
+  while (dphase < -M_PI) dphase += 2.0 * M_PI;
+  return -dphase / (hi - lo);
+}
+
+}  // namespace metacore::dsp

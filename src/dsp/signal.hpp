@@ -1,0 +1,39 @@
+// Test-signal generation and signal-quality measurement: the utilities an
+// SPW-style simulation flow provides around the filter itself — sine/chirp/
+// noise stimuli, output SNR against a reference implementation, and group
+// delay of a transfer function.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/transfer_function.hpp"
+
+namespace metacore::dsp {
+
+/// sin(omega n + phase), omega in rad/sample.
+std::vector<double> sine_wave(std::size_t samples, double omega,
+                              double amplitude = 1.0, double phase = 0.0);
+
+/// Linear chirp from omega_start to omega_end (rad/sample) across the
+/// buffer — sweeps the whole band in one stimulus.
+std::vector<double> linear_chirp(std::size_t samples, double omega_start,
+                                 double omega_end, double amplitude = 1.0);
+
+/// White Gaussian noise with the given standard deviation (seedable).
+std::vector<double> white_noise(std::size_t samples, double stddev,
+                                std::uint64_t seed = 1);
+
+/// Signal-to-noise ratio (dB) of `actual` against `reference`:
+/// 10 log10(sum ref^2 / sum (ref - actual)^2). Returns +inf-like large
+/// value (clamped to 300 dB) for exact matches. Requires equal lengths.
+double output_snr_db(std::span<const double> reference,
+                     std::span<const double> actual);
+
+/// Group delay -d(arg H)/d(omega) at `omega`, via central differences on
+/// the unwrapped phase. Units: samples.
+double group_delay(const TransferFunction& tf, double omega,
+                   double step = 1e-4);
+
+}  // namespace metacore::dsp

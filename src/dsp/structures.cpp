@@ -1,0 +1,777 @@
+#include "dsp/structures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::dsp {
+
+namespace {
+
+/// A second-order (or lower) direct-form-II section.
+struct Biquad {
+  // y/x = (b0 + b1 z^-1 + b2 z^-2) / (1 + a1 z^-1 + a2 z^-2)
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+  double w1 = 0.0, w2 = 0.0;  // state
+
+  double process(double x) {
+    const double w0 = x - a1 * w1 - a2 * w2;
+    const double y = b0 * w0 + b1 * w1 + b2 * w2;
+    w2 = w1;
+    w1 = w0;
+    return y;
+  }
+  void reset() { w1 = w2 = 0.0; }
+
+  TransferFunction tf() const {
+    return {{b0, b1, b2}, {1.0, a1, a2}};
+  }
+};
+
+/// Pads b and a to the same length.
+void equalize(std::vector<double>& b, std::vector<double>& a) {
+  const std::size_t n = std::max(b.size(), a.size());
+  b.resize(n, 0.0);
+  a.resize(n, 0.0);
+}
+
+TransferFunction normalized_copy(const TransferFunction& tf) {
+  TransferFunction out = tf;
+  out.normalize();
+  if (out.b.empty()) out.b = {0.0};
+  return out;
+}
+
+int nonzero_coefficients(const std::vector<double>& v) {
+  int n = 0;
+  for (double c : v) {
+    if (c != 0.0) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Direct forms
+// ---------------------------------------------------------------------------
+
+class DirectForm1 final : public Realization {
+ public:
+  explicit DirectForm1(const TransferFunction& tf) {
+    const TransferFunction norm = normalized_copy(tf);
+    b_ = norm.b;
+    a_ = norm.a;
+    equalize(b_, a_);
+    x_hist_.assign(b_.size(), 0.0);
+    y_hist_.assign(a_.size(), 0.0);
+  }
+
+  StructureKind kind() const override { return StructureKind::DirectForm1; }
+
+  double process(double x) override {
+    // Shift histories (index 0 = newest).
+    std::rotate(x_hist_.rbegin(), x_hist_.rbegin() + 1, x_hist_.rend());
+    x_hist_[0] = x;
+    double y = 0.0;
+    for (std::size_t i = 0; i < b_.size(); ++i) y += b_[i] * x_hist_[i];
+    for (std::size_t i = 1; i < a_.size(); ++i) y -= a_[i] * y_hist_[i - 1];
+    std::rotate(y_hist_.rbegin(), y_hist_.rbegin() + 1, y_hist_.rend());
+    y_hist_[0] = y;
+    return y;
+  }
+
+  void reset() override {
+    std::fill(x_hist_.begin(), x_hist_.end(), 0.0);
+    std::fill(y_hist_.begin(), y_hist_.end(), 0.0);
+  }
+
+  OpCost cost() const override {
+    const int n = static_cast<int>(b_.size()) - 1;
+    return {2 * n + 1, 2 * n, 2 * n,
+            nonzero_coefficients(b_) + nonzero_coefficients(a_) - 1};
+  }
+
+  TransferFunction effective_tf() const override { return {b_, a_}; }
+
+  std::unique_ptr<Realization> quantized(int word_bits) const override {
+    TransferFunction tf{quantize_coefficients(b_, word_bits),
+                        quantize_coefficients(a_, word_bits)};
+    return std::make_unique<DirectForm1>(tf);
+  }
+
+ private:
+  std::vector<double> b_, a_;
+  std::vector<double> x_hist_, y_hist_;
+};
+
+class DirectForm2 final : public Realization {
+ public:
+  explicit DirectForm2(const TransferFunction& tf) {
+    const TransferFunction norm = normalized_copy(tf);
+    b_ = norm.b;
+    a_ = norm.a;
+    equalize(b_, a_);
+    w_.assign(b_.size(), 0.0);
+  }
+
+  StructureKind kind() const override { return StructureKind::DirectForm2; }
+
+  double process(double x) override {
+    double w0 = x;
+    for (std::size_t i = 1; i < a_.size(); ++i) w0 -= a_[i] * w_[i - 1];
+    double y = b_[0] * w0;
+    for (std::size_t i = 1; i < b_.size(); ++i) y += b_[i] * w_[i - 1];
+    std::rotate(w_.rbegin(), w_.rbegin() + 1, w_.rend());
+    w_[0] = w0;
+    return y;
+  }
+
+  void reset() override { std::fill(w_.begin(), w_.end(), 0.0); }
+
+  OpCost cost() const override {
+    const int n = static_cast<int>(b_.size()) - 1;
+    return {2 * n + 1, 2 * n, n,
+            nonzero_coefficients(b_) + nonzero_coefficients(a_) - 1};
+  }
+
+  TransferFunction effective_tf() const override { return {b_, a_}; }
+
+  std::unique_ptr<Realization> quantized(int word_bits) const override {
+    TransferFunction tf{quantize_coefficients(b_, word_bits),
+                        quantize_coefficients(a_, word_bits)};
+    return std::make_unique<DirectForm2>(tf);
+  }
+
+ private:
+  std::vector<double> b_, a_;
+  std::vector<double> w_;  // w_[i] = w(n - 1 - i)
+};
+
+class DirectForm2Transposed final : public Realization {
+ public:
+  explicit DirectForm2Transposed(const TransferFunction& tf) {
+    const TransferFunction norm = normalized_copy(tf);
+    b_ = norm.b;
+    a_ = norm.a;
+    equalize(b_, a_);
+    s_.assign(b_.size(), 0.0);  // one extra slot simplifies the update
+  }
+
+  StructureKind kind() const override {
+    return StructureKind::DirectForm2Transposed;
+  }
+
+  double process(double x) override {
+    const double y = b_[0] * x + s_[0];
+    for (std::size_t i = 0; i + 1 < s_.size(); ++i) {
+      s_[i] = b_[i + 1] * x - a_[i + 1] * y + s_[i + 1];
+    }
+    if (!s_.empty()) s_[s_.size() - 1] = 0.0;
+    return y;
+  }
+
+  void reset() override { std::fill(s_.begin(), s_.end(), 0.0); }
+
+  OpCost cost() const override {
+    const int n = static_cast<int>(b_.size()) - 1;
+    return {2 * n + 1, 2 * n, n,
+            nonzero_coefficients(b_) + nonzero_coefficients(a_) - 1};
+  }
+
+  TransferFunction effective_tf() const override { return {b_, a_}; }
+
+  std::unique_ptr<Realization> quantized(int word_bits) const override {
+    TransferFunction tf{quantize_coefficients(b_, word_bits),
+                        quantize_coefficients(a_, word_bits)};
+    return std::make_unique<DirectForm2Transposed>(tf);
+  }
+
+ private:
+  std::vector<double> b_, a_;
+  std::vector<double> s_;
+};
+
+// ---------------------------------------------------------------------------
+// Cascade of second-order sections
+// ---------------------------------------------------------------------------
+
+/// Splits conjugate-paired roots into quadratic (and possibly one linear)
+/// real factors: returns vector of (c1, c2) for x^2 + c1 x + c2 — or for a
+/// linear leftover, (c1, 0) meaning x + c1 — in the *z* domain.
+struct RealFactor {
+  bool quadratic = true;
+  double c1 = 0.0, c2 = 0.0;
+};
+
+std::vector<RealFactor> real_factors(std::vector<Complex> roots) {
+  sort_conjugate_pairs(roots);
+  std::vector<RealFactor> factors;
+  std::vector<Complex> reals;
+  for (std::size_t i = 0; i < roots.size();) {
+    if (std::abs(roots[i].imag()) > 1e-9) {
+      if (i + 1 >= roots.size()) {
+        throw std::runtime_error("real_factors: unpaired complex root");
+      }
+      const Complex r = roots[i];
+      factors.push_back({true, -2.0 * r.real(), std::norm(r)});
+      i += 2;
+    } else {
+      reals.push_back(roots[i]);
+      ++i;
+    }
+  }
+  // Pair real roots two at a time; a leftover becomes a linear factor.
+  std::sort(reals.begin(), reals.end(),
+            [](const Complex& a, const Complex& b) { return a.real() < b.real(); });
+  for (std::size_t i = 0; i + 1 < reals.size(); i += 2) {
+    const double r1 = reals[i].real(), r2 = reals[i + 1].real();
+    factors.push_back({true, -(r1 + r2), r1 * r2});
+  }
+  if (reals.size() % 2 == 1) {
+    factors.push_back({false, -reals.back().real(), 0.0});
+  }
+  return factors;
+}
+
+/// Shared cascade decomposition: pairs pole factors with nearest zero
+/// factors and spreads the gain evenly across sections.
+std::vector<Biquad> build_biquads(std::vector<Complex> zeros,
+                                  std::vector<Complex> poles, double gain) {
+  std::vector<Biquad> sections_;
+  {
+    auto zero_factors = real_factors(std::move(zeros));
+    auto pole_factors = real_factors(std::move(poles));
+
+    // Order pole sections by radius (closest to the unit circle last) and
+    // greedily pair each pole factor with the nearest remaining zero
+    // factor — the standard pairing heuristic that minimizes section gain
+    // spread.
+    std::sort(pole_factors.begin(), pole_factors.end(),
+              [](const RealFactor& a, const RealFactor& b) {
+                return a.c2 < b.c2;  // c2 = |p|^2 for quadratic factors
+              });
+    const std::size_t sections =
+        std::max(zero_factors.size(), pole_factors.size());
+    std::vector<bool> zero_used(zero_factors.size(), false);
+    const double section_gain =
+        sections > 0 ? std::copysign(
+                           std::pow(std::abs(gain), 1.0 / sections), gain)
+                     : gain;
+    for (std::size_t s = 0; s < sections; ++s) {
+      Biquad bq;
+      double a1 = 0.0, a2 = 0.0;
+      if (s < pole_factors.size()) {
+        a1 = pole_factors[s].c1;
+        a2 = pole_factors[s].quadratic ? pole_factors[s].c2 : 0.0;
+        if (!pole_factors[s].quadratic) a2 = 0.0;
+      }
+      // Nearest unused zero factor by |c1| + |c2| distance.
+      int pick = -1;
+      double best = 1e300;
+      for (std::size_t z = 0; z < zero_factors.size(); ++z) {
+        if (zero_used[z]) continue;
+        const double d = std::abs(zero_factors[z].c1 - a1) +
+                         std::abs(zero_factors[z].c2 - a2);
+        if (d < best) {
+          best = d;
+          pick = static_cast<int>(z);
+        }
+      }
+      double b1 = 0.0, b2 = 0.0;
+      bool have_zero = false;
+      bool zero_quadratic = false;
+      if (pick >= 0) {
+        zero_used[static_cast<std::size_t>(pick)] = true;
+        b1 = zero_factors[static_cast<std::size_t>(pick)].c1;
+        b2 = zero_factors[static_cast<std::size_t>(pick)].c2;
+        zero_quadratic = zero_factors[static_cast<std::size_t>(pick)].quadratic;
+        have_zero = true;
+      }
+      // z-domain factor (z^2 + c1 z + c2) corresponds to z^-1-domain
+      // (1 + c1 z^-1 + c2 z^-2); a linear factor (z + c1) to (1 + c1 z^-1).
+      bq.b0 = section_gain;
+      bq.b1 = have_zero ? section_gain * b1 : 0.0;
+      bq.b2 = have_zero && zero_quadratic ? section_gain * b2 : 0.0;
+      bq.a1 = a1;
+      bq.a2 = a2;
+      sections_.push_back(bq);
+    }
+    if (sections_.empty()) {
+      Biquad bq;
+      bq.b0 = gain;
+      sections_.push_back(bq);
+    }
+  }
+  return sections_;
+}
+
+class Cascade final : public Realization {
+ public:
+  explicit Cascade(const TransferFunction& tf) {
+    const TransferFunction norm = normalized_copy(tf);
+    // In z (not z^-1) the leading coefficient of z^N B(z^-1) is b[0].
+    sections_ = build_biquads(norm.zeros(), norm.poles(),
+                              norm.b.empty() ? 0.0 : norm.b.front());
+  }
+
+  Cascade(std::vector<Complex> zeros, std::vector<Complex> poles, double gain)
+      : sections_(build_biquads(std::move(zeros), std::move(poles), gain)) {}
+
+  explicit Cascade(std::vector<Biquad> sections)
+      : sections_(std::move(sections)) {}
+
+  StructureKind kind() const override { return StructureKind::Cascade; }
+
+  double process(double x) override {
+    double v = x;
+    for (auto& s : sections_) v = s.process(v);
+    return v;
+  }
+
+  void reset() override {
+    for (auto& s : sections_) s.reset();
+  }
+
+  OpCost cost() const override {
+    OpCost cost;
+    for (const auto& s : sections_) {
+      for (double c : {s.b0, s.b1, s.b2, s.a1, s.a2}) {
+        if (c != 0.0) {
+          ++cost.multiplies;
+          ++cost.coefficients;
+        }
+      }
+      cost.additions += 4;
+      cost.delays += 2;
+    }
+    return cost;
+  }
+
+  TransferFunction effective_tf() const override {
+    TransferFunction tf{{1.0}, {1.0}};
+    for (const auto& s : sections_) {
+      const TransferFunction st = s.tf();
+      tf.b = poly_mul(tf.b, st.b);
+      tf.a = poly_mul(tf.a, st.a);
+    }
+    tf.normalize();
+    return tf;
+  }
+
+  std::unique_ptr<Realization> quantized(int word_bits) const override {
+    std::vector<Biquad> q;
+    for (const auto& s : sections_) {
+      // Numerator and denominator coefficients have different dynamic
+      // ranges; each group shares one fixed-point format per section.
+      const std::vector<double> num =
+          quantize_coefficients({s.b0, s.b1, s.b2}, word_bits);
+      const std::vector<double> den =
+          quantize_coefficients({s.a1, s.a2}, word_bits);
+      Biquad bq;
+      bq.b0 = num[0];
+      bq.b1 = num[1];
+      bq.b2 = num[2];
+      bq.a1 = den[0];
+      bq.a2 = den[1];
+      q.push_back(bq);
+    }
+    return std::make_unique<Cascade>(std::move(q));
+  }
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+// ---------------------------------------------------------------------------
+// Parallel (partial fractions)
+// ---------------------------------------------------------------------------
+
+class Parallel final : public Realization {
+ public:
+  explicit Parallel(const TransferFunction& tf) {
+    const TransferFunction norm = normalized_copy(tf);
+    // Work in x = z^-1: H(x) = B(x) / A(x), A(0) = 1.
+    std::vector<double> b = norm.b;
+    std::vector<double> a = norm.a;
+    equalize(b, a);
+    const std::size_t n = a.size() - 1;
+
+    // Extract the direct term: with deg B == deg A == n, H = c + R(x)/A(x)
+    // where c = b[n]/a[n] (leading coefficients in x).
+    std::vector<double> r = b;
+    direct_ = 0.0;
+    if (n > 0 && a[n] != 0.0) {
+      direct_ = b[n] / a[n];
+      for (std::size_t i = 0; i <= n; ++i) r[i] -= direct_ * a[i];
+    } else if (n == 0) {
+      direct_ = a[0] != 0.0 ? b[0] / a[0] : 0.0;
+      return;
+    }
+
+    // Roots of A in x; poles of H(z) are 1/x_i.
+    std::vector<Complex> xroots = poly_roots(a);
+    // Residues of R/A at simple roots: res_i = R(x_i) / A'(x_i).
+    std::vector<double> aprime(n);
+    for (std::size_t i = 1; i <= n; ++i) {
+      aprime[i - 1] = a[i] * static_cast<double>(i);
+    }
+    std::vector<Complex> residues;
+    for (const Complex& x : xroots) {
+      const Complex denom = poly_eval(std::span<const double>(aprime), x);
+      if (std::abs(denom) < 1e-12) {
+        throw std::runtime_error(
+            "Parallel: repeated poles; partial fraction expansion is not "
+            "supported for multiple poles");
+      }
+      residues.push_back(poly_eval(std::span<const double>(r), x) / denom);
+    }
+
+    // Pair conjugate roots into real second-order sections:
+    //   res/(x - xi) + conj terms
+    //     = (p0 + p1 x) / (q0 + q1 x + q2 x^2), normalized so q0 = 1.
+    std::vector<bool> used(xroots.size(), false);
+    for (std::size_t i = 0; i < xroots.size(); ++i) {
+      if (used[i]) continue;
+      used[i] = true;
+      const Complex xi = xroots[i];
+      const Complex res = residues[i];
+      if (std::abs(xi.imag()) < 1e-9) {
+        // Real root: res/(x - xi) = (-res/xi) / (1 - x/xi).
+        Biquad bq;
+        bq.b0 = (-res / xi).real();
+        bq.a1 = (-1.0 / xi).real();
+        sections_.push_back(bq);
+        continue;
+      }
+      // Find the conjugate partner.
+      std::size_t partner = xroots.size();
+      for (std::size_t j = i + 1; j < xroots.size(); ++j) {
+        if (!used[j] && std::abs(xroots[j] - std::conj(xi)) < 1e-6) {
+          partner = j;
+          break;
+        }
+      }
+      if (partner == xroots.size()) {
+        throw std::runtime_error("Parallel: complex root without conjugate");
+      }
+      used[partner] = true;
+      // res/(x-xi) + conj(res)/(x-conj(xi))
+      //  = (2 Re(res) x - 2 Re(res conj(xi))) / (x^2 - 2 Re(xi) x + |xi|^2).
+      const double num1 = 2.0 * res.real();
+      const double num0 = -2.0 * (res * std::conj(xi)).real();
+      const double den0 = std::norm(xi);
+      const double den1 = -2.0 * xi.real();
+      // Normalize by den0 so the section reads (b0 + b1 x)/(1 + a1 x + a2 x^2).
+      Biquad bq;
+      bq.b0 = num0 / den0;
+      bq.b1 = num1 / den0;
+      bq.a1 = den1 / den0;
+      bq.a2 = 1.0 / den0;
+      sections_.push_back(bq);
+    }
+  }
+
+  Parallel(double direct, std::vector<Biquad> sections)
+      : direct_(direct), sections_(std::move(sections)) {}
+
+  StructureKind kind() const override { return StructureKind::Parallel; }
+
+  double process(double x) override {
+    double y = direct_ * x;
+    for (auto& s : sections_) y += s.process(x);
+    return y;
+  }
+
+  void reset() override {
+    for (auto& s : sections_) s.reset();
+  }
+
+  OpCost cost() const override {
+    OpCost cost;
+    if (direct_ != 0.0) {
+      ++cost.multiplies;
+      ++cost.coefficients;
+    }
+    for (const auto& s : sections_) {
+      for (double c : {s.b0, s.b1, s.b2, s.a1, s.a2}) {
+        if (c != 0.0) {
+          ++cost.multiplies;
+          ++cost.coefficients;
+        }
+      }
+      cost.additions += 4;  // 3 internal + 1 output accumulation
+      cost.delays += 2;
+    }
+    return cost;
+  }
+
+  TransferFunction effective_tf() const override {
+    // Sum of sections plus the direct term over a common denominator.
+    std::vector<double> num{direct_};
+    std::vector<double> den{1.0};
+    for (const auto& s : sections_) {
+      const TransferFunction st = s.tf();
+      // num/den + st.b/st.a = (num*st.a + st.b*den) / (den*st.a)
+      std::vector<double> new_num = poly_mul(num, st.a);
+      const std::vector<double> cross = poly_mul(st.b, den);
+      if (cross.size() > new_num.size()) new_num.resize(cross.size(), 0.0);
+      for (std::size_t i = 0; i < cross.size(); ++i) new_num[i] += cross[i];
+      num = std::move(new_num);
+      den = poly_mul(den, st.a);
+    }
+    TransferFunction tf{num, den};
+    tf.normalize();
+    return tf;
+  }
+
+  std::unique_ptr<Realization> quantized(int word_bits) const override {
+    std::vector<Biquad> q;
+    for (const auto& s : sections_) {
+      const std::vector<double> num =
+          quantize_coefficients({s.b0, s.b1, s.b2}, word_bits);
+      const std::vector<double> den =
+          quantize_coefficients({s.a1, s.a2}, word_bits);
+      Biquad bq;
+      bq.b0 = num[0];
+      bq.b1 = num[1];
+      bq.b2 = num[2];
+      bq.a1 = den[0];
+      bq.a2 = den[1];
+      q.push_back(bq);
+    }
+    const double qdirect =
+        direct_ != 0.0 ? quantize_coefficients({direct_}, word_bits)[0] : 0.0;
+    return std::make_unique<Parallel>(qdirect, std::move(q));
+  }
+
+ private:
+  double direct_ = 0.0;
+  std::vector<Biquad> sections_;
+};
+
+// ---------------------------------------------------------------------------
+// Lattice-ladder (Gray-Markel)
+// ---------------------------------------------------------------------------
+
+class LatticeLadder final : public Realization {
+ public:
+  explicit LatticeLadder(const TransferFunction& tf) {
+    const TransferFunction norm = normalized_copy(tf);
+    std::vector<double> b = norm.b;
+    std::vector<double> a = norm.a;
+    equalize(b, a);
+    const std::size_t n = a.size() - 1;
+
+    // Reflection coefficients via the Levinson down-recursion.
+    k_.assign(n, 0.0);
+    std::vector<std::vector<double>> A(n + 1);
+    A[n] = a;
+    for (std::size_t m = n; m >= 1; --m) {
+      const double km = A[m][m];
+      k_[m - 1] = km;
+      if (std::abs(km) >= 1.0) {
+        throw std::runtime_error(
+            "LatticeLadder: reflection coefficient at or beyond 1 (unstable "
+            "or borderline transfer function)");
+      }
+      A[m - 1].assign(m, 0.0);
+      const double denom = 1.0 - km * km;
+      for (std::size_t i = 0; i < m; ++i) {
+        A[m - 1][i] = (A[m][i] - km * A[m][m - i]) / denom;
+      }
+    }
+
+    // Ladder taps: v_m with B(x) = sum_m v_m * rev(A_m)(x).
+    v_.assign(n + 1, 0.0);
+    std::vector<double> btmp = b;
+    for (std::size_t m = n + 1; m-- > 0;) {
+      v_[m] = btmp[m];
+      // Subtract v_m * rev(A_m) from btmp: rev(A_m)[i] = A_m[m - i].
+      for (std::size_t i = 0; i <= m; ++i) {
+        btmp[i] -= v_[m] * A[m][m - i];
+      }
+    }
+    g_.assign(n + 1, 0.0);
+  }
+
+  LatticeLadder(std::vector<double> k, std::vector<double> v)
+      : k_(std::move(k)), v_(std::move(v)) {
+    g_.assign(v_.size(), 0.0);
+  }
+
+  StructureKind kind() const override { return StructureKind::LatticeLadder; }
+
+  double process(double x) override {
+    const std::size_t n = k_.size();
+    // Downward f recursion using previous-time g values.
+    std::vector<double> f(n + 1);
+    f[n] = x;
+    for (std::size_t m = n; m >= 1; --m) {
+      f[m - 1] = f[m] - k_[m - 1] * g_[m - 1];
+    }
+    // Upward g update from old g values, then commit.
+    std::vector<double> g_new(n + 1);
+    g_new[0] = f[0];
+    for (std::size_t m = 1; m <= n; ++m) {
+      g_new[m] = k_[m - 1] * f[m - 1] + g_[m - 1];
+    }
+    g_ = std::move(g_new);
+    double y = 0.0;
+    for (std::size_t m = 0; m <= n; ++m) y += v_[m] * g_[m];
+    return y;
+  }
+
+  void reset() override { std::fill(g_.begin(), g_.end(), 0.0); }
+
+  OpCost cost() const override {
+    const int n = static_cast<int>(k_.size());
+    return {2 * n + nonzero_coefficients(v_), 2 * n + n, n,
+            n + nonzero_coefficients(v_)};
+  }
+
+  TransferFunction effective_tf() const override {
+    // Rebuild A_m upward from the reflection coefficients, then B from the
+    // ladder taps.
+    const std::size_t n = k_.size();
+    // Up-recursion: A_m[i] = A_{m-1}[i] + k_m * A_{m-1}[m - i], with
+    // out-of-range coefficients treated as zero.
+    std::vector<std::vector<double>> A(n + 1);
+    A[0] = {1.0};
+    for (std::size_t m = 1; m <= n; ++m) {
+      A[m].assign(m + 1, 0.0);
+      for (std::size_t i = 0; i <= m; ++i) {
+        const double prev = i <= m - 1 ? A[m - 1][i] : 0.0;
+        const double rev = (m - i) <= (m - 1) ? A[m - 1][m - i] : 0.0;
+        A[m][i] = prev + k_[m - 1] * rev;
+      }
+    }
+    std::vector<double> b(n + 1, 0.0);
+    for (std::size_t m = 0; m <= n; ++m) {
+      for (std::size_t i = 0; i <= m; ++i) {
+        b[i] += v_[m] * A[m][m - i];
+      }
+    }
+    TransferFunction tf{b, A[n]};
+    tf.normalize();
+    return tf;
+  }
+
+  std::unique_ptr<Realization> quantized(int word_bits) const override {
+    // Reflection coefficients share one format (all |k| < 1); each ladder
+    // tap gets its own scale, matching per-tap scaled multiplier hardware —
+    // the taps span orders of magnitude and a shared exponent would waste
+    // most of the word.
+    std::vector<double> qv;
+    qv.reserve(v_.size());
+    for (double tap : v_) {
+      qv.push_back(quantize_coefficients({tap}, word_bits)[0]);
+    }
+    return std::make_unique<LatticeLadder>(
+        quantize_coefficients(k_, word_bits), std::move(qv));
+  }
+
+ private:
+  std::vector<double> k_;  ///< reflection coefficients, k_[m-1] for stage m
+  std::vector<double> v_;  ///< ladder taps v_0..v_n
+  std::vector<double> g_;  ///< backward prediction states
+};
+
+}  // namespace
+
+std::string to_string(StructureKind kind) {
+  switch (kind) {
+    case StructureKind::DirectForm1:
+      return "direct-form-I";
+    case StructureKind::DirectForm2:
+      return "direct-form-II";
+    case StructureKind::DirectForm2Transposed:
+      return "direct-form-II-transposed";
+    case StructureKind::Cascade:
+      return "cascade";
+    case StructureKind::Parallel:
+      return "parallel";
+    case StructureKind::LatticeLadder:
+      return "ladder";
+  }
+  return "?";
+}
+
+std::vector<StructureKind> all_structures() {
+  return {StructureKind::DirectForm1,  StructureKind::DirectForm2,
+          StructureKind::DirectForm2Transposed, StructureKind::Cascade,
+          StructureKind::Parallel,     StructureKind::LatticeLadder};
+}
+
+std::vector<double> Realization::process(std::span<const double> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (double x : samples) out.push_back(process(x));
+  return out;
+}
+
+double quantize_value(double value, int frac_bits) {
+  const double scale = std::ldexp(1.0, frac_bits);
+  return std::round(value * scale) / scale;
+}
+
+std::vector<double> quantize_coefficients(const std::vector<double>& coeffs,
+                                          int word_bits) {
+  if (word_bits < 2 || word_bits > 32) {
+    throw std::invalid_argument("quantize_coefficients: word size out of range");
+  }
+  double max_mag = 0.0;
+  for (double c : coeffs) max_mag = std::max(max_mag, std::abs(c));
+  if (max_mag == 0.0) return coeffs;
+  // Shared exponent: integer bits to cover max_mag, remainder fractional.
+  const int int_bits =
+      std::max(0, static_cast<int>(std::ceil(std::log2(max_mag + 1e-12))));
+  const int frac_bits = word_bits - 1 - int_bits;
+  std::vector<double> out;
+  out.reserve(coeffs.size());
+  for (double c : coeffs) out.push_back(quantize_value(c, frac_bits));
+  return out;
+}
+
+std::vector<SosSection> to_sos(const Zpk& zpk) {
+  std::vector<SosSection> out;
+  for (const Biquad& bq : build_biquads(zpk.zeros, zpk.poles, zpk.gain)) {
+    out.push_back({bq.b0, bq.b1, bq.b2, bq.a1, bq.a2});
+  }
+  return out;
+}
+
+std::unique_ptr<Realization> realize(const Zpk& zpk, StructureKind kind) {
+  if (zpk.poles.empty() && zpk.zeros.empty()) {
+    throw std::invalid_argument("realize: empty pole/zero set");
+  }
+  if (kind == StructureKind::Cascade) {
+    // Use the exact roots; factoring the expanded polynomial would smear
+    // multiple zeros (e.g. the bilinear (z+1)^N clusters).
+    return std::make_unique<Cascade>(zpk.zeros, zpk.poles, zpk.gain);
+  }
+  return realize(zpk.to_tf(), kind);
+}
+
+std::unique_ptr<Realization> realize(const TransferFunction& tf,
+                                     StructureKind kind) {
+  if (tf.a.empty() || tf.a[0] == 0.0) {
+    throw std::invalid_argument("realize: transfer function a[0] must be nonzero");
+  }
+  switch (kind) {
+    case StructureKind::DirectForm1:
+      return std::make_unique<DirectForm1>(tf);
+    case StructureKind::DirectForm2:
+      return std::make_unique<DirectForm2>(tf);
+    case StructureKind::DirectForm2Transposed:
+      return std::make_unique<DirectForm2Transposed>(tf);
+    case StructureKind::Cascade:
+      return std::make_unique<Cascade>(tf);
+    case StructureKind::Parallel:
+      return std::make_unique<Parallel>(tf);
+    case StructureKind::LatticeLadder:
+      return std::make_unique<LatticeLadder>(tf);
+  }
+  throw std::logic_error("realize: unknown structure kind");
+}
+
+}  // namespace metacore::dsp

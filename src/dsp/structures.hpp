@@ -1,0 +1,107 @@
+// Topological realization structures for IIR transfer functions — the
+// primary algorithmic degree of freedom of the paper's IIR MetaCore
+// (Section 3.4 lists direct form, cascade, parallel, ladder, ...). Each
+// structure realizes the same transfer function but differs in multiplies,
+// adds, registers, and — critically for the word-length degree of freedom —
+// coefficient sensitivity under fixed-point quantization.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsp/transfer_function.hpp"
+
+namespace metacore::dsp {
+
+enum class StructureKind : int {
+  DirectForm1,
+  DirectForm2,
+  DirectForm2Transposed,
+  Cascade,
+  Parallel,
+  LatticeLadder,
+};
+
+std::string to_string(StructureKind kind);
+
+/// All supported structures, in a stable enumeration order.
+std::vector<StructureKind> all_structures();
+
+/// Per-sample hardware-relevant operation counts for a realization.
+struct OpCost {
+  int multiplies = 0;
+  int additions = 0;
+  int delays = 0;        ///< state registers
+  int coefficients = 0;  ///< distinct coefficient words to store
+};
+
+/// A concrete filter realization: streaming simulation plus the metadata
+/// the synthesis estimator and the MetaCore search consume.
+class Realization {
+ public:
+  virtual ~Realization() = default;
+
+  virtual StructureKind kind() const = 0;
+
+  /// Processes one input sample (double-precision datapath; coefficient
+  /// quantization is applied at construction via `quantized()`).
+  virtual double process(double x) = 0;
+
+  virtual void reset() = 0;
+
+  virtual OpCost cost() const = 0;
+
+  /// The transfer function actually implemented — differs from the design
+  /// target once coefficients are quantized.
+  virtual TransferFunction effective_tf() const = 0;
+
+  /// A copy of this realization with every coefficient rounded to a
+  /// fixed-point format of `word_bits` total bits (sign included). Each
+  /// coefficient group shares one scaling exponent, as a hardware
+  /// implementation would.
+  virtual std::unique_ptr<Realization> quantized(int word_bits) const = 0;
+
+  /// Convenience: run a sample stream.
+  std::vector<double> process(std::span<const double> samples);
+};
+
+/// Builds a realization of `tf` with the given topology. Throws
+/// std::invalid_argument for degenerate transfer functions (empty, a[0]=0)
+/// and std::runtime_error when a decomposition fails (e.g. parallel form
+/// with repeated poles).
+///
+/// Note: the cascade decomposition must factor the numerator; recovering
+/// highly multiple zeros (e.g. the (z+1)^N (z-1)^N of a bilinear-designed
+/// bandpass) from expanded coefficients is ill-conditioned. When the
+/// pole-zero-gain form is available — as it is for every filter produced by
+/// design_filter — prefer the Zpk overload below.
+std::unique_ptr<Realization> realize(const TransferFunction& tf,
+                                     StructureKind kind);
+
+/// Builds a realization from exact poles/zeros/gain (numerically preferred
+/// for cascade forms; other structures convert via the transfer function).
+std::unique_ptr<Realization> realize(const Zpk& zpk, StructureKind kind);
+
+/// One second-order section in z^-1 form:
+/// (b0 + b1 z^-1 + b2 z^-2) / (1 + a1 z^-1 + a2 z^-2).
+struct SosSection {
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+/// Second-order-section decomposition with the same pairing/gain policy the
+/// cascade realization uses (pole pairs matched to nearest zero pairs,
+/// gain spread evenly across sections).
+std::vector<SosSection> to_sos(const Zpk& zpk);
+
+/// Rounds `value` to `frac_bits` fractional bits (used by the quantizers;
+/// exposed for tests).
+double quantize_value(double value, int frac_bits);
+
+/// Shared-exponent quantization of a coefficient vector to `word_bits`
+/// total bits: the exponent is chosen so the largest magnitude fits.
+std::vector<double> quantize_coefficients(const std::vector<double>& coeffs,
+                                          int word_bits);
+
+}  // namespace metacore::dsp

@@ -1,0 +1,144 @@
+#include "dsp/transfer_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::dsp {
+
+int TransferFunction::order() const {
+  const auto deg = [](const std::vector<double>& p) {
+    std::size_t d = p.size();
+    while (d > 1 && p[d - 1] == 0.0) --d;
+    return static_cast<int>(d) - 1;
+  };
+  return std::max(deg(b), deg(a));
+}
+
+void TransferFunction::normalize() {
+  if (a.empty() || a[0] == 0.0) {
+    throw std::invalid_argument("TransferFunction: a[0] must be nonzero");
+  }
+  const double a0 = a[0];
+  for (auto& c : a) c /= a0;
+  for (auto& c : b) c /= a0;
+}
+
+Complex TransferFunction::response(double omega) const {
+  // Polynomials are in z^-1, so evaluate at e^{-j omega}.
+  const Complex zinv = std::polar(1.0, -omega);
+  const Complex num = poly_eval(std::span<const double>(b), zinv);
+  const Complex den = poly_eval(std::span<const double>(a), zinv);
+  return num / den;
+}
+
+double TransferFunction::magnitude_db(double omega) const {
+  const double mag = magnitude(omega);
+  return 20.0 * std::log10(std::max(mag, 1e-300));
+}
+
+std::vector<Complex> TransferFunction::poles() const {
+  // A(z^-1) = sum a[k] z^-k; poles are roots of z^N A(z^-1) = sum a[k] z^{N-k}.
+  std::vector<double> reversed(a.rbegin(), a.rend());
+  return poly_roots(reversed);
+}
+
+std::vector<Complex> TransferFunction::zeros() const {
+  std::vector<double> reversed(b.rbegin(), b.rend());
+  return poly_roots(reversed);
+}
+
+bool TransferFunction::is_stable(double margin) const {
+  for (const Complex& p : poles()) {
+    if (std::abs(p) >= 1.0 - margin) return false;
+  }
+  return true;
+}
+
+TransferFunction Zpk::to_tf(double tol) const {
+  TransferFunction tf;
+  tf.b = real_poly_from_roots(zeros, gain, tol);
+  tf.a = real_poly_from_roots(poles, 1.0, tol);
+  // real_poly_from_roots returns lowest power of z first for a polynomial in
+  // z; convert to powers of z^-1. For H(z) = g * prod(z - zi) / prod(z - pi)
+  // with equal numerator/denominator length, dividing both by z^N turns the
+  // polynomial in z (lowest power first) into a polynomial in z^-1 with the
+  // coefficient order reversed.
+  while (tf.b.size() < tf.a.size()) tf.b.push_back(0.0);
+  while (tf.a.size() < tf.b.size()) tf.a.push_back(0.0);
+  std::reverse(tf.b.begin(), tf.b.end());
+  std::reverse(tf.a.begin(), tf.a.end());
+  tf.normalize();
+  return tf;
+}
+
+Complex Zpk::response(Complex z) const {
+  Complex num{gain, 0.0};
+  for (const Complex& zero : zeros) num *= z - zero;
+  Complex den{1.0, 0.0};
+  for (const Complex& pole : poles) den *= z - pole;
+  return num / den;
+}
+
+BandMetrics measure_bandpass(const TransferFunction& tf, double pass_lo,
+                             double pass_hi, double stop_lo, double stop_hi,
+                             int grid_points) {
+  if (!(0.0 <= stop_lo && stop_lo < pass_lo && pass_lo < pass_hi &&
+        pass_hi < stop_hi && stop_hi <= 1.0)) {
+    throw std::invalid_argument("measure_bandpass: band edges out of order");
+  }
+  BandMetrics metrics;
+  double min_pass = 1e300, max_pass = -1e300;
+  for (int i = 0; i < grid_points; ++i) {
+    const double f =
+        pass_lo + (pass_hi - pass_lo) * i / static_cast<double>(grid_points - 1);
+    const double mag = tf.magnitude_db(f * M_PI);
+    min_pass = std::min(min_pass, mag);
+    max_pass = std::max(max_pass, mag);
+  }
+  metrics.min_passband_gain_db = min_pass;
+  metrics.passband_ripple_db = max_pass - min_pass;
+
+  double max_stop = -1e300;
+  for (int i = 0; i < grid_points; ++i) {
+    const double lo_f = stop_lo * i / static_cast<double>(grid_points - 1);
+    max_stop = std::max(max_stop, tf.magnitude_db(lo_f * M_PI));
+    const double hi_f =
+        stop_hi + (1.0 - stop_hi) * i / static_cast<double>(grid_points - 1);
+    max_stop = std::max(max_stop, tf.magnitude_db(hi_f * M_PI));
+  }
+  metrics.max_stopband_gain_db = max_stop;
+
+  // 3-dB bandwidth: scan outward from the passband *peak* to the first
+  // crossings below (peak - 3 dB).
+  double peak = -1e300;
+  double center = 0.5 * (pass_lo + pass_hi);
+  for (int i = 0; i < grid_points; ++i) {
+    const double f =
+        pass_lo + (pass_hi - pass_lo) * i / static_cast<double>(grid_points - 1);
+    const double mag = tf.magnitude_db(f * M_PI);
+    if (mag > peak) {
+      peak = mag;
+      center = f;
+    }
+  }
+  const double target = peak - 3.0;
+  const double step = 1.0 / 8192.0;
+  double lo_edge = 0.0, hi_edge = 1.0;
+  for (double f = center; f > 0.0; f -= step) {
+    if (tf.magnitude_db(f * M_PI) < target) {
+      lo_edge = f;
+      break;
+    }
+  }
+  for (double f = center; f < 1.0; f += step) {
+    if (tf.magnitude_db(f * M_PI) < target) {
+      hi_edge = f;
+      break;
+    }
+  }
+  metrics.bandwidth_3db = (hi_edge - lo_edge) * M_PI;
+  return metrics;
+}
+
+}  // namespace metacore::dsp

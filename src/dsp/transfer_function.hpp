@@ -1,0 +1,64 @@
+// Discrete-time transfer functions H(z) = B(z^-1)/A(z^-1): the compact,
+// complete description of an IIR filter's functionality (Section 3.4 of the
+// paper). Provides frequency-response evaluation, the characteristics the
+// paper measures with SPW (gain, 3-dB bandwidth, passband ripple, stopband
+// attenuation), and stability checking.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "dsp/polynomial.hpp"
+
+namespace metacore::dsp {
+
+/// Coefficients in powers of z^-1: b[0] + b[1] z^-1 + ... A(z^-1) is
+/// normalized so a[0] == 1.
+struct TransferFunction {
+  std::vector<double> b;  ///< numerator
+  std::vector<double> a;  ///< denominator, a[0] == 1 after normalize()
+
+  int order() const;
+
+  /// Divides through by a[0]. Throws if a is empty or a[0] == 0.
+  void normalize();
+
+  /// H(e^{j omega}); omega in radians/sample, [0, pi].
+  Complex response(double omega) const;
+
+  double magnitude(double omega) const { return std::abs(response(omega)); }
+  double magnitude_db(double omega) const;
+
+  /// All poles strictly inside the unit circle (with `margin` slack).
+  bool is_stable(double margin = 1e-9) const;
+
+  std::vector<Complex> poles() const;
+  std::vector<Complex> zeros() const;
+};
+
+/// Pole-zero-gain form, the native output of analog prototype design.
+struct Zpk {
+  std::vector<Complex> zeros;
+  std::vector<Complex> poles;
+  double gain = 1.0;
+
+  TransferFunction to_tf(double tol = 1e-6) const;
+  Complex response(Complex z) const;
+};
+
+/// Measured characteristics of a filter over a frequency band, mirroring
+/// what the paper extracts from SPW simulation runs.
+struct BandMetrics {
+  double passband_ripple_db = 0.0;     ///< max deviation from unity in band
+  double min_passband_gain_db = 0.0;
+  double max_stopband_gain_db = 0.0;   ///< worst-case stopband leakage
+  double bandwidth_3db = 0.0;          ///< 3-dB bandwidth in rad/sample
+};
+
+/// Frequencies are in units of pi rad/sample (the paper's omega/pi
+/// convention). Sweeps `grid_points` frequencies per band.
+BandMetrics measure_bandpass(const TransferFunction& tf, double pass_lo,
+                             double pass_hi, double stop_lo, double stop_hi,
+                             int grid_points = 512);
+
+}  // namespace metacore::dsp

@@ -1,0 +1,138 @@
+#include "search/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace metacore::search {
+
+SearchResult random_search(const DesignSpace& space, const Objective& objective,
+                           const EvaluateFn& evaluate, std::size_t budget,
+                           int fidelity, std::uint64_t seed) {
+  if (!evaluate) {
+    throw std::invalid_argument("random_search: null evaluator");
+  }
+  util::Random rng(seed);
+  SearchResult result;
+  std::map<std::vector<int>, bool> seen;
+  // Allow some re-draw slack for small spaces, then stop.
+  std::size_t attempts = 0;
+  while (result.evaluations < budget && attempts < budget * 4) {
+    ++attempts;
+    std::vector<int> indices(space.dimensions());
+    for (std::size_t d = 0; d < space.dimensions(); ++d) {
+      indices[d] = static_cast<int>(rng.uniform_index(
+          space.parameters()[d].values.size()));
+    }
+    if (!seen.emplace(indices, true).second) continue;
+    const std::vector<double> values = space.values_at(indices);
+    Evaluation eval = evaluate(values, fidelity);
+    ++result.evaluations;
+    EvaluatedPoint point{indices, values, std::move(eval), fidelity};
+    if (result.best.indices.empty() ||
+        objective.better(point.eval, result.best.eval)) {
+      result.best = point;
+      result.found_feasible = objective.feasible(point.eval);
+    }
+    result.history.push_back(std::move(point));
+  }
+  result.levels_executed = 1;
+  return result;
+}
+
+SearchResult annealing_search(const DesignSpace& space,
+                              const Objective& objective,
+                              const EvaluateFn& evaluate,
+                              AnnealingConfig config, int fidelity) {
+  if (!evaluate) {
+    throw std::invalid_argument("annealing_search: null evaluator");
+  }
+  if (config.budget < 1 || config.cooling <= 0.0 || config.cooling >= 1.0 ||
+      config.initial_temperature <= 0.0) {
+    throw std::invalid_argument("annealing_search: degenerate configuration");
+  }
+  util::Random rng(config.seed);
+  SearchResult result;
+
+  // Penalized energy: minimized metric plus weighted constraint violations;
+  // hard-infeasible points get a large constant offset.
+  const auto energy = [&](const Evaluation& eval) {
+    double e = 0.0;
+    if (!objective.minimize.empty() && eval.has_metric(objective.minimize)) {
+      e += eval.metric(objective.minimize);
+    }
+    if (!eval.feasible) e += 100.0 * config.violation_penalty;
+    for (const auto& c : objective.constraints) {
+      e += config.violation_penalty * std::max(0.0, c.violation(eval));
+    }
+    return e;
+  };
+
+  // Start in the middle of the lattice.
+  std::vector<int> current(space.dimensions());
+  for (std::size_t d = 0; d < space.dimensions(); ++d) {
+    current[d] = static_cast<int>(space.parameters()[d].values.size()) / 2;
+  }
+  Evaluation current_eval = evaluate(space.values_at(current), fidelity);
+  ++result.evaluations;
+  double current_energy = energy(current_eval);
+  result.best = {current, space.values_at(current), current_eval, fidelity};
+  result.found_feasible = objective.feasible(current_eval);
+  result.history.push_back(result.best);
+
+  double temperature = config.initial_temperature;
+  while (result.evaluations < config.budget) {
+    // Single-coordinate neighbor move.
+    std::vector<int> candidate = current;
+    const auto dim = static_cast<std::size_t>(
+        rng.uniform_index(space.dimensions()));
+    const int domain =
+        static_cast<int>(space.parameters()[dim].values.size());
+    if (domain > 1) {
+      const int step = rng.bit() ? 1 : -1;
+      candidate[dim] =
+          std::clamp(candidate[dim] + step, 0, domain - 1);
+    }
+    if (candidate == current) {
+      temperature *= config.cooling;
+      continue;
+    }
+    Evaluation cand_eval = evaluate(space.values_at(candidate), fidelity);
+    ++result.evaluations;
+    const double cand_energy = energy(cand_eval);
+    EvaluatedPoint point{candidate, space.values_at(candidate), cand_eval,
+                         fidelity};
+    if (objective.better(point.eval, result.best.eval)) {
+      result.best = point;
+      result.found_feasible = objective.feasible(point.eval);
+    }
+    result.history.push_back(std::move(point));
+
+    const double delta = cand_energy - current_energy;
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
+      current = candidate;
+      current_energy = cand_energy;
+    }
+    temperature *= config.cooling;
+  }
+  result.levels_executed = 1;
+  return result;
+}
+
+SearchResult grid_search(const DesignSpace& space, const Objective& objective,
+                         const EvaluateFn& evaluate, int points_per_dim,
+                         std::size_t max_evaluations) {
+  SearchConfig config;
+  config.initial_points_per_dim = points_per_dim;
+  config.max_initial_evaluations = static_cast<int>(max_evaluations);
+  config.max_evaluations = max_evaluations;
+  config.max_resolution = 0;
+  MultiresolutionSearch engine(space, objective, evaluate, config);
+  return engine.run();
+}
+
+}  // namespace metacore::search

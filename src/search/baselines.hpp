@@ -1,0 +1,44 @@
+// Baseline search strategies for ablation against the multiresolution
+// search: uniform random sampling and a plain fixed-grid pass (the
+// "initial grid only" strategy, i.e. the multiresolution search with zero
+// refinement levels).
+#pragma once
+
+#include <cstdint>
+
+#include "search/multires_search.hpp"
+
+namespace metacore::search {
+
+/// Uniform random sampling of the design space: `budget` evaluations at the
+/// given fidelity, best point returned. The canonical "no structure
+/// exploited" baseline.
+SearchResult random_search(const DesignSpace& space, const Objective& objective,
+                           const EvaluateFn& evaluate, std::size_t budget,
+                           int fidelity = 0, std::uint64_t seed = 1);
+
+/// Single sparse-grid pass (no refinement): what the multiresolution search
+/// degenerates to with max_resolution = 0. Provided as a named baseline for
+/// readability in ablation tables.
+SearchResult grid_search(const DesignSpace& space, const Objective& objective,
+                         const EvaluateFn& evaluate, int points_per_dim,
+                         std::size_t max_evaluations);
+
+/// Simulated annealing over the index lattice: single-coordinate moves,
+/// geometric cooling, Metropolis acceptance on a penalized objective
+/// (constraint violations added to the minimized metric). The classic
+/// stochastic-search comparison point for the greedy multiresolution
+/// refinement.
+struct AnnealingConfig {
+  std::size_t budget = 500;        ///< evaluations
+  double initial_temperature = 1.0;
+  double cooling = 0.98;           ///< temperature factor per move
+  double violation_penalty = 10.0; ///< weight on constraint violations
+  std::uint64_t seed = 1;
+};
+SearchResult annealing_search(const DesignSpace& space,
+                              const Objective& objective,
+                              const EvaluateFn& evaluate,
+                              AnnealingConfig config = {}, int fidelity = 0);
+
+}  // namespace metacore::search

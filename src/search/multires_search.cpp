@@ -1,0 +1,349 @@
+#include "search/multires_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace metacore::search {
+
+MultiresolutionSearch::MultiresolutionSearch(DesignSpace space,
+                                             Objective objective,
+                                             EvaluateFn evaluate,
+                                             SearchConfig config)
+    : space_(std::move(space)),
+      objective_(std::move(objective)),
+      evaluate_(std::move(evaluate)),
+      config_(config) {
+  if (!evaluate_) {
+    throw std::invalid_argument("MultiresolutionSearch: null evaluator");
+  }
+  if (config_.max_resolution < 0 || config_.initial_points_per_dim < 1 ||
+      config_.refined_points_per_dim < 2 || config_.regions_per_level < 1) {
+    throw std::invalid_argument("MultiresolutionSearch: bad configuration");
+  }
+  if (!config_.probabilistic_metric.empty()) {
+    for (const auto& c : objective_.constraints) {
+      if (c.metric == config_.probabilistic_metric &&
+          c.kind == Constraint::Kind::UpperBound) {
+        has_probabilistic_ = true;
+        probabilistic_bound_ = c.bound;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::vector<int>> MultiresolutionSearch::sample_grid(
+    const Region& region, int points_per_dim, std::size_t cap) const {
+  const std::size_t dims = space_.dimensions();
+  std::vector<std::vector<int>> per_dim(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto [lo, hi] = region.ranges[d];
+    const int span = hi - lo;
+    const int k = std::min(points_per_dim, span + 1);
+    std::set<int> picks;
+    if (k == 1) {
+      picks.insert(lo + span / 2);
+    } else {
+      for (int i = 0; i < k; ++i) {
+        picks.insert(lo + (span * i) / (k - 1));
+      }
+    }
+    per_dim[d].assign(picks.begin(), picks.end());
+  }
+  // Respect the evaluation cap by thinning the densest dimensions first.
+  auto total = [&] {
+    std::size_t t = 1;
+    for (const auto& v : per_dim) {
+      if (t > cap * 4) return t;  // avoid overflow; already way over
+      t *= v.size();
+    }
+    return t;
+  };
+  while (total() > cap) {
+    // Thin the densest dimension; among ties prefer the *last* one so that
+    // dimensions listed first (by convention the most influential, e.g. K
+    // before M for the Viterbi space) keep their midpoints longest.
+    auto densest = per_dim.begin();
+    for (auto it = per_dim.begin(); it != per_dim.end(); ++it) {
+      if (it->size() >= densest->size()) densest = it;
+    }
+    if (densest->size() <= 1) break;
+    // Drop every other interior point, keeping the endpoints.
+    std::vector<int> thinned;
+    for (std::size_t i = 0; i < densest->size(); ++i) {
+      if (i == 0 || i + 1 == densest->size() || i % 2 == 0) {
+        thinned.push_back((*densest)[i]);
+      }
+    }
+    if (thinned.size() == densest->size()) thinned.pop_back();
+    *densest = std::move(thinned);
+  }
+
+  // Cartesian product.
+  std::vector<std::vector<int>> grid;
+  std::vector<std::size_t> cursor(dims, 0);
+  while (true) {
+    std::vector<int> point(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      point[d] = per_dim[d][cursor[d]];
+    }
+    grid.push_back(std::move(point));
+    std::size_t d = 0;
+    while (d < dims && ++cursor[d] == per_dim[d].size()) {
+      cursor[d] = 0;
+      ++d;
+    }
+    if (d == dims) break;
+  }
+  return grid;
+}
+
+const Evaluation& MultiresolutionSearch::evaluate_cached(
+    const std::vector<int>& indices, int fidelity, SearchResult& result) {
+  auto& by_fidelity = cache_[indices];
+  // A higher-fidelity result supersedes lower ones.
+  auto it = by_fidelity.lower_bound(fidelity);
+  if (it != by_fidelity.end()) return it->second;
+
+  const std::vector<double> values = space_.values_at(indices);
+  Evaluation eval = evaluate_(values, fidelity);
+  ++result.evaluations;
+
+  if (has_probabilistic_ && eval.has_metric(config_.probabilistic_metric)) {
+    ber_predictor_.add(space_.normalized(indices),
+                       eval.metric(config_.probabilistic_metric),
+                       std::max(1.0, eval.confidence_weight));
+  }
+  if (!objective_.minimize.empty() && eval.feasible &&
+      eval.has_metric(objective_.minimize)) {
+    objective_estimator_.add(space_.normalized(indices),
+                             eval.metric(objective_.minimize));
+  }
+  auto [slot, inserted] = by_fidelity.emplace(fidelity, std::move(eval));
+  return slot->second;
+}
+
+MultiresolutionSearch::Region MultiresolutionSearch::region_around(
+    const std::vector<int>& center, const std::vector<std::vector<int>>& grid,
+    const Region& parent) const {
+  // Per dimension: the interval between the sampled grid coordinates
+  // adjacent to the center.
+  const std::size_t dims = space_.dimensions();
+  Region out;
+  out.ranges.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::set<int> coords;
+    for (const auto& p : grid) coords.insert(p[d]);
+    int lo = parent.ranges[d].first;
+    int hi = parent.ranges[d].second;
+    auto it = coords.find(center[d]);
+    if (it != coords.end()) {
+      // Halve toward the sampled neighbors so each level genuinely narrows:
+      // the subregion spans from the midpoint to the previous sample to the
+      // midpoint to the next sample.
+      if (it != coords.begin()) {
+        lo = std::max(lo, (*std::prev(it) + *it + 1) / 2);
+      }
+      if (std::next(it) != coords.end()) {
+        hi = std::min(hi, (*it + *std::next(it)) / 2);
+      }
+    }
+    lo = std::min(lo, center[d]);
+    hi = std::max(hi, center[d]);
+    out.ranges[d] = {lo, hi};
+  }
+  return out;
+}
+
+void MultiresolutionSearch::search_region(const Region& region, int resolution,
+                                          SearchResult& result) {
+  if (result.evaluations >= config_.max_evaluations) return;
+  const std::size_t cap =
+      resolution == 0
+          ? static_cast<std::size_t>(config_.max_initial_evaluations)
+          : static_cast<std::size_t>(config_.max_initial_evaluations);
+  const int ppd = resolution == 0 ? config_.initial_points_per_dim
+                                  : config_.refined_points_per_dim;
+  const std::vector<std::vector<int>> grid = sample_grid(region, ppd, cap);
+  result.levels_executed = std::max(result.levels_executed, resolution + 1);
+
+  struct Scored {
+    std::vector<int> indices;
+    const Evaluation* eval;
+    double score;
+  };
+  std::vector<Scored> scored;
+  for (const auto& indices : grid) {
+    if (result.evaluations >= config_.max_evaluations) break;
+    const Evaluation& eval = evaluate_cached(indices, resolution, result);
+    // Track the global best.
+    if (result.best.indices.empty() ||
+        objective_.better(eval, result.best.eval)) {
+      result.best = {indices, space_.values_at(indices), eval, resolution};
+      result.found_feasible = objective_.feasible(eval);
+    }
+    if (!eval.feasible) continue;
+
+    // Score for refinement: objective metric deflated by the probability
+    // of meeting the probabilistic constraint near this point.
+    double prob = 1.0;
+    if (has_probabilistic_) {
+      prob = ber_predictor_.probability_below(space_.normalized(indices),
+                                              probabilistic_bound_);
+      if (prob < config_.probability_keep_threshold) continue;
+    }
+    double metric = std::numeric_limits<double>::infinity();
+    if (!objective_.minimize.empty() && eval.has_metric(objective_.minimize)) {
+      metric = eval.metric(objective_.minimize);
+    }
+    // All deterministic constraints must hold for the region to be worth
+    // refining; probabilistic ones are handled by `prob`.
+    bool deterministic_ok = true;
+    for (const auto& c : objective_.constraints) {
+      if (c.metric == config_.probabilistic_metric) continue;
+      if (!c.satisfied(eval)) {
+        deterministic_ok = false;
+        break;
+      }
+    }
+    if (!deterministic_ok) continue;
+    scored.push_back({indices, &eval, metric / std::max(prob, 1e-6)});
+  }
+
+  if (resolution >= config_.max_resolution) return;
+  if (scored.empty()) return;
+
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.score < b.score; });
+
+  int refined = 0;
+  std::vector<Region> chosen;
+  for (const auto& s : scored) {
+    if (refined >= config_.regions_per_level) break;
+    Region sub = region_around(s.indices, grid, region);
+    // Skip regions identical to an already-chosen one.
+    bool duplicate = false;
+    for (const auto& c : chosen) {
+      if (c.ranges == sub.ranges) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    chosen.push_back(sub);
+    ++refined;
+  }
+  for (const auto& sub : chosen) {
+    search_region(sub, resolution + 1, result);
+  }
+}
+
+SearchResult MultiresolutionSearch::run() {
+  SearchResult result;
+  Region full;
+  full.ranges.reserve(space_.dimensions());
+  for (const auto& p : space_.parameters()) {
+    full.ranges.push_back({0, static_cast<int>(p.values.size()) - 1});
+  }
+  search_region(full, 0, result);
+
+  // Final history: the best-fidelity evaluation of each distinct point.
+  result.history.reserve(cache_.size());
+  for (const auto& [indices, by_fidelity] : cache_) {
+    const auto& [fid, eval] = *by_fidelity.rbegin();
+    result.history.push_back(
+        {indices, space_.values_at(indices), eval, fid});
+  }
+  return result;
+}
+
+SearchResult exhaustive_search(const DesignSpace& space,
+                               const Objective& objective,
+                               const EvaluateFn& evaluate, int fidelity,
+                               std::size_t max_points) {
+  if (space.size() > max_points) {
+    throw std::invalid_argument(
+        "exhaustive_search: design space exceeds the point budget");
+  }
+  SearchResult result;
+  const std::size_t dims = space.dimensions();
+  std::vector<int> cursor(dims, 0);
+  while (true) {
+    const std::vector<double> values = space.values_at(cursor);
+    Evaluation eval = evaluate(values, fidelity);
+    ++result.evaluations;
+    EvaluatedPoint point{cursor, values, eval, fidelity};
+    if (result.best.indices.empty() ||
+        objective.better(eval, result.best.eval)) {
+      result.best = point;
+      result.found_feasible = objective.feasible(eval);
+    }
+    result.history.push_back(std::move(point));
+
+    std::size_t d = 0;
+    while (d < dims) {
+      if (++cursor[d] <
+          static_cast<int>(space.parameters()[d].values.size())) {
+        break;
+      }
+      cursor[d] = 0;
+      ++d;
+    }
+    if (d == dims) break;
+  }
+  result.levels_executed = 1;
+  return result;
+}
+
+SearchResult verify_top_candidates(SearchResult result,
+                                   const DesignSpace& space,
+                                   const Objective& objective,
+                                   const EvaluateFn& evaluate, int top_k,
+                                   int fidelity) {
+  if (top_k < 1) {
+    throw std::invalid_argument("verify_top_candidates: top_k must be >= 1");
+  }
+  // Re-evaluations use the candidates' stored values directly; the space
+  // parameter documents (and future-proofs) the coordinate system.
+  (void)space;
+  std::vector<const EvaluatedPoint*> ranked;
+  ranked.reserve(result.history.size());
+  for (const auto& p : result.history) ranked.push_back(&p);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const EvaluatedPoint* a, const EvaluatedPoint* b) {
+              return objective.better(a->eval, b->eval);
+            });
+
+  // Walk the ranked list, re-verifying candidates at high fidelity, until
+  // a few have been *confirmed* feasible (noisy screening estimates put
+  // lucky-but-bad points at the top; they must not exhaust the budget).
+  constexpr int kStopAfterConfirmed = 3;
+  bool have_best = false;
+  int confirmed = 0;
+  EvaluatedPoint best;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (static_cast<int>(i) >= top_k && confirmed > 0) break;
+    if (static_cast<int>(i) >= 4 * top_k) break;  // give up eventually
+    const EvaluatedPoint* cand = ranked[i];
+    Evaluation eval = cand->fidelity >= fidelity
+                          ? cand->eval
+                          : evaluate(cand->values, fidelity);
+    if (cand->fidelity < fidelity) ++result.evaluations;
+    const bool feasible = objective.feasible(eval);
+    if (!have_best || objective.better(eval, best.eval)) {
+      best = {cand->indices, cand->values, std::move(eval), fidelity};
+      have_best = true;
+    }
+    if (feasible && ++confirmed >= kStopAfterConfirmed) break;
+  }
+  if (have_best) {
+    result.best = std::move(best);
+    result.found_feasible = objective.feasible(result.best.eval);
+  }
+  return result;
+}
+
+}  // namespace metacore::search

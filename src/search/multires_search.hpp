@@ -1,0 +1,124 @@
+// The multiresolution design-space search of Section 4.4 / Figure 6:
+// evaluate a sparse grid, identify promising regions using interpolation
+// (smooth metrics) and Bayesian BER prediction (probabilistic metrics),
+// then recurse on those regions with a finer grid and higher simulation
+// fidelity, up to a maximum resolution.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "search/objective.hpp"
+#include "search/parameter.hpp"
+#include "search/predictor.hpp"
+
+namespace metacore::search {
+
+struct SearchConfig {
+  /// Grid density of the initial sparse pass; the total initial evaluation
+  /// count is capped (the paper evaluates "up to 256 instances").
+  int initial_points_per_dim = 3;
+  int max_initial_evaluations = 256;
+  /// Number of refinement levels after the initial grid (Figure 6's
+  /// MAX_SEARCH_RESOLUTION).
+  int max_resolution = 3;
+  /// Promising regions refined per level (Refine_Grid output size).
+  int regions_per_level = 4;
+  int refined_points_per_dim = 3;
+  /// Hard evaluation budget across all levels.
+  std::size_t max_evaluations = 5000;
+  /// Name of the probabilistic metric guarded by the Bayesian predictor
+  /// (empty = none). Must appear as an UpperBound constraint to guide
+  /// pruning.
+  std::string probabilistic_metric;
+  /// Regions whose probability of meeting the probabilistic constraint
+  /// falls below this are pruned without refinement.
+  double probability_keep_threshold = 0.05;
+};
+
+struct EvaluatedPoint {
+  std::vector<int> indices;
+  std::vector<double> values;
+  Evaluation eval;
+  int fidelity = 0;
+};
+
+struct SearchResult {
+  bool found_feasible = false;
+  EvaluatedPoint best{};
+  std::size_t evaluations = 0;  ///< evaluator invocations (cache misses)
+  int levels_executed = 0;
+  /// Every distinct point evaluated (highest-fidelity result per point) —
+  /// the population behind the paper's "average case" comparisons.
+  std::vector<EvaluatedPoint> history;
+};
+
+class MultiresolutionSearch {
+ public:
+  MultiresolutionSearch(DesignSpace space, Objective objective,
+                        EvaluateFn evaluate, SearchConfig config = {});
+
+  SearchResult run();
+
+ private:
+  struct Region {
+    /// Inclusive index range per dimension.
+    std::vector<std::pair<int, int>> ranges;
+  };
+
+  std::vector<std::vector<int>> sample_grid(const Region& region,
+                                            int points_per_dim,
+                                            std::size_t cap) const;
+  const Evaluation& evaluate_cached(const std::vector<int>& indices,
+                                    int fidelity, SearchResult& result);
+  void search_region(const Region& region, int resolution,
+                     SearchResult& result);
+  Region region_around(const std::vector<int>& center,
+                       const std::vector<std::vector<int>>& grid,
+                       const Region& parent) const;
+
+  DesignSpace space_;
+  Objective objective_;
+  EvaluateFn evaluate_;
+  SearchConfig config_;
+
+  std::map<std::vector<int>, std::map<int, Evaluation>> cache_;
+  BerPredictor ber_predictor_;
+  /// Interpolator over the (smooth) objective metric, maintained for
+  /// callers that want post-hoc surface estimates (the paper's smooth-
+  /// metric interpolation); predictive *reordering* of grid evaluations was
+  /// measured to perturb refinement trajectories on noisy landscapes for
+  /// no quality gain, so the search itself only accumulates it.
+  SmoothEstimator objective_estimator_;
+  double probabilistic_bound_ = 0.0;
+  bool has_probabilistic_ = false;
+
+ public:
+  /// Read access to the accumulated objective-surface interpolator.
+  const SmoothEstimator& objective_estimator() const {
+    return objective_estimator_;
+  }
+};
+
+/// Exhaustive full-factorial baseline at a fixed fidelity — the comparison
+/// point for the greedy-vs-exhaustive ablation. Throws std::invalid_argument
+/// when the space exceeds `max_points`.
+SearchResult exhaustive_search(const DesignSpace& space,
+                               const Objective& objective,
+                               const EvaluateFn& evaluate, int fidelity,
+                               std::size_t max_points = 2'000'000);
+
+/// Final verification pass: re-evaluates the `top_k` best points of a
+/// finished search at `fidelity` (typically higher than the search used)
+/// and re-selects the winner — the "longer simulation times" refinement
+/// the paper applies to surviving candidates. Returns the updated result;
+/// `result.evaluations` grows by the re-evaluations performed.
+SearchResult verify_top_candidates(SearchResult result,
+                                   const DesignSpace& space,
+                                   const Objective& objective,
+                                   const EvaluateFn& evaluate, int top_k,
+                                   int fidelity);
+
+}  // namespace metacore::search

@@ -1,0 +1,67 @@
+#include "search/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::search {
+
+double Evaluation::metric(const std::string& name) const {
+  const auto it = metrics.find(name);
+  if (it == metrics.end()) {
+    throw std::invalid_argument("Evaluation: missing metric '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Evaluation::has_metric(const std::string& name) const {
+  return metrics.find(name) != metrics.end();
+}
+
+bool Constraint::satisfied(const Evaluation& eval) const {
+  return violation(eval) <= 0.0;
+}
+
+double Constraint::violation(const Evaluation& eval) const {
+  if (!eval.has_metric(metric)) return 1.0;  // unknown counts as violated
+  const double value = eval.metric(metric);
+  const double scale = bound != 0.0 ? std::abs(bound) : 1.0;
+  switch (kind) {
+    case Kind::UpperBound:
+      return (value - bound) / scale;
+    case Kind::LowerBound:
+      return (bound - value) / scale;
+  }
+  return 1.0;
+}
+
+bool Objective::feasible(const Evaluation& eval) const {
+  if (!eval.feasible) return false;
+  for (const auto& c : constraints) {
+    if (!c.satisfied(eval)) return false;
+  }
+  return true;
+}
+
+bool Objective::better(const Evaluation& a, const Evaluation& b) const {
+  const bool fa = feasible(a);
+  const bool fb = feasible(b);
+  if (fa != fb) return fa;
+  if (!fa) {
+    // Both infeasible: smaller total violation wins.
+    double va = a.feasible ? 0.0 : 1e9;
+    double vb = b.feasible ? 0.0 : 1e9;
+    for (const auto& c : constraints) {
+      va += std::max(0.0, c.violation(a));
+      vb += std::max(0.0, c.violation(b));
+    }
+    return va < vb;
+  }
+  if (minimize.empty()) return false;
+  if (!a.has_metric(minimize) || !b.has_metric(minimize)) {
+    return a.has_metric(minimize);
+  }
+  return a.metric(minimize) < b.metric(minimize);
+}
+
+}  // namespace metacore::search

@@ -1,0 +1,56 @@
+// Objective functions and constraints (component (ii) of the MetaCore
+// approach): named metrics produced by an evaluation, bound constraints on
+// them, and a single metric to minimize — e.g. "minimize area subject to
+// BER <= target and throughput >= target" for the Viterbi MetaCore.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace metacore::search {
+
+/// The result of evaluating one design point at some fidelity. `metrics`
+/// hold named quantities ("ber", "area_mm2", ...); `feasible` covers
+/// intrinsic failures (e.g. no hardware configuration meets throughput).
+struct Evaluation {
+  bool feasible = true;
+  std::map<std::string, double> metrics;
+  /// For probabilistic metrics: how much evidence backs them (e.g. bits
+  /// simulated); used by the Bayesian predictor to weight observations.
+  double confidence_weight = 1.0;
+
+  double metric(const std::string& name) const;
+  bool has_metric(const std::string& name) const;
+};
+
+/// Evaluation callback. `point` holds one value per design-space dimension;
+/// `fidelity` scales simulation effort (0 = cheapest screening run; each
+/// additional level buys longer, more accurate simulation — the paper's
+/// "more accurate simulation results (longer run times)").
+using EvaluateFn =
+    std::function<Evaluation(const std::vector<double>& point, int fidelity)>;
+
+struct Constraint {
+  enum class Kind { UpperBound, LowerBound } kind = Kind::UpperBound;
+  std::string metric;
+  double bound = 0.0;
+
+  bool satisfied(const Evaluation& eval) const;
+  /// Signed violation (<= 0 when satisfied), normalized by the bound.
+  double violation(const Evaluation& eval) const;
+};
+
+struct Objective {
+  std::string minimize;  ///< metric to minimize among feasible points
+  std::vector<Constraint> constraints;
+
+  bool feasible(const Evaluation& eval) const;
+
+  /// Totally ordered comparison: feasibility first, then constraint
+  /// violation, then the objective metric. Returns true when `a` is better.
+  bool better(const Evaluation& a, const Evaluation& b) const;
+};
+
+}  // namespace metacore::search

@@ -1,0 +1,94 @@
+#include "search/parameter.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace metacore::search {
+
+std::string to_string(Correlation c) {
+  switch (c) {
+    case Correlation::NonCorrelated:
+      return "non-correlated";
+    case Correlation::Monotonic:
+      return "monotonic";
+    case Correlation::Smooth:
+      return "smooth";
+    case Correlation::Probabilistic:
+      return "probabilistic";
+  }
+  return "?";
+}
+
+void ParameterDef::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("ParameterDef: unnamed parameter");
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("ParameterDef '" + name + "': empty domain");
+  }
+}
+
+DesignSpace::DesignSpace(std::vector<ParameterDef> params)
+    : params_(std::move(params)) {
+  if (params_.empty()) {
+    throw std::invalid_argument("DesignSpace: no parameters");
+  }
+  for (const auto& p : params_) p.validate();
+}
+
+std::uint64_t DesignSpace::size() const {
+  std::uint64_t total = 1;
+  for (const auto& p : params_) {
+    const auto n = static_cast<std::uint64_t>(p.values.size());
+    if (total > std::numeric_limits<std::uint64_t>::max() / n) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    total *= n;
+  }
+  return total;
+}
+
+void DesignSpace::check_indices(const std::vector<int>& indices) const {
+  if (indices.size() != params_.size()) {
+    throw std::out_of_range("DesignSpace: index dimensionality mismatch");
+  }
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    if (indices[d] < 0 ||
+        static_cast<std::size_t>(indices[d]) >= params_[d].values.size()) {
+      throw std::out_of_range("DesignSpace: index out of range for '" +
+                              params_[d].name + "'");
+    }
+  }
+}
+
+std::vector<double> DesignSpace::values_at(
+    const std::vector<int>& indices) const {
+  check_indices(indices);
+  std::vector<double> out(params_.size());
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    out[d] = params_[d].values[static_cast<std::size_t>(indices[d])];
+  }
+  return out;
+}
+
+std::vector<double> DesignSpace::normalized(
+    const std::vector<int>& indices) const {
+  check_indices(indices);
+  std::vector<double> out(params_.size());
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    const auto n = params_[d].values.size();
+    out[d] = n > 1 ? static_cast<double>(indices[d]) /
+                         static_cast<double>(n - 1)
+                   : 0.0;
+  }
+  return out;
+}
+
+int DesignSpace::find(const std::string& name) const {
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    if (params_[d].name == name) return static_cast<int>(d);
+  }
+  return -1;
+}
+
+}  // namespace metacore::search

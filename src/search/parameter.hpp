@@ -1,0 +1,64 @@
+// Design-space formulation (component (i) of the MetaCore approach): typed
+// parameter definitions with the classification of Section 4.4 — discrete
+// vs continuous, correlated vs non-correlated, and the structure of the
+// correlation (monotonic/smooth/probabilistic) that tells the search which
+// estimator may be trusted between evaluated points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metacore::search {
+
+/// How a metric responds along this parameter axis.
+enum class Correlation : int {
+  NonCorrelated,  ///< no exploitable structure; must be enumerated
+  Monotonic,      ///< ordered influence (e.g. quantizer bits -> BER)
+  Smooth,         ///< interpolation-friendly (e.g. traceback depth -> area)
+  Probabilistic,  ///< noisy/statistical (e.g. BER estimates)
+};
+
+std::string to_string(Correlation c);
+
+struct ParameterDef {
+  std::string name;
+  /// The ordered discrete domain. Continuous parameters are represented by
+  /// a fine discretization of their range (the paper's solution space is a
+  /// discrete 8-dimensional matrix, Section 4.1).
+  std::vector<double> values;
+  bool continuous = false;
+  Correlation correlation = Correlation::Smooth;
+
+  void validate() const;
+};
+
+/// A full design space: the cross product of the parameter domains.
+class DesignSpace {
+ public:
+  explicit DesignSpace(std::vector<ParameterDef> params);
+
+  const std::vector<ParameterDef>& parameters() const { return params_; }
+  std::size_t dimensions() const { return params_.size(); }
+
+  /// Total number of points (can be astronomically large; saturates at
+  /// UINT64_MAX).
+  std::uint64_t size() const;
+
+  /// Maps an index vector (one index per dimension) to parameter values.
+  std::vector<double> values_at(const std::vector<int>& indices) const;
+
+  /// Normalizes an index vector into [0,1]^d for distance computations.
+  std::vector<double> normalized(const std::vector<int>& indices) const;
+
+  /// Throws std::out_of_range unless every index addresses its domain.
+  void check_indices(const std::vector<int>& indices) const;
+
+  /// Index of `name` or -1.
+  int find(const std::string& name) const;
+
+ private:
+  std::vector<ParameterDef> params_;
+};
+
+}  // namespace metacore::search

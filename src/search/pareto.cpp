@@ -1,0 +1,63 @@
+#include "search/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace metacore::search {
+
+std::vector<EvaluatedPoint> pareto_front(
+    const std::vector<EvaluatedPoint>& history, const std::string& metric_x,
+    const std::string& metric_y) {
+  std::vector<const EvaluatedPoint*> candidates;
+  for (const auto& p : history) {
+    if (p.eval.feasible && p.eval.has_metric(metric_x) &&
+        p.eval.has_metric(metric_y)) {
+      candidates.push_back(&p);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const EvaluatedPoint* a, const EvaluatedPoint* b) {
+              const double ax = a->eval.metric(metric_x);
+              const double bx = b->eval.metric(metric_x);
+              if (ax != bx) return ax < bx;
+              return a->eval.metric(metric_y) < b->eval.metric(metric_y);
+            });
+  std::vector<EvaluatedPoint> front;
+  double best_y = std::numeric_limits<double>::infinity();
+  for (const EvaluatedPoint* p : candidates) {
+    const double y = p->eval.metric(metric_y);
+    if (y < best_y) {
+      front.push_back(*p);
+      best_y = y;
+    }
+  }
+  return front;
+}
+
+double hypervolume_2d(const std::vector<EvaluatedPoint>& front,
+                      const std::string& metric_x, const std::string& metric_y,
+                      double ref_x, double ref_y) {
+  // `front` need not be pre-filtered; re-derive the staircase, then sweep
+  // it left to right: each point covers [x_i, min(next_x, ref_x)) in x and
+  // [y_i, ref_y) in y (minimization convention).
+  const std::vector<EvaluatedPoint> staircase =
+      pareto_front(front, metric_x, metric_y);
+  double volume = 0.0;
+  for (std::size_t i = 0; i < staircase.size(); ++i) {
+    const double x = staircase[i].eval.metric(metric_x);
+    const double y = staircase[i].eval.metric(metric_y);
+    if (x >= ref_x || y >= ref_y) continue;
+    double next_x = ref_x;
+    for (std::size_t j = i + 1; j < staircase.size(); ++j) {
+      const double xj = staircase[j].eval.metric(metric_x);
+      const double yj = staircase[j].eval.metric(metric_y);
+      if (xj >= ref_x || yj >= ref_y) continue;
+      next_x = xj;
+      break;
+    }
+    volume += (std::min(next_x, ref_x) - x) * (ref_y - y);
+  }
+  return volume;
+}
+
+}  // namespace metacore::search

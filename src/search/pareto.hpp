@@ -1,0 +1,28 @@
+// Pareto-front extraction over search histories: the paper's objective is
+// single-metric-under-constraints, but the underlying trade-off (e.g. BER
+// vs area for the Viterbi MetaCore) is two-dimensional; exposing the front
+// lets users pick operating points without re-running the search.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "search/multires_search.hpp"
+
+namespace metacore::search {
+
+/// Returns the subset of `history` that is Pareto-optimal when *minimizing*
+/// both named metrics. Points missing either metric or flagged infeasible
+/// are skipped. The result is sorted by the first metric ascending.
+std::vector<EvaluatedPoint> pareto_front(
+    const std::vector<EvaluatedPoint>& history, const std::string& metric_x,
+    const std::string& metric_y);
+
+/// Hypervolume indicator (2D, minimization) of a front against a reference
+/// point — a scalar quality measure for search-strategy ablations. Points
+/// beyond the reference contribute nothing.
+double hypervolume_2d(const std::vector<EvaluatedPoint>& front,
+                      const std::string& metric_x, const std::string& metric_y,
+                      double ref_x, double ref_y);
+
+}  // namespace metacore::search

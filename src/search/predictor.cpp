@@ -1,0 +1,107 @@
+#include "search/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::search {
+
+namespace {
+
+double sq_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("predictor: coordinate dimension mismatch");
+  }
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+/// Standard normal CDF.
+double phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+void SmoothEstimator::add(std::vector<double> coords, double value) {
+  coords_.push_back(std::move(coords));
+  values_.push_back(value);
+}
+
+double SmoothEstimator::predict(std::span<const double> coords) const {
+  if (coords_.empty()) return 0.0;
+  double wsum = 0.0, vsum = 0.0;
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    const double d2 = sq_distance(coords_[i], coords);
+    if (d2 < 1e-18) return values_[i];  // exact at evaluated points
+    const double w = 1.0 / d2;
+    wsum += w;
+    vsum += w * values_[i];
+  }
+  return vsum / wsum;
+}
+
+void BerPredictor::add(std::vector<double> coords, double ber, double trials) {
+  if (trials <= 0.0) {
+    throw std::invalid_argument("BerPredictor: non-positive evidence");
+  }
+  coords_.push_back(std::move(coords));
+  log_ber_.push_back(std::log10(std::clamp(ber, 1e-12, 1.0)));
+  evidence_.push_back(trials);
+}
+
+BerPredictor::Prediction BerPredictor::predict(
+    std::span<const double> coords) const {
+  Prediction p;
+  if (coords_.empty()) {
+    p.log10_sigma = 3.0;  // essentially uninformative
+    return p;
+  }
+  // Gaussian kernel on distance, scaled by the evidence weight. The
+  // length-scale is set to a quarter of the normalized cube diagonal so a
+  // handful of grid neighbors dominate each prediction.
+  const double length_scale =
+      0.25 * std::sqrt(static_cast<double>(coords.size()));
+  double wsum = 0.0, mean = 0.0;
+  double min_d2 = 1e300;
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    const double d2 = sq_distance(coords_[i], coords);
+    min_d2 = std::min(min_d2, d2);
+    const double w = std::log1p(evidence_[i]) *
+                     std::exp(-d2 / (2.0 * length_scale * length_scale));
+    wsum += w;
+    mean += w * log_ber_[i];
+  }
+  if (wsum <= 0.0) {
+    p.log10_sigma = 3.0;
+    return p;
+  }
+  mean /= wsum;
+  double var = 0.0;
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    const double d2 = sq_distance(coords_[i], coords);
+    const double w = std::log1p(evidence_[i]) *
+                     std::exp(-d2 / (2.0 * length_scale * length_scale));
+    const double diff = log_ber_[i] - mean;
+    var += w * diff * diff;
+  }
+  var = var / wsum;
+  // Epistemic floor: even with consistent neighbors, uncertainty grows with
+  // distance to the nearest evidence.
+  const double distance_sigma = std::sqrt(min_d2) / length_scale * 0.5;
+  p.log10_mean = mean;
+  p.log10_sigma = std::sqrt(var + 0.04) + distance_sigma;
+  return p;
+}
+
+double BerPredictor::probability_below(std::span<const double> coords,
+                                       double threshold) const {
+  if (coords_.empty()) return 0.5;
+  const Prediction p = predict(coords);
+  const double log_thr = std::log10(std::clamp(threshold, 1e-12, 1.0));
+  return phi((log_thr - p.log10_mean) / p.log10_sigma);
+}
+
+}  // namespace metacore::search

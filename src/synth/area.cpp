@@ -1,0 +1,78 @@
+#include "synth/area.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace metacore::synth {
+
+namespace {
+
+/// Width scaling relative to the 16-bit calibration constants.
+double linear_width(int bits) { return static_cast<double>(bits) / 16.0; }
+double quadratic_width(int bits) {
+  const double r = linear_width(bits);
+  return r * r;
+}
+
+}  // namespace
+
+IirCostResult evaluate_iir_cost(const IirCostQuery& query,
+                                const SynthAreaParams& params) {
+  if (query.sample_period_us <= 0.0) {
+    throw std::invalid_argument("evaluate_iir_cost: period must be positive");
+  }
+  if (query.word_bits < 4 || query.word_bits > 32) {
+    throw std::invalid_argument("evaluate_iir_cost: word length out of range");
+  }
+  const Dfg dfg = build_filter_dfg(query.structure, query.order);
+
+  IirCostResult result;
+  result.clock_mhz =
+      cost::achievable_clock_mhz(query.word_bits, query.tech);
+  // Initiation-interval budget per sample: period [us] * clock [MHz].
+  const int budget = static_cast<int>(
+      std::floor(query.sample_period_us * result.clock_mhz + 1e-9));
+  result.recurrence_mii = dfg.recurrence_mii(kMulLatency, kAddLatency);
+  if (budget < 1) return result;  // infeasible: period shorter than a cycle
+
+  const PipelinedResult alloc = pipelined_allocation(dfg, budget);
+  if (!alloc.feasible) return result;
+
+  result.feasible = true;
+  result.allocation = alloc.allocation;
+  result.cycles_per_sample = alloc.initiation_interval;
+  result.latency_cycles = alloc.schedule.cycles;
+  result.registers = dfg.state_registers() +
+                     alloc.schedule.max_live_values * alloc.overlap;
+
+  const double lambda = query.tech.area_lambda();
+  result.exu_area_mm2 =
+      lambda * (alloc.allocation.multipliers * params.mul_area_16bit *
+                    quadratic_width(query.word_bits) +
+                alloc.allocation.alus * params.alu_area_16bit *
+                    linear_width(query.word_bits));
+  result.register_area_mm2 = lambda * result.registers *
+                             params.reg_area_16bit *
+                             linear_width(query.word_bits);
+  // Interconnect grows with how many producers share each bus: scale the
+  // base fraction by log2 of the sharing degree (ops per functional unit).
+  const int fu_ops = dfg.count(DfgOp::Mul) + dfg.count(DfgOp::Add) +
+                     dfg.count(DfgOp::Sub);
+  const int units = alloc.allocation.multipliers + alloc.allocation.alus;
+  const double sharing =
+      std::max(1.0, static_cast<double>(fu_ops) / units);
+  result.interconnect_area_mm2 =
+      params.interconnect_fraction * (1.0 + std::log2(sharing) / 3.0) *
+      (result.exu_area_mm2 + result.register_area_mm2);
+  result.control_area_mm2 =
+      lambda * (params.control_base_area +
+                params.control_area_per_state * alloc.schedule.cycles);
+  result.area_mm2 = result.exu_area_mm2 + result.register_area_mm2 +
+                    result.interconnect_area_mm2 + result.control_area_mm2;
+
+  result.latency_us = alloc.schedule.cycles / result.clock_mhz;
+  result.throughput_period_us = alloc.initiation_interval / result.clock_mhz;
+  return result;
+}
+
+}  // namespace metacore::synth

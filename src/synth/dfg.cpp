@@ -1,0 +1,463 @@
+#include "synth/dfg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace metacore::synth {
+
+namespace {
+
+using dsp::StructureKind;
+
+class Builder {
+ public:
+  explicit Builder(std::string name) { dfg_.name = std::move(name); }
+
+  int add(DfgOp op, std::vector<int> inputs, std::string tag = {}) {
+    dfg_.nodes.push_back({op, std::move(inputs), std::move(tag), -1});
+    return static_cast<int>(dfg_.nodes.size()) - 1;
+  }
+
+  int new_reg() { return next_reg_++; }
+
+  int state_read(int reg, std::string tag = {}) {
+    dfg_.nodes.push_back({DfgOp::StateRead, {}, std::move(tag), reg});
+    return static_cast<int>(dfg_.nodes.size()) - 1;
+  }
+
+  void state_write(int reg, int value, std::string tag = {}) {
+    dfg_.nodes.push_back({DfgOp::StateWrite, {value}, std::move(tag), reg});
+  }
+
+  /// Balanced binary adder-tree reduction of the given values.
+  int reduce_add(std::vector<int> values, const std::string& tag) {
+    if (values.empty()) {
+      throw std::invalid_argument("reduce_add: nothing to reduce");
+    }
+    while (values.size() > 1) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+        next.push_back(add(DfgOp::Add, {values[i], values[i + 1]}, tag));
+      }
+      if (values.size() % 2 == 1) next.push_back(values.back());
+      values = std::move(next);
+    }
+    return values[0];
+  }
+
+  Dfg take() && { return std::move(dfg_); }
+
+ private:
+  Dfg dfg_;
+  int next_reg_ = 0;
+};
+
+Dfg direct_form1(int order) {
+  Builder b("df1");
+  const int x = b.add(DfgOp::Input, {});
+  std::vector<int> xreg(order), yreg(order), xs(order), ys(order);
+  for (int i = 0; i < order; ++i) {
+    xreg[i] = b.new_reg();
+    xs[i] = b.state_read(xreg[i], "xh");
+  }
+  for (int i = 0; i < order; ++i) {
+    yreg[i] = b.new_reg();
+    ys[i] = b.state_read(yreg[i], "yh");
+  }
+  std::vector<int> ff;
+  {
+    const int c = b.add(DfgOp::Constant, {}, "b0");
+    ff.push_back(b.add(DfgOp::Mul, {c, x}, "ff"));
+  }
+  for (int i = 0; i < order; ++i) {
+    const int c = b.add(DfgOp::Constant, {}, "b");
+    ff.push_back(b.add(DfgOp::Mul, {c, xs[i]}, "ff"));
+  }
+  const int ff_sum = b.reduce_add(ff, "ff");
+  std::vector<int> fb;
+  for (int i = 0; i < order; ++i) {
+    const int c = b.add(DfgOp::Constant, {}, "a");
+    fb.push_back(b.add(DfgOp::Mul, {c, ys[i]}, "fb"));
+  }
+  const int fb_sum = b.reduce_add(fb, "fb");
+  const int y = b.add(DfgOp::Sub, {ff_sum, fb_sum}, "out");
+  b.add(DfgOp::Output, {y});
+  // Shift registers: x_0' = x, x_i' = x_{i-1}; likewise for y.
+  b.state_write(xreg[0], x, "xh");
+  for (int i = 1; i < order; ++i) b.state_write(xreg[i], xs[i - 1], "xh");
+  b.state_write(yreg[0], y, "yh");
+  for (int i = 1; i < order; ++i) b.state_write(yreg[i], ys[i - 1], "yh");
+  return std::move(b).take();
+}
+
+Dfg direct_form2(int order) {
+  Builder b("df2");
+  const int x = b.add(DfgOp::Input, {});
+  std::vector<int> wreg(order), w(order);
+  for (int i = 0; i < order; ++i) {
+    wreg[i] = b.new_reg();
+    w[i] = b.state_read(wreg[i], "w");
+  }
+  std::vector<int> fb;
+  for (int i = 0; i < order; ++i) {
+    const int c = b.add(DfgOp::Constant, {}, "a");
+    fb.push_back(b.add(DfgOp::Mul, {c, w[i]}, "fb"));
+  }
+  const int fb_sum = b.reduce_add(fb, "fb");
+  const int w0 = b.add(DfgOp::Sub, {x, fb_sum}, "w0");
+  std::vector<int> ff;
+  {
+    const int c = b.add(DfgOp::Constant, {}, "b0");
+    ff.push_back(b.add(DfgOp::Mul, {c, w0}, "ff"));
+  }
+  for (int i = 0; i < order; ++i) {
+    const int c = b.add(DfgOp::Constant, {}, "b");
+    ff.push_back(b.add(DfgOp::Mul, {c, w[i]}, "ff"));
+  }
+  const int y = b.reduce_add(ff, "ff");
+  b.add(DfgOp::Output, {y});
+  b.state_write(wreg[0], w0, "w");
+  for (int i = 1; i < order; ++i) b.state_write(wreg[i], w[i - 1], "w");
+  return std::move(b).take();
+}
+
+Dfg direct_form2_transposed(int order) {
+  Builder b("df2t");
+  const int x = b.add(DfgOp::Input, {});
+  std::vector<int> sreg(order), s(order);
+  for (int i = 0; i < order; ++i) {
+    sreg[i] = b.new_reg();
+    s[i] = b.state_read(sreg[i], "s");
+  }
+  const int b0 = b.add(DfgOp::Constant, {}, "b0");
+  const int b0x = b.add(DfgOp::Mul, {b0, x}, "out");
+  const int y = b.add(DfgOp::Add, {b0x, s[0]}, "out");
+  b.add(DfgOp::Output, {y});
+  for (int i = 0; i < order; ++i) {
+    const int bc = b.add(DfgOp::Constant, {}, "b");
+    const int ac = b.add(DfgOp::Constant, {}, "a");
+    const int bx = b.add(DfgOp::Mul, {bc, x}, "s");
+    const int ay = b.add(DfgOp::Mul, {ac, y}, "s");
+    const int diff = b.add(DfgOp::Sub, {bx, ay}, "s");
+    const int next =
+        i + 1 < order ? b.add(DfgOp::Add, {diff, s[i + 1]}, "s") : diff;
+    b.state_write(sreg[i], next, "s");
+  }
+  return std::move(b).take();
+}
+
+/// One DF2 biquad; returns the section output node.
+int biquad(Builder& b, int input, const std::string& tag, bool first_order) {
+  const int r1 = b.new_reg();
+  const int w1 = b.state_read(r1, tag);
+  int r2 = -1, w2 = -1;
+  if (!first_order) {
+    r2 = b.new_reg();
+    w2 = b.state_read(r2, tag);
+  }
+  const int a1 = b.add(DfgOp::Constant, {}, tag);
+  const int m1 = b.add(DfgOp::Mul, {a1, w1}, tag);
+  int fb = m1;
+  if (!first_order) {
+    const int a2 = b.add(DfgOp::Constant, {}, tag);
+    const int m2 = b.add(DfgOp::Mul, {a2, w2}, tag);
+    fb = b.add(DfgOp::Add, {m1, m2}, tag);
+  }
+  const int w0 = b.add(DfgOp::Sub, {input, fb}, tag);
+  const int b0 = b.add(DfgOp::Constant, {}, tag);
+  const int p0 = b.add(DfgOp::Mul, {b0, w0}, tag);
+  const int b1 = b.add(DfgOp::Constant, {}, tag);
+  const int p1 = b.add(DfgOp::Mul, {b1, w1}, tag);
+  int out = b.add(DfgOp::Add, {p0, p1}, tag);
+  if (!first_order) {
+    const int b2 = b.add(DfgOp::Constant, {}, tag);
+    const int p2 = b.add(DfgOp::Mul, {b2, w2}, tag);
+    out = b.add(DfgOp::Add, {out, p2}, tag);
+  }
+  b.state_write(r1, w0, tag);
+  if (!first_order) b.state_write(r2, w1, tag);
+  return out;
+}
+
+Dfg cascade(int order) {
+  Builder b("cascade");
+  int v = b.add(DfgOp::Input, {});
+  const int full_sections = order / 2;
+  const bool odd = order % 2 == 1;
+  for (int s = 0; s < full_sections; ++s) {
+    v = biquad(b, v, "sec" + std::to_string(s), false);
+  }
+  if (odd) v = biquad(b, v, "sec" + std::to_string(full_sections), true);
+  b.add(DfgOp::Output, {v});
+  return std::move(b).take();
+}
+
+Dfg parallel(int order) {
+  Builder b("parallel");
+  const int x = b.add(DfgOp::Input, {});
+  std::vector<int> terms;
+  const int c = b.add(DfgOp::Constant, {}, "direct");
+  terms.push_back(b.add(DfgOp::Mul, {c, x}, "direct"));
+  const int full_sections = order / 2;
+  const bool odd = order % 2 == 1;
+  for (int s = 0; s < full_sections; ++s) {
+    const std::string tag = "sec" + std::to_string(s);
+    const int r1 = b.new_reg();
+    const int r2 = b.new_reg();
+    const int w1 = b.state_read(r1, tag);
+    const int w2 = b.state_read(r2, tag);
+    const int a1 = b.add(DfgOp::Constant, {}, tag);
+    const int a2 = b.add(DfgOp::Constant, {}, tag);
+    const int m1 = b.add(DfgOp::Mul, {a1, w1}, tag);
+    const int m2 = b.add(DfgOp::Mul, {a2, w2}, tag);
+    const int fb = b.add(DfgOp::Add, {m1, m2}, tag);
+    const int w0 = b.add(DfgOp::Sub, {x, fb}, tag);
+    const int b0 = b.add(DfgOp::Constant, {}, tag);
+    const int b1c = b.add(DfgOp::Constant, {}, tag);
+    const int p0 = b.add(DfgOp::Mul, {b0, w0}, tag);
+    const int p1 = b.add(DfgOp::Mul, {b1c, w1}, tag);
+    terms.push_back(b.add(DfgOp::Add, {p0, p1}, tag));
+    b.state_write(r1, w0, tag);
+    b.state_write(r2, w1, tag);
+  }
+  if (odd) {
+    const int r1 = b.new_reg();
+    const int w1 = b.state_read(r1, "sec_r");
+    const int a1 = b.add(DfgOp::Constant, {}, "sec_r");
+    const int m1 = b.add(DfgOp::Mul, {a1, w1}, "sec_r");
+    const int w0 = b.add(DfgOp::Sub, {x, m1}, "sec_r");
+    const int b0 = b.add(DfgOp::Constant, {}, "sec_r");
+    terms.push_back(b.add(DfgOp::Mul, {b0, w0}, "sec_r"));
+    b.state_write(r1, w0, "sec_r");
+  }
+  const int y = b.reduce_add(terms, "sum");
+  b.add(DfgOp::Output, {y});
+  return std::move(b).take();
+}
+
+Dfg lattice_ladder(int order) {
+  Builder b("ladder");
+  const int x = b.add(DfgOp::Input, {});
+  std::vector<int> greg(order), g_read(order);
+  for (int i = 0; i < order; ++i) {
+    greg[i] = b.new_reg();
+    g_read[i] = b.state_read(greg[i], "g");
+  }
+  // Downward f chain (serial through every stage).
+  std::vector<int> f(order + 1);
+  f[order] = x;
+  std::vector<int> k(order);
+  for (int m = order; m >= 1; --m) {
+    k[m - 1] = b.add(DfgOp::Constant, {}, "k");
+    const int prod = b.add(DfgOp::Mul, {k[m - 1], g_read[m - 1]}, "f");
+    f[m - 1] = b.add(DfgOp::Sub, {f[m], prod}, "f");
+  }
+  // Upward g updates.
+  std::vector<int> g_new(order + 1);
+  g_new[0] = f[0];
+  for (int m = 1; m <= order; ++m) {
+    const int prod = b.add(DfgOp::Mul, {k[m - 1], f[m - 1]}, "g");
+    g_new[m] = b.add(DfgOp::Add, {prod, g_read[m - 1]}, "g");
+  }
+  for (int m = 0; m < order; ++m) b.state_write(greg[m], g_new[m], "g");
+  // Ladder taps off the updated g values.
+  std::vector<int> taps;
+  for (int m = 0; m <= order; ++m) {
+    const int v = b.add(DfgOp::Constant, {}, "v");
+    taps.push_back(b.add(DfgOp::Mul, {v, g_new[m]}, "tap"));
+  }
+  const int y = b.reduce_add(taps, "tap");
+  b.add(DfgOp::Output, {y});
+  return std::move(b).take();
+}
+
+int latency_of(DfgOp op, int mul_latency, int add_latency) {
+  if (op == DfgOp::Mul) return mul_latency;
+  if (op == DfgOp::Add || op == DfgOp::Sub) return add_latency;
+  return 0;
+}
+
+}  // namespace
+
+std::string to_string(DfgOp op) {
+  switch (op) {
+    case DfgOp::Input:
+      return "input";
+    case DfgOp::Constant:
+      return "const";
+    case DfgOp::StateRead:
+      return "state-read";
+    case DfgOp::Mul:
+      return "mul";
+    case DfgOp::Add:
+      return "add";
+    case DfgOp::Sub:
+      return "sub";
+    case DfgOp::StateWrite:
+      return "state-write";
+    case DfgOp::Output:
+      return "output";
+  }
+  return "?";
+}
+
+int Dfg::count(DfgOp op) const {
+  int n = 0;
+  for (const auto& node : nodes) {
+    if (node.op == op) ++n;
+  }
+  return n;
+}
+
+int Dfg::critical_path(int mul_latency, int add_latency) const {
+  std::vector<int> depth(nodes.size(), 0);
+  int best = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    int start = 0;
+    for (int in : nodes[i].inputs) {
+      start = std::max(start, depth[static_cast<std::size_t>(in)]);
+    }
+    depth[i] = start + latency_of(nodes[i].op, mul_latency, add_latency);
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+int Dfg::recurrence_mii(int mul_latency, int add_latency) const {
+  validate();
+  // Edge list: dataflow edges (distance 0, weight = producer latency) plus
+  // state write -> read edges (distance 1, weight 0).
+  struct Edge {
+    int from, to, weight, distance;
+  };
+  std::vector<Edge> edges;
+  std::unordered_map<int, int> write_of;  // register -> write node
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int in : nodes[i].inputs) {
+      edges.push_back({in, static_cast<int>(i),
+                       latency_of(nodes[static_cast<std::size_t>(in)].op,
+                                  mul_latency, add_latency),
+                       0});
+    }
+    if (nodes[i].op == DfgOp::StateWrite) {
+      write_of[nodes[i].register_id] = static_cast<int>(i);
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].op == DfgOp::StateRead) {
+      const auto it = write_of.find(nodes[i].register_id);
+      if (it != write_of.end()) {
+        edges.push_back({it->second, static_cast<int>(i), 0, 1});
+      }
+    }
+  }
+
+  // II is feasible iff the graph with edge weights (w - II*d) has no
+  // positive cycle (Bellman-Ford style relaxation).
+  const auto feasible = [&](int ii) {
+    std::vector<double> dist(nodes.size(), 0.0);
+    for (std::size_t round = 0; round <= nodes.size(); ++round) {
+      bool changed = false;
+      for (const Edge& e : edges) {
+        const double cand = dist[static_cast<std::size_t>(e.from)] +
+                            e.weight - static_cast<double>(ii) * e.distance;
+        if (cand > dist[static_cast<std::size_t>(e.to)] + 1e-9) {
+          dist[static_cast<std::size_t>(e.to)] = cand;
+          changed = true;
+        }
+      }
+      if (!changed) return true;
+    }
+    return false;  // still relaxing after |V| rounds -> positive cycle
+  };
+
+  int lo = 1, hi = std::max(1, critical_path(mul_latency, add_latency));
+  if (feasible(lo)) return lo;
+  while (lo + 1 < hi) {
+    const int mid = (lo + hi) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+void Dfg::validate() const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const DfgNode& node = nodes[i];
+    for (int in : node.inputs) {
+      if (in < 0 || static_cast<std::size_t>(in) >= i) {
+        throw std::invalid_argument("Dfg: node " + std::to_string(i) +
+                                    " has a non-forward input reference");
+      }
+    }
+    switch (node.op) {
+      case DfgOp::Input:
+      case DfgOp::Constant:
+        if (!node.inputs.empty()) {
+          throw std::invalid_argument("Dfg: source node with inputs");
+        }
+        break;
+      case DfgOp::StateRead:
+        if (!node.inputs.empty() || node.register_id < 0) {
+          throw std::invalid_argument("Dfg: malformed state read");
+        }
+        break;
+      case DfgOp::Mul:
+      case DfgOp::Add:
+      case DfgOp::Sub:
+        if (node.inputs.size() != 2) {
+          throw std::invalid_argument("Dfg: binary node without two inputs");
+        }
+        break;
+      case DfgOp::StateWrite:
+        if (node.inputs.size() != 1 || node.register_id < 0) {
+          throw std::invalid_argument("Dfg: malformed state write");
+        }
+        break;
+      case DfgOp::Output:
+        if (node.inputs.size() != 1) {
+          throw std::invalid_argument("Dfg: sink node without one input");
+        }
+        break;
+    }
+  }
+}
+
+Dfg build_filter_dfg(StructureKind kind, int order) {
+  if (order < 1 || order > 64) {
+    throw std::invalid_argument("build_filter_dfg: order out of range");
+  }
+  Dfg dfg;
+  switch (kind) {
+    case StructureKind::DirectForm1:
+      dfg = direct_form1(order);
+      break;
+    case StructureKind::DirectForm2:
+      dfg = direct_form2(order);
+      break;
+    case StructureKind::DirectForm2Transposed:
+      dfg = direct_form2_transposed(order);
+      break;
+    case StructureKind::Cascade:
+      dfg = cascade(order);
+      break;
+    case StructureKind::Parallel:
+      dfg = parallel(order);
+      break;
+    case StructureKind::LatticeLadder:
+      dfg = lattice_ladder(order);
+      break;
+  }
+  dfg.validate();
+  return dfg;
+}
+
+Dfg build_filter_dfg(const dsp::Realization& realization, int order) {
+  return build_filter_dfg(realization.kind(), order);
+}
+
+}  // namespace metacore::synth

@@ -1,0 +1,286 @@
+#include "synth/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <stdexcept>
+
+namespace metacore::synth {
+
+namespace {
+
+int node_latency(DfgOp op) {
+  switch (op) {
+    case DfgOp::Mul:
+      return kMulLatency;
+    case DfgOp::Add:
+    case DfgOp::Sub:
+      return kAddLatency;
+    default:
+      return 0;
+  }
+}
+
+bool needs_fu(DfgOp op) {
+  return op == DfgOp::Mul || op == DfgOp::Add || op == DfgOp::Sub;
+}
+
+bool is_mul(DfgOp op) { return op == DfgOp::Mul; }
+
+}  // namespace
+
+void Allocation::validate() const {
+  if (multipliers < 1 || alus < 1 || multipliers > 64 || alus > 64) {
+    throw std::invalid_argument("Allocation: unit counts out of range");
+  }
+}
+
+std::vector<int> asap_schedule(const Dfg& dfg) {
+  dfg.validate();
+  std::vector<int> start(dfg.nodes.size(), 0);
+  for (std::size_t i = 0; i < dfg.nodes.size(); ++i) {
+    int ready = 0;
+    for (int in : dfg.nodes[i].inputs) {
+      const auto j = static_cast<std::size_t>(in);
+      ready = std::max(ready, start[j] + node_latency(dfg.nodes[j].op));
+    }
+    start[i] = ready;
+  }
+  return start;
+}
+
+std::vector<int> alap_schedule(const Dfg& dfg, int deadline) {
+  dfg.validate();
+  if (deadline < dfg.critical_path(kMulLatency, kAddLatency)) {
+    throw std::invalid_argument("alap_schedule: deadline below critical path");
+  }
+  std::vector<int> finish(dfg.nodes.size(), deadline);
+  for (std::size_t i = dfg.nodes.size(); i-- > 0;) {
+    const int start_i = finish[i] - node_latency(dfg.nodes[i].op);
+    for (int in : dfg.nodes[i].inputs) {
+      auto& f = finish[static_cast<std::size_t>(in)];
+      f = std::min(f, start_i);
+    }
+  }
+  std::vector<int> start(dfg.nodes.size());
+  for (std::size_t i = 0; i < dfg.nodes.size(); ++i) {
+    start[i] = finish[i] - node_latency(dfg.nodes[i].op);
+  }
+  return start;
+}
+
+DfgSchedule list_schedule(const Dfg& dfg, const Allocation& alloc) {
+  dfg.validate();
+  alloc.validate();
+  const std::size_t n = dfg.nodes.size();
+  DfgSchedule result;
+  result.start_cycle.assign(n, -1);
+
+  // Priorities: negative ALAP slack (ALAP against the resource-free
+  // critical path; tighter nodes first).
+  const int cp = dfg.critical_path(kMulLatency, kAddLatency);
+  const std::vector<int> alap = alap_schedule(dfg, cp);
+
+  std::vector<int> remaining_inputs(n, 0);
+  std::vector<std::vector<int>> consumers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining_inputs[i] = static_cast<int>(dfg.nodes[i].inputs.size());
+    for (int in : dfg.nodes[i].inputs) {
+      consumers[static_cast<std::size_t>(in)].push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<int> ready_at(n, 0);  // earliest issue cycle once inputs known
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (remaining_inputs[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+
+  auto finish_node = [&](int idx, int start, std::vector<int>& newly_ready) {
+    result.start_cycle[static_cast<std::size_t>(idx)] = start;
+    const int done = start + node_latency(dfg.nodes[static_cast<std::size_t>(idx)].op);
+    result.cycles = std::max(result.cycles, done);
+    for (int c : consumers[static_cast<std::size_t>(idx)]) {
+      auto& r = ready_at[static_cast<std::size_t>(c)];
+      r = std::max(r, done);
+      if (--remaining_inputs[static_cast<std::size_t>(c)] == 0) {
+        newly_ready.push_back(c);
+      }
+    }
+  };
+
+  // Zero-latency nodes (inputs, constants, state reads/writes, outputs) are
+  // "scheduled" at their ready time without consuming FU slots.
+  int scheduled = 0;
+  int cycle = 0;
+  while (scheduled < static_cast<int>(n)) {
+    std::vector<int> newly_ready;
+    // First resolve every ready zero-latency node regardless of cycle.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      std::vector<int> still;
+      for (int idx : ready) {
+        const DfgNode& node = dfg.nodes[static_cast<std::size_t>(idx)];
+        if (!needs_fu(node.op)) {
+          finish_node(idx, ready_at[static_cast<std::size_t>(idx)], newly_ready);
+          ++scheduled;
+          progressed = true;
+        } else {
+          still.push_back(idx);
+        }
+      }
+      ready = std::move(still);
+      for (int idx : newly_ready) ready.push_back(idx);
+      newly_ready.clear();
+    }
+    if (scheduled == static_cast<int>(n)) break;
+
+    // Issue FU nodes this cycle, most-urgent (smallest ALAP) first.
+    std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+      const int sa = alap[static_cast<std::size_t>(a)];
+      const int sb = alap[static_cast<std::size_t>(b)];
+      return sa != sb ? sa < sb : a < b;
+    });
+    int free_mul = alloc.multipliers;
+    int free_alu = alloc.alus;
+    std::vector<int> still;
+    for (int idx : ready) {
+      const DfgNode& node = dfg.nodes[static_cast<std::size_t>(idx)];
+      const bool mul = is_mul(node.op);
+      int& slots = mul ? free_mul : free_alu;
+      if (ready_at[static_cast<std::size_t>(idx)] <= cycle && slots > 0) {
+        --slots;
+        finish_node(idx, cycle, newly_ready);
+        ++scheduled;
+      } else {
+        still.push_back(idx);
+      }
+    }
+    ready = std::move(still);
+    for (int idx : newly_ready) ready.push_back(idx);
+    ++cycle;
+    if (cycle > 1'000'000) {
+      throw std::logic_error("list_schedule: failed to converge");
+    }
+  }
+
+  // Peak temporary liveness: a value is live from the end of its producing
+  // node to the start of its last consumer. State reads count from cycle 0;
+  // state writes hold to the end of the iteration (they are the registers
+  // themselves, counted separately by the area model).
+  std::vector<int> live_begin(n, 0), live_end(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DfgNode& node = dfg.nodes[i];
+    if (needs_fu(node.op)) {
+      live_begin[i] = result.start_cycle[i] + node_latency(node.op);
+    } else {
+      live_begin[i] = result.start_cycle[i];
+    }
+    for (int in : node.inputs) {
+      auto& e = live_end[static_cast<std::size_t>(in)];
+      e = std::max(e, result.start_cycle[i]);
+    }
+  }
+  std::vector<int> live_count(static_cast<std::size_t>(result.cycles) + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DfgNode& node = dfg.nodes[i];
+    // Constants live in ROM, state registers counted by the area model.
+    if (node.op == DfgOp::Constant || node.op == DfgOp::StateRead ||
+        node.op == DfgOp::StateWrite || node.op == DfgOp::Output) {
+      continue;
+    }
+    for (int c = live_begin[i]; c <= std::min(live_end[i], result.cycles); ++c) {
+      if (c >= 0) ++live_count[static_cast<std::size_t>(c)];
+    }
+  }
+  result.max_live_values =
+      live_count.empty()
+          ? 0
+          : *std::max_element(live_count.begin(), live_count.end());
+  return result;
+}
+
+PipelinedResult pipelined_allocation(const Dfg& dfg, int ii_budget,
+                                     int max_units) {
+  if (ii_budget < 1) {
+    throw std::invalid_argument("pipelined_allocation: empty II budget");
+  }
+  PipelinedResult result;
+  result.recurrence_mii = dfg.recurrence_mii(kMulLatency, kAddLatency);
+  if (ii_budget < result.recurrence_mii) return result;  // recurrence-bound
+
+  const int mul_ops = dfg.count(DfgOp::Mul);
+  const int alu_ops = dfg.count(DfgOp::Add) + dfg.count(DfgOp::Sub);
+  Allocation alloc;
+  alloc.multipliers = std::max(1, (mul_ops + ii_budget - 1) / ii_budget);
+  alloc.alus = std::max(1, (alu_ops + ii_budget - 1) / ii_budget);
+  if (alloc.multipliers > max_units || alloc.alus > max_units) return result;
+
+  result.feasible = true;
+  result.allocation = alloc;
+  result.schedule = list_schedule(dfg, alloc);
+  // Achievable steady-state interval under this allocation: the larger of
+  // the recurrence bound and the per-class resource bounds (<= ii_budget by
+  // construction of the allocation).
+  const int res_bound =
+      std::max((mul_ops + alloc.multipliers - 1) / alloc.multipliers,
+               (alu_ops + alloc.alus - 1) / alloc.alus);
+  result.initiation_interval = std::max(result.recurrence_mii, res_bound);
+  // Iterations in flight at the *requested* rate — what sizes the pipeline
+  // register overhead.
+  result.overlap = (result.schedule.cycles + ii_budget - 1) / ii_budget;
+  return result;
+}
+
+std::string schedule_gantt(const Dfg& dfg, const DfgSchedule& schedule) {
+  if (schedule.start_cycle.size() != dfg.nodes.size()) {
+    throw std::invalid_argument("schedule_gantt: schedule/graph mismatch");
+  }
+  std::string out = "cycle | issued operations\n";
+  for (int cycle = 0; cycle <= schedule.cycles; ++cycle) {
+    std::string line;
+    for (std::size_t i = 0; i < dfg.nodes.size(); ++i) {
+      const DfgOp op = dfg.nodes[i].op;
+      if (op != DfgOp::Mul && op != DfgOp::Add && op != DfgOp::Sub) continue;
+      if (schedule.start_cycle[i] != cycle) continue;
+      if (!line.empty()) line += "  ";
+      line += to_string(op) + "#" + std::to_string(i);
+      if (!dfg.nodes[i].tag.empty()) line += "(" + dfg.nodes[i].tag + ")";
+    }
+    if (line.empty()) continue;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%5d", cycle);
+    out += std::string(buf) + " | " + line + "\n";
+  }
+  return out;
+}
+
+AllocationResult minimize_allocation(const Dfg& dfg, int cycle_budget,
+                                     int max_units) {
+  if (cycle_budget < 1) {
+    throw std::invalid_argument("minimize_allocation: empty cycle budget");
+  }
+  AllocationResult best;
+  double best_weight = std::numeric_limits<double>::infinity();
+  for (int muls = 1; muls <= max_units; ++muls) {
+    for (int alus = 1; alus <= max_units; ++alus) {
+      const Allocation alloc{muls, alus};
+      // Weight approximates area order so we can prune dominated points:
+      // a multiplier costs several ALUs.
+      const double weight = 4.0 * muls + alus;
+      if (weight >= best_weight) continue;
+      const DfgSchedule sched = list_schedule(dfg, alloc);
+      if (sched.cycles <= cycle_budget) {
+        best.feasible = true;
+        best.allocation = alloc;
+        best.schedule = sched;
+        best_weight = weight;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace metacore::synth

@@ -1,0 +1,78 @@
+// Resource-constrained scheduling of filter DFGs: ASAP/ALAP bounds and
+// critical-path list scheduling under an allocation of multipliers and
+// ALUs. The HYPER flow the paper uses performs exactly this step to obtain
+// "the length of the clock cycle and the number of cycles used", from which
+// throughput and latency follow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/dfg.hpp"
+
+namespace metacore::synth {
+
+/// Functional-unit allocation for a datapath.
+struct Allocation {
+  int multipliers = 1;
+  int alus = 1;  ///< adders/subtractors
+
+  void validate() const;
+};
+
+/// Default FU latencies in clock cycles (array multiplier pipelined over 2
+/// cycles; ALU single cycle) — the clock period itself comes from the
+/// technology model.
+inline constexpr int kMulLatency = 2;
+inline constexpr int kAddLatency = 1;
+
+struct DfgSchedule {
+  int cycles = 0;                 ///< schedule length per sample
+  int max_live_values = 0;        ///< peak temporaries (excl. state registers)
+  std::vector<int> start_cycle;   ///< per node; -1 for zero-latency nodes
+};
+
+/// ASAP start times with unlimited resources.
+std::vector<int> asap_schedule(const Dfg& dfg);
+
+/// ALAP start times against the given deadline (must be >= critical path).
+std::vector<int> alap_schedule(const Dfg& dfg, int deadline);
+
+/// List schedule under the allocation; priority = ALAP slack.
+DfgSchedule list_schedule(const Dfg& dfg, const Allocation& alloc);
+
+/// Smallest allocation (by area order: multipliers weighted heavier) whose
+/// schedule meets `cycle_budget`, or nullopt-like {0,0} sentinel when even
+/// the richest allocation in the search box fails. `max_units` bounds the
+/// search per FU type.
+struct AllocationResult {
+  bool feasible = false;
+  Allocation allocation{};
+  DfgSchedule schedule{};
+};
+AllocationResult minimize_allocation(const Dfg& dfg, int cycle_budget,
+                                     int max_units = 16);
+
+/// Functionally pipelined allocation: the sample period only has to cover
+/// the initiation interval, not the whole iteration latency. Feasible iff
+/// the II budget is at least the DFG's recurrence MII; the allocation is
+/// then the steady-state resource bound ceil(ops / II) per FU class, and
+/// the returned schedule gives the iteration latency under that allocation.
+struct PipelinedResult {
+  bool feasible = false;
+  Allocation allocation{};
+  DfgSchedule schedule{};   ///< one-iteration schedule (latency)
+  int initiation_interval = 0;
+  int recurrence_mii = 0;
+  /// Iterations in flight: ceil(latency / II); scales pipeline registers.
+  int overlap = 1;
+};
+PipelinedResult pipelined_allocation(const Dfg& dfg, int ii_budget,
+                                     int max_units = 16);
+
+/// Text Gantt chart of a schedule: one row per cycle listing the FU
+/// operations issued there — the inspectable analog of HYPER's schedule
+/// view. Zero-latency nodes (reads/writes/IO) are omitted.
+std::string schedule_gantt(const Dfg& dfg, const DfgSchedule& schedule);
+
+}  // namespace metacore::synth

@@ -1,0 +1,62 @@
+// Saturating Q-format fixed-point arithmetic: the numeric substrate for
+// bit-accurate datapath simulation (signal quantization and round-off, not
+// just coefficient quantization).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace metacore::util {
+
+/// A signed fixed-point format: `word_bits` total (including sign),
+/// `frac_bits` fractional. Range [-2^(i), 2^(i) - 2^-f] with
+/// i = word_bits - 1 - frac_bits integer bits.
+struct QFormat {
+  int word_bits = 16;
+  int frac_bits = 14;
+
+  int integer_bits() const { return word_bits - 1 - frac_bits; }
+  double resolution() const;
+  double max_value() const;
+  double min_value() const;
+  std::string label() const;  ///< e.g. "Q1.14"
+
+  /// Throws std::invalid_argument on nonsensical formats.
+  void validate() const;
+};
+
+/// A fixed-point value: raw integer plus its format. Operations quantize
+/// (round-to-nearest) and saturate exactly as a hardware datapath with a
+/// saturating ALU would.
+class Fixed {
+ public:
+  Fixed() = default;
+  /// Quantizes `value` into `format` (round to nearest, saturate).
+  Fixed(double value, QFormat format);
+
+  double to_double() const;
+  std::int64_t raw() const { return raw_; }
+  const QFormat& format() const { return format_; }
+
+  /// Saturating addition; operands must share the format.
+  Fixed add(const Fixed& other) const;
+  /// Saturating subtraction; operands must share the format.
+  Fixed sub(const Fixed& other) const;
+  /// Multiplication with rounding back into this value's format. The
+  /// other operand may use a different format (e.g. a coefficient ROM
+  /// format); the product is computed exactly in 128 bits, then rounded
+  /// and saturated.
+  Fixed mul(const Fixed& other) const;
+
+  /// True if the last constructing/arithmetic step clipped.
+  bool saturated() const { return saturated_; }
+
+ private:
+  Fixed(std::int64_t raw, QFormat format, bool saturated);
+
+  std::int64_t raw_ = 0;
+  QFormat format_{};
+  bool saturated_ = false;
+};
+
+}  // namespace metacore::util

@@ -1,0 +1,117 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+
+namespace metacore::util {
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double q_function_inv(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::domain_error("q_function_inv: p must be in (0, 1)");
+  }
+  double lo = -40.0, hi = 40.0;
+  // Q is strictly decreasing; bisect until the bracket collapses.
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (q_function(mid) > p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double bpsk_ber(double ebn0_linear) {
+  return q_function(std::sqrt(2.0 * ebn0_linear));
+}
+
+double interp1(std::span<const double> xs, std::span<const double> ys,
+               double x) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("interp1: mismatched or empty grids");
+  }
+  if (xs.size() == 1 || x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+MultilinearInterpolator::MultilinearInterpolator(
+    std::vector<std::vector<double>> axes, std::vector<double> values)
+    : axes_(std::move(axes)), values_(std::move(values)) {
+  if (axes_.empty()) {
+    throw std::invalid_argument("MultilinearInterpolator: no axes");
+  }
+  std::size_t expected = 1;
+  for (const auto& axis : axes_) {
+    if (axis.empty()) {
+      throw std::invalid_argument("MultilinearInterpolator: empty axis");
+    }
+    if (!std::is_sorted(axis.begin(), axis.end(),
+                        [](double a, double b) { return a <= b; })) {
+      throw std::invalid_argument(
+          "MultilinearInterpolator: axis not strictly increasing");
+    }
+    expected *= axis.size();
+  }
+  if (expected != values_.size()) {
+    throw std::invalid_argument(
+        "MultilinearInterpolator: value count does not match grid");
+  }
+  strides_.assign(axes_.size(), 1);
+  for (std::size_t d = axes_.size(); d-- > 1;) {
+    strides_[d - 1] = strides_[d] * axes_[d].size();
+  }
+}
+
+double MultilinearInterpolator::operator()(
+    std::span<const double> point) const {
+  if (point.size() != axes_.size()) {
+    throw std::invalid_argument(
+        "MultilinearInterpolator: point dimensionality mismatch");
+  }
+  const std::size_t dims = axes_.size();
+  std::vector<std::size_t> lo_idx(dims);
+  std::vector<double> frac(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto& axis = axes_[d];
+    double x = std::clamp(point[d], axis.front(), axis.back());
+    if (axis.size() == 1) {
+      lo_idx[d] = 0;
+      frac[d] = 0.0;
+      continue;
+    }
+    auto it = std::upper_bound(axis.begin(), axis.end(), x);
+    std::size_t hi = std::min<std::size_t>(
+        static_cast<std::size_t>(it - axis.begin()), axis.size() - 1);
+    if (hi == 0) hi = 1;
+    const std::size_t lo = hi - 1;
+    lo_idx[d] = lo;
+    frac[d] = (x - axis[lo]) / (axis[hi] - axis[lo]);
+  }
+  // Accumulate the 2^dims corner contributions.
+  double result = 0.0;
+  const std::size_t corners = std::size_t{1} << dims;
+  for (std::size_t corner = 0; corner < corners; ++corner) {
+    double weight = 1.0;
+    std::size_t flat = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const bool high = (corner >> d) & 1u;
+      if (axes_[d].size() == 1 && high) {
+        weight = 0.0;
+        break;
+      }
+      weight *= high ? frac[d] : (1.0 - frac[d]);
+      flat += (lo_idx[d] + (high ? 1 : 0)) * strides_[d];
+    }
+    if (weight > 0.0) result += weight * values_[flat];
+  }
+  return result;
+}
+
+}  // namespace metacore::util

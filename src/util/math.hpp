@@ -1,0 +1,68 @@
+// Small numeric helpers shared across the library: dB conversions, the
+// Gaussian Q-function (theoretical BPSK error rates used to sanity-check the
+// Monte-Carlo channel), and interpolation primitives used by the
+// multiresolution search's smooth-metric estimator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace metacore::util {
+
+/// Gaussian tail probability Q(x) = P(N(0,1) > x).
+double q_function(double x);
+
+/// Inverse of q_function on (0, 1), by bisection. Accurate to ~1e-12.
+double q_function_inv(double p);
+
+/// Theoretical BPSK bit error rate over AWGN at the given Eb/N0 (linear).
+double bpsk_ber(double ebn0_linear);
+
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+/// Linear interpolation of y(x) on a strictly increasing grid `xs`.
+/// Clamps outside the grid. Requires xs.size() == ys.size() >= 1.
+double interp1(std::span<const double> xs, std::span<const double> ys,
+               double x);
+
+/// Multilinear interpolation on a regular axis-aligned grid.
+///
+/// `axes[d]` is the strictly increasing coordinate vector of dimension d and
+/// `values` is stored row-major with the last axis fastest. Used by the
+/// search engine to estimate smooth cost metrics (area, throughput) between
+/// evaluated grid points, exactly as the paper prescribes in Section 4.4.
+class MultilinearInterpolator {
+ public:
+  MultilinearInterpolator(std::vector<std::vector<double>> axes,
+                          std::vector<double> values);
+
+  double operator()(std::span<const double> point) const;
+
+  std::size_t dimensions() const { return axes_.size(); }
+
+ private:
+  std::vector<std::vector<double>> axes_;
+  std::vector<double> values_;
+  std::vector<std::size_t> strides_;
+};
+
+/// Integer power with overflow-unaware semantics (inputs are small).
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  while (exp-- > 0) r *= base;
+  return r;
+}
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+inline bool approx_equal(double a, double b, double tol = 1e-9) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace metacore::util

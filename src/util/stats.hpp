@@ -1,0 +1,70 @@
+// Streaming statistics accumulators and confidence intervals for
+// Monte-Carlo estimates (BER proportions in particular).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace metacore::util {
+
+/// Welford single-pass accumulator: mean/variance/min/max without storing
+/// the sample stream.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel reduction support).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Counter for Bernoulli experiments (bit errors out of bits decoded).
+struct ProportionEstimate {
+  std::uint64_t successes = 0;  ///< e.g. bit errors observed
+  std::uint64_t trials = 0;     ///< e.g. bits decoded
+
+  void add(bool success) noexcept {
+    successes += success ? 1 : 0;
+    ++trials;
+  }
+  void merge(const ProportionEstimate& other) noexcept {
+    successes += other.successes;
+    trials += other.trials;
+  }
+
+  double rate() const noexcept {
+    return trials ? static_cast<double>(successes) / trials : 0.0;
+  }
+
+  /// Wilson score interval at the given z (default ~95%). Behaves sanely at
+  /// zero observed successes, which matters for deep-BER measurements.
+  struct Interval {
+    double low = 0.0;
+    double high = 1.0;
+  };
+  Interval wilson(double z = 1.959963984540054) const noexcept;
+};
+
+/// Median of a copy of the data (the callers keep sample vectors small).
+double median(std::vector<double> values);
+
+/// Percentile in [0, 100] via linear interpolation between order statistics.
+double percentile(std::vector<double> values, double pct);
+
+}  // namespace metacore::util

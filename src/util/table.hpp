@@ -1,0 +1,37 @@
+// Plain-text table and CSV emission used by the benchmark harnesses to
+// print the paper's tables/figure series in a uniform format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace metacore::util {
+
+/// Column-aligned ASCII table. Cells are strings; numeric formatting is the
+/// caller's job (benchmarks format to the same precision the paper reports).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, padding each column to its widest cell.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (no quoting; callers avoid commas in cells).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style double formatting helpers used throughout bench output.
+std::string format_double(double v, int precision = 3);
+std::string format_scientific(double v, int precision = 2);
+std::string format_percent(double v, int precision = 1);
+
+}  // namespace metacore::util

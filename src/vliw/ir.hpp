@@ -1,0 +1,115 @@
+// A compact VLIW intermediate representation: the substrate that replaces
+// Trimaran in the paper's cost-evaluation engine. Candidate decoder
+// configurations are lowered to kernels in this IR (see viterbi_kernel.hpp),
+// scheduled onto a parameterized machine, and "executed" symbolically to
+// collect the statistics the paper reads off Trimaran: operation counts by
+// class, cycles per unit of work, and register pressure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metacore::vliw {
+
+enum class OpCode : std::uint8_t {
+  Load,    // memory read
+  Store,   // memory write
+  Add,
+  Sub,
+  And,
+  Or,
+  Xor,
+  Shift,
+  Compare,
+  Select,  // conditional move (predicated select, VLIW-style if-conversion)
+  Mul,
+  Branch,  // control transfer (loop back-edges, exits)
+  Nop,
+};
+
+std::string to_string(OpCode op);
+
+/// Functional-unit class an opcode occupies for issue.
+enum class FuClass : std::uint8_t { Alu, Mul, Mem, Branch };
+
+FuClass fu_class(OpCode op);
+
+/// Default latencies (cycles until the result is usable), modeled on a
+/// short embedded pipeline like the TR4101.
+int default_latency(OpCode op);
+
+/// One IR operation in SSA-like form. Virtual registers are plain integers;
+/// `dst < 0` means the op produces no value (stores, branches).
+struct Operation {
+  OpCode op = OpCode::Nop;
+  int dst = -1;
+  std::vector<int> srcs;
+  std::string tag;  ///< provenance label for reports ("acs", "traceback", ...)
+};
+
+/// A straight-line region executed `trip_count` times per unit of work
+/// (for the Viterbi kernels, per decoded bit).
+struct BasicBlock {
+  std::string name;
+  double trip_count = 1.0;  ///< average iterations per unit of work
+  /// Minimum initiation interval imposed by loop-carried dependences when
+  /// this block is the body of a loop (1 = iterations fully independent;
+  /// larger values model serial recurrences such as traceback's
+  /// state-to-state chain). Set by the kernel generator.
+  int recurrence_mii = 1;
+  std::vector<Operation> ops;
+
+  /// Count of operations of the given functional-unit class.
+  int count(FuClass cls) const;
+};
+
+/// A kernel is a set of blocks plus the number of virtual registers used.
+struct Kernel {
+  std::string name;
+  std::vector<BasicBlock> blocks;
+
+  /// Highest virtual register index referenced, plus one.
+  int num_virtual_regs() const;
+
+  /// Static op count across all blocks (unweighted by trip counts).
+  int static_ops() const;
+
+  /// Dynamic op count per unit of work (weighted by trip counts).
+  double dynamic_ops() const;
+
+  /// Throws std::invalid_argument on malformed ops (e.g. a value-producing
+  /// op without a destination, or a use of a never-defined register within
+  /// a block when `strict` asks for def-before-use checking).
+  void validate() const;
+
+  /// Human-readable listing (one op per line, grouped by block with trip
+  /// counts) — the inspectable analog of the generated source the paper
+  /// fed to Trimaran.
+  std::string to_string() const;
+};
+
+/// Small builder utility so kernel generators read naturally.
+class BlockBuilder {
+ public:
+  BlockBuilder(std::string name, double trip_count);
+
+  /// Emits an op producing a fresh virtual register; returns that register.
+  int emit(OpCode op, std::vector<int> srcs, std::string tag = {});
+
+  /// Emits a non-value-producing op (Store / Branch).
+  void emit_void(OpCode op, std::vector<int> srcs, std::string tag = {});
+
+  /// Allocates an input register (live-in value such as a loaded pointer).
+  int live_in();
+
+  BasicBlock build() &&;
+
+  int next_reg() const { return next_reg_; }
+
+ private:
+  BasicBlock block_;
+  int next_reg_ = 0;
+};
+
+}  // namespace metacore::vliw

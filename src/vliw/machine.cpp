@@ -1,0 +1,67 @@
+#include "vliw/machine.hpp"
+
+#include <stdexcept>
+
+namespace metacore::vliw {
+
+int MachineConfig::slots(FuClass cls) const {
+  switch (cls) {
+    case FuClass::Alu:
+      return num_alus;
+    case FuClass::Mul:
+      return num_multipliers;
+    case FuClass::Mem:
+      return num_memory_ports;
+    case FuClass::Branch:
+      return num_branch_units;
+  }
+  return 0;
+}
+
+std::string MachineConfig::label() const {
+  return std::to_string(num_alus) + "A" + std::to_string(num_multipliers) +
+         "M" + std::to_string(num_memory_ports) + "P" +
+         std::to_string(num_branch_units) + "B/r" +
+         std::to_string(register_file_size) + "/w" +
+         std::to_string(datapath_bits);
+}
+
+void MachineConfig::validate() const {
+  if (num_alus < 1 || num_multipliers < 0 || num_memory_ports < 1 ||
+      num_branch_units < 1) {
+    throw std::invalid_argument("MachineConfig: missing functional units");
+  }
+  if (register_file_size < 4 || register_file_size > 256) {
+    throw std::invalid_argument("MachineConfig: register file out of range");
+  }
+  if (datapath_bits < 4 || datapath_bits > 64) {
+    throw std::invalid_argument("MachineConfig: datapath width out of range");
+  }
+}
+
+std::vector<MachineConfig> standard_config_family(int datapath_bits) {
+  std::vector<MachineConfig> family;
+  // (alus, muls, mem ports, branch, regfile) — small to wide.
+  struct Shape {
+    int alus, muls, mem, br, regs;
+  };
+  static constexpr Shape kShapes[] = {
+      {1, 0, 1, 1, 16}, {2, 0, 1, 1, 32},  {2, 1, 1, 1, 32},
+      {4, 1, 2, 1, 32}, {4, 1, 2, 1, 64},  {6, 1, 2, 1, 64},
+      {8, 2, 2, 1, 64}, {8, 2, 4, 2, 128},
+  };
+  for (const auto& s : kShapes) {
+    MachineConfig cfg;
+    cfg.num_alus = s.alus;
+    cfg.num_multipliers = s.muls;
+    cfg.num_memory_ports = s.mem;
+    cfg.num_branch_units = s.br;
+    cfg.register_file_size = s.regs;
+    cfg.datapath_bits = datapath_bits;
+    cfg.validate();
+    family.push_back(cfg);
+  }
+  return family;
+}
+
+}  // namespace metacore::vliw

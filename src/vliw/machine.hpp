@@ -1,0 +1,44 @@
+// The parameterized VLIW machine description: the knobs the paper lists as
+// "Trimaran hardware architecture parameters such as register file sizes,
+// memory hierarchy, number of arithmetic logic units (ALU) and others"
+// (Section 4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vliw/ir.hpp"
+
+namespace metacore::vliw {
+
+struct MachineConfig {
+  int num_alus = 2;
+  int num_multipliers = 1;
+  int num_memory_ports = 1;
+  int num_branch_units = 1;
+  int register_file_size = 32;
+  int datapath_bits = 32;
+
+  /// Issue slots available per cycle for the given functional-unit class.
+  int slots(FuClass cls) const;
+
+  /// Total issue width.
+  int issue_width() const {
+    return num_alus + num_multipliers + num_memory_ports + num_branch_units;
+  }
+
+  std::string label() const;
+
+  /// Throws on non-positive resource counts or absurd widths.
+  void validate() const;
+
+  bool operator==(const MachineConfig&) const = default;
+};
+
+/// The configuration family the cost engine searches over when looking for
+/// the cheapest machine that sustains a required throughput: from a minimal
+/// single-issue core up to a wide 8-ALU engine. Ordered by increasing
+/// estimated area so the first feasible entry is the cheapest.
+std::vector<MachineConfig> standard_config_family(int datapath_bits);
+
+}  // namespace metacore::vliw

@@ -1,0 +1,196 @@
+#include "vliw/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace metacore::vliw {
+
+namespace {
+
+struct DepGraph {
+  // adjacency: edges[i] = list of (successor, latency)
+  std::vector<std::vector<std::pair<int, int>>> edges;
+  std::vector<int> in_degree;
+};
+
+DepGraph build_dependences(const BasicBlock& block) {
+  const int n = static_cast<int>(block.ops.size());
+  DepGraph g;
+  g.edges.resize(static_cast<std::size_t>(n));
+  g.in_degree.assign(static_cast<std::size_t>(n), 0);
+
+  auto add_edge = [&](int from, int to, int latency) {
+    g.edges[static_cast<std::size_t>(from)].push_back({to, latency});
+    ++g.in_degree[static_cast<std::size_t>(to)];
+  };
+
+  // RAW: map register -> defining op index.
+  std::unordered_map<int, int> def_site;
+  int last_store = -1;
+  std::vector<int> loads_since_store;
+  for (int i = 0; i < n; ++i) {
+    const Operation& op = block.ops[static_cast<std::size_t>(i)];
+    for (int src : op.srcs) {
+      const auto it = def_site.find(src);
+      if (it != def_site.end()) {
+        add_edge(it->second, i,
+                 default_latency(block.ops[static_cast<std::size_t>(it->second)].op));
+      }
+      // Registers with no def site are live-ins: available at cycle 0.
+    }
+    if (op.op == OpCode::Store) {
+      // Order after the previous store and after every load since it.
+      if (last_store >= 0) add_edge(last_store, i, 1);
+      for (int load : loads_since_store) add_edge(load, i, 1);
+      loads_since_store.clear();
+      last_store = i;
+    } else if (op.op == OpCode::Load) {
+      if (last_store >= 0) add_edge(last_store, i, 1);
+      loads_since_store.push_back(i);
+    } else if (op.op == OpCode::Branch) {
+      if (last_store >= 0) add_edge(last_store, i, 1);
+    }
+    if (op.dst >= 0) def_site[op.dst] = i;
+  }
+  return g;
+}
+
+/// Critical-path height per op (longest latency-weighted path to any sink).
+std::vector<int> critical_heights(const BasicBlock& block, const DepGraph& g) {
+  const int n = static_cast<int>(block.ops.size());
+  std::vector<int> height(static_cast<std::size_t>(n), 0);
+  // Ops are in program order and edges always point forward, so a reverse
+  // sweep is a valid topological order.
+  for (int i = n - 1; i >= 0; --i) {
+    int h = default_latency(block.ops[static_cast<std::size_t>(i)].op);
+    for (const auto& [succ, lat] : g.edges[static_cast<std::size_t>(i)]) {
+      h = std::max(h, lat + height[static_cast<std::size_t>(succ)]);
+    }
+    height[static_cast<std::size_t>(i)] = h;
+  }
+  return height;
+}
+
+}  // namespace
+
+BlockSchedule schedule_block(const BasicBlock& block,
+                             const MachineConfig& machine) {
+  machine.validate();
+  const int n = static_cast<int>(block.ops.size());
+  BlockSchedule result;
+  result.issue_cycle.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return result;
+  for (const auto& op : block.ops) {
+    if (machine.slots(fu_class(op.op)) == 0) {
+      throw std::invalid_argument(
+          "schedule_block: block '" + block.name +
+          "' needs a functional unit the machine lacks (" + to_string(op.op) +
+          ")");
+    }
+  }
+
+  const DepGraph g = build_dependences(block);
+  const std::vector<int> height = critical_heights(block, g);
+
+  // earliest[i]: first cycle op i may issue given scheduled predecessors.
+  std::vector<int> earliest(static_cast<std::size_t>(n), 0);
+  std::vector<int> pending_preds = g.in_degree;
+  std::vector<int> ready;  // ops whose predecessors are all scheduled
+  for (int i = 0; i < n; ++i) {
+    if (pending_preds[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  }
+
+  int scheduled = 0;
+  int cycle = 0;
+  int makespan = 0;
+  while (scheduled < n) {
+    // Slots free this cycle, per FU class.
+    int free_slots[4] = {machine.slots(FuClass::Alu), machine.slots(FuClass::Mul),
+                         machine.slots(FuClass::Mem),
+                         machine.slots(FuClass::Branch)};
+    // Issue ready ops whose earliest cycle has arrived, highest critical
+    // path first.
+    std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+      const auto ha = height[static_cast<std::size_t>(a)];
+      const auto hb = height[static_cast<std::size_t>(b)];
+      return ha != hb ? ha > hb : a < b;
+    });
+    std::vector<int> still_ready;
+    std::vector<int> issued_now;
+    for (int op_idx : ready) {
+      const OpCode op = block.ops[static_cast<std::size_t>(op_idx)].op;
+      auto& slots = free_slots[static_cast<int>(fu_class(op))];
+      if (earliest[static_cast<std::size_t>(op_idx)] <= cycle && slots > 0) {
+        --slots;
+        result.issue_cycle[static_cast<std::size_t>(op_idx)] = cycle;
+        makespan = std::max(makespan, cycle + default_latency(op));
+        issued_now.push_back(op_idx);
+        ++scheduled;
+      } else {
+        still_ready.push_back(op_idx);
+      }
+    }
+    for (int op_idx : issued_now) {
+      for (const auto& [succ, lat] : g.edges[static_cast<std::size_t>(op_idx)]) {
+        auto& e = earliest[static_cast<std::size_t>(succ)];
+        e = std::max(e, cycle + lat);
+        if (--pending_preds[static_cast<std::size_t>(succ)] == 0) {
+          still_ready.push_back(succ);
+        }
+      }
+    }
+    ready = std::move(still_ready);
+    ++cycle;
+    if (cycle > 1'000'000) {
+      throw std::logic_error("schedule_block: scheduler failed to converge");
+    }
+  }
+  result.cycles = makespan;
+
+  // Register pressure: a value is live from its def's issue cycle to the
+  // issue cycle of its last consumer; live-ins are live from cycle 0.
+  std::unordered_map<int, std::pair<int, int>> live_range;  // reg -> [def, last use]
+  for (int i = 0; i < n; ++i) {
+    const Operation& op = block.ops[static_cast<std::size_t>(i)];
+    const int at = result.issue_cycle[static_cast<std::size_t>(i)];
+    if (op.dst >= 0) {
+      live_range[op.dst] = {at, at};
+    }
+    for (int src : op.srcs) {
+      auto it = live_range.find(src);
+      if (it == live_range.end()) {
+        live_range[src] = {0, at};  // live-in
+      } else {
+        it->second.second = std::max(it->second.second, at);
+      }
+    }
+  }
+  std::vector<int> live_at(static_cast<std::size_t>(result.cycles) + 1, 0);
+  for (const auto& [reg, range] : live_range) {
+    for (int c = range.first; c <= range.second; ++c) {
+      ++live_at[static_cast<std::size_t>(c)];
+    }
+  }
+  result.max_live_values =
+      live_at.empty() ? 0 : *std::max_element(live_at.begin(), live_at.end());
+  return result;
+}
+
+int resource_bound(const BasicBlock& block, const MachineConfig& machine) {
+  int bound = 0;
+  for (FuClass cls :
+       {FuClass::Alu, FuClass::Mul, FuClass::Mem, FuClass::Branch}) {
+    const int ops = block.count(cls);
+    const int slots = machine.slots(cls);
+    if (ops > 0 && slots == 0) {
+      throw std::invalid_argument(
+          "resource_bound: block needs a functional unit the machine lacks");
+    }
+    if (slots > 0) bound = std::max(bound, (ops + slots - 1) / slots);
+  }
+  return bound;
+}
+
+}  // namespace metacore::vliw

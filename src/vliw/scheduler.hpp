@@ -1,0 +1,37 @@
+// Dependence analysis and resource-constrained list scheduling for one
+// basic block on a MachineConfig. This is the piece that turns an IR kernel
+// plus an architecture into cycle counts — the quantity the paper's
+// throughput constraint is written against.
+#pragma once
+
+#include <vector>
+
+#include "vliw/ir.hpp"
+#include "vliw/machine.hpp"
+
+namespace metacore::vliw {
+
+/// Outcome of scheduling one basic block.
+struct BlockSchedule {
+  int cycles = 0;               ///< makespan including final latencies
+  int max_live_values = 0;      ///< peak register pressure over the schedule
+  std::vector<int> issue_cycle; ///< per-op issue cycle, parallel to block.ops
+};
+
+/// Schedules `block` on `machine` using critical-path list scheduling.
+///
+/// Dependences honored:
+///  * RAW def->use edges with producer latency,
+///  * conservative memory ordering (stores are ordered with each other and
+///    with loads that follow them; loads may reorder among themselves),
+///  * branches issue no earlier than every store in the block (a branch
+///    ends the block; stores must commit first).
+BlockSchedule schedule_block(const BasicBlock& block,
+                             const MachineConfig& machine);
+
+/// Lower bound on the block's cycles from resource counts alone
+/// (ops-of-class / slots-of-class, rounded up). Useful for tests and for
+/// sanity-checking the scheduler.
+int resource_bound(const BasicBlock& block, const MachineConfig& machine);
+
+}  // namespace metacore::vliw

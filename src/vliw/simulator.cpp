@@ -1,0 +1,66 @@
+#include "vliw/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metacore::vliw {
+
+ExecutionProfile profile_kernel(const Kernel& kernel,
+                                const MachineConfig& machine) {
+  kernel.validate();
+  machine.validate();
+  ExecutionProfile profile;
+  for (const auto& block : kernel.blocks) {
+    const BlockSchedule sched = schedule_block(block, machine);
+    BlockProfile bp;
+    bp.name = block.name;
+    bp.trip_count = block.trip_count;
+    bp.max_live_values = sched.max_live_values;
+
+    int makespan = sched.cycles;
+    double spill_ops = 0.0;
+    int spill_cycles = 0;
+    if (sched.max_live_values > machine.register_file_size) {
+      const int spilled = sched.max_live_values - machine.register_file_size;
+      spill_ops = 2.0 * spilled;  // one store + one reload per excess value
+      spill_cycles = (2 * spilled + machine.num_memory_ports - 1) /
+                     machine.num_memory_ports;
+      makespan += spill_cycles;
+    }
+
+    // Steady-state initiation interval for software-pipelined loops: the
+    // larger of the resource bound (including spill traffic on the memory
+    // ports) and the loop-carried recurrence bound.
+    const int ii =
+        std::max({resource_bound(block, machine) + spill_cycles,
+                  block.recurrence_mii, 1});
+    bp.makespan = makespan;
+    bp.initiation_interval = ii;
+
+    double total_cycles;
+    if (block.trip_count > 1.0) {
+      total_cycles = makespan + (block.trip_count - 1.0) * ii;
+    } else {
+      total_cycles = block.trip_count * makespan;
+    }
+    bp.total_cycles = total_cycles;
+    bp.spill_ops = spill_ops;
+    profile.blocks.push_back(bp);
+
+    profile.cycles_per_unit += total_cycles;
+    const double base_ops = static_cast<double>(block.ops.size());
+    profile.ops_per_unit += block.trip_count * (base_ops + spill_ops);
+    profile.alu_ops_per_unit += block.trip_count * block.count(FuClass::Alu);
+    profile.mul_ops_per_unit += block.trip_count * block.count(FuClass::Mul);
+    profile.mem_ops_per_unit +=
+        block.trip_count * (block.count(FuClass::Mem) + spill_ops);
+    profile.branch_ops_per_unit +=
+        block.trip_count * block.count(FuClass::Branch);
+    profile.spill_ops_per_unit += block.trip_count * spill_ops;
+    profile.max_register_pressure =
+        std::max(profile.max_register_pressure, sched.max_live_values);
+  }
+  return profile;
+}
+
+}  // namespace metacore::vliw

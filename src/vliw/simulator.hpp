@@ -1,0 +1,58 @@
+// Symbolic execution of a kernel on a machine configuration: multiplies the
+// per-block schedules by trip counts to produce the aggregate statistics
+// Trimaran reported to the paper's flow — total operations executed by
+// class, total cycles per unit of work, and register/spill behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vliw/ir.hpp"
+#include "vliw/machine.hpp"
+#include "vliw/scheduler.hpp"
+
+namespace metacore::vliw {
+
+struct BlockProfile {
+  std::string name;
+  double trip_count = 0.0;
+  int makespan = 0;            ///< scheduled cycles for one iteration
+  int initiation_interval = 0; ///< steady-state cycles per iteration
+  double total_cycles = 0.0;   ///< contribution to the unit of work
+  int max_live_values = 0;
+  double spill_ops = 0.0;      ///< spill loads+stores added per execution
+};
+
+struct ExecutionProfile {
+  double cycles_per_unit = 0.0;  ///< cycles per unit of work (per decoded bit)
+  double ops_per_unit = 0.0;     ///< dynamic IR ops per unit (incl. spills)
+  double alu_ops_per_unit = 0.0;
+  double mul_ops_per_unit = 0.0;
+  double mem_ops_per_unit = 0.0;
+  double branch_ops_per_unit = 0.0;
+  int max_register_pressure = 0;  ///< max over blocks
+  double spill_ops_per_unit = 0.0;
+  std::vector<BlockProfile> blocks;
+
+  /// Average instructions issued per cycle — a utilization sanity metric.
+  double ipc() const {
+    return cycles_per_unit > 0.0 ? ops_per_unit / cycles_per_unit : 0.0;
+  }
+};
+
+/// Schedules every block of `kernel` on `machine` and aggregates.
+///
+/// Loop model: a block with trip count t > 1 is treated as a
+/// software-pipelined loop — the first iteration pays the full schedule
+/// makespan and each subsequent iteration pays the initiation interval
+/// II = max(resource bound, recurrence MII), the standard modulo-scheduling
+/// steady state. Blocks with t <= 1 pay trip * makespan.
+///
+/// Spill model: when a block's peak register pressure exceeds the register
+/// file, each excess value costs one spill store and one reload per block
+/// execution; the extra memory traffic lengthens the II by the memory-port
+/// resource bound for those operations.
+ExecutionProfile profile_kernel(const Kernel& kernel,
+                                const MachineConfig& machine);
+
+}  // namespace metacore::vliw

@@ -1,0 +1,264 @@
+#include "vliw/viterbi_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "comm/trellis.hpp"
+
+namespace metacore::vliw {
+
+namespace {
+
+using comm::DecoderKind;
+using comm::DecoderSpec;
+using comm::QuantizationMethod;
+
+/// Emits the quantization of one received sample into `bits`-resolution
+/// levels and returns the register holding the level.
+int emit_quantize(BlockBuilder& b, int sample_reg, int bits,
+                  QuantizationMethod method) {
+  if (bits == 1 || method == QuantizationMethod::Hard) {
+    // Sign slice: one compare feeding a select.
+    const int cmp = b.emit(OpCode::Compare, {sample_reg}, "quantize");
+    return b.emit(OpCode::Select, {cmp}, "quantize");
+  }
+  // Uniform quantizer: shift by the offset, scale by the reciprocal step
+  // (fixed-point multiply + shift), then clamp to [0, 2^bits - 1].
+  const int shifted = b.emit(OpCode::Sub, {sample_reg}, "quantize");
+  const int scaled = b.emit(OpCode::Mul, {shifted}, "quantize");
+  const int level = b.emit(OpCode::Shift, {scaled}, "quantize");
+  const int lo_cmp = b.emit(OpCode::Compare, {level}, "quantize");
+  const int lo = b.emit(OpCode::Select, {level, lo_cmp}, "quantize");
+  const int hi_cmp = b.emit(OpCode::Compare, {lo}, "quantize");
+  return b.emit(OpCode::Select, {lo, hi_cmp}, "quantize");
+}
+
+/// Emits computation of all 2^n pattern branch metrics from per-symbol
+/// levels; metrics end up stored to the metric table.
+void emit_branch_metrics(BlockBuilder& b, const std::vector<int>& levels,
+                         const char* tag) {
+  const int n = static_cast<int>(levels.size());
+  // Per symbol, the metric for expected bit 1 is (max_level - level); the
+  // metric for expected bit 0 is the level itself (already in a register).
+  std::vector<int> complement(levels.size());
+  for (int j = 0; j < n; ++j) {
+    complement[static_cast<std::size_t>(j)] =
+        b.emit(OpCode::Sub, {levels[static_cast<std::size_t>(j)]}, tag);
+  }
+  const int patterns = 1 << n;
+  for (int p = 0; p < patterns; ++p) {
+    int acc = (p & 1) ? complement[0] : levels[0];
+    for (int j = 1; j < n; ++j) {
+      const int term = ((p >> j) & 1) ? complement[static_cast<std::size_t>(j)]
+                                      : levels[static_cast<std::size_t>(j)];
+      acc = b.emit(OpCode::Add, {acc, term}, tag);
+    }
+    const int table = b.live_in();
+    b.emit_void(OpCode::Store, {table, acc}, tag);
+  }
+}
+
+/// Standard loop bookkeeping: induction increment, bound compare, back edge.
+void emit_loop_overhead(BlockBuilder& b, const char* tag) {
+  const int induction = b.live_in();
+  const int next = b.emit(OpCode::Add, {induction}, tag);
+  const int done = b.emit(OpCode::Compare, {next}, tag);
+  b.emit_void(OpCode::Branch, {done}, tag);
+}
+
+}  // namespace
+
+Kernel build_viterbi_kernel(const DecoderSpec& spec) {
+  spec.code.validate();
+  const int n = spec.code.rate_denominator();
+  const int states = spec.code.num_states();
+  const bool multires = spec.kind == DecoderKind::Multires;
+  const int main_bits =
+      spec.kind == DecoderKind::Hard ? 1 : spec.high_res_bits;
+  const auto main_method = spec.kind == DecoderKind::Hard
+                               ? QuantizationMethod::Hard
+                               : spec.quantization;
+
+  Kernel kernel;
+  kernel.name = "viterbi_" + spec.label();
+
+  // --- Quantize + branch metrics: once per decoded bit. -------------------
+  {
+    BlockBuilder b("quantize_metrics", 1.0);
+    std::vector<int> low_levels, high_levels;
+    for (int j = 0; j < n; ++j) {
+      const int buffer = b.live_in();
+      const int sample = b.emit(OpCode::Load, {buffer}, "quantize");
+      if (multires) {
+        const int high =
+            emit_quantize(b, sample, spec.high_res_bits, spec.quantization);
+        high_levels.push_back(high);
+        if (spec.low_res_bits == 1) {
+          // The 1-bit low-resolution level is the high-res level's MSB —
+          // one shift, no second quantizer pass.
+          low_levels.push_back(b.emit(OpCode::Shift, {high}, "quantize"));
+        } else {
+          low_levels.push_back(
+              emit_quantize(b, sample, spec.low_res_bits, spec.quantization));
+        }
+      } else {
+        low_levels.push_back(emit_quantize(b, sample, main_bits, main_method));
+      }
+    }
+    emit_branch_metrics(b, low_levels, multires ? "bm_low" : "bm");
+    if (multires) emit_branch_metrics(b, high_levels, "bm_high");
+    b.emit_void(OpCode::Branch, {}, "loop");
+    kernel.blocks.push_back(std::move(b).build());
+  }
+
+  // --- Add-compare-select: once per state per decoded bit. ----------------
+  {
+    BlockBuilder b("acs", static_cast<double>(states));
+    const int acc_base = b.live_in();
+    const int bm_table = b.live_in();
+    const int acc0 = b.emit(OpCode::Load, {acc_base}, "acs");
+    const int acc1 = b.emit(OpCode::Load, {acc_base}, "acs");
+    const int bm0 = b.emit(OpCode::Load, {bm_table}, "acs");
+    const int bm1 = b.emit(OpCode::Load, {bm_table}, "acs");
+    const int cand0 = b.emit(OpCode::Add, {acc0, bm0}, "acs");
+    const int cand1 = b.emit(OpCode::Add, {acc1, bm1}, "acs");
+    const int cmp = b.emit(OpCode::Compare, {cand0, cand1}, "acs");
+    const int best = b.emit(OpCode::Select, {cand0, cand1, cmp}, "acs");
+    const int survivor = b.emit(OpCode::Select, {cmp}, "acs");
+    const int out_base = b.live_in();
+    b.emit_void(OpCode::Store, {out_base, best}, "acs");
+    b.emit_void(OpCode::Store, {out_base, survivor}, "acs");
+    if (multires) {
+      // Best-M selection fuses into the ACS sweep: compare the fresh
+      // metric against the running refinement threshold and conditionally
+      // note the state — no separate pass over the trellis.
+      const int threshold = b.live_in();
+      const int keep_cmp = b.emit(OpCode::Compare, {best, threshold}, "select");
+      (void)b.emit(OpCode::Select, {keep_cmp}, "select");
+    }
+    emit_loop_overhead(b, "acs");
+    kernel.blocks.push_back(std::move(b).build());
+  }
+
+  if (multires) {
+    // --- Correction term: average of the N best metric differences. -------
+    {
+      BlockBuilder b("correction", 1.0);
+      const int diffs = b.live_in();
+      int acc = b.emit(OpCode::Load, {diffs}, "correction");
+      for (int i = 1; i < spec.normalization_terms; ++i) {
+        const int next = b.emit(OpCode::Load, {diffs}, "correction");
+        acc = b.emit(OpCode::Add, {acc, next}, "correction");
+      }
+      // Division by N via reciprocal multiply + shift.
+      const int scaled = b.emit(OpCode::Mul, {acc}, "correction");
+      const int correction = b.emit(OpCode::Shift, {scaled}, "correction");
+      const int slot = b.live_in();
+      b.emit_void(OpCode::Store, {slot, correction}, "correction");
+      kernel.blocks.push_back(std::move(b).build());
+    }
+    // --- High-resolution refinement of the M best paths. ------------------
+    {
+      BlockBuilder b("refine", static_cast<double>(spec.num_high_res_paths));
+      const int list = b.live_in();
+      const int bm_high_table = b.live_in();
+      const int correction = b.live_in();
+      const int state = b.emit(OpCode::Load, {list}, "refine");
+      const int pred_acc = b.emit(OpCode::Load, {state}, "refine");
+      const int bm_high = b.emit(OpCode::Load, {bm_high_table}, "refine");
+      const int corrected = b.emit(OpCode::Sub, {bm_high, correction}, "refine");
+      const int updated = b.emit(OpCode::Add, {pred_acc, corrected}, "refine");
+      const int acc_base = b.live_in();
+      b.emit_void(OpCode::Store, {acc_base, updated}, "refine");
+      emit_loop_overhead(b, "refine");
+      kernel.blocks.push_back(std::move(b).build());
+    }
+  }
+
+  // --- Sliding-block traceback. Tracing back L+D steps releases D decoded
+  // bits, so the amortized survivor-hop count per bit is (L+D)/D; D = 2K is
+  // the conventional block length. The hop chain is inherently serial
+  // (next state depends on the survivor bit just loaded), captured by the
+  // recurrence MII below.
+  {
+    const double d = 2.0 * spec.code.constraint_length;
+    const double hops_per_bit = (spec.traceback_depth + d) / d;
+    BlockBuilder b("traceback", hops_per_bit);
+    const int survivor_base = b.live_in();
+    const int state = b.live_in();
+    const int word = b.emit(OpCode::Load, {survivor_base, state}, "traceback");
+    const int bit = b.emit(OpCode::And, {word}, "traceback");
+    const int shifted = b.emit(OpCode::Shift, {state}, "traceback");
+    const int next_state = b.emit(OpCode::Or, {shifted, bit}, "traceback");
+    (void)next_state;
+    emit_loop_overhead(b, "traceback");
+    auto block = std::move(b).build();
+    // Serial chain per hop: survivor load (2) -> mask (1) -> merge into the
+    // next state (1), which feeds the next hop's load address.
+    block.recurrence_mii = default_latency(OpCode::Load) + 2;
+    kernel.blocks.push_back(std::move(block));
+  }
+
+  // --- Metric renormalization: amortized over ~16 decoded bits. -----------
+  {
+    BlockBuilder b("normalize", static_cast<double>(states) / 16.0);
+    const int acc_base = b.live_in();
+    const int floor_metric = b.live_in();
+    const int acc = b.emit(OpCode::Load, {acc_base}, "normalize");
+    const int lowered = b.emit(OpCode::Sub, {acc, floor_metric}, "normalize");
+    b.emit_void(OpCode::Store, {acc_base, lowered}, "normalize");
+    const int cmp = b.emit(OpCode::Compare, {lowered}, "normalize");
+    (void)b.emit(OpCode::Select, {cmp}, "normalize");  // running min
+    emit_loop_overhead(b, "normalize");
+    kernel.blocks.push_back(std::move(b).build());
+  }
+
+  // --- Emit decoded bit. ---------------------------------------------------
+  {
+    BlockBuilder b("output", 1.0);
+    const int out_buf = b.live_in();
+    const int bit = b.live_in();
+    b.emit_void(OpCode::Store, {out_buf, bit}, "output");
+    b.emit_void(OpCode::Branch, {}, "output");
+    kernel.blocks.push_back(std::move(b).build());
+  }
+
+  kernel.validate();
+  return kernel;
+}
+
+int required_datapath_bits(const DecoderSpec& spec) {
+  const int n = spec.code.rate_denominator();
+  // The multiresolution decoder's bulk datapath (the full-trellis ACS) runs
+  // at the *low* resolution — that is the point of the algorithm; only the
+  // M refinement lanes see high-resolution values, and the correction term
+  // keeps accumulations in low-resolution scale (+1 bit of fractional
+  // headroom below).
+  int resolution_bits;
+  switch (spec.kind) {
+    case DecoderKind::Hard:
+      resolution_bits = 1;
+      break;
+    case DecoderKind::Soft:
+      resolution_bits = spec.high_res_bits;
+      break;
+    case DecoderKind::Multires:
+      resolution_bits = spec.low_res_bits;
+      break;
+    default:
+      resolution_bits = spec.high_res_bits;
+      break;
+  }
+  const int max_level = (1 << resolution_bits) - 1;
+  // Classic bound: accumulated metrics within the decoding window differ by
+  // at most L * n * max_level; one extra bit covers the renormalization
+  // slack and one the comparison headroom.
+  const double spread = static_cast<double>(spec.traceback_depth) * n *
+                        std::max(1, max_level);
+  int bits = static_cast<int>(std::ceil(std::log2(spread + 1.0))) + 2;
+  if (spec.kind == DecoderKind::Multires) ++bits;  // correction fraction
+  return std::clamp(bits, 8, 32);
+}
+
+}  // namespace metacore::vliw

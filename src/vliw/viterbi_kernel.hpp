@@ -1,0 +1,24 @@
+// Lowers a Viterbi decoder configuration (the 8 parameters of the paper's
+// Table 2) to a VLIW IR kernel whose per-decoded-bit work mirrors a
+// realistic software implementation: symbol quantization, branch-metric
+// computation, the add-compare-select sweep over all trellis states, the
+// multiresolution refinement of the M best paths, sliding traceback, and
+// metric renormalization. This generated source is what the paper fed to
+// Trimaran; here it feeds the scheduler/simulator in this module.
+#pragma once
+
+#include "comm/ber.hpp"
+#include "vliw/ir.hpp"
+
+namespace metacore::vliw {
+
+/// Builds the decode kernel for `spec`. Trip counts are per decoded bit.
+Kernel build_viterbi_kernel(const comm::DecoderSpec& spec);
+
+/// Narrowest datapath (in bits) that holds the decoder's accumulated error
+/// metrics without overflow between renormalizations: the quantity the
+/// paper's data_path_factor [Erc98] is applied to. Grows with quantizer
+/// resolution and traceback depth.
+int required_datapath_bits(const comm::DecoderSpec& spec);
+
+}  // namespace metacore::vliw

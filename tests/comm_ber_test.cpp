@@ -1,0 +1,189 @@
+// Tests for the Monte-Carlo BER measurement harness.
+#include <gtest/gtest.h>
+
+#include "comm/ber.hpp"
+#include "util/math.hpp"
+
+namespace metacore::comm {
+namespace {
+
+DecoderSpec hard_k3() {
+  DecoderSpec spec;
+  spec.code = best_rate_half_code(3);
+  spec.traceback_depth = 15;
+  spec.kind = DecoderKind::Hard;
+  return spec;
+}
+
+TEST(MeasureBer, DeterministicForSameSeed) {
+  BerRunConfig cfg;
+  cfg.max_bits = 20'000;
+  cfg.min_bits = 20'000;
+  cfg.max_errors = 1'000'000;
+  const auto a = measure_ber(hard_k3(), 2.0, cfg);
+  const auto b = measure_ber(hard_k3(), 2.0, cfg);
+  EXPECT_EQ(a.errors.successes, b.errors.successes);
+  EXPECT_EQ(a.errors.trials, b.errors.trials);
+}
+
+TEST(MeasureBer, DifferentSeedsDiffer) {
+  BerRunConfig cfg;
+  cfg.max_bits = 20'000;
+  cfg.min_bits = 20'000;
+  cfg.max_errors = 1'000'000;
+  BerRunConfig cfg2 = cfg;
+  cfg2.seed = 999;
+  const auto a = measure_ber(hard_k3(), 1.0, cfg);
+  const auto b = measure_ber(hard_k3(), 1.0, cfg2);
+  EXPECT_NE(a.errors.successes, b.errors.successes);
+}
+
+TEST(MeasureBer, BerDecreasesWithSnr) {
+  BerRunConfig cfg;
+  cfg.max_bits = 40'000;
+  cfg.min_bits = 40'000;
+  cfg.max_errors = 1'000'000;
+  const auto curve = measure_ber_curve(hard_k3(), {0.0, 2.0, 4.0}, cfg);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_GT(curve[0].ber(), curve[1].ber());
+  EXPECT_GT(curve[1].ber(), curve[2].ber());
+}
+
+TEST(MeasureBer, CodedBeatsUncodedAtModerateSnr) {
+  // At Es/N0 = 3 dB (rate 1/2 -> Eb/N0 = 6 dB), the K=5 code must beat
+  // uncoded BPSK at the same Eb/N0 by a wide margin.
+  DecoderSpec spec;
+  spec.code = best_rate_half_code(5);
+  spec.traceback_depth = 25;
+  spec.kind = DecoderKind::Soft;
+  spec.high_res_bits = 3;
+  BerRunConfig cfg;
+  cfg.max_bits = 60'000;
+  cfg.min_bits = 60'000;
+  cfg.max_errors = 1'000'000;
+  const double coded = measure_ber(spec, 3.0, cfg).ber();
+  const double uncoded = util::bpsk_ber(util::db_to_linear(6.0));
+  EXPECT_LT(coded, uncoded / 2.0);
+}
+
+TEST(MeasureBer, EarlyTerminationStopsAtErrorBudget) {
+  BerRunConfig cfg;
+  cfg.max_bits = 10'000'000;
+  cfg.min_bits = 4'096;
+  cfg.max_errors = 50;
+  // At very low SNR the decoder fails constantly, so the error budget
+  // terminates the run long before max_bits.
+  const auto point = measure_ber(hard_k3(), -3.0, cfg);
+  EXPECT_GE(point.errors.successes, 50u);
+  EXPECT_LT(point.errors.trials, 200'000u);
+}
+
+TEST(MeasureBer, DecisionStoppingPassesClearPointsEarly) {
+  // K=5 soft at 4 dB has BER ~ 1e-6; against a 1e-3 threshold the run
+  // should stop long before the 2M-bit cap.
+  DecoderSpec spec;
+  spec.code = best_rate_half_code(5);
+  spec.traceback_depth = 25;
+  spec.kind = DecoderKind::Soft;
+  spec.high_res_bits = 3;
+  BerRunConfig cfg;
+  cfg.max_bits = 2'000'000;
+  cfg.min_bits = 8'192;
+  cfg.max_errors = 1u << 30;
+  cfg.decision_ber = 1e-3;
+  const auto point = measure_ber(spec, 4.0, cfg);
+  EXPECT_LT(point.errors.trials, 100'000u);
+  // And the decision is a confident pass.
+  EXPECT_LT(point.errors.wilson().high, 1e-3);
+}
+
+TEST(MeasureBer, DecisionStoppingFailsClearPointsEarly) {
+  // Hard K=3 at -2 dB is far above a 1e-4 threshold.
+  DecoderSpec spec = hard_k3();
+  BerRunConfig cfg;
+  cfg.max_bits = 5'000'000;
+  cfg.min_bits = 8'192;
+  cfg.max_errors = 1u << 30;
+  cfg.decision_ber = 1e-4;
+  const auto point = measure_ber(spec, -2.0, cfg);
+  EXPECT_LT(point.errors.trials, 60'000u);
+  EXPECT_GT(point.errors.wilson().low, 1e-4);
+}
+
+TEST(MeasureBer, DecisionStoppingOffByDefault) {
+  DecoderSpec spec = hard_k3();
+  BerRunConfig cfg;
+  cfg.max_bits = 30'000;
+  cfg.min_bits = 30'000;
+  cfg.max_errors = 1u << 30;
+  const auto point = measure_ber(spec, 4.0, cfg);  // clear pass, but no rule
+  EXPECT_EQ(point.errors.trials, 30'000u);
+}
+
+TEST(MeasureBer, RejectsZeroBudget) {
+  BerRunConfig cfg;
+  cfg.max_bits = 0;
+  EXPECT_THROW(measure_ber(hard_k3(), 1.0, cfg), std::invalid_argument);
+}
+
+TEST(DecoderSpec, FactoryProducesRequestedKind) {
+  const Trellis trellis(best_rate_half_code(5));
+  DecoderSpec spec;
+  spec.code = best_rate_half_code(5);
+  spec.traceback_depth = 20;
+
+  spec.kind = DecoderKind::Hard;
+  EXPECT_NE(dynamic_cast<ViterbiDecoder*>(
+                spec.make_decoder(trellis, 1.0, 0.5).get()),
+            nullptr);
+  spec.kind = DecoderKind::Multires;
+  spec.num_high_res_paths = 4;
+  EXPECT_NE(dynamic_cast<MultiresViterbiDecoder*>(
+                spec.make_decoder(trellis, 1.0, 0.5).get()),
+            nullptr);
+}
+
+TEST(DecoderSpec, LabelsAreDescriptive) {
+  DecoderSpec spec;
+  spec.code = best_rate_half_code(5);
+  spec.traceback_depth = 25;
+  spec.kind = DecoderKind::Multires;
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = 8;
+  spec.normalization_terms = 2;
+  const std::string label = spec.label();
+  EXPECT_NE(label.find("multires"), std::string::npos);
+  EXPECT_NE(label.find("K=5"), std::string::npos);
+  EXPECT_NE(label.find("R1=1"), std::string::npos);
+  EXPECT_NE(label.find("R2=3"), std::string::npos);
+  EXPECT_NE(label.find("M=8"), std::string::npos);
+  EXPECT_NE(label.find("N=2"), std::string::npos);
+}
+
+class BerKindSweep : public ::testing::TestWithParam<DecoderKind> {};
+
+TEST_P(BerKindSweep, MonotoneInSnr) {
+  DecoderSpec spec;
+  spec.code = best_rate_half_code(5);
+  spec.traceback_depth = 25;
+  spec.kind = GetParam();
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = 4;
+  BerRunConfig cfg;
+  cfg.max_bits = 30'000;
+  cfg.min_bits = 30'000;
+  cfg.max_errors = 1'000'000;
+  const auto curve = measure_ber_curve(spec, {-1.0, 1.5, 4.0}, cfg);
+  EXPECT_GT(curve[0].ber(), curve[1].ber());
+  EXPECT_GE(curve[1].ber(), curve[2].ber());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BerKindSweep,
+                         ::testing::Values(DecoderKind::Hard,
+                                           DecoderKind::Soft,
+                                           DecoderKind::Multires));
+
+}  // namespace
+}  // namespace metacore::comm

@@ -1,0 +1,66 @@
+// Tests for BPSK modulation and the AWGN channel statistics.
+#include <gtest/gtest.h>
+
+#include "comm/channel.hpp"
+#include "util/math.hpp"
+
+namespace metacore::comm {
+namespace {
+
+TEST(BpskModulator, AntipodalMapping) {
+  const BpskModulator mod(2.0);
+  EXPECT_DOUBLE_EQ(mod.modulate(0), -2.0);
+  EXPECT_DOUBLE_EQ(mod.modulate(1), 2.0);
+  const std::vector<int> bits{1, 0, 1};
+  EXPECT_EQ(mod.modulate(bits), (std::vector<double>{2.0, -2.0, 2.0}));
+}
+
+TEST(AwgnChannel, NoiseSigmaMatchesEsN0) {
+  // Es/N0 = 3 dB, Es = 1: N0 = 10^(-0.3), sigma = sqrt(N0/2).
+  AwgnChannel channel(3.0, 1.0, 1);
+  const double n0 = 1.0 / util::db_to_linear(3.0);
+  EXPECT_NEAR(channel.noise_sigma(), std::sqrt(n0 / 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(channel.esn0_db(), 3.0);
+}
+
+TEST(AwgnChannel, EmpiricalNoiseMoments) {
+  AwgnChannel channel(0.0, 1.0, 9);  // sigma = sqrt(0.5)
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double noise = channel.transmit(0.0);
+    sum += noise;
+    sum2 += noise * noise;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kN, 0.5, 0.01);
+}
+
+TEST(AwgnChannel, UncodedBerMatchesTheory) {
+  // Hard-sliced uncoded BPSK at Es/N0 = 4 dB must match Q(sqrt(2 Es/N0)).
+  AwgnChannel channel(4.0, 1.0, 21);
+  const BpskModulator mod;
+  int errors = 0;
+  constexpr int kN = 400'000;
+  for (int i = 0; i < kN; ++i) {
+    const int bit = i & 1;
+    const double rx = channel.transmit(mod.modulate(bit));
+    errors += (rx >= 0.0 ? 1 : 0) != bit;
+  }
+  const double theory = util::bpsk_ber(util::db_to_linear(4.0));
+  EXPECT_NEAR(static_cast<double>(errors) / kN, theory, theory * 0.15);
+}
+
+TEST(AwgnChannel, DeterministicPerSeed) {
+  AwgnChannel a(2.0, 1.0, 5), b(2.0, 1.0, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.transmit(1.0), b.transmit(1.0));
+  }
+}
+
+TEST(AwgnChannel, RejectsNonPositiveEnergy) {
+  EXPECT_THROW(AwgnChannel(1.0, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::comm

@@ -1,0 +1,116 @@
+// Unit tests for the convolutional encoder and polynomial tables.
+#include <gtest/gtest.h>
+
+#include "comm/convolutional.hpp"
+
+namespace metacore::comm {
+namespace {
+
+// Hand-worked example for the classic K=3, G=(7,5) encoder of Figure 2.
+// Registers start at 0. Generator 7 = 111 (input + both registers),
+// generator 5 = 101 (input + oldest register).
+TEST(ConvolutionalEncoder, HandWorkedK3Sequence) {
+  ConvolutionalEncoder enc(best_rate_half_code(3));
+  // Input 1: reg = [1, 0, 0] -> g7: 1^0^0 = 1, g5: 1^0 = 1.
+  // Input 0: reg = [0, 1, 0] -> g7: 0^1^0 = 1, g5: 0^0 = 0.
+  // Input 1: reg = [1, 0, 1] -> g7: 1^0^1 = 0, g5: 1^1 = 0.
+  // Input 1: reg = [1, 1, 0] -> g7: 1^1^0 = 0, g5: 1^0 = 1.
+  const std::vector<int> bits{1, 0, 1, 1};
+  const std::vector<int> expected{1, 1, 1, 0, 0, 0, 0, 1};
+  EXPECT_EQ(enc.encode(bits), expected);
+}
+
+TEST(ConvolutionalEncoder, AllZeroInputYieldsAllZeroOutput) {
+  for (int k = 3; k <= 9; ++k) {
+    ConvolutionalEncoder enc(best_rate_half_code(k));
+    const std::vector<int> zeros(64, 0);
+    for (int s : enc.encode(zeros)) {
+      ASSERT_EQ(s, 0) << "K=" << k;
+    }
+  }
+}
+
+TEST(ConvolutionalEncoder, StateTracksLastKMinusOneBits) {
+  ConvolutionalEncoder enc(best_rate_half_code(3));
+  enc.encode_bit(1);
+  EXPECT_EQ(enc.state(), 0b10u);  // newest bit in MSB of the 2-bit state
+  enc.encode_bit(0);
+  EXPECT_EQ(enc.state(), 0b01u);
+  enc.encode_bit(0);
+  EXPECT_EQ(enc.state(), 0b00u);
+  enc.reset();
+  EXPECT_EQ(enc.state(), 0u);
+}
+
+TEST(ConvolutionalEncoder, LinearityOverGf2) {
+  // Convolutional codes are linear: enc(a xor b) = enc(a) xor enc(b)
+  // (with matching initial state 0).
+  const CodeSpec code = best_rate_half_code(5);
+  std::vector<int> a{1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
+  std::vector<int> b{0, 1, 1, 0, 1, 0, 0, 1, 1, 0};
+  std::vector<int> x(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) x[i] = a[i] ^ b[i];
+  ConvolutionalEncoder ea(code), eb(code), ex(code);
+  const auto sa = ea.encode(a);
+  const auto sb = eb.encode(b);
+  const auto sx = ex.encode(x);
+  for (std::size_t i = 0; i < sx.size(); ++i) {
+    EXPECT_EQ(sx[i], sa[i] ^ sb[i]) << i;
+  }
+}
+
+TEST(CodeSpec, PaperTable3Generators) {
+  EXPECT_EQ(best_rate_half_code(3).generators_octal(), "7,5");
+  EXPECT_EQ(best_rate_half_code(5).generators_octal(), "35,23");
+  EXPECT_EQ(best_rate_half_code(7).generators_octal(), "171,133");
+}
+
+TEST(CodeSpec, NumStates) {
+  EXPECT_EQ(best_rate_half_code(3).num_states(), 4);
+  EXPECT_EQ(best_rate_half_code(7).num_states(), 64);
+  EXPECT_EQ(best_rate_half_code(9).num_states(), 256);
+}
+
+TEST(CodeSpec, ValidateRejectsBadSpecs) {
+  EXPECT_THROW((CodeSpec{1, {1}}).validate(), std::invalid_argument);
+  EXPECT_THROW((CodeSpec{3, {}}).validate(), std::invalid_argument);
+  EXPECT_THROW((CodeSpec{3, {0}}).validate(), std::invalid_argument);
+  EXPECT_THROW((CodeSpec{3, {017}}).validate(), std::invalid_argument);
+  // No generator taps the input bit (bit K-1).
+  EXPECT_THROW((CodeSpec{3, {03, 01}}).validate(), std::invalid_argument);
+}
+
+TEST(CodeSpec, BestCodesTabulatedRange) {
+  for (int k = 3; k <= 9; ++k) {
+    EXPECT_NO_THROW(best_rate_half_code(k).validate());
+  }
+  EXPECT_THROW(best_rate_half_code(2), std::invalid_argument);
+  EXPECT_THROW(best_rate_half_code(10), std::invalid_argument);
+}
+
+TEST(CodeSpec, CandidateCodesAreDistinctAndValid) {
+  for (int k = 3; k <= 9; ++k) {
+    const auto candidates = candidate_rate_half_codes(k);
+    ASSERT_GE(candidates.size(), 2u) << k;
+    EXPECT_NE(candidates[0], candidates[1]);
+    for (const auto& c : candidates) {
+      EXPECT_NO_THROW(c.validate());
+      EXPECT_EQ(c.constraint_length, k);
+    }
+  }
+}
+
+TEST(ConvolutionalEncoder, RateOneThirdCode) {
+  // A rate 1/3 spec exercises the n > 2 path.
+  const CodeSpec code{3, {07, 05, 06}};
+  ConvolutionalEncoder enc(code);
+  const auto out = enc.encode(std::vector<int>{1, 0});
+  ASSERT_EQ(out.size(), 6u);
+  // First bit: reg = 100 -> g7=1, g5=1, g6(110)=1.
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(out[2], 1);
+}
+
+}  // namespace
+}  // namespace metacore::comm

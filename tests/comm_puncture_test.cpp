@@ -1,0 +1,154 @@
+// Tests for punctured convolutional codes.
+#include <gtest/gtest.h>
+
+#include "comm/channel.hpp"
+#include "comm/puncture.hpp"
+#include "comm/viterbi.hpp"
+#include "util/rng.hpp"
+
+namespace metacore::comm {
+namespace {
+
+TEST(PuncturePattern, StandardRates) {
+  EXPECT_NEAR(rate_2_3_pattern().rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rate_3_4_pattern().rate(), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(rate_5_6_pattern().rate(), 5.0 / 6.0, 1e-12);
+}
+
+TEST(PuncturePattern, Validation) {
+  PuncturePattern bad{2, {1, 1, 1}};  // wrong mask size
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  PuncturePattern starved{2, {1, 0, 0, 0}};  // rate above 1
+  EXPECT_THROW(starved.validate(), std::invalid_argument);
+  PuncturePattern zero{0, {}};
+  EXPECT_THROW(zero.validate(), std::invalid_argument);
+}
+
+TEST(Puncture, DropsMaskedSymbols) {
+  // Rate 2/3: mask 1,1,1,0 over pairs.
+  const std::vector<int> symbols{10, 11, 20, 21, 30, 31, 40, 41};
+  const auto out = puncture(std::span<const int>(symbols), rate_2_3_pattern());
+  EXPECT_EQ(out, (std::vector<int>{10, 11, 20, 30, 31, 40}));
+}
+
+TEST(Depuncture, ReinsertsNeutralAtMaskedPositions) {
+  const std::vector<double> received{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto out = depuncture(received, rate_2_3_pattern(), 4, 0.0);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out, (std::vector<double>{1.0, 2.0, 3.0, 0.0, 4.0, 5.0, 6.0, 0.0}));
+}
+
+TEST(Depuncture, RoundTripsWithPuncture) {
+  util::Random rng(4);
+  std::vector<double> stream(60);
+  for (auto& s : stream) s = rng.uniform(-1.0, 1.0);
+  for (const auto& pattern :
+       {rate_2_3_pattern(), rate_3_4_pattern(), rate_5_6_pattern()}) {
+    const auto punctured = puncture(std::span<const double>(stream), pattern);
+    const auto restored = depuncture(punctured, pattern, 30, -99.0);
+    ASSERT_EQ(restored.size(), stream.size());
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (restored[i] != -99.0) {
+        EXPECT_DOUBLE_EQ(restored[i], stream[i]);
+        ++kept;
+      }
+    }
+    EXPECT_EQ(kept, punctured.size());
+  }
+}
+
+TEST(Depuncture, RejectsLengthMismatch) {
+  const std::vector<double> received{1.0, 2.0};
+  EXPECT_THROW(depuncture(received, rate_2_3_pattern(), 4),
+               std::invalid_argument);
+  const std::vector<double> too_long(20, 0.0);
+  EXPECT_THROW(depuncture(too_long, rate_2_3_pattern(), 4),
+               std::invalid_argument);
+}
+
+class PuncturedDecodeSweep
+    : public ::testing::TestWithParam<int> {};  // 0=2/3, 1=3/4, 2=5/6
+
+TEST_P(PuncturedDecodeSweep, NoiselessDecodeRecoversData) {
+  const PuncturePattern pattern = GetParam() == 0   ? rate_2_3_pattern()
+                                  : GetParam() == 1 ? rate_3_4_pattern()
+                                                    : rate_5_6_pattern();
+  const CodeSpec code = best_rate_half_code(7);
+  const Trellis trellis(code);
+  util::Random rng(7 + static_cast<std::uint64_t>(GetParam()));
+  // Data length must be a multiple of the pattern period.
+  std::vector<int> data(30 * pattern.period);
+  for (auto& b : data) b = rng.bit() ? 1 : 0;
+  ConvolutionalEncoder encoder(code);
+  BpskModulator mod;
+  const auto tx = mod.modulate(encoder.encode(data));
+  const auto punctured = puncture(std::span<const double>(tx), pattern);
+  const auto rx = depuncture(punctured, pattern, data.size());
+  auto decoder = make_soft_decoder(trellis, 10 * 7, 3,
+                                   QuantizationMethod::FixedSoft, 1.0, 0.5);
+  EXPECT_EQ(decoder->decode(rx), data) << pattern.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(StandardPatterns, PuncturedDecodeSweep,
+                         ::testing::Values(0, 1, 2));
+
+TEST(PuncturedDecode, CorrectsNoiseAtModerateSnr) {
+  const PuncturePattern pattern = rate_3_4_pattern();
+  const CodeSpec code = best_rate_half_code(7);
+  const Trellis trellis(code);
+  util::Random rng(21);
+  std::vector<int> data(3'000);
+  for (auto& b : data) b = rng.bit() ? 1 : 0;
+  ConvolutionalEncoder encoder(code);
+  BpskModulator mod;
+  const auto tx = mod.modulate(encoder.encode(data));
+  AwgnChannel channel(4.5, 1.0, 17);
+  const auto rx_p = channel.transmit(puncture(std::span<const double>(tx), pattern));
+  const auto rx = depuncture(rx_p, pattern, data.size());
+  auto decoder = make_soft_decoder(trellis, 70, 3,
+                                   QuantizationMethod::AdaptiveSoft, 1.0,
+                                   channel.noise_sigma());
+  const auto out = decoder->decode(rx);
+  int errors = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) errors += out[i] != data[i];
+  // Punctured rate 3/4 still corrects the channel comfortably at 4.5 dB.
+  EXPECT_LT(errors, 30);
+}
+
+TEST(PuncturedDecode, HigherRateTradesRobustness) {
+  // At the same channel quality, the rate-5/6 punctured code must do worse
+  // than the unpunctured mother code (less redundancy).
+  const CodeSpec code = best_rate_half_code(5);
+  const Trellis trellis(code);
+  util::Random rng(5);
+  std::vector<int> data(20'000);
+  for (auto& b : data) b = rng.bit() ? 1 : 0;
+  ConvolutionalEncoder e1(code), e2(code);
+  BpskModulator mod;
+  const auto tx_full = mod.modulate(e1.encode(data));
+  const auto tx_sym = mod.modulate(e2.encode(data));
+
+  AwgnChannel ch1(2.5, 1.0, 31), ch2(2.5, 1.0, 31);
+  const auto rx_full = ch1.transmit(tx_full);
+  const auto pattern = rate_5_6_pattern();
+  const auto rx_punct = depuncture(
+      ch2.transmit(puncture(std::span<const double>(tx_sym), pattern)),
+      pattern, data.size());
+
+  auto d1 = make_soft_decoder(trellis, 50, 3, QuantizationMethod::AdaptiveSoft,
+                              1.0, ch1.noise_sigma());
+  auto d2 = make_soft_decoder(trellis, 50, 3, QuantizationMethod::AdaptiveSoft,
+                              1.0, ch2.noise_sigma());
+  int err_full = 0, err_punct = 0;
+  const auto out_full = d1->decode(rx_full);
+  const auto out_punct = d2->decode(rx_punct);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    err_full += out_full[i] != data[i];
+    err_punct += out_punct[i] != data[i];
+  }
+  EXPECT_GT(err_punct, err_full);
+}
+
+}  // namespace
+}  // namespace metacore::comm

@@ -1,0 +1,106 @@
+// Unit tests for the hard / fixed-soft / adaptive-soft channel quantizers.
+#include <gtest/gtest.h>
+
+#include "comm/quantizer.hpp"
+
+namespace metacore::comm {
+namespace {
+
+TEST(Quantizer, HardSlicesOnSign) {
+  const Quantizer q(QuantizationMethod::Hard, 1, 1.0, 0.5);
+  EXPECT_EQ(q.bits(), 1);
+  EXPECT_EQ(q.levels(), 2);
+  EXPECT_EQ(q.quantize(-2.0), 0);
+  EXPECT_EQ(q.quantize(-1e-9), 0);
+  EXPECT_EQ(q.quantize(0.0), 1);
+  EXPECT_EQ(q.quantize(3.0), 1);
+}
+
+TEST(Quantizer, HardForcesOneBit) {
+  const Quantizer q(QuantizationMethod::Hard, 5, 1.0, 0.5);
+  EXPECT_EQ(q.bits(), 1);
+}
+
+TEST(Quantizer, FixedSoftThreeBitLevels) {
+  // 8 levels uniform over [-1, 1]: step 0.25, level = floor((x+1)/0.25).
+  const Quantizer q(QuantizationMethod::FixedSoft, 3, 1.0, 0.5);
+  EXPECT_EQ(q.levels(), 8);
+  EXPECT_EQ(q.quantize(-1.5), 0);
+  EXPECT_EQ(q.quantize(-0.99), 0);
+  EXPECT_EQ(q.quantize(-0.70), 1);
+  EXPECT_EQ(q.quantize(-0.01), 3);
+  EXPECT_EQ(q.quantize(0.01), 4);
+  EXPECT_EQ(q.quantize(0.99), 7);
+  EXPECT_EQ(q.quantize(5.0), 7);
+}
+
+TEST(Quantizer, QuantizationIsMonotone) {
+  for (auto method :
+       {QuantizationMethod::FixedSoft, QuantizationMethod::AdaptiveSoft}) {
+    const Quantizer q(method, 3, 1.0, 0.7);
+    int prev = 0;
+    for (double x = -3.0; x <= 3.0; x += 0.01) {
+      const int level = q.quantize(x);
+      EXPECT_GE(level, prev);
+      prev = level;
+    }
+    EXPECT_EQ(prev, 7);
+  }
+}
+
+TEST(Quantizer, AdaptiveDecisionLevelTracksNoise) {
+  // Per Figure 4, the adaptive step is D = kD * sigma; doubling the noise
+  // doubles the step.
+  const Quantizer narrow(QuantizationMethod::AdaptiveSoft, 3, 1.0, 0.4);
+  const Quantizer wide(QuantizationMethod::AdaptiveSoft, 3, 1.0, 0.8);
+  EXPECT_NEAR(narrow.step(), kAdaptiveDecisionFactor * 0.4, 1e-12);
+  EXPECT_NEAR(wide.step(), kAdaptiveDecisionFactor * 0.8, 1e-12);
+  // A sample one noise-sigma above zero lands closer to the top with the
+  // narrow quantizer.
+  EXPECT_GE(narrow.quantize(0.4), wide.quantize(0.4));
+}
+
+TEST(Quantizer, AdaptiveIsCenteredOnZero) {
+  const Quantizer q(QuantizationMethod::AdaptiveSoft, 3, 1.0, 0.5);
+  EXPECT_EQ(q.quantize(-1e-9), 3);
+  EXPECT_EQ(q.quantize(1e-9), 4);
+}
+
+TEST(Quantizer, BranchMetricDistances) {
+  const Quantizer q(QuantizationMethod::FixedSoft, 3, 1.0, 0.5);
+  // Level 0 is "confident 0": zero metric against expected 0, max against 1.
+  EXPECT_EQ(q.branch_metric(0, 0), 0);
+  EXPECT_EQ(q.branch_metric(0, 1), 7);
+  EXPECT_EQ(q.branch_metric(7, 1), 0);
+  EXPECT_EQ(q.branch_metric(7, 0), 7);
+  EXPECT_EQ(q.branch_metric(3, 0), 3);
+  EXPECT_EQ(q.branch_metric(3, 1), 4);
+}
+
+TEST(Quantizer, OneBitSoftEqualsHard) {
+  const Quantizer hard(QuantizationMethod::Hard, 1, 1.0, 0.5);
+  const Quantizer fixed1(QuantizationMethod::FixedSoft, 1, 1.0, 0.5);
+  for (double x = -2.0; x <= 2.0; x += 0.013) {
+    EXPECT_EQ(hard.quantize(x), fixed1.quantize(x)) << x;
+  }
+}
+
+TEST(Quantizer, RejectsBadConfiguration) {
+  EXPECT_THROW(Quantizer(QuantizationMethod::FixedSoft, 0, 1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(Quantizer(QuantizationMethod::FixedSoft, 9, 1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(Quantizer(QuantizationMethod::FixedSoft, 3, 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(Quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Quantizer, MethodNames) {
+  EXPECT_EQ(to_string(QuantizationMethod::Hard), "hard");
+  EXPECT_EQ(to_string(QuantizationMethod::FixedSoft), "fixed");
+  EXPECT_EQ(to_string(QuantizationMethod::AdaptiveSoft), "adaptive");
+}
+
+}  // namespace
+}  // namespace metacore::comm

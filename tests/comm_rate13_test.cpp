@@ -1,0 +1,92 @@
+// Rate-1/3 code coverage: every decoder family must handle n > 2 symbol
+// groups (the paper's formulation is rate k/n; its experiments use 1/2).
+#include <gtest/gtest.h>
+
+#include "comm/ber.hpp"
+#include "comm/channel.hpp"
+#include "comm/multires_viterbi.hpp"
+#include "comm/viterbi.hpp"
+#include "util/rng.hpp"
+
+namespace metacore::comm {
+namespace {
+
+/// A reasonable rate-1/3 K=5 code (industry-standard generators 25,33,37).
+CodeSpec rate_third_code() { return {5, {025, 033, 037}}; }
+
+std::vector<int> random_bits(std::size_t n, std::uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<int> bits(n);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  return bits;
+}
+
+TEST(RateThird, EncoderEmitsThreeSymbolsPerBit) {
+  ConvolutionalEncoder enc(rate_third_code());
+  EXPECT_EQ(enc.encode(std::vector<int>{1, 0, 1}).size(), 9u);
+}
+
+TEST(RateThird, NoiselessIdentityAllDecoders) {
+  const CodeSpec code = rate_third_code();
+  const Trellis trellis(code);
+  const auto bits = random_bits(400, 12);
+  ConvolutionalEncoder enc(code);
+  BpskModulator mod;
+  const auto rx = mod.modulate(enc.encode(bits));
+
+  auto hard = make_hard_decoder(trellis, 25, 1.0, 0.5);
+  EXPECT_EQ(hard->decode(rx), bits);
+
+  auto soft = make_soft_decoder(trellis, 25, 3, QuantizationMethod::FixedSoft,
+                                1.0, 0.5);
+  EXPECT_EQ(soft->decode(rx), bits);
+
+  MultiresConfig cfg;
+  cfg.traceback_depth = 25;
+  cfg.low_res_bits = 1;
+  cfg.high_res_bits = 3;
+  cfg.num_high_res_paths = 4;
+  auto multires = make_multires_decoder(trellis, cfg, 1.0, 0.5);
+  EXPECT_EQ(multires->decode(rx), bits);
+}
+
+TEST(RateThird, BeatsRateHalfAtEqualEsN0) {
+  // More redundancy, better BER at the same per-symbol SNR.
+  BerRunConfig cfg;
+  cfg.max_bits = 60'000;
+  cfg.min_bits = 60'000;
+  cfg.max_errors = 1u << 30;
+
+  DecoderSpec third;
+  third.code = rate_third_code();
+  third.traceback_depth = 25;
+  third.kind = DecoderKind::Soft;
+  third.high_res_bits = 3;
+
+  DecoderSpec half = third;
+  half.code = best_rate_half_code(5);
+
+  const double esn0 = 0.0;
+  EXPECT_LT(measure_ber(third, esn0, cfg).ber(),
+            measure_ber(half, esn0, cfg).ber());
+}
+
+TEST(RateThird, BerHarnessRunsEndToEnd) {
+  DecoderSpec spec;
+  spec.code = rate_third_code();
+  spec.traceback_depth = 25;
+  spec.kind = DecoderKind::Multires;
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = 4;
+  BerRunConfig cfg;
+  cfg.max_bits = 20'000;
+  cfg.min_bits = 20'000;
+  cfg.max_errors = 1u << 30;
+  const auto curve = measure_ber_curve(spec, {-1.0, 2.0}, cfg);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_GT(curve[0].ber(), curve[1].ber());
+}
+
+}  // namespace
+}  // namespace metacore::comm

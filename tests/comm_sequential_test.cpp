@@ -1,0 +1,158 @@
+// Tests for the sequential (stack-algorithm) decoder baseline.
+#include <gtest/gtest.h>
+
+#include "comm/channel.hpp"
+#include "comm/sequential.hpp"
+#include "comm/viterbi.hpp"
+#include "util/rng.hpp"
+
+namespace metacore::comm {
+namespace {
+
+std::vector<int> terminated_block(std::size_t n, int k, std::uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<int> bits(n);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  for (int i = 0; i < k - 1; ++i) bits[n - 1 - static_cast<std::size_t>(i)] = 0;
+  return bits;
+}
+
+TEST(SequentialDecoder, DecodesNoiselessBlockExactly) {
+  const CodeSpec code = best_rate_half_code(7);
+  const auto block = terminated_block(200, 7, 3);
+  ConvolutionalEncoder encoder(code);
+  BpskModulator mod;
+  const auto rx = mod.modulate(encoder.encode(block));
+  SequentialDecoder decoder(
+      code, Quantizer(QuantizationMethod::Hard, 1, 1.0, 0.5));
+  const auto result = decoder.decode(rx);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.bits.size(), block.size() - 6);
+  for (std::size_t i = 0; i < result.bits.size(); ++i) {
+    EXPECT_EQ(result.bits[i], block[i]) << i;
+  }
+  // Noiseless: best-first goes straight down the correct path.
+  EXPECT_LT(result.extensions_per_bit(), 1.5);
+}
+
+TEST(SequentialDecoder, HandlesLongConstraintLengths) {
+  // K=9 (256 states) is cheap for sequential decoding: work does not scale
+  // with 2^K, unlike Viterbi.
+  const CodeSpec code = best_rate_half_code(9);
+  const auto block = terminated_block(300, 9, 11);
+  ConvolutionalEncoder encoder(code);
+  BpskModulator mod;
+  AwgnChannel channel(4.0, 1.0, 13);
+  const auto rx = channel.transmit(mod.modulate(encoder.encode(block)));
+  SequentialDecoder decoder(
+      code,
+      Quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0, channel.noise_sigma()));
+  const auto result = decoder.decode(rx);
+  ASSERT_TRUE(result.completed);
+  int errors = 0;
+  for (std::size_t i = 0; i < result.bits.size(); ++i) {
+    errors += result.bits[i] != block[i];
+  }
+  EXPECT_EQ(errors, 0);
+  EXPECT_LT(result.extensions_per_bit(), 8.0);
+}
+
+TEST(SequentialDecoder, EffortGrowsAsSnrDrops) {
+  // The paper's Section 3.1 contrast: variable decoding time. Average
+  // extensions per bit must grow markedly as the channel degrades.
+  const CodeSpec code = best_rate_half_code(7);
+  double effort_good = 0.0, effort_bad = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto block = terminated_block(400, 7, 100 + seed);
+    ConvolutionalEncoder encoder(code);
+    BpskModulator mod;
+    const auto tx = mod.modulate(encoder.encode(block));
+    AwgnChannel good(5.0, 1.0, 7 + seed);
+    AwgnChannel bad(-2.0, 1.0, 7 + seed);
+    SequentialConfig config;
+    config.max_extensions_per_bit = 5'000.0;
+    SequentialDecoder dec_good(
+        code, Quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0,
+                        good.noise_sigma()),
+        config);
+    SequentialDecoder dec_bad(
+        code, Quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0,
+                        bad.noise_sigma()),
+        config);
+    effort_good += dec_good.decode(good.transmit(tx)).extensions_per_bit();
+    const auto r = dec_bad.decode(bad.transmit(tx));
+    effort_bad += r.completed
+                      ? r.extensions_per_bit()
+                      : config.max_extensions_per_bit;  // overflow = max work
+  }
+  EXPECT_GT(effort_bad, 3.0 * effort_good);
+}
+
+TEST(SequentialDecoder, OverflowsGracefullyAtVeryLowSnr) {
+  const CodeSpec code = best_rate_half_code(7);
+  const auto block = terminated_block(300, 7, 77);
+  ConvolutionalEncoder encoder(code);
+  BpskModulator mod;
+  AwgnChannel channel(-6.0, 1.0, 3);
+  const auto rx = channel.transmit(mod.modulate(encoder.encode(block)));
+  SequentialConfig config;
+  config.max_extensions_per_bit = 64.0;
+  SequentialDecoder decoder(
+      code,
+      Quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0, channel.noise_sigma()),
+      config);
+  const auto result = decoder.decode(rx);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.bits.empty());
+  EXPECT_LE(result.extensions, static_cast<std::uint64_t>(64.0 * 300) + 1);
+}
+
+TEST(SequentialDecoder, MatchesViterbiAtModerateSnr) {
+  const CodeSpec code = best_rate_half_code(5);
+  const Trellis trellis(code);
+  const auto block = terminated_block(500, 5, 55);
+  ConvolutionalEncoder encoder(code);
+  BpskModulator mod;
+  AwgnChannel channel(4.0, 1.0, 23);
+  const auto rx = channel.transmit(mod.modulate(encoder.encode(block)));
+
+  SequentialDecoder sequential(
+      code,
+      Quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0, channel.noise_sigma()));
+  const auto seq_result = sequential.decode(rx);
+  ASSERT_TRUE(seq_result.completed);
+
+  auto viterbi = make_soft_decoder(trellis, 25, 3,
+                                   QuantizationMethod::AdaptiveSoft, 1.0,
+                                   channel.noise_sigma());
+  const auto vit_bits = viterbi->decode(rx);
+
+  int seq_errors = 0, vit_errors = 0;
+  for (std::size_t i = 0; i < seq_result.bits.size(); ++i) {
+    seq_errors += seq_result.bits[i] != block[i];
+    vit_errors += vit_bits[i] != block[i];
+  }
+  // Both decode this clean-channel block essentially perfectly.
+  EXPECT_LE(seq_errors, 2);
+  EXPECT_LE(vit_errors, 2);
+}
+
+TEST(SequentialDecoder, Rejections) {
+  const CodeSpec code = best_rate_half_code(5);
+  const Quantizer q(QuantizationMethod::Hard, 1, 1.0, 0.5);
+  SequentialConfig bad;
+  bad.bias = 0.0;
+  EXPECT_THROW(SequentialDecoder(code, q, bad), std::invalid_argument);
+  bad = {};
+  bad.max_stack = 2;
+  EXPECT_THROW(SequentialDecoder(code, q, bad), std::invalid_argument);
+
+  SequentialDecoder decoder(code, q);
+  const std::vector<double> odd(7, 0.0);  // not a multiple of n
+  EXPECT_THROW(decoder.decode(odd), std::invalid_argument);
+  const std::vector<double> tiny(4, 0.0);  // shorter than the tail
+  EXPECT_THROW(decoder.decode(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::comm

@@ -1,0 +1,74 @@
+// Structural invariants of the decoding trellis, checked against the
+// encoder across all tabulated constraint lengths.
+#include <gtest/gtest.h>
+
+#include "comm/convolutional.hpp"
+#include "comm/trellis.hpp"
+
+namespace metacore::comm {
+namespace {
+
+class TrellisSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrellisSweep, TransitionsMatchEncoderLogic) {
+  const CodeSpec code = best_rate_half_code(GetParam());
+  const Trellis trellis(code);
+  // For every state and input, replaying the encoder from that state must
+  // produce the trellis's recorded outputs and successor.
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(trellis.num_states());
+       ++s) {
+    for (int bit = 0; bit < 2; ++bit) {
+      // Drive a fresh encoder into state s by feeding the state bits oldest
+      // first (state bit 0 is the oldest register).
+      ConvolutionalEncoder enc(code);
+      for (int r = 0; r < code.constraint_length - 1; ++r) {
+        enc.encode_bit(static_cast<int>((s >> r) & 1u));
+      }
+      ASSERT_EQ(enc.state(), s);
+      const std::uint32_t out = enc.encode_bit(bit);
+      EXPECT_EQ(trellis.output_symbols(s, bit), out);
+      EXPECT_EQ(trellis.next_state(s, bit), enc.state());
+    }
+  }
+}
+
+TEST_P(TrellisSweep, EveryStateHasExactlyTwoPredecessors) {
+  const Trellis trellis(best_rate_half_code(GetParam()));
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(trellis.num_states());
+       ++s) {
+    const auto& preds = trellis.predecessors(s);
+    EXPECT_NE(preds[0].from_state, preds[1].from_state);
+    for (const auto& p : preds) {
+      EXPECT_EQ(trellis.next_state(p.from_state, p.input_bit), s);
+      EXPECT_EQ(trellis.output_symbols(p.from_state, p.input_bit), p.symbols);
+    }
+  }
+}
+
+TEST_P(TrellisSweep, SuccessorsPartitionIntoUpperLowerHalves) {
+  // With the shift-register convention, input bit b sends every state to
+  // the half of the state space selected by b's MSB position.
+  const Trellis trellis(best_rate_half_code(GetParam()));
+  const int k = trellis.spec().constraint_length;
+  const std::uint32_t msb = 1u << (k - 2);
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(trellis.num_states());
+       ++s) {
+    EXPECT_EQ(trellis.next_state(s, 0) & msb, 0u);
+    EXPECT_EQ(trellis.next_state(s, 1) & msb, msb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, TrellisSweep, ::testing::Range(3, 10));
+
+TEST(Trellis, SymbolsPerStepMatchesRate) {
+  EXPECT_EQ(Trellis(best_rate_half_code(3)).symbols_per_step(), 2);
+  const CodeSpec third{3, {07, 05, 06}};
+  EXPECT_EQ(Trellis(third).symbols_per_step(), 3);
+}
+
+TEST(Trellis, RejectsInvalidSpec) {
+  EXPECT_THROW(Trellis(CodeSpec{3, {0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::comm

@@ -1,0 +1,141 @@
+// Unit and property tests for the single-resolution Viterbi decoder.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/convolutional.hpp"
+#include "comm/trellis.hpp"
+#include "comm/viterbi.hpp"
+#include "util/rng.hpp"
+
+namespace metacore {
+namespace {
+
+using comm::BpskModulator;
+using comm::CodeSpec;
+using comm::ConvolutionalEncoder;
+using comm::Quantizer;
+using comm::QuantizationMethod;
+using comm::Trellis;
+using comm::ViterbiDecoder;
+
+std::vector<int> random_bits(std::size_t n, std::uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<int> bits(n);
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+  return bits;
+}
+
+/// Modulates encoded symbols without noise.
+std::vector<double> noiseless_rx(const CodeSpec& code,
+                                 const std::vector<int>& bits) {
+  ConvolutionalEncoder enc(code);
+  BpskModulator mod(1.0);
+  const auto symbols = enc.encode(bits);
+  return mod.modulate(symbols);
+}
+
+TEST(ViterbiDecoder, DecodesNoiselessStreamExactly) {
+  const CodeSpec code = comm::best_rate_half_code(3);
+  const Trellis trellis(code);
+  ViterbiDecoder decoder(trellis, 15,
+                         Quantizer(QuantizationMethod::Hard, 1, 1.0, 0.5));
+  const auto bits = random_bits(500, 42);
+  const auto rx = noiseless_rx(code, bits);
+  const auto decoded = decoder.decode(rx);
+  ASSERT_EQ(decoded.size(), bits.size());
+  EXPECT_EQ(decoded, bits);
+}
+
+TEST(ViterbiDecoder, CorrectsIsolatedSymbolErrors) {
+  const CodeSpec code = comm::best_rate_half_code(3);
+  const Trellis trellis(code);
+  ViterbiDecoder decoder(trellis, 15,
+                         Quantizer(QuantizationMethod::Hard, 1, 1.0, 0.5));
+  const auto bits = random_bits(200, 7);
+  auto rx = noiseless_rx(code, bits);
+  // Flip a handful of well-separated channel symbols: free distance of the
+  // K=3 (7,5) code is 5, so isolated single-symbol errors must be corrected.
+  for (std::size_t i = 20; i + 40 < rx.size(); i += 40) rx[i] = -rx[i];
+  const auto decoded = decoder.decode(rx);
+  EXPECT_EQ(decoded, bits);
+}
+
+TEST(ViterbiDecoder, StreamingMatchesBatchDecode) {
+  const CodeSpec code = comm::best_rate_half_code(5);
+  const Trellis trellis(code);
+  const auto bits = random_bits(300, 99);
+  ConvolutionalEncoder enc(code);
+  BpskModulator mod;
+  comm::AwgnChannel channel(3.0, 1.0, 5);
+  const auto rx = channel.transmit(mod.modulate(enc.encode(bits)));
+
+  ViterbiDecoder batch(trellis, 25,
+                       Quantizer(QuantizationMethod::Hard, 1, 1.0, 0.5));
+  const auto batch_out = batch.decode(rx);
+
+  ViterbiDecoder stream(trellis, 25,
+                        Quantizer(QuantizationMethod::Hard, 1, 1.0, 0.5));
+  std::vector<int> stream_out;
+  for (std::size_t i = 0; i < rx.size(); i += 2) {
+    if (auto bit = stream.step({rx.data() + i, 2})) stream_out.push_back(*bit);
+  }
+  for (int bit : stream.flush()) stream_out.push_back(bit);
+  EXPECT_EQ(batch_out, stream_out);
+}
+
+TEST(ViterbiDecoder, FlushOnShortStreamReturnsAllBits) {
+  const CodeSpec code = comm::best_rate_half_code(3);
+  const Trellis trellis(code);
+  ViterbiDecoder decoder(trellis, 30,
+                         Quantizer(QuantizationMethod::Hard, 1, 1.0, 0.5));
+  const std::vector<int> bits{1, 0, 1, 1, 0};
+  const auto rx = noiseless_rx(code, bits);
+  const auto decoded = decoder.decode(rx);
+  EXPECT_EQ(decoded, bits);
+}
+
+TEST(ViterbiDecoder, RejectsBadSymbolCount) {
+  const Trellis trellis(comm::best_rate_half_code(3));
+  ViterbiDecoder decoder(trellis, 10,
+                         Quantizer(QuantizationMethod::Hard, 1, 1.0, 0.5));
+  const std::vector<double> one_symbol{0.5};
+  EXPECT_THROW(decoder.step(one_symbol), std::invalid_argument);
+}
+
+TEST(ViterbiDecoder, RejectsNonPositiveTracebackDepth) {
+  const Trellis trellis(comm::best_rate_half_code(3));
+  EXPECT_THROW(ViterbiDecoder(trellis, 0,
+                              Quantizer(QuantizationMethod::Hard, 1, 1.0, 0.5)),
+               std::invalid_argument);
+}
+
+// Property sweep: decode(encode(x)) == x without noise, across constraint
+// lengths, traceback depths, and quantizer configurations.
+class ViterbiIdentitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ViterbiIdentitySweep, NoiselessIdentity) {
+  const auto [k, l_mult, bits_q] = GetParam();
+  const CodeSpec code = comm::best_rate_half_code(k);
+  const Trellis trellis(code);
+  const auto method = bits_q == 1 ? QuantizationMethod::Hard
+                                  : QuantizationMethod::FixedSoft;
+  ViterbiDecoder decoder(trellis, l_mult * k,
+                         Quantizer(method, bits_q, 1.0, 0.5));
+  const auto bits = random_bits(400, 1000 + static_cast<std::uint64_t>(k));
+  const auto rx = noiseless_rx(code, bits);
+  EXPECT_EQ(decoder.decode(rx), bits)
+      << "K=" << k << " L=" << l_mult * k << " bits=" << bits_q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, ViterbiIdentitySweep,
+    ::testing::Combine(::testing::Values(3, 4, 5, 6, 7, 8, 9),
+                       ::testing::Values(3, 5, 7),
+                       ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace metacore

@@ -1,0 +1,114 @@
+// Parameterized coupling sweeps across both MetaCores: every decoder kind
+// and every filter family must evaluate to a coherent (performance, cost)
+// pair through the full stack.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/iir_metacore.hpp"
+#include "core/viterbi_metacore.hpp"
+
+namespace metacore::core {
+namespace {
+
+// --- Viterbi: (M_frac, R1) grid, all mapping to valid evaluable specs. ----
+
+class ViterbiPointSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(ViterbiPointSweep, EvaluatesToCoherentMetrics) {
+  const auto [m_frac, r1, k] = GetParam();
+  ViterbiRequirements req;
+  req.target_ber = 1e-2;
+  req.esn0_db = 2.0;
+  req.throughput_mbps = 1.0;
+  comm::BerRunConfig ber;
+  ber.max_bits = 12'000;
+  ber.min_bits = 12'000;
+  ber.max_errors = 1u << 30;
+  ViterbiMetaCore core(req, ber);
+
+  const std::vector<double> point{static_cast<double>(k), 4, 0,
+                                  static_cast<double>(r1), 3, 1, 1, m_frac};
+  const auto spec = core.decode_point(point);
+  EXPECT_EQ(spec.code.constraint_length, k);
+  const auto eval = core.evaluate(point, 0);
+  ASSERT_TRUE(eval.feasible) << spec.label();
+  EXPECT_GT(eval.metric("area_mm2"), 0.0);
+  EXPECT_GE(eval.metric("ber"), 0.0);
+  EXPECT_LE(eval.metric("ber_observed"), 1.0);
+  EXPECT_GE(eval.metric("cores"), 1.0);
+  EXPECT_GE(eval.metric("datapath_bits"), 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindAndResolution, ViterbiPointSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 1.0),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(3, 5, 7)));
+
+// --- Viterbi: area responds monotonically to throughput at fixed spec. ----
+
+TEST(ViterbiMetaCoreSweep, AreaMonotoneInThroughput) {
+  comm::BerRunConfig ber;
+  ber.max_bits = 8'192;
+  ber.min_bits = 8'192;
+  double prev = 0.0;
+  for (double mbps : {0.5, 1.5, 4.0}) {
+    ViterbiRequirements req;
+    req.target_ber = 1e-2;
+    req.esn0_db = 2.0;
+    req.throughput_mbps = mbps;
+    ViterbiMetaCore core(req, ber);
+    const auto eval = core.evaluate({5, 4, 0, 1, 3, 1, 1, 0.25}, 0);
+    ASSERT_TRUE(eval.feasible);
+    EXPECT_GE(eval.metric("area_mm2"), prev);
+    prev = eval.metric("area_mm2");
+  }
+}
+
+// --- IIR: every (structure, family) pair evaluates. -----------------------
+
+class IirPointSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IirPointSweep, EvaluatesToCoherentMetrics) {
+  const auto [structure, family] = GetParam();
+  auto req = paper_bandpass_requirements(2.0);
+  req.explore_family = true;
+  IirMetaCore core(req);
+  const auto eval = core.evaluate(
+      {static_cast<double>(structure), 0, 16, 0.7,
+       static_cast<double>(family)},
+      0);
+  // 16-bit words make everything but some direct forms spec-meeting; either
+  // way the evaluation must be well-formed rather than throwing.
+  if (eval.feasible) {
+    EXPECT_GT(eval.metric("area_mm2"), 0.0);
+    EXPECT_GT(eval.metric("latency_us"), 0.0);
+    EXPECT_LE(eval.metric("throughput_period_us"), 2.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StructureByFamily, IirPointSweep,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 4)));
+
+// --- IIR: stricter periods never reduce area for a fixed point. -----------
+
+TEST(IirMetaCoreSweep, AreaMonotoneInRate) {
+  double prev = 0.0;
+  for (double period : {0.5, 1.0, 3.0}) {
+    IirMetaCore core(paper_bandpass_requirements(period));
+    const auto eval = core.evaluate({3, 0, 12, 0.7, 3}, 0);
+    ASSERT_TRUE(eval.feasible) << period;
+    // Iterating periods from tight to relaxed: area must not increase.
+    if (prev > 0.0) {
+      EXPECT_LE(eval.metric("area_mm2"), prev + 1e-9);
+    }
+    prev = eval.metric("area_mm2");
+  }
+}
+
+}  // namespace
+}  // namespace metacore::core

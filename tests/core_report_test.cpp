@@ -1,0 +1,105 @@
+// Tests for the reporting helpers and the structural text dumps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "comm/trellis.hpp"
+#include "core/report.hpp"
+
+namespace metacore {
+namespace {
+
+search::SearchResult fake_result() {
+  search::SearchResult result;
+  result.evaluations = 12;
+  result.levels_executed = 2;
+  auto add = [&](double x, double area, double ber, bool feasible) {
+    search::EvaluatedPoint p;
+    p.indices = {0};
+    p.values = {x};
+    p.eval.feasible = feasible;
+    p.eval.metrics["area_mm2"] = area;
+    p.eval.metrics["ber"] = ber;
+    result.history.push_back(p);
+  };
+  add(1.0, 2.0, 1e-4, true);
+  add(2.0, 1.0, 5e-4, true);
+  add(3.0, 0.5, 1e-2, true);  // violates the BER bound below
+  add(4.0, 9.0, 1e-5, false);
+  result.best = result.history[1];
+  result.found_feasible = true;
+  return result;
+}
+
+search::Objective area_objective() {
+  search::Objective obj;
+  obj.minimize = "area_mm2";
+  obj.constraints.push_back(
+      {search::Constraint::Kind::UpperBound, "ber", 1e-3});
+  return obj;
+}
+
+TEST(Summarize, MentionsCountsAndMetrics) {
+  const std::string text = core::summarize(fake_result(), area_objective());
+  EXPECT_NE(text.find("12 evaluations"), std::string::npos);
+  EXPECT_NE(text.find("2 resolution level"), std::string::npos);
+  EXPECT_NE(text.find("area_mm2 = 1.000"), std::string::npos);
+  EXPECT_NE(text.find("ber = 5.00e-04"), std::string::npos);
+}
+
+TEST(Summarize, ReportsInfeasibility) {
+  search::SearchResult result = fake_result();
+  result.found_feasible = false;
+  const std::string text = core::summarize(result, area_objective());
+  EXPECT_NE(text.find("no feasible design"), std::string::npos);
+}
+
+TEST(RankingTable, OrdersByObjective) {
+  const auto table =
+      core::ranking_table(fake_result(), area_objective(), {"area_mm2", "ber"}, 3);
+  std::ostringstream os;
+  table.print_csv(os);
+  const std::string csv = os.str();
+  // Best feasible-within-constraints first: area 1.0, then 2.0; the
+  // BER-violating 0.5 and the infeasible 9.0 rank behind.
+  const auto pos1 = csv.find("1.000e+00");
+  const auto pos2 = csv.find("2.000e+00");
+  ASSERT_NE(pos1, std::string::npos);
+  ASSERT_NE(pos2, std::string::npos);
+  EXPECT_LT(pos1, pos2);
+}
+
+TEST(WriteHistoryCsv, EmitsParametersMetricsAndFeasibility) {
+  search::DesignSpace space(
+      {{"x", {1.0, 2.0, 3.0, 4.0}, false, search::Correlation::Smooth}});
+  std::ostringstream os;
+  core::write_history_csv(os, fake_result(), space, {"area_mm2", "ber"});
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("x,area_mm2,ber,feasible"), std::string::npos);
+  EXPECT_NE(csv.find("2,1,0.0005,1"), std::string::npos);
+  EXPECT_NE(csv.find("4,9,1e-05,0"), std::string::npos);
+}
+
+TEST(DescribeEncoder, ListsTaps) {
+  const std::string text = comm::describe_encoder(comm::best_rate_half_code(3));
+  EXPECT_NE(text.find("rate 1/2, K=3"), std::string::npos);
+  EXPECT_NE(text.find("output 0 = XOR of taps {input, R1, R2}"),
+            std::string::npos);
+  EXPECT_NE(text.find("output 1 = XOR of taps {input, R2}"),
+            std::string::npos);
+}
+
+TEST(TrellisToString, MatchesFigure3Structure) {
+  const comm::Trellis trellis(comm::best_rate_half_code(3));
+  const std::string text = trellis.to_string();
+  // The classic 4-state trellis rows (Figure 3 of the paper).
+  EXPECT_NE(text.find("S00:  --0/00--> S00  --1/11--> S10"),
+            std::string::npos);
+  EXPECT_NE(text.find("S01:  --0/11--> S00  --1/00--> S10"),
+            std::string::npos);
+  EXPECT_NE(text.find("S11:  --0/10--> S01  --1/01--> S11"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace metacore

@@ -1,0 +1,155 @@
+// Tests for the Viterbi MetaCore: parameter-space mapping, evaluation, and
+// a small end-to-end search.
+#include <gtest/gtest.h>
+
+#include "core/viterbi_metacore.hpp"
+
+namespace metacore::core {
+namespace {
+
+ViterbiRequirements easy_requirements() {
+  ViterbiRequirements req;
+  req.target_ber = 1e-2;
+  req.esn0_db = 2.0;
+  req.throughput_mbps = 1.0;
+  return req;
+}
+
+// Point layout: K, L_mult, G, R1, R2, Q, N, M_frac.
+TEST(ViterbiMetaCore, DecodePointHard) {
+  ViterbiMetaCore core(easy_requirements());
+  const auto spec = core.decode_point({5, 4, 0, 1, 3, 1, 1, 0.0});
+  EXPECT_EQ(spec.kind, comm::DecoderKind::Hard);
+  EXPECT_EQ(spec.code.constraint_length, 5);
+  EXPECT_EQ(spec.traceback_depth, 20);
+}
+
+TEST(ViterbiMetaCore, DecodePointSoft) {
+  ViterbiMetaCore core(easy_requirements());
+  const auto spec = core.decode_point({7, 5, 0, 3, 4, 1, 1, 0.0});
+  EXPECT_EQ(spec.kind, comm::DecoderKind::Soft);
+  EXPECT_EQ(spec.high_res_bits, 3);  // single-resolution runs at R1
+  EXPECT_EQ(spec.code.generators_octal(), "171,133");
+}
+
+TEST(ViterbiMetaCore, DecodePointMultires) {
+  ViterbiMetaCore core(easy_requirements());
+  const auto spec = core.decode_point({5, 5, 0, 1, 3, 1, 1, 0.25});
+  EXPECT_EQ(spec.kind, comm::DecoderKind::Multires);
+  EXPECT_EQ(spec.low_res_bits, 1);
+  EXPECT_EQ(spec.high_res_bits, 3);
+  EXPECT_EQ(spec.num_high_res_paths, 4);  // 0.25 * 16 states
+}
+
+TEST(ViterbiMetaCore, DecodePointRepairsDegenerateCombos) {
+  ViterbiMetaCore core(easy_requirements());
+  // R2 < R1 in multires mode: repaired to R2 = R1.
+  const auto spec = core.decode_point({5, 5, 0, 3, 2, 1, 1, 0.5});
+  EXPECT_EQ(spec.high_res_bits, 3);
+  // N > M: clamped.
+  const auto spec2 = core.decode_point({5, 5, 0, 1, 3, 1, 4, 0.125});
+  EXPECT_EQ(spec2.num_high_res_paths, 2);
+  EXPECT_LE(spec2.normalization_terms, spec2.num_high_res_paths);
+}
+
+TEST(ViterbiMetaCore, DesignSpaceHasEightDimensions) {
+  ViterbiMetaCore core(easy_requirements());
+  const auto space = core.design_space();
+  EXPECT_EQ(space.dimensions(), 8u);
+  // Fixed G and N collapse to singletons, per the paper's speed-up.
+  EXPECT_EQ(space.parameters()[2].values.size(), 1u);
+  EXPECT_EQ(space.parameters()[6].values.size(), 1u);
+
+  ViterbiRequirements open = easy_requirements();
+  open.fix_polynomial = false;
+  open.fix_normalization = false;
+  const auto wide = ViterbiMetaCore(open).design_space();
+  EXPECT_GT(wide.parameters()[2].values.size(), 1u);
+  EXPECT_GT(wide.parameters()[6].values.size(), 1u);
+}
+
+TEST(ViterbiMetaCore, RecommendedBerConfigScalesWithTarget) {
+  const auto tight = ViterbiMetaCore::recommended_ber_config(1e-5);
+  const auto loose = ViterbiMetaCore::recommended_ber_config(1e-2);
+  EXPECT_GT(tight.max_bits, loose.max_bits);
+}
+
+TEST(ViterbiMetaCore, EvaluateProducesCoupledMetrics) {
+  ViterbiMetaCore core(easy_requirements());
+  const auto eval = core.evaluate({5, 4, 0, 1, 3, 1, 1, 0.25}, 0);
+  ASSERT_TRUE(eval.feasible);
+  EXPECT_TRUE(eval.has_metric("ber"));
+  EXPECT_TRUE(eval.has_metric("area_mm2"));
+  EXPECT_TRUE(eval.has_metric("cycles_per_bit"));
+  EXPECT_GT(eval.metric("area_mm2"), 0.0);
+  EXPECT_GT(eval.confidence_weight, 1000.0);
+}
+
+TEST(ViterbiMetaCore, CertifiedBerHasRuleOfThreeFloor) {
+  // At Es/N0 = 8 dB a K=7 soft decoder sees no errors in a short run; the
+  // certified BER must still be bounded below by ~3/bits.
+  ViterbiRequirements req = easy_requirements();
+  req.esn0_db = 8.0;
+  comm::BerRunConfig ber;
+  ber.max_bits = 20'000;
+  ber.min_bits = 20'000;
+  ViterbiMetaCore core(req, ber);
+  const auto eval = core.evaluate({7, 5, 0, 3, 4, 1, 1, 0.0}, 0);
+  EXPECT_GE(eval.metric("ber"), 3.0 / 20'000 * 0.99);
+  EXPECT_DOUBLE_EQ(eval.metric("ber_observed"), 0.0);
+}
+
+TEST(ViterbiMetaCore, ObjectiveMinimizesAreaUnderBer) {
+  ViterbiMetaCore core(easy_requirements());
+  const auto obj = core.objective();
+  EXPECT_EQ(obj.minimize, "area_mm2");
+  ASSERT_EQ(obj.constraints.size(), 1u);
+  EXPECT_EQ(obj.constraints[0].metric, "ber");
+}
+
+TEST(ViterbiMetaCore, SmallSearchFindsFeasibleDesign) {
+  // Loose requirements so a tiny budget suffices.
+  ViterbiRequirements req = easy_requirements();
+  comm::BerRunConfig ber;
+  ber.max_bits = 12'000;
+  ber.min_bits = 8'000;
+  ber.max_errors = 200;
+  ViterbiMetaCore core(req, ber);
+  search::SearchConfig config;
+  config.max_resolution = 1;
+  config.regions_per_level = 2;
+  config.max_evaluations = 80;
+  const auto result = core.search(config);
+  EXPECT_TRUE(result.found_feasible);
+  EXPECT_GT(result.evaluations, 10u);
+  const auto spec = core.decode_point(result.best.values);
+  EXPECT_GE(spec.code.constraint_length, 3);
+}
+
+TEST(ViterbiMetaCore, RejectsBadRequirements) {
+  ViterbiRequirements req = easy_requirements();
+  req.target_ber = 0.0;
+  EXPECT_THROW(ViterbiMetaCore{req}, std::invalid_argument);
+  req = easy_requirements();
+  req.throughput_mbps = -1.0;
+  EXPECT_THROW(ViterbiMetaCore{req}, std::invalid_argument);
+}
+
+TEST(ViterbiMetaCore, RejectsWrongPointArity) {
+  ViterbiMetaCore core(easy_requirements());
+  EXPECT_THROW(core.decode_point({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Describe, FormatsSpecAndArea) {
+  comm::DecoderSpec spec;
+  spec.code = comm::best_rate_half_code(5);
+  spec.traceback_depth = 25;
+  spec.kind = comm::DecoderKind::Soft;
+  spec.high_res_bits = 3;
+  const std::string text = describe(spec, 1.23);
+  EXPECT_NE(text.find("35,23"), std::string::npos);
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metacore::core

@@ -1,0 +1,158 @@
+// Tests for the TR4101-anchored area/clock model and the Viterbi cost
+// evaluation engine.
+#include <gtest/gtest.h>
+
+#include "cost/viterbi_cost.hpp"
+
+namespace metacore::cost {
+namespace {
+
+TEST(TechnologyParams, LambdaIsQuadraticInFeatureSize) {
+  TechnologyParams tech;
+  tech.feature_um = 0.35;
+  EXPECT_NEAR(tech.area_lambda(), 1.0, 1e-12);
+  tech.feature_um = 0.7;
+  EXPECT_NEAR(tech.area_lambda(), 4.0, 1e-12);
+  tech.feature_um = 0.175;
+  EXPECT_NEAR(tech.area_lambda(), 0.25, 1e-12);
+}
+
+TEST(TechnologyParams, ClockScalesLinearly) {
+  TechnologyParams tech;
+  tech.feature_um = 0.175;
+  EXPECT_NEAR(tech.clock_scale(), 2.0, 1e-12);
+}
+
+TEST(AreaModel, WidthFactorsMonotone) {
+  const AreaModelParams params;
+  EXPECT_LT(datapath_area_factor(8, params), datapath_area_factor(16, params));
+  EXPECT_LT(datapath_area_factor(16, params), datapath_area_factor(32, params));
+  EXPECT_NEAR(datapath_area_factor(32, params), 1.0, 1e-12);
+  EXPECT_NEAR(multiplier_area_factor(32), 1.0, 1e-12);
+  EXPECT_NEAR(multiplier_area_factor(16), 0.25, 1e-12);
+  EXPECT_THROW(datapath_area_factor(0, params), std::invalid_argument);
+  EXPECT_THROW(multiplier_area_factor(65), std::invalid_argument);
+}
+
+TEST(AreaModel, NarrowDatapathClocksFaster) {
+  EXPECT_GT(datapath_clock_factor(8), datapath_clock_factor(32));
+  EXPECT_NEAR(datapath_clock_factor(32), 1.0, 1e-12);
+  EXPECT_LT(datapath_clock_factor(8), 1.6);
+}
+
+TEST(AreaModel, MachineAreaMonotoneInResources) {
+  const AreaModelParams params;
+  const TechnologyParams tech;
+  vliw::MachineConfig small;
+  small.num_alus = 1;
+  small.num_multipliers = 0;
+  small.register_file_size = 16;
+  vliw::MachineConfig big = small;
+  big.num_alus = 8;
+  big.num_multipliers = 2;
+  big.register_file_size = 128;
+  // A multiplier-less config needs num_multipliers >= 0 which validate()
+  // accepts.
+  EXPECT_LT(machine_area_mm2(small, params, tech),
+            machine_area_mm2(big, params, tech));
+}
+
+TEST(AreaModel, SramAreaLinearInCapacity) {
+  const AreaModelParams params;
+  const TechnologyParams tech;
+  EXPECT_NEAR(sram_area_mm2(2.0, params, tech),
+              2.0 * sram_area_mm2(1.0, params, tech), 1e-12);
+  EXPECT_THROW(sram_area_mm2(-1.0, params, tech), std::invalid_argument);
+}
+
+TEST(AchievableClock, Tr4101Anchor) {
+  TechnologyParams tech;  // 0.35 um, 81 MHz base
+  EXPECT_NEAR(achievable_clock_mhz(32, tech), 81.0, 1e-9);
+  EXPECT_GT(achievable_clock_mhz(9, tech), 81.0);
+}
+
+comm::DecoderSpec soft_spec(int k, int bits) {
+  comm::DecoderSpec spec;
+  spec.code = comm::best_rate_half_code(k);
+  spec.traceback_depth = 5 * k;
+  spec.kind = comm::DecoderKind::Soft;
+  spec.high_res_bits = bits;
+  return spec;
+}
+
+TEST(ViterbiCost, AreaGrowsWithConstraintLength) {
+  double prev = 0.0;
+  for (int k : {3, 5, 7, 9}) {
+    ViterbiCostQuery query;
+    query.spec = soft_spec(k, 3);
+    query.throughput_mbps = 1.0;
+    const auto result = evaluate_viterbi_cost(query);
+    ASSERT_TRUE(result.feasible) << "K=" << k;
+    EXPECT_GT(result.area_mm2, prev) << "K=" << k;
+    prev = result.area_mm2;
+  }
+}
+
+TEST(ViterbiCost, AreaGrowsWithThroughput) {
+  double prev = 0.0;
+  for (double mbps : {0.5, 2.0, 6.0}) {
+    ViterbiCostQuery query;
+    query.spec = soft_spec(5, 3);
+    query.throughput_mbps = mbps;
+    const auto result = evaluate_viterbi_cost(query);
+    ASSERT_TRUE(result.feasible) << mbps;
+    EXPECT_GE(result.area_mm2, prev);
+    prev = result.area_mm2;
+  }
+}
+
+TEST(ViterbiCost, ExtremeThroughputIsInfeasible) {
+  ViterbiCostQuery query;
+  query.spec = soft_spec(9, 5);
+  query.throughput_mbps = 500.0;
+  const auto result = evaluate_viterbi_cost(query);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(ViterbiCost, RequiredClockMatchesCyclesTimesThroughput) {
+  ViterbiCostQuery query;
+  query.spec = soft_spec(5, 3);
+  query.throughput_mbps = 2.0;
+  const auto result = evaluate_viterbi_cost(query);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.required_clock_mhz, result.cycles_per_bit * 2.0, 1e-9);
+  EXPECT_GE(result.cores * result.achievable_clock_mhz,
+            result.required_clock_mhz);
+}
+
+TEST(ViterbiCost, MemoryGrowsWithDepthAndStates) {
+  const double small = decoder_memory_kbits(soft_spec(3, 3), 10);
+  const double deep = decoder_memory_kbits(soft_spec(3, 3), 10) +
+                      0.0;  // baseline reference
+  comm::DecoderSpec deep_spec = soft_spec(3, 3);
+  deep_spec.traceback_depth = 63;
+  EXPECT_GT(decoder_memory_kbits(deep_spec, 10), small);
+  EXPECT_GT(decoder_memory_kbits(soft_spec(9, 3), 10), deep);
+}
+
+TEST(ViterbiCost, RejectsNonPositiveThroughput) {
+  ViterbiCostQuery query;
+  query.spec = soft_spec(3, 3);
+  query.throughput_mbps = 0.0;
+  EXPECT_THROW(evaluate_viterbi_cost(query), std::invalid_argument);
+}
+
+TEST(ViterbiCost, SmallerFeatureSizeShrinksArea) {
+  ViterbiCostQuery coarse;
+  coarse.spec = soft_spec(5, 3);
+  coarse.throughput_mbps = 1.0;
+  ViterbiCostQuery fine = coarse;
+  fine.tech.feature_um = 0.18;
+  const auto a = evaluate_viterbi_cost(coarse);
+  const auto b = evaluate_viterbi_cost(fine);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_LT(b.area_mm2, a.area_mm2);
+}
+
+}  // namespace
+}  // namespace metacore::cost

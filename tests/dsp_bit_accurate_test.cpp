@@ -1,0 +1,127 @@
+// Tests for the bit-accurate fixed-point cascade datapath.
+#include <gtest/gtest.h>
+
+#include "dsp/bit_accurate.hpp"
+#include "dsp/design.hpp"
+#include "dsp/signal.hpp"
+
+namespace metacore::dsp {
+namespace {
+
+const DesignedFilter& paper_filter() {
+  static const DesignedFilter filter = [] {
+    FilterSpec spec;
+    spec.band = BandType::Bandpass;
+    spec.family = FilterFamily::Elliptic;
+    spec.pass_lo = 0.411111;
+    spec.pass_hi = 0.466667;
+    spec.stop_lo = 0.3487015;
+    spec.stop_hi = 0.494444;
+    spec.passband_ripple_db = passband_ripple_db_from_eps(0.015782);
+    spec.stopband_atten_db = stopband_atten_db_from_eps(0.0157816);
+    return design_filter(spec);
+  }();
+  return filter;
+}
+
+BitAccurateConfig wide_config() {
+  BitAccurateConfig cfg;
+  cfg.signal_format = {24, 19};       // plenty of headroom and resolution
+  cfg.coefficient_format = {24, 21};
+  return cfg;
+}
+
+TEST(ToSos, SectionsAreSecondOrderAndStable) {
+  const auto sos = to_sos(paper_filter().zpk);
+  ASSERT_EQ(sos.size(), 4u);  // 8th-order bandpass
+  for (const auto& s : sos) {
+    // Stability triangle: |a2| < 1 and |a1| < 1 + a2.
+    EXPECT_LT(std::abs(s.a2), 1.0);
+    EXPECT_LT(std::abs(s.a1), 1.0 + s.a2 + 1e-9);
+  }
+}
+
+TEST(ToSos, ProductReconstructsResponse) {
+  const auto sos = to_sos(paper_filter().zpk);
+  for (double w = 0.2; w < 3.0; w += 0.3) {
+    Complex h{1.0, 0.0};
+    const Complex zinv = std::polar(1.0, -w);
+    for (const auto& s : sos) {
+      const Complex num = s.b0 + zinv * (s.b1 + zinv * s.b2);
+      const Complex den = 1.0 + zinv * (s.a1 + zinv * s.a2);
+      h *= num / den;
+    }
+    EXPECT_NEAR(std::abs(h), paper_filter().tf.magnitude(w), 1e-6) << w;
+  }
+}
+
+TEST(BitAccurateCascade, WideFormatsTrackReference) {
+  const auto stimulus = linear_chirp(2048, 0.35 * M_PI, 0.55 * M_PI, 0.5);
+  const double snr =
+      bit_accurate_snr_db(paper_filter().zpk, wide_config(), stimulus);
+  EXPECT_GT(snr, 70.0);
+}
+
+TEST(BitAccurateCascade, SnrImprovesWithSignalWordLength) {
+  const auto stimulus = linear_chirp(2048, 0.35 * M_PI, 0.55 * M_PI, 0.5);
+  double prev = -100.0;
+  for (int bits : {10, 14, 18, 22}) {
+    BitAccurateConfig cfg;
+    cfg.signal_format = {bits, bits - 5};
+    cfg.coefficient_format = {20, 17};
+    const double snr =
+        bit_accurate_snr_db(paper_filter().zpk, cfg, stimulus);
+    EXPECT_GT(snr, prev) << bits;
+    prev = snr;
+  }
+  EXPECT_GT(prev, 50.0);
+}
+
+TEST(BitAccurateCascade, CountsSaturationWithoutHeadroom) {
+  BitAccurateConfig cfg;
+  cfg.signal_format = {12, 11};  // Q0.11: range [-1, 1) — no headroom
+  cfg.coefficient_format = {16, 13};
+  BitAccurateCascade cascade(paper_filter().zpk, cfg);
+  // Drive near full scale in the passband: internal nodes exceed +-1.
+  const auto stimulus = sine_wave(2048, 0.44 * M_PI, 0.98);
+  cascade.process(stimulus);
+  EXPECT_GT(cascade.saturation_events(), 0u);
+
+  // With 3 integer bits of headroom the same stimulus never clips.
+  BitAccurateConfig roomy = cfg;
+  roomy.signal_format = {16, 12};
+  BitAccurateCascade safe(paper_filter().zpk, roomy);
+  safe.process(stimulus);
+  EXPECT_EQ(safe.saturation_events(), 0u);
+}
+
+TEST(BitAccurateCascade, ResetClearsStateAndCounters) {
+  BitAccurateCascade cascade(paper_filter().zpk, wide_config());
+  const auto stimulus = sine_wave(256, 0.44 * M_PI, 0.5);
+  const auto first = cascade.process(stimulus);
+  cascade.reset();
+  const auto second = cascade.process(stimulus);
+  EXPECT_EQ(first, second);
+  cascade.reset();
+  EXPECT_EQ(cascade.saturation_events(), 0u);
+}
+
+TEST(BitAccurateCascade, RejectsCoefficientOverflow) {
+  // A narrowband lowpass has poles near z = 1, so a1 ~ -1.9 — far outside
+  // a Q0.7 coefficient ROM.
+  FilterSpec spec;
+  spec.band = BandType::Lowpass;
+  spec.family = FilterFamily::Butterworth;
+  spec.pass_hi = 0.05;
+  spec.stop_hi = 0.15;
+  spec.passband_ripple_db = 1.0;
+  spec.stopband_atten_db = 30.0;
+  const auto narrow = design_filter(spec);
+  BitAccurateConfig cfg;
+  cfg.signal_format = {16, 13};
+  cfg.coefficient_format = {8, 7};  // Q0.7: range [-1, 1)
+  EXPECT_THROW(BitAccurateCascade(narrow.zpk, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::dsp

@@ -1,0 +1,188 @@
+// End-to-end digital filter design tests, including the paper's Section 5.3
+// bandpass specification.
+#include <gtest/gtest.h>
+
+#include "dsp/design.hpp"
+
+namespace metacore::dsp {
+namespace {
+
+FilterSpec paper_spec(FilterFamily family) {
+  FilterSpec spec;
+  spec.band = BandType::Bandpass;
+  spec.family = family;
+  spec.pass_lo = 0.411111;
+  spec.pass_hi = 0.466667;
+  spec.stop_lo = 0.3487015;
+  spec.stop_hi = 0.494444;
+  spec.passband_ripple_db = passband_ripple_db_from_eps(0.015782);
+  spec.stopband_atten_db = stopband_atten_db_from_eps(0.0157816);
+  return spec;
+}
+
+class BandpassFamilySweep : public ::testing::TestWithParam<FilterFamily> {};
+
+TEST_P(BandpassFamilySweep, PaperSpecIsMet) {
+  const FilterSpec spec = paper_spec(GetParam());
+  const DesignedFilter filter = design_filter(spec);
+  EXPECT_TRUE(filter.tf.is_stable());
+  const BandMetrics m = measure_bandpass(filter.tf, spec.pass_lo, spec.pass_hi,
+                                         spec.stop_lo, spec.stop_hi, 1024);
+  EXPECT_LE(m.passband_ripple_db, spec.passband_ripple_db + 0.01);
+  EXPECT_LE(m.max_stopband_gain_db, -spec.stopband_atten_db + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, BandpassFamilySweep,
+                         ::testing::Values(FilterFamily::Butterworth,
+                                           FilterFamily::Chebyshev1,
+                                           FilterFamily::Chebyshev2,
+                                           FilterFamily::Elliptic));
+
+TEST(DesignFilter, PaperSpecEllipticOrderIsEight) {
+  const DesignedFilter filter = design_filter(paper_spec(FilterFamily::Elliptic));
+  EXPECT_EQ(filter.prototype_order, 4);
+  EXPECT_EQ(filter.tf.order(), 8);
+}
+
+TEST(DesignFilter, EllipticUsesLowestOrder) {
+  const int ellip =
+      design_filter(paper_spec(FilterFamily::Elliptic)).prototype_order;
+  const int cheb =
+      design_filter(paper_spec(FilterFamily::Chebyshev1)).prototype_order;
+  const int butter =
+      design_filter(paper_spec(FilterFamily::Butterworth)).prototype_order;
+  EXPECT_LE(ellip, cheb);
+  EXPECT_LE(cheb, butter);
+}
+
+TEST(DesignFilter, LowpassMeetsSpec) {
+  FilterSpec spec;
+  spec.band = BandType::Lowpass;
+  spec.family = FilterFamily::Elliptic;
+  spec.pass_hi = 0.3;
+  spec.stop_hi = 0.4;
+  spec.passband_ripple_db = 0.5;
+  spec.stopband_atten_db = 45.0;
+  const DesignedFilter filter = design_filter(spec);
+  EXPECT_TRUE(filter.tf.is_stable());
+  // Passband [0, 0.3 pi].
+  double min_pass = 0.0;
+  for (double f = 0.001; f <= 0.3; f += 0.002) {
+    min_pass = std::min(min_pass, filter.tf.magnitude_db(f * M_PI));
+  }
+  EXPECT_GE(min_pass, -0.55);
+  // Stopband [0.4 pi, pi].
+  double max_stop = -1e9;
+  for (double f = 0.4; f <= 1.0; f += 0.002) {
+    max_stop = std::max(max_stop, filter.tf.magnitude_db(f * M_PI));
+  }
+  EXPECT_LE(max_stop, -44.0);
+}
+
+TEST(DesignFilter, HighpassMeetsSpec) {
+  FilterSpec spec;
+  spec.band = BandType::Highpass;
+  spec.family = FilterFamily::Chebyshev1;
+  spec.pass_lo = 0.6;
+  spec.stop_lo = 0.45;
+  spec.passband_ripple_db = 0.5;
+  spec.stopband_atten_db = 40.0;
+  const DesignedFilter filter = design_filter(spec);
+  EXPECT_TRUE(filter.tf.is_stable());
+  double min_pass = 0.0;
+  for (double f = 0.6; f <= 0.99; f += 0.002) {
+    min_pass = std::min(min_pass, filter.tf.magnitude_db(f * M_PI));
+  }
+  EXPECT_GE(min_pass, -0.55);
+  double max_stop = -1e9;
+  for (double f = 0.01; f <= 0.45; f += 0.002) {
+    max_stop = std::max(max_stop, filter.tf.magnitude_db(f * M_PI));
+  }
+  EXPECT_LE(max_stop, -39.0);
+}
+
+TEST(DesignFilter, BandstopMeetsSpec) {
+  FilterSpec spec;
+  spec.band = BandType::Bandstop;
+  spec.family = FilterFamily::Butterworth;
+  spec.pass_lo = 0.3;
+  spec.stop_lo = 0.4;
+  spec.stop_hi = 0.5;
+  spec.pass_hi = 0.6;
+  spec.passband_ripple_db = 1.0;
+  spec.stopband_atten_db = 30.0;
+  const DesignedFilter filter = design_filter(spec);
+  EXPECT_TRUE(filter.tf.is_stable());
+  double max_stop = -1e9;
+  for (double f = 0.42; f <= 0.48; f += 0.002) {
+    max_stop = std::max(max_stop, filter.tf.magnitude_db(f * M_PI));
+  }
+  EXPECT_LE(max_stop, -28.0);
+  EXPECT_GE(filter.tf.magnitude_db(0.1 * M_PI), -1.2);
+  EXPECT_GE(filter.tf.magnitude_db(0.9 * M_PI), -1.2);
+}
+
+TEST(DesignFilter, OrderOverrideIsHonored) {
+  FilterSpec spec = paper_spec(FilterFamily::Elliptic);
+  spec.order_override = 6;
+  const DesignedFilter filter = design_filter(spec);
+  EXPECT_EQ(filter.prototype_order, 6);
+  EXPECT_EQ(filter.tf.order(), 12);
+}
+
+TEST(FilterSpec, ValidationRejectsBadBands) {
+  FilterSpec spec = paper_spec(FilterFamily::Elliptic);
+  spec.pass_lo = 0.5;  // above pass_hi
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = paper_spec(FilterFamily::Elliptic);
+  spec.stop_lo = 0.45;  // inside the passband
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = paper_spec(FilterFamily::Elliptic);
+  spec.passband_ripple_db = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(EpsConversions, PaperValues) {
+  // eps_p = 0.015782 -> about 0.138 dB ripple; eps_s = 0.0157816 -> ~36 dB.
+  EXPECT_NEAR(passband_ripple_db_from_eps(0.015782), 0.1382, 1e-3);
+  EXPECT_NEAR(stopband_atten_db_from_eps(0.0157816), 36.04, 0.01);
+  EXPECT_THROW(passband_ripple_db_from_eps(0.0), std::invalid_argument);
+  EXPECT_THROW(stopband_atten_db_from_eps(1.0), std::invalid_argument);
+}
+
+TEST(AnalogTransforms, BilinearMapsLeftHalfPlaneInsideUnitCircle) {
+  Zpk analog;
+  analog.poles = {Complex{-0.5, 0.8}, Complex{-0.5, -0.8}, Complex{-2.0, 0.0}};
+  analog.gain = 1.0;
+  const Zpk digital = bilinear(analog);
+  for (const Complex& p : digital.poles) {
+    EXPECT_LT(std::abs(p), 1.0);
+  }
+  // Excess poles became zeros at z = -1.
+  ASSERT_EQ(digital.zeros.size(), 3u);
+  for (const Complex& z : digital.zeros) {
+    EXPECT_NEAR(std::abs(z - Complex{-1.0, 0.0}), 0.0, 1e-12);
+  }
+}
+
+TEST(AnalogTransforms, LpToBpDoublesOrder) {
+  Zpk proto;
+  proto.poles = {Complex{-1.0, 0.0}};
+  proto.gain = 1.0;
+  const Zpk bp = lp_to_bp(proto, 1.0, 0.2);
+  EXPECT_EQ(bp.poles.size(), 2u);
+  EXPECT_EQ(bp.zeros.size(), 1u);  // zero at s=0 from the excess pole
+}
+
+TEST(AnalogTransforms, LpToHpInvertsFrequencies) {
+  Zpk proto;
+  proto.poles = {Complex{-1.0, 0.0}};
+  proto.gain = 1.0;  // H(0)=1, falls off with frequency
+  const Zpk hp = lp_to_hp(proto, 2.0);
+  // Highpass: small at DC, ~1 at high frequency.
+  EXPECT_LT(std::abs(hp.response(Complex{0.0, 0.01})), 0.1);
+  EXPECT_NEAR(std::abs(hp.response(Complex{0.0, 100.0})), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace metacore::dsp

@@ -1,0 +1,104 @@
+// Tests for the Jacobi elliptic function machinery behind elliptic filter
+// design.
+#include <gtest/gtest.h>
+
+#include "dsp/elliptic.hpp"
+
+namespace metacore::dsp {
+namespace {
+
+using Cx = std::complex<double>;
+
+TEST(EllipK, KnownValues) {
+  // K(0) = pi/2; K(0.5) = 1.68575; K(0.9) = 2.28055 (Abramowitz & Stegun).
+  EXPECT_NEAR(ellipk(0.0), M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(ellipk(0.5), 1.6857503548, 1e-9);
+  EXPECT_NEAR(ellipk(0.9), 2.2805491384, 1e-9);
+}
+
+TEST(EllipK, DivergesTowardUnitModulus) {
+  EXPECT_GT(ellipk(0.9999), 5.0);
+  EXPECT_THROW(ellipk(1.0), std::invalid_argument);
+  EXPECT_THROW(ellipk(-0.1), std::invalid_argument);
+}
+
+TEST(LandenSequence, DecreasesRapidly) {
+  const auto seq = landen_sequence(0.95);
+  ASSERT_FALSE(seq.empty());
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_LT(seq[i], seq[i - 1]);
+  }
+  EXPECT_LT(seq.back(), 1e-15);
+}
+
+TEST(JacobiFunctions, BoundaryValues) {
+  const double k = 0.8;
+  // cd(0) = 1, cd(K) = 0 (u normalized to quarter periods).
+  EXPECT_NEAR(std::abs(cde(Cx{0.0, 0.0}, k) - Cx{1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(cde(Cx{1.0, 0.0}, k)), 0.0, 1e-12);
+  // sn(0) = 0, sn(K) = 1.
+  EXPECT_NEAR(std::abs(sne(Cx{0.0, 0.0}, k)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sne(Cx{1.0, 0.0}, k) - Cx{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(JacobiFunctions, DegenerateToTrigAtZeroModulus) {
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    EXPECT_NEAR(sne(Cx{u, 0.0}, 0.0).real(), std::sin(u * M_PI / 2.0), 1e-12);
+    EXPECT_NEAR(cde(Cx{u, 0.0}, 0.0).real(), std::cos(u * M_PI / 2.0), 1e-12);
+  }
+}
+
+TEST(JacobiFunctions, AsneInvertsSne) {
+  const double k = 0.7;
+  for (double u = 0.05; u < 1.0; u += 0.1) {
+    const Cx w = sne(Cx{u, 0.0}, k);
+    const Cx u_back = asne(w, k);
+    EXPECT_NEAR(u_back.real(), u, 5e-5) << u;
+    EXPECT_NEAR(u_back.imag(), 0.0, 5e-5) << u;
+  }
+}
+
+TEST(JacobiFunctions, AsneHandlesImaginaryArgument) {
+  // The filter design evaluates asne(j/eps, k1); verify the inverse
+  // relation sne(asne(w)) = w holds for imaginary w.
+  const double k = 0.05;
+  const Cx w{0.0, 3.0};
+  const Cx u = asne(w, k);
+  const Cx w_back = sne(u, k);
+  EXPECT_NEAR(w_back.real(), w.real(), 1e-4);
+  EXPECT_NEAR(w_back.imag(), w.imag(), 1e-4);
+}
+
+TEST(DegreeEquation, ConsistentWithMinOrder) {
+  // For any k1 and order N, the k from the degree equation should make the
+  // minimum-order formula return exactly N (within its own ceiling).
+  for (int n : {3, 4, 5, 6, 8}) {
+    const double k1 = 0.005;
+    const double k = solve_degree_equation(n, k1);
+    ASSERT_GT(k, 0.0);
+    ASSERT_LT(k, 1.0);
+    EXPECT_EQ(elliptic_min_order(k, k1), n) << n;
+  }
+}
+
+TEST(DegreeEquation, SelectivityImprovesWithOrder) {
+  // Higher order -> can afford k closer to 1 (narrower transition band).
+  const double k1 = 0.01;
+  double prev = 0.0;
+  for (int n : {2, 3, 4, 5, 6}) {
+    const double k = solve_degree_equation(n, k1);
+    EXPECT_GT(k, prev) << n;
+    prev = k;
+  }
+}
+
+TEST(DegreeEquation, Rejections) {
+  EXPECT_THROW(solve_degree_equation(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(solve_degree_equation(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(solve_degree_equation(3, 1.0), std::invalid_argument);
+  EXPECT_THROW(elliptic_min_order(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(elliptic_min_order(0.5, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::dsp

@@ -1,0 +1,113 @@
+// Unit tests for polynomial algebra and root finding.
+#include <gtest/gtest.h>
+
+#include "dsp/polynomial.hpp"
+
+namespace metacore::dsp {
+namespace {
+
+TEST(PolyEval, HornerMatchesDirect) {
+  // p(x) = 1 + 2x + 3x^2 at x = 2 -> 17.
+  const Poly p{1.0, 2.0, 3.0};
+  EXPECT_NEAR(std::abs(poly_eval(p, Complex{2.0, 0.0}) - Complex{17.0, 0.0}),
+              0.0, 1e-12);
+  // Complex point: p(i) = 1 + 2i - 3 = -2 + 2i.
+  const Complex at_i = poly_eval(p, Complex{0.0, 1.0});
+  EXPECT_NEAR(at_i.real(), -2.0, 1e-12);
+  EXPECT_NEAR(at_i.imag(), 2.0, 1e-12);
+}
+
+TEST(PolyMul, ConvolvesCoefficients) {
+  // (1 + x)(1 - x) = 1 - x^2.
+  const Poly product = poly_mul(Poly{1.0, 1.0}, Poly{1.0, -1.0});
+  ASSERT_EQ(product.size(), 3u);
+  EXPECT_NEAR(product[0], 1.0, 1e-15);
+  EXPECT_NEAR(product[1], 0.0, 1e-15);
+  EXPECT_NEAR(product[2], -1.0, 1e-15);
+}
+
+TEST(PolyMul, EmptyOperands) {
+  EXPECT_TRUE(poly_mul(Poly{}, Poly{1.0}).empty());
+}
+
+TEST(PolyRoots, QuadraticWithRealRoots) {
+  // x^2 - 3x + 2 = (x-1)(x-2).
+  auto roots = poly_roots(Poly{2.0, -3.0, 1.0});
+  ASSERT_EQ(roots.size(), 2u);
+  sort_conjugate_pairs(roots);
+  EXPECT_NEAR(roots[0].real(), 1.0, 1e-9);
+  EXPECT_NEAR(roots[1].real(), 2.0, 1e-9);
+  EXPECT_NEAR(roots[0].imag(), 0.0, 1e-9);
+}
+
+TEST(PolyRoots, ComplexConjugatePair) {
+  // x^2 + 1 -> +/- i.
+  auto roots = poly_roots(Poly{1.0, 0.0, 1.0});
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(std::abs(roots[0]), 1.0, 1e-9);
+  EXPECT_NEAR(roots[0].real(), 0.0, 1e-9);
+  EXPECT_NEAR(roots[0].imag() + roots[1].imag(), 0.0, 1e-9);
+}
+
+TEST(PolyRoots, HighOrderKnownRoots) {
+  // prod (x - k/10) for k=1..8.
+  std::vector<Complex> expected;
+  Poly p{1.0};
+  for (int k = 1; k <= 8; ++k) {
+    expected.push_back(Complex{k / 10.0, 0.0});
+    p = poly_mul(p, Poly{-k / 10.0, 1.0});
+  }
+  auto roots = poly_roots(p);
+  sort_conjugate_pairs(roots);
+  ASSERT_EQ(roots.size(), 8u);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_NEAR(roots[k].real(), expected[k].real(), 1e-6);
+    EXPECT_NEAR(roots[k].imag(), 0.0, 1e-6);
+  }
+}
+
+TEST(PolyRoots, TrimsLeadingZeros) {
+  // 2 - 2x with padded zero high-order coefficients: single root at 1.
+  const auto roots = poly_roots(Poly{2.0, -2.0, 0.0, 0.0});
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0].real(), 1.0, 1e-9);
+}
+
+TEST(PolyRoots, DegreeZeroHasNoRoots) {
+  EXPECT_TRUE(poly_roots(Poly{5.0}).empty());
+}
+
+TEST(PolyRoots, RejectsZeroPolynomial) {
+  EXPECT_THROW(poly_roots(Poly{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(poly_roots(Poly{}), std::invalid_argument);
+}
+
+TEST(PolyFromRoots, RoundTripThroughRoots) {
+  const std::vector<Complex> roots{{0.5, 0.25}, {0.5, -0.25}, {-0.75, 0.0}};
+  const Poly p = real_poly_from_roots(roots, 2.0);
+  ASSERT_EQ(p.size(), 4u);
+  // Evaluate at each root: must vanish.
+  for (const Complex& r : roots) {
+    EXPECT_LT(std::abs(poly_eval(p, r)), 1e-12);
+  }
+  // Leading coefficient = gain (monic base).
+  EXPECT_NEAR(p[3], 2.0, 1e-12);
+}
+
+TEST(PolyFromRoots, RejectsNonConjugateSet) {
+  const std::vector<Complex> roots{{0.5, 0.25}};  // missing the conjugate
+  EXPECT_THROW(real_poly_from_roots(roots, 1.0), std::invalid_argument);
+}
+
+TEST(SortConjugatePairs, AdjacentPairs) {
+  std::vector<Complex> roots{{0.1, 0.9}, {0.7, 0.0}, {0.1, -0.9}, {-0.3, 0.0}};
+  sort_conjugate_pairs(roots);
+  // Real roots first (imag 0), then the conjugate pair adjacent.
+  EXPECT_NEAR(roots[0].imag(), 0.0, 1e-12);
+  EXPECT_NEAR(roots[1].imag(), 0.0, 1e-12);
+  EXPECT_NEAR(roots[2].real(), roots[3].real(), 1e-12);
+  EXPECT_NEAR(roots[2].imag(), -roots[3].imag(), 1e-12);
+}
+
+}  // namespace
+}  // namespace metacore::dsp

@@ -1,0 +1,141 @@
+// Tests for analog lowpass prototypes across all four families.
+#include <gtest/gtest.h>
+
+#include "dsp/prototypes.hpp"
+
+namespace metacore::dsp {
+namespace {
+
+double magnitude_at(const Zpk& zpk, double omega) {
+  return std::abs(zpk.response(Complex{0.0, omega}));
+}
+
+class FamilySweep : public ::testing::TestWithParam<FilterFamily> {};
+
+TEST_P(FamilySweep, PolesInLeftHalfPlane) {
+  const Zpk proto = analog_lowpass_prototype(GetParam(), 5, 0.5, 40.0);
+  for (const Complex& p : proto.poles) {
+    EXPECT_LT(p.real(), 0.0);
+  }
+}
+
+TEST_P(FamilySweep, PassbandEdgeAttenuationMatchesRipple) {
+  // All families except Chebyshev-II are passband-normalized: attenuation
+  // at Omega = 1 equals the ripple spec.
+  if (GetParam() == FilterFamily::Chebyshev2) GTEST_SKIP();
+  const double rp = 0.75;
+  const Zpk proto = analog_lowpass_prototype(GetParam(), 4, rp, 40.0);
+  const double att_db = -20.0 * std::log10(magnitude_at(proto, 1.0));
+  EXPECT_NEAR(att_db, rp, 0.02);
+}
+
+TEST_P(FamilySweep, MagnitudeFallsPastCutoff) {
+  const Zpk proto = analog_lowpass_prototype(GetParam(), 5, 0.5, 40.0);
+  EXPECT_GT(magnitude_at(proto, 0.1), magnitude_at(proto, 10.0));
+  EXPECT_LT(magnitude_at(proto, 10.0), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::Values(FilterFamily::Butterworth,
+                                           FilterFamily::Chebyshev1,
+                                           FilterFamily::Chebyshev2,
+                                           FilterFamily::Elliptic));
+
+TEST(Butterworth, MaximallyFlatAtDc) {
+  const Zpk proto =
+      analog_lowpass_prototype(FilterFamily::Butterworth, 4, 3.0103, 40.0);
+  EXPECT_NEAR(magnitude_at(proto, 0.0), 1.0, 1e-9);
+  // Monotone decrease.
+  double prev = 1.0;
+  for (double w = 0.2; w < 4.0; w += 0.2) {
+    const double mag = magnitude_at(proto, w);
+    EXPECT_LT(mag, prev + 1e-12);
+    prev = mag;
+  }
+}
+
+TEST(Chebyshev1, EquirippleInPassband) {
+  const double rp = 1.0;
+  const Zpk proto =
+      analog_lowpass_prototype(FilterFamily::Chebyshev1, 5, rp, 40.0);
+  // The response must oscillate between 1 and 10^(-rp/20) in [0, 1].
+  const double floor_mag = std::pow(10.0, -rp / 20.0);
+  double min_mag = 1e9, max_mag = 0.0;
+  for (double w = 0.0; w <= 1.0; w += 0.001) {
+    const double mag = magnitude_at(proto, w);
+    min_mag = std::min(min_mag, mag);
+    max_mag = std::max(max_mag, mag);
+  }
+  EXPECT_NEAR(max_mag, 1.0, 1e-3);
+  EXPECT_NEAR(min_mag, floor_mag, 1e-3);
+}
+
+TEST(Chebyshev2, EquirippleStopbandAtSpec) {
+  const double rs = 40.0;
+  const Zpk proto =
+      analog_lowpass_prototype(FilterFamily::Chebyshev2, 5, 0.5, rs);
+  // Beyond the (normalized) stopband edge at 1, the gain stays at or below
+  // -rs and touches it.
+  double max_stop = 0.0;
+  for (double w = 1.0; w < 30.0; w += 0.01) {
+    max_stop = std::max(max_stop, magnitude_at(proto, w));
+  }
+  EXPECT_NEAR(20.0 * std::log10(max_stop), -rs, 0.1);
+}
+
+TEST(Elliptic, EquirippleBothBands) {
+  const double rp = 0.2, rs = 45.0;
+  const Zpk proto =
+      analog_lowpass_prototype(FilterFamily::Elliptic, 5, rp, rs);
+  double min_pass = 1e9;
+  for (double w = 0.0; w <= 1.0; w += 0.0005) {
+    min_pass = std::min(min_pass, magnitude_at(proto, w));
+  }
+  EXPECT_NEAR(-20.0 * std::log10(min_pass), rp, 0.05);
+  // Stopband: find the edge from the degree equation by scanning for where
+  // attenuation first reaches rs, then confirm it never recovers.
+  double max_stop = 0.0;
+  for (double w = 3.0; w < 50.0; w += 0.01) {
+    max_stop = std::max(max_stop, magnitude_at(proto, w));
+  }
+  EXPECT_LE(20.0 * std::log10(max_stop), -rs + 0.2);
+}
+
+TEST(Elliptic, TransmissionZerosOnImaginaryAxis) {
+  const Zpk proto =
+      analog_lowpass_prototype(FilterFamily::Elliptic, 4, 0.2, 45.0);
+  ASSERT_EQ(proto.zeros.size(), 4u);
+  for (const Complex& z : proto.zeros) {
+    EXPECT_NEAR(z.real(), 0.0, 1e-9);
+    EXPECT_GT(std::abs(z.imag()), 1.0);  // zeros beyond the stopband edge
+  }
+}
+
+TEST(MinimumOrder, TextbookValues) {
+  // Butterworth: wp=1, ws=2, rp=1dB, rs=40dB -> N=8 (classic exercise).
+  EXPECT_EQ(minimum_order(FilterFamily::Butterworth, 1.0, 2.0, 1.0, 40.0), 8);
+  // Chebyshev needs fewer, elliptic fewest.
+  const int cheb = minimum_order(FilterFamily::Chebyshev1, 1.0, 2.0, 1.0, 40.0);
+  const int ellip = minimum_order(FilterFamily::Elliptic, 1.0, 2.0, 1.0, 40.0);
+  EXPECT_LT(cheb, 8);
+  EXPECT_LE(ellip, cheb);
+}
+
+TEST(MinimumOrder, Rejections) {
+  EXPECT_THROW(minimum_order(FilterFamily::Butterworth, 2.0, 1.0, 1.0, 40.0),
+               std::invalid_argument);
+  EXPECT_THROW(minimum_order(FilterFamily::Butterworth, 0.0, 1.0, 1.0, 40.0),
+               std::invalid_argument);
+}
+
+TEST(Prototype, RejectsBadOrderAndRipple) {
+  EXPECT_THROW(analog_lowpass_prototype(FilterFamily::Butterworth, 0, 1.0, 40.0),
+               std::invalid_argument);
+  EXPECT_THROW(analog_lowpass_prototype(FilterFamily::Butterworth, 25, 1.0, 40.0),
+               std::invalid_argument);
+  EXPECT_THROW(analog_lowpass_prototype(FilterFamily::Elliptic, 4, 0.0, 40.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::dsp

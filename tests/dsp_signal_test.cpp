@@ -1,0 +1,107 @@
+// Tests for signal generators, SNR measurement, and group delay.
+#include <gtest/gtest.h>
+
+#include "dsp/design.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/structures.hpp"
+
+namespace metacore::dsp {
+namespace {
+
+TEST(SineWave, FrequencyAndAmplitude) {
+  const auto s = sine_wave(1000, M_PI / 4.0, 2.0);
+  double peak = 0.0;
+  for (double x : s) peak = std::max(peak, std::abs(x));
+  EXPECT_NEAR(peak, 2.0, 1e-3);
+  // Period 8 samples: s[n+8] == s[n].
+  for (std::size_t n = 0; n + 8 < s.size(); n += 7) {
+    EXPECT_NEAR(s[n], s[n + 8], 1e-9);
+  }
+}
+
+TEST(LinearChirp, SweepsTheBand) {
+  const auto c = linear_chirp(4096, 0.05 * M_PI, 0.95 * M_PI);
+  EXPECT_EQ(c.size(), 4096u);
+  // Energy is spread: no clipping, bounded amplitude.
+  for (double x : c) EXPECT_LE(std::abs(x), 1.0 + 1e-12);
+  EXPECT_THROW(linear_chirp(1, 0.1, 0.2), std::invalid_argument);
+}
+
+TEST(WhiteNoise, MomentsAndDeterminism) {
+  const auto a = white_noise(50'000, 0.5, 9);
+  const auto b = white_noise(50'000, 0.5, 9);
+  EXPECT_EQ(a, b);
+  double sum = 0.0, sum2 = 0.0;
+  for (double x : a) {
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / a.size(), 0.0, 0.01);
+  EXPECT_NEAR(sum2 / a.size(), 0.25, 0.01);
+}
+
+TEST(OutputSnr, KnownRatios) {
+  const std::vector<double> ref{1.0, -1.0, 1.0, -1.0};
+  std::vector<double> noisy = ref;
+  for (auto& x : noisy) x *= 1.1;  // 10% amplitude error
+  EXPECT_NEAR(output_snr_db(ref, noisy), 20.0, 0.1);  // 20 dB
+  EXPECT_DOUBLE_EQ(output_snr_db(ref, ref), 300.0);
+  EXPECT_THROW(output_snr_db(ref, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(OutputSnr, MeasuresCoefficientQuantizationError) {
+  // Quantizing cascade coefficients costs SNR monotonically as the word
+  // shrinks, on a broadband chirp through the paper's bandpass filter.
+  FilterSpec spec;
+  spec.band = BandType::Bandpass;
+  spec.family = FilterFamily::Elliptic;
+  spec.pass_lo = 0.411111;
+  spec.pass_hi = 0.466667;
+  spec.stop_lo = 0.3487015;
+  spec.stop_hi = 0.494444;
+  spec.passband_ripple_db = passband_ripple_db_from_eps(0.015782);
+  spec.stopband_atten_db = stopband_atten_db_from_eps(0.0157816);
+  const auto filter = design_filter(spec);
+  const auto stimulus = linear_chirp(4096, 0.35 * M_PI, 0.55 * M_PI);
+
+  auto exact = realize(filter.zpk, StructureKind::Cascade);
+  const auto reference = exact->process(stimulus);
+
+  double prev_snr = -1.0;
+  for (int bits : {8, 12, 16, 20}) {
+    auto quantized = realize(filter.zpk, StructureKind::Cascade)->quantized(bits);
+    const auto actual = quantized->process(stimulus);
+    const double snr = output_snr_db(reference, actual);
+    EXPECT_GT(snr, prev_snr) << bits;
+    prev_snr = snr;
+  }
+  EXPECT_GT(prev_snr, 60.0);  // 20-bit coefficients are near-transparent
+}
+
+TEST(GroupDelay, ConstantForPureDelay) {
+  // H(z) = z^-3: group delay 3 samples everywhere.
+  TransferFunction tf{{0.0, 0.0, 0.0, 1.0}, {1.0}};
+  for (double w : {0.3, 1.0, 2.0, 2.8}) {
+    EXPECT_NEAR(group_delay(tf, w), 3.0, 1e-6) << w;
+  }
+}
+
+TEST(GroupDelay, PositiveInPassbandOfIirFilter) {
+  FilterSpec spec;
+  spec.band = BandType::Lowpass;
+  spec.family = FilterFamily::Chebyshev1;
+  spec.pass_hi = 0.4;
+  spec.stop_hi = 0.5;
+  spec.passband_ripple_db = 0.5;
+  spec.stopband_atten_db = 40.0;
+  const auto filter = design_filter(spec);
+  // IIR passband group delay is positive and peaks toward the band edge.
+  const double mid = group_delay(filter.tf, 0.2 * M_PI);
+  const double edge = group_delay(filter.tf, 0.39 * M_PI);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_GT(edge, mid);
+}
+
+}  // namespace
+}  // namespace metacore::dsp

@@ -1,0 +1,208 @@
+// Tests for the filter realization structures: functional equivalence,
+// cost accounting, and fixed-point quantization behaviour.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dsp/design.hpp"
+#include "dsp/structures.hpp"
+
+namespace metacore::dsp {
+namespace {
+
+FilterSpec paper_spec() {
+  FilterSpec spec;
+  spec.band = BandType::Bandpass;
+  spec.family = FilterFamily::Elliptic;
+  spec.pass_lo = 0.411111;
+  spec.pass_hi = 0.466667;
+  spec.stop_lo = 0.3487015;
+  spec.stop_hi = 0.494444;
+  spec.passband_ripple_db = passband_ripple_db_from_eps(0.015782);
+  spec.stopband_atten_db = stopband_atten_db_from_eps(0.0157816);
+  return spec;
+}
+
+const TransferFunction& paper_tf() {
+  static const DesignedFilter filter = design_filter(paper_spec());
+  return filter.tf;
+}
+
+// Every structure must reproduce the designed transfer function: identical
+// impulse responses (vs the direct-form reference) and identical frequency
+// responses, across families.
+class StructureSweep
+    : public ::testing::TestWithParam<std::tuple<StructureKind, FilterFamily>> {
+};
+
+TEST_P(StructureSweep, ImpulseResponseMatchesReference) {
+  const auto [kind, family] = GetParam();
+  FilterSpec spec = paper_spec();
+  spec.family = family;
+  const DesignedFilter filter = design_filter(spec);
+  auto dut = realize(filter.zpk, kind);
+  auto ref = realize(filter.zpk, StructureKind::DirectForm2Transposed);
+  for (int i = 0; i < 300; ++i) {
+    const double x = i == 0 ? 1.0 : 0.0;
+    EXPECT_NEAR(dut->process(x), ref->process(x), 1e-4) << "sample " << i;
+  }
+}
+
+TEST_P(StructureSweep, EffectiveTfMatchesDesign) {
+  const auto [kind, family] = GetParam();
+  FilterSpec spec = paper_spec();
+  spec.family = family;
+  const DesignedFilter filter = design_filter(spec);
+  const auto realization = realize(filter.zpk, kind);
+  const TransferFunction etf = realization->effective_tf();
+  for (double w = 0.05; w < 3.1; w += 0.1) {
+    EXPECT_NEAR(etf.magnitude(w), filter.tf.magnitude(w), 1e-4) << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructuresAllFamilies, StructureSweep,
+    ::testing::Combine(::testing::ValuesIn(all_structures()),
+                       ::testing::Values(FilterFamily::Butterworth,
+                                         FilterFamily::Chebyshev1,
+                                         FilterFamily::Elliptic)));
+
+TEST(Structures, ResetClearsState) {
+  for (const auto kind : all_structures()) {
+    auto r = realize(paper_tf(), kind);
+    std::vector<double> first, second;
+    for (int i = 0; i < 50; ++i) first.push_back(r->process(i == 0 ? 1.0 : 0.2));
+    r->reset();
+    for (int i = 0; i < 50; ++i) second.push_back(r->process(i == 0 ? 1.0 : 0.2));
+    EXPECT_EQ(first, second) << to_string(kind);
+  }
+}
+
+TEST(Structures, CostAccounting) {
+  // Order-8 filter: direct forms use 2n delays (DF1) or n (DF2); cascade
+  // has 4 biquads; the lattice-ladder uses 2n+n+1 multipliers.
+  const auto df1 = realize(paper_tf(), StructureKind::DirectForm1)->cost();
+  EXPECT_EQ(df1.delays, 16);
+  const auto df2 = realize(paper_tf(), StructureKind::DirectForm2)->cost();
+  EXPECT_EQ(df2.delays, 8);
+  EXPECT_EQ(df2.multiplies, 17);
+  const auto cas = realize(paper_tf(), StructureKind::Cascade)->cost();
+  EXPECT_EQ(cas.delays, 8);
+  EXPECT_EQ(cas.additions, 16);
+  const auto lad = realize(paper_tf(), StructureKind::LatticeLadder)->cost();
+  EXPECT_EQ(lad.delays, 8);
+  EXPECT_GE(lad.multiplies, 2 * 8);  // lattice stages alone
+}
+
+TEST(Structures, CascadeSectionsMultiplyBack) {
+  const auto cascade = realize(paper_tf(), StructureKind::Cascade);
+  const TransferFunction product = cascade->effective_tf();
+  const TransferFunction& target = paper_tf();
+  for (double w = 0.1; w < 3.1; w += 0.25) {
+    EXPECT_NEAR(product.magnitude(w), target.magnitude(w), 1e-7);
+  }
+}
+
+TEST(Structures, ParallelSectionsSumBack) {
+  const auto parallel = realize(paper_tf(), StructureKind::Parallel);
+  const TransferFunction sum = parallel->effective_tf();
+  for (double w = 0.1; w < 3.1; w += 0.25) {
+    EXPECT_NEAR(sum.magnitude(w), paper_tf().magnitude(w), 1e-7);
+  }
+}
+
+TEST(Structures, QuantizationDegradesGracefullyByStructure) {
+  // The classic sensitivity ordering: at 10-12 bits the cascade/parallel
+  // forms stay within spec-like ripple while the raw direct forms fall
+  // apart (their high-order polynomial coefficients are hypersensitive).
+  const FilterSpec spec = paper_spec();
+  auto ripple_at = [&](StructureKind kind, int bits) {
+    const auto q = realize(paper_tf(), kind)->quantized(bits);
+    const TransferFunction tf = q->effective_tf();
+    if (!tf.is_stable()) return 1e9;
+    return measure_bandpass(tf, spec.pass_lo, spec.pass_hi, spec.stop_lo,
+                            spec.stop_hi)
+        .passband_ripple_db;
+  };
+  EXPECT_LT(ripple_at(StructureKind::Cascade, 11), 0.5);
+  EXPECT_LT(ripple_at(StructureKind::Parallel, 11), 0.5);
+  EXPECT_GT(ripple_at(StructureKind::DirectForm1, 11), 0.5);
+}
+
+TEST(Structures, QuantizedCoefficientsAreRepresentable) {
+  const std::vector<double> coeffs{0.123456789, -1.987654321, 0.5};
+  const auto q = quantize_coefficients(coeffs, 8);
+  ASSERT_EQ(q.size(), coeffs.size());
+  // 8-bit word with 1 integer bit (max |c| < 2): 6 fractional bits.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const double scaled = q[i] * 64.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+    EXPECT_NEAR(q[i], coeffs[i], 1.0 / 64.0);
+  }
+}
+
+TEST(Structures, QuantizeValueRounds) {
+  EXPECT_DOUBLE_EQ(quantize_value(0.3, 2), 0.25);
+  EXPECT_DOUBLE_EQ(quantize_value(0.374, 3), 0.375);
+  EXPECT_DOUBLE_EQ(quantize_value(-0.3, 2), -0.25);
+}
+
+TEST(Structures, QuantizeRejectsBadWordSize) {
+  EXPECT_THROW(quantize_coefficients({1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(quantize_coefficients({1.0}, 33), std::invalid_argument);
+}
+
+TEST(Structures, WiderWordsConvergeToExact) {
+  for (const auto kind : all_structures()) {
+    const auto exact = realize(paper_tf(), kind);
+    const auto q24 = exact->quantized(24);
+    const TransferFunction tf24 = q24->effective_tf();
+    for (double w = 0.3; w < 3.0; w += 0.4) {
+      EXPECT_NEAR(tf24.magnitude(w), paper_tf().magnitude(w), 1e-3)
+          << to_string(kind);
+    }
+  }
+}
+
+TEST(Structures, RealizeRejectsDegenerateTf) {
+  TransferFunction bad{{1.0}, {}};
+  EXPECT_THROW(realize(bad, StructureKind::DirectForm1), std::invalid_argument);
+  TransferFunction zero_a0{{1.0}, {0.0, 1.0}};
+  EXPECT_THROW(realize(zero_a0, StructureKind::Cascade), std::invalid_argument);
+}
+
+TEST(Structures, LatticeRejectsUnstableTf) {
+  // Pole outside the unit circle -> |reflection coefficient| >= 1.
+  TransferFunction unstable{{1.0, 0.0}, {1.0, -1.5}};
+  EXPECT_THROW(realize(unstable, StructureKind::LatticeLadder),
+               std::runtime_error);
+}
+
+TEST(Structures, FirstOrderFilterAllStructures) {
+  // Degenerate low-order input exercises the odd-section paths.
+  TransferFunction first{{0.3, 0.3}, {1.0, -0.4}};
+  for (const auto kind : all_structures()) {
+    auto r = realize(first, kind);
+    auto ref = realize(first, StructureKind::DirectForm1);
+    for (int i = 0; i < 40; ++i) {
+      const double x = i == 0 ? 1.0 : 0.0;
+      EXPECT_NEAR(r->process(x), ref->process(x), 1e-10) << to_string(kind);
+    }
+  }
+}
+
+TEST(Structures, StreamingHelperMatchesLoop) {
+  auto a = realize(paper_tf(), StructureKind::Cascade);
+  auto b = realize(paper_tf(), StructureKind::Cascade);
+  std::vector<double> input(100);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = std::sin(0.44 * M_PI * static_cast<double>(i));
+  }
+  const auto batch = a->process(input);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], b->process(input[i]));
+  }
+}
+
+}  // namespace
+}  // namespace metacore::dsp

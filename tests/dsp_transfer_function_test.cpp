@@ -1,0 +1,102 @@
+// Tests for transfer-function evaluation, stability, and band measurement.
+#include <gtest/gtest.h>
+
+#include "dsp/transfer_function.hpp"
+
+namespace metacore::dsp {
+namespace {
+
+TEST(TransferFunction, FirstOrderLowpassResponse) {
+  // H(z) = (1-a) / (1 - a z^-1), a = 0.5: DC gain 1, Nyquist gain 1/3.
+  TransferFunction tf{{0.5}, {1.0, -0.5}};
+  EXPECT_NEAR(tf.magnitude(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(tf.magnitude(M_PI), 0.5 / 1.5, 1e-12);
+  EXPECT_LT(tf.magnitude(M_PI / 2), tf.magnitude(0.0));
+}
+
+TEST(TransferFunction, MagnitudeDbOfUnityIsZero) {
+  TransferFunction tf{{1.0}, {1.0}};
+  EXPECT_NEAR(tf.magnitude_db(1.0), 0.0, 1e-12);
+}
+
+TEST(TransferFunction, NormalizeDividesByA0) {
+  TransferFunction tf{{2.0, 4.0}, {2.0, 1.0}};
+  tf.normalize();
+  EXPECT_DOUBLE_EQ(tf.a[0], 1.0);
+  EXPECT_DOUBLE_EQ(tf.a[1], 0.5);
+  EXPECT_DOUBLE_EQ(tf.b[0], 1.0);
+  EXPECT_DOUBLE_EQ(tf.b[1], 2.0);
+  TransferFunction bad{{1.0}, {0.0, 1.0}};
+  EXPECT_THROW(bad.normalize(), std::invalid_argument);
+}
+
+TEST(TransferFunction, PolesAndZerosOfBiquad) {
+  // Poles at 0.5 e^{+-j pi/3}: a = [1, -0.5, 0.25].
+  TransferFunction tf{{1.0, 0.0, 0.0}, {1.0, -0.5, 0.25}};
+  auto poles = tf.poles();
+  ASSERT_EQ(poles.size(), 2u);
+  EXPECT_NEAR(std::abs(poles[0]), 0.5, 1e-9);
+  EXPECT_NEAR(std::abs(poles[1]), 0.5, 1e-9);
+}
+
+TEST(TransferFunction, StabilityDetection) {
+  TransferFunction stable{{1.0}, {1.0, -0.9}};   // pole at 0.9
+  TransferFunction unstable{{1.0}, {1.0, -1.1}}; // pole at 1.1
+  TransferFunction marginal{{1.0}, {1.0, -1.0}}; // pole at 1.0
+  EXPECT_TRUE(stable.is_stable());
+  EXPECT_FALSE(unstable.is_stable());
+  EXPECT_FALSE(marginal.is_stable());
+}
+
+TEST(TransferFunction, OrderIgnoresTrailingZeros) {
+  TransferFunction tf{{1.0, 2.0, 0.0}, {1.0, 0.0, 0.0}};
+  EXPECT_EQ(tf.order(), 1);
+}
+
+TEST(Zpk, ResponseMatchesTfConversion) {
+  Zpk zpk;
+  zpk.zeros = {Complex{-1.0, 0.0}};
+  zpk.poles = {Complex{0.5, 0.3}, Complex{0.5, -0.3}};
+  zpk.gain = 0.25;
+  const TransferFunction tf = zpk.to_tf();
+  for (double w = 0.1; w < 3.1; w += 0.3) {
+    const Complex z = std::polar(1.0, w);
+    EXPECT_NEAR(std::abs(zpk.response(z)), tf.magnitude(w), 1e-9) << w;
+  }
+}
+
+TEST(Zpk, ToTfProducesMonicDenominator) {
+  Zpk zpk;
+  zpk.poles = {Complex{0.2, 0.0}};
+  zpk.gain = 3.0;
+  const TransferFunction tf = zpk.to_tf();
+  EXPECT_DOUBLE_EQ(tf.a[0], 1.0);
+}
+
+TEST(MeasureBandpass, IdealAllpassMetrics) {
+  TransferFunction unity{{1.0}, {1.0}};
+  const BandMetrics m = measure_bandpass(unity, 0.4, 0.5, 0.3, 0.6);
+  EXPECT_NEAR(m.passband_ripple_db, 0.0, 1e-9);
+  EXPECT_NEAR(m.min_passband_gain_db, 0.0, 1e-9);
+  // An allpass leaks full power into the stopband.
+  EXPECT_NEAR(m.max_stopband_gain_db, 0.0, 1e-9);
+}
+
+TEST(MeasureBandpass, RejectsBadBandOrdering) {
+  TransferFunction unity{{1.0}, {1.0}};
+  EXPECT_THROW(measure_bandpass(unity, 0.5, 0.4, 0.3, 0.6),
+               std::invalid_argument);
+  EXPECT_THROW(measure_bandpass(unity, 0.4, 0.5, 0.45, 0.6),
+               std::invalid_argument);
+}
+
+TEST(MeasureBandpass, DetectsRippleOfKnownFilter) {
+  // A resonator has large response variation across a wide "passband".
+  TransferFunction resonator{{1.0, 0.0, 0.0}, {1.0, -1.2, 0.72}};
+  const BandMetrics m = measure_bandpass(resonator, 0.1, 0.5, 0.05, 0.9);
+  EXPECT_GT(m.passband_ripple_db, 1.0);
+  EXPECT_GT(m.bandwidth_3db, 0.0);
+}
+
+}  // namespace
+}  // namespace metacore::dsp

@@ -1,0 +1,154 @@
+// Cross-module integration tests: miniature versions of the paper's
+// headline experiments wired through the full stack.
+#include <gtest/gtest.h>
+
+#include "comm/ber.hpp"
+#include "core/iir_metacore.hpp"
+#include "core/viterbi_metacore.hpp"
+#include "cost/viterbi_cost.hpp"
+
+namespace metacore {
+namespace {
+
+// Table 1 shape: three decoder instances at fixed 1 Mbps whose areas are
+// ordered K=3 < K=5 multires < K=7 multires.
+TEST(Integration, Table1AreaOrdering) {
+  comm::DecoderSpec i1;
+  i1.code = comm::best_rate_half_code(3);
+  i1.traceback_depth = 6;
+  i1.kind = comm::DecoderKind::Soft;
+  i1.high_res_bits = 3;
+
+  comm::DecoderSpec i2;
+  i2.code = comm::best_rate_half_code(5);
+  i2.traceback_depth = 25;
+  i2.kind = comm::DecoderKind::Multires;
+  i2.low_res_bits = 1;
+  i2.high_res_bits = 3;
+  i2.num_high_res_paths = 8;
+
+  comm::DecoderSpec i3 = i2;
+  i3.code = comm::best_rate_half_code(7);
+  i3.traceback_depth = 35;
+  i3.num_high_res_paths = 4;
+
+  double prev = 0.0;
+  for (const auto& spec : {i1, i2, i3}) {
+    cost::ViterbiCostQuery query;
+    query.spec = spec;
+    query.throughput_mbps = 1.0;
+    const auto result = cost::evaluate_viterbi_cost(query);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_GT(result.area_mm2, prev);
+    prev = result.area_mm2;
+  }
+  // The K=3 instance lands in the paper's sub-0.5 mm^2 regime.
+  cost::ViterbiCostQuery q1;
+  q1.spec = i1;
+  q1.throughput_mbps = 1.0;
+  EXPECT_LT(cost::evaluate_viterbi_cost(q1).area_mm2, 0.6);
+}
+
+// Figure 8 shape: multiresolution decoding closes most of the hard->soft
+// BER gap, monotone in M.
+TEST(Integration, Figure8MultiresOrdering) {
+  comm::BerRunConfig cfg;
+  cfg.max_bits = 80'000;
+  cfg.min_bits = 80'000;
+  cfg.max_errors = 1u << 30;
+
+  comm::DecoderSpec base;
+  base.code = comm::best_rate_half_code(5);
+  base.traceback_depth = 25;
+
+  auto ber_of = [&](comm::DecoderKind kind, int m) {
+    comm::DecoderSpec spec = base;
+    spec.kind = kind;
+    spec.low_res_bits = 1;
+    spec.high_res_bits = 3;
+    spec.num_high_res_paths = m;
+    return comm::measure_ber(spec, 1.0, cfg).ber();
+  };
+
+  const double hard = ber_of(comm::DecoderKind::Hard, 1);
+  const double m4 = ber_of(comm::DecoderKind::Multires, 4);
+  const double m8 = ber_of(comm::DecoderKind::Multires, 8);
+  const double soft = ber_of(comm::DecoderKind::Soft, 1);
+  EXPECT_GT(hard, m4);
+  EXPECT_GT(m4, m8);
+  EXPECT_GT(m8, soft);
+}
+
+// Table 3 last-row shape: an impossible BER target is reported infeasible.
+TEST(Integration, ImpossibleBerTargetIsInfeasible) {
+  core::ViterbiRequirements req;
+  req.target_ber = 1e-9;
+  req.esn0_db = 1.0;
+  req.throughput_mbps = 1.0;
+  comm::BerRunConfig ber;
+  ber.max_bits = 30'000;
+  ber.min_bits = 20'000;
+  core::ViterbiMetaCore metacore(req, ber);
+  search::SearchConfig config;
+  config.max_resolution = 1;
+  config.max_evaluations = 60;
+  const auto result = metacore.search(config);
+  EXPECT_FALSE(result.found_feasible);
+}
+
+// Table 4 shape at one throughput: the searched best is far below the
+// average candidate, and the best structure is quantization-friendly.
+TEST(Integration, IirSearchBeatsAverageSubstantially) {
+  core::IirMetaCore metacore(core::paper_bandpass_requirements(2.0));
+  search::SearchConfig config;
+  config.max_resolution = 2;
+  config.max_evaluations = 250;
+  const auto result = metacore.search(config);
+  ASSERT_TRUE(result.found_feasible);
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& p : result.history) {
+    if (p.eval.feasible && p.eval.has_metric("area_mm2") &&
+        metacore.objective().feasible(p.eval)) {
+      sum += p.eval.metric("area_mm2");
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 3);
+  const double avg = sum / n;
+  const double best = result.best.eval.metric("area_mm2");
+  EXPECT_LT(best, avg);
+}
+
+// The Viterbi cost engine and the BER simulator agree on the trade-off
+// direction: higher resolution costs area but buys BER.
+TEST(Integration, ResolutionTradeoffIsCoupled) {
+  comm::DecoderSpec narrow;
+  narrow.code = comm::best_rate_half_code(5);
+  narrow.traceback_depth = 25;
+  narrow.kind = comm::DecoderKind::Hard;
+
+  comm::DecoderSpec wide = narrow;
+  wide.kind = comm::DecoderKind::Soft;
+  wide.high_res_bits = 4;
+
+  comm::BerRunConfig cfg;
+  cfg.max_bits = 40'000;
+  cfg.min_bits = 40'000;
+  cfg.max_errors = 1u << 30;
+  const double ber_narrow = comm::measure_ber(narrow, 1.0, cfg).ber();
+  const double ber_wide = comm::measure_ber(wide, 1.0, cfg).ber();
+  EXPECT_LT(ber_wide, ber_narrow);
+
+  cost::ViterbiCostQuery qn, qw;
+  qn.spec = narrow;
+  qw.spec = wide;
+  qn.throughput_mbps = qw.throughput_mbps = 1.0;
+  const auto cn = cost::evaluate_viterbi_cost(qn);
+  const auto cw = cost::evaluate_viterbi_cost(qw);
+  ASSERT_TRUE(cn.feasible && cw.feasible);
+  EXPECT_LT(cn.area_mm2, cw.area_mm2);
+}
+
+}  // namespace
+}  // namespace metacore

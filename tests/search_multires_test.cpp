@@ -1,0 +1,222 @@
+// Tests for the multiresolution search engine on synthetic landscapes where
+// the global optimum is known.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/multires_search.hpp"
+
+namespace metacore::search {
+namespace {
+
+/// Dense 1D..3D quadratic bowl: minimum at a known grid point.
+DesignSpace bowl_space(int dims, int points) {
+  std::vector<ParameterDef> params;
+  for (int d = 0; d < dims; ++d) {
+    ParameterDef p;
+    p.name = "x" + std::to_string(d);
+    for (int i = 0; i < points; ++i) {
+      p.values.push_back(static_cast<double>(i) / (points - 1));
+    }
+    p.correlation = Correlation::Smooth;
+    params.push_back(p);
+  }
+  return DesignSpace(params);
+}
+
+EvaluateFn bowl_eval(std::vector<double> optimum, std::size_t* count = nullptr) {
+  return [optimum, count](const std::vector<double>& point, int) {
+    if (count) ++*count;
+    double v = 0.0;
+    for (std::size_t d = 0; d < point.size(); ++d) {
+      const double diff = point[d] - optimum[d];
+      v += diff * diff;
+    }
+    Evaluation e;
+    e.metrics["cost"] = v;
+    return e;
+  };
+}
+
+Objective minimize_cost() {
+  Objective obj;
+  obj.minimize = "cost";
+  return obj;
+}
+
+TEST(MultiresolutionSearch, FindsBowlMinimum) {
+  const DesignSpace space = bowl_space(2, 33);
+  const std::vector<double> optimum{0.40625, 0.59375};  // on the grid
+  SearchConfig config;
+  config.initial_points_per_dim = 3;
+  config.max_resolution = 5;
+  config.regions_per_level = 2;
+  MultiresolutionSearch engine(space, minimize_cost(), bowl_eval(optimum),
+                               config);
+  const SearchResult result = engine.run();
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_NEAR(result.best.values[0], optimum[0], 1.0 / 32.0);
+  EXPECT_NEAR(result.best.values[1], optimum[1], 1.0 / 32.0);
+}
+
+TEST(MultiresolutionSearch, UsesFarFewerEvaluationsThanExhaustive) {
+  const DesignSpace space = bowl_space(3, 17);  // 4913 points
+  const std::vector<double> optimum{0.25, 0.75, 0.5};
+  std::size_t calls = 0;
+  SearchConfig config;
+  config.max_resolution = 4;
+  config.regions_per_level = 2;
+  MultiresolutionSearch engine(space, minimize_cost(),
+                               bowl_eval(optimum, &calls), config);
+  const SearchResult result = engine.run();
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_LT(result.evaluations, space.size() / 4);
+  EXPECT_LT(result.best.eval.metric("cost"), 0.02);
+}
+
+TEST(MultiresolutionSearch, MatchesExhaustiveOnSmallSpace) {
+  const DesignSpace space = bowl_space(2, 9);
+  const std::vector<double> optimum{0.375, 0.625};
+  SearchConfig config;
+  config.max_resolution = 4;
+  config.regions_per_level = 3;
+  MultiresolutionSearch engine(space, minimize_cost(), bowl_eval(optimum),
+                               config);
+  const SearchResult multires = engine.run();
+  const SearchResult exhaustive =
+      exhaustive_search(space, minimize_cost(), bowl_eval(optimum), 0);
+  ASSERT_TRUE(multires.found_feasible);
+  EXPECT_NEAR(multires.best.eval.metric("cost"),
+              exhaustive.best.eval.metric("cost"), 1e-12);
+}
+
+TEST(MultiresolutionSearch, RespectsEvaluationBudget) {
+  const DesignSpace space = bowl_space(3, 33);
+  SearchConfig config;
+  config.max_evaluations = 40;
+  config.max_resolution = 6;
+  MultiresolutionSearch engine(space, minimize_cost(),
+                               bowl_eval({0.5, 0.5, 0.5}), config);
+  const SearchResult result = engine.run();
+  EXPECT_LE(result.evaluations, 40u);
+}
+
+TEST(MultiresolutionSearch, HandlesConstraints) {
+  // Minimize x subject to y >= 0.5 (lower bound): optimum at x=0, y>=0.5.
+  const DesignSpace space = bowl_space(2, 17);
+  Objective obj;
+  obj.minimize = "x";
+  obj.constraints.push_back({Constraint::Kind::LowerBound, "y", 0.5});
+  auto eval = [](const std::vector<double>& point, int) {
+    Evaluation e;
+    e.metrics["x"] = point[0];
+    e.metrics["y"] = point[1];
+    return e;
+  };
+  SearchConfig config;
+  config.max_resolution = 4;
+  MultiresolutionSearch engine(space, obj, eval, config);
+  const SearchResult result = engine.run();
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_NEAR(result.best.values[0], 0.0, 1e-9);
+  EXPECT_GE(result.best.values[1], 0.5);
+}
+
+TEST(MultiresolutionSearch, ProbabilisticConstraintPrunesButConverges) {
+  // "ber" falls exponentially along x; feasible region is x >= ~0.6.
+  const DesignSpace space = bowl_space(1, 33);
+  Objective obj;
+  obj.minimize = "area";
+  obj.constraints.push_back({Constraint::Kind::UpperBound, "ber", 1e-3});
+  auto eval = [](const std::vector<double>& point, int) {
+    Evaluation e;
+    e.metrics["ber"] = std::pow(10.0, -5.0 * point[0]);  // 1 .. 1e-5
+    e.metrics["area"] = 1.0 + 10.0 * point[0];           // grows with x
+    e.confidence_weight = 1e6;
+    return e;
+  };
+  SearchConfig config;
+  config.max_resolution = 5;
+  config.probabilistic_metric = "ber";
+  MultiresolutionSearch engine(space, obj, eval, config);
+  const SearchResult result = engine.run();
+  ASSERT_TRUE(result.found_feasible);
+  // Optimum: smallest x with 10^(-5x) <= 1e-3, i.e. x = 0.6.
+  EXPECT_NEAR(result.best.values[0], 0.6, 0.07);
+}
+
+TEST(MultiresolutionSearch, HistoryHasDistinctPoints) {
+  const DesignSpace space = bowl_space(2, 9);
+  SearchConfig config;
+  config.max_resolution = 3;
+  MultiresolutionSearch engine(space, minimize_cost(),
+                               bowl_eval({0.5, 0.5}), config);
+  const SearchResult result = engine.run();
+  std::set<std::vector<int>> seen;
+  for (const auto& p : result.history) {
+    EXPECT_TRUE(seen.insert(p.indices).second) << "duplicate history entry";
+  }
+}
+
+TEST(MultiresolutionSearch, RejectsBadConfig) {
+  const DesignSpace space = bowl_space(1, 5);
+  SearchConfig config;
+  config.refined_points_per_dim = 1;
+  EXPECT_THROW(MultiresolutionSearch(space, minimize_cost(),
+                                     bowl_eval({0.5}), config),
+               std::invalid_argument);
+  EXPECT_THROW(MultiresolutionSearch(space, minimize_cost(), nullptr, {}),
+               std::invalid_argument);
+}
+
+TEST(ExhaustiveSearch, VisitsEveryPoint) {
+  const DesignSpace space = bowl_space(2, 5);
+  std::size_t calls = 0;
+  const SearchResult result = exhaustive_search(
+      space, minimize_cost(), bowl_eval({0.5, 0.5}, &calls), 0);
+  EXPECT_EQ(calls, 25u);
+  EXPECT_EQ(result.evaluations, 25u);
+  EXPECT_EQ(result.history.size(), 25u);
+}
+
+TEST(ExhaustiveSearch, RejectsHugeSpaces) {
+  const DesignSpace space = bowl_space(3, 201);
+  EXPECT_THROW(
+      exhaustive_search(space, minimize_cost(), bowl_eval({0.5, 0.5, 0.5}), 0,
+                        /*max_points=*/1000),
+      std::invalid_argument);
+}
+
+TEST(VerifyTopCandidates, CorrectsNoisyWinner) {
+  // Fidelity 0 lies about the best point; fidelity 1 tells the truth. The
+  // verification pass must demote the liar.
+  const DesignSpace space = bowl_space(1, 11);
+  Objective obj;
+  obj.minimize = "area";
+  obj.constraints.push_back({Constraint::Kind::UpperBound, "ber", 1e-3});
+  auto eval = [](const std::vector<double>& point, int fidelity) {
+    Evaluation e;
+    const bool cheat_zone = point[0] < 0.35;
+    // Low fidelity reports the cheat zone as meeting BER; high fidelity
+    // reveals it does not. Points >= 0.6 genuinely meet it.
+    if (fidelity == 0 && cheat_zone) {
+      e.metrics["ber"] = 1e-6;
+    } else {
+      e.metrics["ber"] = point[0] >= 0.6 ? 1e-5 : 1e-1;
+    }
+    e.metrics["area"] = 1.0 + point[0];
+    return e;
+  };
+  SearchConfig config;
+  config.max_resolution = 2;
+  MultiresolutionSearch engine(space, obj, eval, config);
+  SearchResult result = engine.run();
+  // The noisy search may or may not fall for the cheat zone; verification
+  // must land on a genuinely feasible point regardless.
+  result = verify_top_candidates(std::move(result), space, obj, eval, 5, 1);
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_GE(result.best.values[0], 0.6);
+}
+
+}  // namespace
+}  // namespace metacore::search

@@ -1,0 +1,90 @@
+// Tests for objective/constraint evaluation and ordering.
+#include <gtest/gtest.h>
+
+#include "search/objective.hpp"
+
+namespace metacore::search {
+namespace {
+
+Evaluation make_eval(double ber, double area, bool feasible = true) {
+  Evaluation e;
+  e.feasible = feasible;
+  e.metrics["ber"] = ber;
+  e.metrics["area"] = area;
+  return e;
+}
+
+Objective area_under_ber(double ber_bound) {
+  Objective obj;
+  obj.minimize = "area";
+  obj.constraints.push_back(
+      {Constraint::Kind::UpperBound, "ber", ber_bound});
+  return obj;
+}
+
+TEST(Evaluation, MetricAccess) {
+  const Evaluation e = make_eval(1e-3, 2.0);
+  EXPECT_DOUBLE_EQ(e.metric("ber"), 1e-3);
+  EXPECT_TRUE(e.has_metric("area"));
+  EXPECT_FALSE(e.has_metric("latency"));
+  EXPECT_THROW(e.metric("latency"), std::invalid_argument);
+}
+
+TEST(Constraint, UpperBoundSatisfaction) {
+  const Constraint c{Constraint::Kind::UpperBound, "ber", 1e-3};
+  EXPECT_TRUE(c.satisfied(make_eval(1e-4, 1.0)));
+  EXPECT_TRUE(c.satisfied(make_eval(1e-3, 1.0)));
+  EXPECT_FALSE(c.satisfied(make_eval(2e-3, 1.0)));
+  EXPECT_LT(c.violation(make_eval(1e-4, 1.0)), 0.0);
+  EXPECT_GT(c.violation(make_eval(2e-3, 1.0)), 0.0);
+}
+
+TEST(Constraint, LowerBoundSatisfaction) {
+  const Constraint c{Constraint::Kind::LowerBound, "area", 1.0};
+  EXPECT_TRUE(c.satisfied(make_eval(0.0, 2.0)));
+  EXPECT_FALSE(c.satisfied(make_eval(0.0, 0.5)));
+}
+
+TEST(Constraint, MissingMetricCountsAsViolated) {
+  const Constraint c{Constraint::Kind::UpperBound, "latency", 5.0};
+  EXPECT_FALSE(c.satisfied(make_eval(0.0, 1.0)));
+}
+
+TEST(Objective, FeasibilityRequiresAllConstraintsAndIntrinsicFlag) {
+  const Objective obj = area_under_ber(1e-3);
+  EXPECT_TRUE(obj.feasible(make_eval(1e-4, 1.0)));
+  EXPECT_FALSE(obj.feasible(make_eval(1e-2, 1.0)));
+  EXPECT_FALSE(obj.feasible(make_eval(1e-4, 1.0, /*feasible=*/false)));
+}
+
+TEST(Objective, BetterPrefersFeasible) {
+  const Objective obj = area_under_ber(1e-3);
+  const auto feasible_big = make_eval(1e-4, 100.0);
+  const auto infeasible_small = make_eval(1e-2, 0.1);
+  EXPECT_TRUE(obj.better(feasible_big, infeasible_small));
+  EXPECT_FALSE(obj.better(infeasible_small, feasible_big));
+}
+
+TEST(Objective, BetterComparesObjectiveAmongFeasible) {
+  const Objective obj = area_under_ber(1e-3);
+  EXPECT_TRUE(obj.better(make_eval(1e-4, 1.0), make_eval(1e-4, 2.0)));
+  EXPECT_FALSE(obj.better(make_eval(1e-4, 2.0), make_eval(1e-4, 1.0)));
+}
+
+TEST(Objective, BetterComparesViolationAmongInfeasible) {
+  const Objective obj = area_under_ber(1e-3);
+  const auto slightly_off = make_eval(1.5e-3, 1.0);
+  const auto badly_off = make_eval(1e-1, 1.0);
+  EXPECT_TRUE(obj.better(slightly_off, badly_off));
+  EXPECT_FALSE(obj.better(badly_off, slightly_off));
+}
+
+TEST(Objective, EmptyMinimizeComparesOnlyFeasibility) {
+  Objective obj;
+  obj.constraints.push_back({Constraint::Kind::UpperBound, "ber", 1e-3});
+  EXPECT_FALSE(obj.better(make_eval(1e-4, 1.0), make_eval(1e-4, 2.0)));
+  EXPECT_TRUE(obj.better(make_eval(1e-4, 5.0), make_eval(1.0, 1.0)));
+}
+
+}  // namespace
+}  // namespace metacore::search

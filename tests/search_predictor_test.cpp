@@ -1,0 +1,98 @@
+// Tests for the smooth-metric interpolator and the Bayesian BER predictor.
+#include <gtest/gtest.h>
+
+#include "search/predictor.hpp"
+
+namespace metacore::search {
+namespace {
+
+TEST(SmoothEstimator, ExactAtObservations) {
+  SmoothEstimator est;
+  est.add({0.0, 0.0}, 1.0);
+  est.add({1.0, 1.0}, 5.0);
+  EXPECT_DOUBLE_EQ(est.predict(std::vector<double>{0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(est.predict(std::vector<double>{1.0, 1.0}), 5.0);
+}
+
+TEST(SmoothEstimator, InterpolatesBetween) {
+  SmoothEstimator est;
+  est.add({0.0}, 0.0);
+  est.add({1.0}, 10.0);
+  const double mid = est.predict(std::vector<double>{0.5});
+  EXPECT_NEAR(mid, 5.0, 1e-9);  // symmetric weights
+  const double near_low = est.predict(std::vector<double>{0.1});
+  EXPECT_LT(near_low, 2.0);
+}
+
+TEST(SmoothEstimator, EmptyReturnsZero) {
+  SmoothEstimator est;
+  EXPECT_DOUBLE_EQ(est.predict(std::vector<double>{0.5}), 0.0);
+}
+
+TEST(SmoothEstimator, DimensionMismatchThrows) {
+  SmoothEstimator est;
+  est.add({0.0, 0.0}, 1.0);
+  EXPECT_THROW(est.predict(std::vector<double>{0.0}), std::invalid_argument);
+}
+
+TEST(BerPredictor, PredictsNearEvidence) {
+  BerPredictor pred;
+  pred.add({0.5, 0.5}, 1e-3, 100000);
+  const auto p = pred.predict(std::vector<double>{0.5, 0.5});
+  EXPECT_NEAR(p.log10_mean, -3.0, 0.05);
+}
+
+TEST(BerPredictor, UncertaintyGrowsWithDistance) {
+  BerPredictor pred;
+  pred.add({0.0, 0.0}, 1e-3, 100000);
+  const auto close = pred.predict(std::vector<double>{0.05, 0.0});
+  const auto far = pred.predict(std::vector<double>{1.0, 1.0});
+  EXPECT_LT(close.log10_sigma, far.log10_sigma);
+}
+
+TEST(BerPredictor, BlendsNeighbors) {
+  BerPredictor pred;
+  pred.add({0.0}, 1e-2, 10000);
+  pred.add({1.0}, 1e-6, 10000);
+  const auto mid = pred.predict(std::vector<double>{0.5});
+  EXPECT_LT(mid.log10_mean, -2.0);
+  EXPECT_GT(mid.log10_mean, -6.0);
+}
+
+TEST(BerPredictor, ProbabilityMonotoneInThreshold) {
+  BerPredictor pred;
+  pred.add({0.5}, 1e-4, 100000);
+  const std::vector<double> at{0.5};
+  const double p_loose = pred.probability_below(at, 1e-2);
+  const double p_exact = pred.probability_below(at, 1e-4);
+  const double p_tight = pred.probability_below(at, 1e-8);
+  EXPECT_GT(p_loose, p_exact);
+  EXPECT_GT(p_exact, p_tight);
+  EXPECT_GT(p_loose, 0.9);
+  EXPECT_LT(p_tight, 0.1);
+}
+
+TEST(BerPredictor, NoEvidenceIsUninformative) {
+  BerPredictor pred;
+  EXPECT_DOUBLE_EQ(pred.probability_below(std::vector<double>{0.5}, 1e-4), 0.5);
+  EXPECT_GT(pred.predict(std::vector<double>{0.5}).log10_sigma, 1.0);
+}
+
+TEST(BerPredictor, HeavierEvidenceDominates) {
+  BerPredictor pred;
+  pred.add({0.45}, 1e-2, 100);        // light evidence
+  pred.add({0.55}, 1e-6, 10000000);   // heavy evidence
+  const auto mid = pred.predict(std::vector<double>{0.5});
+  EXPECT_LT(mid.log10_mean, -3.5);  // pulled toward the heavy observation
+}
+
+TEST(BerPredictor, ClampsDegenerateBers) {
+  BerPredictor pred;
+  pred.add({0.0}, 0.0, 1000);  // zero observed errors
+  const auto p = pred.predict(std::vector<double>{0.0});
+  EXPECT_LE(p.log10_mean, -11.0);
+  EXPECT_THROW(pred.add({0.1}, 1e-3, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::search

@@ -1,0 +1,113 @@
+// Tests for the HYPER-substitute IIR area/throughput/latency estimator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "synth/area.hpp"
+
+namespace metacore::synth {
+namespace {
+
+using dsp::StructureKind;
+
+IirCostQuery query(StructureKind kind, double period_us, int bits = 12) {
+  IirCostQuery q;
+  q.structure = kind;
+  q.order = 8;
+  q.word_bits = bits;
+  q.sample_period_us = period_us;
+  return q;
+}
+
+TEST(IirCost, BreakdownSumsToTotal) {
+  const auto r = evaluate_iir_cost(query(StructureKind::Cascade, 2.0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.area_mm2,
+              r.exu_area_mm2 + r.register_area_mm2 +
+                  r.interconnect_area_mm2 + r.control_area_mm2,
+              1e-12);
+}
+
+TEST(IirCost, TighterPeriodNeverCheaper) {
+  for (const auto kind :
+       {StructureKind::Cascade, StructureKind::Parallel,
+        StructureKind::DirectForm2}) {
+    double prev = 1e300;
+    for (double period : {0.5, 1.0, 2.0, 5.0}) {
+      const auto r = evaluate_iir_cost(query(kind, period));
+      ASSERT_TRUE(r.feasible) << to_string(kind) << " @ " << period;
+      EXPECT_LE(r.area_mm2, prev + 1e-12) << to_string(kind);
+      prev = r.area_mm2;
+    }
+  }
+}
+
+TEST(IirCost, WiderWordsCostMore) {
+  const auto narrow = evaluate_iir_cost(query(StructureKind::Cascade, 2.0, 8));
+  const auto wide = evaluate_iir_cost(query(StructureKind::Cascade, 2.0, 20));
+  ASSERT_TRUE(narrow.feasible && wide.feasible);
+  EXPECT_LT(narrow.area_mm2, wide.area_mm2);
+}
+
+TEST(IirCost, LadderInfeasibleAtTightRates) {
+  // The ladder's serial recurrence caps its sample rate; cascade sections
+  // pipeline and survive to much shorter periods.
+  double ladder_limit = 0.0, cascade_limit = 0.0;
+  for (double period = 2.0; period >= 0.05; period *= 0.8) {
+    if (evaluate_iir_cost(query(StructureKind::LatticeLadder, period)).feasible) {
+      ladder_limit = period;
+    } else {
+      break;
+    }
+  }
+  for (double period = 2.0; period >= 0.05; period *= 0.8) {
+    if (evaluate_iir_cost(query(StructureKind::Cascade, period)).feasible) {
+      cascade_limit = period;
+    } else {
+      break;
+    }
+  }
+  EXPECT_LT(cascade_limit, ladder_limit);
+}
+
+TEST(IirCost, InfeasibleForAbsurdPeriod) {
+  const auto r = evaluate_iir_cost(query(StructureKind::Cascade, 1e-4));
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(IirCost, LatencyAtLeastPeriodAtSteadyState) {
+  const auto r = evaluate_iir_cost(query(StructureKind::Cascade, 0.4));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.latency_us, r.throughput_period_us - 1e-12);
+  EXPECT_LE(r.throughput_period_us, 0.4 + 1e-9);
+}
+
+TEST(IirCost, HyperEraTechnologyScalesAreaUp) {
+  IirCostQuery modern = query(StructureKind::Cascade, 2.0);
+  modern.tech = cost::TechnologyParams{};  // 0.35 um
+  const auto old = evaluate_iir_cost(query(StructureKind::Cascade, 2.0));
+  const auto scaled = evaluate_iir_cost(modern);
+  ASSERT_TRUE(old.feasible && scaled.feasible);
+  // 1.2 um vs 0.35 um: lambda ratio (1.2/0.35)^2 ~ 11.7; clocks differ too,
+  // so just require a large separation.
+  EXPECT_GT(old.area_mm2, 5.0 * scaled.area_mm2);
+}
+
+TEST(IirCost, RegistersIncludeStateAndPipeline) {
+  const auto relaxed = evaluate_iir_cost(query(StructureKind::Cascade, 5.0));
+  ASSERT_TRUE(relaxed.feasible);
+  EXPECT_GE(relaxed.registers, 8);  // at least the state registers
+  const auto tight = evaluate_iir_cost(query(StructureKind::Cascade, 0.3));
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_GT(tight.registers, relaxed.registers);
+}
+
+TEST(IirCost, Rejections) {
+  EXPECT_THROW(evaluate_iir_cost(query(StructureKind::Cascade, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_iir_cost(query(StructureKind::Cascade, 1.0, 2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::synth

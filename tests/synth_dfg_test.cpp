@@ -1,0 +1,152 @@
+// Tests for filter dataflow graphs: structure, counts, critical paths, and
+// recurrence bounds.
+#include <gtest/gtest.h>
+
+#include "synth/dfg.hpp"
+#include "synth/schedule.hpp"
+
+namespace metacore::synth {
+namespace {
+
+using dsp::StructureKind;
+
+TEST(Dfg, AllStructuresValidate) {
+  for (const auto kind : dsp::all_structures()) {
+    for (int order : {1, 2, 3, 4, 8, 9}) {
+      EXPECT_NO_THROW(build_filter_dfg(kind, order).validate())
+          << to_string(kind) << " order " << order;
+    }
+  }
+}
+
+TEST(Dfg, MultiplierCountsMatchStructureTheory) {
+  const int n = 8;
+  // DF2: 2n+1 multipliers; cascade of n/2 biquads: 5 per section; parallel:
+  // 4 per section + 1 direct; ladder: 2n lattice + (n+1) taps.
+  EXPECT_EQ(build_filter_dfg(StructureKind::DirectForm2, n).count(DfgOp::Mul),
+            2 * n + 1);
+  EXPECT_EQ(build_filter_dfg(StructureKind::DirectForm1, n).count(DfgOp::Mul),
+            2 * n + 1);
+  EXPECT_EQ(build_filter_dfg(StructureKind::Cascade, n).count(DfgOp::Mul),
+            5 * (n / 2));
+  EXPECT_EQ(build_filter_dfg(StructureKind::Parallel, n).count(DfgOp::Mul),
+            4 * (n / 2) + 1);
+  EXPECT_EQ(
+      build_filter_dfg(StructureKind::LatticeLadder, n).count(DfgOp::Mul),
+      2 * n + n + 1);
+}
+
+TEST(Dfg, StateRegisterCounts) {
+  const int n = 8;
+  EXPECT_EQ(build_filter_dfg(StructureKind::DirectForm1, n).state_registers(),
+            2 * n);
+  for (const auto kind :
+       {StructureKind::DirectForm2, StructureKind::DirectForm2Transposed,
+        StructureKind::Cascade, StructureKind::Parallel,
+        StructureKind::LatticeLadder}) {
+    EXPECT_EQ(build_filter_dfg(kind, n).state_registers(), n)
+        << to_string(kind);
+  }
+}
+
+TEST(Dfg, OddOrderSections) {
+  // Order 5: cascade has 2 biquads + 1 first-order section.
+  const Dfg dfg = build_filter_dfg(StructureKind::Cascade, 5);
+  EXPECT_EQ(dfg.state_registers(), 5);
+  EXPECT_EQ(dfg.count(DfgOp::Mul), 5 + 5 + 3);
+}
+
+TEST(Dfg, SingleInputSingleOutput) {
+  for (const auto kind : dsp::all_structures()) {
+    const Dfg dfg = build_filter_dfg(kind, 6);
+    EXPECT_EQ(dfg.count(DfgOp::Input), 1) << to_string(kind);
+    EXPECT_EQ(dfg.count(DfgOp::Output), 1) << to_string(kind);
+  }
+}
+
+TEST(Dfg, CriticalPathOrdering) {
+  // Serial-chain structures (cascade sections in series, the ladder's
+  // f-chain) have long critical paths; the parallel form (independent
+  // sections + adder tree) is the shortest of the recursive structures.
+  const int n = 8;
+  const int ladder = build_filter_dfg(StructureKind::LatticeLadder, n)
+                         .critical_path(kMulLatency, kAddLatency);
+  const int parallel = build_filter_dfg(StructureKind::Parallel, n)
+                           .critical_path(kMulLatency, kAddLatency);
+  const int cascade = build_filter_dfg(StructureKind::Cascade, n)
+                          .critical_path(kMulLatency, kAddLatency);
+  EXPECT_GT(ladder, parallel);
+  EXPECT_GT(cascade, parallel);
+}
+
+TEST(Dfg, RecurrenceMiiOrdering) {
+  // Recurrence bound: the ladder's g-feedback loop threads two multiplies
+  // (one in the f-chain, one in the g-update), making it the slowest; the
+  // biquad loops of cascade/parallel carry one multiply plus adds.
+  const int n = 8;
+  const int ladder = build_filter_dfg(StructureKind::LatticeLadder, n)
+                         .recurrence_mii(kMulLatency, kAddLatency);
+  const int cascade = build_filter_dfg(StructureKind::Cascade, n)
+                          .recurrence_mii(kMulLatency, kAddLatency);
+  const int parallel = build_filter_dfg(StructureKind::Parallel, n)
+                           .recurrence_mii(kMulLatency, kAddLatency);
+  EXPECT_GT(ladder, cascade);
+  EXPECT_LE(parallel, cascade + 1);
+  EXPECT_GE(parallel, 3);  // mul + add + sub around the biquad loop
+}
+
+TEST(Dfg, LadderRecurrenceIsStageLocal) {
+  // Gray-Markel feedback goes through one-sample-old g values of the
+  // *adjacent* stage, so the recurrence bound does not grow with order —
+  // only the iteration latency does.
+  const int at2 = build_filter_dfg(StructureKind::LatticeLadder, 2)
+                      .recurrence_mii(kMulLatency, kAddLatency);
+  const int at10 = build_filter_dfg(StructureKind::LatticeLadder, 10)
+                       .recurrence_mii(kMulLatency, kAddLatency);
+  EXPECT_EQ(at2, at10);
+  const int lat2 = build_filter_dfg(StructureKind::LatticeLadder, 2)
+                       .critical_path(kMulLatency, kAddLatency);
+  const int lat10 = build_filter_dfg(StructureKind::LatticeLadder, 10)
+                        .critical_path(kMulLatency, kAddLatency);
+  EXPECT_GT(lat10, lat2);
+}
+
+TEST(Dfg, RecurrenceMiiConstantForCascade) {
+  const int at4 = build_filter_dfg(StructureKind::Cascade, 4)
+                      .recurrence_mii(kMulLatency, kAddLatency);
+  const int at12 = build_filter_dfg(StructureKind::Cascade, 12)
+                       .recurrence_mii(kMulLatency, kAddLatency);
+  EXPECT_EQ(at4, at12);  // sections pipeline independently
+}
+
+TEST(Dfg, ValidationCatchesForwardReferences) {
+  Dfg dfg;
+  dfg.nodes.push_back({DfgOp::Add, {1, 2}, "", -1});  // refers ahead
+  EXPECT_THROW(dfg.validate(), std::invalid_argument);
+}
+
+TEST(Dfg, ValidationCatchesArityViolations) {
+  Dfg dfg;
+  dfg.nodes.push_back({DfgOp::Input, {}, "", -1});
+  dfg.nodes.push_back({DfgOp::Add, {0}, "", -1});  // unary add
+  EXPECT_THROW(dfg.validate(), std::invalid_argument);
+  dfg.nodes[1] = {DfgOp::StateRead, {}, "", -1};  // missing register id
+  EXPECT_THROW(dfg.validate(), std::invalid_argument);
+}
+
+TEST(Dfg, RejectsOutOfRangeOrder) {
+  EXPECT_THROW(build_filter_dfg(StructureKind::Cascade, 0),
+               std::invalid_argument);
+  EXPECT_THROW(build_filter_dfg(StructureKind::Cascade, 65),
+               std::invalid_argument);
+}
+
+TEST(Dfg, RealizationOverloadMatchesKind) {
+  const auto spec_tf = dsp::TransferFunction{{0.2, 0.2}, {1.0, -0.6}};
+  const auto realization = dsp::realize(spec_tf, StructureKind::DirectForm2);
+  const Dfg dfg = build_filter_dfg(*realization, 1);
+  EXPECT_EQ(dfg.name, "df2");
+}
+
+}  // namespace
+}  // namespace metacore::synth

@@ -1,0 +1,157 @@
+// Tests for DFG scheduling and allocation minimization.
+#include <gtest/gtest.h>
+
+#include "synth/schedule.hpp"
+
+namespace metacore::synth {
+namespace {
+
+using dsp::StructureKind;
+
+TEST(AsapSchedule, RespectsLatencies) {
+  const Dfg dfg = build_filter_dfg(StructureKind::DirectForm2, 4);
+  const auto asap = asap_schedule(dfg);
+  for (std::size_t i = 0; i < dfg.nodes.size(); ++i) {
+    for (int in : dfg.nodes[i].inputs) {
+      const auto j = static_cast<std::size_t>(in);
+      int latency = 0;
+      if (dfg.nodes[j].op == DfgOp::Mul) latency = kMulLatency;
+      if (dfg.nodes[j].op == DfgOp::Add || dfg.nodes[j].op == DfgOp::Sub) {
+        latency = kAddLatency;
+      }
+      EXPECT_GE(asap[i], asap[j] + latency);
+    }
+  }
+}
+
+TEST(AlapSchedule, NeverBeforeAsap) {
+  const Dfg dfg = build_filter_dfg(StructureKind::Cascade, 6);
+  const int cp = dfg.critical_path(kMulLatency, kAddLatency);
+  const auto asap = asap_schedule(dfg);
+  const auto alap = alap_schedule(dfg, cp);
+  for (std::size_t i = 0; i < dfg.nodes.size(); ++i) {
+    EXPECT_GE(alap[i], asap[i]) << i;
+  }
+}
+
+TEST(AlapSchedule, RejectsImpossibleDeadline) {
+  const Dfg dfg = build_filter_dfg(StructureKind::Cascade, 6);
+  EXPECT_THROW(alap_schedule(dfg, 1), std::invalid_argument);
+}
+
+TEST(ListSchedule, MeetsLowerBounds) {
+  const Dfg dfg = build_filter_dfg(StructureKind::DirectForm2, 8);
+  const Allocation alloc{2, 2};
+  const DfgSchedule sched = list_schedule(dfg, alloc);
+  EXPECT_GE(sched.cycles, dfg.critical_path(kMulLatency, kAddLatency));
+  // Resource bound: 17 muls over 2 multipliers needs >= 9 issue slots.
+  EXPECT_GE(sched.cycles, (dfg.count(DfgOp::Mul) + 1) / 2);
+}
+
+TEST(ListSchedule, ResourceLimitHolds) {
+  const Dfg dfg = build_filter_dfg(StructureKind::Parallel, 8);
+  const Allocation alloc{1, 1};
+  const DfgSchedule sched = list_schedule(dfg, alloc);
+  std::map<int, int> muls_at, alus_at;
+  for (std::size_t i = 0; i < dfg.nodes.size(); ++i) {
+    const DfgOp op = dfg.nodes[i].op;
+    if (op == DfgOp::Mul) ++muls_at[sched.start_cycle[i]];
+    if (op == DfgOp::Add || op == DfgOp::Sub) ++alus_at[sched.start_cycle[i]];
+  }
+  for (const auto& [cycle, count] : muls_at) EXPECT_LE(count, 1);
+  for (const auto& [cycle, count] : alus_at) EXPECT_LE(count, 1);
+}
+
+TEST(ListSchedule, MoreResourcesNeverSlower) {
+  for (const auto kind : dsp::all_structures()) {
+    const Dfg dfg = build_filter_dfg(kind, 8);
+    const int narrow = list_schedule(dfg, {1, 1}).cycles;
+    const int wide = list_schedule(dfg, {4, 4}).cycles;
+    EXPECT_LE(wide, narrow) << to_string(kind);
+  }
+}
+
+TEST(MinimizeAllocation, FindsSmallestFeasible) {
+  const Dfg dfg = build_filter_dfg(StructureKind::DirectForm2, 8);
+  const int relaxed = list_schedule(dfg, {1, 1}).cycles;
+  const auto result = minimize_allocation(dfg, relaxed);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.allocation.multipliers, 1);
+  EXPECT_EQ(result.allocation.alus, 1);
+
+  // Tightening the budget (but not below the critical path) requires more
+  // hardware.
+  const int cp = dfg.critical_path(kMulLatency, kAddLatency);
+  const auto tight =
+      minimize_allocation(dfg, std::max((relaxed + 1) / 2, cp + 2));
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_GT(tight.allocation.multipliers + tight.allocation.alus, 2);
+}
+
+TEST(MinimizeAllocation, InfeasibleBelowCriticalPath) {
+  const Dfg dfg = build_filter_dfg(StructureKind::LatticeLadder, 8);
+  const auto result = minimize_allocation(dfg, 2);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(MinimizeAllocation, RejectsEmptyBudget) {
+  const Dfg dfg = build_filter_dfg(StructureKind::Cascade, 4);
+  EXPECT_THROW(minimize_allocation(dfg, 0), std::invalid_argument);
+}
+
+TEST(PipelinedAllocation, InfeasibleBelowRecurrence) {
+  const Dfg dfg = build_filter_dfg(StructureKind::LatticeLadder, 8);
+  const int mii = dfg.recurrence_mii(kMulLatency, kAddLatency);
+  EXPECT_FALSE(pipelined_allocation(dfg, mii - 1).feasible);
+  EXPECT_TRUE(pipelined_allocation(dfg, mii).feasible);
+}
+
+TEST(PipelinedAllocation, AllocationIsSteadyStateCeiling) {
+  const Dfg dfg = build_filter_dfg(StructureKind::Parallel, 8);
+  const int muls = dfg.count(DfgOp::Mul);  // 17
+  const auto result = pipelined_allocation(dfg, 6);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.allocation.multipliers, (muls + 5) / 6);
+  EXPECT_LE(result.initiation_interval, 6);
+  EXPECT_GE(result.initiation_interval,
+            dfg.recurrence_mii(kMulLatency, kAddLatency));
+}
+
+TEST(PipelinedAllocation, RelaxedBudgetUsesOneOfEach) {
+  const Dfg dfg = build_filter_dfg(StructureKind::Cascade, 8);
+  const auto result = pipelined_allocation(dfg, 500);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.allocation.multipliers, 1);
+  EXPECT_EQ(result.allocation.alus, 1);
+  EXPECT_EQ(result.overlap, 1);
+}
+
+TEST(PipelinedAllocation, OverlapGrowsAtTightRates) {
+  const Dfg dfg = build_filter_dfg(StructureKind::Cascade, 8);
+  const int mii = dfg.recurrence_mii(kMulLatency, kAddLatency);
+  const auto result = pipelined_allocation(dfg, mii);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.overlap, 1);  // several samples in flight
+}
+
+TEST(ScheduleGantt, ListsFuOperationsPerCycle) {
+  const Dfg dfg = build_filter_dfg(StructureKind::Cascade, 2);
+  const DfgSchedule sched = list_schedule(dfg, {1, 1});
+  const std::string gantt = schedule_gantt(dfg, sched);
+  EXPECT_NE(gantt.find("cycle | issued operations"), std::string::npos);
+  EXPECT_NE(gantt.find("mul#"), std::string::npos);
+  // One row per issue cycle, none beyond the makespan.
+  EXPECT_EQ(gantt.find("   -1 |"), std::string::npos);
+  DfgSchedule empty;
+  EXPECT_THROW(schedule_gantt(dfg, empty), std::invalid_argument);
+}
+
+TEST(Allocation, Validation) {
+  EXPECT_THROW((Allocation{0, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((Allocation{1, 0}).validate(), std::invalid_argument);
+  EXPECT_THROW((Allocation{65, 1}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((Allocation{4, 4}).validate());
+}
+
+}  // namespace
+}  // namespace metacore::synth

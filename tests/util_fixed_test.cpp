@@ -1,0 +1,99 @@
+// Tests for saturating Q-format fixed-point arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/fixed.hpp"
+
+namespace metacore::util {
+namespace {
+
+TEST(QFormat, RangeAndResolution) {
+  const QFormat q{16, 14};  // Q1.14
+  EXPECT_EQ(q.integer_bits(), 1);
+  EXPECT_DOUBLE_EQ(q.resolution(), 1.0 / 16384.0);
+  EXPECT_DOUBLE_EQ(q.min_value(), -2.0);
+  EXPECT_NEAR(q.max_value(), 2.0 - 1.0 / 16384.0, 1e-12);
+  EXPECT_EQ(q.label(), "Q1.14");
+}
+
+TEST(QFormat, Validation) {
+  EXPECT_THROW((QFormat{1, 0}).validate(), std::invalid_argument);
+  EXPECT_THROW((QFormat{16, 16}).validate(), std::invalid_argument);
+  EXPECT_THROW((QFormat{16, -1}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((QFormat{8, 6}).validate());
+}
+
+TEST(Fixed, QuantizesRoundToNearest) {
+  const QFormat q{8, 4};  // resolution 1/16
+  EXPECT_DOUBLE_EQ(Fixed(0.5, q).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Fixed(0.53, q).to_double(), 0.5);      // 8.48 lsb -> 8
+  EXPECT_DOUBLE_EQ(Fixed(0.545, q).to_double(), 0.5625);  // 8.72 lsb -> 9
+  EXPECT_DOUBLE_EQ(Fixed(0.03, q).to_double(), 0.0);      // 0.48 lsb -> 0
+  EXPECT_DOUBLE_EQ(Fixed(-0.53, q).to_double(), -0.5);
+}
+
+TEST(Fixed, QuantizationErrorBoundedByHalfLsb) {
+  const QFormat q{12, 9};
+  for (double v = -3.0; v <= 3.0; v += 0.0371) {
+    const Fixed f(v, q);
+    if (!f.saturated()) {
+      EXPECT_LE(std::abs(f.to_double() - v), q.resolution() / 2 + 1e-15) << v;
+    }
+  }
+}
+
+TEST(Fixed, SaturatesOutOfRange) {
+  const QFormat q{8, 6};  // range [-2, ~2)
+  const Fixed over(5.0, q);
+  EXPECT_TRUE(over.saturated());
+  EXPECT_NEAR(over.to_double(), q.max_value(), 1e-12);
+  const Fixed under(-5.0, q);
+  EXPECT_TRUE(under.saturated());
+  EXPECT_DOUBLE_EQ(under.to_double(), -2.0);
+}
+
+TEST(Fixed, AddAndSubSaturate) {
+  const QFormat q{8, 6};
+  const Fixed a(1.5, q), b(1.0, q);
+  const Fixed sum = a.add(b);  // 2.5 > max
+  EXPECT_TRUE(sum.saturated());
+  EXPECT_NEAR(sum.to_double(), q.max_value(), 1e-12);
+  const Fixed diff = a.sub(b);
+  EXPECT_FALSE(diff.saturated());
+  EXPECT_DOUBLE_EQ(diff.to_double(), 0.5);
+  const Fixed neg = Fixed(-1.5, q).sub(b);  // -2.5 < min
+  EXPECT_TRUE(neg.saturated());
+}
+
+TEST(Fixed, MulRoundsIntoOwnFormat) {
+  const QFormat sig{16, 12};
+  const QFormat coef{16, 14};
+  const Fixed x(0.75, sig);
+  const Fixed c(0.5, coef);
+  const Fixed y = x.mul(c);
+  EXPECT_DOUBLE_EQ(y.to_double(), 0.375);
+  EXPECT_EQ(y.format().frac_bits, 12);
+}
+
+TEST(Fixed, MulSaturates) {
+  const QFormat q{8, 4};  // range [-8, 8)
+  const Fixed a(7.0, q), b(3.0, q);
+  const Fixed y = a.mul(b);  // 21 out of range
+  EXPECT_TRUE(y.saturated());
+  EXPECT_NEAR(y.to_double(), q.max_value(), 1e-9);
+}
+
+TEST(Fixed, FormatMismatchThrows) {
+  const Fixed a(0.5, QFormat{16, 14});
+  const Fixed b(0.5, QFormat{16, 12});
+  EXPECT_THROW(a.add(b), std::invalid_argument);
+  EXPECT_THROW(a.sub(b), std::invalid_argument);
+}
+
+TEST(Fixed, RejectsNonFinite) {
+  EXPECT_THROW(Fixed(std::nan(""), QFormat{16, 14}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::util

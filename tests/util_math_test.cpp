@@ -1,0 +1,136 @@
+// Unit tests for numeric helpers and the multilinear interpolator.
+#include <gtest/gtest.h>
+
+#include "util/math.hpp"
+
+namespace metacore::util {
+namespace {
+
+TEST(QFunction, KnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.158655, 1e-5);
+  EXPECT_NEAR(q_function(3.0), 0.0013499, 1e-6);
+  EXPECT_NEAR(q_function(-1.0), 1.0 - 0.158655, 1e-5);
+}
+
+TEST(QFunction, InverseRoundTrip) {
+  for (double p : {0.4, 0.1, 1e-3, 1e-6, 1e-9}) {
+    EXPECT_NEAR(q_function(q_function_inv(p)) / p, 1.0, 1e-6) << p;
+  }
+}
+
+TEST(QFunction, InverseRejectsOutOfRange) {
+  EXPECT_THROW(q_function_inv(0.0), std::domain_error);
+  EXPECT_THROW(q_function_inv(1.0), std::domain_error);
+  EXPECT_THROW(q_function_inv(-0.1), std::domain_error);
+}
+
+TEST(BpskBer, MatchesTextbookValues) {
+  // Eb/N0 = 0 dB -> BER ~ 7.86e-2; 9.6 dB -> ~1e-5.
+  EXPECT_NEAR(bpsk_ber(1.0), 0.0786, 1e-3);
+  EXPECT_NEAR(bpsk_ber(db_to_linear(9.6)), 1e-5, 3e-6);
+}
+
+TEST(DbConversions, RoundTrip) {
+  for (double db : {-20.0, -3.0, 0.0, 3.0, 10.0, 30.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-12);
+  }
+}
+
+TEST(Interp1, ExactAtKnots) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{5.0, 7.0, 3.0};
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 2.0), 3.0);
+}
+
+TEST(Interp1, LinearBetweenKnots) {
+  const std::vector<double> xs{0.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0};
+  EXPECT_NEAR(interp1(xs, ys, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(interp1(xs, ys, 1.5), 7.5, 1e-12);
+}
+
+TEST(Interp1, ClampsOutsideGrid) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{4.0, 8.0};
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 9.0), 8.0);
+}
+
+TEST(Interp1, RejectsMismatchedGrids) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{4.0};
+  EXPECT_THROW(interp1(xs, ys, 1.5), std::invalid_argument);
+  EXPECT_THROW(interp1({}, {}, 1.5), std::invalid_argument);
+}
+
+TEST(MultilinearInterpolator, ExactAtGridPoints2D) {
+  MultilinearInterpolator interp({{0.0, 1.0}, {0.0, 1.0}},
+                                 {1.0, 2.0, 3.0, 4.0});
+  // values row-major, last axis fastest: f(0,0)=1 f(0,1)=2 f(1,0)=3 f(1,1)=4
+  EXPECT_DOUBLE_EQ(interp(std::vector<double>{0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(interp(std::vector<double>{0.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(interp(std::vector<double>{1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(interp(std::vector<double>{1.0, 1.0}), 4.0);
+}
+
+TEST(MultilinearInterpolator, BilinearCenter) {
+  MultilinearInterpolator interp({{0.0, 1.0}, {0.0, 1.0}},
+                                 {1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(interp(std::vector<double>{0.5, 0.5}), 2.5, 1e-12);
+}
+
+TEST(MultilinearInterpolator, ReproducesLinearFunction3D) {
+  // f(x,y,z) = 2x + 3y - z + 1 is reproduced exactly by trilinear interp.
+  std::vector<std::vector<double>> axes{{0.0, 2.0}, {0.0, 1.0, 4.0}, {0.0, 3.0}};
+  std::vector<double> values;
+  for (double x : axes[0]) {
+    for (double y : axes[1]) {
+      for (double z : axes[2]) {
+        values.push_back(2 * x + 3 * y - z + 1);
+      }
+    }
+  }
+  MultilinearInterpolator interp(axes, values);
+  EXPECT_NEAR(interp(std::vector<double>{1.0, 2.0, 1.5}), 2 + 6 - 1.5 + 1, 1e-9);
+  EXPECT_NEAR(interp(std::vector<double>{0.5, 0.5, 0.5}), 1 + 1.5 - 0.5 + 1, 1e-9);
+}
+
+TEST(MultilinearInterpolator, ClampsOutsideDomain) {
+  MultilinearInterpolator interp({{0.0, 1.0}}, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(interp(std::vector<double>{-5.0}), 10.0);
+  EXPECT_DOUBLE_EQ(interp(std::vector<double>{99.0}), 20.0);
+}
+
+TEST(MultilinearInterpolator, SingletonAxis) {
+  MultilinearInterpolator interp({{2.0}, {0.0, 1.0}}, {3.0, 5.0});
+  EXPECT_NEAR(interp(std::vector<double>{2.0, 0.5}), 4.0, 1e-12);
+}
+
+TEST(MultilinearInterpolator, RejectsBadConstruction) {
+  EXPECT_THROW(MultilinearInterpolator({}, {}), std::invalid_argument);
+  EXPECT_THROW(MultilinearInterpolator({{1.0, 0.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(MultilinearInterpolator({{0.0, 1.0}}, {1.0}),
+               std::invalid_argument);
+  MultilinearInterpolator ok({{0.0, 1.0}}, {1.0, 2.0});
+  EXPECT_THROW(ok(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Ipow, SmallPowers) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(10, 8), 100000000u);
+  EXPECT_EQ(ipow(7, 3), 343u);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0, 1e-9));
+}
+
+}  // namespace
+}  // namespace metacore::util

@@ -1,0 +1,125 @@
+// Unit tests for the deterministic RNG substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace metacore::util {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, LongJumpChangesStream) {
+  Xoshiro256 a(7), b(7);
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, UniformMeanNearHalf) {
+  Random rng(5);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Random, UniformRangeRespectsBounds) {
+  Random rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Random, UniformIndexCoversDomainWithoutBias) {
+  Random rng(11);
+  constexpr std::uint64_t kBuckets = 7;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t idx = rng.uniform_index(kBuckets);
+    ASSERT_LT(idx, kBuckets);
+    ++counts[idx];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / static_cast<int>(kBuckets), 600);
+  }
+}
+
+TEST(Random, NormalMomentsMatchStandardGaussian) {
+  Random rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+}
+
+TEST(Random, ScaledNormalHasRequestedMoments) {
+  Random rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += (x - 5.0) * (x - 5.0);
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+  EXPECT_NEAR(sum2 / kN, 4.0, 0.1);
+}
+
+TEST(Random, BernoulliRateMatchesProbability) {
+  Random rng(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Random, BitIsFair) {
+  Random rng(23);
+  int ones = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bit()) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace metacore::util

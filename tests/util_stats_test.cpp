@@ -1,0 +1,126 @@
+// Unit tests for statistics accumulators and confidence intervals.
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace metacore::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - i;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+}
+
+TEST(ProportionEstimate, RateAndMerge) {
+  ProportionEstimate p;
+  for (int i = 0; i < 100; ++i) p.add(i < 25);
+  EXPECT_DOUBLE_EQ(p.rate(), 0.25);
+  ProportionEstimate q;
+  q.add(true);
+  p.merge(q);
+  EXPECT_EQ(p.trials, 101u);
+  EXPECT_EQ(p.successes, 26u);
+}
+
+TEST(ProportionEstimate, WilsonBracketsRate) {
+  ProportionEstimate p;
+  p.successes = 10;
+  p.trials = 1000;
+  const auto iv = p.wilson();
+  EXPECT_LT(iv.low, 0.01);
+  EXPECT_GT(iv.high, 0.01);
+  EXPECT_GT(iv.low, 0.0);
+  EXPECT_LT(iv.high, 0.03);
+}
+
+TEST(ProportionEstimate, WilsonHandlesZeroSuccesses) {
+  ProportionEstimate p;
+  p.successes = 0;
+  p.trials = 10000;
+  const auto iv = p.wilson();
+  EXPECT_DOUBLE_EQ(iv.low, 0.0);
+  EXPECT_GT(iv.high, 0.0);
+  EXPECT_LT(iv.high, 1e-3);
+}
+
+TEST(ProportionEstimate, WilsonNoTrials) {
+  ProportionEstimate p;
+  const auto iv = p.wilson();
+  EXPECT_DOUBLE_EQ(iv.low, 0.0);
+  EXPECT_DOUBLE_EQ(iv.high, 1.0);
+}
+
+TEST(ProportionEstimate, WilsonNarrowsWithEvidence) {
+  ProportionEstimate small, big;
+  small.successes = 5;
+  small.trials = 50;
+  big.successes = 500;
+  big.trials = 5000;
+  EXPECT_LT(big.wilson().high - big.wilson().low,
+            small.wilson().high - small.wilson().low);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 15.0);
+}
+
+TEST(Percentile, Rejections) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metacore::util

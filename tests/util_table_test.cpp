@@ -1,0 +1,54 @@
+// Unit tests for the table/CSV emitters used by the benchmark harnesses.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace metacore::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTable, RejectsBadRows) {
+  TextTable t({"only"});
+  EXPECT_THROW(t.add_row({"a", "b"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"c"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Formatters, Doubles) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_scientific(0.000123, 2), "1.23e-04");
+  EXPECT_EQ(format_percent(0.756, 1), "75.6%");
+}
+
+}  // namespace
+}  // namespace metacore::util

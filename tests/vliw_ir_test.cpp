@@ -1,0 +1,127 @@
+// Unit tests for the VLIW IR and block builder.
+#include <gtest/gtest.h>
+
+#include "vliw/ir.hpp"
+
+namespace metacore::vliw {
+namespace {
+
+TEST(FuClassMapping, OpcodesMapToExpectedUnits) {
+  EXPECT_EQ(fu_class(OpCode::Load), FuClass::Mem);
+  EXPECT_EQ(fu_class(OpCode::Store), FuClass::Mem);
+  EXPECT_EQ(fu_class(OpCode::Mul), FuClass::Mul);
+  EXPECT_EQ(fu_class(OpCode::Branch), FuClass::Branch);
+  EXPECT_EQ(fu_class(OpCode::Add), FuClass::Alu);
+  EXPECT_EQ(fu_class(OpCode::Compare), FuClass::Alu);
+  EXPECT_EQ(fu_class(OpCode::Select), FuClass::Alu);
+}
+
+TEST(Latencies, LoadsAndMulsAreMultiCycle) {
+  EXPECT_GT(default_latency(OpCode::Load), 1);
+  EXPECT_GT(default_latency(OpCode::Mul), 1);
+  EXPECT_EQ(default_latency(OpCode::Add), 1);
+}
+
+TEST(BlockBuilder, EmitsSsaRegisters) {
+  BlockBuilder b("test", 1.0);
+  const int x = b.live_in();
+  const int y = b.emit(OpCode::Add, {x});
+  const int z = b.emit(OpCode::Mul, {x, y});
+  EXPECT_NE(x, y);
+  EXPECT_NE(y, z);
+  const BasicBlock block = std::move(b).build();
+  EXPECT_EQ(block.ops.size(), 2u);
+  EXPECT_EQ(block.ops[1].srcs.size(), 2u);
+}
+
+TEST(BasicBlock, CountsByClass) {
+  BlockBuilder b("counts", 2.0);
+  const int p = b.live_in();
+  const int v = b.emit(OpCode::Load, {p});
+  const int w = b.emit(OpCode::Add, {v, v});
+  b.emit_void(OpCode::Store, {p, w});
+  b.emit_void(OpCode::Branch, {});
+  const BasicBlock block = std::move(b).build();
+  EXPECT_EQ(block.count(FuClass::Mem), 2);
+  EXPECT_EQ(block.count(FuClass::Alu), 1);
+  EXPECT_EQ(block.count(FuClass::Branch), 1);
+  EXPECT_EQ(block.count(FuClass::Mul), 0);
+}
+
+TEST(Kernel, StaticAndDynamicOpCounts) {
+  Kernel kernel;
+  {
+    BlockBuilder b("a", 1.0);
+    b.emit(OpCode::Add, {b.live_in()});
+    kernel.blocks.push_back(std::move(b).build());
+  }
+  {
+    BlockBuilder b("b", 10.0);
+    const int x = b.live_in();
+    b.emit(OpCode::Add, {x});
+    b.emit(OpCode::Sub, {x});
+    kernel.blocks.push_back(std::move(b).build());
+  }
+  EXPECT_EQ(kernel.static_ops(), 3);
+  EXPECT_DOUBLE_EQ(kernel.dynamic_ops(), 1.0 + 20.0);
+}
+
+TEST(Kernel, ValidateCatchesMalformedOps) {
+  Kernel kernel;
+  BasicBlock block;
+  block.name = "bad";
+  block.ops.push_back({OpCode::Add, -1, {0}, ""});  // value op, no dst
+  kernel.blocks.push_back(block);
+  EXPECT_THROW(kernel.validate(), std::invalid_argument);
+
+  kernel.blocks[0].ops[0] = {OpCode::Store, 3, {0}, ""};  // void op with dst
+  EXPECT_THROW(kernel.validate(), std::invalid_argument);
+
+  kernel.blocks[0].ops[0] = {OpCode::Add, 1, {-2}, ""};  // negative source
+  EXPECT_THROW(kernel.validate(), std::invalid_argument);
+
+  kernel.blocks[0].ops[0] = {OpCode::Add, 1, {0}, ""};
+  kernel.blocks[0].trip_count = -1.0;  // negative trip count
+  EXPECT_THROW(kernel.validate(), std::invalid_argument);
+
+  kernel.blocks[0].trip_count = 1.0;
+  EXPECT_NO_THROW(kernel.validate());
+}
+
+TEST(Kernel, NumVirtualRegs) {
+  Kernel kernel;
+  BlockBuilder b("r", 1.0);
+  const int x = b.live_in();
+  const int y = b.emit(OpCode::Add, {x});
+  (void)y;
+  kernel.blocks.push_back(std::move(b).build());
+  EXPECT_EQ(kernel.num_virtual_regs(), 2);
+}
+
+TEST(Kernel, ToStringListsBlocksAndOps) {
+  Kernel kernel;
+  kernel.name = "demo";
+  BlockBuilder b("body", 4.0);
+  const int x = b.live_in();
+  const int y = b.emit(OpCode::Add, {x}, "work");
+  b.emit_void(OpCode::Store, {x, y}, "work");
+  kernel.blocks.push_back(std::move(b).build());
+  kernel.blocks.back().recurrence_mii = 3;
+  const std::string text = kernel.to_string();
+  EXPECT_NE(text.find("kernel demo"), std::string::npos);
+  EXPECT_NE(text.find("block body"), std::string::npos);
+  EXPECT_NE(text.find("trips/unit 4.00"), std::string::npos);
+  EXPECT_NE(text.find("recurrence MII 3"), std::string::npos);
+  EXPECT_NE(text.find("r1 = add r0"), std::string::npos);
+  EXPECT_NE(text.find("; work"), std::string::npos);
+}
+
+TEST(OpCodeNames, AllDistinct) {
+  EXPECT_EQ(to_string(OpCode::Load), "load");
+  EXPECT_EQ(to_string(OpCode::Select), "select");
+  EXPECT_EQ(to_string(OpCode::Compare), "cmp");
+  EXPECT_EQ(to_string(OpCode::Branch), "branch");
+}
+
+}  // namespace
+}  // namespace metacore::vliw

@@ -1,0 +1,145 @@
+// Tests for the Viterbi kernel generator (the Trimaran-substitute input).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "vliw/viterbi_kernel.hpp"
+
+namespace metacore::vliw {
+namespace {
+
+using comm::DecoderKind;
+using comm::DecoderSpec;
+
+DecoderSpec spec_for(DecoderKind kind, int k) {
+  DecoderSpec spec;
+  spec.code = comm::best_rate_half_code(k);
+  spec.traceback_depth = 5 * k;
+  spec.kind = kind;
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = 4;
+  spec.normalization_terms = 2;
+  return spec;
+}
+
+const BasicBlock* find_block(const Kernel& kernel, const std::string& name) {
+  for (const auto& block : kernel.blocks) {
+    if (block.name == name) return &block;
+  }
+  return nullptr;
+}
+
+TEST(ViterbiKernel, HardDecoderHasNoMultiresBlocks) {
+  const Kernel kernel = build_viterbi_kernel(spec_for(DecoderKind::Hard, 5));
+  EXPECT_NE(find_block(kernel, "acs"), nullptr);
+  EXPECT_NE(find_block(kernel, "traceback"), nullptr);
+  EXPECT_EQ(find_block(kernel, "refine"), nullptr);
+  EXPECT_EQ(find_block(kernel, "correction"), nullptr);
+  for (const auto& op : find_block(kernel, "acs")->ops) {
+    EXPECT_NE(op.tag, "select");
+  }
+}
+
+TEST(ViterbiKernel, MultiresDecoderHasRefinementBlocks) {
+  const Kernel kernel =
+      build_viterbi_kernel(spec_for(DecoderKind::Multires, 5));
+  EXPECT_NE(find_block(kernel, "refine"), nullptr);
+  EXPECT_NE(find_block(kernel, "correction"), nullptr);
+  // Best-M selection is fused into the ACS sweep.
+  int select_ops = 0;
+  for (const auto& op : find_block(kernel, "acs")->ops) {
+    select_ops += op.tag == "select" ? 1 : 0;
+  }
+  EXPECT_GE(select_ops, 2);
+}
+
+TEST(ViterbiKernel, AcsTripCountEqualsStates) {
+  for (int k : {3, 5, 7, 9}) {
+    const Kernel kernel = build_viterbi_kernel(spec_for(DecoderKind::Soft, k));
+    const BasicBlock* acs = find_block(kernel, "acs");
+    ASSERT_NE(acs, nullptr);
+    EXPECT_DOUBLE_EQ(acs->trip_count, static_cast<double>(1 << (k - 1)));
+  }
+}
+
+TEST(ViterbiKernel, RefineTripCountEqualsM) {
+  DecoderSpec spec = spec_for(DecoderKind::Multires, 7);
+  spec.num_high_res_paths = 12;
+  const Kernel kernel = build_viterbi_kernel(spec);
+  const BasicBlock* refine = find_block(kernel, "refine");
+  ASSERT_NE(refine, nullptr);
+  EXPECT_DOUBLE_EQ(refine->trip_count, 12.0);
+}
+
+TEST(ViterbiKernel, TracebackIsAmortizedAndSerial) {
+  const DecoderSpec spec = spec_for(DecoderKind::Hard, 5);
+  const Kernel kernel = build_viterbi_kernel(spec);
+  const BasicBlock* tb = find_block(kernel, "traceback");
+  ASSERT_NE(tb, nullptr);
+  // (L + 2K) / 2K survivor hops per decoded bit.
+  EXPECT_NEAR(tb->trip_count, (25.0 + 10.0) / 10.0, 1e-12);
+  EXPECT_GT(tb->recurrence_mii, 1);
+}
+
+TEST(ViterbiKernel, SoftQuantizationCostsMoreOpsThanHard) {
+  const Kernel hard = build_viterbi_kernel(spec_for(DecoderKind::Hard, 5));
+  const Kernel soft = build_viterbi_kernel(spec_for(DecoderKind::Soft, 5));
+  EXPECT_GT(soft.dynamic_ops(), hard.dynamic_ops());
+}
+
+TEST(ViterbiKernel, MultiresCostsMoreOpsThanSoftSameK) {
+  // Multires adds selection + refinement work on top of the trellis update.
+  const Kernel soft = build_viterbi_kernel(spec_for(DecoderKind::Soft, 5));
+  const Kernel multires =
+      build_viterbi_kernel(spec_for(DecoderKind::Multires, 5));
+  EXPECT_GT(multires.dynamic_ops(), soft.dynamic_ops());
+}
+
+TEST(ViterbiKernel, KernelsValidate) {
+  for (auto kind :
+       {DecoderKind::Hard, DecoderKind::Soft, DecoderKind::Multires}) {
+    for (int k : {3, 6, 9}) {
+      EXPECT_NO_THROW(build_viterbi_kernel(spec_for(kind, k)).validate());
+    }
+  }
+}
+
+TEST(DatapathBits, GrowsWithResolutionAndDepth) {
+  DecoderSpec narrow = spec_for(DecoderKind::Soft, 5);
+  narrow.high_res_bits = 2;
+  DecoderSpec wide = narrow;
+  wide.high_res_bits = 5;
+  EXPECT_LT(required_datapath_bits(narrow), required_datapath_bits(wide));
+
+  DecoderSpec shallow = spec_for(DecoderKind::Hard, 5);
+  shallow.traceback_depth = 10;
+  DecoderSpec deep = shallow;
+  deep.traceback_depth = 63 * 4;
+  EXPECT_LE(required_datapath_bits(shallow), required_datapath_bits(deep));
+}
+
+TEST(DatapathBits, MultiresNarrowerThanSoftAtSameR2) {
+  // The core hardware claim of Section 3.3: the bulk ACS datapath of the
+  // multiresolution decoder is sized by R1, not R2.
+  DecoderSpec soft = spec_for(DecoderKind::Soft, 7);
+  soft.high_res_bits = 4;
+  DecoderSpec multires = spec_for(DecoderKind::Multires, 7);
+  multires.low_res_bits = 1;
+  multires.high_res_bits = 4;
+  EXPECT_LT(required_datapath_bits(multires), required_datapath_bits(soft));
+}
+
+TEST(DatapathBits, WithinPhysicalRange) {
+  for (auto kind :
+       {DecoderKind::Hard, DecoderKind::Soft, DecoderKind::Multires}) {
+    for (int k : {3, 9}) {
+      const int bits = required_datapath_bits(spec_for(kind, k));
+      EXPECT_GE(bits, 8);
+      EXPECT_LE(bits, 32);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metacore::vliw

@@ -1,0 +1,63 @@
+// Tests for the VLIW machine description and configuration family.
+#include <gtest/gtest.h>
+
+#include "vliw/machine.hpp"
+
+namespace metacore::vliw {
+namespace {
+
+TEST(MachineConfig, SlotsPerClass) {
+  MachineConfig cfg;
+  cfg.num_alus = 4;
+  cfg.num_multipliers = 2;
+  cfg.num_memory_ports = 3;
+  cfg.num_branch_units = 1;
+  EXPECT_EQ(cfg.slots(FuClass::Alu), 4);
+  EXPECT_EQ(cfg.slots(FuClass::Mul), 2);
+  EXPECT_EQ(cfg.slots(FuClass::Mem), 3);
+  EXPECT_EQ(cfg.slots(FuClass::Branch), 1);
+  EXPECT_EQ(cfg.issue_width(), 10);
+}
+
+TEST(MachineConfig, LabelEncodesShape) {
+  MachineConfig cfg;
+  cfg.num_alus = 2;
+  cfg.num_multipliers = 1;
+  cfg.num_memory_ports = 1;
+  cfg.num_branch_units = 1;
+  cfg.register_file_size = 32;
+  cfg.datapath_bits = 16;
+  EXPECT_EQ(cfg.label(), "2A1M1P1B/r32/w16");
+}
+
+TEST(MachineConfig, Validation) {
+  MachineConfig cfg;
+  cfg.num_alus = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.register_file_size = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.datapath_bits = 128;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(MachineConfig{}.validate());
+}
+
+TEST(StandardConfigFamily, OrderedSmallToWide) {
+  const auto family = standard_config_family(16);
+  ASSERT_GE(family.size(), 4u);
+  for (std::size_t i = 1; i < family.size(); ++i) {
+    EXPECT_GE(family[i].issue_width(), family[i - 1].issue_width());
+  }
+  for (const auto& cfg : family) {
+    EXPECT_EQ(cfg.datapath_bits, 16);
+    EXPECT_NO_THROW(cfg.validate());
+  }
+  // The family must include a multiplier-less minimal core (hard-decision
+  // decoders need no multiplier) and a multi-ported wide engine.
+  EXPECT_EQ(family.front().num_multipliers, 0);
+  EXPECT_GE(family.back().num_memory_ports, 2);
+}
+
+}  // namespace
+}  // namespace metacore::vliw

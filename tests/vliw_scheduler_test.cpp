@@ -1,0 +1,147 @@
+// Tests for dependence analysis and list scheduling.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "vliw/scheduler.hpp"
+
+namespace metacore::vliw {
+namespace {
+
+MachineConfig single_issue() {
+  MachineConfig m;
+  m.num_alus = 1;
+  m.num_multipliers = 1;
+  m.num_memory_ports = 1;
+  m.num_branch_units = 1;
+  m.register_file_size = 32;
+  m.datapath_bits = 32;
+  return m;
+}
+
+MachineConfig wide() {
+  MachineConfig m = single_issue();
+  m.num_alus = 8;
+  m.num_memory_ports = 4;
+  m.num_multipliers = 2;
+  return m;
+}
+
+TEST(ScheduleBlock, EmptyBlockIsZeroCycles) {
+  BasicBlock block;
+  block.name = "empty";
+  EXPECT_EQ(schedule_block(block, single_issue()).cycles, 0);
+}
+
+TEST(ScheduleBlock, SerialChainTakesSumOfLatencies) {
+  BlockBuilder b("chain", 1.0);
+  int v = b.live_in();
+  for (int i = 0; i < 5; ++i) v = b.emit(OpCode::Add, {v});
+  const BlockSchedule s = schedule_block(std::move(b).build(), wide());
+  EXPECT_EQ(s.cycles, 5);  // no ILP to exploit
+}
+
+TEST(ScheduleBlock, IndependentOpsRunInParallelOnWideMachine) {
+  BlockBuilder b("par", 1.0);
+  const int x = b.live_in();
+  for (int i = 0; i < 8; ++i) b.emit(OpCode::Add, {x});
+  const BasicBlock block = std::move(b).build();
+  EXPECT_EQ(schedule_block(block, wide()).cycles, 1);
+  EXPECT_EQ(schedule_block(block, single_issue()).cycles, 8);
+}
+
+TEST(ScheduleBlock, RespectsProducerLatency) {
+  BlockBuilder b("lat", 1.0);
+  const int p = b.live_in();
+  const int v = b.emit(OpCode::Load, {p});   // latency 2
+  const int w = b.emit(OpCode::Add, {v});    // must wait 2 cycles
+  (void)w;
+  const BlockSchedule s = schedule_block(std::move(b).build(), wide());
+  EXPECT_EQ(s.issue_cycle[0], 0);
+  EXPECT_GE(s.issue_cycle[1], default_latency(OpCode::Load));
+}
+
+TEST(ScheduleBlock, StoresSerializeWithLoadsAfterThem) {
+  BlockBuilder b("mem", 1.0);
+  const int p = b.live_in();
+  const int v = b.emit(OpCode::Load, {p});
+  b.emit_void(OpCode::Store, {p, v});
+  const int w = b.emit(OpCode::Load, {p});  // must follow the store
+  (void)w;
+  const BlockSchedule s = schedule_block(std::move(b).build(), wide());
+  EXPECT_GT(s.issue_cycle[2], s.issue_cycle[1]);
+}
+
+TEST(ScheduleBlock, ResourceBoundRespectedEachCycle) {
+  BlockBuilder b("res", 1.0);
+  const int x = b.live_in();
+  for (int i = 0; i < 6; ++i) b.emit(OpCode::Mul, {x});
+  const BasicBlock block = std::move(b).build();
+  MachineConfig m = single_issue();
+  m.num_multipliers = 2;
+  const BlockSchedule s = schedule_block(block, m);
+  // 6 muls over 2 units: at least 3 issue cycles.
+  std::map<int, int> per_cycle;
+  for (int c : s.issue_cycle) ++per_cycle[c];
+  for (const auto& [cycle, count] : per_cycle) {
+    EXPECT_LE(count, 2) << "cycle " << cycle;
+  }
+  EXPECT_GE(s.cycles, 3 + default_latency(OpCode::Mul) - 1);
+}
+
+TEST(ScheduleBlock, ThrowsWhenMachineLacksUnit) {
+  BlockBuilder b("nomul", 1.0);
+  b.emit(OpCode::Mul, {b.live_in()});
+  MachineConfig m = single_issue();
+  m.num_multipliers = 0;
+  EXPECT_THROW(schedule_block(std::move(b).build(), m), std::invalid_argument);
+}
+
+TEST(ScheduleBlock, RegisterPressureOfParallelValues) {
+  // 6 values produced immediately and all consumed at the end stay live
+  // together.
+  BlockBuilder b("press", 1.0);
+  const int x = b.live_in();
+  std::vector<int> vs;
+  for (int i = 0; i < 6; ++i) vs.push_back(b.emit(OpCode::Add, {x}));
+  int acc = vs[0];
+  for (int i = 1; i < 6; ++i) acc = b.emit(OpCode::Add, {acc, vs[i]});
+  const BlockSchedule s = schedule_block(std::move(b).build(), wide());
+  EXPECT_GE(s.max_live_values, 6);
+}
+
+TEST(ResourceBound, ComputesPerClassCeiling) {
+  BlockBuilder b("rb", 1.0);
+  const int x = b.live_in();
+  for (int i = 0; i < 7; ++i) b.emit(OpCode::Add, {x});
+  for (int i = 0; i < 3; ++i) b.emit(OpCode::Load, {x});
+  const BasicBlock block = std::move(b).build();
+  MachineConfig m = single_issue();
+  m.num_alus = 2;
+  m.num_memory_ports = 2;
+  EXPECT_EQ(resource_bound(block, m), 4);  // ceil(7/2)
+}
+
+TEST(ScheduleBlock, MoreResourcesNeverSlower) {
+  // Property: widening the machine cannot increase the schedule length.
+  BlockBuilder b("prop", 1.0);
+  const int x = b.live_in();
+  std::vector<int> layer;
+  for (int i = 0; i < 6; ++i) layer.push_back(b.emit(OpCode::Load, {x}));
+  std::vector<int> sums;
+  for (int i = 0; i < 6; i += 2) {
+    sums.push_back(b.emit(OpCode::Add, {layer[i], layer[i + 1]}));
+  }
+  int acc = sums[0];
+  for (std::size_t i = 1; i < sums.size(); ++i) {
+    acc = b.emit(OpCode::Mul, {acc, sums[i]});
+  }
+  b.emit_void(OpCode::Store, {x, acc});
+  const BasicBlock block = std::move(b).build();
+  const int narrow_cycles = schedule_block(block, single_issue()).cycles;
+  const int wide_cycles = schedule_block(block, wide()).cycles;
+  EXPECT_LE(wide_cycles, narrow_cycles);
+}
+
+}  // namespace
+}  // namespace metacore::vliw

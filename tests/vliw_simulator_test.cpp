@@ -1,0 +1,113 @@
+// Tests for the kernel profiler (software-pipelined loop model, spills).
+#include <gtest/gtest.h>
+
+#include "vliw/simulator.hpp"
+
+namespace metacore::vliw {
+namespace {
+
+MachineConfig machine(int alus, int mem, int regs) {
+  MachineConfig m;
+  m.num_alus = alus;
+  m.num_multipliers = 1;
+  m.num_memory_ports = mem;
+  m.num_branch_units = 1;
+  m.register_file_size = regs;
+  m.datapath_bits = 32;
+  return m;
+}
+
+Kernel loop_kernel(double trips, int alu_ops, int recurrence = 1) {
+  Kernel kernel;
+  BlockBuilder b("loop", trips);
+  const int x = b.live_in();
+  for (int i = 0; i < alu_ops; ++i) b.emit(OpCode::Add, {x});
+  kernel.blocks.push_back(std::move(b).build());
+  kernel.blocks.back().recurrence_mii = recurrence;
+  return kernel;
+}
+
+TEST(ProfileKernel, SteadyStateUsesInitiationInterval) {
+  // 8 independent adds per iteration, 100 iterations: on a 2-ALU machine the
+  // II is 4, so total ~= makespan + 99*4.
+  const Kernel kernel = loop_kernel(100.0, 8);
+  const ExecutionProfile p = profile_kernel(kernel, machine(2, 1, 32));
+  ASSERT_EQ(p.blocks.size(), 1u);
+  EXPECT_EQ(p.blocks[0].initiation_interval, 4);
+  EXPECT_NEAR(p.cycles_per_unit, p.blocks[0].makespan + 99.0 * 4.0, 1e-9);
+}
+
+TEST(ProfileKernel, WiderMachineShrinksLoopCycles) {
+  const Kernel kernel = loop_kernel(64.0, 8);
+  const double narrow = profile_kernel(kernel, machine(1, 1, 32)).cycles_per_unit;
+  const double wide = profile_kernel(kernel, machine(8, 2, 32)).cycles_per_unit;
+  EXPECT_LT(wide, narrow / 3.0);
+}
+
+TEST(ProfileKernel, RecurrenceBoundsInitiationInterval) {
+  const Kernel serial = loop_kernel(50.0, 2, /*recurrence=*/5);
+  const ExecutionProfile p = profile_kernel(serial, machine(8, 2, 32));
+  EXPECT_EQ(p.blocks[0].initiation_interval, 5);
+  EXPECT_GE(p.cycles_per_unit, 49.0 * 5.0);
+}
+
+TEST(ProfileKernel, SingleTripBlockPaysMakespanOnly) {
+  const Kernel kernel = loop_kernel(1.0, 4);
+  const ExecutionProfile p = profile_kernel(kernel, machine(1, 1, 32));
+  EXPECT_EQ(p.blocks[0].total_cycles, p.blocks[0].makespan);
+}
+
+TEST(ProfileKernel, FractionalTripCountsScale) {
+  Kernel kernel = loop_kernel(0.5, 4);
+  const ExecutionProfile p = profile_kernel(kernel, machine(1, 1, 32));
+  EXPECT_NEAR(p.blocks[0].total_cycles, 0.5 * p.blocks[0].makespan, 1e-9);
+}
+
+TEST(ProfileKernel, SpillsAppearWhenRegisterFileTooSmall) {
+  // Many simultaneously-live values on a tiny register file must spill.
+  Kernel kernel;
+  BlockBuilder b("fat", 1.0);
+  const int x = b.live_in();
+  std::vector<int> vs;
+  for (int i = 0; i < 24; ++i) vs.push_back(b.emit(OpCode::Add, {x}));
+  int acc = vs[0];
+  for (std::size_t i = 1; i < vs.size(); ++i) {
+    acc = b.emit(OpCode::Add, {acc, vs[i]});
+  }
+  b.emit_void(OpCode::Store, {x, acc});
+  kernel.blocks.push_back(std::move(b).build());
+
+  const ExecutionProfile small = profile_kernel(kernel, machine(8, 1, 8));
+  const ExecutionProfile big = profile_kernel(kernel, machine(8, 1, 64));
+  EXPECT_GT(small.spill_ops_per_unit, 0.0);
+  EXPECT_DOUBLE_EQ(big.spill_ops_per_unit, 0.0);
+  EXPECT_GT(small.cycles_per_unit, big.cycles_per_unit);
+}
+
+TEST(ProfileKernel, OpCountsAggregateAcrossBlocks) {
+  Kernel kernel;
+  {
+    BlockBuilder b("a", 2.0);
+    const int x = b.live_in();
+    b.emit(OpCode::Load, {x});
+    b.emit(OpCode::Add, {x});
+    kernel.blocks.push_back(std::move(b).build());
+  }
+  {
+    BlockBuilder b("b", 3.0);
+    const int x = b.live_in();
+    b.emit(OpCode::Mul, {x, x});
+    b.emit_void(OpCode::Branch, {});
+    kernel.blocks.push_back(std::move(b).build());
+  }
+  const ExecutionProfile p = profile_kernel(kernel, machine(2, 1, 32));
+  EXPECT_DOUBLE_EQ(p.mem_ops_per_unit, 2.0);
+  EXPECT_DOUBLE_EQ(p.alu_ops_per_unit, 2.0);
+  EXPECT_DOUBLE_EQ(p.mul_ops_per_unit, 3.0);
+  EXPECT_DOUBLE_EQ(p.branch_ops_per_unit, 3.0);
+  EXPECT_DOUBLE_EQ(p.ops_per_unit, 4.0 + 6.0);
+  EXPECT_GT(p.ipc(), 0.0);
+}
+
+}  // namespace
+}  // namespace metacore::vliw
