@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iir_structures.dir/ablation_iir_structures.cpp.o"
+  "CMakeFiles/ablation_iir_structures.dir/ablation_iir_structures.cpp.o.d"
+  "ablation_iir_structures"
+  "ablation_iir_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iir_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

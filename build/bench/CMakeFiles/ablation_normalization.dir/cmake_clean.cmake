@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_normalization.dir/ablation_normalization.cpp.o"
+  "CMakeFiles/ablation_normalization.dir/ablation_normalization.cpp.o.d"
+  "ablation_normalization"
+  "ablation_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

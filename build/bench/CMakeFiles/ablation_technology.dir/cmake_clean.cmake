@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_technology.dir/ablation_technology.cpp.o"
+  "CMakeFiles/ablation_technology.dir/ablation_technology.cpp.o.d"
+  "ablation_technology"
+  "ablation_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

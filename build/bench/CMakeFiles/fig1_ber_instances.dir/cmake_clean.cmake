@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ber_instances.dir/fig1_ber_instances.cpp.o"
+  "CMakeFiles/fig1_ber_instances.dir/fig1_ber_instances.cpp.o.d"
+  "fig1_ber_instances"
+  "fig1_ber_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ber_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig234_preliminaries.dir/fig234_preliminaries.cpp.o"
+  "CMakeFiles/fig234_preliminaries.dir/fig234_preliminaries.cpp.o.d"
+  "fig234_preliminaries"
+  "fig234_preliminaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig234_preliminaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

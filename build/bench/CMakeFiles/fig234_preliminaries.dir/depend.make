@@ -1,0 +1,2 @@
+# Empty dependencies file for fig234_preliminaries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_multires_ber.dir/fig8_multires_ber.cpp.o"
+  "CMakeFiles/fig8_multires_ber.dir/fig8_multires_ber.cpp.o.d"
+  "fig8_multires_ber"
+  "fig8_multires_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_multires_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_decoder.dir/microbench_decoder.cpp.o"
+  "CMakeFiles/microbench_decoder.dir/microbench_decoder.cpp.o.d"
+  "microbench_decoder"
+  "microbench_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_engines.dir/microbench_engines.cpp.o"
+  "CMakeFiles/microbench_engines.dir/microbench_engines.cpp.o.d"
+  "microbench_engines"
+  "microbench_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_viterbi_search.dir/table3_viterbi_search.cpp.o"
+  "CMakeFiles/table3_viterbi_search.dir/table3_viterbi_search.cpp.o.d"
+  "table3_viterbi_search"
+  "table3_viterbi_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_viterbi_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_iir_search.dir/table4_iir_search.cpp.o"
+  "CMakeFiles/table4_iir_search.dir/table4_iir_search.cpp.o.d"
+  "table4_iir_search"
+  "table4_iir_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_iir_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_interleaving_demo.dir/burst_interleaving_demo.cpp.o"
+  "CMakeFiles/burst_interleaving_demo.dir/burst_interleaving_demo.cpp.o.d"
+  "burst_interleaving_demo"
+  "burst_interleaving_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_interleaving_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iir_designer.dir/iir_designer.cpp.o"
+  "CMakeFiles/iir_designer.dir/iir_designer.cpp.o.d"
+  "iir_designer"
+  "iir_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iir_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

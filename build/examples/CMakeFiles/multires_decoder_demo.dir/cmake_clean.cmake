@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multires_decoder_demo.dir/multires_decoder_demo.cpp.o"
+  "CMakeFiles/multires_decoder_demo.dir/multires_decoder_demo.cpp.o.d"
+  "multires_decoder_demo"
+  "multires_decoder_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multires_decoder_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

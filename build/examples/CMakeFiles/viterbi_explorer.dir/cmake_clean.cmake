@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viterbi_explorer.dir/viterbi_explorer.cpp.o"
+  "CMakeFiles/viterbi_explorer.dir/viterbi_explorer.cpp.o.d"
+  "viterbi_explorer"
+  "viterbi_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viterbi_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

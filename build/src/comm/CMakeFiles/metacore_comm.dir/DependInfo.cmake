@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/ber.cpp" "src/comm/CMakeFiles/metacore_comm.dir/ber.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/ber.cpp.o.d"
+  "/root/repo/src/comm/burst_channel.cpp" "src/comm/CMakeFiles/metacore_comm.dir/burst_channel.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/burst_channel.cpp.o.d"
+  "/root/repo/src/comm/channel.cpp" "src/comm/CMakeFiles/metacore_comm.dir/channel.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/channel.cpp.o.d"
+  "/root/repo/src/comm/convolutional.cpp" "src/comm/CMakeFiles/metacore_comm.dir/convolutional.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/convolutional.cpp.o.d"
+  "/root/repo/src/comm/interleaver.cpp" "src/comm/CMakeFiles/metacore_comm.dir/interleaver.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/interleaver.cpp.o.d"
+  "/root/repo/src/comm/multires_viterbi.cpp" "src/comm/CMakeFiles/metacore_comm.dir/multires_viterbi.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/multires_viterbi.cpp.o.d"
+  "/root/repo/src/comm/puncture.cpp" "src/comm/CMakeFiles/metacore_comm.dir/puncture.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/puncture.cpp.o.d"
+  "/root/repo/src/comm/quantizer.cpp" "src/comm/CMakeFiles/metacore_comm.dir/quantizer.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/quantizer.cpp.o.d"
+  "/root/repo/src/comm/sequential.cpp" "src/comm/CMakeFiles/metacore_comm.dir/sequential.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/sequential.cpp.o.d"
+  "/root/repo/src/comm/trellis.cpp" "src/comm/CMakeFiles/metacore_comm.dir/trellis.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/trellis.cpp.o.d"
+  "/root/repo/src/comm/viterbi.cpp" "src/comm/CMakeFiles/metacore_comm.dir/viterbi.cpp.o" "gcc" "src/comm/CMakeFiles/metacore_comm.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/metacore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacore_comm.dir/ber.cpp.o"
+  "CMakeFiles/metacore_comm.dir/ber.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/burst_channel.cpp.o"
+  "CMakeFiles/metacore_comm.dir/burst_channel.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/channel.cpp.o"
+  "CMakeFiles/metacore_comm.dir/channel.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/convolutional.cpp.o"
+  "CMakeFiles/metacore_comm.dir/convolutional.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/interleaver.cpp.o"
+  "CMakeFiles/metacore_comm.dir/interleaver.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/multires_viterbi.cpp.o"
+  "CMakeFiles/metacore_comm.dir/multires_viterbi.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/puncture.cpp.o"
+  "CMakeFiles/metacore_comm.dir/puncture.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/quantizer.cpp.o"
+  "CMakeFiles/metacore_comm.dir/quantizer.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/sequential.cpp.o"
+  "CMakeFiles/metacore_comm.dir/sequential.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/trellis.cpp.o"
+  "CMakeFiles/metacore_comm.dir/trellis.cpp.o.d"
+  "CMakeFiles/metacore_comm.dir/viterbi.cpp.o"
+  "CMakeFiles/metacore_comm.dir/viterbi.cpp.o.d"
+  "libmetacore_comm.a"
+  "libmetacore_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacore_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmetacore_comm.a"
+)

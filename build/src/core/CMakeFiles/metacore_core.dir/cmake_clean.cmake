@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacore_core.dir/iir_metacore.cpp.o"
+  "CMakeFiles/metacore_core.dir/iir_metacore.cpp.o.d"
+  "CMakeFiles/metacore_core.dir/report.cpp.o"
+  "CMakeFiles/metacore_core.dir/report.cpp.o.d"
+  "CMakeFiles/metacore_core.dir/viterbi_metacore.cpp.o"
+  "CMakeFiles/metacore_core.dir/viterbi_metacore.cpp.o.d"
+  "libmetacore_core.a"
+  "libmetacore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacore_cost.dir/area_model.cpp.o"
+  "CMakeFiles/metacore_cost.dir/area_model.cpp.o.d"
+  "CMakeFiles/metacore_cost.dir/viterbi_cost.cpp.o"
+  "CMakeFiles/metacore_cost.dir/viterbi_cost.cpp.o.d"
+  "libmetacore_cost.a"
+  "libmetacore_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacore_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/bit_accurate.cpp" "src/dsp/CMakeFiles/metacore_dsp.dir/bit_accurate.cpp.o" "gcc" "src/dsp/CMakeFiles/metacore_dsp.dir/bit_accurate.cpp.o.d"
+  "/root/repo/src/dsp/design.cpp" "src/dsp/CMakeFiles/metacore_dsp.dir/design.cpp.o" "gcc" "src/dsp/CMakeFiles/metacore_dsp.dir/design.cpp.o.d"
+  "/root/repo/src/dsp/elliptic.cpp" "src/dsp/CMakeFiles/metacore_dsp.dir/elliptic.cpp.o" "gcc" "src/dsp/CMakeFiles/metacore_dsp.dir/elliptic.cpp.o.d"
+  "/root/repo/src/dsp/polynomial.cpp" "src/dsp/CMakeFiles/metacore_dsp.dir/polynomial.cpp.o" "gcc" "src/dsp/CMakeFiles/metacore_dsp.dir/polynomial.cpp.o.d"
+  "/root/repo/src/dsp/prototypes.cpp" "src/dsp/CMakeFiles/metacore_dsp.dir/prototypes.cpp.o" "gcc" "src/dsp/CMakeFiles/metacore_dsp.dir/prototypes.cpp.o.d"
+  "/root/repo/src/dsp/signal.cpp" "src/dsp/CMakeFiles/metacore_dsp.dir/signal.cpp.o" "gcc" "src/dsp/CMakeFiles/metacore_dsp.dir/signal.cpp.o.d"
+  "/root/repo/src/dsp/structures.cpp" "src/dsp/CMakeFiles/metacore_dsp.dir/structures.cpp.o" "gcc" "src/dsp/CMakeFiles/metacore_dsp.dir/structures.cpp.o.d"
+  "/root/repo/src/dsp/transfer_function.cpp" "src/dsp/CMakeFiles/metacore_dsp.dir/transfer_function.cpp.o" "gcc" "src/dsp/CMakeFiles/metacore_dsp.dir/transfer_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/metacore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacore_dsp.dir/bit_accurate.cpp.o"
+  "CMakeFiles/metacore_dsp.dir/bit_accurate.cpp.o.d"
+  "CMakeFiles/metacore_dsp.dir/design.cpp.o"
+  "CMakeFiles/metacore_dsp.dir/design.cpp.o.d"
+  "CMakeFiles/metacore_dsp.dir/elliptic.cpp.o"
+  "CMakeFiles/metacore_dsp.dir/elliptic.cpp.o.d"
+  "CMakeFiles/metacore_dsp.dir/polynomial.cpp.o"
+  "CMakeFiles/metacore_dsp.dir/polynomial.cpp.o.d"
+  "CMakeFiles/metacore_dsp.dir/prototypes.cpp.o"
+  "CMakeFiles/metacore_dsp.dir/prototypes.cpp.o.d"
+  "CMakeFiles/metacore_dsp.dir/signal.cpp.o"
+  "CMakeFiles/metacore_dsp.dir/signal.cpp.o.d"
+  "CMakeFiles/metacore_dsp.dir/structures.cpp.o"
+  "CMakeFiles/metacore_dsp.dir/structures.cpp.o.d"
+  "CMakeFiles/metacore_dsp.dir/transfer_function.cpp.o"
+  "CMakeFiles/metacore_dsp.dir/transfer_function.cpp.o.d"
+  "libmetacore_dsp.a"
+  "libmetacore_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacore_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/baselines.cpp" "src/search/CMakeFiles/metacore_search.dir/baselines.cpp.o" "gcc" "src/search/CMakeFiles/metacore_search.dir/baselines.cpp.o.d"
+  "/root/repo/src/search/multires_search.cpp" "src/search/CMakeFiles/metacore_search.dir/multires_search.cpp.o" "gcc" "src/search/CMakeFiles/metacore_search.dir/multires_search.cpp.o.d"
+  "/root/repo/src/search/objective.cpp" "src/search/CMakeFiles/metacore_search.dir/objective.cpp.o" "gcc" "src/search/CMakeFiles/metacore_search.dir/objective.cpp.o.d"
+  "/root/repo/src/search/parameter.cpp" "src/search/CMakeFiles/metacore_search.dir/parameter.cpp.o" "gcc" "src/search/CMakeFiles/metacore_search.dir/parameter.cpp.o.d"
+  "/root/repo/src/search/pareto.cpp" "src/search/CMakeFiles/metacore_search.dir/pareto.cpp.o" "gcc" "src/search/CMakeFiles/metacore_search.dir/pareto.cpp.o.d"
+  "/root/repo/src/search/predictor.cpp" "src/search/CMakeFiles/metacore_search.dir/predictor.cpp.o" "gcc" "src/search/CMakeFiles/metacore_search.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/metacore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

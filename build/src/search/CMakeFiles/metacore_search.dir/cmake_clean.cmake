@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacore_search.dir/baselines.cpp.o"
+  "CMakeFiles/metacore_search.dir/baselines.cpp.o.d"
+  "CMakeFiles/metacore_search.dir/multires_search.cpp.o"
+  "CMakeFiles/metacore_search.dir/multires_search.cpp.o.d"
+  "CMakeFiles/metacore_search.dir/objective.cpp.o"
+  "CMakeFiles/metacore_search.dir/objective.cpp.o.d"
+  "CMakeFiles/metacore_search.dir/parameter.cpp.o"
+  "CMakeFiles/metacore_search.dir/parameter.cpp.o.d"
+  "CMakeFiles/metacore_search.dir/pareto.cpp.o"
+  "CMakeFiles/metacore_search.dir/pareto.cpp.o.d"
+  "CMakeFiles/metacore_search.dir/predictor.cpp.o"
+  "CMakeFiles/metacore_search.dir/predictor.cpp.o.d"
+  "libmetacore_search.a"
+  "libmetacore_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacore_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

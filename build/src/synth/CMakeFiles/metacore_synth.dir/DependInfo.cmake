@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/area.cpp" "src/synth/CMakeFiles/metacore_synth.dir/area.cpp.o" "gcc" "src/synth/CMakeFiles/metacore_synth.dir/area.cpp.o.d"
+  "/root/repo/src/synth/dfg.cpp" "src/synth/CMakeFiles/metacore_synth.dir/dfg.cpp.o" "gcc" "src/synth/CMakeFiles/metacore_synth.dir/dfg.cpp.o.d"
+  "/root/repo/src/synth/schedule.cpp" "src/synth/CMakeFiles/metacore_synth.dir/schedule.cpp.o" "gcc" "src/synth/CMakeFiles/metacore_synth.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/metacore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/metacore_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/metacore_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/metacore_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/metacore_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

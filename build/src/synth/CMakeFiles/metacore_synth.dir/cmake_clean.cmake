@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacore_synth.dir/area.cpp.o"
+  "CMakeFiles/metacore_synth.dir/area.cpp.o.d"
+  "CMakeFiles/metacore_synth.dir/dfg.cpp.o"
+  "CMakeFiles/metacore_synth.dir/dfg.cpp.o.d"
+  "CMakeFiles/metacore_synth.dir/schedule.cpp.o"
+  "CMakeFiles/metacore_synth.dir/schedule.cpp.o.d"
+  "libmetacore_synth.a"
+  "libmetacore_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacore_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacore_util.dir/fixed.cpp.o"
+  "CMakeFiles/metacore_util.dir/fixed.cpp.o.d"
+  "CMakeFiles/metacore_util.dir/math.cpp.o"
+  "CMakeFiles/metacore_util.dir/math.cpp.o.d"
+  "CMakeFiles/metacore_util.dir/rng.cpp.o"
+  "CMakeFiles/metacore_util.dir/rng.cpp.o.d"
+  "CMakeFiles/metacore_util.dir/stats.cpp.o"
+  "CMakeFiles/metacore_util.dir/stats.cpp.o.d"
+  "CMakeFiles/metacore_util.dir/table.cpp.o"
+  "CMakeFiles/metacore_util.dir/table.cpp.o.d"
+  "libmetacore_util.a"
+  "libmetacore_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacore_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

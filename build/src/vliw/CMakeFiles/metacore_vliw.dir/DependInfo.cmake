@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vliw/ir.cpp" "src/vliw/CMakeFiles/metacore_vliw.dir/ir.cpp.o" "gcc" "src/vliw/CMakeFiles/metacore_vliw.dir/ir.cpp.o.d"
+  "/root/repo/src/vliw/machine.cpp" "src/vliw/CMakeFiles/metacore_vliw.dir/machine.cpp.o" "gcc" "src/vliw/CMakeFiles/metacore_vliw.dir/machine.cpp.o.d"
+  "/root/repo/src/vliw/scheduler.cpp" "src/vliw/CMakeFiles/metacore_vliw.dir/scheduler.cpp.o" "gcc" "src/vliw/CMakeFiles/metacore_vliw.dir/scheduler.cpp.o.d"
+  "/root/repo/src/vliw/simulator.cpp" "src/vliw/CMakeFiles/metacore_vliw.dir/simulator.cpp.o" "gcc" "src/vliw/CMakeFiles/metacore_vliw.dir/simulator.cpp.o.d"
+  "/root/repo/src/vliw/viterbi_kernel.cpp" "src/vliw/CMakeFiles/metacore_vliw.dir/viterbi_kernel.cpp.o" "gcc" "src/vliw/CMakeFiles/metacore_vliw.dir/viterbi_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/metacore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/metacore_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacore_vliw.dir/ir.cpp.o"
+  "CMakeFiles/metacore_vliw.dir/ir.cpp.o.d"
+  "CMakeFiles/metacore_vliw.dir/machine.cpp.o"
+  "CMakeFiles/metacore_vliw.dir/machine.cpp.o.d"
+  "CMakeFiles/metacore_vliw.dir/scheduler.cpp.o"
+  "CMakeFiles/metacore_vliw.dir/scheduler.cpp.o.d"
+  "CMakeFiles/metacore_vliw.dir/simulator.cpp.o"
+  "CMakeFiles/metacore_vliw.dir/simulator.cpp.o.d"
+  "CMakeFiles/metacore_vliw.dir/viterbi_kernel.cpp.o"
+  "CMakeFiles/metacore_vliw.dir/viterbi_kernel.cpp.o.d"
+  "libmetacore_vliw.a"
+  "libmetacore_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacore_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

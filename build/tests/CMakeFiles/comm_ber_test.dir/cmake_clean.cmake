@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_ber_test.dir/comm_ber_test.cpp.o"
+  "CMakeFiles/comm_ber_test.dir/comm_ber_test.cpp.o.d"
+  "comm_ber_test"
+  "comm_ber_test.pdb"
+  "comm_ber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_ber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_burst_test.dir/comm_burst_test.cpp.o"
+  "CMakeFiles/comm_burst_test.dir/comm_burst_test.cpp.o.d"
+  "comm_burst_test"
+  "comm_burst_test.pdb"
+  "comm_burst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_burst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

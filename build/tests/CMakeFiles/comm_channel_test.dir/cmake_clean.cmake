@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_channel_test.dir/comm_channel_test.cpp.o"
+  "CMakeFiles/comm_channel_test.dir/comm_channel_test.cpp.o.d"
+  "comm_channel_test"
+  "comm_channel_test.pdb"
+  "comm_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

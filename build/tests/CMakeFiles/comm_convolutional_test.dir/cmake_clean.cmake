@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_convolutional_test.dir/comm_convolutional_test.cpp.o"
+  "CMakeFiles/comm_convolutional_test.dir/comm_convolutional_test.cpp.o.d"
+  "comm_convolutional_test"
+  "comm_convolutional_test.pdb"
+  "comm_convolutional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_convolutional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_multires_test.dir/comm_multires_test.cpp.o"
+  "CMakeFiles/comm_multires_test.dir/comm_multires_test.cpp.o.d"
+  "comm_multires_test"
+  "comm_multires_test.pdb"
+  "comm_multires_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_multires_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

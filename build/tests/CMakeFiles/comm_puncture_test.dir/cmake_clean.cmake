@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_puncture_test.dir/comm_puncture_test.cpp.o"
+  "CMakeFiles/comm_puncture_test.dir/comm_puncture_test.cpp.o.d"
+  "comm_puncture_test"
+  "comm_puncture_test.pdb"
+  "comm_puncture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_puncture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_quantizer_test.dir/comm_quantizer_test.cpp.o"
+  "CMakeFiles/comm_quantizer_test.dir/comm_quantizer_test.cpp.o.d"
+  "comm_quantizer_test"
+  "comm_quantizer_test.pdb"
+  "comm_quantizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_quantizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

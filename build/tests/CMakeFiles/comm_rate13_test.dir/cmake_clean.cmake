@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_rate13_test.dir/comm_rate13_test.cpp.o"
+  "CMakeFiles/comm_rate13_test.dir/comm_rate13_test.cpp.o.d"
+  "comm_rate13_test"
+  "comm_rate13_test.pdb"
+  "comm_rate13_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_rate13_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_sequential_test.dir/comm_sequential_test.cpp.o"
+  "CMakeFiles/comm_sequential_test.dir/comm_sequential_test.cpp.o.d"
+  "comm_sequential_test"
+  "comm_sequential_test.pdb"
+  "comm_sequential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_streaming_test.dir/comm_streaming_test.cpp.o"
+  "CMakeFiles/comm_streaming_test.dir/comm_streaming_test.cpp.o.d"
+  "comm_streaming_test"
+  "comm_streaming_test.pdb"
+  "comm_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

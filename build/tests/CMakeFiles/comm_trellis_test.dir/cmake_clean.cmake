@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_trellis_test.dir/comm_trellis_test.cpp.o"
+  "CMakeFiles/comm_trellis_test.dir/comm_trellis_test.cpp.o.d"
+  "comm_trellis_test"
+  "comm_trellis_test.pdb"
+  "comm_trellis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_trellis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_viterbi_test.dir/comm_viterbi_test.cpp.o"
+  "CMakeFiles/comm_viterbi_test.dir/comm_viterbi_test.cpp.o.d"
+  "comm_viterbi_test"
+  "comm_viterbi_test.pdb"
+  "comm_viterbi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_viterbi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

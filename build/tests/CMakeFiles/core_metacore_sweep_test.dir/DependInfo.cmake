@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_metacore_sweep_test.cpp" "tests/CMakeFiles/core_metacore_sweep_test.dir/core_metacore_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/core_metacore_sweep_test.dir/core_metacore_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metacore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/metacore_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/metacore_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/metacore_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/metacore_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/metacore_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/metacore_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metacore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

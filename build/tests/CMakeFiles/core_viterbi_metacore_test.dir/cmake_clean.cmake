@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_viterbi_metacore_test.dir/core_viterbi_metacore_test.cpp.o"
+  "CMakeFiles/core_viterbi_metacore_test.dir/core_viterbi_metacore_test.cpp.o.d"
+  "core_viterbi_metacore_test"
+  "core_viterbi_metacore_test.pdb"
+  "core_viterbi_metacore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_viterbi_metacore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

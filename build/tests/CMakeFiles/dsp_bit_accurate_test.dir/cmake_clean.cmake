@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_bit_accurate_test.dir/dsp_bit_accurate_test.cpp.o"
+  "CMakeFiles/dsp_bit_accurate_test.dir/dsp_bit_accurate_test.cpp.o.d"
+  "dsp_bit_accurate_test"
+  "dsp_bit_accurate_test.pdb"
+  "dsp_bit_accurate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_bit_accurate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

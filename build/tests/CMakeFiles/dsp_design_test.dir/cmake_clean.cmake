@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_design_test.dir/dsp_design_test.cpp.o"
+  "CMakeFiles/dsp_design_test.dir/dsp_design_test.cpp.o.d"
+  "dsp_design_test"
+  "dsp_design_test.pdb"
+  "dsp_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_elliptic_test.dir/dsp_elliptic_test.cpp.o"
+  "CMakeFiles/dsp_elliptic_test.dir/dsp_elliptic_test.cpp.o.d"
+  "dsp_elliptic_test"
+  "dsp_elliptic_test.pdb"
+  "dsp_elliptic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_elliptic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_polynomial_test.dir/dsp_polynomial_test.cpp.o"
+  "CMakeFiles/dsp_polynomial_test.dir/dsp_polynomial_test.cpp.o.d"
+  "dsp_polynomial_test"
+  "dsp_polynomial_test.pdb"
+  "dsp_polynomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_polynomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

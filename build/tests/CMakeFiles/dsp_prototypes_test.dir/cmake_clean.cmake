@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_prototypes_test.dir/dsp_prototypes_test.cpp.o"
+  "CMakeFiles/dsp_prototypes_test.dir/dsp_prototypes_test.cpp.o.d"
+  "dsp_prototypes_test"
+  "dsp_prototypes_test.pdb"
+  "dsp_prototypes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_prototypes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

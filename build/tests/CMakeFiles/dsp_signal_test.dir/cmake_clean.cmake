@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_signal_test.dir/dsp_signal_test.cpp.o"
+  "CMakeFiles/dsp_signal_test.dir/dsp_signal_test.cpp.o.d"
+  "dsp_signal_test"
+  "dsp_signal_test.pdb"
+  "dsp_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

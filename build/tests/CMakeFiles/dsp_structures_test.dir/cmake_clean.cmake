@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_structures_test.dir/dsp_structures_test.cpp.o"
+  "CMakeFiles/dsp_structures_test.dir/dsp_structures_test.cpp.o.d"
+  "dsp_structures_test"
+  "dsp_structures_test.pdb"
+  "dsp_structures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_transfer_function_test.dir/dsp_transfer_function_test.cpp.o"
+  "CMakeFiles/dsp_transfer_function_test.dir/dsp_transfer_function_test.cpp.o.d"
+  "dsp_transfer_function_test"
+  "dsp_transfer_function_test.pdb"
+  "dsp_transfer_function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_transfer_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

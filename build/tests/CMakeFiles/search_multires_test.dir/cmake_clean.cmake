@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_multires_test.dir/search_multires_test.cpp.o"
+  "CMakeFiles/search_multires_test.dir/search_multires_test.cpp.o.d"
+  "search_multires_test"
+  "search_multires_test.pdb"
+  "search_multires_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_multires_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

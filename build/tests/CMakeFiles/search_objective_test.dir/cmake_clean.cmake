@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_objective_test.dir/search_objective_test.cpp.o"
+  "CMakeFiles/search_objective_test.dir/search_objective_test.cpp.o.d"
+  "search_objective_test"
+  "search_objective_test.pdb"
+  "search_objective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

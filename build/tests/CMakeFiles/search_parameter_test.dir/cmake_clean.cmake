@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_parameter_test.dir/search_parameter_test.cpp.o"
+  "CMakeFiles/search_parameter_test.dir/search_parameter_test.cpp.o.d"
+  "search_parameter_test"
+  "search_parameter_test.pdb"
+  "search_parameter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_parameter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

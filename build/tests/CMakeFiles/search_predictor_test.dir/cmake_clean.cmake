@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_predictor_test.dir/search_predictor_test.cpp.o"
+  "CMakeFiles/search_predictor_test.dir/search_predictor_test.cpp.o.d"
+  "search_predictor_test"
+  "search_predictor_test.pdb"
+  "search_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

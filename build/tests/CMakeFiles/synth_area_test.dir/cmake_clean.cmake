@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_area_test.dir/synth_area_test.cpp.o"
+  "CMakeFiles/synth_area_test.dir/synth_area_test.cpp.o.d"
+  "synth_area_test"
+  "synth_area_test.pdb"
+  "synth_area_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_area_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_dfg_test.dir/synth_dfg_test.cpp.o"
+  "CMakeFiles/synth_dfg_test.dir/synth_dfg_test.cpp.o.d"
+  "synth_dfg_test"
+  "synth_dfg_test.pdb"
+  "synth_dfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_dfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

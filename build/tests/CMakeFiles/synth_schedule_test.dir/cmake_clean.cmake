@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_schedule_test.dir/synth_schedule_test.cpp.o"
+  "CMakeFiles/synth_schedule_test.dir/synth_schedule_test.cpp.o.d"
+  "synth_schedule_test"
+  "synth_schedule_test.pdb"
+  "synth_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

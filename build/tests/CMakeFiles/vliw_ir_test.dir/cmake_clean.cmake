@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_ir_test.dir/vliw_ir_test.cpp.o"
+  "CMakeFiles/vliw_ir_test.dir/vliw_ir_test.cpp.o.d"
+  "vliw_ir_test"
+  "vliw_ir_test.pdb"
+  "vliw_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_kernel_test.dir/vliw_kernel_test.cpp.o"
+  "CMakeFiles/vliw_kernel_test.dir/vliw_kernel_test.cpp.o.d"
+  "vliw_kernel_test"
+  "vliw_kernel_test.pdb"
+  "vliw_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

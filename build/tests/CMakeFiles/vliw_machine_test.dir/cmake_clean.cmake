@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_machine_test.dir/vliw_machine_test.cpp.o"
+  "CMakeFiles/vliw_machine_test.dir/vliw_machine_test.cpp.o.d"
+  "vliw_machine_test"
+  "vliw_machine_test.pdb"
+  "vliw_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

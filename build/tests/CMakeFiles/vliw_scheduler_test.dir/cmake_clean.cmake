@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_scheduler_test.dir/vliw_scheduler_test.cpp.o"
+  "CMakeFiles/vliw_scheduler_test.dir/vliw_scheduler_test.cpp.o.d"
+  "vliw_scheduler_test"
+  "vliw_scheduler_test.pdb"
+  "vliw_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_simulator_test.dir/vliw_simulator_test.cpp.o"
+  "CMakeFiles/vliw_simulator_test.dir/vliw_simulator_test.cpp.o.d"
+  "vliw_simulator_test"
+  "vliw_simulator_test.pdb"
+  "vliw_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
