@@ -1,11 +1,15 @@
 // Google-benchmark microbenchmarks for the cost-evaluation engines: VLIW
 // kernel profiling (the Trimaran substitute), behavioral-synthesis
-// estimation (the HYPER substitute), and filter design.
+// estimation (the HYPER substitute), filter design, and the exec-pool
+// batch-evaluation fan-out. Results are also appended to BENCH_search.json
+// for cross-PR perf tracking.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "cost/viterbi_cost.hpp"
 #include "core/iir_metacore.hpp"
 #include "dsp/design.hpp"
+#include "exec/thread_pool.hpp"
 #include "synth/area.hpp"
 #include "vliw/viterbi_kernel.hpp"
 
@@ -58,11 +62,84 @@ void BM_EllipticBandpassDesign(benchmark::State& state) {
   }
 }
 
+// A search-level batch: fan a level's worth of cost evaluations out across
+// the pool, like MultiresolutionSearch does per grid level. state.range(0)
+// is the thread count, so one run charts the fan-out scaling curve.
+void BM_ParallelCostBatch(benchmark::State& state) {
+  exec::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  std::vector<cost::ViterbiCostQuery> batch;
+  for (int k = 3; k <= 8; ++k) {
+    for (int l_mult = 3; l_mult <= 6; ++l_mult) {
+      cost::ViterbiCostQuery query;
+      query.spec.code = comm::best_rate_half_code(k);
+      query.spec.traceback_depth = l_mult * k;
+      query.spec.kind = comm::DecoderKind::Soft;
+      query.spec.high_res_bits = 3;
+      query.throughput_mbps = 1.0;
+      batch.push_back(query);
+    }
+  }
+  for (auto _ : state) {
+    const auto results = exec::parallel_map(
+        batch, [](const cost::ViterbiCostQuery& q) {
+          return cost::evaluate_viterbi_cost(q);
+        });
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  exec::ThreadPool::set_global_threads(1);
+}
+
+/// Forwards to the console reporter while collecting each run into
+/// BENCH_search.json records (wall time, items/sec, thread count).
+class JsonAppendReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      // GetAdjustedRealTime is in the run's time unit; normalize to ms.
+      record.values["wall_ms"] =
+          run.GetAdjustedRealTime() *
+          benchmark::GetTimeUnitMultiplier(run.time_unit) / 1e3;
+      const auto threads = run.counters.find("threads");
+      record.values["threads"] =
+          threads != run.counters.end() ? threads->second.value : 1.0;
+      if (run.counters.find("items_per_second") != run.counters.end()) {
+        record.values["evaluations_per_sec"] =
+            run.counters.at("items_per_second").value;
+      }
+      records_.push_back(std::move(record));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  ~JsonAppendReporter() override { bench::append_bench_records(records_); }
+
+ private:
+  std::vector<bench::BenchRecord> records_;
+};
+
 }  // namespace
 
 BENCHMARK(BM_ViterbiKernelProfile)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
 BENCHMARK(BM_ViterbiCostEvaluation)->Arg(3)->Arg(7);
 BENCHMARK(BM_IirSynthesisEstimate)->DenseRange(0, 5);
 BENCHMARK(BM_EllipticBandpassDesign);
+BENCHMARK(BM_ParallelCostBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonAppendReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,16 +13,39 @@
 // simulator, so the search typically selects one constraint-length notch
 // higher at the same nominal target; the monotone area growth and the
 // infeasible final row are the reproduced shape.
+//
+// Doubling as the parallel-search benchmark: when METACORE_THREADS > 1,
+// every row is searched twice — on the configured pool and on a serial
+// pool — the winning points are checked bit-identical, and wall times,
+// evaluations/sec, and the speedup land in BENCH_search.json.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/viterbi_metacore.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/table.hpp"
 
 using namespace metacore;
 
+namespace {
+
+double run_timed(const core::ViterbiMetaCore& metacore,
+                 const search::SearchConfig& config,
+                 search::SearchResult* out) {
+  const auto start = std::chrono::steady_clock::now();
+  *out = metacore.search(config);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 int main() {
   bench::print_header("Table 3: Viterbi MetaCore search outcomes", "Table 3");
+  const std::size_t threads = exec::ThreadPool::configured_threads();
+  std::cout << "thread pool: " << threads << " thread(s)\n\n";
 
   struct Requirement {
     double ber;
@@ -39,6 +62,11 @@ int main() {
 
   util::TextTable table({"Desired BER", "Throughput", "paper result",
                          "measured result", "measured BER", "evals"});
+  std::vector<bench::BenchRecord> records;
+  double total_parallel_ms = 0.0;
+  double total_serial_ms = 0.0;
+  std::size_t total_evals = 0;
+  bool all_identical = true;
 
   for (const auto& req : rows) {
     core::ViterbiRequirements requirements;
@@ -52,7 +80,44 @@ int main() {
     config.max_resolution = 2;
     config.regions_per_level = 4;
     config.max_evaluations = bench::quick_mode() ? 120 : 320;
-    const auto result = metacore.search(config);
+
+    exec::ThreadPool::set_global_threads(threads);
+    search::SearchResult result;
+    const double parallel_ms = run_timed(metacore, config, &result);
+    total_parallel_ms += parallel_ms;
+    total_evals += result.evaluations;
+
+    bench::BenchRecord record;
+    record.name = "table3_search";
+    record.labels["requirement"] =
+        util::format_scientific(req.ber, 0) + "@" +
+        util::format_double(req.mbps, 0) + "Mbps";
+    record.values["threads"] = static_cast<double>(threads);
+    record.values["wall_ms"] = parallel_ms;
+    record.values["evaluations"] = static_cast<double>(result.evaluations);
+    record.values["evaluations_per_sec"] =
+        result.evaluations / (parallel_ms / 1000.0);
+
+    if (threads > 1) {
+      // Serial baseline on the same requirement: must match bit-for-bit.
+      exec::ThreadPool::set_global_threads(1);
+      search::SearchResult serial;
+      const double serial_ms = run_timed(metacore, config, &serial);
+      exec::ThreadPool::set_global_threads(threads);
+      total_serial_ms += serial_ms;
+      const bool identical =
+          serial.best.indices == result.best.indices &&
+          serial.best.eval.metrics == result.best.eval.metrics &&
+          serial.evaluations == result.evaluations;
+      all_identical = all_identical && identical;
+      record.values["serial_wall_ms"] = serial_ms;
+      record.values["speedup"] = serial_ms / parallel_ms;
+      record.labels["best_identical"] = identical ? "true" : "false";
+      if (!identical) {
+        std::cout << "  [WARN] parallel and serial runs diverged!\n";
+      }
+    }
+    records.push_back(std::move(record));
 
     std::string outcome = "Not Feasible";
     std::string measured_ber = "-";
@@ -66,10 +131,36 @@ int main() {
                    util::format_double(req.mbps, 0) + " Mbps", req.paper,
                    outcome, measured_ber, std::to_string(result.evaluations)});
     std::cout << "  [done] BER<=" << util::format_scientific(req.ber, 0)
-              << " @ " << req.mbps << " Mbps -> " << outcome << "\n";
+              << " @ " << req.mbps << " Mbps -> " << outcome << " ("
+              << util::format_double(parallel_ms, 0) << " ms)\n";
     std::cout.flush();
   }
   std::cout << '\n';
+
+  bench::BenchRecord total;
+  total.name = "table3_search_total";
+  total.values["threads"] = static_cast<double>(threads);
+  total.values["wall_ms"] = total_parallel_ms;
+  total.values["evaluations"] = static_cast<double>(total_evals);
+  total.values["evaluations_per_sec"] =
+      total_evals / (total_parallel_ms / 1000.0);
+  if (threads > 1) {
+    total.values["serial_wall_ms"] = total_serial_ms;
+    total.values["speedup"] = total_serial_ms / total_parallel_ms;
+    total.labels["best_identical"] = all_identical ? "true" : "false";
+    std::cout << "parallel total: "
+              << util::format_double(total_parallel_ms / 1000.0, 2)
+              << " s, serial total: "
+              << util::format_double(total_serial_ms / 1000.0, 2)
+              << " s, speedup: "
+              << util::format_double(total_serial_ms / total_parallel_ms, 2)
+              << "x, results "
+              << (all_identical ? "bit-identical" : "DIVERGED") << "\n";
+  }
+  records.push_back(std::move(total));
+  bench::append_bench_records(records);
+  std::cout << "bench records appended to " << bench::bench_json_path()
+            << "\n";
 
   std::cout << "\nShape check: area grows as the BER target tightens and the\n"
                "throughput requirement rises; the 1e-9 target is infeasible.\n";

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "comm/channel.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace metacore::comm {
@@ -60,32 +61,27 @@ std::string DecoderSpec::label() const {
   return out;
 }
 
-BerPoint measure_ber(const DecoderSpec& spec, double esn0_db,
-                     const BerRunConfig& config) {
-  if (config.max_bits == 0) {
-    throw std::invalid_argument("measure_ber: max_bits must be positive");
-  }
+namespace {
+
+/// One continuous encode -> AWGN -> decode stream with its own RNG state,
+/// error counters, and early-stopping rules. This is the historical body of
+/// measure_ber, parameterized by seed and budgets so it can serve either as
+/// the whole measurement (shards = 1) or as one shard of a parallel one.
+util::ProportionEstimate run_ber_stream(const DecoderSpec& spec,
+                                        double esn0_db,
+                                        const BerRunConfig& config,
+                                        std::uint64_t stream_seed) {
   const Trellis trellis(spec.code);
   const int n = trellis.symbols_per_step();
   constexpr double kAmplitude = 1.0;
 
-  // Derive a distinct seed per (spec, channel point) so curves are
-  // reproducible yet independent across points.
-  const std::uint64_t point_seed =
-      config.seed ^ (static_cast<std::uint64_t>(
-                         std::llround(esn0_db * 1000.0 + 1e6))
-                     << 20) ^
-      (static_cast<std::uint64_t>(spec.code.constraint_length) << 8) ^
-      static_cast<std::uint64_t>(spec.traceback_depth);
-
-  AwgnChannel channel(esn0_db, kAmplitude * kAmplitude, point_seed);
-  util::Random data_rng(point_seed ^ 0xDA7A'B175ULL);
+  AwgnChannel channel(esn0_db, kAmplitude * kAmplitude, stream_seed);
+  util::Random data_rng(stream_seed ^ 0xDA7A'B175ULL);
   BpskModulator modulator(kAmplitude);
   auto decoder =
       spec.make_decoder(trellis, kAmplitude, channel.noise_sigma());
 
-  BerPoint point;
-  point.esn0_db = esn0_db;
+  util::ProportionEstimate errors;
 
   // Continuous stream decoding: the decoder runs uninterrupted over the
   // whole simulation, so there are no block-boundary traceback artifacts —
@@ -98,12 +94,11 @@ BerPoint measure_ber(const DecoderSpec& spec, double esn0_db,
   std::vector<double> rx(static_cast<std::size_t>(n));
   std::uint64_t next_decision_check = std::max<std::uint64_t>(
       config.min_bits, 8'192);
-  while (point.errors.trials < config.max_bits &&
-         (point.errors.trials < config.min_bits ||
-          point.errors.successes < config.max_errors)) {
-    if (config.decision_ber > 0.0 &&
-        point.errors.trials >= next_decision_check) {
-      const auto interval = point.errors.wilson();
+  while (errors.trials < config.max_bits &&
+         (errors.trials < config.min_bits ||
+          errors.successes < config.max_errors)) {
+    if (config.decision_ber > 0.0 && errors.trials >= next_decision_check) {
+      const auto interval = errors.wilson();
       if (interval.high < config.decision_ber / 1.5 ||
           interval.low > config.decision_ber * 1.5) {
         break;  // confidently decided either way
@@ -118,7 +113,7 @@ BerPoint measure_ber(const DecoderSpec& spec, double esn0_db,
     }
     pending.push_back(bit);
     if (const auto decoded = decoder->step(rx)) {
-      point.errors.add(*decoded != pending[pending_head++]);
+      errors.add(*decoded != pending[pending_head++]);
     }
     // Keep the delay line compact on long runs.
     if (pending_head > 8'192) {
@@ -127,17 +122,73 @@ BerPoint measure_ber(const DecoderSpec& spec, double esn0_db,
       pending_head = 0;
     }
   }
+  return errors;
+}
+
+/// Ceiling division of a simulation budget across shards.
+std::uint64_t shard_budget(std::uint64_t total, std::uint64_t shards) {
+  return (total + shards - 1) / shards;
+}
+
+}  // namespace
+
+BerPoint measure_ber(const DecoderSpec& spec, double esn0_db,
+                     const BerRunConfig& config) {
+  if (config.max_bits == 0) {
+    throw std::invalid_argument("measure_ber: max_bits must be positive");
+  }
+  if (config.shards < 1) {
+    throw std::invalid_argument("measure_ber: shards must be >= 1");
+  }
+  // Derive a distinct seed per (spec, channel point) so curves are
+  // reproducible yet independent across points.
+  const std::uint64_t point_seed =
+      config.seed ^ (static_cast<std::uint64_t>(
+                         std::llround(esn0_db * 1000.0 + 1e6))
+                     << 20) ^
+      (static_cast<std::uint64_t>(spec.code.constraint_length) << 8) ^
+      static_cast<std::uint64_t>(spec.traceback_depth);
+
+  BerPoint point;
+  point.esn0_db = esn0_db;
+
+  if (config.shards == 1) {
+    point.errors = run_ber_stream(spec, esn0_db, config, point_seed);
+    return point;
+  }
+
+  // Sharded Monte-Carlo: independent streams with 1/shards of each budget,
+  // keyed by counter-based substreams of the point seed. Shard results
+  // depend only on (config, shard index), never on scheduling, and the
+  // reduction walks shards in index order — bit-identical at any thread
+  // count.
+  const auto shards = static_cast<std::uint64_t>(config.shards);
+  BerRunConfig shard_cfg = config;
+  shard_cfg.max_bits = shard_budget(config.max_bits, shards);
+  shard_cfg.min_bits = shard_budget(config.min_bits, shards);
+  shard_cfg.max_errors =
+      std::max<std::uint64_t>(1, shard_budget(config.max_errors, shards));
+
+  std::vector<util::ProportionEstimate> per_shard(shards);
+  exec::parallel_for(per_shard.size(), [&](std::size_t s) {
+    per_shard[s] = run_ber_stream(
+        spec, esn0_db, shard_cfg,
+        util::substream_key(point_seed, static_cast<std::uint64_t>(s)));
+  });
+  for (const auto& shard : per_shard) point.errors.merge(shard);
   return point;
 }
 
 std::vector<BerPoint> measure_ber_curve(
     const DecoderSpec& spec, const std::vector<double>& esn0_db_points,
     const BerRunConfig& config) {
-  std::vector<BerPoint> curve;
-  curve.reserve(esn0_db_points.size());
-  for (double esn0 : esn0_db_points) {
-    curve.push_back(measure_ber(spec, esn0, config));
-  }
+  // Channel points are seeded independently of one another, so the curve
+  // fans out across the pool; with a serial pool (or from inside other pool
+  // work) this degenerates to the historical in-order loop.
+  std::vector<BerPoint> curve(esn0_db_points.size());
+  exec::parallel_for(curve.size(), [&](std::size_t i) {
+    curve[i] = measure_ber(spec, esn0_db_points[i], config);
+  });
   return curve;
 }
 

@@ -61,6 +61,14 @@ struct BerRunConfig {
   /// the full budget. The resulting point estimate is mildly biased by the
   /// stopping rule — use it against thresholds, not as a curve sample.
   double decision_ber = 0.0;
+  /// Number of independent simulation streams the run is split into. Each
+  /// shard gets its own counter-based RNG stream (util::substream_key) and
+  /// a 1/shards slice of the bit/error budgets; shards fan out across the
+  /// exec thread pool and reduce in shard order, so the measurement is
+  /// bit-identical for a given shard count regardless of thread count (and
+  /// `shards = 1` reproduces the historical single-stream measurement
+  /// exactly). Early-stopping rules apply per shard.
+  int shards = 1;
 };
 
 struct BerPoint {

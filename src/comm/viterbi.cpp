@@ -104,8 +104,8 @@ std::optional<int> ViterbiDecoder::step(std::span<const double> rx) {
   ++steps_;
 
   // Keep metrics bounded for indefinite streaming.
-  if (*std::min_element(acc_.begin(), acc_.end()) > kNormalizeThreshold) {
-    const std::int64_t floor = *std::min_element(acc_.begin(), acc_.end());
+  const std::int64_t floor = *std::min_element(acc_.begin(), acc_.end());
+  if (floor > kNormalizeThreshold) {
     for (auto& a : acc_) a -= floor;
   }
 

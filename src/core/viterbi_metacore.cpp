@@ -134,6 +134,9 @@ search::Evaluation ViterbiMetaCore::evaluate(const std::vector<double>& point,
   if (ber_cfg.decision_ber == 0.0) {
     ber_cfg.decision_ber = requirements_.target_ber;
   }
+  if (ber_cfg.shards == 1) {
+    ber_cfg.shards = std::max(1, requirements_.ber_shards);
+  }
   const double scale = std::pow(4.0, std::max(0, fidelity));
   // The 2M-bit ceiling keeps even the deepest verification runs tractable.
   ber_cfg.max_bits = static_cast<std::uint64_t>(

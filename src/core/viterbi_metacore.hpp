@@ -24,6 +24,11 @@ struct ViterbiRequirements {
   /// speed up the search process"; unfixing them widens the space.
   bool fix_polynomial = true;
   bool fix_normalization = true;
+  /// Monte-Carlo BER shards per evaluation (see BerRunConfig::shards).
+  /// Part of the measurement definition, not a tuning knob: results are
+  /// bit-identical at any thread count for a fixed shard count. 1 restores
+  /// the single-stream measurement.
+  int ber_shards = 8;
 };
 
 class ViterbiMetaCore {

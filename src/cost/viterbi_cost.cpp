@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"
 #include "vliw/viterbi_kernel.hpp"
 
 namespace metacore::cost {
@@ -38,22 +40,32 @@ ViterbiCostResult evaluate_viterbi_cost(const ViterbiCostQuery& query,
   best.datapath_bits = bits;
   best.achievable_clock_mhz = clock_mhz;
 
-  for (const auto& machine : vliw::standard_config_family(bits)) {
-    // Skip configurations missing a functional unit the kernel needs
-    // (e.g. multiplier-less minimal cores for soft-decision quantizers).
-    bool fits = true;
-    for (const auto& block : kernel.blocks) {
-      for (const auto& op : block.ops) {
-        if (machine.slots(vliw::fu_class(op.op)) == 0) {
-          fits = false;
-          break;
+  // Profiling the kernel on each family member is the expensive part;
+  // candidates are independent, so they fan out across the pool. The
+  // minimum-area reduction below walks family order, keeping the selection
+  // (ties included) identical to the historical serial loop.
+  const std::vector<vliw::MachineConfig> family =
+      vliw::standard_config_family(bits);
+  const auto profiles = exec::parallel_map(
+      family,
+      [&](const vliw::MachineConfig& machine)
+          -> std::optional<vliw::ExecutionProfile> {
+        // Skip configurations missing a functional unit the kernel needs
+        // (e.g. multiplier-less minimal cores for soft-decision quantizers).
+        for (const auto& block : kernel.blocks) {
+          for (const auto& op : block.ops) {
+            if (machine.slots(vliw::fu_class(op.op)) == 0) {
+              return std::nullopt;
+            }
+          }
         }
-      }
-      if (!fits) break;
-    }
-    if (!fits) continue;
-    const vliw::ExecutionProfile profile =
-        vliw::profile_kernel(kernel, machine);
+        return vliw::profile_kernel(kernel, machine);
+      });
+
+  for (std::size_t m = 0; m < family.size(); ++m) {
+    if (!profiles[m].has_value()) continue;
+    const vliw::MachineConfig& machine = family[m];
+    const vliw::ExecutionProfile& profile = *profiles[m];
     // Throughput in Mbps, clock in MHz: required MHz = cycles/bit * Mbps.
     const double required_mhz = profile.cycles_per_unit * query.throughput_mbps;
     const int cores =

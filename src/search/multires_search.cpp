@@ -6,6 +6,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"
+
 namespace metacore::search {
 
 MultiresolutionSearch::MultiresolutionSearch(DesignSpace space,
@@ -101,17 +103,19 @@ std::vector<std::vector<int>> MultiresolutionSearch::sample_grid(
   return grid;
 }
 
-const Evaluation& MultiresolutionSearch::evaluate_cached(
-    const std::vector<int>& indices, int fidelity, SearchResult& result) {
-  auto& by_fidelity = cache_[indices];
+const Evaluation* MultiresolutionSearch::cached_evaluation(
+    const std::vector<int>& indices, int fidelity) const {
+  const auto entry = cache_.find(indices);
+  if (entry == cache_.end()) return nullptr;
   // A higher-fidelity result supersedes lower ones.
-  auto it = by_fidelity.lower_bound(fidelity);
-  if (it != by_fidelity.end()) return it->second;
+  const auto it = entry->second.lower_bound(fidelity);
+  return it == entry->second.end() ? nullptr : &it->second;
+}
 
-  const std::vector<double> values = space_.values_at(indices);
-  Evaluation eval = evaluate_(values, fidelity);
+void MultiresolutionSearch::absorb_evaluation(const std::vector<int>& indices,
+                                              int fidelity, Evaluation eval,
+                                              SearchResult& result) {
   ++result.evaluations;
-
   if (has_probabilistic_ && eval.has_metric(config_.probabilistic_metric)) {
     ber_predictor_.add(space_.normalized(indices),
                        eval.metric(config_.probabilistic_metric),
@@ -122,8 +126,7 @@ const Evaluation& MultiresolutionSearch::evaluate_cached(
     objective_estimator_.add(space_.normalized(indices),
                              eval.metric(objective_.minimize));
   }
-  auto [slot, inserted] = by_fidelity.emplace(fidelity, std::move(eval));
-  return slot->second;
+  cache_[indices].emplace(fidelity, std::move(eval));
 }
 
 MultiresolutionSearch::Region MultiresolutionSearch::region_around(
@@ -170,15 +173,52 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
   const std::vector<std::vector<int>> grid = sample_grid(region, ppd, cap);
   result.levels_executed = std::max(result.levels_executed, resolution + 1);
 
+  // Batch evaluation, phase 1: walk the grid in index order replaying the
+  // serial budget rule — a point enters the level only while the evaluation
+  // budget is unspent, and only cache misses consume budget. This fixes the
+  // exact work-set up front, independent of how it is later scheduled.
+  std::vector<std::size_t> admitted;  // grid indices this level will score
+  std::vector<std::size_t> misses;    // subset needing a fresh evaluation
+  std::size_t planned_evals = result.evaluations;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (planned_evals >= config_.max_evaluations) break;
+    admitted.push_back(i);
+    if (cached_evaluation(grid[i], resolution) == nullptr) {
+      misses.push_back(i);
+      ++planned_evals;
+    }
+  }
+
+  // Phase 2: fan the cache misses out across the thread pool. The evaluator
+  // must be safe to call concurrently (the MetaCore evaluators build all
+  // their simulation state per call). Results land in a dense index-ordered
+  // buffer, so scheduling order cannot leak into anything downstream.
+  std::vector<Evaluation> fresh(misses.size());
+  exec::parallel_for(misses.size(), [&](std::size_t j) {
+    fresh[j] = evaluate_(space_.values_at(grid[misses[j]]), resolution);
+  });
+
+  // Phase 3: merge in grid order — cache inserts, predictor evidence, and
+  // the evaluation counter all advance deterministically. (Relative to the
+  // historical fully-serial loop, the Bayesian predictor now sees the whole
+  // level's evidence before any of the level's points are scored, which
+  // only sharpens the pruning decisions below.)
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    absorb_evaluation(grid[misses[j]], resolution, std::move(fresh[j]),
+                      result);
+  }
+
+  // Phase 4: score the admitted points in grid order, exactly as the serial
+  // loop did.
   struct Scored {
     std::vector<int> indices;
     const Evaluation* eval;
     double score;
   };
   std::vector<Scored> scored;
-  for (const auto& indices : grid) {
-    if (result.evaluations >= config_.max_evaluations) break;
-    const Evaluation& eval = evaluate_cached(indices, resolution, result);
+  for (const std::size_t i : admitted) {
+    const std::vector<int>& indices = grid[i];
+    const Evaluation& eval = *cached_evaluation(indices, resolution);
     // Track the global best.
     if (result.best.indices.empty() ||
         objective_.better(eval, result.best.eval)) {
@@ -270,19 +310,15 @@ SearchResult exhaustive_search(const DesignSpace& space,
   }
   SearchResult result;
   const std::size_t dims = space.dimensions();
+
+  // Enumerate the full factorial up front, then fan the evaluations out
+  // across the pool; the best-point reduction walks enumeration order, so
+  // ties resolve exactly as the historical serial loop did.
+  std::vector<std::vector<int>> points;
+  points.reserve(space.size());
   std::vector<int> cursor(dims, 0);
   while (true) {
-    const std::vector<double> values = space.values_at(cursor);
-    Evaluation eval = evaluate(values, fidelity);
-    ++result.evaluations;
-    EvaluatedPoint point{cursor, values, eval, fidelity};
-    if (result.best.indices.empty() ||
-        objective.better(eval, result.best.eval)) {
-      result.best = point;
-      result.found_feasible = objective.feasible(eval);
-    }
-    result.history.push_back(std::move(point));
-
+    points.push_back(cursor);
     std::size_t d = 0;
     while (d < dims) {
       if (++cursor[d] <
@@ -293,6 +329,22 @@ SearchResult exhaustive_search(const DesignSpace& space,
       ++d;
     }
     if (d == dims) break;
+  }
+
+  result.history.resize(points.size());
+  exec::parallel_for(points.size(), [&](std::size_t i) {
+    const std::vector<double> values = space.values_at(points[i]);
+    Evaluation eval = evaluate(values, fidelity);
+    result.history[i] =
+        EvaluatedPoint{std::move(points[i]), values, std::move(eval), fidelity};
+  });
+  result.evaluations = result.history.size();
+  for (const auto& point : result.history) {
+    if (result.best.indices.empty() ||
+        objective.better(point.eval, result.best.eval)) {
+      result.best = point;
+      result.found_feasible = objective.feasible(point.eval);
+    }
   }
   result.levels_executed = 1;
   return result;

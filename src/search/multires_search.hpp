@@ -55,6 +55,13 @@ struct SearchResult {
   std::vector<EvaluatedPoint> history;
 };
 
+/// The search engine. Each level collects its uncached grid points and fans
+/// them out across the exec thread pool (METACORE_THREADS), merging results
+/// back into the cache and predictors in grid-index order — the search
+/// trajectory and SearchResult are therefore bit-identical at any thread
+/// count. The evaluator must be safe to call concurrently from multiple
+/// threads (the MetaCore evaluators are: they build all simulation state
+/// per call).
 class MultiresolutionSearch {
  public:
   MultiresolutionSearch(DesignSpace space, Objective objective,
@@ -71,8 +78,12 @@ class MultiresolutionSearch {
   std::vector<std::vector<int>> sample_grid(const Region& region,
                                             int points_per_dim,
                                             std::size_t cap) const;
-  const Evaluation& evaluate_cached(const std::vector<int>& indices,
-                                    int fidelity, SearchResult& result);
+  /// Best cached evaluation at fidelity >= `fidelity`, or nullptr.
+  const Evaluation* cached_evaluation(const std::vector<int>& indices,
+                                      int fidelity) const;
+  /// Records a fresh evaluation: cache insert, predictor evidence, counter.
+  void absorb_evaluation(const std::vector<int>& indices, int fidelity,
+                         Evaluation eval, SearchResult& result);
   void search_region(const Region& region, int resolution,
                      SearchResult& result);
   Region region_around(const std::vector<int>& center,

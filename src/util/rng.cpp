@@ -60,6 +60,26 @@ void Xoshiro256::long_jump() noexcept {
   state_ = {s0, s1, s2, s3};
 }
 
+std::uint64_t CounterRng::at(std::uint64_t key,
+                             std::uint64_t counter) noexcept {
+  // Feed (key, counter) through two rounds of the SplitMix64 finalizer with
+  // distinct odd constants; the double mix decorrelates streams whose keys
+  // differ in few bits (consecutive shard indices are the common case).
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ULL * (counter + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  z += key ^ rotl(counter, 32);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t substream_key(std::uint64_t seed,
+                            std::uint64_t stream) noexcept {
+  return CounterRng::at(seed ^ 0x5851F42D4C957F2DULL, stream);
+}
+
 double Random::uniform() noexcept {
   // 53-bit mantissa construction: top 53 bits of the 64-bit output.
   return static_cast<double>(gen_() >> 11) * 0x1.0p-53;

@@ -38,6 +38,44 @@ class Xoshiro256 {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Counter-based generator (Salmon et al.'s "parallel random numbers: as
+/// easy as 1, 2, 3" design point, realized with the SplitMix64 finalizer):
+/// output i of stream `key` is a pure function mix(key, i). Any shard of a
+/// parallel Monte-Carlo run can therefore be handed an independent stream
+/// that is reproducible regardless of which thread executes it or in what
+/// order shards run — the property the sharded BER simulation builds its
+/// bit-identical-at-any-thread-count guarantee on.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// `key` selects the stream; `counter` the position within it.
+  explicit CounterRng(std::uint64_t key = 0,
+                      std::uint64_t counter = 0) noexcept
+      : key_(key), counter_(counter) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return at(key_, counter_++); }
+
+  std::uint64_t counter() const noexcept { return counter_; }
+
+  /// The stream as a pure function — mix(key, counter), no state involved.
+  static std::uint64_t at(std::uint64_t key, std::uint64_t counter) noexcept;
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t counter_;
+};
+
+/// Derives the key of substream `stream` of a generator family rooted at
+/// `seed`. Built on the same mixer as CounterRng, so adjacent stream
+/// indices (0, 1, 2, ...) yield statistically independent keys.
+std::uint64_t substream_key(std::uint64_t seed, std::uint64_t stream) noexcept;
+
 /// Convenience sampling wrapper. Keeps a generator plus cached state for the
 /// Box-Muller transform (normals are produced in pairs).
 class Random {

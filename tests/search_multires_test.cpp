@@ -2,6 +2,7 @@
 // the global optimum is known.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "search/multires_search.hpp"
@@ -24,9 +25,11 @@ DesignSpace bowl_space(int dims, int points) {
   return DesignSpace(params);
 }
 
-EvaluateFn bowl_eval(std::vector<double> optimum, std::size_t* count = nullptr) {
+// The count is atomic: evaluators run concurrently on the exec pool.
+EvaluateFn bowl_eval(std::vector<double> optimum,
+                     std::atomic<std::size_t>* count = nullptr) {
   return [optimum, count](const std::vector<double>& point, int) {
-    if (count) ++*count;
+    if (count) count->fetch_add(1);
     double v = 0.0;
     for (std::size_t d = 0; d < point.size(); ++d) {
       const double diff = point[d] - optimum[d];
@@ -62,7 +65,7 @@ TEST(MultiresolutionSearch, FindsBowlMinimum) {
 TEST(MultiresolutionSearch, UsesFarFewerEvaluationsThanExhaustive) {
   const DesignSpace space = bowl_space(3, 17);  // 4913 points
   const std::vector<double> optimum{0.25, 0.75, 0.5};
-  std::size_t calls = 0;
+  std::atomic<std::size_t> calls{0};
   SearchConfig config;
   config.max_resolution = 4;
   config.regions_per_level = 2;
@@ -171,7 +174,7 @@ TEST(MultiresolutionSearch, RejectsBadConfig) {
 
 TEST(ExhaustiveSearch, VisitsEveryPoint) {
   const DesignSpace space = bowl_space(2, 5);
-  std::size_t calls = 0;
+  std::atomic<std::size_t> calls{0};
   const SearchResult result = exhaustive_search(
       space, minimize_cost(), bowl_eval({0.5, 0.5}, &calls), 0);
   EXPECT_EQ(calls, 25u);
