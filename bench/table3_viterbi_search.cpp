@@ -66,6 +66,8 @@ int main() {
   double total_parallel_ms = 0.0;
   double total_serial_ms = 0.0;
   std::size_t total_evals = 0;
+  std::size_t total_failed = 0;
+  std::size_t total_retried = 0;
   bool all_identical = true;
 
   for (const auto& req : rows) {
@@ -97,6 +99,12 @@ int main() {
     record.values["evaluations"] = static_cast<double>(result.evaluations);
     record.values["evaluations_per_sec"] =
         result.evaluations / (parallel_ms / 1000.0);
+    record.values["failed_evaluations"] =
+        static_cast<double>(result.failures.failed_evaluations);
+    record.values["retried_evaluations"] =
+        static_cast<double>(result.failures.retries);
+    total_failed += result.failures.failed_evaluations;
+    total_retried += result.failures.retries;
 
     if (threads > 1) {
       // Serial baseline on the same requirement: must match bit-for-bit.
@@ -144,6 +152,8 @@ int main() {
   total.values["evaluations"] = static_cast<double>(total_evals);
   total.values["evaluations_per_sec"] =
       total_evals / (total_parallel_ms / 1000.0);
+  total.values["failed_evaluations"] = static_cast<double>(total_failed);
+  total.values["retried_evaluations"] = static_cast<double>(total_retried);
   if (threads > 1) {
     total.values["serial_wall_ms"] = total_serial_ms;
     total.values["speedup"] = total_serial_ms / total_parallel_ms;

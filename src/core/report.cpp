@@ -4,6 +4,26 @@
 
 namespace metacore::core {
 
+namespace {
+
+/// Failure accounting suffix for summarize(); empty when nothing failed.
+std::string failure_summary(const robust::FailureCounters& f) {
+  if (f.total_faults() == 0) return "";
+  std::string out = "; faults: " + std::to_string(f.failed_evaluations) +
+                    " failed evaluation(s) (" +
+                    std::to_string(f.invalid_point) + " invalid-point, " +
+                    std::to_string(f.non_convergence) + " non-convergence, " +
+                    std::to_string(f.non_finite) + " non-finite-metric)";
+  if (f.transient_faults > 0) {
+    out += ", " + std::to_string(f.transient_faults) +
+           " transient fault(s), " + std::to_string(f.retries) +
+           " retried, " + std::to_string(f.recovered) + " recovered";
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string summarize(const search::SearchResult& result,
                       const search::Objective& objective) {
   std::string out = "search: " + std::to_string(result.evaluations) +
@@ -12,7 +32,8 @@ std::string summarize(const search::SearchResult& result,
                     std::to_string(result.history.size()) +
                     " distinct points; ";
   if (!result.found_feasible) {
-    return out + "no feasible design found";
+    return out + "no feasible design found" +
+           failure_summary(result.failures);
   }
   out += "best";
   if (!objective.minimize.empty() &&
@@ -26,7 +47,7 @@ std::string summarize(const search::SearchResult& result,
              util::format_scientific(result.best.eval.metric(c.metric), 2);
     }
   }
-  return out;
+  return out + failure_summary(result.failures);
 }
 
 util::TextTable ranking_table(const search::SearchResult& result,

@@ -43,10 +43,13 @@ ViterbiCostResult evaluate_viterbi_cost(const ViterbiCostQuery& query,
   // Profiling the kernel on each family member is the expensive part;
   // candidates are independent, so they fan out across the pool. The
   // minimum-area reduction below walks family order, keeping the selection
-  // (ties included) identical to the historical serial loop.
+  // (ties included) identical to the historical serial loop. Collected
+  // per-item outcomes let a single misbehaving candidate (e.g. a scheduler
+  // that fails to converge on one machine shape) drop out as infeasible
+  // instead of aborting the whole query.
   const std::vector<vliw::MachineConfig> family =
       vliw::standard_config_family(bits);
-  const auto profiles = exec::parallel_map(
+  const auto profiles = exec::parallel_map_collect(
       family,
       [&](const vliw::MachineConfig& machine)
           -> std::optional<vliw::ExecutionProfile> {
@@ -63,9 +66,9 @@ ViterbiCostResult evaluate_viterbi_cost(const ViterbiCostQuery& query,
       });
 
   for (std::size_t m = 0; m < family.size(); ++m) {
-    if (!profiles[m].has_value()) continue;
+    if (!profiles[m].ok() || !profiles[m].value->has_value()) continue;
     const vliw::MachineConfig& machine = family[m];
-    const vliw::ExecutionProfile& profile = *profiles[m];
+    const vliw::ExecutionProfile& profile = **profiles[m].value;
     // Throughput in Mbps, clock in MHz: required MHz = cycles/bit * Mbps.
     const double required_mhz = profile.cycles_per_unit * query.throughput_mbps;
     const int cores =

@@ -107,9 +107,19 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   // Serial pool, tiny batch, or a nested call from inside a work item:
-  // execute inline. Exceptions propagate naturally.
+  // execute inline — but with the same drain-then-rethrow contract as the
+  // threaded path, so a throwing item never abandons its queued siblings
+  // (callers like parallel_map_collect rely on every index running).
   if (threads_ == 1 || n == 1 || tls_on_worker) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
 

@@ -10,8 +10,12 @@
 //    grid evaluation whose evaluator runs a sharded BER simulation). Inner
 //    calls issued from a pool worker execute inline serially, which avoids
 //    deadlock without oversubscribing.
-//  * Exceptions: the first exception thrown by a work item is captured and
-//    rethrown on the calling thread after the batch drains.
+//  * Exceptions: every index of a batch always runs — a throwing item never
+//    abandons its queued siblings. parallel_for / parallel_map drain the
+//    whole batch, then rethrow the first work-item exception on the calling
+//    thread; parallel_map_collect instead returns a per-item Outcome so the
+//    caller can treat failed items as data (the robust evaluation layer
+//    builds on this).
 //
 // The global pool is sized from the METACORE_THREADS environment variable
 // (falling back to std::thread::hardware_concurrency). METACORE_THREADS=1
@@ -20,7 +24,9 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <optional>
 #include <vector>
 
 namespace metacore::exec {
@@ -76,6 +82,37 @@ auto parallel_map(const std::vector<T>& items, F&& fn)
   std::vector<decltype(fn(items[0]))> out(items.size());
   parallel_for(items.size(),
                [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+/// Success-or-error result of one item in a parallel_map_collect batch
+/// (std::expected stand-in until C++23): exactly one of `value` / `error`
+/// is set.
+template <typename T>
+struct Outcome {
+  std::optional<T> value;
+  std::exception_ptr error;
+
+  bool ok() const noexcept { return value.has_value(); }
+  /// Rethrows the stored error; only meaningful when !ok().
+  [[noreturn]] void rethrow() const { std::rethrow_exception(error); }
+};
+
+/// Like parallel_map, but drains the whole batch unconditionally and
+/// returns a per-item Outcome instead of rethrowing the first exception —
+/// one failed item costs that item alone, never its in-flight siblings.
+/// Results keep item order.
+template <typename T, typename F>
+auto parallel_map_collect(const std::vector<T>& items, F&& fn)
+    -> std::vector<Outcome<decltype(fn(items[0]))>> {
+  std::vector<Outcome<decltype(fn(items[0]))>> out(items.size());
+  parallel_for(items.size(), [&](std::size_t i) {
+    try {
+      out[i].value.emplace(fn(items[i]));
+    } catch (...) {
+      out[i].error = std::current_exception();
+    }
+  });
   return out;
 }
 

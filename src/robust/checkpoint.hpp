@@ -1,0 +1,63 @@
+// Versioned JSON checkpoints for long-running searches. A checkpoint is
+// the search's evaluation journal — every (indices, fidelity, Evaluation)
+// absorbed, in absorption order — plus the failure counters and a config
+// fingerprint. Replaying the journal in order reconstructs the evaluation
+// cache AND the predictors' evidence sequences bit-for-bit (floating-point
+// accumulation order included), so a resumed search walks the exact
+// trajectory of an uninterrupted one without re-invoking the evaluator for
+// completed work.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "robust/counters.hpp"
+#include "search/objective.hpp"
+
+namespace metacore::robust {
+
+/// One absorbed evaluation: the grid indices of the point, the fidelity it
+/// was evaluated at, and the full result.
+struct CheckpointRecord {
+  std::vector<int> indices;
+  int fidelity = 0;
+  search::Evaluation eval;
+};
+
+inline constexpr int kCheckpointVersion = 1;
+
+struct SearchCheckpoint {
+  int version = kCheckpointVersion;
+  /// Design-space dimensionality, validated on resume.
+  std::size_t dimensions = 0;
+  /// Name of the probabilistic metric the writing search was configured
+  /// with (part of the trajectory-shaping configuration).
+  std::string probabilistic_metric;
+  /// Numeric configuration knobs that shape the search trajectory; a resume
+  /// with a different configuration is rejected rather than silently
+  /// diverging.
+  std::map<std::string, double> fingerprint;
+  /// Failure counters at the time of the flush.
+  FailureCounters failures;
+  /// Absorbed evaluations in absorption order.
+  std::vector<CheckpointRecord> journal;
+};
+
+/// Serializes `checkpoint` to `path` atomically (tmp file + rename), so a
+/// crash mid-write can never leave a truncated checkpoint behind. Doubles
+/// are written with round-trip precision; non-finite values use the bare
+/// tokens inf/-inf/nan (a deliberate, documented superset of JSON — our own
+/// reader accepts them). Throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path,
+                     const SearchCheckpoint& checkpoint);
+
+/// Parses a checkpoint written by save_checkpoint. Throws
+/// std::runtime_error on I/O failure, malformed JSON, a missing field, or a
+/// version mismatch.
+SearchCheckpoint load_checkpoint(const std::string& path);
+
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace metacore::robust

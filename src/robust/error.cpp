@@ -1,0 +1,41 @@
+#include "robust/error.hpp"
+
+namespace metacore::robust {
+
+const char* to_string(EvalErrorKind kind) noexcept {
+  switch (kind) {
+    case EvalErrorKind::InvalidPoint:
+      return "invalid-point";
+    case EvalErrorKind::NonConvergence:
+      return "non-convergence";
+    case EvalErrorKind::NonFiniteMetric:
+      return "non-finite-metric";
+    case EvalErrorKind::InjectedTransient:
+      return "injected-transient";
+  }
+  return "unknown";
+}
+
+EvalError classify_current_exception() {
+  try {
+    throw;
+  } catch (const EvalException& e) {
+    return {e.kind(), e.what()};
+  } catch (const std::invalid_argument& e) {
+    return {EvalErrorKind::InvalidPoint, e.what()};
+  } catch (const std::domain_error& e) {
+    return {EvalErrorKind::InvalidPoint, e.what()};
+  } catch (const std::out_of_range& e) {
+    return {EvalErrorKind::InvalidPoint, e.what()};
+  } catch (const std::logic_error& e) {
+    return {EvalErrorKind::NonConvergence, e.what()};
+  } catch (const std::runtime_error& e) {
+    return {EvalErrorKind::InvalidPoint, e.what()};
+  } catch (const std::exception& e) {
+    return {EvalErrorKind::NonConvergence, e.what()};
+  } catch (...) {
+    return {EvalErrorKind::NonConvergence, "unknown exception"};
+  }
+}
+
+}  // namespace metacore::robust

@@ -1,0 +1,130 @@
+#include "robust/fault_injection.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "robust/guarded_evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace metacore::robust {
+
+namespace {
+
+constexpr auto relaxed = std::memory_order_relaxed;
+
+double uniform01(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Stream key derived from the point's coordinate bit patterns and the
+/// fidelity — a pure function, identical across threads, runs, and retries.
+std::uint64_t point_key(std::uint64_t seed, const std::vector<double>& point,
+                        int fidelity) noexcept {
+  std::uint64_t key =
+      util::substream_key(seed, static_cast<std::uint64_t>(fidelity) + 1);
+  for (const double v : point) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    key = util::substream_key(key, bits);
+  }
+  return key;
+}
+
+/// Per-kind substream indices under the point key.
+enum : std::uint64_t {
+  kStreamInvalid = 1,
+  kStreamNonConvergence = 2,
+  kStreamNonFinite = 3,
+  kStreamTransient = 4,
+};
+
+bool fires(std::uint64_t key, std::uint64_t kind_stream, std::uint64_t counter,
+           double probability) noexcept {
+  if (probability <= 0.0) return false;
+  const std::uint64_t draw =
+      util::CounterRng::at(util::substream_key(key, kind_stream), counter);
+  return uniform01(draw) < probability;
+}
+
+void check_probability(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultInjector: ") + name +
+                                " probability must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+struct FaultInjector::State {
+  std::atomic<std::size_t> invalid_point{0};
+  std::atomic<std::size_t> non_convergence{0};
+  std::atomic<std::size_t> non_finite{0};
+  std::atomic<std::size_t> transient{0};
+};
+
+FaultInjector::FaultInjector(search::EvaluateFn inner,
+                             FaultInjectionConfig config)
+    : state_(std::make_shared<State>()),
+      inner_(std::move(inner)),
+      config_(config) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultInjector: null evaluator");
+  }
+  check_probability(config_.invalid_point, "invalid_point");
+  check_probability(config_.non_convergence, "non_convergence");
+  check_probability(config_.non_finite, "non_finite");
+  check_probability(config_.transient, "transient");
+}
+
+search::Evaluation FaultInjector::operator()(const std::vector<double>& point,
+                                             int fidelity) const {
+  const std::uint64_t key = point_key(config_.seed, point, fidelity);
+  if (fires(key, kStreamInvalid, 0, config_.invalid_point)) {
+    state_->invalid_point.fetch_add(1, relaxed);
+    throw EvalException(EvalErrorKind::InvalidPoint, "injected invalid point");
+  }
+  if (fires(key, kStreamNonConvergence, 0, config_.non_convergence)) {
+    state_->non_convergence.fetch_add(1, relaxed);
+    throw EvalException(EvalErrorKind::NonConvergence,
+                        "injected non-convergence");
+  }
+  if (fires(key, kStreamTransient,
+            static_cast<std::uint64_t>(current_attempt()),
+            config_.transient)) {
+    state_->transient.fetch_add(1, relaxed);
+    throw EvalException(EvalErrorKind::InjectedTransient,
+                        "injected transient fault");
+  }
+  search::Evaluation eval = inner_(point, fidelity);
+  if (fires(key, kStreamNonFinite, 0, config_.non_finite)) {
+    state_->non_finite.fetch_add(1, relaxed);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    if (eval.metrics.empty()) {
+      eval.metrics["injected_non_finite"] = nan;
+    } else {
+      eval.metrics.begin()->second = nan;
+    }
+  }
+  return eval;
+}
+
+search::EvaluateFn FaultInjector::fn() const {
+  FaultInjector copy = *this;
+  return [copy](const std::vector<double>& point, int fidelity) {
+    return copy(point, fidelity);
+  };
+}
+
+FaultInjectionCounts FaultInjector::counts() const {
+  FaultInjectionCounts out;
+  out.invalid_point = state_->invalid_point.load(relaxed);
+  out.non_convergence = state_->non_convergence.load(relaxed);
+  out.non_finite = state_->non_finite.load(relaxed);
+  out.transient = state_->transient.load(relaxed);
+  return out;
+}
+
+}  // namespace metacore::robust

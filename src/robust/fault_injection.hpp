@@ -1,0 +1,71 @@
+// Deterministic fault injection for robustness tests and ablations. The
+// injector wraps an EvaluateFn and fails evaluations with configured
+// per-kind probabilities, driven by counter-based RNG draws keyed on the
+// point's coordinate bits — never on wall-clock or thread identity — so the
+// exact same faults fire at any thread count and on every rerun.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "robust/error.hpp"
+#include "search/objective.hpp"
+
+namespace metacore::robust {
+
+struct FaultInjectionConfig {
+  /// Per-evaluation probability of each failure kind. Terminal kinds
+  /// (invalid_point, non_convergence, non_finite) draw once per point —
+  /// like the real engines, retrying them fails identically. The transient
+  /// kind draws independently per attempt (keyed on current_attempt()), so
+  /// a bounded retry clears it with probability 1 - p^attempts.
+  double invalid_point = 0.0;
+  double non_convergence = 0.0;
+  double non_finite = 0.0;
+  double transient = 0.0;
+  std::uint64_t seed = 0x5EEDF001ULL;
+};
+
+/// Faults actually fired so far, by kind (for matching against a
+/// GuardedEvaluator's counters in tests).
+struct FaultInjectionCounts {
+  std::size_t invalid_point = 0;
+  std::size_t non_convergence = 0;
+  std::size_t non_finite = 0;
+  std::size_t transient = 0;
+
+  std::size_t total() const noexcept {
+    return invalid_point + non_convergence + non_finite + transient;
+  }
+
+  friend bool operator==(const FaultInjectionCounts&,
+                         const FaultInjectionCounts&) = default;
+};
+
+class FaultInjector {
+ public:
+  /// Throws std::invalid_argument on a null evaluator or a probability
+  /// outside [0, 1].
+  FaultInjector(search::EvaluateFn inner, FaultInjectionConfig config);
+
+  /// Evaluates `point`, throwing EvalException for injected invalid-point /
+  /// non-convergence / transient faults; an injected non-finite fault
+  /// instead poisons one metric of the inner result with NaN (exercising
+  /// the guard's quarantine path). Safe to call concurrently.
+  search::Evaluation operator()(const std::vector<double>& point,
+                                int fidelity) const;
+
+  /// The injector as an EvaluateFn (shares this instance's counters).
+  search::EvaluateFn fn() const;
+
+  FaultInjectionCounts counts() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  search::EvaluateFn inner_;
+  FaultInjectionConfig config_;
+};
+
+}  // namespace metacore::robust

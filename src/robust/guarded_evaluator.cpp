@@ -1,0 +1,123 @@
+#include "robust/guarded_evaluator.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "robust/error.hpp"
+
+namespace metacore::robust {
+
+namespace {
+
+thread_local int tls_attempt = 0;
+
+}  // namespace
+
+int current_attempt() noexcept { return tls_attempt; }
+
+struct GuardedEvaluator::State {
+  std::atomic<std::size_t> invalid_point{0};
+  std::atomic<std::size_t> non_convergence{0};
+  std::atomic<std::size_t> non_finite{0};
+  std::atomic<std::size_t> transient_faults{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> recovered{0};
+  std::atomic<std::size_t> failed_evaluations{0};
+};
+
+GuardedEvaluator::GuardedEvaluator(search::EvaluateFn inner, RetryPolicy policy)
+    : state_(std::make_shared<State>()),
+      inner_(std::move(inner)),
+      policy_(policy) {
+  if (!inner_) {
+    throw std::invalid_argument("GuardedEvaluator: null evaluator");
+  }
+  if (policy_.max_attempts < 1) {
+    throw std::invalid_argument(
+        "GuardedEvaluator: RetryPolicy::max_attempts must be >= 1 (got " +
+        std::to_string(policy_.max_attempts) + ")");
+  }
+}
+
+search::Evaluation GuardedEvaluator::operator()(
+    const std::vector<double>& point, int fidelity) const {
+  constexpr auto relaxed = std::memory_order_relaxed;
+  for (int attempt = 0;; ++attempt) {
+    tls_attempt = attempt;
+    try {
+      search::Evaluation eval = inner_(point, fidelity);
+      tls_attempt = 0;
+
+      // Quarantine non-finite values: erase them so they can never reach a
+      // predictor or an objective comparison, and mark the point infeasible.
+      std::string bad;
+      for (auto it = eval.metrics.begin(); it != eval.metrics.end();) {
+        if (!std::isfinite(it->second)) {
+          if (!bad.empty()) bad += ", ";
+          bad += it->first;
+          it = eval.metrics.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (!std::isfinite(eval.confidence_weight)) {
+        if (!bad.empty()) bad += ", ";
+        bad += "confidence_weight";
+        eval.confidence_weight = 1.0;
+      }
+      if (!bad.empty()) {
+        state_->non_finite.fetch_add(1, relaxed);
+        state_->failed_evaluations.fetch_add(1, relaxed);
+        eval.feasible = false;
+        eval.failure_reason =
+            std::string(to_string(EvalErrorKind::NonFiniteMetric)) + ": " + bad;
+        return eval;
+      }
+      if (attempt > 0) state_->recovered.fetch_add(1, relaxed);
+      return eval;
+    } catch (...) {
+      const EvalError err = classify_current_exception();
+      if (is_transient(err.kind)) {
+        state_->transient_faults.fetch_add(1, relaxed);
+        if (attempt + 1 < policy_.max_attempts) {
+          state_->retries.fetch_add(1, relaxed);
+          continue;
+        }
+      } else if (err.kind == EvalErrorKind::InvalidPoint) {
+        state_->invalid_point.fetch_add(1, relaxed);
+      } else {
+        state_->non_convergence.fetch_add(1, relaxed);
+      }
+      tls_attempt = 0;
+      state_->failed_evaluations.fetch_add(1, relaxed);
+      search::Evaluation eval;
+      eval.feasible = false;
+      eval.failure_reason =
+          std::string(to_string(err.kind)) + ": " + err.message;
+      return eval;
+    }
+  }
+}
+
+search::EvaluateFn GuardedEvaluator::fn() const {
+  GuardedEvaluator copy = *this;
+  return [copy](const std::vector<double>& point, int fidelity) {
+    return copy(point, fidelity);
+  };
+}
+
+FailureCounters GuardedEvaluator::counters() const {
+  constexpr auto relaxed = std::memory_order_relaxed;
+  FailureCounters out;
+  out.invalid_point = state_->invalid_point.load(relaxed);
+  out.non_convergence = state_->non_convergence.load(relaxed);
+  out.non_finite = state_->non_finite.load(relaxed);
+  out.transient_faults = state_->transient_faults.load(relaxed);
+  out.retries = state_->retries.load(relaxed);
+  out.recovered = state_->recovered.load(relaxed);
+  out.failed_evaluations = state_->failed_evaluations.load(relaxed);
+  return out;
+}
+
+}  // namespace metacore::robust

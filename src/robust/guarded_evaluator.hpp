@@ -1,0 +1,59 @@
+// GuardedEvaluator: wraps any search::EvaluateFn so that evaluation
+// failures become data instead of aborting the caller. Thrown exceptions
+// are classified (robust/error.hpp), transient faults are retried with a
+// bounded, deterministic policy (immediate re-invocation — no wall-clock
+// backoff, so results are bit-identical at any thread count), NaN/Inf
+// metrics are quarantined, and terminal failures are converted into
+// infeasible Evaluations with a recorded failure reason.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "robust/counters.hpp"
+#include "search/objective.hpp"
+
+namespace metacore::robust {
+
+/// Bounded deterministic retry for transient faults. Attempts are issued
+/// immediately (the evaluators are CPU-bound simulations, not flaky I/O);
+/// the attempt number is published via current_attempt() so deterministic
+/// fault injectors can key per-attempt counter-RNG draws on it.
+struct RetryPolicy {
+  /// Total attempts per evaluation, including the first (>= 1). Transient
+  /// faults beyond the last attempt become terminal failures.
+  int max_attempts = 3;
+};
+
+/// Zero-based attempt number of the guarded evaluation currently running on
+/// this thread (0 on the first attempt and outside guarded evaluations).
+int current_attempt() noexcept;
+
+class GuardedEvaluator {
+ public:
+  /// Throws std::invalid_argument on a null evaluator or max_attempts < 1.
+  explicit GuardedEvaluator(search::EvaluateFn inner, RetryPolicy policy = {});
+
+  /// Evaluates `point`, absorbing failures. Never throws evaluator errors:
+  /// terminal failures return an infeasible Evaluation whose failure_reason
+  /// records "<kind>: <message>"; non-finite metric values are erased from
+  /// the result (so downstream predictors cannot be poisoned) and the
+  /// evaluation is marked infeasible. Safe to call concurrently; the
+  /// counters are shared atomics.
+  search::Evaluation operator()(const std::vector<double>& point,
+                                int fidelity) const;
+
+  /// The guard as an EvaluateFn (shares this instance's counter state).
+  search::EvaluateFn fn() const;
+
+  /// Snapshot of the failure counters accumulated so far.
+  FailureCounters counters() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  search::EvaluateFn inner_;
+  RetryPolicy policy_;
+};
+
+}  // namespace metacore::robust

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "exec/thread_pool.hpp"
+#include "robust/checkpoint.hpp"
 
 namespace metacore::search {
 
@@ -21,9 +22,37 @@ MultiresolutionSearch::MultiresolutionSearch(DesignSpace space,
   if (!evaluate_) {
     throw std::invalid_argument("MultiresolutionSearch: null evaluator");
   }
-  if (config_.max_resolution < 0 || config_.initial_points_per_dim < 1 ||
-      config_.refined_points_per_dim < 2 || config_.regions_per_level < 1) {
-    throw std::invalid_argument("MultiresolutionSearch: bad configuration");
+  if (config_.initial_points_per_dim < 1) {
+    throw std::invalid_argument(
+        "MultiresolutionSearch: initial_points_per_dim must be >= 1 (got " +
+        std::to_string(config_.initial_points_per_dim) + ")");
+  }
+  if (config_.max_initial_evaluations < 1) {
+    throw std::invalid_argument(
+        "MultiresolutionSearch: max_initial_evaluations must be >= 1 (got " +
+        std::to_string(config_.max_initial_evaluations) + ")");
+  }
+  if (config_.max_resolution < 0) {
+    throw std::invalid_argument(
+        "MultiresolutionSearch: max_resolution must be >= 0 (got " +
+        std::to_string(config_.max_resolution) + ")");
+  }
+  if (config_.regions_per_level < 1) {
+    throw std::invalid_argument(
+        "MultiresolutionSearch: regions_per_level must be >= 1 (got " +
+        std::to_string(config_.regions_per_level) + ")");
+  }
+  if (config_.refined_points_per_dim < 2) {
+    throw std::invalid_argument(
+        "MultiresolutionSearch: refined_points_per_dim must be >= 2 (got " +
+        std::to_string(config_.refined_points_per_dim) + ")");
+  }
+  if (config_.max_evaluations == 0) {
+    throw std::invalid_argument(
+        "MultiresolutionSearch: max_evaluations must be > 0");
+  }
+  if (config_.guard_evaluations) {
+    guard_.emplace(evaluate_, config_.retry);
   }
   if (!config_.probabilistic_metric.empty()) {
     for (const auto& c : objective_.constraints) {
@@ -116,6 +145,7 @@ void MultiresolutionSearch::absorb_evaluation(const std::vector<int>& indices,
                                               int fidelity, Evaluation eval,
                                               SearchResult& result) {
   ++result.evaluations;
+  journal_.push_back({indices, fidelity});
   if (has_probabilistic_ && eval.has_metric(config_.probabilistic_metric)) {
     ber_predictor_.add(space_.normalized(indices),
                        eval.metric(config_.probabilistic_metric),
@@ -193,9 +223,28 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
   // must be safe to call concurrently (the MetaCore evaluators build all
   // their simulation state per call). Results land in a dense index-ordered
   // buffer, so scheduling order cannot leak into anything downstream.
+  // Misses recorded in a restored checkpoint journal are satisfied from it
+  // instead of re-invoking the evaluator — a resumed search replays its
+  // past for free and only pays for the work beyond the checkpoint.
   std::vector<Evaluation> fresh(misses.size());
-  exec::parallel_for(misses.size(), [&](std::size_t j) {
-    fresh[j] = evaluate_(space_.values_at(grid[misses[j]]), resolution);
+  std::vector<std::size_t> live;  // misses the replay journal cannot satisfy
+  live.reserve(misses.size());
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    if (!replay_cache_.empty()) {
+      const auto it = replay_cache_.find({grid[misses[j]], resolution});
+      if (it != replay_cache_.end()) {
+        fresh[j] = std::move(it->second);
+        replay_cache_.erase(it);
+        continue;
+      }
+    }
+    live.push_back(j);
+  }
+  exec::parallel_for(live.size(), [&](std::size_t k) {
+    const std::size_t j = live[k];
+    const std::vector<double> values = space_.values_at(grid[misses[j]]);
+    fresh[j] =
+        guard_ ? (*guard_)(values, resolution) : evaluate_(values, resolution);
   });
 
   // Phase 3: merge in grid order — cache inserts, predictor evidence, and
@@ -206,6 +255,11 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
   for (std::size_t j = 0; j < misses.size(); ++j) {
     absorb_evaluation(grid[misses[j]], resolution, std::move(fresh[j]),
                       result);
+  }
+  // Level completed with new evidence: flush the checkpoint so a kill from
+  // here on loses at most the next level's in-flight batch.
+  if (!config_.checkpoint_path.empty() && !misses.empty()) {
+    flush_checkpoint();
   }
 
   // Phase 4: score the admitted points in grid order, exactly as the serial
@@ -283,12 +337,24 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
 
 SearchResult MultiresolutionSearch::run() {
   SearchResult result;
+  // Resume: load the journal once (a second run() on the same engine is
+  // already warm) and replay it instead of re-evaluating.
+  if (!config_.checkpoint_path.empty() && cache_.empty() &&
+      robust::checkpoint_exists(config_.checkpoint_path)) {
+    restore_from_checkpoint();
+  }
   Region full;
   full.ranges.reserve(space_.dimensions());
   for (const auto& p : space_.parameters()) {
     full.ranges.push_back({0, static_cast<int>(p.values.size()) - 1});
   }
   search_region(full, 0, result);
+  result.failures = current_failures();
+  // Final flush: a completed run leaves a complete checkpoint, and resuming
+  // from it replays to the identical result with zero evaluator calls.
+  if (!config_.checkpoint_path.empty()) {
+    flush_checkpoint();
+  }
 
   // Final history: the best-fidelity evaluation of each distinct point.
   result.history.reserve(cache_.size());
@@ -298,6 +364,66 @@ SearchResult MultiresolutionSearch::run() {
         {indices, space_.values_at(indices), eval, fid});
   }
   return result;
+}
+
+std::map<std::string, double> MultiresolutionSearch::config_fingerprint()
+    const {
+  return {
+      {"initial_points_per_dim",
+       static_cast<double>(config_.initial_points_per_dim)},
+      {"max_initial_evaluations",
+       static_cast<double>(config_.max_initial_evaluations)},
+      {"max_resolution", static_cast<double>(config_.max_resolution)},
+      {"regions_per_level", static_cast<double>(config_.regions_per_level)},
+      {"refined_points_per_dim",
+       static_cast<double>(config_.refined_points_per_dim)},
+      {"max_evaluations", static_cast<double>(config_.max_evaluations)},
+      {"probability_keep_threshold", config_.probability_keep_threshold},
+  };
+}
+
+robust::FailureCounters MultiresolutionSearch::current_failures() const {
+  robust::FailureCounters out = restored_failures_;
+  if (guard_) out += guard_->counters();
+  return out;
+}
+
+void MultiresolutionSearch::restore_from_checkpoint() {
+  robust::SearchCheckpoint cp =
+      robust::load_checkpoint(config_.checkpoint_path);
+  if (cp.dimensions != space_.dimensions()) {
+    throw std::runtime_error(
+        "MultiresolutionSearch: checkpoint dimensionality (" +
+        std::to_string(cp.dimensions) + ") does not match the design space (" +
+        std::to_string(space_.dimensions()) + ")");
+  }
+  if (cp.probabilistic_metric != config_.probabilistic_metric ||
+      cp.fingerprint != config_fingerprint()) {
+    throw std::runtime_error(
+        "MultiresolutionSearch: checkpoint " + config_.checkpoint_path +
+        " was written under a different search configuration; delete it to "
+        "start fresh");
+  }
+  restored_failures_ = cp.failures;
+  for (auto& rec : cp.journal) {
+    space_.check_indices(rec.indices);
+    replay_cache_.emplace(
+        std::make_pair(std::move(rec.indices), rec.fidelity),
+        std::move(rec.eval));
+  }
+}
+
+void MultiresolutionSearch::flush_checkpoint() const {
+  robust::SearchCheckpoint cp;
+  cp.dimensions = space_.dimensions();
+  cp.probabilistic_metric = config_.probabilistic_metric;
+  cp.fingerprint = config_fingerprint();
+  cp.failures = current_failures();
+  cp.journal.reserve(journal_.size());
+  for (const auto& [indices, fidelity] : journal_) {
+    cp.journal.push_back({indices, fidelity, cache_.at(indices).at(fidelity)});
+  }
+  robust::save_checkpoint(config_.checkpoint_path, cp);
 }
 
 SearchResult exhaustive_search(const DesignSpace& space,

@@ -7,9 +7,13 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "robust/counters.hpp"
+#include "robust/guarded_evaluator.hpp"
 #include "search/objective.hpp"
 #include "search/parameter.hpp"
 #include "search/predictor.hpp"
@@ -36,6 +40,22 @@ struct SearchConfig {
   /// Regions whose probability of meeting the probabilistic constraint
   /// falls below this are pruned without refinement.
   double probability_keep_threshold = 0.05;
+  /// Fault tolerance: when true (the default), the evaluator runs inside a
+  /// robust::GuardedEvaluator — thrown or NaN/Inf-metric evaluations become
+  /// infeasible points with a recorded failure reason (and transient faults
+  /// are retried deterministically) instead of aborting the whole search.
+  /// With a well-behaved evaluator the guard is a pure pass-through, so
+  /// results are bit-identical either way.
+  bool guard_evaluations = true;
+  /// Retry policy for transient evaluation faults (guarded mode only).
+  robust::RetryPolicy retry{};
+  /// When non-empty, the evaluation journal is flushed to this versioned
+  /// JSON checkpoint after every level that evaluated new points, and
+  /// run() resumes from the file if it exists: the journal is replayed
+  /// (zero evaluator calls for completed work, bit-identical trajectory)
+  /// and the search continues where it stopped. A checkpoint written under
+  /// a different search configuration is rejected with std::runtime_error.
+  std::string checkpoint_path;
 };
 
 struct EvaluatedPoint {
@@ -53,6 +73,10 @@ struct SearchResult {
   /// Every distinct point evaluated (highest-fidelity result per point) —
   /// the population behind the paper's "average case" comparisons.
   std::vector<EvaluatedPoint> history;
+  /// Failure/retry accounting from the guarded evaluator (all zero when
+  /// guarding is disabled or nothing failed). On a resumed search this
+  /// includes the counters restored from the checkpoint.
+  robust::FailureCounters failures;
 };
 
 /// The search engine. Each level collects its uncached grid points and fans
@@ -89,13 +113,32 @@ class MultiresolutionSearch {
   Region region_around(const std::vector<int>& center,
                        const std::vector<std::vector<int>>& grid,
                        const Region& parent) const;
+  /// Loads config_.checkpoint_path (if present) into the replay journal so
+  /// the next run() walks the recorded trajectory without evaluator calls.
+  void restore_from_checkpoint();
+  /// Writes the evaluation journal + counters to config_.checkpoint_path.
+  void flush_checkpoint() const;
+  /// The trajectory-shaping config knobs, for checkpoint validation.
+  std::map<std::string, double> config_fingerprint() const;
+  /// Counters restored from a checkpoint plus the live guard's counters.
+  robust::FailureCounters current_failures() const;
 
   DesignSpace space_;
   Objective objective_;
   EvaluateFn evaluate_;
   SearchConfig config_;
+  /// Wraps evaluate_ when config_.guard_evaluations is set.
+  std::optional<robust::GuardedEvaluator> guard_;
 
   std::map<std::vector<int>, std::map<int, Evaluation>> cache_;
+  /// Absorption order of every cache entry — the replayable journal that
+  /// makes checkpoints bit-exact (predictor evidence order included).
+  std::vector<std::pair<std::vector<int>, int>> journal_;
+  /// Evaluations restored from a checkpoint, keyed by (indices, fidelity);
+  /// consumed (instead of calling the evaluator) as the resumed search
+  /// re-walks the recorded trajectory.
+  std::map<std::pair<std::vector<int>, int>, Evaluation> replay_cache_;
+  robust::FailureCounters restored_failures_;
   BerPredictor ber_predictor_;
   /// Interpolator over the (smooth) objective metric, maintained for
   /// callers that want post-hoc surface estimates (the paper's smooth-

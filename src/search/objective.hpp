@@ -20,6 +20,11 @@ struct Evaluation {
   /// For probabilistic metrics: how much evidence backs them (e.g. bits
   /// simulated); used by the Bayesian predictor to weight observations.
   double confidence_weight = 1.0;
+  /// Non-empty when a guarded evaluator (robust::GuardedEvaluator)
+  /// converted a failure into this infeasible evaluation: "<kind>:
+  /// <message>", e.g. "non-convergence: schedule_block: scheduler failed to
+  /// converge". Empty for ordinary evaluations.
+  std::string failure_reason;
 
   double metric(const std::string& name) const;
   bool has_metric(const std::string& name) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace metacore::search {
 
@@ -23,9 +24,27 @@ double sq_distance(std::span<const double> a, std::span<const double> b) {
 /// Standard normal CDF.
 double phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
+/// Evidence must be finite: a single NaN/Inf observation would poison every
+/// later prediction through the weighted sums (NaN propagates; Inf collapses
+/// all weight onto one point), so reject it at the door with the offender
+/// named.
+void check_finite_coords(const char* who, const std::vector<double>& coords) {
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (!std::isfinite(coords[i])) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": non-finite coordinate at dimension " +
+                                  std::to_string(i));
+    }
+  }
+}
+
 }  // namespace
 
 void SmoothEstimator::add(std::vector<double> coords, double value) {
+  check_finite_coords("SmoothEstimator::add", coords);
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("SmoothEstimator::add: non-finite value");
+  }
   coords_.push_back(std::move(coords));
   values_.push_back(value);
 }
@@ -44,8 +63,15 @@ double SmoothEstimator::predict(std::span<const double> coords) const {
 }
 
 void BerPredictor::add(std::vector<double> coords, double ber, double trials) {
+  check_finite_coords("BerPredictor::add", coords);
+  if (!std::isfinite(ber)) {
+    throw std::invalid_argument("BerPredictor::add: non-finite BER");
+  }
   if (trials <= 0.0) {
     throw std::invalid_argument("BerPredictor: non-positive evidence");
+  }
+  if (!std::isfinite(trials)) {
+    throw std::invalid_argument("BerPredictor::add: non-finite evidence");
   }
   coords_.push_back(std::move(coords));
   log_ber_.push_back(std::log10(std::clamp(ber, 1e-12, 1.0)));

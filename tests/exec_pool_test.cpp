@@ -60,6 +60,52 @@ TEST(ThreadPool, PropagatesFirstExceptionAndSurvives) {
   EXPECT_EQ(sum.load(), 4950u);
 }
 
+TEST(ThreadPool, ThrowingItemNeverAbandonsSiblings) {
+  // Regression: the inline path (serial pool / nested calls) used to let an
+  // exception escape mid-loop, silently skipping every queued sibling. Both
+  // paths must drain the whole batch, then rethrow the first error.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(64);
+    EXPECT_THROW(
+        pool.parallel_for(hits.size(),
+                          [&](std::size_t i) {
+                            hits[i].fetch_add(1);
+                            if (i == 5) {
+                              throw std::runtime_error("mid-batch failure");
+                            }
+                          }),
+        std::runtime_error);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " skipped at "
+                                   << threads << " thread(s)";
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelMapCollectIsolatesFailures) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::set_global_threads(threads);
+    std::vector<int> items(50);
+    std::iota(items.begin(), items.end(), 0);
+    const auto outcomes = exec::parallel_map_collect(items, [](int x) {
+      if (x % 10 == 7) throw std::invalid_argument("bad item");
+      return x * 2;
+    });
+    ASSERT_EQ(outcomes.size(), items.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (i % 10 == 7) {
+        EXPECT_FALSE(outcomes[i].ok());
+        EXPECT_THROW(outcomes[i].rethrow(), std::invalid_argument);
+      } else {
+        ASSERT_TRUE(outcomes[i].ok());
+        EXPECT_EQ(*outcomes[i].value, static_cast<int>(i) * 2);
+      }
+    }
+  }
+  exec::ThreadPool::set_global_threads(1);
+}
+
 TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
   exec::ThreadPool pool(4);
   std::atomic<std::size_t> total{0};

@@ -172,6 +172,62 @@ TEST(MultiresolutionSearch, RejectsBadConfig) {
                std::invalid_argument);
 }
 
+TEST(MultiresolutionSearch, BadConfigMessagesNameFieldAndValue) {
+  const DesignSpace space = bowl_space(1, 5);
+  const auto expect_message = [&](SearchConfig config,
+                                  const std::string& needle) {
+    try {
+      MultiresolutionSearch(space, minimize_cost(), bowl_eval({0.5}), config);
+      FAIL() << "expected std::invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  SearchConfig config;
+  config.initial_points_per_dim = 0;
+  expect_message(config, "initial_points_per_dim must be >= 1 (got 0)");
+  config = {};
+  config.max_initial_evaluations = -3;
+  expect_message(config, "max_initial_evaluations must be >= 1 (got -3)");
+  config = {};
+  config.max_resolution = -1;
+  expect_message(config, "max_resolution must be >= 0 (got -1)");
+  config = {};
+  config.regions_per_level = 0;
+  expect_message(config, "regions_per_level must be >= 1 (got 0)");
+  config = {};
+  config.refined_points_per_dim = 1;
+  expect_message(config, "refined_points_per_dim must be >= 2 (got 1)");
+  config = {};
+  config.max_evaluations = 0;
+  expect_message(config, "max_evaluations must be > 0");
+  config = {};
+  config.retry.max_attempts = 0;  // surfaced by the guarded evaluator
+  EXPECT_THROW(MultiresolutionSearch(space, minimize_cost(),
+                                     bowl_eval({0.5}), config),
+               std::invalid_argument);
+}
+
+TEST(MultiresolutionSearch, GuardDisabledMatchesGuardedOnCleanEvaluator) {
+  // The guard must be a pure pass-through when nothing fails.
+  const DesignSpace space = bowl_space(2, 9);
+  SearchConfig guarded;
+  SearchConfig unguarded;
+  unguarded.guard_evaluations = false;
+  MultiresolutionSearch a(space, minimize_cost(), bowl_eval({0.4, 0.6}),
+                          guarded);
+  MultiresolutionSearch b(space, minimize_cost(), bowl_eval({0.4, 0.6}),
+                          unguarded);
+  const SearchResult ra = a.run();
+  const SearchResult rb = b.run();
+  EXPECT_EQ(ra.evaluations, rb.evaluations);
+  EXPECT_EQ(ra.best.indices, rb.best.indices);
+  EXPECT_EQ(ra.best.eval.metrics, rb.best.eval.metrics);
+  EXPECT_EQ(ra.failures, robust::FailureCounters{});
+  EXPECT_EQ(rb.failures, robust::FailureCounters{});
+}
+
 TEST(ExhaustiveSearch, VisitsEveryPoint) {
   const DesignSpace space = bowl_space(2, 5);
   std::atomic<std::size_t> calls{0};

@@ -1,6 +1,9 @@
 // Tests for the smooth-metric interpolator and the Bayesian BER predictor.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "search/predictor.hpp"
 
 namespace metacore::search {
@@ -92,6 +95,34 @@ TEST(BerPredictor, ClampsDegenerateBers) {
   const auto p = pred.predict(std::vector<double>{0.0});
   EXPECT_LE(p.log10_mean, -11.0);
   EXPECT_THROW(pred.add({0.1}, 1e-3, 0.0), std::invalid_argument);
+}
+
+TEST(SmoothEstimator, RejectsNonFiniteEvidence) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  SmoothEstimator est;
+  EXPECT_THROW(est.add({nan, 0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(est.add({0.0, inf}, 1.0), std::invalid_argument);
+  EXPECT_THROW(est.add({0.0}, nan), std::invalid_argument);
+  EXPECT_THROW(est.add({0.0}, -inf), std::invalid_argument);
+  // A rejected observation must not corrupt later predictions.
+  est.add({0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(est.predict(std::vector<double>{0.0}), 2.0);
+}
+
+TEST(BerPredictor, RejectsNonFiniteEvidence) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  BerPredictor pred;
+  EXPECT_THROW(pred.add({nan}, 1e-3, 1000.0), std::invalid_argument);
+  EXPECT_THROW(pred.add({0.0}, nan, 1000.0), std::invalid_argument);
+  EXPECT_THROW(pred.add({0.0}, inf, 1000.0), std::invalid_argument);
+  EXPECT_THROW(pred.add({0.0}, 1e-3, inf), std::invalid_argument);
+  EXPECT_THROW(pred.add({0.0}, 1e-3, nan), std::invalid_argument);
+  // Still usable after rejections.
+  pred.add({0.0}, 1e-4, 1000.0);
+  const auto p = pred.predict(std::vector<double>{0.0});
+  EXPECT_NEAR(p.log10_mean, -4.0, 0.2);
 }
 
 }  // namespace
