@@ -1,0 +1,154 @@
+// Design-query service throughput: a mixed batch of Viterbi/IIR queries
+// answered cold (empty evaluation store — every query runs its search from
+// scratch) and then warm (same journal, fresh service — searches replay out
+// of the store), plus the archive-only fast path. Records land in
+// BENCH_serve.json (override with METACORE_BENCH_SERVE_JSON) so the
+// cold/warm ratio is tracked across PRs.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
+#include "serve/service.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+namespace {
+
+std::string bench_serve_json_path() {
+  const char* env = std::getenv("METACORE_BENCH_SERVE_JSON");
+  return (env != nullptr && env[0] != '\0') ? env : "BENCH_serve.json";
+}
+
+std::vector<serve::DesignQuery> demo_batch() {
+  std::vector<serve::DesignQuery> batch;
+  const std::size_t max_evals = bench::quick_mode() ? 32 : 96;
+  for (const double mbps : {1.0, 2.0, 3.0}) {
+    serve::DesignQuery query;
+    query.kind = serve::QueryKind::Viterbi;
+    query.target_ber = 1e-2;
+    query.esn0_db = 1.0;
+    query.throughput_mbps = mbps;
+    query.ber_shards = 4;
+    query.budget.initial_points_per_dim = 2;
+    query.budget.max_resolution = 1;
+    query.budget.regions_per_level = 2;
+    query.budget.max_evaluations = max_evals;
+    batch.push_back(query);
+  }
+  serve::DesignQuery iir;
+  iir.kind = serve::QueryKind::Iir;
+  iir.sample_period_us = 1.0;
+  iir.budget.initial_points_per_dim = 2;
+  iir.budget.max_resolution = 1;
+  iir.budget.regions_per_level = 2;
+  iir.budget.max_evaluations = max_evals / 2;
+  batch.push_back(iir);
+  return batch;
+}
+
+struct PassResult {
+  double wall_ms = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t store_hits = 0;
+  std::size_t feasible = 0;
+};
+
+PassResult run_pass(const std::string& store_path,
+                    const std::vector<serve::DesignQuery>& batch) {
+  serve::ServiceConfig config;
+  config.store_path = store_path;
+  serve::DesignService service(config);
+  const auto start = std::chrono::steady_clock::now();
+  const auto responses = service.submit_batch(batch);
+  PassResult pass;
+  pass.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  for (const auto& r : responses) {
+    pass.evaluations += r.evaluations;
+    pass.store_hits += r.store_hits;
+    if (r.feasible) ++pass.feasible;
+  }
+  return pass;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Design-query service: cold vs warm batch throughput",
+      "the serve/ layer built on Section 4.4's search");
+  const std::size_t threads = exec::ThreadPool::configured_threads();
+  std::cout << "thread pool: " << threads << " thread(s)\n\n";
+
+  const std::string store_path = "bench_service_store.jsonl";
+  std::remove(store_path.c_str());
+  const auto batch = demo_batch();
+
+  std::cout << "cold pass: " << batch.size()
+            << " queries against an empty store...\n";
+  const PassResult cold = run_pass(store_path, batch);
+  std::cout << "  " << util::format_double(cold.wall_ms, 0) << " ms, "
+            << cold.evaluations << " evaluations, " << cold.store_hits
+            << " store hits, " << cold.feasible << "/" << batch.size()
+            << " feasible\n";
+
+  std::cout << "warm pass: same batch, fresh service, same journal...\n";
+  const PassResult warm = run_pass(store_path, batch);
+  std::cout << "  " << util::format_double(warm.wall_ms, 0) << " ms, "
+            << warm.evaluations << " evaluations, " << warm.store_hits
+            << " store hits, " << warm.feasible << "/" << batch.size()
+            << " feasible\n";
+
+  // Archive-only fast path: constraint query answered from the journal
+  // without a search.
+  serve::ServiceConfig config;
+  config.store_path = store_path;
+  serve::DesignService service(config);
+  serve::DesignQuery archive_query = batch.front();
+  archive_query.archive_only = true;
+  const auto archive_start = std::chrono::steady_clock::now();
+  const serve::DesignResponse archived = service.submit(archive_query);
+  const double archive_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                archive_start)
+                                .count();
+  std::cout << "archive-only query: "
+            << util::format_double(archive_ms, 2) << " ms, front of "
+            << archived.front.size() << " point(s)\n\n";
+
+  const bool consistent = warm.evaluations == cold.evaluations &&
+                          warm.store_hits > 0 && cold.store_hits == 0;
+  std::cout << "cold/warm speedup: "
+            << util::format_double(cold.wall_ms / warm.wall_ms, 1)
+            << "x, accounting "
+            << (consistent ? "consistent" : "INCONSISTENT") << "\n";
+
+  std::vector<bench::BenchRecord> records;
+  bench::BenchRecord record;
+  record.name = "serve_batch";
+  record.values["threads"] = static_cast<double>(threads);
+  record.values["queries"] = static_cast<double>(batch.size());
+  record.values["cold_wall_ms"] = cold.wall_ms;
+  record.values["warm_wall_ms"] = warm.wall_ms;
+  record.values["cold_queries_per_sec"] =
+      batch.size() / (cold.wall_ms / 1000.0);
+  record.values["warm_queries_per_sec"] =
+      batch.size() / (warm.wall_ms / 1000.0);
+  record.values["speedup"] = cold.wall_ms / warm.wall_ms;
+  record.values["evaluations"] = static_cast<double>(cold.evaluations);
+  record.values["warm_store_hits"] = static_cast<double>(warm.store_hits);
+  record.values["archive_query_ms"] = archive_ms;
+  record.labels["consistent"] = consistent ? "true" : "false";
+  records.push_back(std::move(record));
+  bench::append_bench_records(records, bench_serve_json_path());
+  std::cout << "bench records appended to " << bench_serve_json_path()
+            << "\n";
+
+  std::remove(store_path.c_str());
+  return consistent ? 0 : 1;
+}

@@ -66,6 +66,7 @@ int main() {
   double total_parallel_ms = 0.0;
   double total_serial_ms = 0.0;
   std::size_t total_evals = 0;
+  std::size_t total_cache_hits = 0;
   std::size_t total_failed = 0;
   std::size_t total_retried = 0;
   bool all_identical = true;
@@ -88,6 +89,7 @@ int main() {
     const double parallel_ms = run_timed(metacore, config, &result);
     total_parallel_ms += parallel_ms;
     total_evals += result.evaluations;
+    total_cache_hits += result.cache_hits;
 
     bench::BenchRecord record;
     record.name = "table3_search";
@@ -99,6 +101,8 @@ int main() {
     record.values["evaluations"] = static_cast<double>(result.evaluations);
     record.values["evaluations_per_sec"] =
         result.evaluations / (parallel_ms / 1000.0);
+    record.values["cache_hits"] = static_cast<double>(result.cache_hits);
+    record.values["store_hits"] = static_cast<double>(result.store_hits);
     record.values["failed_evaluations"] =
         static_cast<double>(result.failures.failed_evaluations);
     record.values["retried_evaluations"] =
@@ -152,6 +156,7 @@ int main() {
   total.values["evaluations"] = static_cast<double>(total_evals);
   total.values["evaluations_per_sec"] =
       total_evals / (total_parallel_ms / 1000.0);
+  total.values["cache_hits"] = static_cast<double>(total_cache_hits);
   total.values["failed_evaluations"] = static_cast<double>(total_failed);
   total.values["retried_evaluations"] = static_cast<double>(total_retried);
   if (threads > 1) {

@@ -1,0 +1,137 @@
+// Design-server demo: drive the DesignService from JSON query files, the
+// way a deployment would sit it behind a socket or a job queue.
+//
+//   $ ./build/examples/design_server_demo [--store PATH]
+//         [--expect-store-hits] [QUERY.json ...]
+//
+// Each QUERY.json holds one DesignQuery document (see
+// examples/queries/*.json). With no files, a built-in three-query demo
+// batch runs: two Viterbi requirement points and an archive-only follow-up
+// answered from the Pareto archive without a search.
+//
+// With --store PATH the evaluation store persists across invocations: run
+// the demo twice against the same path and the second run answers out of
+// the journal (store hits instead of simulation). --expect-store-hits
+// makes that a hard check — the process fails unless at least one search
+// was answered from the store (CI uses this to smoke-test warm restarts).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+using namespace metacore;
+
+namespace {
+
+std::vector<serve::DesignQuery> builtin_batch() {
+  std::vector<serve::DesignQuery> batch;
+  for (const double mbps : {1.0, 2.0}) {
+    serve::DesignQuery query;
+    query.kind = serve::QueryKind::Viterbi;
+    query.target_ber = 1e-2;
+    query.esn0_db = 1.0;
+    query.throughput_mbps = mbps;
+    query.ber_shards = 4;
+    query.budget.initial_points_per_dim = 2;
+    query.budget.max_resolution = 0;
+    query.budget.regions_per_level = 1;
+    query.budget.max_evaluations = 32;
+    batch.push_back(query);
+  }
+  serve::DesignQuery archive_query = batch.front();
+  archive_query.archive_only = true;
+  batch.push_back(archive_query);
+  return batch;
+}
+
+serve::DesignQuery load_query_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read query file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return serve::parse_design_query(buf.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_path;
+  bool expect_store_hits = false;
+  std::vector<std::string> query_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--store") {
+      if (i + 1 >= argc) {
+        std::cerr << "--store requires a path\n";
+        return 2;
+      }
+      store_path = argv[++i];
+    } else if (arg == "--expect-store-hits") {
+      expect_store_hits = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: design_server_demo [--store PATH] "
+                   "[--expect-store-hits] [QUERY.json ...]\n";
+      return 0;
+    } else {
+      query_files.push_back(arg);
+    }
+  }
+
+  std::vector<serve::DesignQuery> batch;
+  try {
+    if (query_files.empty()) {
+      batch = builtin_batch();
+      std::cout << "no query files given; running the built-in demo batch\n";
+    } else {
+      for (const auto& path : query_files) {
+        batch.push_back(load_query_file(path));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  serve::ServiceConfig config;
+  config.store_path = store_path;
+  serve::DesignService service(config);
+  if (!store_path.empty()) {
+    std::cout << "evaluation store: " << store_path << " ("
+              << service.store()->size() << " entries on open)\n";
+  }
+  std::cout << "submitting " << batch.size() << " query(ies)...\n\n";
+
+  const auto responses = service.submit_batch(batch);
+  std::size_t store_hits = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const serve::DesignResponse& r = responses[i];
+    store_hits += r.store_hits;
+    std::cout << "--- query " << i + 1 << ": "
+              << serve::to_string(batch[i].kind)
+              << (batch[i].archive_only ? " (archive-only)" : "") << "\n"
+              << r.summary << "\n";
+    if (r.feasible) {
+      std::cout << "front: " << r.front.size() << " point(s) over ("
+                << r.front_x << ", " << r.front_y << ")\n";
+    }
+    std::cout << serve::to_json(r) << "\n\n";
+  }
+
+  const serve::ServiceStats stats = service.stats();
+  std::cout << "service stats: " << stats.queries << " queries, "
+            << stats.searches_launched << " searches, " << stats.coalesced
+            << " coalesced, " << stats.archive_answers
+            << " archive answers; " << store_hits << " store hit(s)\n";
+
+  if (expect_store_hits && store_hits == 0) {
+    std::cerr << "FAIL: --expect-store-hits set but no query was answered "
+                 "from the store\n";
+    return 1;
+  }
+  return 0;
+}

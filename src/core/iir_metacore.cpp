@@ -1,6 +1,7 @@
 #include "core/iir_metacore.hpp"
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 namespace metacore::core {
@@ -180,7 +181,27 @@ search::EvaluateFn IirMetaCore::evaluator() const {
   };
 }
 
+std::string IirMetaCore::evaluation_fingerprint() const {
+  const dsp::FilterSpec& f = requirements_.filter;
+  std::ostringstream os;
+  os.precision(17);
+  os << "iir|band=" << static_cast<int>(f.band)
+     << "|family=" << static_cast<int>(f.family) << "|edges=" << f.pass_lo
+     << ',' << f.pass_hi << ',' << f.stop_lo << ',' << f.stop_hi
+     << "|ripple=" << f.passband_ripple_db << "|atten=" << f.stopband_atten_db
+     << "|order=" << f.order_override
+     << "|period=" << requirements_.sample_period_us
+     << "|tech=" << requirements_.tech.base_feature_um << ','
+     << requirements_.tech.feature_um << ','
+     << requirements_.tech.base_clock_mhz
+     << "|explore=" << requirements_.explore_family;
+  return os.str();
+}
+
 search::SearchResult IirMetaCore::search(search::SearchConfig config) const {
+  if (config.store && config.store_fingerprint.empty()) {
+    config.store_fingerprint = evaluation_fingerprint();
+  }
   search::MultiresolutionSearch engine(design_space(), objective(),
                                        evaluator(), config);
   return engine.run();

@@ -48,6 +48,14 @@ class IirMetaCore {
 
   search::EvaluateFn evaluator() const;
 
+  /// Stable content fingerprint of this metacore's evaluator (filter spec,
+  /// throughput requirement, technology, family exploration) — the
+  /// persistence scope for serve::EvaluationStore entries and Pareto
+  /// archives; see ViterbiMetaCore::evaluation_fingerprint.
+  std::string evaluation_fingerprint() const;
+
+  /// When `config.store` is set and `config.store_fingerprint` is empty,
+  /// the fingerprint is filled in from evaluation_fingerprint().
   search::SearchResult search(search::SearchConfig config = {}) const;
 
   /// The structure encoded at design-space position `index`.

@@ -29,8 +29,14 @@ std::string summarize(const search::SearchResult& result,
   std::string out = "search: " + std::to_string(result.evaluations) +
                     " evaluations, " + std::to_string(result.levels_executed) +
                     " resolution level(s), " +
-                    std::to_string(result.history.size()) +
-                    " distinct points; ";
+                    std::to_string(result.history.size()) + " distinct points";
+  if (result.cache_hits > 0) {
+    out += ", " + std::to_string(result.cache_hits) + " cache hit(s)";
+  }
+  if (result.store_hits > 0) {
+    out += ", " + std::to_string(result.store_hits) + " store hit(s)";
+  }
+  out += "; ";
   if (!result.found_feasible) {
     return out + "no feasible design found" +
            failure_summary(result.failures);

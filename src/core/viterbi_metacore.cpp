@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 namespace metacore::core {
@@ -179,9 +180,30 @@ search::EvaluateFn ViterbiMetaCore::evaluator() const {
   };
 }
 
+std::string ViterbiMetaCore::evaluation_fingerprint() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "viterbi|ber=" << requirements_.target_ber
+     << "|esn0=" << requirements_.esn0_db
+     << "|mbps=" << requirements_.throughput_mbps
+     << "|fixG=" << requirements_.fix_polynomial
+     << "|fixN=" << requirements_.fix_normalization
+     << "|shards=" << requirements_.ber_shards
+     << "|tech=" << requirements_.tech.base_feature_um << ','
+     << requirements_.tech.feature_um << ','
+     << requirements_.tech.base_clock_mhz
+     << "|sim=" << ber_base_.max_bits << ',' << ber_base_.min_bits << ','
+     << ber_base_.max_errors << ',' << ber_base_.seed << ','
+     << ber_base_.decision_ber << ',' << ber_base_.shards;
+  return os.str();
+}
+
 search::SearchResult ViterbiMetaCore::search(
     search::SearchConfig config) const {
   config.probabilistic_metric = "ber";
+  if (config.store && config.store_fingerprint.empty()) {
+    config.store_fingerprint = evaluation_fingerprint();
+  }
   search::MultiresolutionSearch engine(design_space(), objective(),
                                        evaluator(), config);
   search::SearchResult result = engine.run();
@@ -190,7 +212,9 @@ search::SearchResult ViterbiMetaCore::search(
   // candidates get the long-simulation treatment before selection.
   return search::verify_top_candidates(std::move(result), design_space(),
                                        objective(), evaluator(), 5,
-                                       config.max_resolution + 1);
+                                       config.max_resolution + 1,
+                                       config.store.get(),
+                                       config.store_fingerprint);
 }
 
 std::string describe(const comm::DecoderSpec& spec, double area_mm2) {

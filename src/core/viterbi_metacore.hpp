@@ -66,8 +66,21 @@ class ViterbiMetaCore {
 
   search::EvaluateFn evaluator() const;
 
+  /// Stable content fingerprint of this metacore's evaluator: the
+  /// requirements, the design-space shape they induce, and the BER
+  /// measurement definition. Two ViterbiMetaCores with equal fingerprints
+  /// produce bit-identical evaluations for every (point, fidelity), so the
+  /// fingerprint is the persistence scope of serve::EvaluationStore
+  /// entries and Pareto archives (the design-query service's entry point
+  /// into this metacore).
+  std::string evaluation_fingerprint() const;
+
   /// Runs the multiresolution search with Viterbi-appropriate defaults
-  /// (BER as the Bayesian-guarded probabilistic metric).
+  /// (BER as the Bayesian-guarded probabilistic metric). When
+  /// `config.store` is set and `config.store_fingerprint` is empty, the
+  /// fingerprint is filled in from evaluation_fingerprint() and the
+  /// verification pass shares the store — a warm store answers repeat
+  /// searches with near-zero evaluator calls.
   search::SearchResult search(search::SearchConfig config = {}) const;
 
  private:

@@ -7,49 +7,18 @@
 #include <stdexcept>
 #include <utility>
 
+#include "robust/json.hpp"
+
 namespace metacore::robust {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Writer
-// ---------------------------------------------------------------------------
+constexpr const char* kMagic = "metacore-search-checkpoint";
+constexpr const char* kWhat = "checkpoint";
 
-void write_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
+}  // namespace
 
-void write_double(std::ostream& os, double v) {
-  if (std::isnan(v)) {
-    os << "nan";
-  } else if (std::isinf(v)) {
-    os << (v > 0 ? "inf" : "-inf");
-  } else {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    os << buf;
-  }
-}
-
-void write_record(std::ostream& os, const CheckpointRecord& rec) {
+void write_eval_record(std::ostream& os, const CheckpointRecord& rec) {
   os << "{\"indices\":[";
   for (std::size_t d = 0; d < rec.indices.size(); ++d) {
     if (d) os << ',';
@@ -73,265 +42,40 @@ void write_record(std::ostream& os, const CheckpointRecord& rec) {
   os << "}}";
 }
 
-// ---------------------------------------------------------------------------
-// Parser: a minimal recursive-descent JSON reader covering the checkpoint
-// schema (objects, arrays, strings, numbers incl. inf/nan tokens, booleans).
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object };
-  Type type = Type::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("checkpoint: parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_token(const char* token) {
-    const std::size_t len = std::char_traits<char>::length(token);
-    if (text_.compare(pos_, len, token) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        JsonValue v;
-        v.type = JsonValue::Type::String;
-        v.string = parse_string();
-        return v;
-      }
-      default: break;
-    }
-    JsonValue v;
-    if (consume_token("true")) {
-      v.type = JsonValue::Type::Bool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_token("false")) {
-      v.type = JsonValue::Type::Bool;
-      v.boolean = false;
-      return v;
-    }
-    if (consume_token("null")) return v;
-    // Number, including the writer's non-finite tokens.
-    v.type = JsonValue::Type::Number;
-    if (consume_token("nan")) {
-      v.number = std::nan("");
-      return v;
-    }
-    if (consume_token("inf")) {
-      v.number = HUGE_VAL;
-      return v;
-    }
-    if (consume_token("-inf")) {
-      v.number = -HUGE_VAL;
-      return v;
-    }
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    v.number = std::strtod(start, &end);
-    if (end == start) fail("malformed value");
-    pos_ += static_cast<std::size_t>(end - start);
-    return v;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // The writer only escapes control characters, so a single byte
-          // suffices; reject anything wider rather than mis-decode it.
-          if (code > 0x7F) fail("unsupported \\u escape above 0x7F");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_object() {
-    JsonValue v;
-    v.type = JsonValue::Type::Object;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      expect(':');
-      v.object.emplace_back(std::move(key), parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue v;
-    v.type = JsonValue::Type::Array;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Schema mapping
-// ---------------------------------------------------------------------------
-
-const JsonValue& require(const JsonValue& obj, const std::string& key,
-                         JsonValue::Type type) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) {
-    throw std::runtime_error("checkpoint: missing field \"" + key + "\"");
-  }
-  if (v->type != type) {
-    throw std::runtime_error("checkpoint: field \"" + key +
-                             "\" has the wrong type");
-  }
-  return *v;
-}
-
-std::size_t require_count(const JsonValue& obj, const std::string& key) {
-  const double n = require(obj, key, JsonValue::Type::Number).number;
-  if (!(n >= 0.0) || n != std::floor(n)) {
-    throw std::runtime_error("checkpoint: field \"" + key +
-                             "\" is not a non-negative integer");
-  }
-  return static_cast<std::size_t>(n);
-}
-
-CheckpointRecord parse_record(const JsonValue& obj) {
+CheckpointRecord parse_eval_record(const JsonValue& obj,
+                                   const std::string& what) {
   if (obj.type != JsonValue::Type::Object) {
-    throw std::runtime_error("checkpoint: journal entry is not an object");
+    throw std::runtime_error(what + ": evaluation record is not an object");
   }
   CheckpointRecord rec;
-  const JsonValue& indices = require(obj, "indices", JsonValue::Type::Array);
+  const JsonValue& indices =
+      require(obj, "indices", JsonValue::Type::Array, what);
   rec.indices.reserve(indices.array.size());
   for (const JsonValue& idx : indices.array) {
     if (idx.type != JsonValue::Type::Number) {
-      throw std::runtime_error("checkpoint: non-numeric grid index");
+      throw std::runtime_error(what + ": non-numeric grid index");
     }
     rec.indices.push_back(static_cast<int>(std::llround(idx.number)));
   }
-  rec.fidelity = static_cast<int>(
-      std::llround(require(obj, "fidelity", JsonValue::Type::Number).number));
-  rec.eval.feasible = require(obj, "feasible", JsonValue::Type::Bool).boolean;
+  rec.fidelity = static_cast<int>(std::llround(
+      require(obj, "fidelity", JsonValue::Type::Number, what).number));
+  rec.eval.feasible =
+      require(obj, "feasible", JsonValue::Type::Bool, what).boolean;
   rec.eval.confidence_weight =
-      require(obj, "confidence_weight", JsonValue::Type::Number).number;
+      require(obj, "confidence_weight", JsonValue::Type::Number, what).number;
   rec.eval.failure_reason =
-      require(obj, "failure_reason", JsonValue::Type::String).string;
-  const JsonValue& metrics = require(obj, "metrics", JsonValue::Type::Object);
+      require(obj, "failure_reason", JsonValue::Type::String, what).string;
+  const JsonValue& metrics =
+      require(obj, "metrics", JsonValue::Type::Object, what);
   for (const auto& [name, value] : metrics.object) {
     if (value.type != JsonValue::Type::Number) {
-      throw std::runtime_error("checkpoint: non-numeric metric \"" + name +
+      throw std::runtime_error(what + ": non-numeric metric \"" + name +
                                "\"");
     }
     rec.eval.metrics[name] = value.number;
   }
   return rec;
 }
-
-constexpr const char* kMagic = "metacore-search-checkpoint";
-
-}  // namespace
 
 void save_checkpoint(const std::string& path,
                      const SearchCheckpoint& checkpoint) {
@@ -367,7 +111,7 @@ void save_checkpoint(const std::string& path,
        << "},\n\"journal\":[";
     for (std::size_t i = 0; i < checkpoint.journal.size(); ++i) {
       os << (i == 0 ? "\n" : ",\n");
-      write_record(os, checkpoint.journal[i]);
+      write_eval_record(os, checkpoint.journal[i]);
     }
     os << "\n]}\n";
     os.flush();
@@ -390,27 +134,30 @@ SearchCheckpoint load_checkpoint(const std::string& path) {
   buf << in.rdbuf();
   const std::string text = buf.str();
 
-  const JsonValue root = Parser(text).parse();
+  const JsonValue root = parse_json(text, kWhat);
   if (root.type != JsonValue::Type::Object) {
     throw std::runtime_error("checkpoint: document is not an object");
   }
-  if (require(root, "magic", JsonValue::Type::String).string != kMagic) {
+  if (require(root, "magic", JsonValue::Type::String, kWhat).string !=
+      kMagic) {
     throw std::runtime_error("checkpoint: " + path +
                              " is not a metacore search checkpoint");
   }
   SearchCheckpoint cp;
-  cp.version = static_cast<int>(
-      std::llround(require(root, "version", JsonValue::Type::Number).number));
+  cp.version = static_cast<int>(std::llround(
+      require(root, "version", JsonValue::Type::Number, kWhat).number));
   if (cp.version != kCheckpointVersion) {
     throw std::runtime_error(
         "checkpoint: unsupported version " + std::to_string(cp.version) +
         " (this build reads version " + std::to_string(kCheckpointVersion) +
         ")");
   }
-  cp.dimensions = require_count(root, "dimensions");
+  cp.dimensions = require_count(root, "dimensions", kWhat);
   cp.probabilistic_metric =
-      require(root, "probabilistic_metric", JsonValue::Type::String).string;
-  const JsonValue& fp = require(root, "fingerprint", JsonValue::Type::Object);
+      require(root, "probabilistic_metric", JsonValue::Type::String, kWhat)
+          .string;
+  const JsonValue& fp =
+      require(root, "fingerprint", JsonValue::Type::Object, kWhat);
   for (const auto& [key, value] : fp.object) {
     if (value.type != JsonValue::Type::Number) {
       throw std::runtime_error("checkpoint: non-numeric fingerprint entry \"" +
@@ -419,19 +166,22 @@ SearchCheckpoint load_checkpoint(const std::string& path) {
     cp.fingerprint[key] = value.number;
   }
   const JsonValue& counters =
-      require(root, "counters", JsonValue::Type::Object);
-  cp.failures.invalid_point = require_count(counters, "invalid_point");
-  cp.failures.non_convergence = require_count(counters, "non_convergence");
-  cp.failures.non_finite = require_count(counters, "non_finite");
-  cp.failures.transient_faults = require_count(counters, "transient_faults");
-  cp.failures.retries = require_count(counters, "retries");
-  cp.failures.recovered = require_count(counters, "recovered");
+      require(root, "counters", JsonValue::Type::Object, kWhat);
+  cp.failures.invalid_point = require_count(counters, "invalid_point", kWhat);
+  cp.failures.non_convergence =
+      require_count(counters, "non_convergence", kWhat);
+  cp.failures.non_finite = require_count(counters, "non_finite", kWhat);
+  cp.failures.transient_faults =
+      require_count(counters, "transient_faults", kWhat);
+  cp.failures.retries = require_count(counters, "retries", kWhat);
+  cp.failures.recovered = require_count(counters, "recovered", kWhat);
   cp.failures.failed_evaluations =
-      require_count(counters, "failed_evaluations");
-  const JsonValue& journal = require(root, "journal", JsonValue::Type::Array);
+      require_count(counters, "failed_evaluations", kWhat);
+  const JsonValue& journal =
+      require(root, "journal", JsonValue::Type::Array, kWhat);
   cp.journal.reserve(journal.array.size());
   for (const JsonValue& entry : journal.array) {
-    cp.journal.push_back(parse_record(entry));
+    cp.journal.push_back(parse_eval_record(entry, kWhat));
   }
   return cp;
 }

@@ -10,10 +10,12 @@
 
 #include <cstddef>
 #include <map>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "robust/counters.hpp"
+#include "robust/json.hpp"
 #include "search/objective.hpp"
 
 namespace metacore::robust {
@@ -59,5 +61,16 @@ void save_checkpoint(const std::string& path,
 SearchCheckpoint load_checkpoint(const std::string& path);
 
 bool checkpoint_exists(const std::string& path);
+
+/// Writes `rec` as one JSON object — the checkpoint journal-entry schema,
+/// which is also the per-line evaluation schema of the serve/ evaluation
+/// store (the store prepends its own addressing fields).
+void write_eval_record(std::ostream& os, const CheckpointRecord& rec);
+
+/// Parses a JSON object in the write_eval_record schema. Throws
+/// std::runtime_error (prefixed with `what`) on a missing or mistyped
+/// field.
+CheckpointRecord parse_eval_record(const JsonValue& obj,
+                                   const std::string& what);
 
 }  // namespace metacore::robust

@@ -1,0 +1,56 @@
+// Minimal JSON machinery shared by the persistence layers (search
+// checkpoints in robust/, the evaluation store and design-query service in
+// serve/): a recursive-descent reader covering objects, arrays, strings,
+// booleans, and numbers — including the bare non-finite tokens inf/-inf/nan,
+// a deliberate, documented superset of JSON our own writers emit — plus the
+// matching write helpers (escaped strings, round-trip doubles).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace metacore::robust {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses one complete JSON document. Throws std::runtime_error on
+/// malformed input or trailing content; `what` prefixes the error message
+/// so callers can attribute failures ("checkpoint", "store", ...).
+JsonValue parse_json(const std::string& text, const std::string& what);
+
+/// Member access with schema checking: throws std::runtime_error (prefixed
+/// with `what`) when `key` is absent or has the wrong type.
+const JsonValue& require(const JsonValue& obj, const std::string& key,
+                         JsonValue::Type type, const std::string& what);
+
+/// require() for non-negative integer-valued numbers (counters, sizes).
+std::size_t require_count(const JsonValue& obj, const std::string& key,
+                          const std::string& what);
+
+/// Writes `s` as a JSON string literal, escaping quotes, backslashes, and
+/// control characters.
+void write_escaped(std::ostream& os, const std::string& s);
+
+/// Writes a double with round-trip (%.17g) precision; non-finite values
+/// use the bare tokens inf/-inf/nan that parse_json reads back.
+void write_double(std::ostream& os, double v);
+
+}  // namespace metacore::robust

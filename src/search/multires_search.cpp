@@ -51,6 +51,11 @@ MultiresolutionSearch::MultiresolutionSearch(DesignSpace space,
     throw std::invalid_argument(
         "MultiresolutionSearch: max_evaluations must be > 0");
   }
+  if (config_.store && config_.store_fingerprint.empty()) {
+    throw std::invalid_argument(
+        "MultiresolutionSearch: store_fingerprint must identify the "
+        "evaluator when a persistent store is attached");
+  }
   if (config_.guard_evaluations) {
     guard_.emplace(evaluate_, config_.retry);
   }
@@ -218,6 +223,7 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
       ++planned_evals;
     }
   }
+  result.cache_hits += admitted.size() - misses.size();
 
   // Phase 2: fan the cache misses out across the thread pool. The evaluator
   // must be safe to call concurrently (the MetaCore evaluators build all
@@ -225,9 +231,12 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
   // buffer, so scheduling order cannot leak into anything downstream.
   // Misses recorded in a restored checkpoint journal are satisfied from it
   // instead of re-invoking the evaluator — a resumed search replays its
-  // past for free and only pays for the work beyond the checkpoint.
+  // past for free and only pays for the work beyond the checkpoint — and
+  // misses covered by the persistent store are absorbed straight from it,
+  // which is what turns a repeat search against a warm store into
+  // near-zero evaluator calls.
   std::vector<Evaluation> fresh(misses.size());
-  std::vector<std::size_t> live;  // misses the replay journal cannot satisfy
+  std::vector<std::size_t> live;  // misses no journal or store can satisfy
   live.reserve(misses.size());
   for (std::size_t j = 0; j < misses.size(); ++j) {
     if (!replay_cache_.empty()) {
@@ -235,6 +244,15 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
       if (it != replay_cache_.end()) {
         fresh[j] = std::move(it->second);
         replay_cache_.erase(it);
+        continue;
+      }
+    }
+    if (config_.store) {
+      auto hit = config_.store->lookup(config_.store_fingerprint,
+                                       grid[misses[j]], resolution);
+      if (hit) {
+        fresh[j] = std::move(*hit);
+        ++result.store_hits;
         continue;
       }
     }
@@ -246,6 +264,13 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
     fresh[j] =
         guard_ ? (*guard_)(values, resolution) : evaluate_(values, resolution);
   });
+  // Feed the store in grid order so its append journal is deterministic.
+  if (config_.store) {
+    for (const std::size_t j : live) {
+      config_.store->record(config_.store_fingerprint, grid[misses[j]],
+                            resolution, fresh[j]);
+    }
+  }
 
   // Phase 3: merge in grid order — cache inserts, predictor evidence, and
   // the evaluation counter all advance deterministically. (Relative to the
@@ -480,13 +505,37 @@ SearchResult verify_top_candidates(SearchResult result,
                                    const DesignSpace& space,
                                    const Objective& objective,
                                    const EvaluateFn& evaluate, int top_k,
-                                   int fidelity) {
+                                   int fidelity, EvaluationStoreBase* store,
+                                   const std::string& store_fingerprint) {
   if (top_k < 1) {
     throw std::invalid_argument("verify_top_candidates: top_k must be >= 1");
+  }
+  if (store != nullptr && store_fingerprint.empty()) {
+    throw std::invalid_argument(
+        "verify_top_candidates: store_fingerprint must identify the "
+        "evaluator when a persistent store is attached");
   }
   // Re-evaluations use the candidates' stored values directly; the space
   // parameter documents (and future-proofs) the coordinate system.
   (void)space;
+  // Store-aware re-evaluation: consult the persistent store first, record
+  // fresh results back. `result.evaluations` counts store hits exactly
+  // like the search proper, so warm and cold runs report the same count.
+  const auto evaluate_at = [&](const std::vector<int>& indices,
+                               const std::vector<double>& values) {
+    if (store != nullptr) {
+      auto hit = store->lookup(store_fingerprint, indices, fidelity);
+      if (hit) {
+        ++result.store_hits;
+        return *hit;
+      }
+    }
+    Evaluation eval = evaluate(values, fidelity);
+    if (store != nullptr) {
+      store->record(store_fingerprint, indices, fidelity, eval);
+    }
+    return eval;
+  };
   std::vector<const EvaluatedPoint*> ranked;
   ranked.reserve(result.history.size());
   for (const auto& p : result.history) ranked.push_back(&p);
@@ -508,7 +557,7 @@ SearchResult verify_top_candidates(SearchResult result,
     const EvaluatedPoint* cand = ranked[i];
     Evaluation eval = cand->fidelity >= fidelity
                           ? cand->eval
-                          : evaluate(cand->values, fidelity);
+                          : evaluate_at(cand->indices, cand->values);
     if (cand->fidelity < fidelity) ++result.evaluations;
     const bool feasible = objective.feasible(eval);
     if (!have_best || objective.better(eval, best.eval)) {

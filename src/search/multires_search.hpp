@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -17,6 +18,7 @@
 #include "search/objective.hpp"
 #include "search/parameter.hpp"
 #include "search/predictor.hpp"
+#include "search/store.hpp"
 
 namespace metacore::search {
 
@@ -56,6 +58,22 @@ struct SearchConfig {
   /// and the search continues where it stopped. A checkpoint written under
   /// a different search configuration is rejected with std::runtime_error.
   std::string checkpoint_path;
+  /// Persistent cross-run evaluation store (serve::EvaluationStore or any
+  /// other EvaluationStoreBase). When set, every cache miss first consults
+  /// the store under `store_fingerprint` — a hit is absorbed without
+  /// invoking the evaluator (counted in SearchResult::store_hits) — and
+  /// every fresh evaluation is recorded back. Because stored evaluations
+  /// round-trip bit-exactly and the absorb order is unchanged, a warm
+  /// store reproduces the cold search's trajectory and result exactly.
+  /// Unlike `checkpoint_path`, the store is shared *across* searches and
+  /// configurations: the fingerprint scopes entries to an evaluator, not
+  /// to a search trajectory.
+  std::shared_ptr<EvaluationStoreBase> store;
+  /// Content fingerprint of the evaluator (requirements + design space +
+  /// measurement definition). Required when `store` is set; the MetaCore
+  /// entry points (core::ViterbiMetaCore::search / IirMetaCore::search)
+  /// fill it in automatically.
+  std::string store_fingerprint;
 };
 
 struct EvaluatedPoint {
@@ -68,7 +86,19 @@ struct EvaluatedPoint {
 struct SearchResult {
   bool found_feasible = false;
   EvaluatedPoint best{};
-  std::size_t evaluations = 0;  ///< evaluator invocations (cache misses)
+  /// Budget-consuming evaluations absorbed by the search: every level
+  /// cache miss, whether satisfied by the evaluator, a checkpoint replay,
+  /// or a persistent-store hit — identical for cold and warm runs of the
+  /// same search (actual evaluator invocations = evaluations - store_hits
+  /// - checkpoint-replayed work).
+  std::size_t evaluations = 0;
+  /// Level grid points satisfied by the in-run evaluation cache (points
+  /// revisited across levels/fidelities); these never consume budget.
+  std::size_t cache_hits = 0;
+  /// Cache misses satisfied by SearchConfig::store instead of the
+  /// evaluator. Run-local diagnostic: a cold run reports 0, a warm rerun
+  /// reports (up to) the cold run's evaluation count.
+  std::size_t store_hits = 0;
   int levels_executed = 0;
   /// Every distinct point evaluated (highest-fidelity result per point) —
   /// the population behind the paper's "average case" comparisons.
@@ -168,11 +198,17 @@ SearchResult exhaustive_search(const DesignSpace& space,
 /// finished search at `fidelity` (typically higher than the search used)
 /// and re-selects the winner — the "longer simulation times" refinement
 /// the paper applies to surviving candidates. Returns the updated result;
-/// `result.evaluations` grows by the re-evaluations performed.
+/// `result.evaluations` grows by the re-evaluations performed. When
+/// `store` is non-null, re-evaluations consult and feed it under
+/// `store_fingerprint` exactly like the search proper (hits land in
+/// `result.store_hits`), so a warm store also covers the verification
+/// pass.
 SearchResult verify_top_candidates(SearchResult result,
                                    const DesignSpace& space,
                                    const Objective& objective,
                                    const EvaluateFn& evaluate, int top_k,
-                                   int fidelity);
+                                   int fidelity,
+                                   EvaluationStoreBase* store = nullptr,
+                                   const std::string& store_fingerprint = {});
 
 }  // namespace metacore::search

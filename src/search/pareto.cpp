@@ -15,12 +15,19 @@ std::vector<EvaluatedPoint> pareto_front(
       candidates.push_back(&p);
     }
   }
+  // Metric ties are broken by grid indices (lowest wins): the order is
+  // total, so the staircase below — which keeps exactly one point per
+  // coincident (x, y) — deduplicates deterministically regardless of
+  // history order or std::sort's handling of equivalent elements.
   std::sort(candidates.begin(), candidates.end(),
             [&](const EvaluatedPoint* a, const EvaluatedPoint* b) {
               const double ax = a->eval.metric(metric_x);
               const double bx = b->eval.metric(metric_x);
               if (ax != bx) return ax < bx;
-              return a->eval.metric(metric_y) < b->eval.metric(metric_y);
+              const double ay = a->eval.metric(metric_y);
+              const double by = b->eval.metric(metric_y);
+              if (ay != by) return ay < by;
+              return a->indices < b->indices;
             });
   std::vector<EvaluatedPoint> front;
   double best_y = std::numeric_limits<double>::infinity();

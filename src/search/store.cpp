@@ -1,0 +1,7 @@
+#include "search/store.hpp"
+
+namespace metacore::search {
+
+EvaluationStoreBase::~EvaluationStoreBase() = default;
+
+}  // namespace metacore::search

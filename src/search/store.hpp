@@ -1,0 +1,41 @@
+// Pluggable persistent evaluation storage for the search engines. The
+// search layer only sees this interface; the concrete content-addressed
+// JSONL store lives in serve/ (serve::EvaluationStore) so the persistence
+// format can evolve without touching the search. Keys are
+// (fingerprint, grid indices, fidelity): the fingerprint identifies the
+// *evaluator* — requirements, design space, measurement definition — so
+// evaluations recorded by one search are reusable by any later search or
+// service query over the same evaluator, regardless of search-trajectory
+// configuration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/objective.hpp"
+
+namespace metacore::search {
+
+class EvaluationStoreBase {
+ public:
+  virtual ~EvaluationStoreBase();
+
+  /// Returns the stored evaluation for the key, or nullopt. Must be safe
+  /// to call concurrently with other lookup() calls; callers serialize
+  /// lookups against record() per the implementation's discipline
+  /// (serve::EvaluationStore allows fully concurrent lookups and
+  /// internally serializes writers).
+  virtual std::optional<Evaluation> lookup(const std::string& fingerprint,
+                                           const std::vector<int>& indices,
+                                           int fidelity) = 0;
+
+  /// Records one evaluation under the key. Implementations may ignore
+  /// duplicate keys (first write wins) — the search only records keys it
+  /// failed to look up.
+  virtual void record(const std::string& fingerprint,
+                      const std::vector<int>& indices, int fidelity,
+                      const Evaluation& eval) = 0;
+};
+
+}  // namespace metacore::search

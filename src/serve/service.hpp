@@ -1,0 +1,165 @@
+// The MetaCore design-query service: a long-lived engine that answers
+// "find me the cheapest Viterbi/IIR configuration meeting these
+// requirements" queries on top of the multiresolution search, the
+// persistent evaluation store, and an incremental Pareto archive.
+//
+//  * Queries are JSON-serializable round-trip (parse_design_query /
+//    to_json), so the service can be driven from files, sockets, or any
+//    transport a deployment puts in front of it.
+//  * Identical in-flight queries are coalesced: concurrent submits of the
+//    same canonical query share one search, and every waiter receives a
+//    byte-identical copy of its response.
+//  * Batches fan independent queries out across the exec thread pool
+//    (submit_batch); duplicates inside a batch are deduplicated up front
+//    so responses are byte-identical at any METACORE_THREADS.
+//  * Every completed search feeds a per-evaluator Pareto archive;
+//    constraint-only queries (DesignQuery::archive_only) are answered
+//    directly from it — chosen point, metrics, and the front slice —
+//    without launching a search.
+//  * With a persistent store attached, repeat queries (same evaluator
+//    fingerprint) are served with near-zero evaluator calls: the search
+//    replays its trajectory out of the store.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/iir_metacore.hpp"
+#include "core/viterbi_metacore.hpp"
+#include "search/multires_search.hpp"
+#include "serve/store.hpp"
+
+namespace metacore::serve {
+
+enum class QueryKind : int { Viterbi = 0, Iir = 1 };
+
+std::string to_string(QueryKind kind);
+
+/// Search-budget knobs a query may carry (the trajectory-shaping subset of
+/// search::SearchConfig; everything else keeps MetaCore defaults).
+struct QueryBudget {
+  int initial_points_per_dim = 3;
+  int max_resolution = 1;
+  int regions_per_level = 3;
+  std::size_t max_evaluations = 160;
+};
+
+/// One design request. For Viterbi queries the requirement fields mirror
+/// core::ViterbiRequirements; IIR queries parameterize the paper's
+/// Section 5.3 bandpass (core::paper_bandpass_requirements) by sample
+/// period. `constraints`, when non-empty, REPLACE the metacore's default
+/// constraint set (so a constraint-only query can relax or retighten
+/// bounds over the same evaluator scope); `minimize` overrides the
+/// objective metric when non-empty. With `archive_only` set the query is
+/// answered from the accumulated Pareto archive without searching.
+struct DesignQuery {
+  QueryKind kind = QueryKind::Viterbi;
+
+  // Viterbi requirements (used when kind == Viterbi).
+  double target_ber = 1e-4;
+  double esn0_db = 1.0;
+  double throughput_mbps = 1.0;
+  int ber_shards = 8;
+
+  // IIR requirements (used when kind == Iir).
+  double sample_period_us = 1.0;
+
+  QueryBudget budget{};
+  std::string minimize;                       ///< empty = metacore default
+  std::vector<search::Constraint> constraints;  ///< empty = metacore default
+  bool archive_only = false;
+};
+
+/// Canonical JSON encodings: field order is fixed and doubles are written
+/// with round-trip precision, so equal queries encode to equal bytes (the
+/// coalescing key) and every query/response round-trips exactly.
+std::string to_json(const DesignQuery& query);
+DesignQuery parse_design_query(const std::string& json);
+
+struct DesignResponse {
+  bool feasible = false;
+  bool from_archive = false;
+  /// The chosen design point (indices, values, evaluation, fidelity).
+  search::EvaluatedPoint best{};
+  /// Search accounting (all zero for archive answers).
+  std::size_t evaluations = 0;
+  std::size_t cache_hits = 0;
+  std::size_t store_hits = 0;
+  /// The Pareto front slice over (front_x, front_y), both minimized;
+  /// for archive answers, restricted to constraint-satisfying points.
+  std::string front_x, front_y;
+  std::vector<search::EvaluatedPoint> front;
+  std::string summary;
+};
+
+std::string to_json(const DesignResponse& response);
+
+struct ServiceStats {
+  std::size_t queries = 0;           ///< submits (batch entries included)
+  std::size_t searches_launched = 0; ///< searches actually executed
+  std::size_t coalesced = 0;         ///< submits served by another's search
+  std::size_t archive_answers = 0;   ///< answered from the Pareto archive
+};
+
+struct ServiceConfig {
+  /// Path of the persistent evaluation store; empty = no persistence
+  /// (in-run coalescing and archives still work).
+  std::string store_path;
+  /// Share an already-open store instead (takes precedence over
+  /// store_path).
+  std::shared_ptr<EvaluationStore> store;
+};
+
+class DesignService {
+ public:
+  explicit DesignService(ServiceConfig config = {});
+
+  /// Blocking: answers the query, coalescing with any identical in-flight
+  /// submit. Safe to call concurrently from any number of threads.
+  DesignResponse submit(const DesignQuery& query);
+
+  /// Fans the batch out across the exec thread pool. Identical queries
+  /// are deduplicated up front (each unique query runs once; duplicates
+  /// count as coalesced), so the response vector is byte-identical at any
+  /// thread count.
+  std::vector<DesignResponse> submit_batch(
+      const std::vector<DesignQuery>& queries);
+
+  ServiceStats stats() const;
+
+  /// The attached store (nullptr when running without persistence).
+  std::shared_ptr<EvaluationStore> store() const { return store_; }
+
+  /// Distinct evaluated points archived for the query's evaluator scope.
+  std::size_t archive_size(const DesignQuery& query) const;
+
+ private:
+  struct InFlight;
+
+  /// Executes the query for real (search or archive answer).
+  DesignResponse run_query(const DesignQuery& query);
+  DesignResponse answer_from_archive(const DesignQuery& query);
+  void absorb_history(const std::string& fingerprint,
+                      const std::vector<search::EvaluatedPoint>& history);
+
+  std::shared_ptr<EvaluationStore> store_;
+
+  std::mutex registry_mutex_;
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+
+  /// Per-evaluator-fingerprint archives: every distinct point any search
+  /// evaluated, highest fidelity per point, keyed by grid indices.
+  mutable std::shared_mutex archive_mutex_;
+  std::map<std::string, std::map<std::vector<int>, search::EvaluatedPoint>>
+      archives_;
+};
+
+}  // namespace metacore::serve

@@ -1,0 +1,254 @@
+#include "serve/store.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "robust/checkpoint.hpp"
+#include "robust/json.hpp"
+
+namespace metacore::serve {
+
+namespace {
+
+constexpr const char* kMagic = "metacore-evaluation-store";
+constexpr const char* kWhat = "store";
+
+std::string header_line() {
+  std::ostringstream os;
+  os << "{\"magic\":\"" << kMagic << "\",\"version\":" << kStoreVersion
+     << "}";
+  return os.str();
+}
+
+}  // namespace
+
+EvaluationStore::EvaluationStore(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    throw std::invalid_argument("store: path must be non-empty");
+  }
+  load_or_create();
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("store: cannot open " + path_ +
+                             " for appending");
+  }
+}
+
+void EvaluationStore::write_line(std::ostream& os, const Key& key,
+                                 const search::Evaluation& eval) const {
+  robust::CheckpointRecord rec;
+  rec.indices = std::get<1>(key);
+  rec.fidelity = std::get<2>(key);
+  rec.eval = eval;
+  os << "{\"fingerprint\":";
+  robust::write_escaped(os, std::get<0>(key));
+  os << ",\"record\":";
+  robust::write_eval_record(os, rec);
+  os << "}\n";
+}
+
+void EvaluationStore::load_or_create() {
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+  }
+
+  if (text.empty()) {
+    // Fresh store (or an empty file from a crash at creation): write the
+    // header so the journal is self-identifying from byte 0.
+    std::ofstream os(path_, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("store: cannot create " + path_);
+    }
+    os << header_line() << '\n';
+    if (!os.flush()) {
+      throw std::runtime_error("store: write to " + path_ + " failed");
+    }
+    return;
+  }
+
+  // Split into newline-terminated lines; an unterminated remainder is the
+  // candidate crash tail.
+  std::vector<std::pair<std::size_t, std::string>> lines;  // (offset, text)
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.emplace_back(start, text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  const std::size_t good_end = start;  // byte after the last terminated line
+  const std::size_t tail_bytes = text.size() - good_end;
+
+  if (lines.empty()) {
+    // Only an unterminated fragment: a crash while writing the very first
+    // (header) line. Nothing is lost by starting fresh.
+    stats_.recovered_bytes = tail_bytes;
+    std::ofstream os(path_, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("store: cannot create " + path_);
+    }
+    os << header_line() << '\n';
+    if (!os.flush()) {
+      throw std::runtime_error("store: write to " + path_ + " failed");
+    }
+    return;
+  }
+
+  // Header: must identify the file and carry a version we read.
+  robust::JsonValue header;
+  try {
+    header = robust::parse_json(lines[0].second, kWhat);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("store: " + path_ +
+                             " has an unreadable header line: " + e.what());
+  }
+  if (header.type != robust::JsonValue::Type::Object ||
+      robust::require(header, "magic", robust::JsonValue::Type::String, kWhat)
+              .string != kMagic) {
+    throw std::runtime_error("store: " + path_ +
+                             " is not a metacore evaluation store");
+  }
+  const auto version = static_cast<int>(std::llround(
+      robust::require(header, "version", robust::JsonValue::Type::Number,
+                      kWhat)
+          .number));
+  if (version != kStoreVersion) {
+    throw std::runtime_error(
+        "store: " + path_ + " has unsupported version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kStoreVersion) + ")");
+  }
+
+  // Records. A terminated line that fails to parse cannot be a crash
+  // artifact (appends only emit '\n' last), so it is rejected as real
+  // corruption with its line number.
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    robust::JsonValue entry;
+    try {
+      entry = robust::parse_json(lines[i].second, kWhat);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(
+          "store: " + path_ + " is corrupt at line " + std::to_string(i + 1) +
+          " (a newline-terminated record failed to parse — not a truncated "
+          "tail, refusing to guess): " +
+          e.what());
+    }
+    const std::string fingerprint =
+        robust::require(entry, "fingerprint", robust::JsonValue::Type::String,
+                        kWhat)
+            .string;
+    const robust::CheckpointRecord rec = robust::parse_eval_record(
+        robust::require(entry, "record", robust::JsonValue::Type::Object,
+                        kWhat),
+        kWhat);
+    ++stats_.journal_lines;
+    Key key{fingerprint, rec.indices, rec.fidelity};
+    // First record wins: duplicate keys are bit-identical by construction
+    // (same evaluator, same point, same fidelity), so which one survives
+    // only matters for determinism of the compacted file.
+    if (!entries_.emplace(std::move(key), rec.eval).second) {
+      ++stats_.compacted_lines;
+    }
+  }
+  stats_.live_entries = entries_.size();
+
+  // Truncated-tail recovery: drop the unterminated fragment.
+  if (tail_bytes > 0) {
+    stats_.recovered_bytes = tail_bytes;
+  }
+
+  // Compaction / recovery rewrite: when the journal carries duplicate
+  // lines or a corrupt tail, rewrite it compacted (atomic tmp + rename so
+  // a crash mid-rewrite cannot lose the journal).
+  if (stats_.compacted_lines > 0 || tail_bytes > 0) {
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      if (!os) {
+        throw std::runtime_error("store: cannot open " + tmp +
+                                 " for compaction");
+      }
+      os << header_line() << '\n';
+      for (const auto& [key, eval] : entries_) {
+        write_line(os, key, eval);
+      }
+      if (!os.flush()) {
+        throw std::runtime_error("store: write to " + tmp + " failed");
+      }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      throw std::runtime_error("store: rename " + tmp + " -> " + path_ +
+                               " failed");
+    }
+  }
+}
+
+std::optional<search::Evaluation> EvaluationStore::lookup(
+    const std::string& fingerprint, const std::vector<int>& indices,
+    int fidelity) {
+  std::shared_lock lock(mutex_);
+  const auto it = entries_.find(Key{fingerprint, indices, fidelity});
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void EvaluationStore::record(const std::string& fingerprint,
+                             const std::vector<int>& indices, int fidelity,
+                             const search::Evaluation& eval) {
+  std::unique_lock lock(mutex_);
+  Key key{fingerprint, indices, fidelity};
+  if (!entries_.emplace(key, eval).second) {
+    return;  // first write wins; duplicates are bit-identical anyway
+  }
+  write_line(out_, key, eval);
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("store: append to " + path_ + " failed");
+  }
+  ++stats_.appends;
+  ++stats_.live_entries;
+}
+
+std::size_t EvaluationStore::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<std::tuple<std::vector<int>, int, search::Evaluation>>
+EvaluationStore::entries_for(const std::string& fingerprint) const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::tuple<std::vector<int>, int, search::Evaluation>> out;
+  // Keys sort by fingerprint first, so the scope is one contiguous range.
+  for (auto it = entries_.lower_bound(Key{fingerprint, {}, 0});
+       it != entries_.end() && std::get<0>(it->first) == fingerprint; ++it) {
+    out.emplace_back(std::get<1>(it->first), std::get<2>(it->first),
+                     it->second);
+  }
+  return out;
+}
+
+StoreStats EvaluationStore::stats() const {
+  std::shared_lock lock(mutex_);
+  StoreStats out = stats_;
+  out.live_entries = entries_.size();
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace metacore::serve

@@ -1,0 +1,104 @@
+// Persistent, content-addressed evaluation store: the substrate that makes
+// MetaCore cost evaluations reusable *across* runs, searches, and service
+// queries. One store file is an append-only JSONL journal — a header line
+// followed by one evaluation record per line, keyed by (evaluator
+// fingerprint, grid indices, fidelity) — reusing the versioned-JSON
+// machinery of robust/checkpoint (robust::write_eval_record /
+// parse_eval_record), so stored doubles round-trip bit-exactly.
+//
+// Durability and recovery:
+//  * Appends are single writes terminated by '\n' and flushed, so a crash
+//    can only ever leave one *unterminated* partial line at the tail. Load
+//    drops such a tail, truncates the file back to the last good byte, and
+//    reports the recovery in stats() — no completed evaluation is lost.
+//  * A newline-terminated line that fails to parse cannot have been
+//    produced by a crashed append: that is real corruption, and load
+//    rejects the file with a descriptive error rather than guessing.
+//  * A header version this build does not understand is rejected.
+//  * Load-time compaction: duplicate keys are deduplicated in memory
+//    (first record wins — later identical appends are by construction
+//    bit-identical) and, when duplicates were present, the journal is
+//    rewritten compacted via tmp-file + atomic rename.
+//
+// Concurrency discipline: any number of concurrent readers (lookup), one
+// writer at a time (record) — enforced in-process with a shared mutex.
+// Cross-process single-writer discipline is the caller's contract, as with
+// the search checkpoints.
+#pragma once
+
+#include <cstddef>
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "search/store.hpp"
+
+namespace metacore::serve {
+
+inline constexpr int kStoreVersion = 1;
+
+/// Load + traffic accounting; all counters are since open.
+struct StoreStats {
+  std::size_t live_entries = 0;     ///< distinct keys held after load
+  std::size_t journal_lines = 0;    ///< record lines parsed at load
+  std::size_t compacted_lines = 0;  ///< duplicate lines dropped at load
+  std::size_t recovered_bytes = 0;  ///< corrupt unterminated tail truncated
+  std::size_t hits = 0;             ///< lookup() found the key
+  std::size_t misses = 0;           ///< lookup() did not
+  std::size_t appends = 0;          ///< record() journal appends
+};
+
+class EvaluationStore final : public search::EvaluationStoreBase {
+ public:
+  /// Opens (creating if absent) the journal at `path`, replaying it into
+  /// memory with tail recovery and compaction as described above. Throws
+  /// std::runtime_error on I/O failure, mid-file corruption, a foreign
+  /// file, or a version mismatch.
+  explicit EvaluationStore(std::string path);
+
+  /// Thread-safe; concurrent lookups proceed in parallel.
+  std::optional<search::Evaluation> lookup(const std::string& fingerprint,
+                                           const std::vector<int>& indices,
+                                           int fidelity) override;
+
+  /// Thread-safe; writers are serialized. A key already present is left
+  /// untouched (first write wins — a well-behaved caller only records keys
+  /// it failed to look up, and duplicate evaluations are bit-identical).
+  void record(const std::string& fingerprint, const std::vector<int>& indices,
+              int fidelity, const search::Evaluation& eval) override;
+
+  /// Number of distinct keys currently held.
+  std::size_t size() const;
+
+  /// Entries recorded under `fingerprint`, as (indices, fidelity, eval)
+  /// tuples in deterministic key order — the warm-start seed for Pareto
+  /// archives.
+  std::vector<std::tuple<std::vector<int>, int, search::Evaluation>>
+  entries_for(const std::string& fingerprint) const;
+
+  StoreStats stats() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  using Key = std::tuple<std::string, std::vector<int>, int>;
+
+  void load_or_create();
+  void write_line(std::ostream& os, const Key& key,
+                  const search::Evaluation& eval) const;
+
+  std::string path_;
+  mutable std::shared_mutex mutex_;
+  std::map<Key, search::Evaluation> entries_;
+  std::ofstream out_;
+  StoreStats stats_;  // hit/miss tracked separately (atomics below)
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace metacore::serve

@@ -253,31 +253,84 @@ TEST(Checkpoint, RejectsMissingAndMalformedFiles) {
   std::remove(path.c_str());
 }
 
-TEST(Checkpoint, RejectsVersionMismatch) {
+std::string read_file(const std::string& path) {
+  std::string text;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr);
+  if (!f) return text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+robust::SearchCheckpoint small_checkpoint() {
   robust::SearchCheckpoint cp;
   cp.dimensions = 1;
+  robust::CheckpointRecord rec;
+  rec.indices = {0};
+  rec.eval.metrics = {{"cost", 1.0}};
+  cp.journal = {rec};
+  return cp;
+}
+
+TEST(Checkpoint, RejectsVersionMismatch) {
   const std::string path = temp_checkpoint_path("version.json");
-  robust::save_checkpoint(path, cp);
+  robust::save_checkpoint(path, small_checkpoint());
   // Rewrite the version field by hand.
-  std::string text;
-  {
-    std::FILE* f = std::fopen(path.c_str(), "r");
-    ASSERT_NE(f, nullptr);
-    char buf[4096];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-    std::fclose(f);
-  }
+  std::string text = read_file(path);
   const auto pos = text.find("\"version\":1");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 11, "\"version\":9");
-  {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    ASSERT_NE(f, nullptr);
-    std::fputs(text.c_str(), f);
-    std::fclose(f);
-  }
+  write_file(path, text);
   EXPECT_THROW(robust::load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedFileWithDescriptiveError) {
+  // A checkpoint is one atomic JSON document: a truncated file cannot have
+  // been produced by save_checkpoint (tmp + rename), so load must refuse
+  // it — with an error that names the checkpoint, not a bare parse fail.
+  const std::string path = temp_checkpoint_path("truncated.json");
+  robust::save_checkpoint(path, small_checkpoint());
+  const std::string text = read_file(path);
+  ASSERT_GT(text.size(), 20u);
+  write_file(path, text.substr(0, text.size() / 2));
+  try {
+    robust::load_checkpoint(path);
+    FAIL() << "truncated checkpoint must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbageMidFileWithDescriptiveError) {
+  const std::string path = temp_checkpoint_path("midfile.json");
+  robust::save_checkpoint(path, small_checkpoint());
+  std::string text = read_file(path);
+  // Stomp a structural byte mid-document (the journal key's colon) so the
+  // damage is guaranteed to be outside any string literal.
+  const auto pos = text.find("\"journal\":");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 10] = '\x01';
+  write_file(path, text);
+  try {
+    robust::load_checkpoint(path);
+    FAIL() << "corrupt checkpoint must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint"), std::string::npos)
+        << e.what();
+  }
   std::remove(path.c_str());
 }
 

@@ -1,6 +1,7 @@
 // Tests for the baseline search strategies and Pareto utilities.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "search/baselines.hpp"
@@ -109,6 +110,42 @@ TEST(ParetoFront, EmptyOnNoFeasiblePoints) {
   EXPECT_TRUE(pareto_front(history, "x", "y").empty());
 }
 
+TEST(ParetoFront, DeduplicatesMetricTiesKeepingLowestIndices) {
+  // Three points with identical (x, y): exactly one survives, and it is
+  // the lexicographically smallest grid index regardless of history order.
+  std::vector<EvaluatedPoint> history;
+  auto add = [&](std::vector<int> indices) {
+    EvaluatedPoint p;
+    p.indices = std::move(indices);
+    p.eval.metrics["x"] = 2.0;
+    p.eval.metrics["y"] = 3.0;
+    history.push_back(p);
+  };
+  add({4, 1});
+  add({0, 7});
+  add({0, 2});
+  const auto front = pareto_front(history, "x", "y");
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].indices, (std::vector<int>{0, 2}));
+
+  // Same set in a different order picks the same survivor.
+  std::reverse(history.begin(), history.end());
+  const auto reversed = pareto_front(history, "x", "y");
+  ASSERT_EQ(reversed.size(), 1u);
+  EXPECT_EQ(reversed[0].indices, (std::vector<int>{0, 2}));
+}
+
+TEST(ParetoFront, EqualYTieKeepsOnlyTheLowerX) {
+  std::vector<EvaluatedPoint> history(2);
+  history[0].eval.metrics["x"] = 1.0;
+  history[0].eval.metrics["y"] = 2.0;
+  history[1].eval.metrics["x"] = 3.0;
+  history[1].eval.metrics["y"] = 2.0;  // weakly dominated
+  const auto front = pareto_front(history, "x", "y");
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].eval.metric("x"), 1.0);
+}
+
 TEST(Hypervolume, SinglePointRectangle) {
   std::vector<EvaluatedPoint> history(1);
   history[0].eval.metrics["x"] = 1.0;
@@ -130,6 +167,30 @@ TEST(Hypervolume, PointsBeyondReferenceIgnored) {
   std::vector<EvaluatedPoint> history(1);
   history[0].eval.metrics["x"] = 5.0;
   history[0].eval.metrics["y"] = 5.0;
+  EXPECT_DOUBLE_EQ(hypervolume_2d(history, "x", "y", 4.0, 4.0), 0.0);
+}
+
+TEST(Hypervolume, EmptyFrontHasZeroVolume) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, "x", "y", 4.0, 4.0), 0.0);
+}
+
+TEST(Hypervolume, AllPointsBeyondReference) {
+  // Degenerate front: every point outside the reference box, in both
+  // coordinates separately (x beyond, y beyond, both beyond).
+  std::vector<EvaluatedPoint> history(3);
+  history[0].eval.metrics["x"] = 9.0;
+  history[0].eval.metrics["y"] = 1.0;
+  history[1].eval.metrics["x"] = 1.0;
+  history[1].eval.metrics["y"] = 9.0;
+  history[2].eval.metrics["x"] = 9.0;
+  history[2].eval.metrics["y"] = 9.0;
+  EXPECT_DOUBLE_EQ(hypervolume_2d(history, "x", "y", 4.0, 4.0), 0.0);
+}
+
+TEST(Hypervolume, SinglePointOnReferenceBoundaryIsZero) {
+  std::vector<EvaluatedPoint> history(1);
+  history[0].eval.metrics["x"] = 4.0;  // exactly on the reference
+  history[0].eval.metrics["y"] = 1.0;
   EXPECT_DOUBLE_EQ(hypervolume_2d(history, "x", "y", 4.0, 4.0), 0.0);
 }
 

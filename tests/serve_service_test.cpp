@@ -1,0 +1,280 @@
+// Tests for the design-query service: JSON round-trip, in-flight and batch
+// coalescing, Pareto-archive answers, warm-store equivalence, and
+// byte-identical responses at any thread count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "serve/service.hpp"
+
+namespace metacore::serve {
+namespace {
+
+std::string temp_store_path(const char* name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// A deliberately small Viterbi query: loose BER target (cheap simulation),
+/// tiny search budget — seconds, not minutes.
+DesignQuery small_viterbi_query() {
+  DesignQuery query;
+  query.kind = QueryKind::Viterbi;
+  query.target_ber = 1e-2;
+  query.esn0_db = 1.0;
+  query.throughput_mbps = 1.0;
+  query.ber_shards = 2;
+  query.budget.initial_points_per_dim = 2;
+  query.budget.max_resolution = 0;
+  query.budget.regions_per_level = 1;
+  query.budget.max_evaluations = 24;
+  return query;
+}
+
+DesignQuery small_iir_query() {
+  DesignQuery query;
+  query.kind = QueryKind::Iir;
+  query.sample_period_us = 1.0;
+  query.budget.initial_points_per_dim = 2;
+  query.budget.max_resolution = 0;
+  query.budget.regions_per_level = 1;
+  query.budget.max_evaluations = 12;
+  return query;
+}
+
+TEST(DesignQueryJson, RoundTripsCanonically) {
+  DesignQuery query = small_viterbi_query();
+  query.minimize = "cycles_per_bit";
+  query.constraints.push_back(
+      {search::Constraint::Kind::UpperBound, "ber", 3.0517578125e-03});
+  query.constraints.push_back(
+      {search::Constraint::Kind::LowerBound, "cores", 2.0});
+  query.archive_only = true;
+  const std::string json = to_json(query);
+  const DesignQuery parsed = parse_design_query(json);
+  // Canonical encoding: equal queries encode to equal bytes.
+  EXPECT_EQ(to_json(parsed), json);
+  EXPECT_EQ(parsed.kind, QueryKind::Viterbi);
+  EXPECT_EQ(parsed.target_ber, query.target_ber);
+  EXPECT_EQ(parsed.budget.max_evaluations, query.budget.max_evaluations);
+  ASSERT_EQ(parsed.constraints.size(), 2u);
+  EXPECT_EQ(parsed.constraints[1].kind, search::Constraint::Kind::LowerBound);
+  EXPECT_TRUE(parsed.archive_only);
+
+  const DesignQuery iir = parse_design_query(to_json(small_iir_query()));
+  EXPECT_EQ(iir.kind, QueryKind::Iir);
+  EXPECT_EQ(to_json(iir), to_json(small_iir_query()));
+}
+
+TEST(DesignQueryJson, DefaultsApplyToSparseDocuments) {
+  const DesignQuery query = parse_design_query("{\"kind\":\"iir\"}");
+  EXPECT_EQ(query.kind, QueryKind::Iir);
+  EXPECT_EQ(query.sample_period_us, 1.0);
+  EXPECT_TRUE(query.constraints.empty());
+  EXPECT_FALSE(query.archive_only);
+}
+
+TEST(DesignQueryJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_design_query("not json"), std::runtime_error);
+  EXPECT_THROW(parse_design_query("{\"kind\":\"fft\"}"), std::runtime_error);
+  EXPECT_THROW(parse_design_query("{}"), std::runtime_error);
+  EXPECT_THROW(
+      parse_design_query("{\"kind\":\"iir\",\"constraints\":[{\"kind\":"
+                         "\"sideways\",\"metric\":\"x\",\"bound\":1}]}"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_design_query("{\"kind\":\"iir\",\"target_ber\":\"high\"}"),
+      std::runtime_error);
+}
+
+TEST(DesignService, AnswersAViterbiQuery) {
+  DesignService service;
+  const DesignResponse response = service.submit(small_viterbi_query());
+  EXPECT_TRUE(response.feasible);
+  EXPECT_FALSE(response.from_archive);
+  EXPECT_GT(response.evaluations, 0u);
+  EXPECT_EQ(response.store_hits, 0u);  // no store attached
+  EXPECT_TRUE(response.best.eval.has_metric("area_mm2"));
+  EXPECT_FALSE(response.front.empty());
+  EXPECT_EQ(response.front_x, "area_mm2");
+  EXPECT_EQ(response.front_y, "ber");
+  EXPECT_NE(response.summary.find("best area_mm2"), std::string::npos);
+  const std::string json = to_json(response);
+  EXPECT_NE(json.find("\"feasible\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"front\":[{"), std::string::npos);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.searches_launched, 1u);
+  EXPECT_EQ(stats.coalesced, 0u);
+}
+
+TEST(DesignService, BatchDeduplicatesIdenticalQueriesIntoOneSearch) {
+  DesignService service;
+  const std::vector<DesignQuery> batch(4, small_viterbi_query());
+  const std::vector<DesignResponse> responses = service.submit_batch(batch);
+  ASSERT_EQ(responses.size(), 4u);
+  const std::string first = to_json(responses[0]);
+  for (const DesignResponse& r : responses) {
+    EXPECT_EQ(to_json(r), first);  // byte-identical copies
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.searches_launched, 1u);
+  EXPECT_EQ(stats.coalesced, 3u);
+}
+
+TEST(DesignService, ConcurrentSubmitsOfTheSameQueryCoalesce) {
+  DesignService service;
+  const DesignQuery query = small_viterbi_query();
+  std::vector<std::string> responses(3);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&service, &query, &responses, t] {
+      responses[static_cast<std::size_t>(t)] = to_json(service.submit(query));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(responses[1], responses[0]);
+  EXPECT_EQ(responses[2], responses[0]);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 3u);
+  // Every waiter is either coalesced onto the leader's search or (if it
+  // arrived after completion, with no store attached) re-ran the identical
+  // deterministic search — byte-identical output either way.
+  EXPECT_EQ(stats.searches_launched + stats.coalesced, 3u);
+  EXPECT_GE(stats.searches_launched, 1u);
+}
+
+TEST(DesignService, WarmStoreAnswersRepeatQueryWithoutEvaluatorCalls) {
+  const std::string path = temp_store_path("service_warm.jsonl");
+  const DesignQuery query = small_viterbi_query();
+
+  DesignResponse cold;
+  {
+    ServiceConfig config;
+    config.store_path = path;
+    DesignService service(config);
+    cold = service.submit(query);
+    EXPECT_EQ(cold.store_hits, 0u);
+    EXPECT_GT(service.store()->stats().appends, 0u);
+  }
+
+  ServiceConfig config;
+  config.store_path = path;
+  DesignService service(config);
+  const DesignResponse warm = service.submit(query);
+
+  // The warm search walks the cold trajectory out of the store: identical
+  // SearchResult accounting and a bit-identical winner, zero evaluator
+  // invocations (every store lookup hit; nothing new was appended).
+  EXPECT_EQ(warm.evaluations, cold.evaluations);
+  EXPECT_EQ(warm.store_hits, cold.evaluations);
+  EXPECT_EQ(warm.feasible, cold.feasible);
+  EXPECT_EQ(warm.best.indices, cold.best.indices);
+  EXPECT_EQ(warm.best.values, cold.best.values);
+  EXPECT_EQ(warm.best.eval.metrics, cold.best.eval.metrics);  // bit-exact
+  ASSERT_EQ(warm.front.size(), cold.front.size());
+  for (std::size_t i = 0; i < warm.front.size(); ++i) {
+    EXPECT_EQ(warm.front[i].indices, cold.front[i].indices);
+    EXPECT_EQ(warm.front[i].eval.metrics, cold.front[i].eval.metrics);
+  }
+  const StoreStats store_stats = service.store()->stats();
+  EXPECT_EQ(store_stats.misses, 0u);   // evaluator never consulted
+  EXPECT_EQ(store_stats.appends, 0u);  // nothing fresh to record
+  std::remove(path.c_str());
+}
+
+TEST(DesignService, ArchiveAnswersConstraintOnlyQueriesWithoutSearching) {
+  DesignService service;
+  const DesignQuery searched = small_viterbi_query();
+  const DesignResponse full = service.submit(searched);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_GT(service.archive_size(searched), 0u);
+
+  // Same requirements (same evaluator scope), constraint-only: answered
+  // from the archive without launching another search.
+  DesignQuery archive_query = searched;
+  archive_query.archive_only = true;
+  const DesignResponse archived = service.submit(archive_query);
+  EXPECT_TRUE(archived.from_archive);
+  EXPECT_TRUE(archived.feasible);
+  EXPECT_EQ(archived.evaluations, 0u);
+  EXPECT_FALSE(archived.front.empty());
+  // The archive holds every searched point, so its best is no worse.
+  EXPECT_LE(archived.best.eval.metric("area_mm2"),
+            full.best.eval.metric("area_mm2"));
+
+  // Re-tightened constraint set over the same archive: still no search.
+  DesignQuery tightened = archive_query;
+  tightened.constraints.push_back(
+      {search::Constraint::Kind::UpperBound, "ber", searched.target_ber / 2});
+  const DesignResponse strict = service.submit(tightened);
+  EXPECT_TRUE(strict.from_archive);
+  EXPECT_LE(strict.front.size(), archived.front.size());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.searches_launched, 1u);
+  EXPECT_EQ(stats.archive_answers, 2u);
+}
+
+TEST(DesignService, ArchiveAnswerOnEmptyServiceReportsNoData) {
+  DesignService service;
+  DesignQuery query = small_viterbi_query();
+  query.archive_only = true;
+  const DesignResponse response = service.submit(query);
+  EXPECT_TRUE(response.from_archive);
+  EXPECT_FALSE(response.feasible);
+  EXPECT_TRUE(response.front.empty());
+  EXPECT_NE(response.summary.find("no archived evaluations"),
+            std::string::npos);
+  EXPECT_EQ(service.stats().searches_launched, 0u);
+}
+
+TEST(DesignService, MixedBatchIsByteIdenticalAtAnyThreadCount) {
+  // The acceptance invariant: the response vector of a mixed batch —
+  // distinct Viterbi queries, an IIR query, a duplicate, and an
+  // archive-only follow-up — is byte-identical at METACORE_THREADS
+  // equivalents 1, 2, and 8.
+  std::vector<DesignQuery> batch;
+  batch.push_back(small_viterbi_query());
+  DesignQuery faster = small_viterbi_query();
+  faster.throughput_mbps = 2.0;
+  batch.push_back(faster);
+  batch.push_back(small_iir_query());
+  batch.push_back(small_viterbi_query());  // duplicate of [0]
+  DesignQuery archive_query = small_viterbi_query();
+  archive_query.archive_only = true;
+  batch.push_back(archive_query);
+
+  const std::size_t configured = exec::ThreadPool::configured_threads();
+  std::vector<std::vector<std::string>> runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    exec::ThreadPool::set_global_threads(threads);
+    DesignService service;  // fresh service: no cross-run archive leakage
+    std::vector<std::string> encoded;
+    for (const DesignResponse& r : service.submit_batch(batch)) {
+      encoded.push_back(to_json(r));
+    }
+    runs.push_back(std::move(encoded));
+  }
+  exec::ThreadPool::set_global_threads(configured);
+
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[1], runs[0]);
+  EXPECT_EQ(runs[2], runs[0]);
+  // The duplicate got the same bytes as its original.
+  EXPECT_EQ(runs[0][3], runs[0][0]);
+  // The archive query ran after its group's search: populated answer.
+  EXPECT_NE(runs[0][4].find("\"from_archive\":true"), std::string::npos);
+  EXPECT_NE(runs[0][4].find("\"feasible\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metacore::serve

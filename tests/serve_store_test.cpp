@@ -1,0 +1,427 @@
+// Tests for the persistent content-addressed evaluation store: JSONL
+// round-trip fidelity, load-time compaction, crash-tail recovery, the
+// corruption policy (descriptive rejection of real damage), concurrent
+// reader/writer discipline, and the cold-search/warm-search equivalence
+// the design-query service builds on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/multires_search.hpp"
+#include "serve/store.hpp"
+
+namespace metacore::serve {
+namespace {
+
+std::string temp_store_path(const char* name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void append_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::app | std::ios::binary);
+  os << bytes;
+}
+
+search::Evaluation sample_eval(double cost) {
+  search::Evaluation eval;
+  eval.feasible = true;
+  eval.confidence_weight = 42.0;
+  eval.metrics["cost"] = cost;
+  eval.metrics["odd"] = 0.1 + 0.2;  // not exactly 0.3: exercises %.17g
+  return eval;
+}
+
+TEST(EvaluationStore, CreatesFreshJournalWithHeader) {
+  const std::string path = temp_store_path("fresh.jsonl");
+  EvaluationStore store(path);
+  EXPECT_EQ(store.size(), 0u);
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("metacore-evaluation-store"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, RejectsEmptyPath) {
+  EXPECT_THROW(EvaluationStore(""), std::invalid_argument);
+}
+
+TEST(EvaluationStore, RoundTripsEvaluationsBitExactly) {
+  const std::string path = temp_store_path("roundtrip.jsonl");
+  search::Evaluation weird;
+  weird.feasible = false;
+  weird.confidence_weight = 3.0517578125e-05;
+  weird.failure_reason = "non-convergence: \"quoted\"\n\ttabbed \\ slash";
+  weird.metrics = {{"inf", std::numeric_limits<double>::infinity()},
+                   {"ninf", -std::numeric_limits<double>::infinity()},
+                   {"tiny", 4.9406564584124654e-324}};
+  {
+    EvaluationStore store(path);
+    store.record("fp-a", {0, 4}, 1, sample_eval(1.25));
+    store.record("fp-a", {3, 1}, 0, weird);
+    store.record("fp-b", {0, 4}, 1, sample_eval(9.0));
+    EXPECT_EQ(store.size(), 3u);
+    EXPECT_EQ(store.stats().appends, 3u);
+  }
+  EvaluationStore reopened(path);
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_EQ(reopened.stats().journal_lines, 3u);
+  EXPECT_EQ(reopened.stats().compacted_lines, 0u);
+  EXPECT_EQ(reopened.stats().recovered_bytes, 0u);
+
+  const auto hit = reopened.lookup("fp-a", {0, 4}, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->metrics, sample_eval(1.25).metrics);  // bit-exact
+  EXPECT_EQ(hit->confidence_weight, 42.0);
+
+  const auto odd = reopened.lookup("fp-a", {3, 1}, 0);
+  ASSERT_TRUE(odd.has_value());
+  EXPECT_FALSE(odd->feasible);
+  EXPECT_EQ(odd->failure_reason, weird.failure_reason);
+  EXPECT_EQ(odd->metrics, weird.metrics);
+
+  // Wrong fingerprint / indices / fidelity all miss.
+  EXPECT_FALSE(reopened.lookup("fp-c", {0, 4}, 1).has_value());
+  EXPECT_FALSE(reopened.lookup("fp-a", {0, 5}, 1).has_value());
+  EXPECT_FALSE(reopened.lookup("fp-a", {0, 4}, 2).has_value());
+  const auto stats = reopened.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, EntriesForScopesByFingerprint) {
+  const std::string path = temp_store_path("scope.jsonl");
+  EvaluationStore store(path);
+  store.record("fp-b", {1}, 0, sample_eval(2.0));
+  store.record("fp-a", {2}, 0, sample_eval(3.0));
+  store.record("fp-a", {1}, 1, sample_eval(1.0));
+  const auto a = store.entries_for("fp-a");
+  ASSERT_EQ(a.size(), 2u);
+  // Deterministic key order: indices ascending, then fidelity.
+  EXPECT_EQ(std::get<0>(a[0]), (std::vector<int>{1}));
+  EXPECT_EQ(std::get<1>(a[0]), 1);
+  EXPECT_EQ(std::get<0>(a[1]), (std::vector<int>{2}));
+  EXPECT_EQ(store.entries_for("fp-b").size(), 1u);
+  EXPECT_TRUE(store.entries_for("absent").empty());
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, FirstWriteWinsAndDuplicateAppendIsSkipped) {
+  const std::string path = temp_store_path("dup.jsonl");
+  EvaluationStore store(path);
+  store.record("fp", {7}, 0, sample_eval(1.0));
+  store.record("fp", {7}, 0, sample_eval(1.0));  // no-op
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().appends, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, CompactsDuplicateJournalLinesOnLoad) {
+  const std::string path = temp_store_path("compact.jsonl");
+  {
+    EvaluationStore store(path);
+    store.record("fp", {7}, 0, sample_eval(1.0));
+  }
+  // Simulate a second writer-epoch having appended the same key (e.g. two
+  // runs racing before single-writer discipline was restored): duplicate
+  // the record line verbatim.
+  const std::string text = read_file(path);
+  const std::size_t first_nl = text.find('\n');
+  append_raw(path, text.substr(first_nl + 1));
+  {
+    EvaluationStore store(path);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().journal_lines, 2u);
+    EXPECT_EQ(store.stats().compacted_lines, 1u);
+  }
+  // The rewrite is durable: a third open sees a clean compacted journal.
+  EvaluationStore clean(path);
+  EXPECT_EQ(clean.stats().journal_lines, 1u);
+  EXPECT_EQ(clean.stats().compacted_lines, 0u);
+  ASSERT_TRUE(clean.lookup("fp", {7}, 0).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, RecoversUnterminatedCrashTail) {
+  const std::string path = temp_store_path("tail.jsonl");
+  {
+    EvaluationStore store(path);
+    store.record("fp", {1}, 0, sample_eval(1.0));
+    store.record("fp", {2}, 0, sample_eval(2.0));
+  }
+  // A crash mid-append leaves a partial line with no trailing newline.
+  append_raw(path, "{\"fingerprint\":\"fp\",\"record\":{\"indi");
+  {
+    EvaluationStore store(path);
+    EXPECT_EQ(store.size(), 2u);  // no completed evaluation lost
+    EXPECT_GT(store.stats().recovered_bytes, 0u);
+    ASSERT_TRUE(store.lookup("fp", {1}, 0).has_value());
+    ASSERT_TRUE(store.lookup("fp", {2}, 0).has_value());
+    // Recovery truncated the file: appends go to a clean journal.
+    store.record("fp", {3}, 0, sample_eval(3.0));
+  }
+  EvaluationStore clean(path);
+  EXPECT_EQ(clean.size(), 3u);
+  EXPECT_EQ(clean.stats().recovered_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, CrashDuringHeaderWriteStartsFresh) {
+  const std::string path = temp_store_path("header_crash.jsonl");
+  append_raw(path, "{\"magic\":\"metacore-eval");  // no newline
+  EvaluationStore store(path);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_GT(store.stats().recovered_bytes, 0u);
+  store.record("fp", {1}, 0, sample_eval(1.0));
+  EvaluationStore reopened(path);
+  EXPECT_EQ(reopened.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, RejectsTerminatedGarbageLineDescriptively) {
+  const std::string path = temp_store_path("garbage.jsonl");
+  {
+    EvaluationStore store(path);
+    store.record("fp", {1}, 0, sample_eval(1.0));
+  }
+  // Newline-terminated damage cannot be a crashed append: refuse loudly
+  // (recovery is reserved for the unterminated-tail case).
+  append_raw(path, "this is not json\n");
+  try {
+    EvaluationStore store(path);
+    FAIL() << "terminated garbage line must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("corrupt at line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, RejectsGarbageMidFileDescriptively) {
+  const std::string path = temp_store_path("midfile.jsonl");
+  {
+    EvaluationStore store(path);
+    store.record("fp", {1}, 0, sample_eval(1.0));
+    store.record("fp", {2}, 0, sample_eval(2.0));
+  }
+  // Corrupt the *first* record line (mid-file, terminated), leaving the
+  // later line intact: still real corruption, still rejected.
+  std::string text = read_file(path);
+  const std::size_t first_nl = text.find('\n');
+  const std::size_t second_nl = text.find('\n', first_nl + 1);
+  text.replace(first_nl + 1, second_nl - first_nl - 1, "][junk][");
+  std::ofstream(path, std::ios::trunc | std::ios::binary) << text;
+  try {
+    EvaluationStore store(path);
+    FAIL() << "mid-file corruption must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt at line 2"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, RejectsVersionMismatchDescriptively) {
+  const std::string path = temp_store_path("version.jsonl");
+  { EvaluationStore store(path); }
+  std::string text = read_file(path);
+  const auto pos = text.find("\"version\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "\"version\":9");
+  std::ofstream(path, std::ios::trunc | std::ios::binary) << text;
+  try {
+    EvaluationStore store(path);
+    FAIL() << "version mismatch must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, RejectsForeignFileDescriptively) {
+  const std::string path = temp_store_path("foreign.jsonl");
+  std::ofstream(path, std::ios::trunc | std::ios::binary)
+      << "{\"magic\":\"something-else\",\"version\":1}\n";
+  try {
+    EvaluationStore store(path);
+    FAIL() << "foreign file must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not a metacore evaluation store"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, ConcurrentReadersAndWriterAreSafe) {
+  const std::string path = temp_store_path("concurrent.jsonl");
+  EvaluationStore store(path);
+  constexpr int kWrites = 64;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&store, &stop] {
+      while (!stop.load()) {
+        for (int i = 0; i < kWrites; ++i) {
+          const auto hit = store.lookup("fp", {i}, 0);
+          if (hit.has_value()) {
+            EXPECT_EQ(hit->metric("cost"), static_cast<double>(i));
+          }
+        }
+        (void)store.size();
+        (void)store.entries_for("fp");
+      }
+    });
+  }
+  for (int i = 0; i < kWrites; ++i) {
+    store.record("fp", {i}, 0, sample_eval(static_cast<double>(i)));
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kWrites));
+  EvaluationStore reopened(path);
+  EXPECT_EQ(reopened.size(), static_cast<std::size_t>(kWrites));
+  std::remove(path.c_str());
+}
+
+// --- Search integration: the contract the design-query service relies on.
+
+search::DesignSpace bowl_space(int dims, int points) {
+  std::vector<search::ParameterDef> params;
+  for (int d = 0; d < dims; ++d) {
+    search::ParameterDef p;
+    p.name = "x" + std::to_string(d);
+    for (int i = 0; i < points; ++i) {
+      p.values.push_back(static_cast<double>(i) / (points - 1));
+    }
+    p.correlation = search::Correlation::Smooth;
+    params.push_back(p);
+  }
+  return search::DesignSpace(params);
+}
+
+search::EvaluateFn bowl_eval(std::vector<double> optimum,
+                             std::atomic<std::size_t>* count) {
+  return [optimum, count](const std::vector<double>& point, int) {
+    count->fetch_add(1);
+    double v = 0.0;
+    for (std::size_t d = 0; d < point.size(); ++d) {
+      const double diff = point[d] - optimum[d];
+      v += diff * diff;
+    }
+    search::Evaluation e;
+    e.metrics["cost"] = v;
+    return e;
+  };
+}
+
+TEST(EvaluationStoreSearch, WarmStoreReproducesColdSearchWithZeroEvals) {
+  const std::string path = temp_store_path("warm.jsonl");
+  const search::DesignSpace space = bowl_space(2, 17);
+  search::Objective objective;
+  objective.minimize = "cost";
+  search::SearchConfig config;
+  config.max_resolution = 3;
+  config.regions_per_level = 2;
+  config.store_fingerprint = "bowl-2x17";
+
+  std::atomic<std::size_t> cold_calls{0};
+  search::SearchResult cold;
+  {
+    config.store = std::make_shared<EvaluationStore>(path);
+    search::MultiresolutionSearch engine(
+        space, objective, bowl_eval({0.25, 0.75}, &cold_calls), config);
+    cold = engine.run();
+  }
+  ASSERT_TRUE(cold.found_feasible);
+  EXPECT_EQ(cold.store_hits, 0u);
+  EXPECT_GT(cold_calls.load(), 0u);
+
+  // Warm rerun against a fresh store instance on the same journal: every
+  // point is covered, so the evaluator must never be invoked and the
+  // result must be bit-identical (budget accounting included).
+  std::atomic<std::size_t> warm_calls{0};
+  search::SearchResult warm;
+  {
+    config.store = std::make_shared<EvaluationStore>(path);
+    search::MultiresolutionSearch engine(
+        space, objective, bowl_eval({0.25, 0.75}, &warm_calls), config);
+    warm = engine.run();
+  }
+  EXPECT_EQ(warm_calls.load(), 0u);
+  EXPECT_EQ(warm.store_hits, cold.evaluations);
+  EXPECT_EQ(warm.evaluations, cold.evaluations);
+  EXPECT_EQ(warm.cache_hits, cold.cache_hits);
+  EXPECT_EQ(warm.levels_executed, cold.levels_executed);
+  EXPECT_EQ(warm.best.indices, cold.best.indices);
+  EXPECT_EQ(warm.best.values, cold.best.values);
+  EXPECT_EQ(warm.best.eval.metrics, cold.best.eval.metrics);  // bit-exact
+  ASSERT_EQ(warm.history.size(), cold.history.size());
+  for (std::size_t i = 0; i < warm.history.size(); ++i) {
+    EXPECT_EQ(warm.history[i].indices, cold.history[i].indices);
+    EXPECT_EQ(warm.history[i].eval.metrics, cold.history[i].eval.metrics);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStoreSearch, RequiresFingerprintWhenStoreSet) {
+  const std::string path = temp_store_path("nofp.jsonl");
+  search::SearchConfig config;
+  config.store = std::make_shared<EvaluationStore>(path);
+  search::Objective objective;
+  objective.minimize = "cost";
+  std::atomic<std::size_t> calls{0};
+  EXPECT_THROW(search::MultiresolutionSearch(bowl_space(1, 5), objective,
+                                             bowl_eval({0.5}, &calls), config),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStoreSearch, DifferentFingerprintsDoNotCrossContaminate) {
+  const std::string path = temp_store_path("crossfp.jsonl");
+  const search::DesignSpace space = bowl_space(1, 9);
+  search::Objective objective;
+  objective.minimize = "cost";
+  search::SearchConfig config;
+  config.max_resolution = 1;
+  config.store = std::make_shared<EvaluationStore>(path);
+  config.store_fingerprint = "evaluator-A";
+
+  std::atomic<std::size_t> calls_a{0};
+  search::MultiresolutionSearch engine_a(space, objective,
+                                         bowl_eval({0.25}, &calls_a), config);
+  (void)engine_a.run();
+
+  // Same space, different evaluator scope: must re-evaluate everything.
+  config.store_fingerprint = "evaluator-B";
+  std::atomic<std::size_t> calls_b{0};
+  search::MultiresolutionSearch engine_b(space, objective,
+                                         bowl_eval({0.75}, &calls_b), config);
+  const search::SearchResult b = engine_b.run();
+  EXPECT_EQ(b.store_hits, 0u);
+  EXPECT_EQ(calls_b.load(), calls_a.load());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace metacore::serve
