@@ -1,8 +1,20 @@
 // Google-benchmark microbenchmarks for the decoder kernels: decode
 // throughput (bits/second) of hard, soft, and multiresolution Viterbi
 // across constraint lengths — the quantities the VLIW cost engine models.
+//
+// Each decoder kind is measured through both streaming APIs: the per-step
+// virtual step() loop and the batched decode_block() kernel (flat trellis
+// view, table-lookup metrics, renorm tracked in-loop). After the
+// google-benchmark pass, a manual timing pass appends machine-readable
+// block-vs-step records (bits/s per decoder kind x K, plus the speedup) to
+// BENCH_decoder.json (override the path with METACORE_BENCH_DECODER_JSON;
+// METACORE_QUICK=1 shrinks the bit budget for smoke runs).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
 #include "comm/ber.hpp"
 #include "comm/channel.hpp"
 #include "util/rng.hpp"
@@ -40,32 +52,146 @@ comm::DecoderSpec make_spec(comm::DecoderKind kind, int k) {
   return spec;
 }
 
-void run_decoder(benchmark::State& state, comm::DecoderKind kind) {
+constexpr std::size_t kBenchBits = 4'096;
+
+/// Block API: one decode_block call over the whole stream (what
+/// Decoder::decode and the BER pipeline do).
+void run_decoder_block(benchmark::State& state, comm::DecoderKind kind) {
   const int k = static_cast<int>(state.range(0));
   const comm::DecoderSpec spec = make_spec(kind, k);
-  const Workload workload(spec, 4'096);
+  const Workload workload(spec, kBenchBits);
   auto decoder = spec.make_decoder(workload.trellis, 1.0, workload.sigma);
+  std::vector<int> out(kBenchBits);
   for (auto _ : state) {
     decoder->reset();
-    benchmark::DoNotOptimize(decoder->decode(workload.rx));
+    benchmark::DoNotOptimize(decoder->decode_block(workload.rx, out));
   }
-  state.SetItemsProcessed(state.iterations() * 4'096);
+  state.SetItemsProcessed(state.iterations() * kBenchBits);
+}
+
+/// Step API: the historical per-trellis-step virtual-dispatch loop, kept as
+/// the comparison baseline for the batched kernels.
+void run_decoder_step(benchmark::State& state, comm::DecoderKind kind) {
+  const int k = static_cast<int>(state.range(0));
+  const comm::DecoderSpec spec = make_spec(kind, k);
+  const Workload workload(spec, kBenchBits);
+  auto decoder = spec.make_decoder(workload.trellis, 1.0, workload.sigma);
+  const auto n = static_cast<std::size_t>(workload.trellis.symbols_per_step());
+  std::vector<int> out(kBenchBits);
+  for (auto _ : state) {
+    decoder->reset();
+    std::size_t written = 0;
+    for (std::size_t i = 0; i < workload.rx.size(); i += n) {
+      if (auto bit = decoder->step({workload.rx.data() + i, n})) {
+        out[written++] = *bit;
+      }
+    }
+    benchmark::DoNotOptimize(written);
+  }
+  state.SetItemsProcessed(state.iterations() * kBenchBits);
 }
 
 void BM_HardDecode(benchmark::State& state) {
-  run_decoder(state, comm::DecoderKind::Hard);
+  run_decoder_block(state, comm::DecoderKind::Hard);
 }
 void BM_SoftDecode(benchmark::State& state) {
-  run_decoder(state, comm::DecoderKind::Soft);
+  run_decoder_block(state, comm::DecoderKind::Soft);
 }
 void BM_MultiresDecode(benchmark::State& state) {
-  run_decoder(state, comm::DecoderKind::Multires);
+  run_decoder_block(state, comm::DecoderKind::Multires);
 }
-
-}  // namespace
+void BM_HardDecodeStep(benchmark::State& state) {
+  run_decoder_step(state, comm::DecoderKind::Hard);
+}
+void BM_SoftDecodeStep(benchmark::State& state) {
+  run_decoder_step(state, comm::DecoderKind::Soft);
+}
+void BM_MultiresDecodeStep(benchmark::State& state) {
+  run_decoder_step(state, comm::DecoderKind::Multires);
+}
 
 BENCHMARK(BM_HardDecode)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
 BENCHMARK(BM_SoftDecode)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
 BENCHMARK(BM_MultiresDecode)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+BENCHMARK(BM_HardDecodeStep)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+BENCHMARK(BM_SoftDecodeStep)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+BENCHMARK(BM_MultiresDecodeStep)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
 
-BENCHMARK_MAIN();
+/// Decodes `total_bits` through one API and returns bits/second. Both APIs
+/// decode the same rx stream, so the comparison isolates per-step virtual
+/// dispatch + scratch churn vs the batched kernel.
+double time_api(const comm::DecoderSpec& spec, const Workload& workload,
+                std::size_t total_bits, bool block_api) {
+  auto decoder = spec.make_decoder(workload.trellis, 1.0, workload.sigma);
+  const auto n = static_cast<std::size_t>(workload.trellis.symbols_per_step());
+  std::vector<int> out(kBenchBits);
+  std::size_t decoded = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (decoded < total_bits) {
+    decoder->reset();
+    if (block_api) {
+      benchmark::DoNotOptimize(decoder->decode_block(workload.rx, out));
+    } else {
+      std::size_t written = 0;
+      for (std::size_t i = 0; i < workload.rx.size(); i += n) {
+        if (auto bit = decoder->step({workload.rx.data() + i, n})) {
+          out[written++] = *bit;
+        }
+      }
+      benchmark::DoNotOptimize(written);
+    }
+    decoded += kBenchBits;
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return static_cast<double>(decoded) / seconds;
+}
+
+/// The structured block-vs-step pass appended to BENCH_decoder.json.
+void append_block_vs_step_records() {
+  const std::size_t total_bits = bench::quick_mode() ? 16'384 : 262'144;
+  std::vector<bench::BenchRecord> records;
+  const comm::DecoderKind kinds[] = {comm::DecoderKind::Hard,
+                                     comm::DecoderKind::Soft,
+                                     comm::DecoderKind::Multires};
+  std::cout << "\nblock-vs-step comparison (" << total_bits
+            << " bits per cell):\n";
+  for (const auto kind : kinds) {
+    for (const int k : {3, 5, 7, 9}) {
+      const comm::DecoderSpec spec = make_spec(kind, k);
+      const Workload workload(spec, kBenchBits);
+      const double step_bps = time_api(spec, workload, total_bits, false);
+      const double block_bps = time_api(spec, workload, total_bits, true);
+
+      bench::BenchRecord record;
+      record.name = "decoder_block_vs_step";
+      record.labels["kind"] = comm::to_string(kind);
+      record.values["constraint_length"] = static_cast<double>(k);
+      record.values["bits"] = static_cast<double>(total_bits);
+      record.values["step_bits_per_second"] = step_bps;
+      record.values["block_bits_per_second"] = block_bps;
+      record.values["block_vs_step_speedup"] = block_bps / step_bps;
+      records.push_back(std::move(record));
+
+      std::cout << "  " << comm::to_string(kind) << " K=" << k << ": step "
+                << static_cast<std::uint64_t>(step_bps) << " b/s, block "
+                << static_cast<std::uint64_t>(block_bps) << " b/s, speedup "
+                << block_bps / step_bps << "x\n";
+    }
+  }
+  bench::append_bench_records(records, bench::bench_decoder_json_path());
+  std::cout << "bench records appended to " << bench::bench_decoder_json_path()
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  append_block_vs_step_records();
+  return 0;
+}

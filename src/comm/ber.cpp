@@ -1,6 +1,7 @@
 #include "comm/ber.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -63,16 +64,36 @@ std::string DecoderSpec::label() const {
 
 namespace {
 
+/// Counted decoded bits across every run_ber_stream in the process (the
+/// benchmark harnesses read it to turn search wall time into a decode
+/// throughput figure). Relaxed: it is a statistics counter, never a
+/// synchronization point.
+std::atomic<std::uint64_t> g_decoded_bits{0};
+
+/// Trellis steps per decode_block call. Large enough to amortize the
+/// per-chunk virtual dispatch and buffer bookkeeping, small enough that a
+/// run overshooting its stopping point wastes little work (generated bits
+/// past the stop are transmitted but never counted, so the estimate is
+/// unaffected — shard RNG streams are independent by construction).
+constexpr std::size_t kChunkBits = 1024;
+
 /// One continuous encode -> AWGN -> decode stream with its own RNG state,
 /// error counters, and early-stopping rules. This is the historical body of
 /// measure_ber, parameterized by seed and budgets so it can serve either as
 /// the whole measurement (shards = 1) or as one shard of a parallel one.
+///
+/// The stream is driven in chunks through Decoder::decode_block with every
+/// buffer (tx delay line, rx samples, decoded bits) preallocated up front —
+/// the steady-state loop performs no allocation and exactly one virtual
+/// call per kChunkBits trellis steps. The per-bit stopping rules of the
+/// historical step() loop are replayed bit-for-bit while counting, so the
+/// returned estimate is bit-identical to the per-step driver's.
 util::ProportionEstimate run_ber_stream(const DecoderSpec& spec,
                                         double esn0_db,
                                         const BerRunConfig& config,
                                         std::uint64_t stream_seed) {
   const Trellis trellis(spec.code);
-  const int n = trellis.symbols_per_step();
+  const auto n = static_cast<std::size_t>(trellis.symbols_per_step());
   constexpr double kAmplitude = 1.0;
 
   AwgnChannel channel(esn0_db, kAmplitude * kAmplitude, stream_seed);
@@ -90,38 +111,61 @@ util::ProportionEstimate run_ber_stream(const DecoderSpec& spec,
   // L-1 bits of the stream are simply not counted.
   ConvolutionalEncoder encoder(spec.code);
   std::vector<int> pending;  // transmitted bits awaiting their decode
+  pending.reserve(kChunkBits + 16'384);
   std::size_t pending_head = 0;
-  std::vector<double> rx(static_cast<std::size_t>(n));
+  std::vector<double> rx(kChunkBits * n);   // reused chunk of channel samples
+  std::vector<int> decoded(kChunkBits);     // reused decode_block output
   std::uint64_t next_decision_check = std::max<std::uint64_t>(
       config.min_bits, 8'192);
-  while (errors.trials < config.max_bits &&
+  bool stopped = false;
+  while (!stopped && errors.trials < config.max_bits &&
          (errors.trials < config.min_bits ||
           errors.successes < config.max_errors)) {
-    if (config.decision_ber > 0.0 && errors.trials >= next_decision_check) {
-      const auto interval = errors.wilson();
-      if (interval.high < config.decision_ber / 1.5 ||
-          interval.low > config.decision_ber * 1.5) {
-        break;  // confidently decided either way
+    // Encode/modulate/transmit one chunk into the reusable rx buffer. RNG
+    // draws stay in the exact per-bit order of the historical loop: one
+    // data bit, then n noise samples.
+    for (std::size_t i = 0; i < kChunkBits; ++i) {
+      const int bit = data_rng.bit() ? 1 : 0;
+      const std::uint32_t symbols = encoder.encode_bit(bit);
+      for (std::size_t j = 0; j < n; ++j) {
+        rx[i * n + j] = channel.transmit(
+            modulator.modulate(static_cast<int>((symbols >> j) & 1u)));
       }
-      next_decision_check += 8'192;
+      pending.push_back(bit);
     }
-    const int bit = data_rng.bit() ? 1 : 0;
-    const std::uint32_t symbols = encoder.encode_bit(bit);
-    for (int j = 0; j < n; ++j) {
-      rx[static_cast<std::size_t>(j)] = channel.transmit(
-          modulator.modulate(static_cast<int>((symbols >> j) & 1u)));
+    const std::size_t got = decoder->decode_block(rx, decoded);
+
+    // Count decoded bits one at a time, replaying the per-bit stopping
+    // checks the historical loop ran before generating each next bit: the
+    // run stops at exactly the same (successes, trials) state it always
+    // did; any remaining decoded bits of the chunk are discarded.
+    for (std::size_t b = 0; b < got; ++b) {
+      if (!(errors.trials < config.max_bits &&
+            (errors.trials < config.min_bits ||
+             errors.successes < config.max_errors))) {
+        stopped = true;
+        break;
+      }
+      if (config.decision_ber > 0.0 && errors.trials >= next_decision_check) {
+        const auto interval = errors.wilson();
+        if (interval.high < config.decision_ber / 1.5 ||
+            interval.low > config.decision_ber * 1.5) {
+          stopped = true;  // confidently decided either way
+          break;
+        }
+        next_decision_check += 8'192;
+      }
+      errors.add(decoded[b] != pending[pending_head++]);
     }
-    pending.push_back(bit);
-    if (const auto decoded = decoder->step(rx)) {
-      errors.add(*decoded != pending[pending_head++]);
-    }
-    // Keep the delay line compact on long runs.
+    // Keep the delay line compact on long runs; capacity is retained, so
+    // the steady state stays allocation-free.
     if (pending_head > 8'192) {
       pending.erase(pending.begin(),
                     pending.begin() + static_cast<std::ptrdiff_t>(pending_head));
       pending_head = 0;
     }
   }
+  g_decoded_bits.fetch_add(errors.trials, std::memory_order_relaxed);
   return errors;
 }
 
@@ -131,6 +175,10 @@ std::uint64_t shard_budget(std::uint64_t total, std::uint64_t shards) {
 }
 
 }  // namespace
+
+std::uint64_t ber_decoded_bits_total() {
+  return g_decoded_bits.load(std::memory_order_relaxed);
+}
 
 BerPoint measure_ber(const DecoderSpec& spec, double esn0_db,
                      const BerRunConfig& config) {

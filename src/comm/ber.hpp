@@ -86,4 +86,10 @@ std::vector<BerPoint> measure_ber_curve(const DecoderSpec& spec,
                                         const std::vector<double>& esn0_db_points,
                                         const BerRunConfig& config);
 
+/// Process-wide count of decoded-and-counted bits across every measure_ber
+/// stream since startup (monotone; thread-safe). Benchmark harnesses diff
+/// it around a timed region to report decode throughput, e.g. the
+/// decoded_bits_per_second field in BENCH_search.json.
+std::uint64_t ber_decoded_bits_total();
+
 }  // namespace metacore::comm

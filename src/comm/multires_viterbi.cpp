@@ -43,19 +43,24 @@ MultiresViterbiDecoder::MultiresViterbiDecoder(const Trellis& trellis,
       // regardless of method, matching the paper's R1=1 experiments.
       low_(config.low_res_bits == 1 ? QuantizationMethod::Hard : config.method,
            config.low_res_bits, amplitude, noise_sigma),
-      high_(config.method, config.high_res_bits, amplitude, noise_sigma) {
+      high_(config.method, config.high_res_bits, amplitude, noise_sigma),
+      norm_threshold_(kNormalizeThreshold) {
   config_.validate(trellis_->num_states());
   scale_ = static_cast<double>(high_.max_level()) /
            static_cast<double>(low_.max_level());
   const auto states = static_cast<std::size_t>(trellis_->num_states());
   acc_.resize(states);
   next_acc_.resize(states);
-  survivors_.assign(static_cast<std::size_t>(config_.traceback_depth),
-                    std::vector<std::uint8_t>(states, 0));
+  survivors_.assign(static_cast<std::size_t>(config_.traceback_depth) * states,
+                    0);
   quantized_low_.resize(static_cast<std::size_t>(trellis_->symbols_per_step()));
   quantized_high_.resize(quantized_low_.size());
   winning_low_metric_.resize(states);
   order_.resize(states);
+  // All scratch sized here so neither step() nor decode_block() ever
+  // touches the allocator.
+  low_metric_by_pattern_.resize(std::size_t{1} << quantized_low_.size());
+  high_metrics_.resize(static_cast<std::size_t>(config_.num_high_res_paths));
   reset();
 }
 
@@ -63,6 +68,7 @@ void MultiresViterbiDecoder::reset() {
   std::fill(acc_.begin(), acc_.end(), kUnreachable);
   acc_[0] = 0.0;
   steps_ = 0;
+  normalizations_ = 0;
 }
 
 int MultiresViterbiDecoder::low_branch_metric(
@@ -85,43 +91,46 @@ int MultiresViterbiDecoder::high_branch_metric(
   return metric;
 }
 
-std::optional<int> MultiresViterbiDecoder::step(std::span<const double> rx) {
-  if (rx.size() != quantized_low_.size()) {
-    throw std::invalid_argument("MultiresViterbiDecoder::step: wrong symbol count");
+void MultiresViterbiDecoder::fill_low_metric_table() {
+  // Precompute the 2^n distinct low-resolution branch metrics per step from
+  // the quantizer's level x expected_bit lookup table.
+  const auto zero_row = low_.metric_table(0);
+  const auto one_row = low_.metric_table(1);
+  const auto patterns = low_metric_by_pattern_.size();
+  for (std::size_t p = 0; p < patterns; ++p) {
+    int metric = 0;
+    for (std::size_t j = 0; j < quantized_low_.size(); ++j) {
+      const auto level = static_cast<std::size_t>(quantized_low_[j]);
+      metric += ((p >> j) & 1u) ? one_row[level] : zero_row[level];
+    }
+    low_metric_by_pattern_[p] = metric;
   }
-  for (std::size_t j = 0; j < rx.size(); ++j) {
-    quantized_low_[j] = low_.quantize(rx[j]);
-    quantized_high_[j] = high_.quantize(rx[j]);
-  }
+}
 
-  const int states = trellis_->num_states();
-  auto& survivor_row =
-      survivors_[static_cast<std::size_t>(steps_ % config_.traceback_depth)];
+std::uint32_t MultiresViterbiDecoder::advance_one_step() {
+  const auto states = static_cast<std::size_t>(trellis_->num_states());
+  const std::uint32_t* pred_state = trellis_->pred_states().data();
+  const std::uint32_t* pred_symbols = trellis_->pred_symbols().data();
+  std::uint8_t* survivor_row =
+      survivors_.data() +
+      static_cast<std::size_t>(steps_ % config_.traceback_depth) * states;
 
-  // Precompute the 2^n distinct low-resolution branch metrics per step.
-  const int patterns = 1 << quantized_low_.size();
-  low_metric_by_pattern_.resize(static_cast<std::size_t>(patterns));
-  for (int p = 0; p < patterns; ++p) {
-    low_metric_by_pattern_[static_cast<std::size_t>(p)] =
-        low_branch_metric(static_cast<std::uint32_t>(p));
-  }
-
-  // Phase 1: full low-resolution add-compare-select. Low-res metrics are
-  // scaled into high-resolution units so both phases accumulate compatibly.
-  for (int s = 0; s < states; ++s) {
-    const auto& preds = trellis_->predecessors(static_cast<std::uint32_t>(s));
-    const int bm0 = low_metric_by_pattern_[preds[0].symbols];
-    const int bm1 = low_metric_by_pattern_[preds[1].symbols];
-    const double cand0 = acc_[preds[0].from_state] + scale_ * bm0;
-    const double cand1 = acc_[preds[1].from_state] + scale_ * bm1;
+  // Phase 1: full low-resolution add-compare-select over the flat butterfly
+  // arrays. Low-res metrics are scaled into high-resolution units so both
+  // phases accumulate compatibly.
+  for (std::size_t s = 0; s < states; ++s) {
+    const int bm0 = low_metric_by_pattern_[pred_symbols[2 * s]];
+    const int bm1 = low_metric_by_pattern_[pred_symbols[2 * s + 1]];
+    const double cand0 = acc_[pred_state[2 * s]] + scale_ * bm0;
+    const double cand1 = acc_[pred_state[2 * s + 1]] + scale_ * bm1;
     if (cand1 < cand0) {
-      next_acc_[static_cast<std::size_t>(s)] = cand1;
-      survivor_row[static_cast<std::size_t>(s)] = 1;
-      winning_low_metric_[static_cast<std::size_t>(s)] = bm1;
+      next_acc_[s] = cand1;
+      survivor_row[s] = 1;
+      winning_low_metric_[s] = bm1;
     } else {
-      next_acc_[static_cast<std::size_t>(s)] = cand0;
-      survivor_row[static_cast<std::size_t>(s)] = 0;
-      winning_low_metric_[static_cast<std::size_t>(s)] = bm0;
+      next_acc_[s] = cand0;
+      survivor_row[s] = 0;
+      winning_low_metric_[s] = bm0;
     }
   }
 
@@ -139,15 +148,14 @@ std::optional<int> MultiresViterbiDecoder::step(std::span<const double> rx) {
   // the N best recomputed branches. Subtracting it from the recomputed
   // metrics keeps the expected accumulation equal for refined and
   // unrefined states, so no state gains an unfair traceback advantage.
-  std::vector<double> high_metrics(static_cast<std::size_t>(m));
   double correction = 0.0;
   for (int i = 0; i < m; ++i) {
     const std::uint32_t s = order_[static_cast<std::size_t>(i)];
-    const auto& branch = trellis_->predecessors(s)[survivor_row[s]];
-    high_metrics[static_cast<std::size_t>(i)] =
-        static_cast<double>(high_branch_metric(branch.symbols));
+    const std::size_t branch = 2 * s + survivor_row[s];
+    high_metrics_[static_cast<std::size_t>(i)] =
+        static_cast<double>(high_branch_metric(pred_symbols[branch]));
     if (i < config_.normalization_terms) {
-      correction += high_metrics[static_cast<std::size_t>(i)] -
+      correction += high_metrics_[static_cast<std::size_t>(i)] -
                     scale_ * winning_low_metric_[s];
     }
   }
@@ -155,21 +163,72 @@ std::optional<int> MultiresViterbiDecoder::step(std::span<const double> rx) {
 
   for (int i = 0; i < m; ++i) {
     const std::uint32_t s = order_[static_cast<std::size_t>(i)];
-    const auto& branch = trellis_->predecessors(s)[survivor_row[s]];
-    next_acc_[s] = acc_[branch.from_state] +
-                   high_metrics[static_cast<std::size_t>(i)] - correction;
+    const std::size_t branch = 2 * s + survivor_row[s];
+    next_acc_[s] = acc_[pred_state[branch]] +
+                   high_metrics_[static_cast<std::size_t>(i)] - correction;
   }
 
   acc_.swap(next_acc_);
   ++steps_;
 
-  const double floor = *std::min_element(acc_.begin(), acc_.end());
-  if (floor > kNormalizeThreshold) {
-    for (auto& a : acc_) a -= floor;
+  // Fused scan: the renormalization floor and the traceback start state
+  // (first index achieving the minimum, matching min_element) in one pass.
+  double floor = std::numeric_limits<double>::infinity();
+  std::uint32_t best_s = 0;
+  for (std::size_t s = 0; s < states; ++s) {
+    if (acc_[s] < floor) {
+      floor = acc_[s];
+      best_s = static_cast<std::uint32_t>(s);
+    }
   }
+  if (floor > norm_threshold_) {
+    for (auto& a : acc_) a -= floor;
+    ++normalizations_;
+  }
+  return best_s;
+}
 
+std::optional<int> MultiresViterbiDecoder::step(std::span<const double> rx) {
+  if (rx.size() != quantized_low_.size()) {
+    throw std::invalid_argument("MultiresViterbiDecoder::step: wrong symbol count");
+  }
+  for (std::size_t j = 0; j < rx.size(); ++j) {
+    quantized_low_[j] = low_.quantize(rx[j]);
+    quantized_high_[j] = high_.quantize(rx[j]);
+  }
+  fill_low_metric_table();
+  const std::uint32_t best_s = advance_one_step();
   if (steps_ < config_.traceback_depth) return std::nullopt;
-  return traceback_bit();
+  return traceback_bit_from(best_s);
+}
+
+std::size_t MultiresViterbiDecoder::decode_block(std::span<const double> rx,
+                                                 std::span<int> out) {
+  const std::size_t n = quantized_low_.size();
+  if (rx.size() % n != 0) {
+    throw std::invalid_argument(
+        "MultiresViterbiDecoder::decode_block: chunk length not a multiple "
+        "of symbols per step");
+  }
+  const std::size_t block_steps = rx.size() / n;
+  if (out.size() < block_steps) {
+    throw std::invalid_argument(
+        "MultiresViterbiDecoder::decode_block: output span smaller than one "
+        "bit per step");
+  }
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < block_steps; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      quantized_low_[j] = low_.quantize(rx[i * n + j]);
+      quantized_high_[j] = high_.quantize(rx[i * n + j]);
+    }
+    fill_low_metric_table();
+    const std::uint32_t best_s = advance_one_step();
+    if (steps_ >= config_.traceback_depth) {
+      out[written++] = traceback_bit_from(best_s);
+    }
+  }
+  return written;
 }
 
 std::uint32_t MultiresViterbiDecoder::best_state() const {
@@ -177,16 +236,19 @@ std::uint32_t MultiresViterbiDecoder::best_state() const {
       std::min_element(acc_.begin(), acc_.end()) - acc_.begin());
 }
 
-int MultiresViterbiDecoder::traceback_bit() const {
-  std::uint32_t state = best_state();
+int MultiresViterbiDecoder::traceback_bit_from(std::uint32_t state) const {
+  const auto states = static_cast<std::size_t>(trellis_->num_states());
+  const std::uint32_t* pred_state = trellis_->pred_states().data();
+  const std::uint8_t* pred_bit = trellis_->pred_bits().data();
   int bit = 0;
   for (int d = 0; d < config_.traceback_depth; ++d) {
     const std::int64_t t = steps_ - 1 - d;
-    const auto& row =
-        survivors_[static_cast<std::size_t>(t % config_.traceback_depth)];
-    const auto& branch = trellis_->predecessors(state)[row[state]];
-    bit = branch.input_bit;
-    state = branch.from_state;
+    const std::uint8_t* row =
+        survivors_.data() +
+        static_cast<std::size_t>(t % config_.traceback_depth) * states;
+    const std::size_t branch = 2 * state + row[state];
+    bit = pred_bit[branch];
+    state = pred_state[branch];
   }
   return bit;
 }
@@ -194,11 +256,13 @@ int MultiresViterbiDecoder::traceback_bit() const {
 std::vector<int> MultiresViterbiDecoder::flush() {
   const std::int64_t window = config_.traceback_depth;
   const std::int64_t pending = steps_ < window ? steps_ : window - 1;
+  const auto states = static_cast<std::size_t>(trellis_->num_states());
   std::vector<int> bits(static_cast<std::size_t>(pending));
   std::uint32_t state = best_state();
   for (std::int64_t d = 0; d < pending; ++d) {
     const std::int64_t t = steps_ - 1 - d;
-    const auto& row = survivors_[static_cast<std::size_t>(t % window)];
+    const std::uint8_t* row =
+        survivors_.data() + static_cast<std::size_t>(t % window) * states;
     const auto& branch = trellis_->predecessors(state)[row[state]];
     bits[static_cast<std::size_t>(pending - 1 - d)] = branch.input_bit;
     state = branch.from_state;

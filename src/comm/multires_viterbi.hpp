@@ -40,6 +40,12 @@ class MultiresViterbiDecoder final : public Decoder {
                          double amplitude, double noise_sigma);
 
   std::optional<int> step(std::span<const double> rx) override;
+  /// Batched kernel: one virtual call per chunk, flat-trellis SoA arrays in
+  /// the low-resolution ACS core, and a single fused scan for the
+  /// renormalization floor and the traceback start state. Bit-identical to
+  /// the step() loop.
+  std::size_t decode_block(std::span<const double> rx,
+                           std::span<int> out) override;
   std::vector<int> flush() override;
   void reset() override;
   const Trellis& trellis() const override { return *trellis_; }
@@ -52,10 +58,23 @@ class MultiresViterbiDecoder final : public Decoder {
   std::span<const double> accumulated_errors() const { return acc_; }
   std::uint32_t best_state() const;
 
+  /// Metric renormalizations performed since construction/reset.
+  std::int64_t normalizations() const { return normalizations_; }
+  /// Test hook mirroring ViterbiDecoder's: lowers the renormalization
+  /// threshold so long-stream equivalence tests can exercise the renorm
+  /// path cheaply.
+  void set_normalize_threshold_for_test(double threshold) {
+    norm_threshold_ = threshold;
+  }
+
  private:
   int low_branch_metric(std::uint32_t expected_symbols) const;
   int high_branch_metric(std::uint32_t expected_symbols) const;
-  int traceback_bit() const;
+  void fill_low_metric_table();
+  /// Phases 1+2 of one trellis step on pre-quantized symbols; returns the
+  /// traceback start state (argmin of the updated accumulated errors).
+  std::uint32_t advance_one_step();
+  int traceback_bit_from(std::uint32_t state) const;
 
   const Trellis* trellis_;
   MultiresConfig config_;
@@ -68,13 +87,17 @@ class MultiresViterbiDecoder final : public Decoder {
 
   std::vector<double> acc_;
   std::vector<double> next_acc_;
-  std::vector<std::vector<std::uint8_t>> survivors_;
+  /// Flat circular survivor store: entry (t % L) * num_states + state.
+  std::vector<std::uint8_t> survivors_;
   std::vector<int> quantized_low_;
   std::vector<int> quantized_high_;
   std::vector<int> low_metric_by_pattern_;  ///< scratch, per symbol pattern
   std::vector<int> winning_low_metric_;  ///< per-state low-res metric of survivor
   std::vector<std::uint32_t> order_;     ///< scratch for best-M selection
+  std::vector<double> high_metrics_;     ///< scratch for phase-2 recompute
   std::int64_t steps_ = 0;
+  double norm_threshold_;
+  std::int64_t normalizations_ = 0;
 };
 
 /// Factory mirroring make_hard_decoder / make_soft_decoder.

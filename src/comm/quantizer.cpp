@@ -45,6 +45,14 @@ Quantizer::Quantizer(QuantizationMethod method, int bits, double amplitude,
       offset_ = -step_ * (num_levels / 2);
       break;
   }
+
+  metric_table_.resize(static_cast<std::size_t>(num_levels) * 2);
+  for (int expected = 0; expected < 2; ++expected) {
+    for (int level = 0; level < num_levels; ++level) {
+      metric_table_[static_cast<std::size_t>(expected * num_levels + level)] =
+          branch_metric(level, expected);
+    }
+  }
 }
 
 int Quantizer::quantize(double rx) const {

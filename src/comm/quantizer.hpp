@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace metacore::comm {
 
@@ -44,6 +46,16 @@ class Quantizer {
     return expected_bit ? (max_level() - level) : level;
   }
 
+  /// Precomputed branch-metric row for one expected bit, indexed by
+  /// quantized level — the `level x expected_bit` lookup table the decoder
+  /// kernels read so their inner loops are pure table-lookup ACS.
+  /// metric_table(b)[level] == branch_metric(level, b) for every level.
+  std::span<const int> metric_table(int expected_bit) const {
+    const std::size_t levels_count = static_cast<std::size_t>(levels());
+    return std::span<const int>(metric_table_)
+        .subspan(expected_bit ? levels_count : 0, levels_count);
+  }
+
   /// Decision step between adjacent quantizer thresholds.
   double step() const { return step_; }
 
@@ -52,6 +64,8 @@ class Quantizer {
   int bits_;
   double step_;
   double offset_;  ///< rx is shifted by this before dividing by step_
+  /// Flattened metric table: [expected_bit * levels() + level].
+  std::vector<int> metric_table_;
 };
 
 /// The decision-level constant for adaptive quantization: D = kD * sigma.

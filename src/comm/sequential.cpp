@@ -63,15 +63,28 @@ SequentialResult SequentialDecoder::decode(std::span<const double> rx) const {
   const Trellis trellis(code_);
 
   // Fano branch gain: sum over symbols of (bias * max_level - distance).
+  // Precomputed per (step, expected-symbol pattern) — only 2^n patterns
+  // exist per step, so the best-first search's hot loop indexes a flat
+  // table instead of recomputing metric sums on every node extension.
   const double per_symbol_bias = config_.bias * quantizer_.max_level();
-  auto branch_gain = [&](int step, std::uint32_t symbols) {
-    double gain = 0.0;
-    for (int j = 0; j < n; ++j) {
-      const int level = levels[static_cast<std::size_t>(step * n + j)];
-      const int expected = static_cast<int>((symbols >> j) & 1u);
-      gain += per_symbol_bias - quantizer_.branch_metric(level, expected);
+  const auto zero_row = quantizer_.metric_table(0);
+  const auto one_row = quantizer_.metric_table(1);
+  const std::size_t patterns = std::size_t{1} << n;
+  std::vector<double> gain_table(static_cast<std::size_t>(steps) * patterns);
+  for (int step = 0; step < steps; ++step) {
+    for (std::size_t p = 0; p < patterns; ++p) {
+      double gain = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const auto level = static_cast<std::size_t>(
+            levels[static_cast<std::size_t>(step * n + j)]);
+        gain += per_symbol_bias -
+                (((p >> j) & 1u) ? one_row[level] : zero_row[level]);
+      }
+      gain_table[static_cast<std::size_t>(step) * patterns + p] = gain;
     }
-    return gain;
+  }
+  auto branch_gain = [&](int step, std::uint32_t symbols) {
+    return gain_table[static_cast<std::size_t>(step) * patterns + symbols];
   };
 
   const auto max_extensions = static_cast<std::uint64_t>(

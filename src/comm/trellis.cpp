@@ -56,6 +56,21 @@ Trellis::Trellis(CodeSpec spec) : spec_(std::move(spec)) {
       throw std::logic_error("Trellis: state lacks two predecessors");
     }
   }
+
+  // Flatten the predecessor view into butterfly-ordered SoA arrays for the
+  // decoder ACS kernels.
+  const std::size_t branches = static_cast<std::size_t>(num_states_) * 2;
+  pred_state_.resize(branches);
+  pred_symbols_.resize(branches);
+  pred_bit_.resize(branches);
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(num_states_); ++s) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      const Predecessor& pred = predecessors_[s][b];
+      pred_state_[(s << 1) | b] = pred.from_state;
+      pred_symbols_[(s << 1) | b] = pred.symbols;
+      pred_bit_[(s << 1) | b] = static_cast<std::uint8_t>(pred.input_bit);
+    }
+  }
 }
 
 std::string Trellis::to_string() const {

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "comm/convolutional.hpp"
@@ -43,6 +44,18 @@ class Trellis {
     return predecessors_[state];
   }
 
+  /// Flat structure-of-arrays predecessor view in butterfly order: entry
+  /// 2*state + branch mirrors predecessors(state)[branch]. The decoder ACS
+  /// inner loops walk these contiguous arrays instead of the array-of-structs
+  /// view, the layout a hardware ACS butterfly array would use; the
+  /// kernel-equivalence tests assert both views agree branch for branch.
+  std::span<const std::uint32_t> pred_states() const { return pred_state_; }
+  /// Expected channel symbols per flat branch (index into a per-step
+  /// branch-metric table of 2^n entries).
+  std::span<const std::uint32_t> pred_symbols() const { return pred_symbols_; }
+  /// Encoder input bit per flat branch (the traceback decision).
+  std::span<const std::uint8_t> pred_bits() const { return pred_bit_; }
+
   /// Text rendering of the state-transition structure (one line per
   /// branch, grouped by state) — the textual analog of the paper's
   /// Figure 3 trellis diagram.
@@ -55,6 +68,10 @@ class Trellis {
   std::vector<std::uint32_t> next_state_;  ///< indexed by (state<<1)|bit
   std::vector<std::uint32_t> output_;      ///< indexed by (state<<1)|bit
   std::vector<std::array<Predecessor, 2>> predecessors_;
+  // Flattened predecessor view, indexed by (state<<1)|branch.
+  std::vector<std::uint32_t> pred_state_;
+  std::vector<std::uint32_t> pred_symbols_;
+  std::vector<std::uint8_t> pred_bit_;
 };
 
 /// Text rendering of the shift-register encoder (taps per generator) — the

@@ -14,19 +14,34 @@ constexpr std::int64_t kUnreachable = std::int64_t{1} << 40;
 constexpr std::int64_t kNormalizeThreshold = std::int64_t{1} << 50;
 }  // namespace
 
+std::size_t Decoder::decode_block(std::span<const double> rx,
+                                  std::span<int> out) {
+  const auto n = static_cast<std::size_t>(trellis().symbols_per_step());
+  if (rx.size() % n != 0) {
+    throw std::invalid_argument(
+        "Decoder::decode_block: chunk length not a multiple of symbols per "
+        "step");
+  }
+  if (out.size() < rx.size() / n) {
+    throw std::invalid_argument(
+        "Decoder::decode_block: output span smaller than one bit per step");
+  }
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < rx.size(); i += n) {
+    if (auto bit = step(rx.subspan(i, n))) out[written++] = *bit;
+  }
+  return written;
+}
+
 std::vector<int> Decoder::decode(std::span<const double> rx_stream) {
   const int n = trellis().symbols_per_step();
   if (rx_stream.size() % static_cast<std::size_t>(n) != 0) {
     throw std::invalid_argument(
         "Decoder::decode: stream length not a multiple of symbols per step");
   }
-  std::vector<int> out;
-  out.reserve(rx_stream.size() / static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < rx_stream.size(); i += static_cast<std::size_t>(n)) {
-    if (auto bit = step(rx_stream.subspan(i, static_cast<std::size_t>(n)))) {
-      out.push_back(*bit);
-    }
-  }
+  std::vector<int> out(rx_stream.size() / static_cast<std::size_t>(n));
+  const std::size_t written = decode_block(rx_stream, out);
+  out.resize(written);
   auto tail = flush();
   out.insert(out.end(), tail.begin(), tail.end());
   return out;
@@ -36,16 +51,19 @@ ViterbiDecoder::ViterbiDecoder(const Trellis& trellis, int traceback_depth,
                                Quantizer quantizer)
     : trellis_(&trellis),
       traceback_depth_(traceback_depth),
-      quantizer_(quantizer) {
+      quantizer_(quantizer),
+      norm_threshold_(kNormalizeThreshold) {
   if (traceback_depth_ < 1) {
     throw std::invalid_argument("ViterbiDecoder: traceback depth must be >= 1");
   }
   const auto states = static_cast<std::size_t>(trellis_->num_states());
   acc_.resize(states);
   next_acc_.resize(states);
-  survivors_.assign(static_cast<std::size_t>(traceback_depth_),
-                    std::vector<std::uint8_t>(states, 0));
+  survivors_.assign(static_cast<std::size_t>(traceback_depth_) * states, 0);
   quantized_.resize(static_cast<std::size_t>(trellis_->symbols_per_step()));
+  // All 2^n symbol patterns; sized once here so step()/decode_block() never
+  // touch the allocator.
+  metric_by_pattern_.resize(std::size_t{1} << quantized_.size());
   reset();
 }
 
@@ -53,6 +71,7 @@ void ViterbiDecoder::reset() {
   std::fill(acc_.begin(), acc_.end(), kUnreachable);
   acc_[0] = 0;  // the encoder starts from the all-zero state
   steps_ = 0;
+  normalizations_ = 0;
 }
 
 int ViterbiDecoder::branch_metric(std::uint32_t expected_symbols) const {
@@ -64,6 +83,25 @@ int ViterbiDecoder::branch_metric(std::uint32_t expected_symbols) const {
   return metric;
 }
 
+void ViterbiDecoder::fill_metric_table() {
+  // Only 2^n distinct branch metrics exist per step (one per expected
+  // symbol pattern); precomputing them takes the metric work out of the
+  // per-state loop — the same table a hardware ACS array would share. Each
+  // entry is a sum of per-symbol lookups in the quantizer's precomputed
+  // level x expected_bit table.
+  const auto zero_row = quantizer_.metric_table(0);
+  const auto one_row = quantizer_.metric_table(1);
+  const auto patterns = metric_by_pattern_.size();
+  for (std::size_t p = 0; p < patterns; ++p) {
+    int metric = 0;
+    for (std::size_t j = 0; j < quantized_.size(); ++j) {
+      const auto level = static_cast<std::size_t>(quantized_[j]);
+      metric += ((p >> j) & 1u) ? one_row[level] : zero_row[level];
+    }
+    metric_by_pattern_[p] = metric;
+  }
+}
+
 std::optional<int> ViterbiDecoder::step(std::span<const double> rx) {
   if (rx.size() != quantized_.size()) {
     throw std::invalid_argument("ViterbiDecoder::step: wrong symbol count");
@@ -71,20 +109,13 @@ std::optional<int> ViterbiDecoder::step(std::span<const double> rx) {
   for (std::size_t j = 0; j < rx.size(); ++j) {
     quantized_[j] = quantizer_.quantize(rx[j]);
   }
-
-  // Only 2^n distinct branch metrics exist per step (one per expected
-  // symbol pattern); precomputing them takes the metric work out of the
-  // per-state loop — the same table a hardware ACS array would share.
-  const int patterns = 1 << quantized_.size();
-  metric_by_pattern_.resize(static_cast<std::size_t>(patterns));
-  for (int p = 0; p < patterns; ++p) {
-    metric_by_pattern_[static_cast<std::size_t>(p)] =
-        branch_metric(static_cast<std::uint32_t>(p));
-  }
+  fill_metric_table();
 
   const int states = trellis_->num_states();
-  auto& survivor_row =
-      survivors_[static_cast<std::size_t>(steps_ % traceback_depth_)];
+  std::uint8_t* survivor_row =
+      survivors_.data() +
+      static_cast<std::size_t>(steps_ % traceback_depth_) *
+          static_cast<std::size_t>(states);
   for (int s = 0; s < states; ++s) {
     const auto& preds = trellis_->predecessors(static_cast<std::uint32_t>(s));
     const std::int64_t cand0 =
@@ -94,23 +125,95 @@ std::optional<int> ViterbiDecoder::step(std::span<const double> rx) {
     // Compare-select: ties break toward predecessor 0 deterministically.
     if (cand1 < cand0) {
       next_acc_[static_cast<std::size_t>(s)] = cand1;
-      survivor_row[static_cast<std::size_t>(s)] = 1;
+      survivor_row[s] = 1;
     } else {
       next_acc_[static_cast<std::size_t>(s)] = cand0;
-      survivor_row[static_cast<std::size_t>(s)] = 0;
+      survivor_row[s] = 0;
     }
   }
   acc_.swap(next_acc_);
   ++steps_;
 
-  // Keep metrics bounded for indefinite streaming.
+  // Keep metrics bounded for indefinite streaming. This is the reference
+  // renormalization (separate min_element scan); decode_block() tracks the
+  // same minimum inside its ACS loop — the equivalence tests hold the two
+  // bit-identical.
   const std::int64_t floor = *std::min_element(acc_.begin(), acc_.end());
-  if (floor > kNormalizeThreshold) {
+  if (floor > norm_threshold_) {
     for (auto& a : acc_) a -= floor;
+    ++normalizations_;
   }
 
   if (steps_ < traceback_depth_) return std::nullopt;
-  return traceback_bit();
+  return traceback_bit_from(best_state());
+}
+
+std::size_t ViterbiDecoder::decode_block(std::span<const double> rx,
+                                         std::span<int> out) {
+  const std::size_t n = quantized_.size();
+  if (rx.size() % n != 0) {
+    throw std::invalid_argument(
+        "ViterbiDecoder::decode_block: chunk length not a multiple of "
+        "symbols per step");
+  }
+  const std::size_t block_steps = rx.size() / n;
+  if (out.size() < block_steps) {
+    throw std::invalid_argument(
+        "ViterbiDecoder::decode_block: output span smaller than one bit per "
+        "step");
+  }
+
+  const auto states = static_cast<std::size_t>(trellis_->num_states());
+  const std::uint32_t* pred_state = trellis_->pred_states().data();
+  const std::uint32_t* pred_symbols = trellis_->pred_symbols().data();
+  const int* metric = metric_by_pattern_.data();
+  std::size_t written = 0;
+
+  for (std::size_t i = 0; i < block_steps; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      quantized_[j] = quantizer_.quantize(rx[i * n + j]);
+    }
+    fill_metric_table();
+
+    std::uint8_t* survivor_row =
+        survivors_.data() +
+        static_cast<std::size_t>(steps_ % traceback_depth_) * states;
+    // Flat butterfly ACS with the running minimum (and its first index, the
+    // traceback start state) tracked in-loop: the strict '<' matches
+    // min_element's first-minimum tie-breaking.
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    std::uint32_t best_s = 0;
+    for (std::size_t s = 0; s < states; ++s) {
+      const std::int64_t cand0 =
+          acc_[pred_state[2 * s]] + metric[pred_symbols[2 * s]];
+      const std::int64_t cand1 =
+          acc_[pred_state[2 * s + 1]] + metric[pred_symbols[2 * s + 1]];
+      std::int64_t win = cand0;
+      std::uint8_t sel = 0;
+      if (cand1 < cand0) {
+        win = cand1;
+        sel = 1;
+      }
+      next_acc_[s] = win;
+      survivor_row[s] = sel;
+      if (win < best) {
+        best = win;
+        best_s = static_cast<std::uint32_t>(s);
+      }
+    }
+    acc_.swap(next_acc_);
+    ++steps_;
+
+    if (best > norm_threshold_) {
+      for (auto& a : acc_) a -= best;
+      ++normalizations_;
+    }
+
+    if (steps_ >= traceback_depth_) {
+      out[written++] = traceback_bit_from(best_s);
+    }
+  }
+  return written;
 }
 
 std::uint32_t ViterbiDecoder::best_state() const {
@@ -118,18 +221,22 @@ std::uint32_t ViterbiDecoder::best_state() const {
       std::min_element(acc_.begin(), acc_.end()) - acc_.begin());
 }
 
-int ViterbiDecoder::traceback_bit() const {
+int ViterbiDecoder::traceback_bit_from(std::uint32_t state) const {
   // Walk the survivor memory from the current best state back
   // traceback_depth_ steps; the initial branch of that path is the decoded
   // decision (Section 3.2).
-  std::uint32_t state = best_state();
+  const auto states = static_cast<std::size_t>(trellis_->num_states());
+  const std::uint32_t* pred_state = trellis_->pred_states().data();
+  const std::uint8_t* pred_bit = trellis_->pred_bits().data();
   int bit = 0;
   for (int d = 0; d < traceback_depth_; ++d) {
     const std::int64_t t = steps_ - 1 - d;
-    const auto& row = survivors_[static_cast<std::size_t>(t % traceback_depth_)];
-    const auto& branch = trellis_->predecessors(state)[row[state]];
-    bit = branch.input_bit;
-    state = branch.from_state;
+    const std::uint8_t* row =
+        survivors_.data() +
+        static_cast<std::size_t>(t % traceback_depth_) * states;
+    const std::size_t branch = 2 * state + row[state];
+    bit = pred_bit[branch];
+    state = pred_state[branch];
   }
   return bit;
 }
@@ -140,11 +247,14 @@ std::vector<int> ViterbiDecoder::flush() {
   const std::int64_t pending =
       steps_ < traceback_depth_ ? steps_
                                 : static_cast<std::int64_t>(traceback_depth_) - 1;
+  const auto states = static_cast<std::size_t>(trellis_->num_states());
   std::vector<int> bits(static_cast<std::size_t>(pending));
   std::uint32_t state = best_state();
   for (std::int64_t d = 0; d < pending; ++d) {
     const std::int64_t t = steps_ - 1 - d;
-    const auto& row = survivors_[static_cast<std::size_t>(t % traceback_depth_)];
+    const std::uint8_t* row =
+        survivors_.data() +
+        static_cast<std::size_t>(t % traceback_depth_) * states;
     const auto& branch = trellis_->predecessors(state)[row[state]];
     bits[static_cast<std::size_t>(pending - 1 - d)] = branch.input_bit;
     state = branch.from_state;

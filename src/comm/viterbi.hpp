@@ -26,6 +26,17 @@ class Decoder {
   /// ago once the decoding window has filled.
   virtual std::optional<int> step(std::span<const double> rx) = 0;
 
+  /// Consumes a whole chunk of raw channel samples (a multiple of n) in one
+  /// call, appending decoded bits to `out` as the decoding window produces
+  /// them. `out` must have room for one bit per trellis step in `rx` (the
+  /// upper bound; fewer are written while the pipeline fills). Returns the
+  /// number of bits written. Semantically identical to calling step() once
+  /// per trellis step — chunk boundaries never change the decoded stream —
+  /// but concrete decoders override it with batched kernels that skip the
+  /// per-step virtual dispatch. The base implementation is the step() loop.
+  virtual std::size_t decode_block(std::span<const double> rx,
+                                   std::span<int> out);
+
   /// Emits the bits still held in the decoding window (final traceback from
   /// the best end state). The decoder must be reset before reuse.
   virtual std::vector<int> flush() = 0;
@@ -48,6 +59,12 @@ class ViterbiDecoder final : public Decoder {
                  Quantizer quantizer);
 
   std::optional<int> step(std::span<const double> rx) override;
+  /// Batched ACS kernel over the flat trellis view: table-lookup branch
+  /// metrics, running minimum tracked inside the ACS loop (no separate
+  /// renormalization scan), one virtual call per chunk. Bit-identical to
+  /// the step() loop.
+  std::size_t decode_block(std::span<const double> rx,
+                           std::span<int> out) override;
   std::vector<int> flush() override;
   void reset() override;
   const Trellis& trellis() const override { return *trellis_; }
@@ -62,9 +79,20 @@ class ViterbiDecoder final : public Decoder {
   /// multiresolution decoder's instrumentation).
   std::span<const std::int64_t> accumulated_errors() const { return acc_; }
 
+  /// Metric renormalizations performed since construction/reset (test and
+  /// benchmark instrumentation for the renorm-in-loop kernel).
+  std::int64_t normalizations() const { return normalizations_; }
+  /// Test hook: lowers the renormalization threshold so long-stream
+  /// equivalence tests can exercise the renorm path without simulating the
+  /// ~2^50 steps the production threshold would need.
+  void set_normalize_threshold_for_test(std::int64_t threshold) {
+    norm_threshold_ = threshold;
+  }
+
  private:
   int branch_metric(std::uint32_t expected_symbols) const;
-  int traceback_bit() const;
+  void fill_metric_table();
+  int traceback_bit_from(std::uint32_t state) const;
 
   const Trellis* trellis_;
   int traceback_depth_;
@@ -72,12 +100,14 @@ class ViterbiDecoder final : public Decoder {
 
   std::vector<std::int64_t> acc_;
   std::vector<std::int64_t> next_acc_;
-  /// Circular survivor store: survivors_[t % L][state] is the index (0/1)
-  /// of the winning predecessor branch at step t.
-  std::vector<std::vector<std::uint8_t>> survivors_;
+  /// Flat circular survivor store: entry (t % L) * num_states + state is
+  /// the index (0/1) of the winning predecessor branch at step t.
+  std::vector<std::uint8_t> survivors_;
   std::vector<int> quantized_;  ///< scratch: quantized symbols for this step
   std::vector<int> metric_by_pattern_;  ///< scratch: metric per symbol pattern
   std::int64_t steps_ = 0;
+  std::int64_t norm_threshold_;
+  std::int64_t normalizations_ = 0;
 };
 
 /// Convenience factories matching the paper's decoder taxonomy.

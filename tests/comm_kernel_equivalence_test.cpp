@@ -1,0 +1,404 @@
+// Equivalence tests for the batched decoder kernels: the flat SoA trellis
+// view, the quantizer metric table, decode_block vs the per-step virtual
+// loop, renormalization tracked in-loop vs the min_element reference scan,
+// and golden (pre-kernel) measure_ber values that must stay bit-identical
+// for every decoder kind, shard count, and thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/ber.hpp"
+#include "comm/channel.hpp"
+#include "comm/multires_viterbi.hpp"
+#include "comm/viterbi.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace metacore::comm {
+namespace {
+
+std::vector<double> noisy_stream(const CodeSpec& code, std::size_t bits,
+                                 double esn0_db, std::uint64_t seed,
+                                 double* sigma) {
+  util::Random rng(seed);
+  std::vector<int> data(bits);
+  for (auto& b : data) b = rng.bit() ? 1 : 0;
+  ConvolutionalEncoder enc(code);
+  BpskModulator mod;
+  AwgnChannel channel(esn0_db, 1.0, seed ^ 0xABCD);
+  *sigma = channel.noise_sigma();
+  return channel.transmit(mod.modulate(enc.encode(data)));
+}
+
+DecoderSpec make_spec(DecoderKind kind, int k) {
+  DecoderSpec spec;
+  spec.code = best_rate_half_code(k);
+  spec.traceback_depth = 5 * k;
+  spec.kind = kind;
+  spec.low_res_bits = 1;
+  spec.high_res_bits = 3;
+  spec.num_high_res_paths = std::min(4, spec.code.num_states());
+  spec.normalization_terms = 1;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Flat trellis view vs the array-of-structs predecessor view.
+
+void expect_flat_view_matches(const CodeSpec& code) {
+  const Trellis trellis(code);
+  const auto states = static_cast<std::uint32_t>(trellis.num_states());
+  const auto pred_states = trellis.pred_states();
+  const auto pred_symbols = trellis.pred_symbols();
+  const auto pred_bits = trellis.pred_bits();
+  ASSERT_EQ(pred_states.size(), 2u * states);
+  ASSERT_EQ(pred_symbols.size(), 2u * states);
+  ASSERT_EQ(pred_bits.size(), 2u * states);
+  for (std::uint32_t s = 0; s < states; ++s) {
+    const auto& preds = trellis.predecessors(s);
+    for (std::size_t b = 0; b < 2; ++b) {
+      const std::size_t flat = 2 * s + b;
+      EXPECT_EQ(pred_states[flat], preds[b].from_state)
+          << "state " << s << " branch " << b;
+      EXPECT_EQ(pred_symbols[flat], preds[b].symbols)
+          << "state " << s << " branch " << b;
+      EXPECT_EQ(static_cast<int>(pred_bits[flat]), preds[b].input_bit)
+          << "state " << s << " branch " << b;
+    }
+  }
+}
+
+TEST(FlatTrellis, MatchesPredecessorsOnEveryStateAndBranch) {
+  for (int k : {3, 5, 7, 9}) {
+    expect_flat_view_matches(best_rate_half_code(k));
+  }
+  // Rate 1/3: more symbols per step, different pattern-table width.
+  expect_flat_view_matches(CodeSpec{5, {025, 033, 037}});
+}
+
+// ---------------------------------------------------------------------------
+// Quantizer metric table vs the computed branch metric.
+
+TEST(QuantizerMetricTable, MatchesBranchMetricForAllLevels) {
+  const QuantizationMethod methods[] = {QuantizationMethod::Hard,
+                                        QuantizationMethod::FixedSoft,
+                                        QuantizationMethod::AdaptiveSoft};
+  for (const auto method : methods) {
+    for (int bits = 1; bits <= 8; ++bits) {
+      const Quantizer q(method, bits, 1.0, 0.5);
+      for (int expected = 0; expected < 2; ++expected) {
+        const auto row = q.metric_table(expected);
+        ASSERT_EQ(row.size(), static_cast<std::size_t>(q.levels()));
+        for (int level = 0; level < q.levels(); ++level) {
+          EXPECT_EQ(row[static_cast<std::size_t>(level)],
+                    q.branch_metric(level, expected))
+              << to_string(method) << " bits=" << bits << " level=" << level
+              << " expected=" << expected;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step API vs block API bit-exactness.
+
+struct KernelCase {
+  DecoderKind kind;
+  int k;
+};
+
+class KernelSweep : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelSweep, StepVsBlockBitExact) {
+  const auto [kind, k] = GetParam();
+  const DecoderSpec spec = make_spec(kind, k);
+  const Trellis trellis(spec.code);
+  double sigma = 0.5;
+  const auto rx = noisy_stream(spec.code, 4'000, 1.0, 1234 + k, &sigma);
+  const auto n = static_cast<std::size_t>(trellis.symbols_per_step());
+
+  // Reference: the per-step virtual loop.
+  auto step_dec = spec.make_decoder(trellis, 1.0, sigma);
+  std::vector<int> step_bits;
+  for (std::size_t i = 0; i < rx.size(); i += n) {
+    if (auto bit = step_dec->step({rx.data() + i, n})) {
+      step_bits.push_back(*bit);
+    }
+  }
+  const auto step_tail = step_dec->flush();
+
+  // One-shot block decode.
+  auto block_dec = spec.make_decoder(trellis, 1.0, sigma);
+  std::vector<int> block_bits(rx.size() / n);
+  block_bits.resize(block_dec->decode_block(rx, block_bits));
+  const auto block_tail = block_dec->flush();
+
+  EXPECT_EQ(step_bits, block_bits);
+  EXPECT_EQ(step_tail, block_tail);
+}
+
+TEST_P(KernelSweep, ChunkBoundariesNeverChangeTheStream) {
+  const auto [kind, k] = GetParam();
+  const DecoderSpec spec = make_spec(kind, k);
+  const Trellis trellis(spec.code);
+  double sigma = 0.5;
+  const auto rx = noisy_stream(spec.code, 2'000, 1.0, 77 + k, &sigma);
+  const auto n = static_cast<std::size_t>(trellis.symbols_per_step());
+  const std::size_t total_steps = rx.size() / n;
+
+  auto reference = spec.make_decoder(trellis, 1.0, sigma);
+  std::vector<int> ref_bits(total_steps);
+  ref_bits.resize(reference->decode_block(rx, ref_bits));
+
+  // Uneven chunk sizes exercise survivor-ring wraparound across block
+  // boundaries (including chunks smaller than the traceback window).
+  for (const std::size_t chunk_steps : {std::size_t{1}, std::size_t{7},
+                                        std::size_t{64}, std::size_t{1021}}) {
+    auto chunked = spec.make_decoder(trellis, 1.0, sigma);
+    std::vector<int> bits;
+    std::vector<int> out(chunk_steps);
+    for (std::size_t begin = 0; begin < total_steps; begin += chunk_steps) {
+      const std::size_t steps = std::min(chunk_steps, total_steps - begin);
+      const std::size_t got =
+          chunked->decode_block({rx.data() + begin * n, steps * n},
+                                {out.data(), steps});
+      bits.insert(bits.end(), out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(got));
+    }
+    EXPECT_EQ(bits, ref_bits) << "chunk=" << chunk_steps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndConstraintLengths, KernelSweep,
+    ::testing::Values(KernelCase{DecoderKind::Hard, 3},
+                      KernelCase{DecoderKind::Hard, 5},
+                      KernelCase{DecoderKind::Hard, 7},
+                      KernelCase{DecoderKind::Hard, 9},
+                      KernelCase{DecoderKind::Soft, 3},
+                      KernelCase{DecoderKind::Soft, 5},
+                      KernelCase{DecoderKind::Soft, 7},
+                      KernelCase{DecoderKind::Soft, 9},
+                      KernelCase{DecoderKind::Multires, 3},
+                      KernelCase{DecoderKind::Multires, 5},
+                      KernelCase{DecoderKind::Multires, 7},
+                      KernelCase{DecoderKind::Multires, 9}));
+
+TEST(DecodeBlock, RejectsBadSpans) {
+  const DecoderSpec spec = make_spec(DecoderKind::Soft, 5);
+  const Trellis trellis(spec.code);
+  auto decoder = spec.make_decoder(trellis, 1.0, 0.5);
+  std::vector<double> odd(3, 0.0);   // not a multiple of n = 2
+  std::vector<double> rx(8, 0.0);    // 4 trellis steps
+  std::vector<int> small(3);         // too small for 4 steps
+  std::vector<int> out(4);
+  EXPECT_THROW(decoder->decode_block(odd, out), std::invalid_argument);
+  EXPECT_THROW(decoder->decode_block(rx, small), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Renormalization: the block kernel tracks the running minimum inside the
+// ACS loop; step() keeps the reference min_element scan. Both must agree
+// over streams long enough to cross a (lowered) normalization threshold
+// many times — and for the integer-metric ViterbiDecoder, renormalizing
+// must not change the decoded stream at all.
+
+TEST(Renormalization, InLoopMinimumMatchesMinElementOverLongStream) {
+  const CodeSpec code = best_rate_half_code(5);
+  const Trellis trellis(code);
+  constexpr std::size_t kBits = 1'100'000;  // > 10^6 trellis steps
+  double sigma = 0.5;
+  const auto rx = noisy_stream(code, kBits, 0.0, 99, &sigma);
+  const auto n = static_cast<std::size_t>(trellis.symbols_per_step());
+  // Low threshold so the stream crosses it many times; metrics sit near the
+  // threshold (within one step's branch metric) whenever renorm fires.
+  constexpr std::int64_t kTestThreshold = std::int64_t{1} << 14;
+
+  ViterbiDecoder step_dec(trellis, 25,
+                          Quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0,
+                                    sigma));
+  step_dec.set_normalize_threshold_for_test(kTestThreshold);
+  std::vector<int> step_bits;
+  step_bits.reserve(kBits);
+  for (std::size_t i = 0; i < rx.size(); i += n) {
+    if (auto bit = step_dec.step({rx.data() + i, n})) {
+      step_bits.push_back(*bit);
+    }
+  }
+
+  ViterbiDecoder block_dec(trellis, 25,
+                           Quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0,
+                                     sigma));
+  block_dec.set_normalize_threshold_for_test(kTestThreshold);
+  std::vector<int> block_bits(kBits);
+  block_bits.resize(block_dec.decode_block(rx, block_bits));
+
+  // The renorm path genuinely ran, many times, in both drivers.
+  EXPECT_GT(step_dec.normalizations(), 50);
+  EXPECT_EQ(step_dec.normalizations(), block_dec.normalizations());
+  EXPECT_EQ(step_bits, block_bits);
+  EXPECT_EQ(step_dec.flush(), block_dec.flush());
+}
+
+TEST(Renormalization, IntegerRenormIsDecodedStreamInvariant) {
+  // Integer metrics shift exactly, so a decoder renormalizing every few
+  // thousand steps must emit the same bits as one that never renormalizes.
+  const CodeSpec code = best_rate_half_code(5);
+  const Trellis trellis(code);
+  constexpr std::size_t kBits = 200'000;
+  double sigma = 0.5;
+  const auto rx = noisy_stream(code, kBits, 0.0, 7, &sigma);
+  const Quantizer quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0, sigma);
+
+  ViterbiDecoder production(trellis, 25, quantizer);  // never renormalizes here
+  std::vector<int> production_bits(kBits);
+  production_bits.resize(production.decode_block(rx, production_bits));
+  EXPECT_EQ(production.normalizations(), 0);
+
+  ViterbiDecoder renorming(trellis, 25, quantizer);
+  renorming.set_normalize_threshold_for_test(std::int64_t{1} << 13);
+  std::vector<int> renormed_bits(kBits);
+  renormed_bits.resize(renorming.decode_block(rx, renormed_bits));
+  EXPECT_GT(renorming.normalizations(), 10);
+  EXPECT_EQ(production_bits, renormed_bits);
+}
+
+TEST(Renormalization, MultiresStepAndBlockAgreeAcrossRenorms) {
+  const DecoderSpec spec = make_spec(DecoderKind::Multires, 5);
+  const Trellis trellis(spec.code);
+  constexpr std::size_t kBits = 120'000;
+  double sigma = 0.5;
+  const auto rx = noisy_stream(spec.code, kBits, 0.0, 13, &sigma);
+  const auto n = static_cast<std::size_t>(trellis.symbols_per_step());
+
+  MultiresConfig config{spec.traceback_depth, spec.low_res_bits,
+                        spec.high_res_bits, spec.quantization,
+                        spec.num_high_res_paths, spec.normalization_terms};
+  MultiresViterbiDecoder step_dec(trellis, config, 1.0, sigma);
+  step_dec.set_normalize_threshold_for_test(5e3);
+  std::vector<int> step_bits;
+  step_bits.reserve(kBits);
+  for (std::size_t i = 0; i < rx.size(); i += n) {
+    if (auto bit = step_dec.step({rx.data() + i, n})) {
+      step_bits.push_back(*bit);
+    }
+  }
+
+  MultiresViterbiDecoder block_dec(trellis, config, 1.0, sigma);
+  block_dec.set_normalize_threshold_for_test(5e3);
+  std::vector<int> block_bits(kBits);
+  block_bits.resize(block_dec.decode_block(rx, block_bits));
+
+  EXPECT_GT(step_dec.normalizations(), 5);
+  EXPECT_EQ(step_dec.normalizations(), block_dec.normalizations());
+  EXPECT_EQ(step_bits, block_bits);
+}
+
+// ---------------------------------------------------------------------------
+// Golden measure_ber values captured from the pre-kernel (per-step,
+// allocating) pipeline. The batched allocation-free pipeline must reproduce
+// every (successes, trials) pair bit-for-bit, for every decoder kind, shard
+// count, and thread count.
+
+struct GoldenBer {
+  DecoderKind kind;
+  int k;
+  int shards;
+  std::uint64_t plain_successes;    // max 20k bits, min 10k, 2k errors
+  std::uint64_t plain_trials;
+  std::uint64_t decided_successes;  // decision_ber = 1e-2 stopping rule
+  std::uint64_t decided_trials;
+};
+
+constexpr GoldenBer kGolden[] = {
+    {DecoderKind::Hard, 3, 1, 80ull, 20000ull, 34ull, 8192ull},
+    {DecoderKind::Hard, 3, 8, 63ull, 20000ull, 197ull, 65536ull},
+    {DecoderKind::Hard, 5, 1, 38ull, 20000ull, 27ull, 8192ull},
+    {DecoderKind::Hard, 5, 8, 31ull, 20000ull, 74ull, 65536ull},
+    {DecoderKind::Hard, 7, 1, 35ull, 20000ull, 18ull, 8192ull},
+    {DecoderKind::Hard, 7, 8, 12ull, 20000ull, 34ull, 65536ull},
+    {DecoderKind::Hard, 9, 1, 3ull, 20000ull, 3ull, 8192ull},
+    {DecoderKind::Hard, 9, 8, 0ull, 20000ull, 13ull, 65536ull},
+    {DecoderKind::Soft, 3, 1, 0ull, 20000ull, 0ull, 8192ull},
+    {DecoderKind::Soft, 3, 8, 2ull, 20000ull, 8ull, 65536ull},
+    {DecoderKind::Soft, 5, 1, 0ull, 20000ull, 0ull, 8192ull},
+    {DecoderKind::Soft, 5, 8, 0ull, 20000ull, 0ull, 65536ull},
+    {DecoderKind::Soft, 7, 1, 0ull, 20000ull, 0ull, 8192ull},
+    {DecoderKind::Soft, 7, 8, 0ull, 20000ull, 0ull, 65536ull},
+    {DecoderKind::Soft, 9, 1, 0ull, 20000ull, 0ull, 8192ull},
+    {DecoderKind::Soft, 9, 8, 0ull, 20000ull, 0ull, 65536ull},
+    {DecoderKind::Multires, 3, 1, 8ull, 20000ull, 4ull, 8192ull},
+    {DecoderKind::Multires, 3, 8, 24ull, 20000ull, 62ull, 65536ull},
+    {DecoderKind::Multires, 5, 1, 11ull, 20000ull, 0ull, 8192ull},
+    {DecoderKind::Multires, 5, 8, 0ull, 20000ull, 4ull, 65536ull},
+    {DecoderKind::Multires, 7, 1, 0ull, 20000ull, 0ull, 8192ull},
+    {DecoderKind::Multires, 7, 8, 3ull, 20000ull, 6ull, 65536ull},
+    {DecoderKind::Multires, 9, 1, 11ull, 20000ull, 11ull, 8192ull},
+    {DecoderKind::Multires, 9, 8, 0ull, 20000ull, 1ull, 65536ull},
+};
+
+/// Restores the configured global pool size on scope exit.
+class ThreadGuard {
+ public:
+  ThreadGuard() = default;
+  ~ThreadGuard() {
+    exec::ThreadPool::set_global_threads(
+        exec::ThreadPool::configured_threads());
+  }
+};
+
+void expect_golden(const GoldenBer& golden) {
+  DecoderSpec spec = make_spec(golden.kind, golden.k);
+
+  BerRunConfig cfg;
+  cfg.max_bits = 20'000;
+  cfg.min_bits = 10'000;
+  cfg.max_errors = 2'000;
+  cfg.shards = golden.shards;
+  const auto plain = measure_ber(spec, 2.0, cfg);
+  EXPECT_EQ(plain.errors.successes, golden.plain_successes)
+      << to_string(golden.kind) << " K=" << golden.k
+      << " shards=" << golden.shards;
+  EXPECT_EQ(plain.errors.trials, golden.plain_trials)
+      << to_string(golden.kind) << " K=" << golden.k
+      << " shards=" << golden.shards;
+
+  BerRunConfig dcfg;
+  dcfg.max_bits = 100'000;
+  dcfg.min_bits = 8'192;
+  dcfg.max_errors = 1u << 30;
+  dcfg.decision_ber = 1e-2;
+  dcfg.shards = golden.shards;
+  const auto decided = measure_ber(spec, 2.0, dcfg);
+  EXPECT_EQ(decided.errors.successes, golden.decided_successes)
+      << to_string(golden.kind) << " K=" << golden.k
+      << " shards=" << golden.shards;
+  EXPECT_EQ(decided.errors.trials, golden.decided_trials)
+      << to_string(golden.kind) << " K=" << golden.k
+      << " shards=" << golden.shards;
+}
+
+TEST(MeasureBerGolden, MatchesPreKernelPipelineSingleThread) {
+  ThreadGuard guard;
+  exec::ThreadPool::set_global_threads(1);
+  for (const auto& golden : kGolden) expect_golden(golden);
+}
+
+TEST(MeasureBerGolden, MatchesPreKernelPipelineTwoThreads) {
+  ThreadGuard guard;
+  exec::ThreadPool::set_global_threads(2);
+  for (const auto& golden : kGolden) expect_golden(golden);
+}
+
+TEST(MeasureBerGolden, MatchesPreKernelPipelineEightThreads) {
+  ThreadGuard guard;
+  exec::ThreadPool::set_global_threads(8);
+  for (const auto& golden : kGolden) expect_golden(golden);
+}
+
+}  // namespace
+}  // namespace metacore::comm
