@@ -13,10 +13,13 @@
 
 #include <chrono>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "comm/ber.hpp"
 #include "comm/channel.hpp"
+#include "comm/simd/acs_kernel.hpp"
 #include "util/rng.hpp"
 
 using namespace metacore;
@@ -185,13 +188,106 @@ void append_block_vs_step_records() {
             << "\n";
 }
 
+/// Restores the dispatched ISA on scope exit.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(comm::simd::dispatched_isa()) {}
+  ~IsaGuard() { comm::simd::force_isa(saved_); }
+
+ private:
+  comm::simd::Isa saved_;
+};
+
+std::vector<comm::simd::Isa> available_isas() {
+  std::vector<comm::simd::Isa> isas;
+  for (const auto isa : {comm::simd::Isa::Scalar, comm::simd::Isa::Sse4,
+                         comm::simd::Isa::Avx2}) {
+    if (comm::simd::isa_available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+/// Registers one block-API benchmark per decoder kind for each kernel tier
+/// available on this machine (BM_<Kind>DecodeSimd_<isa>/K); the lambda
+/// forces the tier for the duration of the run.
+void register_simd_benchmarks() {
+  struct KindEntry {
+    comm::DecoderKind kind;
+    const char* name;
+  };
+  const KindEntry kinds[] = {{comm::DecoderKind::Hard, "Hard"},
+                             {comm::DecoderKind::Soft, "Soft"},
+                             {comm::DecoderKind::Multires, "Multires"}};
+  for (const auto isa : available_isas()) {
+    for (const auto& entry : kinds) {
+      const std::string name = std::string("BM_") + entry.name +
+                               "DecodeSimd_" + comm::simd::to_string(isa);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [kind = entry.kind, isa](benchmark::State& state) {
+            IsaGuard guard;
+            comm::simd::force_isa(isa);
+            run_decoder_block(state, kind);
+          })
+          ->Arg(7);
+    }
+  }
+}
+
+/// The structured simd-vs-scalar pass appended to BENCH_decoder.json: block
+/// decode throughput per (kind, K, kernel tier) and the speedup over the
+/// scalar reference kernel.
+void append_simd_vs_scalar_records() {
+  const std::size_t total_bits = bench::quick_mode() ? 16'384 : 262'144;
+  const auto isas = available_isas();
+  std::vector<bench::BenchRecord> records;
+  const comm::DecoderKind kinds[] = {comm::DecoderKind::Hard,
+                                     comm::DecoderKind::Soft,
+                                     comm::DecoderKind::Multires};
+  IsaGuard guard;
+  std::cout << "\nsimd-vs-scalar comparison (" << total_bits
+            << " bits per cell):\n";
+  for (const auto kind : kinds) {
+    for (const int k : {3, 5, 7, 9}) {
+      const comm::DecoderSpec spec = make_spec(kind, k);
+      const Workload workload(spec, kBenchBits);
+      double scalar_bps = 0.0;
+      for (const auto isa : isas) {
+        comm::simd::force_isa(isa);
+        const double bps = time_api(spec, workload, total_bits, true);
+        if (isa == comm::simd::Isa::Scalar) scalar_bps = bps;
+
+        bench::BenchRecord record;
+        record.name = "decoder_simd_vs_scalar";
+        record.labels["kind"] = comm::to_string(kind);
+        record.labels["isa"] = comm::simd::to_string(isa);
+        record.values["constraint_length"] = static_cast<double>(k);
+        record.values["bits"] = static_cast<double>(total_bits);
+        record.values["bits_per_second"] = bps;
+        record.values["speedup_vs_scalar"] = bps / scalar_bps;
+        records.push_back(std::move(record));
+
+        std::cout << "  " << comm::to_string(kind) << " K=" << k << " "
+                  << comm::simd::to_string(isa) << ": "
+                  << static_cast<std::uint64_t>(bps) << " b/s, "
+                  << bps / scalar_bps << "x scalar\n";
+      }
+    }
+  }
+  bench::append_bench_records(records, bench::bench_decoder_json_path());
+  std::cout << "bench records appended to " << bench::bench_decoder_json_path()
+            << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  register_simd_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   append_block_vs_step_records();
+  append_simd_vs_scalar_records();
   return 0;
 }

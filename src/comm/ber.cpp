@@ -67,7 +67,12 @@ namespace {
 /// Counted decoded bits across every run_ber_stream in the process (the
 /// benchmark harnesses read it to turn search wall time into a decode
 /// throughput figure). Relaxed: it is a statistics counter, never a
-/// synchronization point.
+/// synchronization point — no code may use it to establish happens-before.
+/// Diff exactness for the benchmark harnesses comes from thread-pool join,
+/// not from the counter's ordering: measure_ber returns only after its
+/// shard tasks complete, and that completion handshake is an
+/// acquire/release edge that publishes every relaxed increment made by the
+/// shards. See ber_decoded_bits_total() in ber.hpp.
 std::atomic<std::uint64_t> g_decoded_bits{0};
 
 /// Trellis steps per decode_block call. Large enough to amortize the

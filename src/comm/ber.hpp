@@ -90,6 +90,16 @@ std::vector<BerPoint> measure_ber_curve(const DecoderSpec& spec,
 /// stream since startup (monotone; thread-safe). Benchmark harnesses diff
 /// it around a timed region to report decode throughput, e.g. the
 /// decoded_bits_per_second field in BENCH_search.json.
+///
+/// Ordering guarantee: the counter uses relaxed atomics — it is a
+/// statistics counter, never a synchronization point, so reads impose no
+/// memory-ordering cost on the decode hot path. A diff taken around a
+/// region whose worker threads have been joined (as the search benchmarks
+/// do: measure_ber only returns after its shard tasks complete, and the
+/// thread pool's task-completion handshake is an acquire/release edge) is
+/// exact — every increment from inside the region is visible, and none can
+/// leak in from outside it. Concurrent readers see a monotone,
+/// possibly-stale value.
 std::uint64_t ber_decoded_bits_total();
 
 }  // namespace metacore::comm

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "comm/simd/acs_kernel.hpp"
+
 namespace metacore::comm {
 
 namespace {
@@ -55,12 +57,15 @@ MultiresViterbiDecoder::MultiresViterbiDecoder(const Trellis& trellis,
                     0);
   quantized_low_.resize(static_cast<std::size_t>(trellis_->symbols_per_step()));
   quantized_high_.resize(quantized_low_.size());
-  winning_low_metric_.resize(states);
+  winning_scaled_metric_.resize(states);
   order_.resize(states);
-  // All scratch sized here so neither step() nor decode_block() ever
-  // touches the allocator.
-  low_metric_by_pattern_.resize(std::size_t{1} << quantized_low_.size());
+  // All scratch sized here so neither step() nor decode_block() touches the
+  // allocator in steady state (the chunk-level buffers match the BER
+  // pipeline's 1024-step chunks and only regrow for larger one-shot calls).
+  scaled_low_metric_by_pattern_.resize(std::size_t{1} << quantized_low_.size());
   high_metrics_.resize(static_cast<std::size_t>(config_.num_high_res_paths));
+  block_levels_low_.reserve(1024 * quantized_low_.size());
+  block_levels_high_.reserve(1024 * quantized_low_.size());
   reset();
 }
 
@@ -71,43 +76,38 @@ void MultiresViterbiDecoder::reset() {
   normalizations_ = 0;
 }
 
-int MultiresViterbiDecoder::low_branch_metric(
-    std::uint32_t expected_symbols) const {
-  int metric = 0;
-  for (std::size_t j = 0; j < quantized_low_.size(); ++j) {
-    metric += low_.branch_metric(quantized_low_[j],
-                                 static_cast<int>((expected_symbols >> j) & 1u));
-  }
-  return metric;
-}
-
-int MultiresViterbiDecoder::high_branch_metric(
-    std::uint32_t expected_symbols) const {
+int MultiresViterbiDecoder::high_branch_metric(std::uint32_t expected_symbols,
+                                               const int* levels) const {
   int metric = 0;
   for (std::size_t j = 0; j < quantized_high_.size(); ++j) {
     metric += high_.branch_metric(
-        quantized_high_[j], static_cast<int>((expected_symbols >> j) & 1u));
+        levels[j], static_cast<int>((expected_symbols >> j) & 1u));
   }
   return metric;
 }
 
-void MultiresViterbiDecoder::fill_low_metric_table() {
+void MultiresViterbiDecoder::fill_scaled_low_metric_table(const int* levels) {
   // Precompute the 2^n distinct low-resolution branch metrics per step from
-  // the quantizer's level x expected_bit lookup table.
+  // the quantizer's level x expected_bit lookup table, pre-multiplied by
+  // scale_ so the ACS kernels run pure gathered adds. scale_ * metric is
+  // rounded once here exactly as the per-branch multiply used to round, so
+  // the accumulated sums are unchanged.
   const auto zero_row = low_.metric_table(0);
   const auto one_row = low_.metric_table(1);
-  const auto patterns = low_metric_by_pattern_.size();
+  const auto patterns = scaled_low_metric_by_pattern_.size();
+  const std::size_t n = quantized_low_.size();
   for (std::size_t p = 0; p < patterns; ++p) {
     int metric = 0;
-    for (std::size_t j = 0; j < quantized_low_.size(); ++j) {
-      const auto level = static_cast<std::size_t>(quantized_low_[j]);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto level = static_cast<std::size_t>(levels[j]);
       metric += ((p >> j) & 1u) ? one_row[level] : zero_row[level];
     }
-    low_metric_by_pattern_[p] = metric;
+    scaled_low_metric_by_pattern_[p] = scale_ * metric;
   }
 }
 
-std::uint32_t MultiresViterbiDecoder::advance_one_step() {
+std::uint32_t MultiresViterbiDecoder::advance_one_step(
+    const int* high_levels, simd::MultiresAcsFn acs) {
   const auto states = static_cast<std::size_t>(trellis_->num_states());
   const std::uint32_t* pred_state = trellis_->pred_states().data();
   const std::uint32_t* pred_symbols = trellis_->pred_symbols().data();
@@ -116,27 +116,16 @@ std::uint32_t MultiresViterbiDecoder::advance_one_step() {
       static_cast<std::size_t>(steps_ % config_.traceback_depth) * states;
 
   // Phase 1: full low-resolution add-compare-select over the flat butterfly
-  // arrays. Low-res metrics are scaled into high-resolution units so both
-  // phases accumulate compatibly.
-  for (std::size_t s = 0; s < states; ++s) {
-    const int bm0 = low_metric_by_pattern_[pred_symbols[2 * s]];
-    const int bm1 = low_metric_by_pattern_[pred_symbols[2 * s + 1]];
-    const double cand0 = acc_[pred_state[2 * s]] + scale_ * bm0;
-    const double cand1 = acc_[pred_state[2 * s + 1]] + scale_ * bm1;
-    if (cand1 < cand0) {
-      next_acc_[s] = cand1;
-      survivor_row[s] = 1;
-      winning_low_metric_[s] = bm1;
-    } else {
-      next_acc_[s] = cand0;
-      survivor_row[s] = 0;
-      winning_low_metric_[s] = bm0;
-    }
-  }
+  // arrays through the dispatched state-parallel kernel (resolved once per
+  // chunk by the callers). Low-res metrics are pre-scaled into
+  // high-resolution units so both phases accumulate compatibly.
+  acs(acc_.data(), next_acc_.data(), pred_state, pred_symbols,
+      scaled_low_metric_by_pattern_.data(), survivor_row,
+      winning_scaled_metric_.data(), states);
 
-  // Phase 2: pick the M states with the smallest accumulated error — the
-  // plausible traceback candidates — and recompute their winning branch
-  // metrics at high resolution.
+  // Phase 2 (scalar — it is O(M), not O(states)): pick the M states with
+  // the smallest accumulated error — the plausible traceback candidates —
+  // and recompute their winning branch metrics at high resolution.
   const int m = config_.num_high_res_paths;
   std::iota(order_.begin(), order_.end(), 0u);
   std::partial_sort(order_.begin(), order_.begin() + m, order_.end(),
@@ -152,11 +141,11 @@ std::uint32_t MultiresViterbiDecoder::advance_one_step() {
   for (int i = 0; i < m; ++i) {
     const std::uint32_t s = order_[static_cast<std::size_t>(i)];
     const std::size_t branch = 2 * s + survivor_row[s];
-    high_metrics_[static_cast<std::size_t>(i)] =
-        static_cast<double>(high_branch_metric(pred_symbols[branch]));
+    high_metrics_[static_cast<std::size_t>(i)] = static_cast<double>(
+        high_branch_metric(pred_symbols[branch], high_levels));
     if (i < config_.normalization_terms) {
       correction += high_metrics_[static_cast<std::size_t>(i)] -
-                    scale_ * winning_low_metric_[s];
+                    winning_scaled_metric_[s];
     }
   }
   correction /= static_cast<double>(config_.normalization_terms);
@@ -192,12 +181,11 @@ std::optional<int> MultiresViterbiDecoder::step(std::span<const double> rx) {
   if (rx.size() != quantized_low_.size()) {
     throw std::invalid_argument("MultiresViterbiDecoder::step: wrong symbol count");
   }
-  for (std::size_t j = 0; j < rx.size(); ++j) {
-    quantized_low_[j] = low_.quantize(rx[j]);
-    quantized_high_[j] = high_.quantize(rx[j]);
-  }
-  fill_low_metric_table();
-  const std::uint32_t best_s = advance_one_step();
+  low_.quantize_block(rx, quantized_low_);
+  high_.quantize_block(rx, quantized_high_);
+  fill_scaled_low_metric_table(quantized_low_.data());
+  const std::uint32_t best_s =
+      advance_one_step(quantized_high_.data(), simd::multires_acs());
   if (steps_ < config_.traceback_depth) return std::nullopt;
   return traceback_bit_from(best_s);
 }
@@ -216,14 +204,20 @@ std::size_t MultiresViterbiDecoder::decode_block(std::span<const double> rx,
         "MultiresViterbiDecoder::decode_block: output span smaller than one "
         "bit per step");
   }
+  // Batch-quantize the whole chunk at both resolutions up front — two
+  // branchless SIMD passes instead of 2n quantize() calls per step.
+  if (block_levels_low_.size() < rx.size()) {
+    block_levels_low_.resize(rx.size());
+    block_levels_high_.resize(rx.size());
+  }
+  low_.quantize_block(rx, block_levels_low_);
+  high_.quantize_block(rx, block_levels_high_);
+  const simd::MultiresAcsFn acs = simd::multires_acs();
   std::size_t written = 0;
   for (std::size_t i = 0; i < block_steps; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      quantized_low_[j] = low_.quantize(rx[i * n + j]);
-      quantized_high_[j] = high_.quantize(rx[i * n + j]);
-    }
-    fill_low_metric_table();
-    const std::uint32_t best_s = advance_one_step();
+    fill_scaled_low_metric_table(block_levels_low_.data() + i * n);
+    const std::uint32_t best_s =
+        advance_one_step(block_levels_high_.data() + i * n, acs);
     if (steps_ >= config_.traceback_depth) {
       out[written++] = traceback_bit_from(best_s);
     }

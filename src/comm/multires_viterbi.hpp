@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/quantizer.hpp"
+#include "comm/simd/acs_kernel.hpp"
 #include "comm/trellis.hpp"
 #include "comm/viterbi.hpp"
 
@@ -40,10 +41,12 @@ class MultiresViterbiDecoder final : public Decoder {
                          double amplitude, double noise_sigma);
 
   std::optional<int> step(std::span<const double> rx) override;
-  /// Batched kernel: one virtual call per chunk, flat-trellis SoA arrays in
-  /// the low-resolution ACS core, and a single fused scan for the
+  /// Batched kernel: one virtual call per chunk, whole-chunk batch
+  /// quantization at both resolutions, the low-resolution ACS core routed
+  /// through the dispatched state-parallel SIMD kernel (the O(M) high-res
+  /// refinement stays scalar), and a single fused scan for the
   /// renormalization floor and the traceback start state. Bit-identical to
-  /// the step() loop.
+  /// the step() loop on every ISA tier.
   std::size_t decode_block(std::span<const double> rx,
                            std::span<int> out) override;
   std::vector<int> flush() override;
@@ -67,13 +70,22 @@ class MultiresViterbiDecoder final : public Decoder {
     norm_threshold_ = threshold;
   }
 
+  /// Test hook: the full survivor window, compared byte for byte across
+  /// ISA tiers by the dispatch-matrix equivalence test.
+  std::span<const std::uint8_t> survivor_window_for_test() const {
+    return survivors_;
+  }
+
  private:
-  int low_branch_metric(std::uint32_t expected_symbols) const;
-  int high_branch_metric(std::uint32_t expected_symbols) const;
-  void fill_low_metric_table();
-  /// Phases 1+2 of one trellis step on pre-quantized symbols; returns the
-  /// traceback start state (argmin of the updated accumulated errors).
-  std::uint32_t advance_one_step();
+  int high_branch_metric(std::uint32_t expected_symbols,
+                         const int* levels) const;
+  void fill_scaled_low_metric_table(const int* levels);
+  /// Phases 1+2 of one trellis step on pre-quantized symbols (high-res
+  /// levels via `high_levels`, phase-1 ACS through `acs`, resolved once per
+  /// chunk by the callers); returns the traceback start state (argmin of
+  /// the updated accumulated errors).
+  std::uint32_t advance_one_step(const int* high_levels,
+                                 simd::MultiresAcsFn acs);
   int traceback_bit_from(std::uint32_t state) const;
 
   const Trellis* trellis_;
@@ -91,8 +103,15 @@ class MultiresViterbiDecoder final : public Decoder {
   std::vector<std::uint8_t> survivors_;
   std::vector<int> quantized_low_;
   std::vector<int> quantized_high_;
-  std::vector<int> low_metric_by_pattern_;  ///< scratch, per symbol pattern
-  std::vector<int> winning_low_metric_;  ///< per-state low-res metric of survivor
+  std::vector<int> block_levels_low_;   ///< scratch: whole-chunk low levels
+  std::vector<int> block_levels_high_;  ///< scratch: whole-chunk high levels
+  /// Scratch, per symbol pattern: low-resolution branch metric already
+  /// multiplied by scale_ (the SIMD ACS kernel consumes pure adds, which
+  /// keeps every tier bit-identical — no fusable multiply in the loop).
+  std::vector<double> scaled_low_metric_by_pattern_;
+  /// Per-state scaled low-res metric of the surviving branch (phase 2's
+  /// correction term subtracts it from the high-res recompute).
+  std::vector<double> winning_scaled_metric_;
   std::vector<std::uint32_t> order_;     ///< scratch for best-M selection
   std::vector<double> high_metrics_;     ///< scratch for phase-2 recompute
   std::int64_t steps_ = 0;

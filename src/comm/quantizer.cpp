@@ -1,8 +1,8 @@
 #include "comm/quantizer.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
+
+#include "comm/simd/acs_kernel.hpp"
 
 namespace metacore::comm {
 
@@ -56,10 +56,26 @@ Quantizer::Quantizer(QuantizationMethod method, int bits, double amplitude,
 }
 
 int Quantizer::quantize(double rx) const {
-  const int num_levels = 1 << bits_;
+  // Branchless level search, clamped in the double domain before the
+  // conversion so the mapping is defined for any finite input (truncation
+  // equals floor once non-negative). This is exactly the scalar SIMD
+  // kernel's computation — quantize() and quantize_block() are bit-identical
+  // by construction.
+  const double top = static_cast<double>(max_level());
   const double scaled = (rx - offset_) / step_;
-  const int level = static_cast<int>(std::floor(scaled));
-  return std::clamp(level, 0, num_levels - 1);
+  double clamped = scaled < top ? scaled : top;
+  clamped = clamped > 0.0 ? clamped : 0.0;
+  return static_cast<int>(clamped);
+}
+
+void Quantizer::quantize_block(std::span<const double> rx,
+                               std::span<int> out) const {
+  if (out.size() < rx.size()) {
+    throw std::invalid_argument(
+        "Quantizer::quantize_block: output span smaller than input");
+  }
+  simd::quantize_block()(rx.data(), out.data(), rx.size(), step_, offset_,
+                         max_level());
 }
 
 }  // namespace metacore::comm

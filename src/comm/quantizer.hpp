@@ -33,6 +33,14 @@ class Quantizer {
   /// is "most confidently bit 0", the top level "most confidently bit 1".
   int quantize(double rx) const;
 
+  /// Batch form: quantizes rx[i] into out[i] for every sample in one
+  /// branchless, vectorizable pass through the dispatched SIMD kernel
+  /// (comm/simd/acs_kernel.hpp). Bit-identical to calling quantize() per
+  /// sample; `out` must be at least as large as `rx`. The decoders and the
+  /// sequential decoder quantize whole chunks through this instead of one
+  /// per-symbol call per step.
+  void quantize_block(std::span<const double> rx, std::span<int> out) const;
+
   int bits() const { return bits_; }
   int levels() const { return 1 << bits_; }
   /// Largest per-symbol branch-metric contribution, = levels()-1.

@@ -55,11 +55,9 @@ SequentialResult SequentialDecoder::decode(std::span<const double> rx) const {
         "SequentialDecoder: block shorter than the termination tail");
   }
 
-  // Quantize the whole block once.
+  // Quantize the whole block once, through the batched branchless kernel.
   std::vector<int> levels(rx.size());
-  for (std::size_t i = 0; i < rx.size(); ++i) {
-    levels[i] = quantizer_.quantize(rx[i]);
-  }
+  quantizer_.quantize_block(rx, levels);
   const Trellis trellis(code_);
 
   // Fano branch gain: sum over symbols of (bias * max_level - distance).

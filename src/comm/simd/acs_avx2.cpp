@@ -1,0 +1,205 @@
+// AVX2 kernels: 8 states (int32 ACS), 4 states (double low-res ACS), or
+// 4 samples (quantization) per iteration, with hardware gathers for the
+// path-metric and branch-metric table reads. This TU is the only one
+// compiled with -mavx2 — it must only ever be reached through the dispatch
+// table after a CPUID check.
+#include <immintrin.h>
+#include <limits>
+
+#include "comm/simd/acs_kernel.hpp"
+
+namespace metacore::comm::simd::detail {
+
+AcsStepResult viterbi_acs_avx2(const std::int32_t* acc, std::int32_t* next_acc,
+                               const std::uint32_t* pred_state,
+                               const std::uint32_t* pred_symbols,
+                               const std::int32_t* metric_by_pattern,
+                               std::uint8_t* survivor_row,
+                               std::size_t num_states) {
+  std::int32_t best = std::numeric_limits<std::int32_t>::max();
+  std::uint32_t best_state = 0;
+
+  const std::size_t vec_states = num_states & ~std::size_t{7};
+  if (vec_states != 0) {
+    __m256i vbest = _mm256_set1_epi32(std::numeric_limits<std::int32_t>::max());
+    __m256i vbest_idx = _mm256_setzero_si256();
+    __m256i vidx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i vinc = _mm256_set1_epi32(8);
+    // Even/odd split control: dwords (0,2,4,6 | 1,3,5,7) across the whole
+    // 256-bit register.
+    const __m256i even_odd = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+    // Low byte of each int32 lane -> bytes 0..3 within each 128-bit lane.
+    const __m256i pack_sel = _mm256_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    const __m256i pack_words = _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0);
+
+    for (std::size_t s = 0; s < vec_states; s += 8) {
+      // Branches 2s..2s+15 are interleaved (even = branch 0, odd = branch
+      // 1); deinterleave two 8-lane loads into branch-0 / branch-1 vectors.
+      const __m256i lo = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(pred_state + 2 * s));
+      const __m256i hi = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(pred_state + 2 * s + 8));
+      const __m256i lo_d = _mm256_permutevar8x32_epi32(lo, even_odd);
+      const __m256i hi_d = _mm256_permutevar8x32_epi32(hi, even_odd);
+      const __m256i st0 = _mm256_permute2x128_si256(lo_d, hi_d, 0x20);
+      const __m256i st1 = _mm256_permute2x128_si256(lo_d, hi_d, 0x31);
+
+      const __m256i slo = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(pred_symbols + 2 * s));
+      const __m256i shi = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(pred_symbols + 2 * s + 8));
+      const __m256i slo_d = _mm256_permutevar8x32_epi32(slo, even_odd);
+      const __m256i shi_d = _mm256_permutevar8x32_epi32(shi, even_odd);
+      const __m256i sy0 = _mm256_permute2x128_si256(slo_d, shi_d, 0x20);
+      const __m256i sy1 = _mm256_permute2x128_si256(slo_d, shi_d, 0x31);
+
+      const __m256i a0 = _mm256_i32gather_epi32(acc, st0, 4);
+      const __m256i a1 = _mm256_i32gather_epi32(acc, st1, 4);
+      const __m256i m0 = _mm256_i32gather_epi32(metric_by_pattern, sy0, 4);
+      const __m256i m1 = _mm256_i32gather_epi32(metric_by_pattern, sy1, 4);
+      const __m256i cand0 = _mm256_add_epi32(a0, m0);
+      const __m256i cand1 = _mm256_add_epi32(a1, m1);
+
+      // sel = cand1 < cand0 (tie -> branch 0), lanes all-ones where true.
+      const __m256i sel = _mm256_cmpgt_epi32(cand0, cand1);
+      const __m256i win = _mm256_blendv_epi8(cand0, cand1, sel);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(next_acc + s), win);
+
+      // Survivor bytes: 0/1 per lane packed to 8 contiguous bytes (4 per
+      // 128-bit lane, then the two words collected side by side).
+      const __m256i sel_bits = _mm256_srli_epi32(sel, 31);
+      const __m256i packed = _mm256_shuffle_epi8(sel_bits, pack_sel);
+      const __m256i words = _mm256_permutevar8x32_epi32(packed, pack_words);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(survivor_row + s),
+                       _mm256_castsi256_si128(words));
+
+      // Strict-< running minimum per lane, remembering the first index.
+      const __m256i better = _mm256_cmpgt_epi32(vbest, win);
+      vbest = _mm256_blendv_epi8(vbest, win, better);
+      vbest_idx = _mm256_blendv_epi8(vbest_idx, vidx, better);
+      vidx = _mm256_add_epi32(vidx, vinc);
+    }
+    // Horizontal reduce: min value, and among equal lanes the smallest
+    // stored index — each lane's stored index is already the first within
+    // that lane, so the smallest across lanes is the global first.
+    alignas(32) std::int32_t lane_best[8];
+    alignas(32) std::uint32_t lane_idx[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_best), vbest);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_idx), vbest_idx);
+    for (int j = 0; j < 8; ++j) {
+      if (lane_best[j] < best ||
+          (lane_best[j] == best && lane_idx[j] < best_state)) {
+        best = lane_best[j];
+        best_state = lane_idx[j];
+      }
+    }
+  }
+
+  // Scalar tail (also covers trellises smaller than one vector).
+  for (std::size_t s = vec_states; s < num_states; ++s) {
+    const std::int32_t cand0 =
+        acc[pred_state[2 * s]] + metric_by_pattern[pred_symbols[2 * s]];
+    const std::int32_t cand1 =
+        acc[pred_state[2 * s + 1]] + metric_by_pattern[pred_symbols[2 * s + 1]];
+    std::int32_t win = cand0;
+    std::uint8_t sel = 0;
+    if (cand1 < cand0) {
+      win = cand1;
+      sel = 1;
+    }
+    next_acc[s] = win;
+    survivor_row[s] = sel;
+    if (win < best) {
+      best = win;
+      best_state = static_cast<std::uint32_t>(s);
+    }
+  }
+  return {best, best_state};
+}
+
+void multires_acs_avx2(const double* acc, double* next_acc,
+                       const std::uint32_t* pred_state,
+                       const std::uint32_t* pred_symbols,
+                       const double* scaled_metric_by_pattern,
+                       std::uint8_t* survivor_row,
+                       double* winning_scaled_metric,
+                       std::size_t num_states) {
+  const std::size_t vec_states = num_states & ~std::size_t{3};
+  for (std::size_t s = 0; s < vec_states; s += 4) {
+    // Branches 2s..2s+7: deinterleave two 4-lane index loads into branch-0
+    // / branch-1 vectors, then hardware-gather metrics and accumulators.
+    const __m128i lo = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pred_state + 2 * s));
+    const __m128i hi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pred_state + 2 * s + 4));
+    const __m128i lo_d = _mm_shuffle_epi32(lo, _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i hi_d = _mm_shuffle_epi32(hi, _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i st0 = _mm_unpacklo_epi64(lo_d, hi_d);
+    const __m128i st1 = _mm_unpackhi_epi64(lo_d, hi_d);
+
+    const __m128i slo = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pred_symbols + 2 * s));
+    const __m128i shi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pred_symbols + 2 * s + 4));
+    const __m128i slo_d = _mm_shuffle_epi32(slo, _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i shi_d = _mm_shuffle_epi32(shi, _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i sy0 = _mm_unpacklo_epi64(slo_d, shi_d);
+    const __m128i sy1 = _mm_unpackhi_epi64(slo_d, shi_d);
+
+    const __m256d a0 = _mm256_i32gather_pd(acc, st0, 8);
+    const __m256d a1 = _mm256_i32gather_pd(acc, st1, 8);
+    const __m256d bm0 = _mm256_i32gather_pd(scaled_metric_by_pattern, sy0, 8);
+    const __m256d bm1 = _mm256_i32gather_pd(scaled_metric_by_pattern, sy1, 8);
+    const __m256d cand0 = _mm256_add_pd(a0, bm0);
+    const __m256d cand1 = _mm256_add_pd(a1, bm1);
+
+    const __m256d sel = _mm256_cmp_pd(cand1, cand0, _CMP_LT_OQ);  // tie -> 0
+    _mm256_storeu_pd(next_acc + s, _mm256_blendv_pd(cand0, cand1, sel));
+    _mm256_storeu_pd(winning_scaled_metric + s,
+                     _mm256_blendv_pd(bm0, bm1, sel));
+    const int mask = _mm256_movemask_pd(sel);
+    survivor_row[s] = static_cast<std::uint8_t>(mask & 1);
+    survivor_row[s + 1] = static_cast<std::uint8_t>((mask >> 1) & 1);
+    survivor_row[s + 2] = static_cast<std::uint8_t>((mask >> 2) & 1);
+    survivor_row[s + 3] = static_cast<std::uint8_t>((mask >> 3) & 1);
+  }
+  for (std::size_t s = vec_states; s < num_states; ++s) {
+    const double bm0 = scaled_metric_by_pattern[pred_symbols[2 * s]];
+    const double bm1 = scaled_metric_by_pattern[pred_symbols[2 * s + 1]];
+    const double cand0 = acc[pred_state[2 * s]] + bm0;
+    const double cand1 = acc[pred_state[2 * s + 1]] + bm1;
+    if (cand1 < cand0) {
+      next_acc[s] = cand1;
+      survivor_row[s] = 1;
+      winning_scaled_metric[s] = bm1;
+    } else {
+      next_acc[s] = cand0;
+      survivor_row[s] = 0;
+      winning_scaled_metric[s] = bm0;
+    }
+  }
+}
+
+void quantize_block_avx2(const double* rx, int* out, std::size_t count,
+                         double step, double offset, int max_level) {
+  const __m256d voffset = _mm256_set1_pd(offset);
+  const __m256d vstep = _mm256_set1_pd(step);
+  const __m256d vtop = _mm256_set1_pd(static_cast<double>(max_level));
+  const __m256d vzero = _mm256_setzero_pd();
+  const std::size_t vec_count = count & ~std::size_t{3};
+  for (std::size_t i = 0; i < vec_count; i += 4) {
+    const __m256d v = _mm256_loadu_pd(rx + i);
+    const __m256d scaled = _mm256_div_pd(_mm256_sub_pd(v, voffset), vstep);
+    const __m256d clamped = _mm256_max_pd(_mm256_min_pd(scaled, vtop), vzero);
+    const __m128i levels = _mm256_cvttpd_epi32(clamped);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), levels);
+  }
+  if (vec_count != count) {
+    detail::quantize_block_scalar(rx + vec_count, out + vec_count,
+                                  count - vec_count, step, offset, max_level);
+  }
+}
+
+}  // namespace metacore::comm::simd::detail

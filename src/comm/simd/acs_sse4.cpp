@@ -1,0 +1,197 @@
+// SSE4.2 kernels: 4 states (int32 ACS), 2 states (double low-res ACS), or
+// 2 samples (quantization) per iteration. SSE4 has no gather, so table
+// reads are scalar inserts; the compare-select, survivor packing, and
+// running-minimum tracking are vectorized. This TU is the only one
+// compiled with -msse4.2 — it must only ever be reached through the
+// dispatch table after a CPUID check.
+#include <cstring>
+#include <limits>
+#include <smmintrin.h>
+
+#include "comm/simd/acs_kernel.hpp"
+
+namespace metacore::comm::simd::detail {
+
+namespace {
+
+/// Gathers four int32 table entries by index (SSE4 scalar-load gather).
+inline __m128i gather_epi32(const std::int32_t* table, __m128i idx) {
+  const auto i0 = static_cast<std::uint32_t>(_mm_extract_epi32(idx, 0));
+  const auto i1 = static_cast<std::uint32_t>(_mm_extract_epi32(idx, 1));
+  const auto i2 = static_cast<std::uint32_t>(_mm_extract_epi32(idx, 2));
+  const auto i3 = static_cast<std::uint32_t>(_mm_extract_epi32(idx, 3));
+  return _mm_setr_epi32(table[i0], table[i1], table[i2], table[i3]);
+}
+
+}  // namespace
+
+AcsStepResult viterbi_acs_sse4(const std::int32_t* acc, std::int32_t* next_acc,
+                               const std::uint32_t* pred_state,
+                               const std::uint32_t* pred_symbols,
+                               const std::int32_t* metric_by_pattern,
+                               std::uint8_t* survivor_row,
+                               std::size_t num_states) {
+  std::int32_t best = std::numeric_limits<std::int32_t>::max();
+  std::uint32_t best_state = 0;
+
+  const std::size_t vec_states = num_states & ~std::size_t{3};
+  if (vec_states != 0) {
+    __m128i vbest = _mm_set1_epi32(std::numeric_limits<std::int32_t>::max());
+    __m128i vbest_idx = _mm_setzero_si128();
+    __m128i vidx = _mm_setr_epi32(0, 1, 2, 3);
+    const __m128i vinc = _mm_set1_epi32(4);
+    // Byte-collect control: low byte of each int32 lane -> bytes 0..3.
+    const __m128i pack_sel =
+        _mm_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                      -1);
+    for (std::size_t s = 0; s < vec_states; s += 4) {
+      // Branches 2s..2s+7 are interleaved (even = branch 0, odd = branch 1);
+      // deinterleave two 4-lane loads into branch-0 / branch-1 index vectors.
+      const __m128i lo = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(pred_state + 2 * s));
+      const __m128i hi = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(pred_state + 2 * s + 4));
+      const __m128i lo_d = _mm_shuffle_epi32(lo, _MM_SHUFFLE(3, 1, 2, 0));
+      const __m128i hi_d = _mm_shuffle_epi32(hi, _MM_SHUFFLE(3, 1, 2, 0));
+      const __m128i st0 = _mm_unpacklo_epi64(lo_d, hi_d);
+      const __m128i st1 = _mm_unpackhi_epi64(lo_d, hi_d);
+
+      const __m128i slo = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(pred_symbols + 2 * s));
+      const __m128i shi = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(pred_symbols + 2 * s + 4));
+      const __m128i slo_d = _mm_shuffle_epi32(slo, _MM_SHUFFLE(3, 1, 2, 0));
+      const __m128i shi_d = _mm_shuffle_epi32(shi, _MM_SHUFFLE(3, 1, 2, 0));
+      const __m128i sy0 = _mm_unpacklo_epi64(slo_d, shi_d);
+      const __m128i sy1 = _mm_unpackhi_epi64(slo_d, shi_d);
+
+      const __m128i cand0 =
+          _mm_add_epi32(gather_epi32(acc, st0),
+                        gather_epi32(metric_by_pattern, sy0));
+      const __m128i cand1 =
+          _mm_add_epi32(gather_epi32(acc, st1),
+                        gather_epi32(metric_by_pattern, sy1));
+
+      // sel = cand1 < cand0 (tie -> branch 0), lanes all-ones where true.
+      const __m128i sel = _mm_cmpgt_epi32(cand0, cand1);
+      const __m128i win = _mm_blendv_epi8(cand0, cand1, sel);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(next_acc + s), win);
+
+      // Survivor bytes: 0/1 per lane, packed to the low 4 bytes.
+      const __m128i sel_bits = _mm_srli_epi32(sel, 31);
+      const __m128i packed = _mm_shuffle_epi8(sel_bits, pack_sel);
+      const std::int32_t surv_word = _mm_cvtsi128_si32(packed);
+      std::memcpy(survivor_row + s, &surv_word, sizeof(surv_word));
+
+      // Strict-< running minimum per lane, remembering the first index.
+      const __m128i better = _mm_cmpgt_epi32(vbest, win);
+      vbest = _mm_blendv_epi8(vbest, win, better);
+      vbest_idx = _mm_blendv_epi8(vbest_idx, vidx, better);
+      vidx = _mm_add_epi32(vidx, vinc);
+    }
+    // Horizontal reduce: min value, and among equal lanes the smallest
+    // stored index — each lane's stored index is already the first within
+    // that lane, so the smallest across lanes is the global first.
+    alignas(16) std::int32_t lane_best[4];
+    alignas(16) std::uint32_t lane_idx[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lane_best), vbest);
+    _mm_store_si128(reinterpret_cast<__m128i*>(lane_idx), vbest_idx);
+    for (int j = 0; j < 4; ++j) {
+      if (lane_best[j] < best ||
+          (lane_best[j] == best && lane_idx[j] < best_state)) {
+        best = lane_best[j];
+        best_state = lane_idx[j];
+      }
+    }
+  }
+
+  // Scalar tail (also covers trellises smaller than one vector).
+  for (std::size_t s = vec_states; s < num_states; ++s) {
+    const std::int32_t cand0 =
+        acc[pred_state[2 * s]] + metric_by_pattern[pred_symbols[2 * s]];
+    const std::int32_t cand1 =
+        acc[pred_state[2 * s + 1]] + metric_by_pattern[pred_symbols[2 * s + 1]];
+    std::int32_t win = cand0;
+    std::uint8_t sel = 0;
+    if (cand1 < cand0) {
+      win = cand1;
+      sel = 1;
+    }
+    next_acc[s] = win;
+    survivor_row[s] = sel;
+    if (win < best) {
+      best = win;
+      best_state = static_cast<std::uint32_t>(s);
+    }
+  }
+  return {best, best_state};
+}
+
+void multires_acs_sse4(const double* acc, double* next_acc,
+                       const std::uint32_t* pred_state,
+                       const std::uint32_t* pred_symbols,
+                       const double* scaled_metric_by_pattern,
+                       std::uint8_t* survivor_row,
+                       double* winning_scaled_metric,
+                       std::size_t num_states) {
+  const std::size_t vec_states = num_states & ~std::size_t{1};
+  for (std::size_t s = 0; s < vec_states; s += 2) {
+    // Two states per iteration: branches 2s..2s+3 (interleaved).
+    const double bm0a = scaled_metric_by_pattern[pred_symbols[2 * s]];
+    const double bm1a = scaled_metric_by_pattern[pred_symbols[2 * s + 1]];
+    const double bm0b = scaled_metric_by_pattern[pred_symbols[2 * s + 2]];
+    const double bm1b = scaled_metric_by_pattern[pred_symbols[2 * s + 3]];
+    const __m128d bm0 = _mm_setr_pd(bm0a, bm0b);
+    const __m128d bm1 = _mm_setr_pd(bm1a, bm1b);
+    const __m128d a0 =
+        _mm_setr_pd(acc[pred_state[2 * s]], acc[pred_state[2 * s + 2]]);
+    const __m128d a1 =
+        _mm_setr_pd(acc[pred_state[2 * s + 1]], acc[pred_state[2 * s + 3]]);
+    const __m128d cand0 = _mm_add_pd(a0, bm0);
+    const __m128d cand1 = _mm_add_pd(a1, bm1);
+    const __m128d sel = _mm_cmplt_pd(cand1, cand0);  // tie -> branch 0
+    _mm_storeu_pd(next_acc + s, _mm_blendv_pd(cand0, cand1, sel));
+    _mm_storeu_pd(winning_scaled_metric + s, _mm_blendv_pd(bm0, bm1, sel));
+    const int mask = _mm_movemask_pd(sel);
+    survivor_row[s] = static_cast<std::uint8_t>(mask & 1);
+    survivor_row[s + 1] = static_cast<std::uint8_t>((mask >> 1) & 1);
+  }
+  for (std::size_t s = vec_states; s < num_states; ++s) {
+    const double bm0 = scaled_metric_by_pattern[pred_symbols[2 * s]];
+    const double bm1 = scaled_metric_by_pattern[pred_symbols[2 * s + 1]];
+    const double cand0 = acc[pred_state[2 * s]] + bm0;
+    const double cand1 = acc[pred_state[2 * s + 1]] + bm1;
+    if (cand1 < cand0) {
+      next_acc[s] = cand1;
+      survivor_row[s] = 1;
+      winning_scaled_metric[s] = bm1;
+    } else {
+      next_acc[s] = cand0;
+      survivor_row[s] = 0;
+      winning_scaled_metric[s] = bm0;
+    }
+  }
+}
+
+void quantize_block_sse4(const double* rx, int* out, std::size_t count,
+                         double step, double offset, int max_level) {
+  const __m128d voffset = _mm_set1_pd(offset);
+  const __m128d vstep = _mm_set1_pd(step);
+  const __m128d vtop = _mm_set1_pd(static_cast<double>(max_level));
+  const __m128d vzero = _mm_setzero_pd();
+  const std::size_t vec_count = count & ~std::size_t{1};
+  for (std::size_t i = 0; i < vec_count; i += 2) {
+    const __m128d v = _mm_loadu_pd(rx + i);
+    const __m128d scaled = _mm_div_pd(_mm_sub_pd(v, voffset), vstep);
+    const __m128d clamped = _mm_max_pd(_mm_min_pd(scaled, vtop), vzero);
+    const __m128i levels = _mm_cvttpd_epi32(clamped);  // 2 int32 in lanes 0,1
+    out[i] = _mm_cvtsi128_si32(levels);
+    out[i + 1] = _mm_extract_epi32(levels, 1);
+  }
+  if (vec_count != count) {
+    detail::quantize_block_scalar(rx + vec_count, out + vec_count,
+                                  count - vec_count, step, offset, max_level);
+  }
+}
+
+}  // namespace metacore::comm::simd::detail

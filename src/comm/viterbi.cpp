@@ -4,14 +4,42 @@
 #include <limits>
 #include <stdexcept>
 
+#include "comm/simd/acs_kernel.hpp"
+
 namespace metacore::comm {
 
 namespace {
-/// Large-but-safe initial metric for states other than the encoder's known
-/// start state; far below the int64 overflow horizon even after long runs.
-constexpr std::int64_t kUnreachable = std::int64_t{1} << 40;
-/// Renormalize accumulated metrics once they exceed this bound.
-constexpr std::int64_t kNormalizeThreshold = std::int64_t{1} << 50;
+// 32-bit path-metric bounds. The overflow argument (see the ViterbiDecoder
+// class comment for the derivation):
+//   * after any renormalization the floor is 0; it grows by at most B per
+//     step and a renorm fires once it exceeds the threshold, so
+//     floor <= threshold + B at all times;
+//   * once merged (>= K-1 steps), every metric <= floor + (K-1)*B, and an
+//     in-step ACS candidate adds one more B;
+//   * before the merge, unreached states sit at kUnreachable plus at most
+//     (K-1)*B of accumulated branch metrics.
+// The static_asserts below instantiate the bound at the widest limits the
+// code layer can express (CodeSpec caps K at 16; the quantizer caps
+// resolution at 8 bits; 8 symbols per step is far beyond any rate the repo
+// models) — the constructor additionally re-checks the decoder's actual
+// (n, bits, K) so even out-of-envelope configurations fail loudly instead
+// of overflowing.
+constexpr std::int32_t kUnreachable = std::int32_t{1} << 29;
+constexpr std::int32_t kNormalizeThreshold = std::int32_t{1} << 28;
+constexpr std::int64_t kMaxConstraintLength = 16;   // CodeSpec::validate cap
+constexpr std::int64_t kMaxSymbolsPerStep = 8;
+constexpr std::int64_t kMaxPerStepMetric =
+    kMaxSymbolsPerStep * 255;  // 8 symbols x (2^8 - 1) levels
+static_assert(kNormalizeThreshold +
+                      (kMaxConstraintLength + 1) * kMaxPerStepMetric <=
+                  std::numeric_limits<std::int32_t>::max(),
+              "steady-state path metrics must fit int32");
+static_assert(kUnreachable + kMaxConstraintLength * kMaxPerStepMetric <=
+                  std::numeric_limits<std::int32_t>::max(),
+              "pre-merge path metrics must fit int32");
+static_assert(kUnreachable > kNormalizeThreshold + 2 * kMaxConstraintLength *
+                                                       kMaxPerStepMetric,
+              "unreachable sentinel must dominate every real metric");
 }  // namespace
 
 std::size_t Decoder::decode_block(std::span<const double> rx,
@@ -56,14 +84,30 @@ ViterbiDecoder::ViterbiDecoder(const Trellis& trellis, int traceback_depth,
   if (traceback_depth_ < 1) {
     throw std::invalid_argument("ViterbiDecoder: traceback depth must be >= 1");
   }
+  // Re-run the int32 overflow argument on the actual configuration (the
+  // static_asserts above cover the widest representable envelope).
+  const auto n64 = static_cast<std::int64_t>(trellis_->symbols_per_step());
+  const std::int64_t per_step =
+      n64 * static_cast<std::int64_t>(quantizer_.max_level());
+  const auto k64 =
+      static_cast<std::int64_t>(trellis_->spec().constraint_length);
+  if (n64 > kMaxSymbolsPerStep || per_step > kMaxPerStepMetric ||
+      k64 > kMaxConstraintLength) {
+    throw std::invalid_argument(
+        "ViterbiDecoder: configuration exceeds the int32 path-metric "
+        "envelope (symbols per step / metric resolution / constraint "
+        "length)");
+  }
   const auto states = static_cast<std::size_t>(trellis_->num_states());
   acc_.resize(states);
   next_acc_.resize(states);
   survivors_.assign(static_cast<std::size_t>(traceback_depth_) * states, 0);
   quantized_.resize(static_cast<std::size_t>(trellis_->symbols_per_step()));
   // All 2^n symbol patterns; sized once here so step()/decode_block() never
-  // touch the allocator.
+  // touch the allocator (block_levels_ matches the BER pipeline's 1024-step
+  // chunks and only regrows for larger one-shot decodes).
   metric_by_pattern_.resize(std::size_t{1} << quantized_.size());
+  block_levels_.reserve(1024 * quantized_.size());
   reset();
 }
 
@@ -74,16 +118,7 @@ void ViterbiDecoder::reset() {
   normalizations_ = 0;
 }
 
-int ViterbiDecoder::branch_metric(std::uint32_t expected_symbols) const {
-  int metric = 0;
-  for (std::size_t j = 0; j < quantized_.size(); ++j) {
-    const int expected_bit = static_cast<int>((expected_symbols >> j) & 1u);
-    metric += quantizer_.branch_metric(quantized_[j], expected_bit);
-  }
-  return metric;
-}
-
-void ViterbiDecoder::fill_metric_table() {
+void ViterbiDecoder::fill_metric_table(const int* levels) {
   // Only 2^n distinct branch metrics exist per step (one per expected
   // symbol pattern); precomputing them takes the metric work out of the
   // per-state loop — the same table a hardware ACS array would share. Each
@@ -92,10 +127,11 @@ void ViterbiDecoder::fill_metric_table() {
   const auto zero_row = quantizer_.metric_table(0);
   const auto one_row = quantizer_.metric_table(1);
   const auto patterns = metric_by_pattern_.size();
+  const std::size_t n = quantized_.size();
   for (std::size_t p = 0; p < patterns; ++p) {
-    int metric = 0;
-    for (std::size_t j = 0; j < quantized_.size(); ++j) {
-      const auto level = static_cast<std::size_t>(quantized_[j]);
+    std::int32_t metric = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto level = static_cast<std::size_t>(levels[j]);
       metric += ((p >> j) & 1u) ? one_row[level] : zero_row[level];
     }
     metric_by_pattern_[p] = metric;
@@ -106,21 +142,22 @@ std::optional<int> ViterbiDecoder::step(std::span<const double> rx) {
   if (rx.size() != quantized_.size()) {
     throw std::invalid_argument("ViterbiDecoder::step: wrong symbol count");
   }
-  for (std::size_t j = 0; j < rx.size(); ++j) {
-    quantized_[j] = quantizer_.quantize(rx[j]);
-  }
-  fill_metric_table();
+  quantizer_.quantize_block(rx, quantized_);
+  fill_metric_table(quantized_.data());
 
   const int states = trellis_->num_states();
   std::uint8_t* survivor_row =
       survivors_.data() +
       static_cast<std::size_t>(steps_ % traceback_depth_) *
           static_cast<std::size_t>(states);
+  // Reference per-state ACS loop over the array-of-structs predecessor
+  // view; decode_block() routes the same update through the dispatched
+  // state-parallel kernel and the equivalence tests hold them bit-identical.
   for (int s = 0; s < states; ++s) {
     const auto& preds = trellis_->predecessors(static_cast<std::uint32_t>(s));
-    const std::int64_t cand0 =
+    const std::int32_t cand0 =
         acc_[preds[0].from_state] + metric_by_pattern_[preds[0].symbols];
-    const std::int64_t cand1 =
+    const std::int32_t cand1 =
         acc_[preds[1].from_state] + metric_by_pattern_[preds[1].symbols];
     // Compare-select: ties break toward predecessor 0 deterministically.
     if (cand1 < cand0) {
@@ -135,10 +172,10 @@ std::optional<int> ViterbiDecoder::step(std::span<const double> rx) {
   ++steps_;
 
   // Keep metrics bounded for indefinite streaming. This is the reference
-  // renormalization (separate min_element scan); decode_block() tracks the
-  // same minimum inside its ACS loop — the equivalence tests hold the two
-  // bit-identical.
-  const std::int64_t floor = *std::min_element(acc_.begin(), acc_.end());
+  // renormalization (separate min_element scan); the batched kernels track
+  // the same minimum inside the ACS loop — the equivalence tests hold the
+  // two bit-identical.
+  const std::int32_t floor = *std::min_element(acc_.begin(), acc_.end());
   if (floor > norm_threshold_) {
     for (auto& a : acc_) a -= floor;
     ++normalizations_;
@@ -163,54 +200,40 @@ std::size_t ViterbiDecoder::decode_block(std::span<const double> rx,
         "step");
   }
 
+  // Whole-chunk quantization in one vectorized pass (no per-step per-symbol
+  // calls); steady-state callers reuse the same chunk size, so this only
+  // allocates on the first (or a larger) chunk.
+  if (block_levels_.size() < rx.size()) block_levels_.resize(rx.size());
+  quantizer_.quantize_block(rx, block_levels_);
+
   const auto states = static_cast<std::size_t>(trellis_->num_states());
   const std::uint32_t* pred_state = trellis_->pred_states().data();
   const std::uint32_t* pred_symbols = trellis_->pred_symbols().data();
-  const int* metric = metric_by_pattern_.data();
+  const simd::ViterbiAcsFn acs = simd::viterbi_acs();
   std::size_t written = 0;
 
   for (std::size_t i = 0; i < block_steps; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      quantized_[j] = quantizer_.quantize(rx[i * n + j]);
-    }
-    fill_metric_table();
+    fill_metric_table(block_levels_.data() + i * n);
 
     std::uint8_t* survivor_row =
         survivors_.data() +
         static_cast<std::size_t>(steps_ % traceback_depth_) * states;
-    // Flat butterfly ACS with the running minimum (and its first index, the
-    // traceback start state) tracked in-loop: the strict '<' matches
-    // min_element's first-minimum tie-breaking.
-    std::int64_t best = std::numeric_limits<std::int64_t>::max();
-    std::uint32_t best_s = 0;
-    for (std::size_t s = 0; s < states; ++s) {
-      const std::int64_t cand0 =
-          acc_[pred_state[2 * s]] + metric[pred_symbols[2 * s]];
-      const std::int64_t cand1 =
-          acc_[pred_state[2 * s + 1]] + metric[pred_symbols[2 * s + 1]];
-      std::int64_t win = cand0;
-      std::uint8_t sel = 0;
-      if (cand1 < cand0) {
-        win = cand1;
-        sel = 1;
-      }
-      next_acc_[s] = win;
-      survivor_row[s] = sel;
-      if (win < best) {
-        best = win;
-        best_s = static_cast<std::uint32_t>(s);
-      }
-    }
+    // State-parallel ACS butterfly over the flat trellis view, with the
+    // running minimum (and its first index, the traceback start state)
+    // tracked inside the kernel.
+    const simd::AcsStepResult result =
+        acs(acc_.data(), next_acc_.data(), pred_state, pred_symbols,
+            metric_by_pattern_.data(), survivor_row, states);
     acc_.swap(next_acc_);
     ++steps_;
 
-    if (best > norm_threshold_) {
-      for (auto& a : acc_) a -= best;
+    if (result.best_metric > norm_threshold_) {
+      for (auto& a : acc_) a -= result.best_metric;
       ++normalizations_;
     }
 
     if (steps_ >= traceback_depth_) {
-      out[written++] = traceback_bit_from(best_s);
+      out[written++] = traceback_bit_from(result.best_state);
     }
   }
   return written;

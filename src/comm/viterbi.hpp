@@ -51,6 +51,22 @@ class Decoder {
 };
 
 /// Classic single-resolution Viterbi decoder with integer path metrics.
+///
+/// Path metrics are 32-bit. The in-loop renormalization bounds them: after
+/// any renorm the metric floor is 0, the floor grows by at most one
+/// per-step branch-metric bound B = n * (2^bits - 1) per trellis step, and
+/// a renorm fires as soon as the floor exceeds kNormalizeThreshold — so the
+/// floor never exceeds threshold + B. The spread above the floor is bounded
+/// by (K-1)*B once the trellis has merged (any state is reachable from the
+/// floor state of K-1 steps ago in K-1 steps, and ACS takes the minimum
+/// over incoming paths), so every metric, and every in-step candidate
+/// (metric + B), stays below threshold + (K+1)*B; before the merge,
+/// metrics sit below kUnreachable + (K-1)*B. Both bounds are static_assert-
+/// checked against INT32_MAX in viterbi.cpp for the widest representable
+/// configuration (K = 16, 8 symbols/step, 8-bit metrics — far beyond the
+/// paper's K=9 / 5-bit corner), and the constructor re-checks the actual
+/// configuration. tests/comm_kernel_equivalence_test.cpp stress-runs the
+/// bound at a lowered threshold over >10^5-step streams.
 class ViterbiDecoder final : public Decoder {
  public:
   /// `traceback_depth` is the paper's L parameter (typically a multiple of
@@ -59,10 +75,12 @@ class ViterbiDecoder final : public Decoder {
                  Quantizer quantizer);
 
   std::optional<int> step(std::span<const double> rx) override;
-  /// Batched ACS kernel over the flat trellis view: table-lookup branch
-  /// metrics, running minimum tracked inside the ACS loop (no separate
-  /// renormalization scan), one virtual call per chunk. Bit-identical to
-  /// the step() loop.
+  /// Batched ACS kernel over the flat trellis view: the whole chunk is
+  /// quantized in one pass, then each trellis step runs the dispatched
+  /// state-parallel ACS butterfly kernel (scalar / SSE4.2 / AVX2, see
+  /// comm/simd/acs_kernel.hpp) with table-lookup branch metrics and the
+  /// running minimum tracked inside the kernel. One virtual call per chunk;
+  /// bit-identical to the step() loop on every ISA tier.
   std::size_t decode_block(std::span<const double> rx,
                            std::span<int> out) override;
   std::vector<int> flush() override;
@@ -76,37 +94,48 @@ class ViterbiDecoder final : public Decoder {
   std::uint32_t best_state() const;
 
   /// Accumulated error metric per state (exposed for tests and for the
-  /// multiresolution decoder's instrumentation).
-  std::span<const std::int64_t> accumulated_errors() const { return acc_; }
+  /// multiresolution decoder's instrumentation). Widening accessor: the
+  /// internal metrics are int32 (see the class comment's overflow bound);
+  /// the historical int64 value type is preserved by copying out.
+  std::vector<std::int64_t> accumulated_errors() const {
+    return std::vector<std::int64_t>(acc_.begin(), acc_.end());
+  }
 
   /// Metric renormalizations performed since construction/reset (test and
   /// benchmark instrumentation for the renorm-in-loop kernel).
   std::int64_t normalizations() const { return normalizations_; }
   /// Test hook: lowers the renormalization threshold so long-stream
   /// equivalence tests can exercise the renorm path without simulating the
-  /// ~2^50 steps the production threshold would need.
+  /// ~10^8 steps the production threshold would need.
   void set_normalize_threshold_for_test(std::int64_t threshold) {
-    norm_threshold_ = threshold;
+    norm_threshold_ = static_cast<std::int32_t>(threshold);
+  }
+
+  /// Test hook: the full survivor window (traceback_depth rows of
+  /// num_states branch selections) — the dispatch-matrix equivalence test
+  /// compares it byte for byte across ISA tiers.
+  std::span<const std::uint8_t> survivor_window_for_test() const {
+    return survivors_;
   }
 
  private:
-  int branch_metric(std::uint32_t expected_symbols) const;
-  void fill_metric_table();
+  void fill_metric_table(const int* levels);
   int traceback_bit_from(std::uint32_t state) const;
 
   const Trellis* trellis_;
   int traceback_depth_;
   Quantizer quantizer_;
 
-  std::vector<std::int64_t> acc_;
-  std::vector<std::int64_t> next_acc_;
+  std::vector<std::int32_t> acc_;
+  std::vector<std::int32_t> next_acc_;
   /// Flat circular survivor store: entry (t % L) * num_states + state is
   /// the index (0/1) of the winning predecessor branch at step t.
   std::vector<std::uint8_t> survivors_;
-  std::vector<int> quantized_;  ///< scratch: quantized symbols for this step
-  std::vector<int> metric_by_pattern_;  ///< scratch: metric per symbol pattern
+  std::vector<int> quantized_;  ///< scratch: quantized symbols for one step
+  std::vector<int> block_levels_;  ///< scratch: whole-chunk quantized symbols
+  std::vector<std::int32_t> metric_by_pattern_;  ///< scratch: per pattern
   std::int64_t steps_ = 0;
-  std::int64_t norm_threshold_;
+  std::int32_t norm_threshold_;
   std::int64_t normalizations_ = 0;
 };
 

@@ -13,6 +13,7 @@
 #include "comm/ber.hpp"
 #include "comm/channel.hpp"
 #include "comm/multires_viterbi.hpp"
+#include "comm/simd/acs_kernel.hpp"
 #include "comm/viterbi.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/rng.hpp"
@@ -398,6 +399,258 @@ TEST(MeasureBerGolden, MatchesPreKernelPipelineEightThreads) {
   ThreadGuard guard;
   exec::ThreadPool::set_global_threads(8);
   for (const auto& golden : kGolden) expect_golden(golden);
+}
+
+// ---------------------------------------------------------------------------
+// ISA dispatch matrix: every compiled-and-available kernel tier must be
+// bit-identical to the scalar reference — decoded streams, flush tails,
+// renormalization counts, survivor-window bytes, accumulated errors, and
+// golden measure_ber values — for every decoder kind, constraint length,
+// and chunk size.
+
+/// Restores the dispatched ISA on scope exit.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(simd::dispatched_isa()) {}
+  ~IsaGuard() { simd::force_isa(saved_); }
+
+ private:
+  simd::Isa saved_;
+};
+
+std::vector<simd::Isa> available_isas() {
+  std::vector<simd::Isa> isas;
+  for (const auto isa :
+       {simd::Isa::Scalar, simd::Isa::Sse4, simd::Isa::Avx2}) {
+    if (simd::isa_available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndForceRoundTrips) {
+  EXPECT_TRUE(simd::isa_compiled(simd::Isa::Scalar));
+  EXPECT_TRUE(simd::isa_available(simd::Isa::Scalar));
+  IsaGuard guard;
+  for (const auto isa : available_isas()) {
+    simd::force_isa(isa);
+    EXPECT_EQ(simd::dispatched_isa(), isa);
+    EXPECT_NE(simd::viterbi_acs(), nullptr);
+    EXPECT_NE(simd::multires_acs(), nullptr);
+    EXPECT_NE(simd::quantize_block(), nullptr);
+    // The per-tier accessors agree with the dispatched ones.
+    EXPECT_EQ(simd::viterbi_acs(), simd::viterbi_acs(isa));
+    EXPECT_EQ(simd::multires_acs(), simd::multires_acs(isa));
+    EXPECT_EQ(simd::quantize_block(), simd::quantize_block(isa));
+  }
+}
+
+TEST(SimdDispatch, UnavailableTiersThrow) {
+  IsaGuard guard;
+  for (const auto isa : {simd::Isa::Sse4, simd::Isa::Avx2}) {
+    if (simd::isa_available(isa)) continue;
+    EXPECT_THROW(simd::force_isa(isa), std::runtime_error);
+    EXPECT_THROW(simd::viterbi_acs(isa), std::runtime_error);
+  }
+}
+
+TEST(SimdQuantize, BlockMatchesPerSampleOnEveryTier) {
+  IsaGuard guard;
+  const QuantizationMethod methods[] = {QuantizationMethod::Hard,
+                                        QuantizationMethod::FixedSoft,
+                                        QuantizationMethod::AdaptiveSoft};
+  util::Random rng(4242);
+  for (const auto method : methods) {
+    for (int bits : {1, 3, 8}) {
+      const Quantizer q(method, bits, 1.0, 0.5);
+      // Random samples plus saturation and threshold-straddling edges; odd
+      // count exercises every kernel's scalar tail.
+      std::vector<double> rx;
+      for (int i = 0; i < 1001; ++i) rx.push_back(rng.normal(0.0, 2.0));
+      rx.insert(rx.end(), {-1e9, 1e9, -1.0, 1.0, 0.0, -1e-9, 1e-9});
+      std::vector<int> expected(rx.size());
+      for (std::size_t i = 0; i < rx.size(); ++i) {
+        expected[i] = q.quantize(rx[i]);
+      }
+      for (const auto isa : available_isas()) {
+        simd::force_isa(isa);
+        std::vector<int> out(rx.size(), -1);
+        q.quantize_block(rx, out);
+        EXPECT_EQ(out, expected)
+            << to_string(method) << " bits=" << bits << " isa="
+            << simd::to_string(isa);
+      }
+    }
+  }
+}
+
+/// Everything observable from one decode run, compared across ISA tiers.
+struct DecodeTrace {
+  std::vector<int> bits;
+  std::vector<int> tail;
+  std::int64_t normalizations = 0;
+  std::vector<std::uint8_t> survivors;
+  std::vector<double> accumulated;
+};
+
+/// Decodes `rx` under the currently forced ISA with mixed chunk sizes (one
+/// big block, then 7- and 1021-step chunks) so kernel entry points are hit
+/// with every alignment and tail shape.
+DecodeTrace run_decode_trace(const DecoderSpec& spec, const Trellis& trellis,
+                             std::span<const double> rx, double sigma) {
+  const auto n = static_cast<std::size_t>(trellis.symbols_per_step());
+  const std::size_t total_steps = rx.size() / n;
+  DecodeTrace trace;
+  auto decode_chunks = [&](auto& decoder) {
+    std::size_t begin = 0;
+    std::size_t which = 0;
+    const std::size_t chunk_sizes[] = {total_steps / 2, 7, 1021};
+    std::vector<int> out(total_steps);
+    while (begin < total_steps) {
+      const std::size_t chunk = std::min(
+          std::max<std::size_t>(chunk_sizes[which % 3], 1), total_steps - begin);
+      const std::size_t got = decoder.decode_block(
+          {rx.data() + begin * n, chunk * n}, {out.data(), chunk});
+      trace.bits.insert(trace.bits.end(), out.begin(),
+                        out.begin() + static_cast<std::ptrdiff_t>(got));
+      begin += chunk;
+      ++which;
+    }
+    trace.tail = decoder.flush();
+    trace.normalizations = decoder.normalizations();
+    const auto window = decoder.survivor_window_for_test();
+    trace.survivors.assign(window.begin(), window.end());
+    for (const auto a : decoder.accumulated_errors()) {
+      trace.accumulated.push_back(static_cast<double>(a));
+    }
+  };
+  if (spec.kind == DecoderKind::Multires) {
+    MultiresConfig config{spec.traceback_depth, spec.low_res_bits,
+                          spec.high_res_bits, spec.quantization,
+                          spec.num_high_res_paths, spec.normalization_terms};
+    MultiresViterbiDecoder decoder(trellis, config, 1.0, sigma);
+    decoder.set_normalize_threshold_for_test(5e3);
+    decode_chunks(decoder);
+  } else {
+    const Quantizer quantizer(
+        spec.kind == DecoderKind::Hard ? QuantizationMethod::Hard
+                                       : spec.quantization,
+        spec.kind == DecoderKind::Hard ? 1 : spec.high_res_bits, 1.0, sigma);
+    // Low enough that even the slow-growing 1-bit hard metrics renormalize
+    // many times over the test stream.
+    ViterbiDecoder decoder(trellis, spec.traceback_depth, quantizer);
+    decoder.set_normalize_threshold_for_test(std::int64_t{1} << 8);
+    decode_chunks(decoder);
+  }
+  return trace;
+}
+
+class IsaMatrix : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(IsaMatrix, EveryTierBitIdenticalToScalar) {
+  const auto [kind, k] = GetParam();
+  const DecoderSpec spec = make_spec(kind, k);
+  const Trellis trellis(spec.code);
+  double sigma = 0.5;
+  // Long enough that the lowered renormalization thresholds fire many times.
+  const auto rx = noisy_stream(spec.code, 60'000, 0.5, 4321 + k, &sigma);
+
+  IsaGuard guard;
+  simd::force_isa(simd::Isa::Scalar);
+  const DecodeTrace reference = run_decode_trace(spec, trellis, rx, sigma);
+  EXPECT_GT(reference.normalizations, 0);
+
+  for (const auto isa : available_isas()) {
+    if (isa == simd::Isa::Scalar) continue;
+    simd::force_isa(isa);
+    const DecodeTrace trace = run_decode_trace(spec, trellis, rx, sigma);
+    const std::string label = simd::to_string(isa);
+    EXPECT_EQ(trace.bits, reference.bits) << label;
+    EXPECT_EQ(trace.tail, reference.tail) << label;
+    EXPECT_EQ(trace.normalizations, reference.normalizations) << label;
+    EXPECT_EQ(trace.survivors, reference.survivors) << label;
+    EXPECT_EQ(trace.accumulated, reference.accumulated) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndConstraintLengths, IsaMatrix,
+    ::testing::Values(KernelCase{DecoderKind::Hard, 3},
+                      KernelCase{DecoderKind::Hard, 5},
+                      KernelCase{DecoderKind::Hard, 7},
+                      KernelCase{DecoderKind::Hard, 9},
+                      KernelCase{DecoderKind::Soft, 3},
+                      KernelCase{DecoderKind::Soft, 5},
+                      KernelCase{DecoderKind::Soft, 7},
+                      KernelCase{DecoderKind::Soft, 9},
+                      KernelCase{DecoderKind::Multires, 3},
+                      KernelCase{DecoderKind::Multires, 5},
+                      KernelCase{DecoderKind::Multires, 7},
+                      KernelCase{DecoderKind::Multires, 9}));
+
+TEST(IsaMatrix, GoldenBerIdenticalOnEveryTier) {
+  ThreadGuard thread_guard;
+  exec::ThreadPool::set_global_threads(2);
+  IsaGuard isa_guard;
+  for (const auto isa : available_isas()) {
+    simd::force_isa(isa);
+    for (const auto& golden : kGolden) expect_golden(golden);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// int32 path-metric overflow bound (the class comment of ViterbiDecoder):
+// with renormalization at threshold T and per-step branch-metric bound
+// B = n * (2^bits - 1), every post-merge metric stays below T + (K+1)*B.
+// A lowered threshold over a long stream crosses the renorm path thousands
+// of times; the bound must hold after every chunk on every ISA tier.
+
+TEST(Int32Overflow, LoweredThresholdLongStreamStaysWithinBound) {
+  const int k = 7;
+  const CodeSpec code = best_rate_half_code(k);
+  const Trellis trellis(code);
+  constexpr std::size_t kBits = 300'000;
+  double sigma = 0.5;
+  const auto rx = noisy_stream(code, kBits, 0.0, 31, &sigma);
+  const auto n = static_cast<std::size_t>(trellis.symbols_per_step());
+  const std::size_t total_steps = rx.size() / n;
+
+  constexpr std::int64_t kThreshold = std::int64_t{1} << 14;
+  const Quantizer quantizer(QuantizationMethod::AdaptiveSoft, 3, 1.0, sigma);
+  const std::int64_t per_step_bound =
+      static_cast<std::int64_t>(n) * quantizer.max_level();
+  const std::int64_t metric_bound = kThreshold + (k + 1) * per_step_bound;
+
+  IsaGuard guard;
+  std::vector<int> reference_bits;
+  std::int64_t reference_norms = 0;
+  for (const auto isa : available_isas()) {
+    simd::force_isa(isa);
+    ViterbiDecoder decoder(trellis, 5 * k, quantizer);
+    decoder.set_normalize_threshold_for_test(kThreshold);
+    std::vector<int> bits;
+    std::vector<int> out(1021);
+    for (std::size_t begin = 0; begin < total_steps; begin += 1021) {
+      const std::size_t steps = std::min<std::size_t>(1021, total_steps - begin);
+      const std::size_t got = decoder.decode_block(
+          {rx.data() + begin * n, steps * n}, {out.data(), steps});
+      bits.insert(bits.end(), out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(got));
+      // The overflow-bound invariant, checked at every chunk boundary.
+      for (const auto metric : decoder.accumulated_errors()) {
+        ASSERT_LE(metric, metric_bound) << simd::to_string(isa);
+        ASSERT_GE(metric, 0) << simd::to_string(isa);
+      }
+    }
+    EXPECT_GT(decoder.normalizations(), 10) << simd::to_string(isa);
+    if (isa == simd::Isa::Scalar) {
+      reference_bits = bits;
+      reference_norms = decoder.normalizations();
+    } else {
+      EXPECT_EQ(bits, reference_bits) << simd::to_string(isa);
+      EXPECT_EQ(decoder.normalizations(), reference_norms)
+          << simd::to_string(isa);
+    }
+  }
 }
 
 }  // namespace
