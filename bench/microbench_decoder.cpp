@@ -201,7 +201,7 @@ class IsaGuard {
 std::vector<comm::simd::Isa> available_isas() {
   std::vector<comm::simd::Isa> isas;
   for (const auto isa : {comm::simd::Isa::Scalar, comm::simd::Isa::Sse4,
-                         comm::simd::Isa::Avx2}) {
+                         comm::simd::Isa::Avx2, comm::simd::Isa::Avx512}) {
     if (comm::simd::isa_available(isa)) isas.push_back(isa);
   }
   return isas;
@@ -279,15 +279,142 @@ void append_simd_vs_scalar_records() {
             << "\n";
 }
 
+/// Frame-parallel API: `lanes` copies of the workload decode in lock-step
+/// through one FrameDecoder; throughput counts every lane's bits.
+double time_frames(const comm::DecoderSpec& spec, const Workload& workload,
+                   std::size_t total_bits, std::size_t lanes) {
+  auto decoder =
+      spec.make_frame_decoder(workload.trellis, 1.0, workload.sigma, lanes);
+  std::vector<int> out(lanes * kBenchBits);
+  std::vector<const double*> rx_ptrs(lanes, workload.rx.data());
+  std::vector<int*> out_ptrs(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    out_ptrs[l] = out.data() + l * kBenchBits;
+  }
+  std::size_t decoded = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (decoded < total_bits) {
+    decoder->reset();
+    benchmark::DoNotOptimize(
+        decoder->decode_chunk(rx_ptrs.data(), kBenchBits, out_ptrs.data()));
+    decoded += lanes * kBenchBits;
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return static_cast<double>(decoded) / seconds;
+}
+
+/// Registers one frame-parallel benchmark per decoder kind and kernel tier
+/// (BM_<Kind>DecodeFrames_<isa>/K) at the tier's natural lane count.
+void register_frame_benchmarks() {
+  struct KindEntry {
+    comm::DecoderKind kind;
+    const char* name;
+  };
+  const KindEntry kinds[] = {{comm::DecoderKind::Hard, "Hard"},
+                             {comm::DecoderKind::Soft, "Soft"},
+                             {comm::DecoderKind::Multires, "Multires"}};
+  for (const auto isa : available_isas()) {
+    for (const auto& entry : kinds) {
+      const std::string name = std::string("BM_") + entry.name +
+                               "DecodeFrames_" + comm::simd::to_string(isa);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [kind = entry.kind, isa](benchmark::State& state) {
+            IsaGuard guard;
+            comm::simd::force_isa(isa);
+            const int k = static_cast<int>(state.range(0));
+            const comm::DecoderSpec spec = make_spec(kind, k);
+            const Workload workload(spec, kBenchBits);
+            const std::size_t lanes = comm::simd::natural_frame_lanes(isa);
+            auto decoder = spec.make_frame_decoder(workload.trellis, 1.0,
+                                                   workload.sigma, lanes);
+            std::vector<int> out(lanes * kBenchBits);
+            std::vector<const double*> rx_ptrs(lanes, workload.rx.data());
+            std::vector<int*> out_ptrs(lanes);
+            for (std::size_t l = 0; l < lanes; ++l) {
+              out_ptrs[l] = out.data() + l * kBenchBits;
+            }
+            for (auto _ : state) {
+              decoder->reset();
+              benchmark::DoNotOptimize(decoder->decode_chunk(
+                  rx_ptrs.data(), kBenchBits, out_ptrs.data()));
+            }
+            state.SetItemsProcessed(state.iterations() * kBenchBits * lanes);
+          })
+          ->Arg(7);
+    }
+  }
+}
+
+/// The structured frame-parallel pass appended to BENCH_decoder.json:
+/// lock-step lane decoding vs decoding the same frames sequentially through
+/// the single-frame block API, per (kind, K, kernel tier, lane count). Both
+/// sides are timed in the same session on the same workload, so the speedup
+/// column is a direct apples-to-apples ratio.
+void append_frame_parallel_records() {
+  const std::size_t total_bits = bench::quick_mode() ? 16'384 : 262'144;
+  const auto isas = available_isas();
+  std::vector<bench::BenchRecord> records;
+  const comm::DecoderKind kinds[] = {comm::DecoderKind::Hard,
+                                     comm::DecoderKind::Soft,
+                                     comm::DecoderKind::Multires};
+  IsaGuard guard;
+  std::cout << "\nframe-parallel vs sequential comparison (" << total_bits
+            << " bits per cell):\n";
+  for (const auto kind : kinds) {
+    for (const int k : {3, 5, 7, 9}) {
+      const comm::DecoderSpec spec = make_spec(kind, k);
+      const Workload workload(spec, kBenchBits);
+      for (const auto isa : isas) {
+        comm::simd::force_isa(isa);
+        const double sequential_bps = time_api(spec, workload, total_bits, true);
+        const std::size_t natural = comm::simd::natural_frame_lanes(isa);
+        std::vector<std::size_t> lane_counts{natural};
+        if (natural != 4) lane_counts.insert(lane_counts.begin(), 4);
+        for (const std::size_t lanes : lane_counts) {
+          const double frame_bps = time_frames(spec, workload, total_bits, lanes);
+
+          bench::BenchRecord record;
+          record.name = "decoder_frame_parallel";
+          record.labels["kind"] = comm::to_string(kind);
+          record.labels["isa"] = comm::simd::to_string(isa);
+          record.values["constraint_length"] = static_cast<double>(k);
+          record.values["lanes"] = static_cast<double>(lanes);
+          record.values["bits"] = static_cast<double>(total_bits);
+          record.values["sequential_bits_per_second"] = sequential_bps;
+          record.values["frame_parallel_bits_per_second"] = frame_bps;
+          record.values["frames_vs_sequential_speedup"] =
+              frame_bps / sequential_bps;
+          records.push_back(std::move(record));
+
+          std::cout << "  " << comm::to_string(kind) << " K=" << k << " "
+                    << comm::simd::to_string(isa) << " lanes=" << lanes
+                    << ": seq " << static_cast<std::uint64_t>(sequential_bps)
+                    << " b/s, frames "
+                    << static_cast<std::uint64_t>(frame_bps) << " b/s, "
+                    << frame_bps / sequential_bps << "x\n";
+        }
+      }
+    }
+  }
+  bench::append_bench_records(records, bench::bench_decoder_json_path());
+  std::cout << "bench records appended to " << bench::bench_decoder_json_path()
+            << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   register_simd_benchmarks();
+  register_frame_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   append_block_vs_step_records();
   append_simd_vs_scalar_records();
+  append_frame_parallel_records();
   return 0;
 }

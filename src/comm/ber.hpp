@@ -8,10 +8,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "comm/convolutional.hpp"
+#include "comm/frame_decode.hpp"
 #include "comm/multires_viterbi.hpp"
 #include "comm/trellis.hpp"
 #include "comm/viterbi.hpp"
@@ -45,8 +47,30 @@ struct DecoderSpec {
                                         double amplitude,
                                         double noise_sigma) const;
 
+  /// Builds the frame-parallel counterpart: a lock-step decoder over
+  /// `lanes` independent frames, each lane bit-identical to the decoder
+  /// make_decoder would build (see comm/frame_decode.hpp). `lanes == 0`
+  /// resolves via default_frame_lanes().
+  std::unique_ptr<FrameDecoder> make_frame_decoder(const Trellis& trellis,
+                                                   double amplitude,
+                                                   double noise_sigma,
+                                                   std::size_t lanes) const;
+
   std::string label() const;
 };
+
+/// Batch decode of independent frames through the frame-parallel SIMD
+/// path. `frames[i]` holds raw channel samples (a multiple of
+/// symbols_per_step); the result is exactly
+/// `spec.make_decoder(trellis, amplitude, noise_sigma)->decode(frames[i])`
+/// for every frame — block bits plus the flush tail, in input order —
+/// regardless of `lanes` (0 = default_frame_lanes()). Ragged lengths are
+/// handled by grouping similar-length frames into lane groups and
+/// capturing each frame's flush at the step its samples end.
+std::vector<std::vector<int>> decode_frames(
+    const DecoderSpec& spec, const Trellis& trellis, double amplitude,
+    double noise_sigma, std::span<const std::span<const double>> frames,
+    std::size_t lanes = 0);
 
 struct BerRunConfig {
   std::uint64_t max_bits = 200'000;   ///< simulation length cap per point
@@ -69,6 +93,15 @@ struct BerRunConfig {
   /// `shards = 1` reproduces the historical single-stream measurement
   /// exactly). Early-stopping rules apply per shard.
   int shards = 1;
+  /// Upper bound on how many shards share one frame-parallel decoder (the
+  /// SIMD lane axis; see comm/frame_decode.hpp). 0 = auto
+  /// (default_frame_lanes(), i.e. the dispatched ISA's vector width or the
+  /// METACORE_LANES override); 1 forces the degenerate one-stream-per-
+  /// decoder path. Shards are grouped to fill the thread pool first and
+  /// the lanes second (frames x threads x lanes), and because every lane
+  /// is bit-identical to a standalone decoder, this knob NEVER changes the
+  /// measurement — only its throughput.
+  int lanes = 0;
 };
 
 struct BerPoint {

@@ -10,8 +10,8 @@
 namespace metacore::comm {
 
 namespace {
-constexpr double kUnreachable = 1e15;
-constexpr double kNormalizeThreshold = 1e12;
+constexpr double kUnreachable = detail::kMultiresUnreachable;
+constexpr double kNormalizeThreshold = detail::kMultiresNormalizeThreshold;
 }  // namespace
 
 void MultiresConfig::validate(int num_states) const {

@@ -20,6 +20,15 @@
 
 namespace metacore::comm {
 
+namespace detail {
+/// Double path-metric constants shared by the single-frame multiresolution
+/// decoder (multires_viterbi.cpp) and the frame-parallel one
+/// (frame_decode.cpp); both must use the exact same values for per-lane
+/// bit-identity.
+inline constexpr double kMultiresUnreachable = 1e15;
+inline constexpr double kMultiresNormalizeThreshold = 1e12;
+}  // namespace detail
+
 /// Normalization policy for the multiresolution correction term (the N
 /// parameter of Table 2). N = 1 uses only the single best branch; larger N
 /// averages over the N best recomputed branches, which the paper reports as

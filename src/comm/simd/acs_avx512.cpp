@@ -1,0 +1,188 @@
+// AVX-512 state-parallel kernels: 16 states (int32 ACS), 8 states (double
+// low-res ACS), or 8 samples (quantization) per iteration, using mask
+// registers for compare-select and hardware gathers for the path-metric
+// and branch-metric table reads. Only AVX512F instructions are used, so
+// -mavx512f is the only flag this TU needs; it must only ever be reached
+// through the dispatch table after a CPUID check
+// (__builtin_cpu_supports("avx512f")).
+#include <immintrin.h>
+
+#include <limits>
+
+#include "comm/simd/acs_kernel.hpp"
+
+namespace metacore::comm::simd::detail {
+
+AcsStepResult viterbi_acs_avx512(const std::int32_t* acc,
+                                 std::int32_t* next_acc,
+                                 const std::uint32_t* pred_state,
+                                 const std::uint32_t* pred_symbols,
+                                 const std::int32_t* metric_by_pattern,
+                                 std::uint8_t* survivor_row,
+                                 std::size_t num_states) {
+  std::int32_t best = std::numeric_limits<std::int32_t>::max();
+  std::uint32_t best_state = 0;
+
+  const std::size_t vec_states = num_states & ~std::size_t{15};
+  if (vec_states != 0) {
+    __m512i vbest = _mm512_set1_epi32(std::numeric_limits<std::int32_t>::max());
+    __m512i vbest_idx = _mm512_setzero_si512();
+    __m512i vidx = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                     13, 14, 15);
+    const __m512i vinc = _mm512_set1_epi32(16);
+    // Even/odd dword split across two 512-bit loads (branches 2s..2s+31
+    // are interleaved: even = branch 0, odd = branch 1).
+    const __m512i idx_even = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16,
+                                               18, 20, 22, 24, 26, 28, 30);
+    const __m512i idx_odd = _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 17,
+                                              19, 21, 23, 25, 27, 29, 31);
+
+    for (std::size_t s = 0; s < vec_states; s += 16) {
+      const __m512i lo = _mm512_loadu_si512(pred_state + 2 * s);
+      const __m512i hi = _mm512_loadu_si512(pred_state + 2 * s + 16);
+      const __m512i st0 = _mm512_permutex2var_epi32(lo, idx_even, hi);
+      const __m512i st1 = _mm512_permutex2var_epi32(lo, idx_odd, hi);
+
+      const __m512i slo = _mm512_loadu_si512(pred_symbols + 2 * s);
+      const __m512i shi = _mm512_loadu_si512(pred_symbols + 2 * s + 16);
+      const __m512i sy0 = _mm512_permutex2var_epi32(slo, idx_even, shi);
+      const __m512i sy1 = _mm512_permutex2var_epi32(slo, idx_odd, shi);
+
+      const __m512i a0 = _mm512_i32gather_epi32(st0, acc, 4);
+      const __m512i a1 = _mm512_i32gather_epi32(st1, acc, 4);
+      const __m512i m0 = _mm512_i32gather_epi32(sy0, metric_by_pattern, 4);
+      const __m512i m1 = _mm512_i32gather_epi32(sy1, metric_by_pattern, 4);
+      const __m512i cand0 = _mm512_add_epi32(a0, m0);
+      const __m512i cand1 = _mm512_add_epi32(a1, m1);
+
+      // sel = cand1 < cand0 (tie -> branch 0). On a tie min picks the
+      // equal value, so min + the strict mask reproduce the scalar pair.
+      const __mmask16 sel = _mm512_cmpgt_epi32_mask(cand0, cand1);
+      const __m512i win = _mm512_min_epi32(cand0, cand1);
+      _mm512_storeu_si512(next_acc + s, win);
+
+      // Survivor bytes: 0/1 per lane, narrowed to 16 contiguous bytes.
+      const __m512i sel_bits = _mm512_maskz_set1_epi32(sel, 1);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(survivor_row + s),
+                       _mm512_cvtepi32_epi8(sel_bits));
+
+      // Strict-< running minimum per lane, remembering the first index.
+      const __mmask16 better = _mm512_cmpgt_epi32_mask(vbest, win);
+      vbest = _mm512_mask_mov_epi32(vbest, better, win);
+      vbest_idx = _mm512_mask_mov_epi32(vbest_idx, better, vidx);
+      vidx = _mm512_add_epi32(vidx, vinc);
+    }
+    // Horizontal reduce: min value, and among equal lanes the smallest
+    // stored index — each lane's stored index is already the first within
+    // that lane, so the smallest across lanes is the global first.
+    alignas(64) std::int32_t lane_best[16];
+    alignas(64) std::uint32_t lane_idx[16];
+    _mm512_store_si512(lane_best, vbest);
+    _mm512_store_si512(lane_idx, vbest_idx);
+    for (int j = 0; j < 16; ++j) {
+      if (lane_best[j] < best ||
+          (lane_best[j] == best && lane_idx[j] < best_state)) {
+        best = lane_best[j];
+        best_state = lane_idx[j];
+      }
+    }
+  }
+
+  // Scalar tail (also covers trellises smaller than one vector).
+  for (std::size_t s = vec_states; s < num_states; ++s) {
+    const std::int32_t cand0 =
+        acc[pred_state[2 * s]] + metric_by_pattern[pred_symbols[2 * s]];
+    const std::int32_t cand1 =
+        acc[pred_state[2 * s + 1]] + metric_by_pattern[pred_symbols[2 * s + 1]];
+    std::int32_t win = cand0;
+    std::uint8_t sel = 0;
+    if (cand1 < cand0) {
+      win = cand1;
+      sel = 1;
+    }
+    next_acc[s] = win;
+    survivor_row[s] = sel;
+    if (win < best) {
+      best = win;
+      best_state = static_cast<std::uint32_t>(s);
+    }
+  }
+  return {best, best_state};
+}
+
+void multires_acs_avx512(const double* acc, double* next_acc,
+                         const std::uint32_t* pred_state,
+                         const std::uint32_t* pred_symbols,
+                         const double* scaled_metric_by_pattern,
+                         std::uint8_t* survivor_row,
+                         double* winning_scaled_metric,
+                         std::size_t num_states) {
+  const std::size_t vec_states = num_states & ~std::size_t{7};
+  for (std::size_t s = 0; s < vec_states; s += 8) {
+    // Branches 2s..2s+15 in one 512-bit index load; viewing it as 8
+    // uint64s, the low dwords are branch 0 and the high dwords branch 1.
+    const __m512i pairs = _mm512_loadu_si512(pred_state + 2 * s);
+    const __m256i st0 = _mm512_cvtepi64_epi32(pairs);
+    const __m256i st1 =
+        _mm512_cvtepi64_epi32(_mm512_srli_epi64(pairs, 32));
+
+    const __m512i spairs = _mm512_loadu_si512(pred_symbols + 2 * s);
+    const __m256i sy0 = _mm512_cvtepi64_epi32(spairs);
+    const __m256i sy1 =
+        _mm512_cvtepi64_epi32(_mm512_srli_epi64(spairs, 32));
+
+    const __m512d a0 = _mm512_i32gather_pd(st0, acc, 8);
+    const __m512d a1 = _mm512_i32gather_pd(st1, acc, 8);
+    const __m512d bm0 = _mm512_i32gather_pd(sy0, scaled_metric_by_pattern, 8);
+    const __m512d bm1 = _mm512_i32gather_pd(sy1, scaled_metric_by_pattern, 8);
+    const __m512d cand0 = _mm512_add_pd(a0, bm0);
+    const __m512d cand1 = _mm512_add_pd(a1, bm1);
+
+    const __mmask8 sel =
+        _mm512_cmp_pd_mask(cand1, cand0, _CMP_LT_OQ);  // tie -> branch 0
+    _mm512_storeu_pd(next_acc + s, _mm512_mask_blend_pd(sel, cand0, cand1));
+    _mm512_storeu_pd(winning_scaled_metric + s,
+                     _mm512_mask_blend_pd(sel, bm0, bm1));
+    for (int j = 0; j < 8; ++j) {
+      survivor_row[s + j] = static_cast<std::uint8_t>((sel >> j) & 1);
+    }
+  }
+  for (std::size_t s = vec_states; s < num_states; ++s) {
+    const double bm0 = scaled_metric_by_pattern[pred_symbols[2 * s]];
+    const double bm1 = scaled_metric_by_pattern[pred_symbols[2 * s + 1]];
+    const double cand0 = acc[pred_state[2 * s]] + bm0;
+    const double cand1 = acc[pred_state[2 * s + 1]] + bm1;
+    if (cand1 < cand0) {
+      next_acc[s] = cand1;
+      survivor_row[s] = 1;
+      winning_scaled_metric[s] = bm1;
+    } else {
+      next_acc[s] = cand0;
+      survivor_row[s] = 0;
+      winning_scaled_metric[s] = bm0;
+    }
+  }
+}
+
+void quantize_block_avx512(const double* rx, int* out, std::size_t count,
+                           double step, double offset, int max_level) {
+  const __m512d voffset = _mm512_set1_pd(offset);
+  const __m512d vstep = _mm512_set1_pd(step);
+  const __m512d vtop = _mm512_set1_pd(static_cast<double>(max_level));
+  const __m512d vzero = _mm512_setzero_pd();
+  const std::size_t vec_count = count & ~std::size_t{7};
+  for (std::size_t i = 0; i < vec_count; i += 8) {
+    const __m512d v = _mm512_loadu_pd(rx + i);
+    const __m512d scaled = _mm512_div_pd(_mm512_sub_pd(v, voffset), vstep);
+    // min first so a NaN input lands on the top level, as in every tier.
+    const __m512d clamped = _mm512_max_pd(_mm512_min_pd(scaled, vtop), vzero);
+    const __m256i levels = _mm512_cvttpd_epi32(clamped);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), levels);
+  }
+  if (vec_count != count) {
+    detail::quantize_block_scalar(rx + vec_count, out + vec_count,
+                                  count - vec_count, step, offset, max_level);
+  }
+}
+
+}  // namespace metacore::comm::simd::detail

@@ -17,6 +17,8 @@ namespace {
 struct KernelTable {
   ViterbiAcsFn viterbi;
   MultiresAcsFn multires;
+  FrameViterbiAcsFn frame_viterbi;
+  FrameMultiresAcsFn frame_multires;
   QuantizeBlockFn quantize;
 };
 
@@ -24,16 +26,25 @@ KernelTable table_for(Isa isa) {
   switch (isa) {
     case Isa::Scalar:
       return {detail::viterbi_acs_scalar, detail::multires_acs_scalar,
-              detail::quantize_block_scalar};
+              detail::frame_viterbi_acs_scalar,
+              detail::frame_multires_acs_scalar, detail::quantize_block_scalar};
 #if METACORE_SIMD_HAVE_SSE4
     case Isa::Sse4:
       return {detail::viterbi_acs_sse4, detail::multires_acs_sse4,
+              detail::frame_viterbi_acs_sse4, detail::frame_multires_acs_sse4,
               detail::quantize_block_sse4};
 #endif
 #if METACORE_SIMD_HAVE_AVX2
     case Isa::Avx2:
       return {detail::viterbi_acs_avx2, detail::multires_acs_avx2,
+              detail::frame_viterbi_acs_avx2, detail::frame_multires_acs_avx2,
               detail::quantize_block_avx2};
+#endif
+#if METACORE_SIMD_HAVE_AVX512
+    case Isa::Avx512:
+      return {detail::viterbi_acs_avx512, detail::multires_acs_avx512,
+              detail::frame_viterbi_acs_avx512,
+              detail::frame_multires_acs_avx512, detail::quantize_block_avx512};
 #endif
     default:
       throw std::runtime_error("simd: kernel tier not compiled in: " +
@@ -50,9 +61,12 @@ bool cpu_supports(Isa isa) {
       return __builtin_cpu_supports("sse4.2") != 0;
     case Isa::Avx2:
       return __builtin_cpu_supports("avx2") != 0;
+    case Isa::Avx512:
+      return __builtin_cpu_supports("avx512f") != 0;
 #else
     case Isa::Sse4:
     case Isa::Avx2:
+    case Isa::Avx512:
       return false;
 #endif
   }
@@ -60,6 +74,7 @@ bool cpu_supports(Isa isa) {
 }
 
 Isa best_available() {
+  if (isa_available(Isa::Avx512)) return Isa::Avx512;
   if (isa_available(Isa::Avx2)) return Isa::Avx2;
   if (isa_available(Isa::Sse4)) return Isa::Sse4;
   return Isa::Scalar;
@@ -77,10 +92,12 @@ Isa initial_isa() {
     requested = Isa::Sse4;
   } else if (value == "avx2") {
     requested = Isa::Avx2;
+  } else if (value == "avx512") {
+    requested = Isa::Avx512;
   } else {
     throw std::invalid_argument(
-        "METACORE_SIMD must be 'scalar', 'sse4', or 'avx2', got '" + value +
-        "'");
+        "METACORE_SIMD must be 'scalar', 'sse4', 'avx2', or 'avx512', got '" +
+        value + "'");
   }
   if (!isa_available(requested)) {
     throw std::runtime_error("METACORE_SIMD=" + value +
@@ -92,7 +109,7 @@ Isa initial_isa() {
   return requested;
 }
 
-/// The dispatch state. The Isa enum and the three pointers are stored in
+/// The dispatch state. The Isa enum and the kernel pointers are stored in
 /// separate atomics, all written together under force_isa; readers only
 /// ever need one pointer at a time, and every tier is bit-identical, so a
 /// racing reader observing a mixed table is still correct (it merely runs
@@ -101,6 +118,8 @@ struct Dispatch {
   std::atomic<Isa> isa;
   std::atomic<ViterbiAcsFn> viterbi;
   std::atomic<MultiresAcsFn> multires;
+  std::atomic<FrameViterbiAcsFn> frame_viterbi;
+  std::atomic<FrameMultiresAcsFn> frame_multires;
   std::atomic<QuantizeBlockFn> quantize;
 
   Dispatch() {
@@ -109,6 +128,8 @@ struct Dispatch {
     isa.store(selected, std::memory_order_relaxed);
     viterbi.store(table.viterbi, std::memory_order_relaxed);
     multires.store(table.multires, std::memory_order_relaxed);
+    frame_viterbi.store(table.frame_viterbi, std::memory_order_relaxed);
+    frame_multires.store(table.frame_multires, std::memory_order_relaxed);
     quantize.store(table.quantize, std::memory_order_relaxed);
   }
 };
@@ -135,6 +156,8 @@ std::string to_string(Isa isa) {
       return "sse4";
     case Isa::Avx2:
       return "avx2";
+    case Isa::Avx512:
+      return "avx512";
   }
   return "?";
 }
@@ -151,6 +174,12 @@ bool isa_compiled(Isa isa) {
 #endif
     case Isa::Avx2:
 #if METACORE_SIMD_HAVE_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Isa::Avx512:
+#if METACORE_SIMD_HAVE_AVX512
       return true;
 #else
       return false;
@@ -175,7 +204,22 @@ void force_isa(Isa isa) {
   d.isa.store(isa, std::memory_order_relaxed);
   d.viterbi.store(table.viterbi, std::memory_order_relaxed);
   d.multires.store(table.multires, std::memory_order_relaxed);
+  d.frame_viterbi.store(table.frame_viterbi, std::memory_order_relaxed);
+  d.frame_multires.store(table.frame_multires, std::memory_order_relaxed);
   d.quantize.store(table.quantize, std::memory_order_relaxed);
+}
+
+std::size_t natural_frame_lanes(Isa isa) {
+  switch (isa) {
+    case Isa::Avx512:
+      return 16;  // one ZMM register of int32 path metrics
+    case Isa::Avx2:
+      return 8;  // one YMM register
+    case Isa::Sse4:
+    case Isa::Scalar:
+      return 4;  // one XMM register; scalar matches so lane counts agree
+  }
+  return 4;
 }
 
 ViterbiAcsFn viterbi_acs() {
@@ -184,12 +228,24 @@ ViterbiAcsFn viterbi_acs() {
 MultiresAcsFn multires_acs() {
   return dispatch().multires.load(std::memory_order_relaxed);
 }
+FrameViterbiAcsFn frame_viterbi_acs() {
+  return dispatch().frame_viterbi.load(std::memory_order_relaxed);
+}
+FrameMultiresAcsFn frame_multires_acs() {
+  return dispatch().frame_multires.load(std::memory_order_relaxed);
+}
 QuantizeBlockFn quantize_block() {
   return dispatch().quantize.load(std::memory_order_relaxed);
 }
 
 ViterbiAcsFn viterbi_acs(Isa isa) { return table_for_checked(isa).viterbi; }
 MultiresAcsFn multires_acs(Isa isa) { return table_for_checked(isa).multires; }
+FrameViterbiAcsFn frame_viterbi_acs(Isa isa) {
+  return table_for_checked(isa).frame_viterbi;
+}
+FrameMultiresAcsFn frame_multires_acs(Isa isa) {
+  return table_for_checked(isa).frame_multires;
+}
 QuantizeBlockFn quantize_block(Isa isa) {
   return table_for_checked(isa).quantize;
 }

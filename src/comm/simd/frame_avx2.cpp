@@ -1,0 +1,165 @@
+// AVX2 frame-parallel kernels: 8 frames (int32 ACS) or 4 frames (double
+// low-res ACS) per iteration. All loads are contiguous in the lane-major
+// layout (the trellis indices are shared across lanes), so unlike the
+// state-parallel AVX2 kernels there are no hardware gathers on this path.
+// This TU is compiled with -mavx2 alongside acs_avx2.cpp — it must only be
+// reached through the dispatch table after a CPUID check.
+#include <immintrin.h>
+
+#include <limits>
+
+#include "comm/simd/acs_kernel.hpp"
+
+namespace metacore::comm::simd::detail {
+
+void frame_viterbi_acs_avx2(const std::int32_t* acc, std::int32_t* next_acc,
+                            const std::uint32_t* pred_state,
+                            const std::uint32_t* pred_symbols,
+                            const std::int32_t* metric_by_pattern,
+                            std::uint8_t* survivor_row,
+                            std::size_t num_states, std::size_t lanes,
+                            std::int32_t* best_metric,
+                            std::uint32_t* best_state) {
+  const std::size_t vec_lanes = lanes & ~std::size_t{7};
+  // Low byte of each int32 lane -> bytes 0..3 within each 128-bit half,
+  // then the two words collected side by side (as in the state kernel).
+  const __m256i pack_sel = _mm256_setr_epi8(
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+  const __m256i pack_words = _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0);
+  for (std::size_t lc = 0; lc < vec_lanes; lc += 8) {
+    __m256i vbest = _mm256_set1_epi32(std::numeric_limits<std::int32_t>::max());
+    __m256i vbest_idx = _mm256_setzero_si256();
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          acc + pred_state[2 * s] * lanes + lc));
+      const __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          acc + pred_state[2 * s + 1] * lanes + lc));
+      const __m256i m0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          metric_by_pattern + pred_symbols[2 * s] * lanes + lc));
+      const __m256i m1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          metric_by_pattern + pred_symbols[2 * s + 1] * lanes + lc));
+      const __m256i cand0 = _mm256_add_epi32(a0, m0);
+      const __m256i cand1 = _mm256_add_epi32(a1, m1);
+
+      // sel = cand1 < cand0 (tie -> branch 0), lanes all-ones where true.
+      const __m256i sel = _mm256_cmpgt_epi32(cand0, cand1);
+      const __m256i win = _mm256_blendv_epi8(cand0, cand1, sel);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(next_acc + s * lanes + lc), win);
+
+      const __m256i sel_bits = _mm256_srli_epi32(sel, 31);
+      const __m256i packed = _mm256_shuffle_epi8(sel_bits, pack_sel);
+      const __m256i words = _mm256_permutevar8x32_epi32(packed, pack_words);
+      _mm_storel_epi64(
+          reinterpret_cast<__m128i*>(survivor_row + s * lanes + lc),
+          _mm256_castsi256_si128(words));
+
+      // Strict-< running minimum per lane; states visited in order, so the
+      // kept index is the first state achieving the minimum.
+      const __m256i better = _mm256_cmpgt_epi32(vbest, win);
+      vbest = _mm256_blendv_epi8(vbest, win, better);
+      vbest_idx = _mm256_blendv_epi8(
+          vbest_idx, _mm256_set1_epi32(static_cast<int>(s)), better);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(best_metric + lc), vbest);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(best_state + lc),
+                        vbest_idx);
+  }
+
+  // Tail lanes run through the SSE4.2-width path when at least 4 remain,
+  // then scalar: delegate to the scalar reference for simplicity (the tail
+  // is at most 7 lanes and identical bit for bit).
+  if (vec_lanes != lanes) {
+    for (std::size_t l = vec_lanes; l < lanes; ++l) {
+      best_metric[l] = std::numeric_limits<std::int32_t>::max();
+      best_state[l] = 0;
+    }
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const std::int32_t* a0 = acc + pred_state[2 * s] * lanes;
+      const std::int32_t* a1 = acc + pred_state[2 * s + 1] * lanes;
+      const std::int32_t* m0 = metric_by_pattern + pred_symbols[2 * s] * lanes;
+      const std::int32_t* m1 =
+          metric_by_pattern + pred_symbols[2 * s + 1] * lanes;
+      for (std::size_t l = vec_lanes; l < lanes; ++l) {
+        const std::int32_t cand0 = a0[l] + m0[l];
+        const std::int32_t cand1 = a1[l] + m1[l];
+        std::int32_t win = cand0;
+        std::uint8_t sel = 0;
+        if (cand1 < cand0) {
+          win = cand1;
+          sel = 1;
+        }
+        next_acc[s * lanes + l] = win;
+        survivor_row[s * lanes + l] = sel;
+        if (win < best_metric[l]) {
+          best_metric[l] = win;
+          best_state[l] = static_cast<std::uint32_t>(s);
+        }
+      }
+    }
+  }
+}
+
+void frame_multires_acs_avx2(const double* acc, double* next_acc,
+                             const std::uint32_t* pred_state,
+                             const std::uint32_t* pred_symbols,
+                             const double* scaled_metric_by_pattern,
+                             std::uint8_t* survivor_row,
+                             double* winning_scaled_metric,
+                             std::size_t num_states, std::size_t lanes) {
+  const std::size_t vec_lanes = lanes & ~std::size_t{3};
+  for (std::size_t lc = 0; lc < vec_lanes; lc += 4) {
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const __m256d a0 =
+          _mm256_loadu_pd(acc + pred_state[2 * s] * lanes + lc);
+      const __m256d a1 =
+          _mm256_loadu_pd(acc + pred_state[2 * s + 1] * lanes + lc);
+      const __m256d bm0 = _mm256_loadu_pd(
+          scaled_metric_by_pattern + pred_symbols[2 * s] * lanes + lc);
+      const __m256d bm1 = _mm256_loadu_pd(
+          scaled_metric_by_pattern + pred_symbols[2 * s + 1] * lanes + lc);
+      const __m256d cand0 = _mm256_add_pd(a0, bm0);
+      const __m256d cand1 = _mm256_add_pd(a1, bm1);
+
+      const __m256d sel = _mm256_cmp_pd(cand1, cand0, _CMP_LT_OQ);  // tie -> 0
+      _mm256_storeu_pd(next_acc + s * lanes + lc,
+                       _mm256_blendv_pd(cand0, cand1, sel));
+      _mm256_storeu_pd(winning_scaled_metric + s * lanes + lc,
+                       _mm256_blendv_pd(bm0, bm1, sel));
+      const int mask = _mm256_movemask_pd(sel);
+      survivor_row[s * lanes + lc] = static_cast<std::uint8_t>(mask & 1);
+      survivor_row[s * lanes + lc + 1] =
+          static_cast<std::uint8_t>((mask >> 1) & 1);
+      survivor_row[s * lanes + lc + 2] =
+          static_cast<std::uint8_t>((mask >> 2) & 1);
+      survivor_row[s * lanes + lc + 3] =
+          static_cast<std::uint8_t>((mask >> 3) & 1);
+    }
+  }
+  if (vec_lanes != lanes) {
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const double* a0 = acc + pred_state[2 * s] * lanes;
+      const double* a1 = acc + pred_state[2 * s + 1] * lanes;
+      const double* bm0 =
+          scaled_metric_by_pattern + pred_symbols[2 * s] * lanes;
+      const double* bm1 =
+          scaled_metric_by_pattern + pred_symbols[2 * s + 1] * lanes;
+      for (std::size_t l = vec_lanes; l < lanes; ++l) {
+        const double cand0 = a0[l] + bm0[l];
+        const double cand1 = a1[l] + bm1[l];
+        if (cand1 < cand0) {
+          next_acc[s * lanes + l] = cand1;
+          survivor_row[s * lanes + l] = 1;
+          winning_scaled_metric[s * lanes + l] = bm1[l];
+        } else {
+          next_acc[s * lanes + l] = cand0;
+          survivor_row[s * lanes + l] = 0;
+          winning_scaled_metric[s * lanes + l] = bm0[l];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace metacore::comm::simd::detail

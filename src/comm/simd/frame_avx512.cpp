@@ -1,0 +1,152 @@
+// AVX-512 frame-parallel kernels: 16 frames (int32 ACS) or 8 frames
+// (double low-res ACS) per iteration, using mask registers for the
+// compare-select and the survivor-byte extraction. All loads are
+// contiguous in the lane-major layout — no gathers. Only AVX512F
+// instructions are used, so -mavx512f is the only flag this TU needs; it
+// must only be reached through the dispatch table after a CPUID check.
+#include <immintrin.h>
+
+#include <limits>
+
+#include "comm/simd/acs_kernel.hpp"
+
+namespace metacore::comm::simd::detail {
+
+void frame_viterbi_acs_avx512(const std::int32_t* acc, std::int32_t* next_acc,
+                              const std::uint32_t* pred_state,
+                              const std::uint32_t* pred_symbols,
+                              const std::int32_t* metric_by_pattern,
+                              std::uint8_t* survivor_row,
+                              std::size_t num_states, std::size_t lanes,
+                              std::int32_t* best_metric,
+                              std::uint32_t* best_state) {
+  const std::size_t vec_lanes = lanes & ~std::size_t{15};
+  for (std::size_t lc = 0; lc < vec_lanes; lc += 16) {
+    __m512i vbest = _mm512_set1_epi32(std::numeric_limits<std::int32_t>::max());
+    __m512i vbest_idx = _mm512_setzero_si512();
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const __m512i a0 =
+          _mm512_loadu_si512(acc + pred_state[2 * s] * lanes + lc);
+      const __m512i a1 =
+          _mm512_loadu_si512(acc + pred_state[2 * s + 1] * lanes + lc);
+      const __m512i m0 = _mm512_loadu_si512(
+          metric_by_pattern + pred_symbols[2 * s] * lanes + lc);
+      const __m512i m1 = _mm512_loadu_si512(
+          metric_by_pattern + pred_symbols[2 * s + 1] * lanes + lc);
+      const __m512i cand0 = _mm512_add_epi32(a0, m0);
+      const __m512i cand1 = _mm512_add_epi32(a1, m1);
+
+      // sel = cand1 < cand0 (tie -> branch 0). On a tie min picks the
+      // equal value, so min + the strict mask reproduce the scalar pair.
+      const __mmask16 sel = _mm512_cmpgt_epi32_mask(cand0, cand1);
+      const __m512i win = _mm512_min_epi32(cand0, cand1);
+      _mm512_storeu_si512(next_acc + s * lanes + lc, win);
+
+      // Survivor bytes: 0/1 per lane, narrowed to 16 contiguous bytes.
+      const __m512i sel_bits = _mm512_maskz_set1_epi32(sel, 1);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(survivor_row + s * lanes + lc),
+          _mm512_cvtepi32_epi8(sel_bits));
+
+      // Strict-< running minimum per lane; states visited in order, so the
+      // kept index is the first state achieving the minimum.
+      const __mmask16 better = _mm512_cmpgt_epi32_mask(vbest, win);
+      vbest = _mm512_mask_mov_epi32(vbest, better, win);
+      vbest_idx = _mm512_mask_mov_epi32(
+          vbest_idx, better, _mm512_set1_epi32(static_cast<int>(s)));
+    }
+    _mm512_storeu_si512(best_metric + lc, vbest);
+    _mm512_storeu_si512(best_state + lc, vbest_idx);
+  }
+
+  // Scalar tail lanes (at most 15, bit-identical to the reference).
+  if (vec_lanes != lanes) {
+    for (std::size_t l = vec_lanes; l < lanes; ++l) {
+      best_metric[l] = std::numeric_limits<std::int32_t>::max();
+      best_state[l] = 0;
+    }
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const std::int32_t* a0 = acc + pred_state[2 * s] * lanes;
+      const std::int32_t* a1 = acc + pred_state[2 * s + 1] * lanes;
+      const std::int32_t* m0 = metric_by_pattern + pred_symbols[2 * s] * lanes;
+      const std::int32_t* m1 =
+          metric_by_pattern + pred_symbols[2 * s + 1] * lanes;
+      for (std::size_t l = vec_lanes; l < lanes; ++l) {
+        const std::int32_t cand0 = a0[l] + m0[l];
+        const std::int32_t cand1 = a1[l] + m1[l];
+        std::int32_t win = cand0;
+        std::uint8_t sel = 0;
+        if (cand1 < cand0) {
+          win = cand1;
+          sel = 1;
+        }
+        next_acc[s * lanes + l] = win;
+        survivor_row[s * lanes + l] = sel;
+        if (win < best_metric[l]) {
+          best_metric[l] = win;
+          best_state[l] = static_cast<std::uint32_t>(s);
+        }
+      }
+    }
+  }
+}
+
+void frame_multires_acs_avx512(const double* acc, double* next_acc,
+                               const std::uint32_t* pred_state,
+                               const std::uint32_t* pred_symbols,
+                               const double* scaled_metric_by_pattern,
+                               std::uint8_t* survivor_row,
+                               double* winning_scaled_metric,
+                               std::size_t num_states, std::size_t lanes) {
+  const std::size_t vec_lanes = lanes & ~std::size_t{7};
+  for (std::size_t lc = 0; lc < vec_lanes; lc += 8) {
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const __m512d a0 =
+          _mm512_loadu_pd(acc + pred_state[2 * s] * lanes + lc);
+      const __m512d a1 =
+          _mm512_loadu_pd(acc + pred_state[2 * s + 1] * lanes + lc);
+      const __m512d bm0 = _mm512_loadu_pd(
+          scaled_metric_by_pattern + pred_symbols[2 * s] * lanes + lc);
+      const __m512d bm1 = _mm512_loadu_pd(
+          scaled_metric_by_pattern + pred_symbols[2 * s + 1] * lanes + lc);
+      const __m512d cand0 = _mm512_add_pd(a0, bm0);
+      const __m512d cand1 = _mm512_add_pd(a1, bm1);
+
+      const __mmask8 sel =
+          _mm512_cmp_pd_mask(cand1, cand0, _CMP_LT_OQ);  // tie -> branch 0
+      _mm512_storeu_pd(next_acc + s * lanes + lc,
+                       _mm512_mask_blend_pd(sel, cand0, cand1));
+      _mm512_storeu_pd(winning_scaled_metric + s * lanes + lc,
+                       _mm512_mask_blend_pd(sel, bm0, bm1));
+      std::uint8_t* surv = survivor_row + s * lanes + lc;
+      for (int j = 0; j < 8; ++j) {
+        surv[j] = static_cast<std::uint8_t>((sel >> j) & 1);
+      }
+    }
+  }
+  if (vec_lanes != lanes) {
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const double* a0 = acc + pred_state[2 * s] * lanes;
+      const double* a1 = acc + pred_state[2 * s + 1] * lanes;
+      const double* bm0 =
+          scaled_metric_by_pattern + pred_symbols[2 * s] * lanes;
+      const double* bm1 =
+          scaled_metric_by_pattern + pred_symbols[2 * s + 1] * lanes;
+      for (std::size_t l = vec_lanes; l < lanes; ++l) {
+        const double cand0 = a0[l] + bm0[l];
+        const double cand1 = a1[l] + bm1[l];
+        if (cand1 < cand0) {
+          next_acc[s * lanes + l] = cand1;
+          survivor_row[s * lanes + l] = 1;
+          winning_scaled_metric[s * lanes + l] = bm1[l];
+        } else {
+          next_acc[s * lanes + l] = cand0;
+          survivor_row[s * lanes + l] = 0;
+          winning_scaled_metric[s * lanes + l] = bm0[l];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace metacore::comm::simd::detail

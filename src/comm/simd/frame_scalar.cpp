@@ -1,0 +1,86 @@
+// Portable scalar reference for the frame-parallel (lane-major) ACS
+// kernels. Each lane is an independent frame; the update applied to lane l
+// is byte-for-byte the single-frame scalar kernel's update, so a
+// frame-parallel decode at any lane count reproduces the per-frame decode
+// exactly. The lane loop is the inner loop — for L independent frames the
+// compiler can keep the per-lane candidates in registers, and the SIMD
+// tiers replace exactly this inner loop with vector-width chunks.
+#include <limits>
+
+#include "comm/simd/acs_kernel.hpp"
+
+namespace metacore::comm::simd::detail {
+
+void frame_viterbi_acs_scalar(const std::int32_t* acc, std::int32_t* next_acc,
+                              const std::uint32_t* pred_state,
+                              const std::uint32_t* pred_symbols,
+                              const std::int32_t* metric_by_pattern,
+                              std::uint8_t* survivor_row,
+                              std::size_t num_states, std::size_t lanes,
+                              std::int32_t* best_metric,
+                              std::uint32_t* best_state) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    best_metric[l] = std::numeric_limits<std::int32_t>::max();
+    best_state[l] = 0;
+  }
+  for (std::size_t s = 0; s < num_states; ++s) {
+    const std::int32_t* a0 = acc + pred_state[2 * s] * lanes;
+    const std::int32_t* a1 = acc + pred_state[2 * s + 1] * lanes;
+    const std::int32_t* m0 = metric_by_pattern + pred_symbols[2 * s] * lanes;
+    const std::int32_t* m1 =
+        metric_by_pattern + pred_symbols[2 * s + 1] * lanes;
+    std::int32_t* next = next_acc + s * lanes;
+    std::uint8_t* surv = survivor_row + s * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::int32_t cand0 = a0[l] + m0[l];
+      const std::int32_t cand1 = a1[l] + m1[l];
+      std::int32_t win = cand0;
+      std::uint8_t sel = 0;
+      if (cand1 < cand0) {
+        win = cand1;
+        sel = 1;
+      }
+      next[l] = win;
+      surv[l] = sel;
+      if (win < best_metric[l]) {
+        best_metric[l] = win;
+        best_state[l] = static_cast<std::uint32_t>(s);
+      }
+    }
+  }
+}
+
+void frame_multires_acs_scalar(const double* acc, double* next_acc,
+                               const std::uint32_t* pred_state,
+                               const std::uint32_t* pred_symbols,
+                               const double* scaled_metric_by_pattern,
+                               std::uint8_t* survivor_row,
+                               double* winning_scaled_metric,
+                               std::size_t num_states, std::size_t lanes) {
+  for (std::size_t s = 0; s < num_states; ++s) {
+    const double* a0 = acc + pred_state[2 * s] * lanes;
+    const double* a1 = acc + pred_state[2 * s + 1] * lanes;
+    const double* bm0 =
+        scaled_metric_by_pattern + pred_symbols[2 * s] * lanes;
+    const double* bm1 =
+        scaled_metric_by_pattern + pred_symbols[2 * s + 1] * lanes;
+    double* next = next_acc + s * lanes;
+    double* winning = winning_scaled_metric + s * lanes;
+    std::uint8_t* surv = survivor_row + s * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const double cand0 = a0[l] + bm0[l];
+      const double cand1 = a1[l] + bm1[l];
+      if (cand1 < cand0) {
+        next[l] = cand1;
+        surv[l] = 1;
+        winning[l] = bm1[l];
+      } else {
+        next[l] = cand0;
+        surv[l] = 0;
+        winning[l] = bm0[l];
+      }
+    }
+  }
+}
+
+}  // namespace metacore::comm::simd::detail

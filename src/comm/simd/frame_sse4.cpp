@@ -1,0 +1,155 @@
+// SSE4.2 frame-parallel kernels: 4 frames (int32 ACS) or 2 frames (double
+// low-res ACS) per iteration. Because the lane-major layout puts the L
+// frames' metrics for one state side by side and the trellis indices are
+// shared across lanes, every load and store is contiguous — the gathers
+// that dominate the state-parallel kernels disappear entirely, which is
+// what lets small-K trellises profit from the vector width. This TU is the
+// only one compiled with -msse4.2 together with acs_sse4.cpp — it must only
+// be reached through the dispatch table after a CPUID check.
+#include <smmintrin.h>
+
+#include <cstring>
+#include <limits>
+
+#include "comm/simd/acs_kernel.hpp"
+
+namespace metacore::comm::simd::detail {
+
+void frame_viterbi_acs_sse4(const std::int32_t* acc, std::int32_t* next_acc,
+                            const std::uint32_t* pred_state,
+                            const std::uint32_t* pred_symbols,
+                            const std::int32_t* metric_by_pattern,
+                            std::uint8_t* survivor_row,
+                            std::size_t num_states, std::size_t lanes,
+                            std::int32_t* best_metric,
+                            std::uint32_t* best_state) {
+  const std::size_t vec_lanes = lanes & ~std::size_t{3};
+  // Low byte of each int32 lane -> 4 contiguous bytes.
+  const __m128i pack_sel = _mm_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1, -1,
+                                         -1, -1, -1, -1, -1, -1);
+  for (std::size_t lc = 0; lc < vec_lanes; lc += 4) {
+    __m128i vbest = _mm_set1_epi32(std::numeric_limits<std::int32_t>::max());
+    __m128i vbest_idx = _mm_setzero_si128();
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          acc + pred_state[2 * s] * lanes + lc));
+      const __m128i a1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          acc + pred_state[2 * s + 1] * lanes + lc));
+      const __m128i m0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          metric_by_pattern + pred_symbols[2 * s] * lanes + lc));
+      const __m128i m1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          metric_by_pattern + pred_symbols[2 * s + 1] * lanes + lc));
+      const __m128i cand0 = _mm_add_epi32(a0, m0);
+      const __m128i cand1 = _mm_add_epi32(a1, m1);
+
+      // sel = cand1 < cand0 (tie -> branch 0), lanes all-ones where true.
+      const __m128i sel = _mm_cmpgt_epi32(cand0, cand1);
+      const __m128i win = _mm_blendv_epi8(cand0, cand1, sel);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(next_acc + s * lanes + lc), win);
+
+      const __m128i sel_bits = _mm_srli_epi32(sel, 31);
+      const __m128i packed = _mm_shuffle_epi8(sel_bits, pack_sel);
+      const int surv = _mm_cvtsi128_si32(packed);
+      std::memcpy(survivor_row + s * lanes + lc, &surv, 4);
+
+      // Strict-< running minimum per lane; states visited in order, so the
+      // kept index is the first state achieving the minimum.
+      const __m128i better = _mm_cmpgt_epi32(vbest, win);
+      vbest = _mm_blendv_epi8(vbest, win, better);
+      vbest_idx = _mm_blendv_epi8(
+          vbest_idx, _mm_set1_epi32(static_cast<int>(s)), better);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(best_metric + lc), vbest);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(best_state + lc), vbest_idx);
+  }
+
+  // Scalar tail lanes (lane counts need not be a vector multiple).
+  if (vec_lanes != lanes) {
+    for (std::size_t l = vec_lanes; l < lanes; ++l) {
+      best_metric[l] = std::numeric_limits<std::int32_t>::max();
+      best_state[l] = 0;
+    }
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const std::int32_t* a0 = acc + pred_state[2 * s] * lanes;
+      const std::int32_t* a1 = acc + pred_state[2 * s + 1] * lanes;
+      const std::int32_t* m0 = metric_by_pattern + pred_symbols[2 * s] * lanes;
+      const std::int32_t* m1 =
+          metric_by_pattern + pred_symbols[2 * s + 1] * lanes;
+      for (std::size_t l = vec_lanes; l < lanes; ++l) {
+        const std::int32_t cand0 = a0[l] + m0[l];
+        const std::int32_t cand1 = a1[l] + m1[l];
+        std::int32_t win = cand0;
+        std::uint8_t sel = 0;
+        if (cand1 < cand0) {
+          win = cand1;
+          sel = 1;
+        }
+        next_acc[s * lanes + l] = win;
+        survivor_row[s * lanes + l] = sel;
+        if (win < best_metric[l]) {
+          best_metric[l] = win;
+          best_state[l] = static_cast<std::uint32_t>(s);
+        }
+      }
+    }
+  }
+}
+
+void frame_multires_acs_sse4(const double* acc, double* next_acc,
+                             const std::uint32_t* pred_state,
+                             const std::uint32_t* pred_symbols,
+                             const double* scaled_metric_by_pattern,
+                             std::uint8_t* survivor_row,
+                             double* winning_scaled_metric,
+                             std::size_t num_states, std::size_t lanes) {
+  const std::size_t vec_lanes = lanes & ~std::size_t{1};
+  for (std::size_t lc = 0; lc < vec_lanes; lc += 2) {
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const __m128d a0 = _mm_loadu_pd(acc + pred_state[2 * s] * lanes + lc);
+      const __m128d a1 =
+          _mm_loadu_pd(acc + pred_state[2 * s + 1] * lanes + lc);
+      const __m128d bm0 = _mm_loadu_pd(
+          scaled_metric_by_pattern + pred_symbols[2 * s] * lanes + lc);
+      const __m128d bm1 = _mm_loadu_pd(
+          scaled_metric_by_pattern + pred_symbols[2 * s + 1] * lanes + lc);
+      const __m128d cand0 = _mm_add_pd(a0, bm0);
+      const __m128d cand1 = _mm_add_pd(a1, bm1);
+
+      const __m128d sel = _mm_cmplt_pd(cand1, cand0);  // tie -> branch 0
+      _mm_storeu_pd(next_acc + s * lanes + lc,
+                    _mm_blendv_pd(cand0, cand1, sel));
+      _mm_storeu_pd(winning_scaled_metric + s * lanes + lc,
+                    _mm_blendv_pd(bm0, bm1, sel));
+      const int mask = _mm_movemask_pd(sel);
+      survivor_row[s * lanes + lc] = static_cast<std::uint8_t>(mask & 1);
+      survivor_row[s * lanes + lc + 1] =
+          static_cast<std::uint8_t>((mask >> 1) & 1);
+    }
+  }
+  if (vec_lanes != lanes) {
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const double* a0 = acc + pred_state[2 * s] * lanes;
+      const double* a1 = acc + pred_state[2 * s + 1] * lanes;
+      const double* bm0 =
+          scaled_metric_by_pattern + pred_symbols[2 * s] * lanes;
+      const double* bm1 =
+          scaled_metric_by_pattern + pred_symbols[2 * s + 1] * lanes;
+      for (std::size_t l = vec_lanes; l < lanes; ++l) {
+        const double cand0 = a0[l] + bm0[l];
+        const double cand1 = a1[l] + bm1[l];
+        if (cand1 < cand0) {
+          next_acc[s * lanes + l] = cand1;
+          survivor_row[s * lanes + l] = 1;
+          winning_scaled_metric[s * lanes + l] = bm1[l];
+        } else {
+          next_acc[s * lanes + l] = cand0;
+          survivor_row[s * lanes + l] = 0;
+          winning_scaled_metric[s * lanes + l] = bm0[l];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace metacore::comm::simd::detail

@@ -24,8 +24,9 @@ namespace {
 // models) — the constructor additionally re-checks the decoder's actual
 // (n, bits, K) so even out-of-envelope configurations fail loudly instead
 // of overflowing.
-constexpr std::int32_t kUnreachable = std::int32_t{1} << 29;
-constexpr std::int32_t kNormalizeThreshold = std::int32_t{1} << 28;
+constexpr std::int32_t kUnreachable = detail::kPathMetricUnreachable;
+constexpr std::int32_t kNormalizeThreshold =
+    detail::kPathMetricNormalizeThreshold;
 constexpr std::int64_t kMaxConstraintLength = 16;   // CodeSpec::validate cap
 constexpr std::int64_t kMaxSymbolsPerStep = 8;
 constexpr std::int64_t kMaxPerStepMetric =
@@ -41,6 +42,21 @@ static_assert(kUnreachable > kNormalizeThreshold + 2 * kMaxConstraintLength *
                                                        kMaxPerStepMetric,
               "unreachable sentinel must dominate every real metric");
 }  // namespace
+
+void detail::check_int32_envelope(const Trellis& trellis,
+                                  const Quantizer& quantizer) {
+  const auto n64 = static_cast<std::int64_t>(trellis.symbols_per_step());
+  const std::int64_t per_step =
+      n64 * static_cast<std::int64_t>(quantizer.max_level());
+  const auto k64 = static_cast<std::int64_t>(trellis.spec().constraint_length);
+  if (n64 > kMaxSymbolsPerStep || per_step > kMaxPerStepMetric ||
+      k64 > kMaxConstraintLength) {
+    throw std::invalid_argument(
+        "ViterbiDecoder: configuration exceeds the int32 path-metric "
+        "envelope (symbols per step / metric resolution / constraint "
+        "length)");
+  }
+}
 
 std::size_t Decoder::decode_block(std::span<const double> rx,
                                   std::span<int> out) {
@@ -86,18 +102,7 @@ ViterbiDecoder::ViterbiDecoder(const Trellis& trellis, int traceback_depth,
   }
   // Re-run the int32 overflow argument on the actual configuration (the
   // static_asserts above cover the widest representable envelope).
-  const auto n64 = static_cast<std::int64_t>(trellis_->symbols_per_step());
-  const std::int64_t per_step =
-      n64 * static_cast<std::int64_t>(quantizer_.max_level());
-  const auto k64 =
-      static_cast<std::int64_t>(trellis_->spec().constraint_length);
-  if (n64 > kMaxSymbolsPerStep || per_step > kMaxPerStepMetric ||
-      k64 > kMaxConstraintLength) {
-    throw std::invalid_argument(
-        "ViterbiDecoder: configuration exceeds the int32 path-metric "
-        "envelope (symbols per step / metric resolution / constraint "
-        "length)");
-  }
+  detail::check_int32_envelope(*trellis_, quantizer_);
   const auto states = static_cast<std::size_t>(trellis_->num_states());
   acc_.resize(states);
   next_acc_.resize(states);

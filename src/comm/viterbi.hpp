@@ -15,6 +15,22 @@
 
 namespace metacore::comm {
 
+namespace detail {
+/// 32-bit path-metric constants shared by the single-frame decoder
+/// (viterbi.cpp) and the frame-parallel decoder (frame_decode.cpp). The
+/// overflow bound is derived in the ViterbiDecoder class comment below and
+/// static_assert-checked in viterbi.cpp; both decoders must use the exact
+/// same values for per-lane bit-identity.
+inline constexpr std::int32_t kPathMetricUnreachable = std::int32_t{1} << 29;
+inline constexpr std::int32_t kPathMetricNormalizeThreshold = std::int32_t{1}
+                                                              << 28;
+
+/// Throws std::invalid_argument when the configuration's (symbols per step,
+/// metric resolution, constraint length) exceed the int32 path-metric
+/// envelope. Called by both decoders' constructors.
+void check_int32_envelope(const Trellis& trellis, const Quantizer& quantizer);
+}  // namespace detail
+
 /// Abstract streaming decoder: consumed by the BER simulator so that hard,
 /// soft, and multiresolution decoders are interchangeable.
 class Decoder {

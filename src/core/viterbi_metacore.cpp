@@ -138,6 +138,9 @@ search::Evaluation ViterbiMetaCore::evaluate(const std::vector<double>& point,
   if (ber_cfg.shards == 1) {
     ber_cfg.shards = std::max(1, requirements_.ber_shards);
   }
+  // Lane cap is throughput-only (lane-invariant results), so it rides along
+  // unconditionally and stays out of evaluation_fingerprint().
+  ber_cfg.lanes = std::max(0, requirements_.ber_lanes);
   const double scale = std::pow(4.0, std::max(0, fidelity));
   // The 2M-bit ceiling keeps even the deepest verification runs tractable.
   ber_cfg.max_bits = static_cast<std::uint64_t>(

@@ -29,6 +29,12 @@ struct ViterbiRequirements {
   /// bit-identical at any thread count for a fixed shard count. 1 restores
   /// the single-stream measurement.
   int ber_shards = 8;
+  /// SIMD lane cap for grouping those shards into frame-parallel decoders
+  /// (see BerRunConfig::lanes; 0 = auto). Unlike ber_shards this is pure
+  /// throughput — it never changes the measurement, so it is deliberately
+  /// excluded from the evaluation fingerprint and stored results stay
+  /// valid across lane settings.
+  int ber_lanes = 0;
 };
 
 class ViterbiMetaCore {

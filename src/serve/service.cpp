@@ -64,6 +64,7 @@ core::ViterbiRequirements viterbi_requirements(const DesignQuery& query) {
   req.esn0_db = query.esn0_db;
   req.throughput_mbps = query.throughput_mbps;
   req.ber_shards = query.ber_shards;
+  req.ber_lanes = query.ber_lanes;
   return req;
 }
 
@@ -113,7 +114,8 @@ std::string to_json(const DesignQuery& query) {
   robust::write_double(os, query.esn0_db);
   os << ",\"throughput_mbps\":";
   robust::write_double(os, query.throughput_mbps);
-  os << ",\"ber_shards\":" << query.ber_shards << ",\"sample_period_us\":";
+  os << ",\"ber_shards\":" << query.ber_shards
+     << ",\"ber_lanes\":" << query.ber_lanes << ",\"sample_period_us\":";
   robust::write_double(os, query.sample_period_us);
   os << ",\"budget\":{\"initial_points_per_dim\":"
      << query.budget.initial_points_per_dim
@@ -160,6 +162,7 @@ DesignQuery parse_design_query(const std::string& json) {
   query.throughput_mbps =
       get_number(doc, "throughput_mbps", query.throughput_mbps);
   query.ber_shards = get_int(doc, "ber_shards", query.ber_shards);
+  query.ber_lanes = get_int(doc, "ber_lanes", query.ber_lanes);
   query.sample_period_us =
       get_number(doc, "sample_period_us", query.sample_period_us);
   if (const JsonValue* budget = doc.find("budget")) {

@@ -65,6 +65,12 @@ struct DesignQuery {
   double esn0_db = 1.0;
   double throughput_mbps = 1.0;
   int ber_shards = 8;
+  /// SIMD lane cap for the frame-parallel BER decoders (0 = auto; see
+  /// BerRunConfig::lanes). Throughput-only: results and the evaluator
+  /// fingerprint are lane-invariant, so two queries differing only here
+  /// share store entries — but NOT the coalescing key, which hashes the
+  /// canonical JSON below.
+  int ber_lanes = 0;
 
   // IIR requirements (used when kind == Iir).
   double sample_period_us = 1.0;

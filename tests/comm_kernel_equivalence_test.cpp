@@ -420,8 +420,8 @@ class IsaGuard {
 
 std::vector<simd::Isa> available_isas() {
   std::vector<simd::Isa> isas;
-  for (const auto isa :
-       {simd::Isa::Scalar, simd::Isa::Sse4, simd::Isa::Avx2}) {
+  for (const auto isa : {simd::Isa::Scalar, simd::Isa::Sse4, simd::Isa::Avx2,
+                         simd::Isa::Avx512}) {
     if (simd::isa_available(isa)) isas.push_back(isa);
   }
   return isas;
@@ -446,7 +446,8 @@ TEST(SimdDispatch, ScalarAlwaysAvailableAndForceRoundTrips) {
 
 TEST(SimdDispatch, UnavailableTiersThrow) {
   IsaGuard guard;
-  for (const auto isa : {simd::Isa::Sse4, simd::Isa::Avx2}) {
+  for (const auto isa :
+       {simd::Isa::Sse4, simd::Isa::Avx2, simd::Isa::Avx512}) {
     if (simd::isa_available(isa)) continue;
     EXPECT_THROW(simd::force_isa(isa), std::runtime_error);
     EXPECT_THROW(simd::viterbi_acs(isa), std::runtime_error);
