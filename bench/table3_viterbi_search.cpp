@@ -113,6 +113,8 @@ int main() {
         static_cast<double>(bits_decoded) / (parallel_ms / 1000.0);
     record.values["cache_hits"] = static_cast<double>(result.cache_hits);
     record.values["store_hits"] = static_cast<double>(result.store_hits);
+    record.values["divergent_duplicates"] =
+        static_cast<double>(result.divergent_duplicates);
     record.values["failed_evaluations"] =
         static_cast<double>(result.failures.failed_evaluations);
     record.values["retried_evaluations"] =

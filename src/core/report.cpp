@@ -36,6 +36,10 @@ std::string summarize(const search::SearchResult& result,
   if (result.store_hits > 0) {
     out += ", " + std::to_string(result.store_hits) + " store hit(s)";
   }
+  if (result.divergent_duplicates > 0) {
+    out += ", " + std::to_string(result.divergent_duplicates) +
+           " DIVERGENT store duplicate(s)";
+  }
   out += "; ";
   if (!result.found_feasible) {
     return out + "no feasible design found" +

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "robust/journal.hpp"
 #include "robust/json.hpp"
 
 namespace metacore::robust {
@@ -79,13 +80,8 @@ CheckpointRecord parse_eval_record(const JsonValue& obj,
 
 void save_checkpoint(const std::string& path,
                      const SearchCheckpoint& checkpoint) {
-  const std::string tmp = path + ".tmp";
+  std::ostringstream os;
   {
-    std::ofstream os(tmp, std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("checkpoint: cannot open " + tmp +
-                               " for writing");
-    }
     os << "{\n\"magic\":\"" << kMagic << "\",\n"
        << "\"version\":" << checkpoint.version << ",\n"
        << "\"dimensions\":" << checkpoint.dimensions << ",\n"
@@ -114,19 +110,23 @@ void save_checkpoint(const std::string& path,
       write_eval_record(os, checkpoint.journal[i]);
     }
     os << "\n]}\n";
-    os.flush();
-    if (!os) {
-      throw std::runtime_error("checkpoint: write to " + tmp + " failed");
-    }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("checkpoint: rename " + tmp + " -> " + path +
-                             " failed");
-  }
+
+  // The checkpoint document travels as one CRC32C-guarded journal frame,
+  // published with a durable atomic replace (tmp + fsync + rename): a kill
+  // at any byte of the flush leaves either the previous complete
+  // checkpoint or the new one — never a truncated or torn file that the
+  // fingerprint check would then reject, forcing a full restart.
+  const std::string doc = os.str();
+  std::string contents =
+      journal_header_line(JournalHeader{kMagic, kCheckpointVersion});
+  contents += frame_record(doc);
+  atomic_replace_file(path, contents, DurabilityConfig::from_env(),
+                      "checkpoint", kWhat);
 }
 
 SearchCheckpoint load_checkpoint(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("checkpoint: cannot open " + path);
   }
@@ -134,7 +134,36 @@ SearchCheckpoint load_checkpoint(const std::string& path) {
   buf << in.rdbuf();
   const std::string text = buf.str();
 
-  const JsonValue root = parse_json(text, kWhat);
+  std::string doc;
+  if (looks_like_journal(text)) {
+    const JournalReadResult framed = read_journal_text(text, kWhat);
+    if (framed.header.kind != kMagic) {
+      throw std::runtime_error("checkpoint: " + path +
+                               " is not a metacore search checkpoint");
+    }
+    if (framed.header.kind_version != kCheckpointVersion) {
+      throw std::runtime_error(
+          "checkpoint: unsupported version " +
+          std::to_string(framed.header.kind_version) +
+          " (this build reads version " + std::to_string(kCheckpointVersion) +
+          ")");
+    }
+    if (framed.records.size() != 1) {
+      std::string detail = framed.skip_reasons.empty()
+                               ? std::string("truncated or torn file")
+                               : framed.skip_reasons.front();
+      throw std::runtime_error(
+          "checkpoint: " + path + " does not hold one intact record (" +
+          detail + ") — save_checkpoint publishes atomically, so this is "
+          "external damage, refusing to guess");
+    }
+    doc = framed.records.front();
+  } else {
+    // Legacy (pre-journal) checkpoints: one bare JSON document.
+    doc = text;
+  }
+
+  const JsonValue root = parse_json(doc, kWhat);
   if (root.type != JsonValue::Type::Object) {
     throw std::runtime_error("checkpoint: document is not an object");
   }

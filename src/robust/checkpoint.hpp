@@ -47,17 +47,21 @@ struct SearchCheckpoint {
   std::vector<CheckpointRecord> journal;
 };
 
-/// Serializes `checkpoint` to `path` atomically (tmp file + rename), so a
-/// crash mid-write can never leave a truncated checkpoint behind. Doubles
-/// are written with round-trip precision; non-finite values use the bare
-/// tokens inf/-inf/nan (a deliberate, documented superset of JSON — our own
-/// reader accepts them). Throws std::runtime_error on I/O failure.
+/// Serializes `checkpoint` to `path` as one CRC32C-guarded journal frame
+/// (robust/journal.hpp), published with a durable atomic replace (tmp file
+/// + fsync per METACORE_DURABILITY + rename): a crash at any byte of the
+/// flush leaves either the previous complete checkpoint or the new one,
+/// never a torn file. Doubles are written with round-trip precision;
+/// non-finite values use the bare tokens inf/-inf/nan (a deliberate,
+/// documented superset of JSON — our own reader accepts them). Throws
+/// CrashInjected (armed fail point) or std::runtime_error on I/O failure.
 void save_checkpoint(const std::string& path,
                      const SearchCheckpoint& checkpoint);
 
-/// Parses a checkpoint written by save_checkpoint. Throws
-/// std::runtime_error on I/O failure, malformed JSON, a missing field, or a
-/// version mismatch.
+/// Parses a checkpoint written by save_checkpoint (this framed format or
+/// the legacy bare-JSON one). Throws std::runtime_error on I/O failure, a
+/// checksum mismatch, malformed JSON, a missing field, or a version
+/// mismatch.
 SearchCheckpoint load_checkpoint(const std::string& path);
 
 bool checkpoint_exists(const std::string& path);

@@ -1,0 +1,140 @@
+#include "robust/failpoint.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace metacore::robust {
+
+struct FailPoints::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, FailPointSpec> armed;
+  std::map<std::string, std::size_t> hit_counts;
+};
+
+FailPoints::FailPoints() : impl_(new Impl) {
+#ifdef METACORE_FAILPOINTS
+  if (const char* env = std::getenv("METACORE_FAILPOINT");
+      env != nullptr && env[0] != '\0') {
+    arm_from_string(env);
+  }
+#endif
+}
+
+FailPoints& FailPoints::instance() {
+  static FailPoints* singleton = new FailPoints;  // leaked deliberately
+  return *singleton;
+}
+
+void FailPoints::arm(const std::string& name, FailPointSpec spec) {
+  if (name.empty()) {
+    throw std::invalid_argument("failpoint: name must be non-empty");
+  }
+  if (spec.trigger_hit == 0) {
+    throw std::invalid_argument("failpoint: trigger_hit is 1-based");
+  }
+  if (spec.action == FailPointSpec::Action::IoError && spec.error_count == 0) {
+    throw std::invalid_argument(
+        "failpoint: io error_count must be >= 1 (SIZE_MAX = forever)");
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->armed[name] = spec;
+}
+
+void FailPoints::arm_from_string(const std::string& specs) {
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    std::size_t end = specs.find(';', start);
+    if (end == std::string::npos) end = specs.size();
+    const std::string one = specs.substr(start, end - start);
+    start = end + 1;
+    if (one.empty()) continue;
+
+    const std::size_t colon = one.rfind(':');
+    const std::size_t at = one.find('@', colon == std::string::npos ? 0 : colon);
+    if (colon == std::string::npos || at == std::string::npos || colon == 0) {
+      throw std::invalid_argument(
+          "failpoint: malformed spec \"" + one +
+          "\" (want name:crash@H, name:crash@H+B, or name:io@H*C)");
+    }
+    const std::string name = one.substr(0, colon);
+    const std::string action = one.substr(colon + 1, at - colon - 1);
+    const std::string rest = one.substr(at + 1);
+
+    FailPointSpec spec;
+    std::size_t pos = 0;
+    try {
+      spec.trigger_hit = std::stoull(rest, &pos);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("failpoint: bad hit number in \"" + one +
+                                  "\"");
+    }
+    if (action == "crash") {
+      spec.action = FailPointSpec::Action::Crash;
+      if (pos < rest.size()) {
+        if (rest[pos] != '+') {
+          throw std::invalid_argument("failpoint: bad crash spec \"" + one +
+                                      "\"");
+        }
+        spec.partial_bytes = std::stoull(rest.substr(pos + 1));
+      }
+    } else if (action == "io") {
+      spec.action = FailPointSpec::Action::IoError;
+      if (pos < rest.size()) {
+        if (rest[pos] != '*') {
+          throw std::invalid_argument("failpoint: bad io spec \"" + one +
+                                      "\"");
+        }
+        spec.error_count = std::stoull(rest.substr(pos + 1));
+      }
+    } else {
+      throw std::invalid_argument("failpoint: unknown action \"" + action +
+                                  "\" in \"" + one + "\"");
+    }
+    arm(name, spec);
+  }
+}
+
+void FailPoints::disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->armed.erase(name);
+}
+
+void FailPoints::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->armed.clear();
+  impl_->hit_counts.clear();
+}
+
+std::size_t FailPoints::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->hit_counts.find(name);
+  return it == impl_->hit_counts.end() ? 0 : it->second;
+}
+
+FailPointResult FailPoints::on_hit(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::size_t hit = ++impl_->hit_counts[name];
+  const auto it = impl_->armed.find(name);
+  FailPointResult result;
+  if (it == impl_->armed.end()) return result;
+  const FailPointSpec& spec = it->second;
+  switch (spec.action) {
+    case FailPointSpec::Action::Crash:
+      if (hit == spec.trigger_hit) {
+        result.crash = true;
+        result.partial_bytes = spec.partial_bytes;
+      }
+      break;
+    case FailPointSpec::Action::IoError:
+      if (hit >= spec.trigger_hit &&
+          (spec.error_count == SIZE_MAX ||
+           hit < spec.trigger_hit + spec.error_count)) {
+        result.io_error = true;
+      }
+      break;
+  }
+  return result;
+}
+
+}  // namespace metacore::robust

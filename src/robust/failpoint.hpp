@@ -1,0 +1,100 @@
+// Deterministic fail points for the persistence layer. Every journal write,
+// fsync, and rename boundary calls failpoint("<tag>.<op>", ...); a test arms
+// a point by name to fire at an exact hit number — crashing (by throwing
+// CrashInjected after an exact number of bytes reached the file) or failing
+// with an injected transient I/O error — so the crash matrix can enumerate
+// "die after byte k of record n / before the rename" without ever killing
+// the process for real.
+//
+// Production cost: the instrumentation hook is compiled to nothing unless
+// the build defines METACORE_FAILPOINTS (CMake option METACORE_FAILPOINTS,
+// ON by default for development/test builds, OFF for release deployments).
+// Even when compiled in, an unarmed registry is a mutex-guarded counter
+// bump per I/O boundary — noise next to the write() beside it.
+//
+// Arming is programmatic (FailPoints::instance().arm(...)) or via the
+// environment: METACORE_FAILPOINT="name:crash@H;name2:crash@H+B;n3:io@H*C"
+// arms point `name` to crash at hit H (after B bytes of that write, default
+// all), and `n3` to fail C consecutive hits with injected I/O errors
+// starting at hit H.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace metacore::robust {
+
+/// Thrown by an armed crash fail point: simulates the process dying at an
+/// exact I/O boundary. Everything the instrumented writer put on disk
+/// before the throw stays; nothing after it happens. Tests catch this,
+/// abandon the writer object, and reopen the file as a restarted process
+/// would. Never caught by the persistence layer itself (unlike injected
+/// I/O errors, which feed the retry/degraded paths).
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& point)
+      : std::runtime_error("crash injected at fail point " + point) {}
+};
+
+struct FailPointSpec {
+  enum class Action { Crash, IoError };
+  Action action = Action::Crash;
+  /// 1-based hit index at which the action fires.
+  std::size_t trigger_hit = 1;
+  /// Crash only: bytes of the instrumented write that reach the file
+  /// before the crash (SIZE_MAX = the whole write lands, die just after).
+  std::size_t partial_bytes = SIZE_MAX;
+  /// IoError only: consecutive hits that fail starting at trigger_hit
+  /// (SIZE_MAX = the device never comes back).
+  std::size_t error_count = 1;
+};
+
+/// Verdict for one instrumented boundary crossing.
+struct FailPointResult {
+  bool crash = false;     ///< write partial_bytes, then throw CrashInjected
+  bool io_error = false;  ///< this attempt fails with an injected I/O error
+  std::size_t partial_bytes = SIZE_MAX;
+};
+
+class FailPoints {
+ public:
+  /// Process-wide registry. On first use, arms any specs found in the
+  /// METACORE_FAILPOINT environment variable (builds without
+  /// METACORE_FAILPOINTS ignore the variable entirely).
+  static FailPoints& instance();
+
+  void arm(const std::string& name, FailPointSpec spec);
+  /// Parses one "name:crash@H", "name:crash@H+B", or "name:io@H*C" spec
+  /// (';'-separated lists accepted). Throws std::invalid_argument on a
+  /// malformed spec.
+  void arm_from_string(const std::string& specs);
+  void disarm(const std::string& name);
+  /// Disarms everything and zeroes all hit counters.
+  void reset();
+
+  /// Hits recorded for `name` so far (armed or not) — how a test
+  /// enumerates the write boundaries of a recorded session.
+  std::size_t hits(const std::string& name) const;
+
+  /// Called by instrumented code at each boundary; counts the hit and
+  /// returns the action verdict. Prefer the failpoint() free function,
+  /// which compiles away without METACORE_FAILPOINTS.
+  FailPointResult on_hit(const std::string& name);
+
+ private:
+  FailPoints();
+  struct Impl;
+  Impl* impl_;  // leaked singleton: usable during static destruction
+};
+
+#ifdef METACORE_FAILPOINTS
+inline FailPointResult failpoint(const char* name) {
+  return FailPoints::instance().on_hit(name);
+}
+#else
+inline FailPointResult failpoint(const char*) { return {}; }
+#endif
+
+}  // namespace metacore::robust

@@ -1,0 +1,529 @@
+#include "robust/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "robust/failpoint.hpp"
+#include "robust/json.hpp"
+#include "util/crc32c.hpp"
+
+namespace metacore::robust {
+
+namespace {
+
+constexpr const char* kMagic = "metacore-journal";
+// '#' + 8-hex length + '|' + 8-hex crc + '|'  ... payload ... '\n'
+constexpr std::size_t kFramePrefix = 19;
+constexpr std::size_t kFrameOverhead = kFramePrefix + 1;
+constexpr std::size_t kNoneBufferLimit = 64 * 1024;
+constexpr int kMaxIoAttempts = 4;
+
+void backoff(int attempt) {
+  // Deterministic bounded backoff for transient I/O errors; short enough
+  // that the injected-error tests stay instant.
+  std::this_thread::sleep_for(std::chrono::microseconds(50L << attempt));
+}
+
+void append_hex8(std::string& out, std::uint32_t v) {
+  static const char* digits = "0123456789abcdef";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out.push_back(digits[(v >> shift) & 0xF]);
+  }
+}
+
+bool parse_hex8(const char* p, std::uint32_t& out) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = p[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+DurabilityConfig DurabilityConfig::parse(const std::string& spec) {
+  DurabilityConfig config;
+  if (spec == "none") {
+    config.policy = DurabilityPolicy::None;
+  } else if (spec == "flush") {
+    config.policy = DurabilityPolicy::Flush;
+  } else if (spec == "fsync-on-close") {
+    config.policy = DurabilityPolicy::FsyncOnClose;
+  } else if (spec.rfind("fsync-every-", 0) == 0) {
+    config.policy = DurabilityPolicy::FsyncEveryN;
+    const std::string n = spec.substr(12);
+    std::size_t pos = 0;
+    unsigned long long interval = 0;
+    try {
+      interval = std::stoull(n, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != n.size() || interval == 0) {
+      throw std::invalid_argument(
+          "durability: fsync-every-N needs a positive integer N, got \"" +
+          spec + "\"");
+    }
+    config.fsync_interval = static_cast<std::size_t>(interval);
+  } else {
+    throw std::invalid_argument(
+        "durability: unknown policy \"" + spec +
+        "\" (want none | flush | fsync-every-N | fsync-on-close)");
+  }
+  return config;
+}
+
+DurabilityConfig DurabilityConfig::from_env() {
+  const char* env = std::getenv("METACORE_DURABILITY");
+  if (env == nullptr || env[0] == '\0') return DurabilityConfig{};
+  return parse(env);
+}
+
+std::string DurabilityConfig::to_string() const {
+  switch (policy) {
+    case DurabilityPolicy::None:
+      return "none";
+    case DurabilityPolicy::Flush:
+      return "flush";
+    case DurabilityPolicy::FsyncEveryN:
+      return "fsync-every-" + std::to_string(fsync_interval);
+    case DurabilityPolicy::FsyncOnClose:
+      return "fsync-on-close";
+  }
+  return "flush";
+}
+
+std::string journal_header_line(const JournalHeader& header) {
+  std::ostringstream os;
+  os << "{\"magic\":\"" << kMagic
+     << "\",\"version\":" << kJournalFormatVersion << ",\"kind\":";
+  write_escaped(os, header.kind);
+  os << ",\"kind_version\":" << header.kind_version << "}\n";
+  return os.str();
+}
+
+std::string frame_record(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + kFrameOverhead);
+  frame.push_back('#');
+  append_hex8(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.push_back('|');
+  append_hex8(frame, util::crc32c(payload));
+  frame.push_back('|');
+  frame.append(payload);
+  frame.push_back('\n');
+  return frame;
+}
+
+bool looks_like_journal(std::string_view text) {
+  const std::string_view prefix = "{\"magic\":\"metacore-journal\"";
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+JournalWriter::JournalWriter(std::string path, JournalHeader header,
+                             DurabilityConfig durability, bool truncate,
+                             std::string failpoint_tag)
+    : path_(std::move(path)),
+      tag_(std::move(failpoint_tag)),
+      durability_(durability) {
+  const int flags =
+      truncate ? (O_WRONLY | O_CREAT | O_TRUNC) : (O_WRONLY | O_CREAT | O_APPEND);
+  fd_ = ::open(path_.c_str(), flags | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw JournalIoError("journal: cannot open " + path_ + ": " +
+                         std::strerror(errno));
+  }
+  if (truncate) {
+    const std::string line = journal_header_line(header);
+    write_all(line.data(), line.size(), (tag_ + ".header").c_str());
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor cleanup must not throw; an explicit close() is where
+    // callers observe boundaries and terminal errors.
+  }
+}
+
+void JournalWriter::write_all(const char* data, std::size_t size,
+                              const char* point) {
+  if (fd_ < 0) {
+    throw JournalIoError("journal: " + path_ + " writer is closed");
+  }
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    const FailPointResult fp = failpoint(point);
+    if (fp.crash) {
+      // Simulated process death after an exact byte count of this write:
+      // put that prefix on disk, then die. Everything already written
+      // stays; nothing else happens.
+      std::size_t put = std::min(fp.partial_bytes, size);
+      const char* p = data;
+      while (put > 0) {
+        const ssize_t n = ::write(fd_, p, put);
+        if (n <= 0) break;
+        p += n;
+        put -= static_cast<std::size_t>(n);
+      }
+      throw CrashInjected(point);
+    }
+    if (!fp.io_error) {
+      const char* p = data;
+      std::size_t left = size;
+      bool failed = false;
+      while (left > 0) {
+        const ssize_t n = ::write(fd_, p, left);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          failed = true;
+          break;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+      }
+      if (!failed) return;
+    }
+    // Injected or real transient failure: back off and retry; the final
+    // attempt's failure is terminal.
+    if (attempt + 1 < kMaxIoAttempts) {
+      ++io_retries_;
+      backoff(attempt);
+    }
+  }
+  throw JournalIoError("journal: write to " + path_ + " failed after " +
+                       std::to_string(kMaxIoAttempts) + " attempts");
+}
+
+void JournalWriter::fsync_now(const char* point) {
+  if (fd_ < 0) return;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    const FailPointResult fp = failpoint(point);
+    if (fp.crash) {
+      throw CrashInjected(point);
+    }
+    if (!fp.io_error && ::fsync(fd_) == 0) return;
+    if (attempt + 1 < kMaxIoAttempts) {
+      ++io_retries_;
+      backoff(attempt);
+    }
+  }
+  throw JournalIoError("journal: fsync of " + path_ + " failed after " +
+                       std::to_string(kMaxIoAttempts) + " attempts");
+}
+
+void JournalWriter::drain_buffer() {
+  if (buffer_.empty()) return;
+  // Swap first: if the drain crashes or fails terminally, the bytes are
+  // gone — exactly what the none policy promises about a buffered tail.
+  std::string pending;
+  pending.swap(buffer_);
+  write_all(pending.data(), pending.size(), (tag_ + ".append").c_str());
+}
+
+void JournalWriter::append(std::string_view payload) {
+  if (fd_ < 0) {
+    throw JournalIoError("journal: " + path_ + " writer is closed");
+  }
+  const std::string frame = frame_record(payload);
+  if (durability_.policy == DurabilityPolicy::None) {
+    buffer_.append(frame);
+    if (buffer_.size() >= kNoneBufferLimit) drain_buffer();
+  } else {
+    write_all(frame.data(), frame.size(), (tag_ + ".append").c_str());
+  }
+  ++appends_;
+  if (durability_.policy == DurabilityPolicy::FsyncEveryN &&
+      ++appends_since_sync_ >= durability_.fsync_interval) {
+    appends_since_sync_ = 0;
+    fsync_now((tag_ + ".sync").c_str());
+  }
+}
+
+void JournalWriter::sync() {
+  drain_buffer();
+  fsync_now((tag_ + ".sync").c_str());
+  appends_since_sync_ = 0;
+}
+
+void JournalWriter::close() {
+  if (fd_ < 0) return;
+  drain_buffer();
+  if (durability_.policy == DurabilityPolicy::FsyncOnClose) {
+    fsync_now((tag_ + ".sync").c_str());
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+namespace {
+
+/// Reader-side damage bookkeeping shared by the frame scan below.
+void note_skip(JournalReadResult& result, std::string reason) {
+  ++result.skipped_records;
+  constexpr std::size_t kMaxReasons = 100;
+  if (result.skip_reasons.size() < kMaxReasons) {
+    result.skip_reasons.push_back(std::move(reason));
+  } else if (result.skip_reasons.size() == kMaxReasons) {
+    result.skip_reasons.push_back("(further skip reasons elided)");
+  }
+}
+
+}  // namespace
+
+JournalReadResult read_journal_text(const std::string& text,
+                                    const std::string& what) {
+  JournalReadResult result;
+  const std::size_t size = text.size();
+
+  const std::size_t header_nl = text.find('\n');
+  if (header_nl == std::string::npos) {
+    // Crash while writing the very first (header) line: nothing complete
+    // was ever in this file.
+    result.recovered_tail_bytes = size;
+    return result;
+  }
+
+  JsonValue header;
+  try {
+    header = parse_json(text.substr(0, header_nl), what);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(what + ": unreadable journal header line: " +
+                             e.what());
+  }
+  if (header.type != JsonValue::Type::Object ||
+      require(header, "magic", JsonValue::Type::String, what).string !=
+          kMagic) {
+    throw std::runtime_error(what + ": not a metacore journal");
+  }
+  const auto version = static_cast<int>(
+      require(header, "version", JsonValue::Type::Number, what).number);
+  if (version != kJournalFormatVersion) {
+    throw std::runtime_error(
+        what + ": unsupported journal format version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kJournalFormatVersion) + ")");
+  }
+  result.header.kind =
+      require(header, "kind", JsonValue::Type::String, what).string;
+  result.header.kind_version = static_cast<int>(
+      require(header, "kind_version", JsonValue::Type::Number, what).number);
+
+  std::size_t offset = header_nl + 1;
+  result.good_end = offset;
+  std::size_t record_index = 0;
+
+  // Resync after broken framing: the next frame boundary is "\n#" (frames
+  // are newline-terminated and payloads never place '#' right after a
+  // newline — JSON payload lines open with '{', '"', digits, or brackets).
+  const auto resync = [&](std::size_t from, const std::string& why) -> bool {
+    const std::size_t next = text.find("\n#", from);
+    if (next != std::string::npos) {
+      note_skip(result, what + ": " + why + " at offset " +
+                            std::to_string(from) + " (resynced at offset " +
+                            std::to_string(next + 1) + ")");
+      offset = next + 1;
+      return true;
+    }
+    if (!text.empty() && text.back() == '\n') {
+      // Damage runs to EOF but is newline-terminated: that is not the
+      // signature of a crashed append (appends end with '\n' atomically
+      // within one frame), so count it as damage rather than a tail.
+      note_skip(result, what + ": " + why + " at offset " +
+                            std::to_string(from) +
+                            " (terminated damage through end of file)");
+      offset = size;
+      return true;
+    }
+    result.recovered_tail_bytes = size - from;
+    offset = size;
+    return false;
+  };
+
+  while (offset < size) {
+    const std::size_t start = offset;
+    std::uint32_t declared_len = 0;
+    std::uint32_t declared_crc = 0;
+    const bool prefix_complete = start + kFramePrefix <= size;
+    const bool prefix_valid =
+        prefix_complete && text[start] == '#' &&
+        parse_hex8(text.data() + start + 1, declared_len) &&
+        text[start + 9] == '|' &&
+        parse_hex8(text.data() + start + 10, declared_crc) &&
+        text[start + 18] == '|';
+
+    if (!prefix_valid) {
+      if (!prefix_complete && text[start] == '#' &&
+          text.find("\n#", start) == std::string::npos) {
+        // Incomplete frame prefix at EOF: crashed append.
+        result.recovered_tail_bytes = size - start;
+        break;
+      }
+      if (!resync(start, "broken record framing")) break;
+      continue;
+    }
+
+    const std::size_t payload_at = start + kFramePrefix;
+    const std::size_t frame_end = payload_at + declared_len;  // '\n' here
+    if (frame_end + 1 > size) {
+      if (text.find("\n#", start) != std::string::npos) {
+        // The frame claims more bytes than remain, yet a later frame
+        // exists: a corrupted length field, not a crashed append.
+        if (!resync(start, "frame length overruns the file")) break;
+        continue;
+      }
+      result.recovered_tail_bytes = size - start;
+      break;
+    }
+    if (text[frame_end] != '\n') {
+      if (!resync(start, "frame terminator missing")) break;
+      continue;
+    }
+    const std::string_view payload(text.data() + payload_at, declared_len);
+    const std::uint32_t actual_crc = util::crc32c(payload);
+    ++record_index;
+    if (actual_crc != declared_crc) {
+      note_skip(result,
+                what + ": CRC32C mismatch on record " +
+                    std::to_string(record_index) + " at offset " +
+                    std::to_string(start) + " (stored " +
+                    std::to_string(declared_crc) + ", computed " +
+                    std::to_string(actual_crc) + ")");
+      offset = frame_end + 1;
+      continue;
+    }
+    result.records.emplace_back(payload);
+    offset = frame_end + 1;
+    result.good_end = offset;
+  }
+
+  return result;
+}
+
+namespace {
+
+/// One fail-point-instrumented, retrying raw write (shared by
+/// atomic_replace_file; JournalWriter has its own copy with stats).
+void replace_write(int fd, const char* data, std::size_t size,
+                   const std::string& point, const std::string& tmp,
+                   const std::string& what) {
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    const FailPointResult fp = failpoint(point.c_str());
+    if (fp.crash) {
+      std::size_t put = std::min(fp.partial_bytes, size);
+      const char* p = data;
+      while (put > 0) {
+        const ssize_t n = ::write(fd, p, put);
+        if (n <= 0) break;
+        p += n;
+        put -= static_cast<std::size_t>(n);
+      }
+      throw CrashInjected(point);
+    }
+    if (!fp.io_error) {
+      const char* p = data;
+      std::size_t left = size;
+      bool failed = false;
+      while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          failed = true;
+          break;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+      }
+      if (!failed) return;
+    }
+    if (attempt + 1 < kMaxIoAttempts) backoff(attempt);
+  }
+  throw JournalIoError(what + ": write to " + tmp + " failed after " +
+                       std::to_string(kMaxIoAttempts) + " attempts");
+}
+
+void fsync_directory_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    // Best effort: the rename itself is atomic; the directory fsync only
+    // narrows the power-loss window in which the rename is forgotten.
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+void atomic_replace_file(const std::string& path, std::string_view contents,
+                         const DurabilityConfig& durability,
+                         const std::string& failpoint_tag,
+                         const std::string& what) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw JournalIoError(what + ": cannot open " + tmp + ": " +
+                         std::strerror(errno));
+  }
+  try {
+    replace_write(fd, contents.data(), contents.size(),
+                  failpoint_tag + ".write", tmp, what);
+    if (durability.policy != DurabilityPolicy::None) {
+      // fsync before rename, else the rename can publish an empty or
+      // partial file after power loss (rename-before-data).
+      for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+        const FailPointResult fp = failpoint((failpoint_tag + ".sync").c_str());
+        if (fp.crash) throw CrashInjected(failpoint_tag + ".sync");
+        if (!fp.io_error && ::fsync(fd) == 0) break;
+        if (attempt + 1 == kMaxIoAttempts) {
+          throw JournalIoError(what + ": fsync of " + tmp + " failed after " +
+                               std::to_string(kMaxIoAttempts) + " attempts");
+        }
+        backoff(attempt);
+      }
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+
+  if (failpoint((failpoint_tag + ".rename").c_str()).crash) {
+    // Crash before the rename: the old file (if any) is untouched and the
+    // complete tmp file is left behind for the next open to ignore.
+    throw CrashInjected(failpoint_tag + ".rename");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw JournalIoError(what + ": rename " + tmp + " -> " + path +
+                         " failed: " + std::strerror(errno));
+  }
+  if (failpoint((failpoint_tag + ".renamed").c_str()).crash) {
+    throw CrashInjected(failpoint_tag + ".renamed");
+  }
+  if (durability.policy != DurabilityPolicy::None) {
+    fsync_directory_of(path);
+  }
+}
+
+}  // namespace metacore::robust

@@ -362,6 +362,8 @@ void MultiresolutionSearch::search_region(const Region& region, int resolution,
 
 SearchResult MultiresolutionSearch::run() {
   SearchResult result;
+  const std::size_t divergent_before =
+      config_.store ? config_.store->divergent_duplicates() : 0;
   // Resume: load the journal once (a second run() on the same engine is
   // already warm) and replay it instead of re-evaluating.
   if (!config_.checkpoint_path.empty() && cache_.empty() &&
@@ -375,6 +377,10 @@ SearchResult MultiresolutionSearch::run() {
   }
   search_region(full, 0, result);
   result.failures = current_failures();
+  if (config_.store) {
+    result.divergent_duplicates =
+        config_.store->divergent_duplicates() - divergent_before;
+  }
   // Final flush: a completed run leaves a complete checkpoint, and resuming
   // from it replays to the identical result with zero evaluator calls.
   if (!config_.checkpoint_path.empty()) {
@@ -515,6 +521,8 @@ SearchResult verify_top_candidates(SearchResult result,
         "verify_top_candidates: store_fingerprint must identify the "
         "evaluator when a persistent store is attached");
   }
+  const std::size_t divergent_before =
+      store != nullptr ? store->divergent_duplicates() : 0;
   // Re-evaluations use the candidates' stored values directly; the space
   // parameter documents (and future-proofs) the coordinate system.
   (void)space;
@@ -569,6 +577,10 @@ SearchResult verify_top_candidates(SearchResult result,
   if (have_best) {
     result.best = std::move(best);
     result.found_feasible = objective.feasible(result.best.eval);
+  }
+  if (store != nullptr) {
+    result.divergent_duplicates +=
+        store->divergent_duplicates() - divergent_before;
   }
   return result;
 }

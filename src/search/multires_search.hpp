@@ -99,6 +99,11 @@ struct SearchResult {
   /// evaluator. Run-local diagnostic: a cold run reports 0, a warm rerun
   /// reports (up to) the cold run's evaluation count.
   std::size_t store_hits = 0;
+  /// Store keys this run tried to record that already existed with a
+  /// *different* evaluation (delta of the store's counter across run()):
+  /// evidence of evaluator non-determinism or a stale store. 0 without a
+  /// store.
+  std::size_t divergent_duplicates = 0;
   int levels_executed = 0;
   /// Every distinct point evaluated (highest-fidelity result per point) —
   /// the population behind the paper's "average case" comparisons.

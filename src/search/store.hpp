@@ -9,6 +9,7 @@
 // configuration.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +37,12 @@ class EvaluationStoreBase {
   virtual void record(const std::string& fingerprint,
                       const std::vector<int>& indices, int fidelity,
                       const Evaluation& eval) = 0;
+
+  /// Count of record() calls (or load-time duplicates) whose key already
+  /// existed with a *different* evaluation — upstream determinism drift
+  /// that first-write-wins would otherwise mask. Stores that don't track
+  /// it report 0.
+  virtual std::size_t divergent_duplicates() const { return 0; }
 };
 
 }  // namespace metacore::search

@@ -224,7 +224,10 @@ std::string to_json(const DesignResponse& response) {
   write_point(os, response.best);
   os << ",\"evaluations\":" << response.evaluations
      << ",\"cache_hits\":" << response.cache_hits
-     << ",\"store_hits\":" << response.store_hits << ",\"front_x\":";
+     << ",\"store_hits\":" << response.store_hits
+     << ",\"divergent_duplicates\":" << response.divergent_duplicates
+     << ",\"store_degraded\":" << (response.store_degraded ? "true" : "false")
+     << ",\"front_x\":";
   robust::write_escaped(os, response.front_x);
   os << ",\"front_y\":";
   robust::write_escaped(os, response.front_y);
@@ -435,9 +438,15 @@ DesignResponse DesignService::run_query(const DesignQuery& query) {
   response.evaluations = result.evaluations;
   response.cache_hits = result.cache_hits;
   response.store_hits = result.store_hits;
+  response.divergent_duplicates = result.divergent_duplicates;
   response.front =
       search::pareto_front(result.history, response.front_x, response.front_y);
   response.summary = core::summarize(result, objective);
+  if (store_ && store_->degraded()) {
+    response.store_degraded = true;
+    response.summary +=
+        "; STORE DEGRADED: evaluations from this query were not persisted";
+  }
   return response;
 }
 
@@ -518,6 +527,10 @@ DesignResponse DesignService::answer_from_archive(const DesignQuery& query) {
     robust::write_double(os, best->eval.metric(objective.minimize));
   }
   response.summary = os.str();
+  if (store_ && store_->degraded()) {
+    response.store_degraded = true;
+    response.summary += "; STORE DEGRADED: journal writes are suspended";
+  }
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);

@@ -96,6 +96,13 @@ struct DesignResponse {
   std::size_t evaluations = 0;
   std::size_t cache_hits = 0;
   std::size_t store_hits = 0;
+  /// Store keys this query re-derived with a *different* evaluation —
+  /// upstream determinism drift (see StoreStats::divergent_duplicates).
+  std::size_t divergent_duplicates = 0;
+  /// True when the attached store is in degraded read-only mode (journal
+  /// lost mid-run): the answer is still valid, but the evaluations behind
+  /// it were not persisted. Also noted in `summary`.
+  bool store_degraded = false;
   /// The Pareto front slice over (front_x, front_y), both minimized;
   /// for archive answers, restricted to constraint-satisfying points.
   std::string front_x, front_y;

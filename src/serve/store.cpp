@@ -1,8 +1,10 @@
 #include "serve/store.hpp"
 
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -15,41 +17,116 @@ namespace metacore::serve {
 
 namespace {
 
-constexpr const char* kMagic = "metacore-evaluation-store";
+constexpr const char* kKind = "metacore-evaluation-store";
 constexpr const char* kWhat = "store";
+constexpr int kLegacyStoreVersion = 1;
+constexpr std::size_t kMaxSkipReasons = 100;
 
-std::string header_line() {
-  std::ostringstream os;
-  os << "{\"magic\":\"" << kMagic << "\",\"version\":" << kStoreVersion
-     << "}";
-  return os.str();
+void note_skip(StoreStats& stats, std::string reason) {
+  ++stats.skipped_records;
+  if (stats.skip_reasons.size() < kMaxSkipReasons) {
+    stats.skip_reasons.push_back(std::move(reason));
+  } else if (stats.skip_reasons.size() == kMaxSkipReasons) {
+    stats.skip_reasons.push_back("(further skip reasons elided)");
+  }
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Bit-exact evaluation identity: the "duplicates are identical by
+/// construction" invariant, checked instead of assumed.
+bool eval_equal(const search::Evaluation& a, const search::Evaluation& b) {
+  if (a.feasible != b.feasible || a.failure_reason != b.failure_reason ||
+      !bits_equal(a.confidence_weight, b.confidence_weight) ||
+      a.metrics.size() != b.metrics.size()) {
+    return false;
+  }
+  auto ita = a.metrics.begin();
+  auto itb = b.metrics.begin();
+  for (; ita != a.metrics.end(); ++ita, ++itb) {
+    if (ita->first != itb->first || !bits_equal(ita->second, itb->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t file_size_of(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::size_t>(size);
 }
 
 }  // namespace
 
-EvaluationStore::EvaluationStore(std::string path) : path_(std::move(path)) {
+StoreConfig StoreConfig::from_env() {
+  StoreConfig config;
+  config.durability = robust::DurabilityConfig::from_env();
+  if (const char* env = std::getenv("METACORE_STORE_COMPACT_RATIO");
+      env != nullptr && env[0] != '\0') {
+    std::size_t pos = 0;
+    double ratio = 0.0;
+    try {
+      ratio = std::stod(env, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != std::string(env).size() || !(ratio <= 1.0)) {
+      throw std::invalid_argument(
+          "store: METACORE_STORE_COMPACT_RATIO must be a number <= 1, got \"" +
+          std::string(env) + "\"");
+    }
+    config.auto_compact_dead_ratio = ratio;
+  }
+  return config;
+}
+
+EvaluationStore::EvaluationStore(std::string path, StoreConfig config)
+    : path_(std::move(path)), config_(config) {
   if (path_.empty()) {
     throw std::invalid_argument("store: path must be non-empty");
   }
+  // A stale .tmp can only be the residue of a crash between snapshot write
+  // and rename; the journal itself is authoritative.
+  std::remove((path_ + ".tmp").c_str());
   load_or_create();
-  out_.open(path_, std::ios::app);
-  if (!out_) {
-    throw std::runtime_error("store: cannot open " + path_ +
-                             " for appending");
+  if (needs_rewrite_) {
+    compact_locked();  // recovery/migration/bounded-growth rewrite
+  } else {
+    open_writer(fresh_start_);
   }
 }
 
-void EvaluationStore::write_line(std::ostream& os, const Key& key,
-                                 const search::Evaluation& eval) const {
+std::string EvaluationStore::payload_for(
+    const Key& key, const search::Evaluation& eval) const {
   robust::CheckpointRecord rec;
   rec.indices = std::get<1>(key);
   rec.fidelity = std::get<2>(key);
   rec.eval = eval;
+  std::ostringstream os;
   os << "{\"fingerprint\":";
   robust::write_escaped(os, std::get<0>(key));
   os << ",\"record\":";
   robust::write_eval_record(os, rec);
-  os << "}\n";
+  os << "}";
+  return os.str();
+}
+
+std::string EvaluationStore::snapshot_text() const {
+  std::string text = robust::journal_header_line(
+      robust::JournalHeader{kKind, kStoreVersion});
+  for (const auto& [key, eval] : entries_) {
+    text += robust::frame_record(payload_for(key, eval));
+  }
+  return text;
+}
+
+void EvaluationStore::open_writer(bool truncate) {
+  writer_ = std::make_unique<robust::JournalWriter>(
+      path_, robust::JournalHeader{kKind, kStoreVersion}, config_.durability,
+      truncate, "store.journal");
 }
 
 void EvaluationStore::load_or_create() {
@@ -64,21 +141,96 @@ void EvaluationStore::load_or_create() {
   }
 
   if (text.empty()) {
-    // Fresh store (or an empty file from a crash at creation): write the
-    // header so the journal is self-identifying from byte 0.
-    std::ofstream os(path_, std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("store: cannot create " + path_);
-    }
-    os << header_line() << '\n';
-    if (!os.flush()) {
-      throw std::runtime_error("store: write to " + path_ + " failed");
-    }
+    fresh_start_ = true;
+    return;
+  }
+  if (text.find('\n') == std::string::npos) {
+    // Only an unterminated fragment: a crash while writing the very first
+    // (header) line. Nothing is lost by starting fresh.
+    stats_.recovered_bytes = text.size();
+    fresh_start_ = true;
     return;
   }
 
-  // Split into newline-terminated lines; an unterminated remainder is the
-  // candidate crash tail.
+  if (robust::looks_like_journal(text)) {
+    load_framed(text);
+  } else {
+    load_legacy(text);
+  }
+  stats_.live_entries = entries_.size();
+
+  // Recovery rewrites (damage, crash tails, legacy migration) are
+  // unconditional — they restore the on-disk invariants. Pure duplicate
+  // bloat compacts only past the configured dead-record ratio, so a
+  // long-lived server's journal stays bounded without rewriting on every
+  // restart.
+  const std::size_t dead = stats_.duplicate_records + stats_.skipped_records;
+  const std::size_t total = dead + entries_.size();
+  if (stats_.skipped_records > 0 || stats_.recovered_bytes > 0) {
+    needs_rewrite_ = true;
+  } else if (dead > 0 && config_.auto_compact_dead_ratio > 0.0 && total > 0 &&
+             static_cast<double>(dead) >=
+                 config_.auto_compact_dead_ratio * static_cast<double>(total)) {
+    needs_rewrite_ = true;
+  }
+}
+
+void EvaluationStore::load_framed(const std::string& text) {
+  robust::JournalReadResult framed =
+      robust::read_journal_text(text, std::string(kWhat) + ": " + path_);
+  if (framed.header.kind != kKind) {
+    throw std::runtime_error("store: " + path_ +
+                             " is not a metacore evaluation store");
+  }
+  if (framed.header.kind_version != kStoreVersion) {
+    throw std::runtime_error(
+        "store: " + path_ + " has unsupported version " +
+        std::to_string(framed.header.kind_version) +
+        " (this build reads version " + std::to_string(kStoreVersion) + ")");
+  }
+  stats_.recovered_bytes = framed.recovered_tail_bytes;
+  stats_.skipped_records = framed.skipped_records;
+  stats_.skip_reasons = std::move(framed.skip_reasons);
+
+  for (std::size_t i = 0; i < framed.records.size(); ++i) {
+    const std::string& payload = framed.records[i];
+    std::string fingerprint;
+    robust::CheckpointRecord rec;
+    try {
+      const robust::JsonValue entry = robust::parse_json(payload, kWhat);
+      fingerprint = robust::require(entry, "fingerprint",
+                                    robust::JsonValue::Type::String, kWhat)
+                        .string;
+      rec = robust::parse_eval_record(
+          robust::require(entry, "record", robust::JsonValue::Type::Object,
+                          kWhat),
+          kWhat);
+    } catch (const std::runtime_error& e) {
+      // CRC-clean but unparseable: a writer bug or schema drift, not bit
+      // rot. Skipped with a reason like any other damaged record.
+      note_skip(stats_, "store: record " + std::to_string(i + 1) +
+                            " is checksum-clean but failed to parse: " +
+                            e.what());
+      continue;
+    }
+    ++stats_.journal_records;
+    Key key{std::move(fingerprint), rec.indices, rec.fidelity};
+    auto [it, inserted] = entries_.emplace(std::move(key), rec.eval);
+    if (!inserted) {
+      ++stats_.duplicate_records;
+      if (!eval_equal(it->second, rec.eval)) {
+        ++stats_.divergent_duplicates;
+      }
+    }
+  }
+}
+
+void EvaluationStore::load_legacy(const std::string& text) {
+  // Pre-journal (version 1) stores: header line + one JSON record per
+  // line, no checksums. Without CRCs we cannot tell damage from a writer
+  // bug, so the legacy policy stays strict: a newline-terminated line that
+  // fails to parse rejects the file. A clean legacy load is migrated to
+  // the framed format (needs_rewrite_).
   std::vector<std::pair<std::size_t, std::string>> lines;  // (offset, text)
   std::size_t start = 0;
   while (start < text.size()) {
@@ -87,25 +239,8 @@ void EvaluationStore::load_or_create() {
     lines.emplace_back(start, text.substr(start, nl - start));
     start = nl + 1;
   }
-  const std::size_t good_end = start;  // byte after the last terminated line
-  const std::size_t tail_bytes = text.size() - good_end;
+  const std::size_t tail_bytes = text.size() - start;
 
-  if (lines.empty()) {
-    // Only an unterminated fragment: a crash while writing the very first
-    // (header) line. Nothing is lost by starting fresh.
-    stats_.recovered_bytes = tail_bytes;
-    std::ofstream os(path_, std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("store: cannot create " + path_);
-    }
-    os << header_line() << '\n';
-    if (!os.flush()) {
-      throw std::runtime_error("store: write to " + path_ + " failed");
-    }
-    return;
-  }
-
-  // Header: must identify the file and carry a version we read.
   robust::JsonValue header;
   try {
     header = robust::parse_json(lines[0].second, kWhat);
@@ -115,7 +250,7 @@ void EvaluationStore::load_or_create() {
   }
   if (header.type != robust::JsonValue::Type::Object ||
       robust::require(header, "magic", robust::JsonValue::Type::String, kWhat)
-              .string != kMagic) {
+              .string != kKind) {
     throw std::runtime_error("store: " + path_ +
                              " is not a metacore evaluation store");
   }
@@ -123,16 +258,14 @@ void EvaluationStore::load_or_create() {
       robust::require(header, "version", robust::JsonValue::Type::Number,
                       kWhat)
           .number));
-  if (version != kStoreVersion) {
+  if (version != kLegacyStoreVersion) {
     throw std::runtime_error(
         "store: " + path_ + " has unsupported version " +
-        std::to_string(version) + " (this build reads version " +
+        std::to_string(version) + " (this build reads versions " +
+        std::to_string(kLegacyStoreVersion) + " and " +
         std::to_string(kStoreVersion) + ")");
   }
 
-  // Records. A terminated line that fails to parse cannot be a crash
-  // artifact (appends only emit '\n' last), so it is rejected as real
-  // corruption with its line number.
   for (std::size_t i = 1; i < lines.size(); ++i) {
     robust::JsonValue entry;
     try {
@@ -152,46 +285,59 @@ void EvaluationStore::load_or_create() {
         robust::require(entry, "record", robust::JsonValue::Type::Object,
                         kWhat),
         kWhat);
-    ++stats_.journal_lines;
+    ++stats_.journal_records;
     Key key{fingerprint, rec.indices, rec.fidelity};
-    // First record wins: duplicate keys are bit-identical by construction
-    // (same evaluator, same point, same fidelity), so which one survives
-    // only matters for determinism of the compacted file.
-    if (!entries_.emplace(std::move(key), rec.eval).second) {
-      ++stats_.compacted_lines;
+    auto [it, inserted] = entries_.emplace(std::move(key), rec.eval);
+    if (!inserted) {
+      ++stats_.duplicate_records;
+      if (!eval_equal(it->second, rec.eval)) {
+        ++stats_.divergent_duplicates;
+      }
     }
   }
-  stats_.live_entries = entries_.size();
-
-  // Truncated-tail recovery: drop the unterminated fragment.
   if (tail_bytes > 0) {
     stats_.recovered_bytes = tail_bytes;
   }
+  needs_rewrite_ = true;  // migrate to the framed format
+}
 
-  // Compaction / recovery rewrite: when the journal carries duplicate
-  // lines or a corrupt tail, rewrite it compacted (atomic tmp + rename so
-  // a crash mid-rewrite cannot lose the journal).
-  if (stats_.compacted_lines > 0 || tail_bytes > 0) {
-    const std::string tmp = path_ + ".tmp";
-    {
-      std::ofstream os(tmp, std::ios::trunc);
-      if (!os) {
-        throw std::runtime_error("store: cannot open " + tmp +
-                                 " for compaction");
-      }
-      os << header_line() << '\n';
-      for (const auto& [key, eval] : entries_) {
-        write_line(os, key, eval);
-      }
-      if (!os.flush()) {
-        throw std::runtime_error("store: write to " + tmp + " failed");
-      }
+std::size_t EvaluationStore::compact_locked() {
+  const std::size_t bytes_before = file_size_of(path_);
+  const std::string text = snapshot_text();
+  if (writer_) {
+    stats_.io_retries += writer_->io_retries();
+    try {
+      writer_->close();
+    } catch (const robust::JournalIoError&) {
+      // The journal is about to be replaced wholesale; a failed drain of
+      // the old fd is moot.
     }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-      throw std::runtime_error("store: rename " + tmp + " -> " + path_ +
-                               " failed");
-    }
+    writer_.reset();
   }
+  try {
+    robust::atomic_replace_file(path_, text, config_.durability,
+                                "store.compact", kWhat);
+  } catch (const robust::JournalIoError&) {
+    // Snapshot failed before the rename: the old journal is intact. Try
+    // to resume appending to it; if even that fails, degrade.
+    try {
+      open_writer(false);
+    } catch (const robust::JournalIoError&) {
+      degraded_ = true;
+    }
+    throw;
+  }
+  open_writer(false);
+  degraded_ = false;  // a fresh, complete journal re-establishes durability
+  ++stats_.compactions;
+  stats_.compaction_bytes_before = bytes_before;
+  stats_.compaction_bytes_after = text.size();
+  return bytes_before > text.size() ? bytes_before - text.size() : 0;
+}
+
+std::size_t EvaluationStore::compact() {
+  std::unique_lock lock(mutex_);
+  return compact_locked();
 }
 
 std::optional<search::Evaluation> EvaluationStore::lookup(
@@ -212,16 +358,38 @@ void EvaluationStore::record(const std::string& fingerprint,
                              const search::Evaluation& eval) {
   std::unique_lock lock(mutex_);
   Key key{fingerprint, indices, fidelity};
-  if (!entries_.emplace(key, eval).second) {
-    return;  // first write wins; duplicates are bit-identical anyway
+  auto [it, inserted] = entries_.emplace(key, eval);
+  if (!inserted) {
+    // First write wins; a duplicate that is NOT bit-identical is a
+    // determinism regression upstream — count it instead of masking it.
+    if (!eval_equal(it->second, eval)) {
+      ++stats_.divergent_duplicates;
+    }
+    return;
   }
-  write_line(out_, key, eval);
-  out_.flush();
-  if (!out_) {
-    throw std::runtime_error("store: append to " + path_ + " failed");
+  ++stats_.live_entries;
+  if (degraded_ || !writer_) {
+    ++stats_.dropped_writes;
+    return;
+  }
+  try {
+    writer_->append(payload_for(key, eval));
+  } catch (const robust::JournalIoError&) {
+    // Terminal append failure (the retries are inside the writer): flip to
+    // degraded read-only mode. The entry stays in memory so the search
+    // keeps its result; only persistence is lost — callers see it in
+    // stats() rather than as a failed query.
+    degraded_ = true;
+    ++stats_.dropped_writes;
+    stats_.io_retries += writer_->io_retries();
+    try {
+      writer_->close();
+    } catch (...) {
+    }
+    writer_.reset();
+    return;
   }
   ++stats_.appends;
-  ++stats_.live_entries;
 }
 
 std::size_t EvaluationStore::size() const {
@@ -242,12 +410,26 @@ EvaluationStore::entries_for(const std::string& fingerprint) const {
   return out;
 }
 
+bool EvaluationStore::degraded() const {
+  std::shared_lock lock(mutex_);
+  return degraded_;
+}
+
+std::size_t EvaluationStore::divergent_duplicates() const {
+  std::shared_lock lock(mutex_);
+  return stats_.divergent_duplicates;
+}
+
 StoreStats EvaluationStore::stats() const {
   std::shared_lock lock(mutex_);
   StoreStats out = stats_;
   out.live_entries = entries_.size();
+  out.degraded = degraded_;
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
+  if (writer_) {
+    out.io_retries += writer_->io_retries();
+  }
   return out;
 }
 

@@ -1,24 +1,37 @@
 // Persistent, content-addressed evaluation store: the substrate that makes
 // MetaCore cost evaluations reusable *across* runs, searches, and service
-// queries. One store file is an append-only JSONL journal — a header line
-// followed by one evaluation record per line, keyed by (evaluator
-// fingerprint, grid indices, fidelity) — reusing the versioned-JSON
+// queries. One store file is an append-only record journal
+// (robust/journal.hpp) — a self-identifying header line followed by one
+// CRC32C-guarded, length-prefixed frame per evaluation, keyed by (evaluator
+// fingerprint, grid indices, fidelity). Payloads reuse the versioned-JSON
 // machinery of robust/checkpoint (robust::write_eval_record /
 // parse_eval_record), so stored doubles round-trip bit-exactly.
 //
 // Durability and recovery:
-//  * Appends are single writes terminated by '\n' and flushed, so a crash
-//    can only ever leave one *unterminated* partial line at the tail. Load
-//    drops such a tail, truncates the file back to the last good byte, and
-//    reports the recovery in stats() — no completed evaluation is lost.
-//  * A newline-terminated line that fails to parse cannot have been
-//    produced by a crashed append: that is real corruption, and load
-//    rejects the file with a descriptive error rather than guessing.
-//  * A header version this build does not understand is rejected.
-//  * Load-time compaction: duplicate keys are deduplicated in memory
-//    (first record wins — later identical appends are by construction
-//    bit-identical) and, when duplicates were present, the journal is
-//    rewritten compacted via tmp-file + atomic rename.
+//  * Appends go through a pluggable durability policy (none | flush |
+//    fsync-every-N | fsync-on-close; METACORE_DURABILITY overrides), so a
+//    deployment chooses its crash window. A crash can only ever leave one
+//    incomplete frame at the tail; load drops it silently — no completed
+//    evaluation is lost.
+//  * Every frame carries its own CRC32C: mid-file damage (bit rot, torn
+//    sectors) is skipped per record with a counted, descriptive reason in
+//    stats() instead of poisoning the whole journal. Only header-level
+//    problems (foreign file, unsupported version) reject the file.
+//  * Snapshot + compaction: compact() rewrites the live set as a
+//    checksummed snapshot via tmp file + fsync + atomic rename; it runs
+//    automatically at open when the dead-record ratio (duplicates +
+//    damage) crosses StoreConfig::auto_compact_dead_ratio, so a long-lived
+//    server's journal stays bounded. Legacy (v1 JSONL) stores are migrated
+//    to the framed format on first open.
+//  * Degraded read-only mode: when an append fails terminally (disk gone
+//    bad mid-run, after bounded retries), the store keeps serving lookups
+//    and absorbing records in memory but stops journaling; stats() reports
+//    degraded=true and the dropped-write count, and a successful compact()
+//    re-establishes the journal.
+//
+// Crash points: every journal write/fsync/rename boundary consults a named
+// fail point ("store.journal.*", "store.compact.*"; robust/failpoint.hpp),
+// so the crash-matrix tests enumerate byte-exact kill points.
 //
 // Concurrency discipline: any number of concurrent readers (lookup), one
 // writer at a time (record) — enforced in-process with a shared mutex.
@@ -28,38 +41,74 @@
 
 #include <cstddef>
 #include <atomic>
-#include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "robust/journal.hpp"
 #include "search/store.hpp"
 
 namespace metacore::serve {
 
-inline constexpr int kStoreVersion = 1;
+/// Framed-journal store schema ("kind_version" in the header). Version 1
+/// was the pre-CRC JSONL format, still readable (and migrated) on load.
+inline constexpr int kStoreVersion = 2;
 
 /// Load + traffic accounting; all counters are since open.
 struct StoreStats {
-  std::size_t live_entries = 0;     ///< distinct keys held after load
-  std::size_t journal_lines = 0;    ///< record lines parsed at load
-  std::size_t compacted_lines = 0;  ///< duplicate lines dropped at load
-  std::size_t recovered_bytes = 0;  ///< corrupt unterminated tail truncated
-  std::size_t hits = 0;             ///< lookup() found the key
-  std::size_t misses = 0;           ///< lookup() did not
-  std::size_t appends = 0;          ///< record() journal appends
+  std::size_t live_entries = 0;      ///< distinct keys held after load
+  std::size_t journal_records = 0;   ///< intact record frames parsed at load
+  std::size_t duplicate_records = 0; ///< duplicate-key frames dropped at load
+  std::size_t skipped_records = 0;   ///< damaged frames skipped at load
+  std::size_t recovered_bytes = 0;   ///< crashed-append tail dropped at load
+  std::size_t hits = 0;              ///< lookup() found the key
+  std::size_t misses = 0;            ///< lookup() did not
+  std::size_t appends = 0;           ///< record() journal appends
+  /// record() calls (or load-time duplicates) whose key already existed
+  /// with a *different* evaluation — a determinism regression that
+  /// first-write-wins would otherwise silently mask.
+  std::size_t divergent_duplicates = 0;
+  std::size_t dropped_writes = 0;    ///< records not journaled (degraded)
+  std::size_t io_retries = 0;        ///< transient write failures retried
+  std::size_t compactions = 0;       ///< snapshot rewrites since open
+  std::size_t compaction_bytes_before = 0;  ///< journal size before last one
+  std::size_t compaction_bytes_after = 0;   ///< ... and after
+  bool degraded = false;             ///< journal lost mid-run; memory-only
+  /// One descriptive reason per skipped record (capped), e.g. the CRC
+  /// mismatch and offset.
+  std::vector<std::string> skip_reasons;
+};
+
+struct StoreConfig {
+  /// Append durability; defaults to the process-wide policy
+  /// (METACORE_DURABILITY, else flush).
+  robust::DurabilityConfig durability{};
+  /// Auto-compaction trigger at open: rewrite when
+  /// dead / (dead + live) >= ratio, dead = duplicate + skipped records.
+  /// <= 0 disables ratio-triggered compaction (recovery rewrites for
+  /// damage/tails and legacy migration still happen). Override with
+  /// METACORE_STORE_COMPACT_RATIO.
+  double auto_compact_dead_ratio = 0.25;
+
+  /// durability from METACORE_DURABILITY, ratio from
+  /// METACORE_STORE_COMPACT_RATIO; throws std::invalid_argument on
+  /// malformed values.
+  static StoreConfig from_env();
 };
 
 class EvaluationStore final : public search::EvaluationStoreBase {
  public:
   /// Opens (creating if absent) the journal at `path`, replaying it into
-  /// memory with tail recovery and compaction as described above. Throws
-  /// std::runtime_error on I/O failure, mid-file corruption, a foreign
-  /// file, or a version mismatch.
-  explicit EvaluationStore(std::string path);
+  /// memory with tail recovery, per-record damage skipping, legacy
+  /// migration, and ratio-triggered compaction as described above. Throws
+  /// std::runtime_error on I/O failure, a foreign file, or a version
+  /// mismatch.
+  explicit EvaluationStore(std::string path,
+                           StoreConfig config = StoreConfig::from_env());
 
   /// Thread-safe; concurrent lookups proceed in parallel.
   std::optional<search::Evaluation> lookup(const std::string& fingerprint,
@@ -67,8 +116,9 @@ class EvaluationStore final : public search::EvaluationStoreBase {
                                            int fidelity) override;
 
   /// Thread-safe; writers are serialized. A key already present is left
-  /// untouched (first write wins — a well-behaved caller only records keys
-  /// it failed to look up, and duplicate evaluations are bit-identical).
+  /// untouched (first write wins); a duplicate whose evaluation *differs*
+  /// bumps divergent_duplicates. In degraded mode the entry is kept in
+  /// memory (searches keep working) and counted as a dropped write.
   void record(const std::string& fingerprint, const std::vector<int>& indices,
               int fidelity, const search::Evaluation& eval) override;
 
@@ -81,6 +131,18 @@ class EvaluationStore final : public search::EvaluationStoreBase {
   std::vector<std::tuple<std::vector<int>, int, search::Evaluation>>
   entries_for(const std::string& fingerprint) const;
 
+  /// Rewrites the journal as a compacted snapshot of the live set (tmp
+  /// file + fsync + atomic rename), dropping dead records; re-establishes
+  /// journaling after degraded mode. Returns bytes reclaimed. Throws
+  /// robust::JournalIoError when the rewrite itself fails.
+  std::size_t compact();
+
+  /// True once an append has failed terminally: lookups and in-memory
+  /// recording still work, the journal does not grow.
+  bool degraded() const;
+
+  std::size_t divergent_duplicates() const override;
+
   StoreStats stats() const;
 
   const std::string& path() const { return path_; }
@@ -89,13 +151,21 @@ class EvaluationStore final : public search::EvaluationStoreBase {
   using Key = std::tuple<std::string, std::vector<int>, int>;
 
   void load_or_create();
-  void write_line(std::ostream& os, const Key& key,
-                  const search::Evaluation& eval) const;
+  void load_framed(const std::string& text);
+  void load_legacy(const std::string& text);
+  std::string payload_for(const Key& key, const search::Evaluation& eval) const;
+  std::string snapshot_text() const;
+  std::size_t compact_locked();
+  void open_writer(bool truncate);
 
   std::string path_;
+  StoreConfig config_;
   mutable std::shared_mutex mutex_;
   std::map<Key, search::Evaluation> entries_;
-  std::ofstream out_;
+  std::unique_ptr<robust::JournalWriter> writer_;
+  bool fresh_start_ = false;     ///< load decided the file starts empty
+  bool needs_rewrite_ = false;   ///< load found damage/migration/dead bloat
+  bool degraded_ = false;
   StoreStats stats_;  // hit/miss tracked separately (atomics below)
   mutable std::atomic<std::size_t> hits_{0};
   mutable std::atomic<std::size_t> misses_{0};

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every persistence-layer record frame (robust/journal).
+// Chosen over CRC32 (IEEE) for its better error-detection properties on
+// short records and because hardware assists exist everywhere we may later
+// want them; this implementation is a portable slice-by-8 table walk so the
+// stored checksums are identical on every build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace metacore::util {
+
+/// CRC32C of `data`, with the conventional init/final XOR (0xFFFFFFFF).
+/// crc32c("123456789") == 0xE3069283 (the RFC 3720 check value).
+std::uint32_t crc32c(const void* data, std::size_t size) noexcept;
+
+inline std::uint32_t crc32c(std::string_view data) noexcept {
+  return crc32c(data.data(), data.size());
+}
+
+}  // namespace metacore::util

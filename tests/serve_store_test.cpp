@@ -1,8 +1,9 @@
-// Tests for the persistent content-addressed evaluation store: JSONL
-// round-trip fidelity, load-time compaction, crash-tail recovery, the
-// corruption policy (descriptive rejection of real damage), concurrent
-// reader/writer discipline, and the cold-search/warm-search equivalence
-// the design-query service builds on.
+// Tests for the persistent content-addressed evaluation store: framed
+// journal round-trip fidelity, load-time and manual compaction, crash-tail
+// recovery, the corruption policy (per-record CRC skip with counted
+// reasons; header-level problems reject), legacy v1 migration, divergent
+// duplicate detection, concurrent reader/writer discipline, and the
+// cold-search/warm-search equivalence the design-query service builds on.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -38,6 +39,10 @@ void append_raw(const std::string& path, const std::string& bytes) {
   os << bytes;
 }
 
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::trunc | std::ios::binary) << bytes;
+}
+
 search::Evaluation sample_eval(double cost) {
   search::Evaluation eval;
   eval.feasible = true;
@@ -52,6 +57,7 @@ TEST(EvaluationStore, CreatesFreshJournalWithHeader) {
   EvaluationStore store(path);
   EXPECT_EQ(store.size(), 0u);
   const std::string text = read_file(path);
+  EXPECT_NE(text.find("metacore-journal"), std::string::npos);
   EXPECT_NE(text.find("metacore-evaluation-store"), std::string::npos);
   EXPECT_EQ(text.back(), '\n');
   std::remove(path.c_str());
@@ -80,9 +86,11 @@ TEST(EvaluationStore, RoundTripsEvaluationsBitExactly) {
   }
   EvaluationStore reopened(path);
   EXPECT_EQ(reopened.size(), 3u);
-  EXPECT_EQ(reopened.stats().journal_lines, 3u);
-  EXPECT_EQ(reopened.stats().compacted_lines, 0u);
+  EXPECT_EQ(reopened.stats().journal_records, 3u);
+  EXPECT_EQ(reopened.stats().duplicate_records, 0u);
+  EXPECT_EQ(reopened.stats().skipped_records, 0u);
   EXPECT_EQ(reopened.stats().recovered_bytes, 0u);
+  EXPECT_FALSE(reopened.stats().degraded);
 
   const auto hit = reopened.lookup("fp-a", {0, 4}, 1);
   ASSERT_TRUE(hit.has_value());
@@ -129,10 +137,31 @@ TEST(EvaluationStore, FirstWriteWinsAndDuplicateAppendIsSkipped) {
   store.record("fp", {7}, 0, sample_eval(1.0));  // no-op
   EXPECT_EQ(store.size(), 1u);
   EXPECT_EQ(store.stats().appends, 1u);
+  EXPECT_EQ(store.stats().divergent_duplicates, 0u);
+  EXPECT_EQ(store.divergent_duplicates(), 0u);
   std::remove(path.c_str());
 }
 
-TEST(EvaluationStore, CompactsDuplicateJournalLinesOnLoad) {
+TEST(EvaluationStore, CountsDivergentDuplicates) {
+  const std::string path = temp_store_path("divergent.jsonl");
+  EvaluationStore store(path);
+  store.record("fp", {7}, 0, sample_eval(1.0));
+  store.record("fp", {7}, 0, sample_eval(1.0));  // bit-identical: fine
+  EXPECT_EQ(store.divergent_duplicates(), 0u);
+  // Same key, different evaluation: upstream determinism drift. First
+  // write still wins, but the divergence is counted, not masked.
+  store.record("fp", {7}, 0, sample_eval(2.0));
+  search::Evaluation infeasible = sample_eval(1.0);
+  infeasible.feasible = false;
+  store.record("fp", {7}, 0, infeasible);
+  EXPECT_EQ(store.divergent_duplicates(), 2u);
+  EXPECT_EQ(store.stats().divergent_duplicates, 2u);
+  ASSERT_TRUE(store.lookup("fp", {7}, 0).has_value());
+  EXPECT_EQ(store.lookup("fp", {7}, 0)->metric("cost"), 1.0);  // first write
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, CompactsDuplicateJournalRecordsOnLoad) {
   const std::string path = temp_store_path("compact.jsonl");
   {
     EvaluationStore store(path);
@@ -140,21 +169,60 @@ TEST(EvaluationStore, CompactsDuplicateJournalLinesOnLoad) {
   }
   // Simulate a second writer-epoch having appended the same key (e.g. two
   // runs racing before single-writer discipline was restored): duplicate
-  // the record line verbatim.
+  // the record frame verbatim. Dead ratio 1/2 >= the default 0.25, so the
+  // next open compacts.
   const std::string text = read_file(path);
   const std::size_t first_nl = text.find('\n');
   append_raw(path, text.substr(first_nl + 1));
   {
     EvaluationStore store(path);
     EXPECT_EQ(store.size(), 1u);
-    EXPECT_EQ(store.stats().journal_lines, 2u);
-    EXPECT_EQ(store.stats().compacted_lines, 1u);
+    EXPECT_EQ(store.stats().journal_records, 2u);
+    EXPECT_EQ(store.stats().duplicate_records, 1u);
+    EXPECT_EQ(store.stats().compactions, 1u);
   }
   // The rewrite is durable: a third open sees a clean compacted journal.
   EvaluationStore clean(path);
-  EXPECT_EQ(clean.stats().journal_lines, 1u);
-  EXPECT_EQ(clean.stats().compacted_lines, 0u);
+  EXPECT_EQ(clean.stats().journal_records, 1u);
+  EXPECT_EQ(clean.stats().duplicate_records, 0u);
+  EXPECT_EQ(clean.stats().compactions, 0u);
   ASSERT_TRUE(clean.lookup("fp", {7}, 0).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, ManualCompactReclaimsDeadBytes) {
+  const std::string path = temp_store_path("manual_compact.jsonl");
+  // Ratio-triggered compaction off: dead records accumulate until an
+  // explicit compact().
+  StoreConfig config;
+  config.auto_compact_dead_ratio = 0.0;
+  {
+    EvaluationStore store(path, config);
+    store.record("fp", {1}, 0, sample_eval(1.0));
+    store.record("fp", {2}, 0, sample_eval(2.0));
+  }
+  // Duplicate every record frame 4x (five copies total).
+  const std::string text = read_file(path);
+  const std::string frames = text.substr(text.find('\n') + 1);
+  for (int i = 0; i < 4; ++i) append_raw(path, frames);
+
+  EvaluationStore store(path, config);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().duplicate_records, 8u);
+  EXPECT_EQ(store.stats().compactions, 0u);  // ratio trigger disabled
+  const std::size_t before = read_file(path).size();
+  const std::size_t reclaimed = store.compact();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(read_file(path).size(), before - reclaimed);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(stats.compaction_bytes_before, before);
+  EXPECT_LT(stats.compaction_bytes_after, before);
+  // The compacted journal still accepts appends and replays cleanly.
+  store.record("fp", {3}, 0, sample_eval(3.0));
+  EvaluationStore reopened(path, config);
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_EQ(reopened.stats().duplicate_records, 0u);
   std::remove(path.c_str());
 }
 
@@ -165,15 +233,17 @@ TEST(EvaluationStore, RecoversUnterminatedCrashTail) {
     store.record("fp", {1}, 0, sample_eval(1.0));
     store.record("fp", {2}, 0, sample_eval(2.0));
   }
-  // A crash mid-append leaves a partial line with no trailing newline.
-  append_raw(path, "{\"fingerprint\":\"fp\",\"record\":{\"indi");
+  // A crash mid-append leaves an incomplete frame with no trailing
+  // newline: the frame claims more bytes than the file holds.
+  append_raw(path, "#0000002a|deadbeef|{\"fingerprint\":\"fp\",\"rec");
   {
     EvaluationStore store(path);
     EXPECT_EQ(store.size(), 2u);  // no completed evaluation lost
     EXPECT_GT(store.stats().recovered_bytes, 0u);
+    EXPECT_EQ(store.stats().skipped_records, 0u);  // a tail is not damage
     ASSERT_TRUE(store.lookup("fp", {1}, 0).has_value());
     ASSERT_TRUE(store.lookup("fp", {2}, 0).has_value());
-    // Recovery truncated the file: appends go to a clean journal.
+    // Recovery rewrote the file: appends go to a clean journal.
     store.record("fp", {3}, 0, sample_eval(3.0));
   }
   EvaluationStore clean(path);
@@ -184,7 +254,7 @@ TEST(EvaluationStore, RecoversUnterminatedCrashTail) {
 
 TEST(EvaluationStore, CrashDuringHeaderWriteStartsFresh) {
   const std::string path = temp_store_path("header_crash.jsonl");
-  append_raw(path, "{\"magic\":\"metacore-eval");  // no newline
+  append_raw(path, "{\"magic\":\"metacore-jour");  // no newline
   EvaluationStore store(path);
   EXPECT_EQ(store.size(), 0u);
   EXPECT_GT(store.stats().recovered_bytes, 0u);
@@ -194,62 +264,96 @@ TEST(EvaluationStore, CrashDuringHeaderWriteStartsFresh) {
   std::remove(path.c_str());
 }
 
-TEST(EvaluationStore, RejectsTerminatedGarbageLineDescriptively) {
+TEST(EvaluationStore, SkipsTerminatedGarbageWithCountedReason) {
   const std::string path = temp_store_path("garbage.jsonl");
   {
     EvaluationStore store(path);
     store.record("fp", {1}, 0, sample_eval(1.0));
   }
-  // Newline-terminated damage cannot be a crashed append: refuse loudly
-  // (recovery is reserved for the unterminated-tail case).
-  append_raw(path, "this is not json\n");
-  try {
+  // Newline-terminated damage cannot be a crashed append. With per-record
+  // CRCs the blast radius is one record: it is skipped with a counted,
+  // descriptive reason instead of poisoning the whole journal.
+  append_raw(path, "this is not a frame\n");
+  {
     EvaluationStore store(path);
-    FAIL() << "terminated garbage line must be rejected";
-  } catch (const std::runtime_error& e) {
-    const std::string what = e.what();
-    EXPECT_NE(what.find("corrupt at line 3"), std::string::npos) << what;
-    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_EQ(store.size(), 1u);
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.skipped_records, 1u);
+    ASSERT_FALSE(stats.skip_reasons.empty());
+    EXPECT_NE(stats.skip_reasons.front().find("framing"), std::string::npos)
+        << stats.skip_reasons.front();
+    ASSERT_TRUE(store.lookup("fp", {1}, 0).has_value());
   }
+  // Damage triggers a recovery rewrite: the next open is clean.
+  EvaluationStore clean(path);
+  EXPECT_EQ(clean.stats().skipped_records, 0u);
   std::remove(path.c_str());
 }
 
-TEST(EvaluationStore, RejectsGarbageMidFileDescriptively) {
+TEST(EvaluationStore, SkipsCorruptRecordMidFileAndKeepsTheRest) {
   const std::string path = temp_store_path("midfile.jsonl");
   {
     EvaluationStore store(path);
     store.record("fp", {1}, 0, sample_eval(1.0));
     store.record("fp", {2}, 0, sample_eval(2.0));
   }
-  // Corrupt the *first* record line (mid-file, terminated), leaving the
-  // later line intact: still real corruption, still rejected.
+  // Flip one payload byte of the *first* record frame (mid-file, still
+  // newline-terminated): its CRC no longer matches. Only that record is
+  // lost; the later record survives.
   std::string text = read_file(path);
-  const std::size_t first_nl = text.find('\n');
-  const std::size_t second_nl = text.find('\n', first_nl + 1);
-  text.replace(first_nl + 1, second_nl - first_nl - 1, "][junk][");
-  std::ofstream(path, std::ios::trunc | std::ios::binary) << text;
-  try {
+  const std::size_t first_frame = text.find("\n#") + 1;
+  const std::size_t payload_byte = first_frame + 19 + 5;
+  text[payload_byte] ^= 0x20;
+  write_file(path, text);
+  {
     EvaluationStore store(path);
-    FAIL() << "mid-file corruption must be rejected";
-  } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("corrupt at line 2"),
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_FALSE(store.lookup("fp", {1}, 0).has_value());
+    ASSERT_TRUE(store.lookup("fp", {2}, 0).has_value());
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.skipped_records, 1u);
+    ASSERT_FALSE(stats.skip_reasons.empty());
+    EXPECT_NE(stats.skip_reasons.front().find("CRC32C mismatch"),
               std::string::npos)
-        << e.what();
+        << stats.skip_reasons.front();
   }
+  EvaluationStore clean(path);
+  EXPECT_EQ(clean.stats().skipped_records, 0u);
+  EXPECT_EQ(clean.size(), 1u);
   std::remove(path.c_str());
 }
 
-TEST(EvaluationStore, RejectsVersionMismatchDescriptively) {
+TEST(EvaluationStore, RejectsJournalFormatVersionMismatchDescriptively) {
   const std::string path = temp_store_path("version.jsonl");
   { EvaluationStore store(path); }
   std::string text = read_file(path);
   const auto pos = text.find("\"version\":1");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 11, "\"version\":9");
-  std::ofstream(path, std::ios::trunc | std::ios::binary) << text;
+  write_file(path, text);
   try {
     EvaluationStore store(path);
-    FAIL() << "version mismatch must be rejected";
+    FAIL() << "journal format version mismatch must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, RejectsStoreSchemaVersionMismatchDescriptively) {
+  const std::string path = temp_store_path("kind_version.jsonl");
+  { EvaluationStore store(path); }
+  std::string text = read_file(path);
+  const std::string needle = "\"kind_version\":" + std::to_string(kStoreVersion);
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"kind_version\":9");
+  write_file(path, text);
+  try {
+    EvaluationStore store(path);
+    FAIL() << "store schema version mismatch must be rejected";
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("version"), std::string::npos) << what;
@@ -260,8 +364,7 @@ TEST(EvaluationStore, RejectsVersionMismatchDescriptively) {
 
 TEST(EvaluationStore, RejectsForeignFileDescriptively) {
   const std::string path = temp_store_path("foreign.jsonl");
-  std::ofstream(path, std::ios::trunc | std::ios::binary)
-      << "{\"magic\":\"something-else\",\"version\":1}\n";
+  write_file(path, "{\"magic\":\"something-else\",\"version\":1}\n");
   try {
     EvaluationStore store(path);
     FAIL() << "foreign file must be rejected";
@@ -269,6 +372,49 @@ TEST(EvaluationStore, RejectsForeignFileDescriptively) {
     EXPECT_NE(std::string(e.what()).find("not a metacore evaluation store"),
               std::string::npos)
         << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, MigratesLegacyV1StoreOnOpen) {
+  const std::string path = temp_store_path("legacy.jsonl");
+  // A pre-journal (version 1) store: JSONL, no frames, no checksums.
+  write_file(path,
+             "{\"magic\":\"metacore-evaluation-store\",\"version\":1}\n"
+             "{\"fingerprint\":\"fp\",\"record\":{\"indices\":[3,1],"
+             "\"fidelity\":1,\"feasible\":true,\"confidence_weight\":42,"
+             "\"failure_reason\":\"\",\"metrics\":{\"cost\":1.25}}}\n");
+  {
+    EvaluationStore store(path);
+    EXPECT_EQ(store.size(), 1u);
+    const auto hit = store.lookup("fp", {3, 1}, 1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->metric("cost"), 1.25);
+  }
+  // The open migrated the file to the framed format.
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("metacore-journal"), std::string::npos);
+  EXPECT_NE(text.find("\n#"), std::string::npos);
+  EvaluationStore reopened(path);
+  EXPECT_EQ(reopened.size(), 1u);
+  ASSERT_TRUE(reopened.lookup("fp", {3, 1}, 1).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(EvaluationStore, LegacyStoreStaysStrictAboutTerminatedGarbage) {
+  const std::string path = temp_store_path("legacy_garbage.jsonl");
+  // Without CRCs, damage and writer bugs are indistinguishable: the
+  // legacy policy (reject loudly) is preserved for legacy files.
+  write_file(path,
+             "{\"magic\":\"metacore-evaluation-store\",\"version\":1}\n"
+             "this is not json\n");
+  try {
+    EvaluationStore store(path);
+    FAIL() << "terminated garbage in a legacy store must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("corrupt at line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
   }
   std::remove(path.c_str());
 }
@@ -355,6 +501,7 @@ TEST(EvaluationStoreSearch, WarmStoreReproducesColdSearchWithZeroEvals) {
   }
   ASSERT_TRUE(cold.found_feasible);
   EXPECT_EQ(cold.store_hits, 0u);
+  EXPECT_EQ(cold.divergent_duplicates, 0u);
   EXPECT_GT(cold_calls.load(), 0u);
 
   // Warm rerun against a fresh store instance on the same journal: every
@@ -372,6 +519,7 @@ TEST(EvaluationStoreSearch, WarmStoreReproducesColdSearchWithZeroEvals) {
   EXPECT_EQ(warm.store_hits, cold.evaluations);
   EXPECT_EQ(warm.evaluations, cold.evaluations);
   EXPECT_EQ(warm.cache_hits, cold.cache_hits);
+  EXPECT_EQ(warm.divergent_duplicates, 0u);
   EXPECT_EQ(warm.levels_executed, cold.levels_executed);
   EXPECT_EQ(warm.best.indices, cold.best.indices);
   EXPECT_EQ(warm.best.values, cold.best.values);
