@@ -1,0 +1,226 @@
+// Networked design-server load generator: an in-process DesignServer on an
+// ephemeral loopback port, hammered by N client connections over real TCP.
+// Three passes measure the serving stack end to end (framing, epoll loop,
+// admission queue, dispatch, DesignService):
+//
+//   cold closed-loop  — empty store, each connection sends one query at a
+//                       time and waits; searches run from scratch
+//   warm closed-loop  — fresh server, same journal; searches replay out of
+//                       the store, so this isolates the wire + dispatch cost
+//   warm pipelined    — every connection bursts its whole batch before
+//                       reading anything (open loop), stressing the
+//                       multiplexer and the admission queue
+//
+// Client-side latency is recorded per request; p50/p99 and queries/sec for
+// each pass land in BENCH_serve.json (override with
+// METACORE_BENCH_SERVE_JSON) next to the bench_service records so the
+// socket tax is tracked across PRs.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace metacore;
+
+namespace {
+
+std::string bench_serve_json_path() {
+  const char* env = std::getenv("METACORE_BENCH_SERVE_JSON");
+  return (env != nullptr && env[0] != '\0') ? env : "BENCH_serve.json";
+}
+
+/// A small pool of distinct queries; every connection cycles through it so
+/// the warm pass replays exactly the points the cold pass journaled.
+std::vector<serve::DesignQuery> query_pool() {
+  std::vector<serve::DesignQuery> pool;
+  const std::size_t max_evals = bench::quick_mode() ? 16 : 48;
+  for (const double mbps : {1.0, 2.0, 3.0, 4.0}) {
+    serve::DesignQuery query;
+    query.kind = serve::QueryKind::Viterbi;
+    query.target_ber = 1e-2;
+    query.esn0_db = 1.0;
+    query.throughput_mbps = mbps;
+    query.ber_shards = 2;
+    query.budget.initial_points_per_dim = 2;
+    query.budget.max_resolution = 0;
+    query.budget.regions_per_level = 1;
+    query.budget.max_evaluations = max_evals;
+    pool.push_back(query);
+  }
+  return pool;
+}
+
+struct PassResult {
+  double wall_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double queries_per_sec = 0.0;
+  std::size_t queries = 0;
+  std::size_t errors = 0;
+  std::size_t store_hits = 0;
+};
+
+/// Runs one pass against a fresh server over the given journal.
+/// `pipelined` switches each connection from closed-loop (send, wait,
+/// repeat) to open-loop (burst everything, then drain the responses).
+PassResult run_pass(const std::string& store_path, std::size_t connections,
+                    std::size_t queries_per_connection, bool pipelined) {
+  serve::ServiceConfig service_config;
+  service_config.store_path = store_path;
+  auto service = std::make_shared<serve::DesignService>(service_config);
+  net::ServerConfig server_config;
+  server_config.max_pending_queries =
+      std::max<std::size_t>(256, connections * queries_per_connection);
+  net::DesignServer server(service, server_config);
+  server.start();
+
+  const auto pool = query_pool();
+  std::mutex merge_mutex;
+  std::vector<double> latencies_ms;
+  PassResult pass;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (std::size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      net::DesignClient client;
+      client.connect("127.0.0.1", server.port());
+      std::vector<double> local_ms;
+      std::size_t local_errors = 0;
+      if (pipelined) {
+        const auto burst_start = std::chrono::steady_clock::now();
+        std::vector<std::string> ids;
+        for (std::size_t q = 0; q < queries_per_connection; ++q) {
+          const std::string id =
+              "b" + std::to_string(c) + "-" + std::to_string(q);
+          client.send_query(id, pool[(c + q) % pool.size()]);
+          ids.push_back(id);
+        }
+        for (const auto& id : ids) {
+          const net::WireResponse r = client.recv_matching(id);
+          // Open loop: latency is measured from the burst, so it includes
+          // queue wait — that is the point of this pass.
+          local_ms.push_back(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() -
+                                 burst_start)
+                                 .count());
+          if (!r.ok()) ++local_errors;
+        }
+      } else {
+        for (std::size_t q = 0; q < queries_per_connection; ++q) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const net::WireResponse r =
+              client.query(pool[(c + q) % pool.size()]);
+          local_ms.push_back(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+          if (!r.ok()) ++local_errors;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+      pass.errors += local_errors;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  pass.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  pass.store_hits = service->stats().store_hits;
+  server.shutdown();
+
+  pass.queries = latencies_ms.size();
+  pass.p50_ms = util::percentile(latencies_ms, 50.0);
+  pass.p99_ms = util::percentile(latencies_ms, 99.0);
+  pass.queries_per_sec = pass.queries / (pass.wall_ms / 1000.0);
+  return pass;
+}
+
+void print_pass(const std::string& name, const PassResult& pass) {
+  std::cout << "  " << name << ": " << pass.queries << " queries in "
+            << util::format_double(pass.wall_ms, 0) << " ms ("
+            << util::format_double(pass.queries_per_sec, 1)
+            << " q/s), p50 " << util::format_double(pass.p50_ms, 2)
+            << " ms, p99 " << util::format_double(pass.p99_ms, 2) << " ms, "
+            << pass.store_hits << " store hits, " << pass.errors
+            << " errors\n";
+}
+
+bench::BenchRecord to_record(const std::string& name, const PassResult& pass,
+                             std::size_t connections) {
+  bench::BenchRecord record;
+  record.name = name;
+  record.values["connections"] = static_cast<double>(connections);
+  record.values["queries"] = static_cast<double>(pass.queries);
+  record.values["wall_ms"] = pass.wall_ms;
+  record.values["queries_per_sec"] = pass.queries_per_sec;
+  record.values["p50_ms"] = pass.p50_ms;
+  record.values["p99_ms"] = pass.p99_ms;
+  record.values["errors"] = static_cast<double>(pass.errors);
+  record.values["store_hits"] = static_cast<double>(pass.store_hits);
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Design server: socket-level load (cold, warm, pipelined)",
+      "the net/ serving layer over Section 4.4's search");
+  const std::size_t connections = bench::quick_mode() ? 2 : 8;
+  const std::size_t queries_per_connection = bench::quick_mode() ? 3 : 6;
+  std::cout << connections << " connection(s) x " << queries_per_connection
+            << " query(ies) each, loopback TCP\n\n";
+
+  const std::string store_path = "bench_server_store.jsonl";
+  std::remove(store_path.c_str());
+
+  const PassResult cold =
+      run_pass(store_path, connections, queries_per_connection, false);
+  print_pass("cold closed-loop", cold);
+
+  const PassResult warm =
+      run_pass(store_path, connections, queries_per_connection, false);
+  print_pass("warm closed-loop", warm);
+
+  const PassResult burst =
+      run_pass(store_path, connections, queries_per_connection, true);
+  print_pass("warm pipelined ", burst);
+
+  // The cold pass may legitimately record some store hits: connections
+  // share the journal, so a query overlapping one another connection
+  // already finished replays those points. Warm passes must hit.
+  const bool consistent =
+      cold.errors == 0 && warm.errors == 0 && burst.errors == 0 &&
+      warm.store_hits > 0 && burst.store_hits > 0;
+  std::cout << "\ncold/warm speedup: "
+            << util::format_double(cold.wall_ms / warm.wall_ms, 1)
+            << "x, accounting "
+            << (consistent ? "consistent" : "INCONSISTENT") << "\n";
+
+  std::vector<bench::BenchRecord> records;
+  records.push_back(to_record("serve_socket_cold", cold, connections));
+  records.push_back(to_record("serve_socket_warm", warm, connections));
+  records.push_back(to_record("serve_socket_pipelined", burst, connections));
+  for (auto& record : records) {
+    record.labels["consistent"] = consistent ? "true" : "false";
+  }
+  bench::append_bench_records(records, bench_serve_json_path());
+  std::cout << "bench records appended to " << bench_serve_json_path()
+            << "\n";
+
+  std::remove(store_path.c_str());
+  return consistent ? 0 : 1;
+}

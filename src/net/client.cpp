@@ -1,0 +1,172 @@
+#include "net/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace metacore::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+DesignClient::~DesignClient() { close(); }
+
+void DesignClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void DesignClient::connect(const std::string& host, int port,
+                           int timeout_ms) {
+  close();
+  timeout_ms_ = timeout_ms;
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &results);
+  if (rc != 0) {
+    throw std::runtime_error("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+
+  int last_errno = 0;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                            ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd_ = fd;
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  if (fd_ < 0) {
+    errno = last_errno;
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+}
+
+void DesignClient::send_all(const std::string& bytes) {
+  if (fd_ < 0) throw std::runtime_error("client is not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+void DesignClient::send_query(const std::string& id,
+                              const serve::DesignQuery& query) {
+  Request request;
+  request.id = id;
+  request.kind = RequestKind::Query;
+  request.query = query;
+  send_raw(to_json(request));
+}
+
+void DesignClient::send_stats(const std::string& id) {
+  Request request;
+  request.id = id;
+  request.kind = RequestKind::Stats;
+  send_raw(to_json(request));
+}
+
+void DesignClient::send_raw(const std::string& payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 1);
+  append_frame(framed, payload);
+  send_all(framed);
+}
+
+WireResponse DesignClient::recv_response() {
+  if (fd_ < 0) throw std::runtime_error("client is not connected");
+  char buf[65536];
+  for (;;) {
+    if (auto frame = decoder_.next()) {
+      if (frame->oversized) {
+        throw std::runtime_error("response frame exceeds the client limit");
+      }
+      return parse_wire_response(frame->payload);
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      throw std::runtime_error("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw std::runtime_error("timed out waiting for a response (" +
+                               std::to_string(timeout_ms_) + " ms)");
+    }
+    throw_errno("recv");
+  }
+}
+
+WireResponse DesignClient::recv_matching(const std::string& id) {
+  auto it = out_of_order_.find(id);
+  if (it != out_of_order_.end()) {
+    WireResponse response = std::move(it->second);
+    out_of_order_.erase(it);
+    return response;
+  }
+  for (;;) {
+    WireResponse response = recv_response();
+    if (response.id == id) return response;
+    out_of_order_[response.id] = std::move(response);
+  }
+}
+
+std::string DesignClient::next_id() {
+  return "c" + std::to_string(++next_seq_);
+}
+
+WireResponse DesignClient::query(const serve::DesignQuery& query) {
+  const std::string id = next_id();
+  send_query(id, query);
+  return recv_matching(id);
+}
+
+WireResponse DesignClient::stats() {
+  const std::string id = next_id();
+  send_stats(id);
+  return recv_matching(id);
+}
+
+}  // namespace metacore::net

@@ -1,0 +1,75 @@
+// Blocking TCP client for the networked design-query protocol. One
+// connection multiplexes any number of in-flight requests: send_query /
+// send_stats tag each frame with a caller-chosen id, recv_response returns
+// envelopes in server order, and the query()/stats() conveniences pair the
+// two (buffering any out-of-order responses so interleaved use is safe).
+//
+// The raw response JSON is preserved byte-exactly (WireResponse::
+// response_json), so a client can compare a networked answer against an
+// in-process serve::to_json(DesignService::submit(...)) result — the
+// determinism tests and the warm-store smoke do exactly that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace metacore::net {
+
+class DesignClient {
+ public:
+  DesignClient() = default;
+  ~DesignClient();
+
+  DesignClient(const DesignClient&) = delete;
+  DesignClient& operator=(const DesignClient&) = delete;
+
+  /// Connects to host:port (numeric IPv4 or a resolvable name such as
+  /// "localhost"). `timeout_ms` bounds connect, and every subsequent
+  /// send/receive. Throws std::runtime_error on failure.
+  void connect(const std::string& host, int port, int timeout_ms = 30000);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Multiplexed primitives: frame off one request without waiting.
+  void send_query(const std::string& id, const serve::DesignQuery& query);
+  void send_stats(const std::string& id);
+  /// Ships an arbitrary payload as one frame — the malformed/garbage-frame
+  /// tests use this to poke the server off the happy path.
+  void send_raw(const std::string& payload);
+
+  /// Next response envelope in server order (may belong to any in-flight
+  /// id). Throws on timeout or connection loss.
+  WireResponse recv_response();
+
+  /// Blocking conveniences: send with an auto-assigned id and wait for the
+  /// matching response; envelopes for other ids are buffered for later
+  /// recv_matching calls.
+  WireResponse query(const serve::DesignQuery& query);
+  WireResponse stats();
+
+  /// Waits for the response with this exact id (drawing from the buffer
+  /// first, then the socket).
+  WireResponse recv_matching(const std::string& id);
+
+  /// A fresh request id unique within this client ("c1", "c2", ...).
+  std::string next_id();
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  void send_all(const std::string& bytes);
+
+  int fd_ = -1;
+  int timeout_ms_ = 30000;
+  std::uint64_t next_seq_ = 0;
+  FrameDecoder decoder_;
+  std::map<std::string, WireResponse> out_of_order_;
+};
+
+}  // namespace metacore::net

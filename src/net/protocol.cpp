@@ -1,0 +1,251 @@
+#include "net/protocol.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "robust/json.hpp"
+
+namespace metacore::net {
+
+namespace {
+
+using robust::JsonValue;
+
+constexpr const char* kWhat = "request";
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+/// Advances past the JSON string whose opening quote is at `i`; returns
+/// the index one past the closing quote. Throws on an unterminated string.
+std::size_t skip_string(const std::string& s, std::size_t i) {
+  ++i;  // opening quote
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      i += 2;
+    } else if (s[i] == '"') {
+      return i + 1;
+    } else {
+      ++i;
+    }
+  }
+  throw std::runtime_error("json scan: unterminated string");
+}
+
+/// Advances past one JSON value starting at `i` (object, array, string, or
+/// bare literal); returns the index one past its last byte.
+std::size_t skip_value(const std::string& s, std::size_t i) {
+  i = skip_ws(s, i);
+  if (i >= s.size()) throw std::runtime_error("json scan: truncated value");
+  const char c = s[i];
+  if (c == '"') return skip_string(s, i);
+  if (c == '{' || c == '[') {
+    int depth = 0;
+    while (i < s.size()) {
+      const char d = s[i];
+      if (d == '"') {
+        i = skip_string(s, i);
+        continue;
+      }
+      if (d == '{' || d == '[') ++depth;
+      if (d == '}' || d == ']') {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    throw std::runtime_error("json scan: unbalanced braces");
+  }
+  // Bare literal (number, true/false/null, inf/nan): runs to the next
+  // structural character.
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         !std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+std::string extract_raw_member(const std::string& json,
+                               const std::string& key) {
+  std::size_t i = skip_ws(json, 0);
+  if (i >= json.size() || json[i] != '{') {
+    throw std::runtime_error("json scan: document is not an object");
+  }
+  ++i;
+  for (;;) {
+    i = skip_ws(json, i);
+    if (i < json.size() && json[i] == '}') return "";
+    if (i >= json.size() || json[i] != '"') {
+      throw std::runtime_error("json scan: expected member key");
+    }
+    const std::size_t key_start = i + 1;
+    i = skip_string(json, i);
+    const std::string raw_key =
+        json.substr(key_start, i - 1 - key_start);  // raw, escapes kept
+    i = skip_ws(json, i);
+    if (i >= json.size() || json[i] != ':') {
+      throw std::runtime_error("json scan: expected ':' after member key");
+    }
+    const std::size_t value_start = skip_ws(json, i + 1);
+    const std::size_t value_end = skip_value(json, value_start);
+    if (raw_key == key) {
+      return json.substr(value_start, value_end - value_start);
+    }
+    i = skip_ws(json, value_end);
+    if (i < json.size() && json[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < json.size() && json[i] == '}') return "";
+    throw std::runtime_error("json scan: expected ',' or '}' after member");
+  }
+}
+
+std::string to_json(const Request& request) {
+  std::ostringstream os;
+  os << "{\"id\":";
+  robust::write_escaped(os, request.id);
+  os << ",\"kind\":\""
+     << (request.kind == RequestKind::Query ? "query" : "stats") << '"';
+  if (request.kind == RequestKind::Query) {
+    os << ",\"query\":" << serve::to_json(request.query);
+  }
+  os << '}';
+  return os.str();
+}
+
+Request parse_request(const std::string& json) {
+  const JsonValue doc = robust::parse_json(json, kWhat);
+  if (doc.type != JsonValue::Type::Object) {
+    throw std::runtime_error(std::string(kWhat) +
+                             ": frame must be a JSON object");
+  }
+  Request request;
+  const JsonValue& id = robust::require(doc, "id", JsonValue::Type::String,
+                                        kWhat);
+  if (id.string.empty()) {
+    throw std::runtime_error(std::string(kWhat) +
+                             ": 'id' must be a non-empty string");
+  }
+  if (id.string.size() > kMaxRequestIdBytes) {
+    throw std::runtime_error(std::string(kWhat) + ": 'id' exceeds " +
+                             std::to_string(kMaxRequestIdBytes) + " bytes");
+  }
+  request.id = id.string;
+  const JsonValue& kind = robust::require(doc, "kind",
+                                          JsonValue::Type::String, kWhat);
+  if (kind.string == "query") {
+    request.kind = RequestKind::Query;
+    const JsonValue* query = doc.find("query");
+    if (!query || query->type != JsonValue::Type::Object) {
+      throw std::runtime_error(
+          std::string(kWhat) +
+          ": kind \"query\" requires a 'query' object member");
+    }
+    request.query = serve::parse_design_query(extract_raw_member(json,
+                                                                 "query"));
+  } else if (kind.string == "stats") {
+    request.kind = RequestKind::Stats;
+  } else {
+    throw std::runtime_error(std::string(kWhat) +
+                             ": 'kind' must be \"query\" or \"stats\"");
+  }
+  return request;
+}
+
+std::string best_effort_request_id(const std::string& json) {
+  try {
+    const JsonValue doc = robust::parse_json(json, kWhat);
+    const JsonValue* id = doc.find("id");
+    if (id && id->type == JsonValue::Type::String &&
+        !id->string.empty() && id->string.size() <= kMaxRequestIdBytes) {
+      return id->string;
+    }
+  } catch (...) {
+    // Unrecoverable frame: the error response carries an empty id.
+  }
+  return {};
+}
+
+namespace {
+
+std::string envelope_prefix(const std::string& id, const char* status) {
+  std::ostringstream os;
+  os << "{\"id\":";
+  robust::write_escaped(os, id);
+  os << ",\"status\":\"" << status << '"';
+  return os.str();
+}
+
+}  // namespace
+
+std::string make_design_response(const std::string& id,
+                                 const std::string& response_json) {
+  return envelope_prefix(id, "ok") + ",\"response\":" + response_json + "}";
+}
+
+std::string make_stats_response(const std::string& id,
+                                const std::string& stats_json) {
+  return envelope_prefix(id, "ok") + ",\"stats\":" + stats_json + "}";
+}
+
+std::string make_rejected_response(const std::string& id,
+                                   const std::string& reason,
+                                   std::size_t queue_depth) {
+  std::ostringstream os;
+  os << envelope_prefix(id, "rejected") << ",\"reason\":";
+  robust::write_escaped(os, reason);
+  os << ",\"queue_depth\":" << queue_depth << '}';
+  return os.str();
+}
+
+std::string make_error_response(const std::string& id,
+                                const std::string& message) {
+  std::ostringstream os;
+  os << envelope_prefix(id, "error") << ",\"error\":";
+  robust::write_escaped(os, message);
+  os << '}';
+  return os.str();
+}
+
+WireResponse parse_wire_response(const std::string& json) {
+  constexpr const char* what = "response";
+  const JsonValue doc = robust::parse_json(json, what);
+  if (doc.type != JsonValue::Type::Object) {
+    throw std::runtime_error(std::string(what) +
+                             ": frame must be a JSON object");
+  }
+  WireResponse response;
+  response.id =
+      robust::require(doc, "id", JsonValue::Type::String, what).string;
+  response.status =
+      robust::require(doc, "status", JsonValue::Type::String, what).string;
+  if (response.status != "ok" && response.status != "rejected" &&
+      response.status != "error") {
+    throw std::runtime_error(std::string(what) + ": unknown status '" +
+                             response.status + "'");
+  }
+  if (const JsonValue* reason = doc.find("reason")) {
+    if (reason->type == JsonValue::Type::String) {
+      response.reason = reason->string;
+    }
+  }
+  if (const JsonValue* error = doc.find("error")) {
+    if (error->type == JsonValue::Type::String) response.reason = error->string;
+  }
+  if (const JsonValue* depth = doc.find("queue_depth")) {
+    if (depth->type == JsonValue::Type::Number && depth->number >= 0) {
+      response.queue_depth = static_cast<std::size_t>(depth->number);
+    }
+  }
+  response.response_json = extract_raw_member(json, "response");
+  response.stats_json = extract_raw_member(json, "stats");
+  return response;
+}
+
+}  // namespace metacore::net

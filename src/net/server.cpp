@@ -1,0 +1,666 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/protocol.hpp"
+#include "robust/json.hpp"
+#include "util/stats.hpp"
+
+namespace metacore::net {
+
+namespace {
+
+// epoll user-data tags; connection ids start above the reserved values.
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+constexpr std::size_t kLatencyWindow = 8192;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || value == 0) {
+    throw std::invalid_argument(std::string(name) +
+                                " must be a positive integer, got '" + env +
+                                "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+ServerConfig ServerConfig::from_env() {
+  ServerConfig config;
+  config.max_pending_queries =
+      env_size("METACORE_SERVER_QUEUE", config.max_pending_queries);
+  config.max_frame_bytes =
+      env_size("METACORE_SERVER_MAX_FRAME", config.max_frame_bytes);
+  return config;
+}
+
+std::string to_json(const ServerStats& stats) {
+  std::ostringstream os;
+  os << "{\"accepted_connections\":" << stats.accepted_connections
+     << ",\"active_connections\":" << stats.active_connections
+     << ",\"queries_received\":" << stats.queries_received
+     << ",\"queries_served\":" << stats.queries_served
+     << ",\"queries_rejected\":" << stats.queries_rejected
+     << ",\"query_errors\":" << stats.query_errors
+     << ",\"stats_requests\":" << stats.stats_requests
+     << ",\"malformed_frames\":" << stats.malformed_frames
+     << ",\"oversized_frames\":" << stats.oversized_frames
+     << ",\"dropped_responses\":" << stats.dropped_responses
+     << ",\"queue_depth\":" << stats.queue_depth
+     << ",\"in_flight\":" << stats.in_flight << ",\"latency_p50_ms\":";
+  robust::write_double(os, stats.latency_p50_ms);
+  os << ",\"latency_p99_ms\":";
+  robust::write_double(os, stats.latency_p99_ms);
+  os << ",\"latency_samples\":" << stats.latency_samples << '}';
+  return os.str();
+}
+
+struct DesignServer::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  FrameDecoder decoder;
+  /// Response frames awaiting the socket; the front one may be partially
+  /// written (outbox_offset bytes already sent).
+  std::deque<std::string> outbox;
+  std::size_t outbox_offset = 0;
+  bool epollout_armed = false;
+
+  explicit Connection(std::size_t max_frame_bytes)
+      : decoder(max_frame_bytes) {}
+};
+
+struct DesignServer::PendingQuery {
+  std::uint64_t conn_id = 0;
+  std::string request_id;
+  serve::DesignQuery query;
+  std::chrono::steady_clock::time_point arrival;
+};
+
+struct DesignServer::Completion {
+  std::uint64_t conn_id = 0;
+  std::string envelope;
+};
+
+DesignServer::DesignServer(std::shared_ptr<serve::DesignService> service,
+                           ServerConfig config)
+    : service_(std::move(service)), config_(std::move(config)) {
+  if (!service_) {
+    throw std::invalid_argument("DesignServer requires a DesignService");
+  }
+  latency_window_.reserve(kLatencyWindow);
+}
+
+DesignServer::~DesignServer() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructors must not throw; the sockets are closed regardless.
+  }
+}
+
+void DesignServer::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("DesignServer::start called twice");
+  }
+  // An abandoned client must never kill the process: without this, the
+  // first write to a half-closed socket raises SIGPIPE. Writes also pass
+  // MSG_NOSIGNAL, but ignoring process-wide covers every path.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("invalid bind address: " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind/listen on " + config_.bind_address + ":" +
+                std::to_string(config_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("epoll_create1/eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    io_stopped_ = false;
+  }
+  running_.store(true);
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void DesignServer::request_shutdown() noexcept {
+  draining_.store(true);
+  wake_io();
+}
+
+void DesignServer::wake_io() noexcept {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; nothing to do on error.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void DesignServer::wait() {
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  stopped_cv_.wait(lock, [&] { return io_stopped_; });
+}
+
+void DesignServer::shutdown() {
+  if (!started_.load()) return;
+  request_shutdown();
+  wait();
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_dispatch_ = true;
+  }
+  queue_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  epoll_fd_ = wake_fd_ = -1;
+  running_.store(false);
+}
+
+bool DesignServer::drain_complete() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!pending_.empty() || in_flight_ != 0) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    if (!completions_.empty()) return false;
+  }
+  for (const auto& [id, conn] : connections_) {
+    if (!conn->outbox.empty()) return false;
+  }
+  return true;
+}
+
+void DesignServer::io_loop() {
+  epoll_event events[64];
+  bool listener_closed = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+  for (;;) {
+    const bool draining = draining_.load();
+    if (draining && !listener_closed) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listener_closed = true;
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(config_.drain_flush_timeout_ms);
+    }
+    if (draining) {
+      if (drain_complete()) break;
+      // Admitted queries always run to completion, however long they
+      // take: the flush timeout clocks only the final phase, where the
+      // sole remaining work is clients reading their responses.
+      bool work_remaining;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        work_remaining = !pending_.empty() || in_flight_ != 0;
+      }
+      if (!work_remaining) {
+        std::lock_guard<std::mutex> lock(completion_mutex_);
+        work_remaining = !completions_.empty();
+      }
+      if (work_remaining) {
+        drain_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.drain_flush_timeout_ms);
+      } else if (std::chrono::steady_clock::now() >= drain_deadline) {
+        // Clients that never read their final responses: force-close and
+        // count what they left behind.
+        std::size_t abandoned = 0;
+        for (const auto& [id, conn] : connections_) {
+          abandoned += conn->outbox.size();
+        }
+        if (abandoned > 0) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.dropped_responses += abandoned;
+        }
+        break;
+      }
+    }
+    const int timeout_ms = draining ? 20 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        std::uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &counter, sizeof(counter));
+        continue;
+      }
+      if (tag == kListenTag) {
+        if (!listener_closed) accept_ready();
+        continue;
+      }
+      auto it = connections_.find(tag);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      Connection& conn = *it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_connection(tag, "hangup");
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        connection_writable(conn);
+        if (connections_.find(tag) == connections_.end()) continue;
+      }
+      if (events[i].events & EPOLLIN) connection_readable(conn);
+    }
+    drain_completions();
+  }
+
+  // Loop exited: close every socket.
+  for (auto& [id, conn] : connections_) {
+    ::close(conn->fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.active_connections = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    io_stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void DesignServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (connections_.size() >= config_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint64_t id = kFirstConnId + next_conn_id_++;
+    auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
+    conn->fd = fd;
+    conn->id = id;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted_connections;
+    stats_.active_connections = connections_.size();
+  }
+}
+
+void DesignServer::connection_readable(Connection& conn) {
+  const std::uint64_t id = conn.id;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.decoder.feed(buf, static_cast<std::size_t>(n));
+      while (auto frame = conn.decoder.next()) {
+        handle_frame(conn, *frame);
+        // handle_frame writes the response; a dead socket closes the
+        // connection out from under us.
+        if (connections_.find(id) == connections_.end()) return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      close_connection(id, "eof");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_connection(id, "read error");
+    return;
+  }
+}
+
+void DesignServer::connection_writable(Connection& conn) {
+  flush_outbox(conn);
+}
+
+void DesignServer::handle_frame(Connection& conn, const Frame& frame) {
+  if (frame.oversized) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.oversized_frames;
+    }
+    std::ostringstream msg;
+    msg << "frame exceeds the " << config_.max_frame_bytes
+        << "-byte limit (" << frame.dropped_bytes
+        << " bytes dropped); the request id could not be recovered";
+    enqueue_response(conn, make_error_response("", msg.str()));
+    return;
+  }
+
+  Request request;
+  try {
+    request = parse_request(frame.payload);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.malformed_frames;
+    }
+    enqueue_response(
+        conn, make_error_response(best_effort_request_id(frame.payload),
+                                  e.what()));
+    return;
+  }
+
+  if (request.kind == RequestKind::Stats) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.stats_requests;
+    }
+    enqueue_response(conn, make_stats_response(request.id, stats_json()));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries_received;
+  }
+  bool rejected = false;
+  const char* reason = "";
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    depth = pending_.size();
+    if (draining_.load()) {
+      rejected = true;
+      reason = "draining";
+    } else if (pending_.size() >= config_.max_pending_queries) {
+      rejected = true;
+      reason = "overloaded";
+    } else {
+      PendingQuery pending;
+      pending.conn_id = conn.id;
+      pending.request_id = request.id;
+      pending.query = std::move(request.query);
+      pending.arrival = std::chrono::steady_clock::now();
+      pending_.push_back(std::move(pending));
+    }
+  }
+  if (rejected) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.queries_rejected;
+    }
+    enqueue_response(conn, make_rejected_response(request.id, reason, depth));
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
+void DesignServer::enqueue_response(Connection& conn,
+                                    const std::string& envelope) {
+  std::string framed;
+  framed.reserve(envelope.size() + 1);
+  append_frame(framed, envelope);
+  conn.outbox.push_back(std::move(framed));
+  flush_outbox(conn);
+}
+
+bool DesignServer::flush_outbox(Connection& conn) {
+  while (!conn.outbox.empty()) {
+    const std::string& front = conn.outbox.front();
+    const ssize_t n =
+        ::send(conn.fd, front.data() + conn.outbox_offset,
+               front.size() - conn.outbox_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbox_offset += static_cast<std::size_t>(n);
+      if (conn.outbox_offset == front.size()) {
+        conn.outbox.pop_front();
+        conn.outbox_offset = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.epollout_armed) {
+        conn.epollout_armed = true;
+        update_epoll(conn);
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET / anything else: the client is gone. Every frame
+    // still in the outbox (including the half-written front) is lost.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.dropped_responses += conn.outbox.size();
+    }
+    close_connection(conn.id, "write error");
+    return false;
+  }
+  if (conn.epollout_armed) {
+    conn.epollout_armed = false;
+    update_epoll(conn);
+  }
+  return true;
+}
+
+void DesignServer::update_epoll(Connection& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn.epollout_armed ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void DesignServer::close_connection(std::uint64_t conn_id, const char*) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  connections_.erase(it);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.active_connections = connections_.size();
+}
+
+void DesignServer::drain_completions() {
+  std::deque<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    auto it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) {
+      // The client disconnected while its query ran: the work still
+      // completed (and fed the store/archive); only delivery was lost.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.dropped_responses;
+      continue;
+    }
+    enqueue_response(*it->second, completion.envelope);
+  }
+}
+
+void DesignServer::dispatch_loop() {
+  for (;;) {
+    std::vector<PendingQuery> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [&] { return stop_dispatch_ || !pending_.empty(); });
+      if (pending_.empty()) {
+        if (stop_dispatch_) return;
+        continue;
+      }
+      // Drain everything queued: one submit_batch per drain, so queries
+      // that piled up behind a slow batch are deduplicated, coalesced,
+      // and fingerprint-grouped together by the service.
+      batch.reserve(pending_.size());
+      while (!pending_.empty()) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      in_flight_ = batch.size();
+    }
+
+    std::vector<serve::DesignQuery> queries;
+    queries.reserve(batch.size());
+    for (const PendingQuery& pending : batch) queries.push_back(pending.query);
+
+    std::vector<std::string> envelopes(batch.size());
+    std::size_t served = 0;
+    std::size_t errors = 0;
+    try {
+      const std::vector<serve::DesignResponse> responses =
+          service_->submit_batch(queries);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        envelopes[i] = make_design_response(batch[i].request_id,
+                                            serve::to_json(responses[i]));
+      }
+      served = batch.size();
+    } catch (...) {
+      // A poisoned query fails the whole fan-out; isolate it by running
+      // the batch sequentially so every other query still gets its
+      // answer and only the bad one carries an error envelope.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        try {
+          envelopes[i] = make_design_response(
+              batch[i].request_id, serve::to_json(service_->submit(queries[i])));
+          ++served;
+        } catch (const std::exception& e) {
+          envelopes[i] = make_error_response(batch[i].request_id, e.what());
+          ++errors;
+        }
+      }
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.queries_served += served;
+      stats_.query_errors += errors;
+      for (const PendingQuery& pending : batch) {
+        const double ms =
+            std::chrono::duration<double, std::milli>(now - pending.arrival)
+                .count();
+        if (latency_window_.size() < kLatencyWindow) {
+          latency_window_.push_back(ms);
+        } else {
+          latency_window_[latency_next_ % kLatencyWindow] = ms;
+        }
+        ++latency_next_;
+        ++stats_.latency_samples;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        completions_.push_back(
+            Completion{batch[i].conn_id, std::move(envelopes[i])});
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      in_flight_ = 0;
+    }
+    wake_io();
+  }
+}
+
+ServerStats DesignServer::stats() const {
+  ServerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+    if (!latency_window_.empty()) {
+      std::vector<double> window = latency_window_;
+      snapshot.latency_p50_ms = util::percentile(window, 50.0);
+      snapshot.latency_p99_ms = util::percentile(std::move(window), 99.0);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    snapshot.queue_depth = pending_.size();
+    snapshot.in_flight = in_flight_;
+  }
+  return snapshot;
+}
+
+std::string DesignServer::stats_json() const {
+  return "{\"server\":" + to_json(stats()) +
+         ",\"service\":" + service_->stats_json() + "}";
+}
+
+}  // namespace metacore::net

@@ -1,0 +1,205 @@
+// Networked front end for the design-query service: a small epoll-based
+// TCP server speaking the newline-delimited JSON protocol of
+// net/protocol.hpp.
+//
+// Threading model (two threads + the exec pool, no thread per connection):
+//
+//   * One I/O thread owns every socket: non-blocking accept/read/write
+//     behind epoll, frame decoding, request parsing, and response writes.
+//     It never executes a query — `stats` requests are answered inline
+//     (they are a counter snapshot), `query` requests are admitted into a
+//     bounded pending queue.
+//   * One dispatch thread drains the pending queue in arrival order and
+//     hands each drained batch to DesignService::submit_batch — so the
+//     in-flight coalescing, per-fingerprint sequencing, and exec-pool
+//     fan-out built in PR 3 serve network traffic unchanged. Completed
+//     responses flow back to the I/O thread over an eventfd-signalled
+//     completion queue.
+//
+// Backpressure / admission control: the pending queue is bounded
+// (ServerConfig::max_pending_queries, env METACORE_SERVER_QUEUE). A query
+// arriving while the queue is full gets an immediate structured
+// {"status":"rejected","reason":"overloaded"} response — the server never
+// queues unboundedly, and a client that keeps pipelining into an
+// overloaded server only ever costs one small rejection frame per query.
+//
+// Graceful drain: shutdown() (or request_shutdown() from a SIGTERM
+// handler — it is async-signal-safe) stops accepting, rejects newly
+// arriving queries with reason "draining", finishes every admitted query,
+// flushes the responses, closes every socket, and returns. The final
+// stats snapshot is available afterwards via stats()/stats_json().
+//
+// Client disconnects are survivable by construction: SIGPIPE is ignored
+// process-wide at start() (writes use MSG_NOSIGNAL as well), and a
+// response whose connection died before it could be written is counted in
+// ServerStats::dropped_responses instead of killing the process.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/service.hpp"
+
+namespace metacore::net {
+
+struct ServerConfig {
+  /// Bind address; loopback by default (a deployment fronting real
+  /// traffic sets "0.0.0.0" explicitly).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back with port()).
+  int port = 0;
+  /// Admission quota: queries queued-but-not-yet-dispatched before the
+  /// server answers "rejected: overloaded". Env: METACORE_SERVER_QUEUE.
+  std::size_t max_pending_queries = 256;
+  /// Per-frame read limit; an oversized line is dropped (connection
+  /// survives) and answered with a descriptive error.
+  /// Env: METACORE_SERVER_MAX_FRAME.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Accepted-connection cap; excess accepts are closed immediately.
+  std::size_t max_connections = 1024;
+  /// During drain, how long to wait for clients to read their final
+  /// responses before force-closing.
+  int drain_flush_timeout_ms = 5000;
+
+  /// Defaults with METACORE_SERVER_QUEUE / METACORE_SERVER_MAX_FRAME
+  /// applied; throws std::invalid_argument on malformed values.
+  static ServerConfig from_env();
+};
+
+/// Monotonic counters since start() plus a latency snapshot. Service-level
+/// accounting (coalescing, store hits) lives in serve::ServiceStats; the
+/// wire `stats` response carries both.
+struct ServerStats {
+  std::size_t accepted_connections = 0;
+  std::size_t active_connections = 0;
+  std::size_t queries_received = 0;  ///< well-formed query frames
+  std::size_t queries_served = 0;    ///< ok responses queued for write
+  std::size_t queries_rejected = 0;  ///< overloaded/draining rejections
+  std::size_t query_errors = 0;      ///< queries answered with status error
+  std::size_t stats_requests = 0;
+  std::size_t malformed_frames = 0;  ///< frames failing parse_request
+  std::size_t oversized_frames = 0;  ///< frames over max_frame_bytes
+  std::size_t dropped_responses = 0; ///< connection died before delivery
+  std::size_t queue_depth = 0;       ///< pending queries right now
+  std::size_t in_flight = 0;         ///< queries inside submit_batch now
+  /// Service latency (admission to response-ready) over a sliding window
+  /// of up to 8192 recent queries.
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  std::size_t latency_samples = 0;   ///< total latency samples recorded
+};
+
+std::string to_json(const ServerStats& stats);
+
+class DesignServer {
+ public:
+  /// The server shares the service (and through it the store): in-process
+  /// submits and networked queries coalesce against each other.
+  explicit DesignServer(std::shared_ptr<serve::DesignService> service,
+                        ServerConfig config = ServerConfig::from_env());
+  ~DesignServer();
+
+  DesignServer(const DesignServer&) = delete;
+  DesignServer& operator=(const DesignServer&) = delete;
+
+  /// Binds, listens, and spawns the I/O + dispatch threads. Throws
+  /// std::runtime_error on socket/bind failure. Ignores SIGPIPE
+  /// process-wide (abandoned clients must never kill the server).
+  void start();
+
+  /// The bound TCP port (resolves an ephemeral request); 0 before start().
+  int port() const noexcept { return port_; }
+
+  bool running() const noexcept { return running_.load(); }
+
+  /// Initiates graceful drain and blocks until the server is fully
+  /// stopped: listener closed, admitted queries answered, responses
+  /// flushed, sockets closed, threads joined. Idempotent.
+  void shutdown();
+
+  /// Async-signal-safe drain trigger (write(2) on an eventfd): safe to
+  /// call from a SIGTERM/SIGINT handler. The caller still runs
+  /// shutdown() (or wait() then shutdown()) to join the threads.
+  void request_shutdown() noexcept;
+
+  /// Blocks until the event loop has exited (drain complete or never
+  /// started).
+  void wait();
+
+  ServerStats stats() const;
+
+  /// The combined wire-format stats document:
+  /// {"server":{...ServerStats...},"service":{...ServiceStats + store...}}.
+  std::string stats_json() const;
+
+ private:
+  struct Connection;
+  struct PendingQuery;
+  struct Completion;
+
+  void io_loop();
+  void dispatch_loop();
+  void accept_ready();
+  void connection_readable(Connection& conn);
+  void connection_writable(Connection& conn);
+  void handle_frame(Connection& conn, const Frame& frame);
+  void enqueue_response(Connection& conn, const std::string& envelope);
+  /// Flushes as much of the outbox as the socket accepts; closes the
+  /// connection on a write error. Returns false when the connection died.
+  bool flush_outbox(Connection& conn);
+  void close_connection(std::uint64_t conn_id, const char* why);
+  void drain_completions();
+  void update_epoll(Connection& conn);
+  void wake_io() noexcept;
+  bool drain_complete();
+
+  std::shared_ptr<serve::DesignService> service_;
+  ServerConfig config_;
+  int port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  std::thread io_thread_;
+  std::thread dispatch_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  bool shutdown_done_ = false;
+  std::mutex lifecycle_mutex_;
+  std::condition_variable stopped_cv_;
+  bool io_stopped_ = true;
+
+  // Owned exclusively by the I/O thread after start().
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Pending-query queue: I/O thread produces, dispatch thread consumes.
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingQuery> pending_;
+  std::size_t in_flight_ = 0;
+  bool stop_dispatch_ = false;
+
+  // Completion queue: dispatch thread produces, I/O thread consumes.
+  std::mutex completion_mutex_;
+  std::deque<Completion> completions_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+  std::vector<double> latency_window_;  ///< ring buffer, newest overwrites
+  std::size_t latency_next_ = 0;
+};
+
+}  // namespace metacore::net

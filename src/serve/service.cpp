@@ -368,6 +368,35 @@ ServiceStats DesignService::stats() const {
   return stats_;
 }
 
+std::string to_json(const ServiceStats& stats) {
+  std::ostringstream os;
+  os << "{\"queries\":" << stats.queries
+     << ",\"searches_launched\":" << stats.searches_launched
+     << ",\"coalesced\":" << stats.coalesced
+     << ",\"archive_answers\":" << stats.archive_answers
+     << ",\"evaluations\":" << stats.evaluations
+     << ",\"cache_hits\":" << stats.cache_hits
+     << ",\"store_hits\":" << stats.store_hits << '}';
+  return os.str();
+}
+
+std::string DesignService::stats_json() const {
+  std::string doc = to_json(stats());
+  doc.pop_back();  // reopen the object to append the store member
+  std::ostringstream os;
+  os << doc << ",\"store\":{\"attached\":" << (store_ ? "true" : "false");
+  if (store_) {
+    const StoreStats ss = store_->stats();
+    os << ",\"entries\":" << store_->size() << ",\"hits\":" << ss.hits
+       << ",\"misses\":" << ss.misses << ",\"appends\":" << ss.appends
+       << ",\"divergent_duplicates\":" << ss.divergent_duplicates
+       << ",\"dropped_writes\":" << ss.dropped_writes
+       << ",\"degraded\":" << (ss.degraded ? "true" : "false");
+  }
+  os << "}}";
+  return os.str();
+}
+
 std::size_t DesignService::archive_size(const DesignQuery& query) const {
   const std::string fingerprint = query_fingerprint(query);
   std::shared_lock<std::shared_mutex> lock(archive_mutex_);
@@ -431,6 +460,9 @@ DesignResponse DesignService::run_query(const DesignQuery& query) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.searches_launched;
+    stats_.evaluations += result.evaluations;
+    stats_.cache_hits += result.cache_hits;
+    stats_.store_hits += result.store_hits;
   }
 
   response.feasible = result.found_feasible;

@@ -117,7 +117,16 @@ struct ServiceStats {
   std::size_t searches_launched = 0; ///< searches actually executed
   std::size_t coalesced = 0;         ///< submits served by another's search
   std::size_t archive_answers = 0;   ///< answered from the Pareto archive
+  // Cumulative per-search accounting summed over every executed search
+  // (coalesced waiters share the leader's search, so they add nothing):
+  std::size_t evaluations = 0;       ///< evaluator calls across searches
+  std::size_t cache_hits = 0;        ///< in-search cache reuse
+  std::size_t store_hits = 0;        ///< answers replayed from the store
 };
+
+/// Canonical JSON of the service counters — the `stats` query kind of the
+/// wire protocol embeds this document (field set documented in DESIGN.md).
+std::string to_json(const ServiceStats& stats);
 
 struct ServiceConfig {
   /// Path of the persistent evaluation store; empty = no persistence
@@ -144,6 +153,12 @@ class DesignService {
       const std::vector<DesignQuery>& queries);
 
   ServiceStats stats() const;
+
+  /// Stats snapshot as one JSON object: the ServiceStats counters plus a
+  /// "store" member (entry/hit/append/degraded accounting from the
+  /// attached store, or {"attached":false} without persistence). This is
+  /// what the networked `stats` query kind returns — no side channel.
+  std::string stats_json() const;
 
   /// The attached store (nullptr when running without persistence).
   std::shared_ptr<EvaluationStore> store() const { return store_; }

@@ -1,0 +1,205 @@
+// Wire-layer unit tests: frame round-trip and partial-read reassembly,
+// oversized-line discard with the stream staying in sync, raw-member
+// extraction, and request/response envelope round-trips.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+
+namespace metacore::net {
+namespace {
+
+std::vector<Frame> drain(FrameDecoder& decoder) {
+  std::vector<Frame> frames;
+  while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  return frames;
+}
+
+TEST(Frame, AppendRoundTrips) {
+  std::string wire;
+  append_frame(wire, "{\"a\":1}");
+  append_frame(wire, "{\"b\":2}");
+  EXPECT_EQ(wire, "{\"a\":1}\n{\"b\":2}\n");
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  const auto frames = drain(decoder);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "{\"a\":1}");
+  EXPECT_EQ(frames[1].payload, "{\"b\":2}");
+  EXPECT_FALSE(frames[0].oversized);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, AppendRejectsRawNewline) {
+  std::string wire;
+  EXPECT_THROW(append_frame(wire, "split\nframe"), std::logic_error);
+}
+
+TEST(Frame, ByteAtATimeReassembly) {
+  const std::string wire = "{\"id\":\"r1\"}\n{\"id\":\"r2\"}\n";
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char c : wire) {
+    decoder.feed(&c, 1);
+    while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "{\"id\":\"r1\"}");
+  EXPECT_EQ(frames[1].payload, "{\"id\":\"r2\"}");
+}
+
+TEST(Frame, SplitAcrossFeedsAtEveryBoundary) {
+  const std::string wire = "{\"x\":[1,2,3]}\n";
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), cut);
+    EXPECT_FALSE(decoder.next().has_value()) << "cut at " << cut;
+    decoder.feed(wire.data() + cut, wire.size() - cut);
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value()) << "cut at " << cut;
+    EXPECT_EQ(frame->payload, "{\"x\":[1,2,3]}");
+  }
+}
+
+TEST(Frame, CrlfAndBlankLinesTolerated) {
+  const std::string wire = "\r\n{\"a\":1}\r\n\n{\"b\":2}\n";
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  const auto frames = drain(decoder);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "{\"a\":1}");
+  EXPECT_EQ(frames[1].payload, "{\"b\":2}");
+}
+
+TEST(Frame, OversizedTerminatedLineIsDroppedNotFatal) {
+  FrameDecoder decoder(16);
+  const std::string wire = std::string(40, 'x') + "\n{\"ok\":1}\n";
+  decoder.feed(wire.data(), wire.size());
+  const auto frames = drain(decoder);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_EQ(frames[0].dropped_bytes, 40u);
+  EXPECT_FALSE(frames[1].oversized);
+  EXPECT_EQ(frames[1].payload, "{\"ok\":1}");
+}
+
+TEST(Frame, OversizedUnterminatedLineDiscardsBounded) {
+  FrameDecoder decoder(16);
+  const std::string chunk(64, 'y');
+  // Several feeds with no newline: memory stays bounded (buffer cleared),
+  // no frame yet.
+  for (int i = 0; i < 4; ++i) {
+    decoder.feed(chunk.data(), chunk.size());
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+  // The terminator finally arrives, followed by a good frame.
+  const std::string tail = "tail\n{\"ok\":1}\n";
+  decoder.feed(tail.data(), tail.size());
+  const auto frames = drain(decoder);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_EQ(frames[0].dropped_bytes, 4u * 64u + 4u);
+  EXPECT_EQ(frames[1].payload, "{\"ok\":1}");
+}
+
+TEST(RawMember, ExtractsByteExactly) {
+  const std::string json =
+      "{\"id\":\"a{b}\",\"status\":\"ok\",\"response\":{\"x\":[1,{\"y\":\"}\"}],"
+      "\"s\":\"\\\"quoted\\\"\"},\"tail\":3}";
+  EXPECT_EQ(extract_raw_member(json, "id"), "\"a{b}\"");
+  EXPECT_EQ(extract_raw_member(json, "response"),
+            "{\"x\":[1,{\"y\":\"}\"}],\"s\":\"\\\"quoted\\\"\"}");
+  EXPECT_EQ(extract_raw_member(json, "tail"), "3");
+  EXPECT_EQ(extract_raw_member(json, "absent"), "");
+  EXPECT_THROW(extract_raw_member("[1,2]", "x"), std::runtime_error);
+}
+
+TEST(RequestJson, QueryRoundTripsCanonically) {
+  Request request;
+  request.id = "req-42";
+  request.kind = RequestKind::Query;
+  request.query.kind = serve::QueryKind::Viterbi;
+  request.query.throughput_mbps = 2.5;
+  request.query.budget.max_evaluations = 48;
+  const std::string json = to_json(request);
+  const Request parsed = parse_request(json);
+  EXPECT_EQ(parsed.id, "req-42");
+  EXPECT_EQ(parsed.kind, RequestKind::Query);
+  EXPECT_EQ(parsed.query.throughput_mbps, 2.5);
+  EXPECT_EQ(parsed.query.budget.max_evaluations, 48u);
+  EXPECT_EQ(to_json(parsed), json);
+}
+
+TEST(RequestJson, StatsRoundTrips) {
+  Request request;
+  request.id = "s1";
+  request.kind = RequestKind::Stats;
+  const Request parsed = parse_request(to_json(request));
+  EXPECT_EQ(parsed.kind, RequestKind::Stats);
+  EXPECT_EQ(to_json(parsed), to_json(request));
+}
+
+TEST(RequestJson, RejectsMalformedEnvelopes) {
+  EXPECT_THROW(parse_request("not json at all"), std::runtime_error);
+  EXPECT_THROW(parse_request("[1,2,3]"), std::runtime_error);
+  // Missing / empty / oversized id.
+  EXPECT_THROW(parse_request("{\"kind\":\"stats\"}"), std::runtime_error);
+  EXPECT_THROW(parse_request("{\"id\":\"\",\"kind\":\"stats\"}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_request("{\"id\":\"" + std::string(300, 'a') +
+                             "\",\"kind\":\"stats\"}"),
+               std::runtime_error);
+  // Unknown kind, missing query member, malformed inner query.
+  EXPECT_THROW(parse_request("{\"id\":\"x\",\"kind\":\"bogus\"}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_request("{\"id\":\"x\",\"kind\":\"query\"}"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_request(
+          "{\"id\":\"x\",\"kind\":\"query\",\"query\":{\"kind\":\"nope\"}}"),
+      std::runtime_error);
+}
+
+TEST(RequestJson, BestEffortIdRecovery) {
+  EXPECT_EQ(best_effort_request_id("{\"id\":\"x\",\"kind\":\"bogus\"}"), "x");
+  EXPECT_EQ(best_effort_request_id("total garbage"), "");
+  EXPECT_EQ(best_effort_request_id("{\"id\":42}"), "");
+}
+
+TEST(ResponseJson, EnvelopesRoundTrip) {
+  const std::string payload = "{\"feasible\":true,\"evaluations\":12}";
+  const WireResponse ok = parse_wire_response(make_design_response("r1",
+                                                                   payload));
+  EXPECT_EQ(ok.id, "r1");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.response_json, payload);  // byte-exact
+  EXPECT_EQ(ok.stats_json, "");
+
+  const WireResponse stats =
+      parse_wire_response(make_stats_response("r2", "{\"queries\":3}"));
+  EXPECT_TRUE(stats.ok());
+  EXPECT_EQ(stats.stats_json, "{\"queries\":3}");
+
+  const WireResponse rejected =
+      parse_wire_response(make_rejected_response("r3", "overloaded", 7));
+  EXPECT_TRUE(rejected.rejected());
+  EXPECT_EQ(rejected.reason, "overloaded");
+  EXPECT_EQ(rejected.queue_depth, 7u);
+
+  const WireResponse error =
+      parse_wire_response(make_error_response("", "request: bad frame"));
+  EXPECT_EQ(error.status, "error");
+  EXPECT_EQ(error.id, "");
+  EXPECT_EQ(error.reason, "request: bad frame");
+
+  EXPECT_THROW(parse_wire_response("{\"id\":\"x\",\"status\":\"weird\"}"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace metacore::net

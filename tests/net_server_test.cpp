@@ -1,0 +1,385 @@
+// End-to-end tests for the epoll TCP design-query server on loopback:
+// socket answers byte-identical to in-process DesignService answers,
+// multiplexed out-of-order responses, malformed/oversized-frame survival,
+// overload rejection under a tiny admission quota, graceful drain with
+// queries in flight, and survival of clients that vanish mid-query.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+
+namespace metacore::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string temp_store_path(const char* name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Cheap Viterbi query (loose BER target, tiny budget) — seconds of CPU at
+/// most, milliseconds when replayed from a warm store.
+serve::DesignQuery tiny_query(double mbps = 1.0) {
+  serve::DesignQuery query;
+  query.kind = serve::QueryKind::Viterbi;
+  query.target_ber = 1e-2;
+  query.esn0_db = 1.0;
+  query.throughput_mbps = mbps;
+  query.ber_shards = 2;
+  query.budget.initial_points_per_dim = 2;
+  query.budget.max_resolution = 0;
+  query.budget.regions_per_level = 1;
+  query.budget.max_evaluations = 16;
+  return query;
+}
+
+/// A deliberately slower query to hold the dispatcher busy.
+serve::DesignQuery slow_query() {
+  serve::DesignQuery query = tiny_query(7.0);
+  query.ber_shards = 4;
+  query.budget.initial_points_per_dim = 3;
+  query.budget.max_evaluations = 96;
+  return query;
+}
+
+ServerConfig loopback_config() {
+  ServerConfig config;
+  config.bind_address = "127.0.0.1";
+  config.port = 0;  // ephemeral
+  return config;
+}
+
+bool wait_until(const std::function<bool()>& condition,
+                std::chrono::milliseconds timeout = 30s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return condition();
+}
+
+TEST(DesignServer, StartsOnEphemeralPortAndStopsIdempotently) {
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, loopback_config());
+  EXPECT_EQ(server.port(), 0);
+  server.start();
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+  server.shutdown();
+  EXPECT_FALSE(server.running());
+  server.shutdown();  // idempotent
+}
+
+TEST(DesignServer, StatsRequestCarriesServerAndServiceCounters) {
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, loopback_config());
+  server.start();
+
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+  const WireResponse response = client.stats();
+  ASSERT_TRUE(response.ok()) << response.reason;
+  // Both counter families ride in one document — no side channel.
+  EXPECT_NE(response.stats_json.find("\"server\":"), std::string::npos);
+  EXPECT_NE(response.stats_json.find("\"service\":"), std::string::npos);
+  EXPECT_NE(response.stats_json.find("\"coalesced\":"), std::string::npos);
+  EXPECT_NE(response.stats_json.find("\"store\":{\"attached\":false}"),
+            std::string::npos);
+  EXPECT_NE(response.stats_json.find("\"accepted_connections\":1"),
+            std::string::npos);
+  server.shutdown();
+}
+
+TEST(DesignServer, SocketAnswerIsByteIdenticalToInProcess) {
+  const serve::DesignQuery query = tiny_query();
+
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, loopback_config());
+  server.start();
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+  const WireResponse wire = client.query(query);
+  ASSERT_TRUE(wire.ok()) << wire.reason;
+  server.shutdown();
+
+  // A fresh in-process service (same no-store starting state) must produce
+  // exactly the bytes that crossed the wire.
+  serve::DesignService reference;
+  EXPECT_EQ(wire.response_json, serve::to_json(reference.submit(query)));
+}
+
+TEST(DesignServer, MultiplexedResponsesMatchTheirIds) {
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, loopback_config());
+  server.start();
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+
+  // Three in-flight requests on one connection, collected in reverse
+  // order: ids pair responses to requests, not arrival order.
+  client.send_query("q-a", tiny_query(1.0));
+  client.send_query("q-b", tiny_query(1.0));  // identical: coalesces
+  client.send_stats("q-c");
+  const WireResponse c = client.recv_matching("q-c");
+  const WireResponse b = client.recv_matching("q-b");
+  const WireResponse a = client.recv_matching("q-a");
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_TRUE(c.ok());
+  // The two identical queries were deduplicated into one search and must
+  // return byte-identical payloads.
+  EXPECT_EQ(a.response_json, b.response_json);
+
+  const serve::ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_GE(stats.coalesced + (stats.searches_launched > 1 ? 1u : 0u), 1u);
+  server.shutdown();
+}
+
+TEST(DesignServer, MalformedFramesGetErrorsAndTheConnectionSurvives) {
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, loopback_config());
+  server.start();
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+
+  client.send_raw("this is not json");
+  WireResponse err = client.recv_response();
+  EXPECT_EQ(err.status, "error");
+  EXPECT_EQ(err.id, "");
+  EXPECT_FALSE(err.reason.empty());
+
+  // Valid JSON, invalid envelope: the id is still recovered.
+  client.send_raw("{\"id\":\"x9\",\"kind\":\"bogus\"}");
+  err = client.recv_response();
+  EXPECT_EQ(err.status, "error");
+  EXPECT_EQ(err.id, "x9");
+
+  // Same connection keeps working afterwards.
+  const WireResponse stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.stats_json.find("\"malformed_frames\":2"),
+            std::string::npos);
+  server.shutdown();
+}
+
+TEST(DesignServer, OversizedFramesAreDroppedAndTheConnectionSurvives) {
+  ServerConfig config = loopback_config();
+  config.max_frame_bytes = 512;
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, config);
+  server.start();
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+
+  client.send_raw(std::string(4096, 'z'));
+  const WireResponse err = client.recv_response();
+  EXPECT_EQ(err.status, "error");
+  EXPECT_NE(err.reason.find("exceeds"), std::string::npos);
+
+  const WireResponse stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.stats_json.find("\"oversized_frames\":1"),
+            std::string::npos);
+  server.shutdown();
+}
+
+TEST(DesignServer, ConcurrentConnectionsAreByteIdenticalAtAnyWidth) {
+  const std::string store_path = temp_store_path("net_determinism.store");
+  auto store = std::make_shared<serve::EvaluationStore>(store_path);
+
+  // Four distinct queries, warmed into the store once; the reference bytes
+  // are what a fresh in-process service answers out of the warm store.
+  std::vector<serve::DesignQuery> unique;
+  for (const double mbps : {1.0, 2.0, 3.0, 4.0}) unique.push_back(tiny_query(mbps));
+  {
+    serve::ServiceConfig config;
+    config.store = store;
+    serve::DesignService warmer(config);
+    for (const auto& query : unique) warmer.submit(query);
+  }
+  std::vector<std::string> reference(unique.size());
+  {
+    serve::ServiceConfig config;
+    config.store = store;
+    serve::DesignService ref_service(config);
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      reference[i] = serve::to_json(ref_service.submit(unique[i]));
+    }
+  }
+
+  // The mixed query set: 32 queries cycling over the four uniques.
+  constexpr std::size_t kQueries = 32;
+  for (const std::size_t connections : {std::size_t{1}, std::size_t{4},
+                                        std::size_t{16}}) {
+    serve::ServiceConfig config;
+    config.store = store;
+    auto service = std::make_shared<serve::DesignService>(config);
+    DesignServer server(service, loopback_config());
+    server.start();
+
+    std::vector<std::vector<std::string>> got(connections);
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < connections; ++c) {
+      workers.emplace_back([&, c] {
+        DesignClient client;
+        client.connect("127.0.0.1", server.port());
+        std::vector<std::string> ids;
+        for (std::size_t q = c; q < kQueries; q += connections) {
+          const std::string id = "w" + std::to_string(q);
+          client.send_query(id, unique[q % unique.size()]);
+          ids.push_back(id);
+        }
+        for (const std::string& id : ids) {
+          const WireResponse response = client.recv_matching(id);
+          ASSERT_TRUE(response.ok()) << response.reason;
+          got[c].push_back(response.response_json);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    server.shutdown();
+
+    for (std::size_t c = 0; c < connections; ++c) {
+      std::size_t k = 0;
+      for (std::size_t q = c; q < kQueries; q += connections, ++k) {
+        EXPECT_EQ(got[c][k], reference[q % unique.size()])
+            << "connections=" << connections << " query=" << q;
+      }
+    }
+  }
+  std::remove(store_path.c_str());
+}
+
+TEST(DesignServer, OverloadReturnsStructuredRejections) {
+  ServerConfig config = loopback_config();
+  config.max_pending_queries = 1;  // tiny admission quota
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, config);
+  server.start();
+
+  DesignClient busy;
+  busy.connect("127.0.0.1", server.port());
+  busy.send_query("slow", slow_query());
+  // Wait until the dispatcher is actually inside submit_batch, so the
+  // queue stays occupied by whatever we send next.
+  ASSERT_TRUE(wait_until([&] { return server.stats().in_flight >= 1; }));
+
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+  client.send_query("fill", tiny_query(2.0));  // occupies the 1-slot queue
+  for (int i = 0; i < 6; ++i) {
+    client.send_query("burst" + std::to_string(i), tiny_query(3.0));
+  }
+
+  std::size_t rejected = 0;
+  std::size_t ok = 0;
+  for (int i = 0; i < 7; ++i) {
+    const WireResponse response = client.recv_response();
+    if (response.rejected()) {
+      EXPECT_EQ(response.reason, "overloaded");
+      ++rejected;
+    } else {
+      ASSERT_TRUE(response.ok()) << response.reason;
+      ++ok;
+    }
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_GE(ok, 1u);
+  EXPECT_EQ(rejected + ok, 7u);
+  // The slow query itself completes normally.
+  EXPECT_TRUE(busy.recv_matching("slow").ok());
+  EXPECT_GE(server.stats().queries_rejected, rejected);
+  server.shutdown();
+}
+
+TEST(DesignServer, GracefulDrainFinishesInFlightAndFlushesTheStore) {
+  const std::string store_path = temp_store_path("net_drain.store");
+  serve::ServiceConfig service_config;
+  service_config.store_path = store_path;
+  auto service = std::make_shared<serve::DesignService>(service_config);
+  DesignServer server(service, loopback_config());
+  server.start();
+
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+  std::vector<std::string> ids;
+  for (const double mbps : {1.0, 2.0, 3.0, 4.0}) {
+    const std::string id = "d" + std::to_string(static_cast<int>(mbps));
+    client.send_query(id, tiny_query(mbps));
+    ids.push_back(id);
+  }
+  ASSERT_TRUE(wait_until([&] {
+    const ServerStats stats = server.stats();
+    return stats.in_flight + stats.queue_depth >= 1;
+  }));
+
+  // Drain while the batch is mid-flight: every admitted query must still
+  // be answered before the server closes the connection. The join guard
+  // keeps an unexpected client-side throw from terminating the process
+  // with the drainer still joinable.
+  struct JoinGuard {
+    std::thread thread;
+    ~JoinGuard() {
+      if (thread.joinable()) thread.join();
+    }
+  } drainer{std::thread([&] { server.shutdown(); })};
+  for (const std::string& id : ids) {
+    const WireResponse response = client.recv_matching(id);
+    EXPECT_TRUE(response.ok()) << response.reason;
+  }
+  EXPECT_THROW(client.recv_response(), std::runtime_error);  // clean EOF
+  drainer.thread.join();
+  EXPECT_FALSE(server.running());
+
+  // New connections are refused after drain.
+  DesignClient late;
+  EXPECT_THROW(late.connect("127.0.0.1", server.port(), 2000),
+               std::runtime_error);
+
+  // The journaled evaluations survived the drain: a fresh store replays
+  // them.
+  serve::EvaluationStore reopened(store_path);
+  EXPECT_GT(reopened.size(), 0u);
+  std::remove(store_path.c_str());
+}
+
+TEST(DesignServer, ClientVanishingMidQueryDoesNotKillTheServer) {
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, loopback_config());
+  server.start();
+
+  {
+    DesignClient doomed;
+    doomed.connect("127.0.0.1", server.port());
+    doomed.send_query("gone", slow_query());
+    ASSERT_TRUE(wait_until([&] { return server.stats().in_flight >= 1; }));
+    doomed.close();  // vanish while the query is executing
+  }
+
+  // The query still completes (and would have fed the store); only the
+  // delivery is counted as dropped — and the server keeps serving.
+  ASSERT_TRUE(
+      wait_until([&] { return server.stats().dropped_responses >= 1; }));
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+  const WireResponse response = client.query(tiny_query());
+  EXPECT_TRUE(response.ok()) << response.reason;
+  server.shutdown();
+  EXPECT_GE(server.stats().dropped_responses, 1u);
+}
+
+}  // namespace
+}  // namespace metacore::net
