@@ -1,7 +1,8 @@
 // Networked design-server load generator: an in-process DesignServer on an
 // ephemeral loopback port, hammered by N client connections over real TCP.
-// Three passes measure the serving stack end to end (framing, epoll loop,
-// admission queue, dispatch, DesignService):
+// For each point of a worker-scaling sweep (1/2/4/8 dispatch workers, store
+// sharded to match), three passes measure the serving stack end to end
+// (framing, epoll loop, admission queue, dispatch workers, DesignService):
 //
 //   cold closed-loop  — empty store, each connection sends one query at a
 //                       time and waits; searches run from scratch
@@ -9,14 +10,17 @@
 //                       the store, so this isolates the wire + dispatch cost
 //   warm pipelined    — every connection bursts its whole batch before
 //                       reading anything (open loop), stressing the
-//                       multiplexer and the admission queue
+//                       multiplexer, the admission queue, and the worker
+//                       pool's per-fingerprint routing
 //
-// Client-side latency is recorded per request; p50/p99 and queries/sec for
-// each pass land in BENCH_serve.json (override with
-// METACORE_BENCH_SERVE_JSON) next to the bench_service records so the
-// socket tax is tracked across PRs.
+// Client-side latency is recorded per request; every pass lands one record
+// carrying workers, shards, p50/p99, and queries/sec in BENCH_serve.json
+// (override with METACORE_BENCH_SERVE_JSON) next to the bench_service
+// records, so both the socket tax and the worker-pool scaling curve are
+// tracked across PRs.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -28,6 +32,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "serve/service.hpp"
+#include "serve/store.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -41,7 +46,9 @@ std::string bench_serve_json_path() {
 }
 
 /// A small pool of distinct queries; every connection cycles through it so
-/// the warm pass replays exactly the points the cold pass journaled.
+/// the warm pass replays exactly the points the cold pass journaled. Four
+/// distinct throughput requirements = four evaluator fingerprints, so a
+/// multi-worker server has real routing to do.
 std::vector<serve::DesignQuery> query_pool() {
   std::vector<serve::DesignQuery> pool;
   const std::size_t max_evals = bench::quick_mode() ? 16 : 48;
@@ -71,15 +78,21 @@ struct PassResult {
   std::size_t store_hits = 0;
 };
 
-/// Runs one pass against a fresh server over the given journal.
+/// Runs one pass against a fresh server over the given journal, with
+/// `workers` dispatch workers and the store sharded `shards` ways.
 /// `pipelined` switches each connection from closed-loop (send, wait,
 /// repeat) to open-loop (burst everything, then drain the responses).
 PassResult run_pass(const std::string& store_path, std::size_t connections,
-                    std::size_t queries_per_connection, bool pipelined) {
+                    std::size_t queries_per_connection, bool pipelined,
+                    std::size_t workers, std::size_t shards) {
+  serve::StoreConfig store_config = serve::StoreConfig::from_env();
+  store_config.shards = shards;
   serve::ServiceConfig service_config;
-  service_config.store_path = store_path;
+  service_config.store =
+      std::make_shared<serve::EvaluationStore>(store_path, store_config);
   auto service = std::make_shared<serve::DesignService>(service_config);
   net::ServerConfig server_config;
+  server_config.search_workers = workers;
   server_config.max_pending_queries =
       std::max<std::size_t>(256, connections * queries_per_connection);
   net::DesignServer server(service, server_config);
@@ -91,9 +104,9 @@ PassResult run_pass(const std::string& store_path, std::size_t connections,
   PassResult pass;
 
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> workers;
+  std::vector<std::thread> load_threads;
   for (std::size_t c = 0; c < connections; ++c) {
-    workers.emplace_back([&, c] {
+    load_threads.emplace_back([&, c] {
       net::DesignClient client;
       client.connect("127.0.0.1", server.port());
       std::vector<double> local_ms;
@@ -134,7 +147,7 @@ PassResult run_pass(const std::string& store_path, std::size_t connections,
       pass.errors += local_errors;
     });
   }
-  for (auto& worker : workers) worker.join();
+  for (auto& thread : load_threads) thread.join();
   pass.wall_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start)
                      .count();
@@ -159,10 +172,13 @@ void print_pass(const std::string& name, const PassResult& pass) {
 }
 
 bench::BenchRecord to_record(const std::string& name, const PassResult& pass,
-                             std::size_t connections) {
+                             std::size_t connections, std::size_t workers,
+                             std::size_t shards) {
   bench::BenchRecord record;
   record.name = name;
   record.values["connections"] = static_cast<double>(connections);
+  record.values["workers"] = static_cast<double>(workers);
+  record.values["shards"] = static_cast<double>(shards);
   record.values["queries"] = static_cast<double>(pass.queries);
   record.values["wall_ms"] = pass.wall_ms;
   record.values["queries_per_sec"] = pass.queries_per_sec;
@@ -173,47 +189,90 @@ bench::BenchRecord to_record(const std::string& name, const PassResult& pass,
   return record;
 }
 
+void remove_store(const std::string& store_path) {
+  std::error_code ec;
+  std::filesystem::remove(store_path, ec);
+  std::filesystem::remove_all(store_path + ".d", ec);
+}
+
 }  // namespace
 
 int main() {
   bench::print_header(
-      "Design server: socket-level load (cold, warm, pipelined)",
+      "Design server: socket-level load, worker-scaling sweep",
       "the net/ serving layer over Section 4.4's search");
   const std::size_t connections = bench::quick_mode() ? 2 : 8;
   const std::size_t queries_per_connection = bench::quick_mode() ? 3 : 6;
+  const std::vector<std::size_t> worker_sweep =
+      bench::quick_mode() ? std::vector<std::size_t>{1, 4}
+                          : std::vector<std::size_t>{1, 2, 4, 8};
   std::cout << connections << " connection(s) x " << queries_per_connection
-            << " query(ies) each, loopback TCP\n\n";
-
-  const std::string store_path = "bench_server_store.jsonl";
-  std::remove(store_path.c_str());
-
-  const PassResult cold =
-      run_pass(store_path, connections, queries_per_connection, false);
-  print_pass("cold closed-loop", cold);
-
-  const PassResult warm =
-      run_pass(store_path, connections, queries_per_connection, false);
-  print_pass("warm closed-loop", warm);
-
-  const PassResult burst =
-      run_pass(store_path, connections, queries_per_connection, true);
-  print_pass("warm pipelined ", burst);
-
-  // The cold pass may legitimately record some store hits: connections
-  // share the journal, so a query overlapping one another connection
-  // already finished replays those points. Warm passes must hit.
-  const bool consistent =
-      cold.errors == 0 && warm.errors == 0 && burst.errors == 0 &&
-      warm.store_hits > 0 && burst.store_hits > 0;
-  std::cout << "\ncold/warm speedup: "
-            << util::format_double(cold.wall_ms / warm.wall_ms, 1)
-            << "x, accounting "
-            << (consistent ? "consistent" : "INCONSISTENT") << "\n";
+            << " query(ies) each, loopback TCP, "
+            << std::thread::hardware_concurrency() << " hardware thread(s)\n";
 
   std::vector<bench::BenchRecord> records;
-  records.push_back(to_record("serve_socket_cold", cold, connections));
-  records.push_back(to_record("serve_socket_warm", warm, connections));
-  records.push_back(to_record("serve_socket_pipelined", burst, connections));
+  bool consistent = true;
+  double warm_pipelined_qps_1w = 0.0;
+  double warm_pipelined_qps_best = 0.0;
+  std::size_t best_workers = 1;
+
+  for (const std::size_t workers : worker_sweep) {
+    // Shard the store to match the worker pool so per-fingerprint routing
+    // lands each worker on its own shard (the intended deployment shape).
+    const std::size_t shards = workers;
+    const std::string store_path =
+        "bench_server_store_w" + std::to_string(workers) + ".jsonl";
+    remove_store(store_path);
+
+    std::cout << "\n[" << workers << " worker(s), " << shards
+              << " shard(s)]\n";
+    const PassResult cold = run_pass(store_path, connections,
+                                     queries_per_connection, false, workers,
+                                     shards);
+    print_pass("cold closed-loop", cold);
+    const PassResult warm = run_pass(store_path, connections,
+                                     queries_per_connection, false, workers,
+                                     shards);
+    print_pass("warm closed-loop", warm);
+    const PassResult burst = run_pass(store_path, connections,
+                                      queries_per_connection, true, workers,
+                                      shards);
+    print_pass("warm pipelined ", burst);
+
+    // The cold pass may legitimately record some store hits: connections
+    // share the journal, so a query overlapping one another connection
+    // already finished replays those points. Warm passes must hit.
+    consistent = consistent && cold.errors == 0 && warm.errors == 0 &&
+                 burst.errors == 0 && warm.store_hits > 0 &&
+                 burst.store_hits > 0;
+    std::cout << "  cold/warm speedup: "
+              << util::format_double(cold.wall_ms / warm.wall_ms, 1) << "x\n";
+
+    records.push_back(
+        to_record("serve_socket_cold", cold, connections, workers, shards));
+    records.push_back(
+        to_record("serve_socket_warm", warm, connections, workers, shards));
+    records.push_back(to_record("serve_socket_pipelined", burst, connections,
+                                workers, shards));
+
+    if (workers == 1) warm_pipelined_qps_1w = burst.queries_per_sec;
+    if (burst.queries_per_sec > warm_pipelined_qps_best) {
+      warm_pipelined_qps_best = burst.queries_per_sec;
+      best_workers = workers;
+    }
+    remove_store(store_path);
+  }
+
+  const double scaling = warm_pipelined_qps_1w > 0.0
+                             ? warm_pipelined_qps_best / warm_pipelined_qps_1w
+                             : 0.0;
+  std::cout << "\nwarm pipelined scaling: best "
+            << util::format_double(warm_pipelined_qps_best, 1) << " q/s at "
+            << best_workers << " worker(s), "
+            << util::format_double(scaling, 2)
+            << "x over 1 worker; accounting "
+            << (consistent ? "consistent" : "INCONSISTENT") << "\n";
+
   for (auto& record : records) {
     record.labels["consistent"] = consistent ? "true" : "false";
   }
@@ -221,6 +280,5 @@ int main() {
   std::cout << "bench records appended to " << bench_serve_json_path()
             << "\n";
 
-  std::remove(store_path.c_str());
   return consistent ? 0 : 1;
 }

@@ -7,9 +7,15 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
 
 namespace metacore::net {
 
@@ -20,6 +26,23 @@ namespace {
 }
 
 }  // namespace
+
+double retry_backoff_ms(const RetryPolicy& policy, std::size_t attempt,
+                        std::size_t queue_depth,
+                        std::uint64_t jitter_counter) {
+  double exp_ms = policy.base_ms *
+                  std::ldexp(1.0, static_cast<int>(std::min<std::size_t>(
+                                      attempt, 62))) *
+                  (1.0 + policy.depth_weight * static_cast<double>(queue_depth));
+  exp_ms = std::min(exp_ms, policy.cap_ms);
+  // Half-jitter: never below exp/2 (the backoff keeps its exponential
+  // floor) and never above exp (the cap is a real cap). u in [0, 1).
+  const double u =
+      static_cast<double>(util::CounterRng::at(policy.jitter_key,
+                                               jitter_counter)) *
+      0x1p-64;
+  return exp_ms / 2.0 + u * (exp_ms / 2.0);
+}
 
 DesignClient::~DesignClient() { close(); }
 
@@ -96,6 +119,7 @@ void DesignClient::send_query(const std::string& id,
   request.kind = RequestKind::Query;
   request.query = query;
   send_raw(to_json(request));
+  ++stats_.queries_sent;
 }
 
 void DesignClient::send_stats(const std::string& id) {
@@ -158,9 +182,26 @@ std::string DesignClient::next_id() {
 }
 
 WireResponse DesignClient::query(const serve::DesignQuery& query) {
-  const std::string id = next_id();
-  send_query(id, query);
-  return recv_matching(id);
+  for (std::size_t attempt = 0;; ++attempt) {
+    const std::string id = next_id();
+    send_query(id, query);
+    WireResponse response = recv_matching(id);
+    // Only `overloaded` is worth waiting out; `draining` means the server
+    // is going away and any other status is a real answer.
+    if (!response.rejected() || response.reason != "overloaded") {
+      return response;
+    }
+    ++stats_.overloaded_rejections;
+    if (attempt >= retry_.max_retries) {
+      if (retry_.max_retries > 0) ++stats_.gave_up;
+      return response;
+    }
+    const double ms = retry_backoff_ms(retry_, attempt, response.queue_depth,
+                                       jitter_counter_++);
+    stats_.backoff_ms_total += ms;
+    ++stats_.retries;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
 }
 
 WireResponse DesignClient::stats() {

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
@@ -29,6 +30,7 @@ constexpr std::uint64_t kWakeTag = 1;
 constexpr std::uint64_t kFirstConnId = 2;
 
 constexpr std::size_t kLatencyWindow = 8192;
+constexpr std::size_t kMaxWorkers = 128;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -55,6 +57,13 @@ ServerConfig ServerConfig::from_env() {
       env_size("METACORE_SERVER_QUEUE", config.max_pending_queries);
   config.max_frame_bytes =
       env_size("METACORE_SERVER_MAX_FRAME", config.max_frame_bytes);
+  config.search_workers =
+      env_size("METACORE_SERVER_WORKERS", config.search_workers);
+  if (config.search_workers > kMaxWorkers) {
+    throw std::invalid_argument("METACORE_SERVER_WORKERS must be at most " +
+                                std::to_string(kMaxWorkers) + ", got " +
+                                std::to_string(config.search_workers));
+  }
   return config;
 }
 
@@ -75,7 +84,15 @@ std::string to_json(const ServerStats& stats) {
   robust::write_double(os, stats.latency_p50_ms);
   os << ",\"latency_p99_ms\":";
   robust::write_double(os, stats.latency_p99_ms);
-  os << ",\"latency_samples\":" << stats.latency_samples << '}';
+  os << ",\"latency_samples\":" << stats.latency_samples
+     << ",\"workers\":" << stats.workers
+     << ",\"fast_lane_queries\":" << stats.fast_lane_queries
+     << ",\"worker_depths\":[";
+  for (std::size_t i = 0; i < stats.worker_depths.size(); ++i) {
+    if (i > 0) os << ',';
+    os << stats.worker_depths[i];
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -103,6 +120,19 @@ struct DesignServer::PendingQuery {
 struct DesignServer::Completion {
   std::uint64_t conn_id = 0;
   std::string envelope;
+};
+
+/// One dispatch worker: a FIFO queue the I/O thread routes into and a
+/// thread draining it batch-at-a-time through submit_batch. All queries
+/// on one evaluator fingerprint land on one worker (route_query), so
+/// their arrival order — and with it coalescing and byte-exact
+/// determinism — survives any worker count.
+struct DesignServer::Worker {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<PendingQuery> queue;  ///< guarded by mutex
+  std::size_t in_flight = 0;       ///< guarded by mutex
+  std::thread thread;
 };
 
 DesignServer::DesignServer(std::shared_ptr<serve::DesignService> service,
@@ -179,7 +209,17 @@ void DesignServer::start() {
     io_stopped_ = false;
   }
   running_.store(true);
-  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  search_workers_ = config_.search_workers != 0
+                        ? std::min(config_.search_workers, kMaxWorkers)
+                        : std::max(1u, std::thread::hardware_concurrency());
+  // Index search_workers_ is the fast lane for cheap query kinds.
+  workers_.clear();
+  for (std::size_t w = 0; w < search_workers_ + 1; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, &w = *worker] { worker_loop(w); });
+  }
   io_thread_ = std::thread([this] { io_loop(); });
 }
 
@@ -207,13 +247,19 @@ void DesignServer::shutdown() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   if (shutdown_done_) return;
   shutdown_done_ = true;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    stop_dispatch_ = true;
+  stop_workers_.store(true);
+  for (auto& worker : workers_) {
+    {
+      // Taking the lock orders the store against a worker mid-wait: the
+      // notify cannot slip between its predicate check and its sleep.
+      std::lock_guard<std::mutex> lock(worker->mutex);
+    }
+    worker->cv.notify_all();
   }
-  queue_cv_.notify_all();
   if (io_thread_.joinable()) io_thread_.join();
-  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   epoll_fd_ = wake_fd_ = -1;
@@ -221,9 +267,8 @@ void DesignServer::shutdown() {
 }
 
 bool DesignServer::drain_complete() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (!pending_.empty() || in_flight_ != 0) return false;
+  if (total_pending_.load() != 0 || total_in_flight_.load() != 0) {
+    return false;
   }
   {
     std::lock_guard<std::mutex> lock(completion_mutex_);
@@ -254,11 +299,8 @@ void DesignServer::io_loop() {
       // Admitted queries always run to completion, however long they
       // take: the flush timeout clocks only the final phase, where the
       // sole remaining work is clients reading their responses.
-      bool work_remaining;
-      {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
-        work_remaining = !pending_.empty() || in_flight_ != 0;
-      }
+      bool work_remaining =
+          total_pending_.load() != 0 || total_in_flight_.load() != 0;
       if (!work_remaining) {
         std::lock_guard<std::mutex> lock(completion_mutex_);
         work_remaining = !completions_.empty();
@@ -438,28 +480,16 @@ void DesignServer::handle_frame(Connection& conn, const Frame& frame) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.queries_received;
   }
-  bool rejected = false;
-  const char* reason = "";
-  std::size_t depth = 0;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    depth = pending_.size();
-    if (draining_.load()) {
-      rejected = true;
-      reason = "draining";
-    } else if (pending_.size() >= config_.max_pending_queries) {
-      rejected = true;
-      reason = "overloaded";
-    } else {
-      PendingQuery pending;
-      pending.conn_id = conn.id;
-      pending.request_id = request.id;
-      pending.query = std::move(request.query);
-      pending.arrival = std::chrono::steady_clock::now();
-      pending_.push_back(std::move(pending));
-    }
+  // Admission: only the I/O thread admits, so the check-then-admit on the
+  // pending total cannot race with itself.
+  const std::size_t depth = total_pending_.load();
+  const char* reason = nullptr;
+  if (draining_.load()) {
+    reason = "draining";
+  } else if (depth >= config_.max_pending_queries) {
+    reason = "overloaded";
   }
-  if (rejected) {
+  if (reason != nullptr) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.queries_rejected;
@@ -467,7 +497,42 @@ void DesignServer::handle_frame(Connection& conn, const Frame& frame) {
     enqueue_response(conn, make_rejected_response(request.id, reason, depth));
     return;
   }
-  queue_cv_.notify_one();
+
+  const std::size_t route = route_query(request.query);
+  if (route == search_workers_) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.fast_lane_queries;
+  }
+  PendingQuery pending;
+  pending.conn_id = conn.id;
+  pending.request_id = request.id;
+  pending.query = std::move(request.query);
+  pending.arrival = std::chrono::steady_clock::now();
+  Worker& worker = *workers_[route];
+  total_pending_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.queue.push_back(std::move(pending));
+  }
+  worker.cv.notify_one();
+}
+
+std::size_t DesignServer::route_query(const serve::DesignQuery& query) const {
+  // Cheap kinds take the fast lane (the extra worker at the end): an
+  // archive probe must never wait behind a cold search.
+  if (query.archive_only) return search_workers_;
+  std::string fingerprint;
+  try {
+    fingerprint = serve::query_fingerprint(query);
+  } catch (...) {
+    // Parseable but unconstructible (the search itself will surface the
+    // error): any stable route preserves ordering, use the canonical
+    // query bytes.
+    fingerprint = serve::to_json(query);
+  }
+  // Same hash family as the store shards: one fingerprint -> one worker,
+  // so same-scope queries keep arrival order at any worker count.
+  return serve::shard_index(fingerprint, search_workers_);
 }
 
 void DesignServer::enqueue_response(Connection& conn,
@@ -553,27 +618,32 @@ void DesignServer::drain_completions() {
   }
 }
 
-void DesignServer::dispatch_loop() {
+void DesignServer::worker_loop(Worker& worker) {
   for (;;) {
     std::vector<PendingQuery> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [&] { return stop_dispatch_ || !pending_.empty(); });
-      if (pending_.empty()) {
-        if (stop_dispatch_) return;
+      std::unique_lock<std::mutex> lock(worker.mutex);
+      worker.cv.wait(
+          lock, [&] { return stop_workers_.load() || !worker.queue.empty(); });
+      if (worker.queue.empty()) {
+        if (stop_workers_.load()) return;
         continue;
       }
-      // Drain everything queued: one submit_batch per drain, so queries
-      // that piled up behind a slow batch are deduplicated, coalesced,
-      // and fingerprint-grouped together by the service.
-      batch.reserve(pending_.size());
-      while (!pending_.empty()) {
-        batch.push_back(std::move(pending_.front()));
-        pending_.pop_front();
+      // Drain everything queued on this worker: one submit_batch per
+      // drain, so queries that piled up behind a slow batch are
+      // deduplicated, coalesced, and fingerprint-grouped together by the
+      // service — exactly the single-dispatcher semantics, per worker.
+      batch.reserve(worker.queue.size());
+      while (!worker.queue.empty()) {
+        batch.push_back(std::move(worker.queue.front()));
+        worker.queue.pop_front();
       }
-      in_flight_ = batch.size();
+      worker.in_flight = batch.size();
     }
+    // in_flight rises before pending falls: the drain check (pending,
+    // then in_flight) can never observe the handoff as "all done".
+    total_in_flight_.fetch_add(batch.size());
+    total_pending_.fetch_sub(batch.size());
 
     std::vector<serve::DesignQuery> queries;
     queries.reserve(batch.size());
@@ -632,9 +702,12 @@ void DesignServer::dispatch_loop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      in_flight_ = 0;
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      worker.in_flight = 0;
     }
+    // Completions are queued before in_flight falls, so a drain check
+    // that sees zero in flight is guaranteed to see the completions too.
+    total_in_flight_.fetch_sub(batch.size());
     wake_io();
   }
 }
@@ -650,10 +723,14 @@ ServerStats DesignServer::stats() const {
       snapshot.latency_p99_ms = util::percentile(std::move(window), 99.0);
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    snapshot.queue_depth = pending_.size();
-    snapshot.in_flight = in_flight_;
+  snapshot.queue_depth = total_pending_.load();
+  snapshot.in_flight = total_in_flight_.load();
+  snapshot.workers = search_workers_;
+  snapshot.worker_depths.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    snapshot.worker_depths.push_back(worker->queue.size() +
+                                     worker->in_flight);
   }
   return snapshot;
 }

@@ -2,19 +2,34 @@
 // TCP server speaking the newline-delimited JSON protocol of
 // net/protocol.hpp.
 //
-// Threading model (two threads + the exec pool, no thread per connection):
+// Threading model (1 + W + 1 threads + the exec pool, no thread per
+// connection):
 //
 //   * One I/O thread owns every socket: non-blocking accept/read/write
 //     behind epoll, frame decoding, request parsing, and response writes.
-//     It never executes a query — `stats` requests are answered inline
-//     (they are a counter snapshot), `query` requests are admitted into a
-//     bounded pending queue.
-//   * One dispatch thread drains the pending queue in arrival order and
-//     hands each drained batch to DesignService::submit_batch — so the
-//     in-flight coalescing, per-fingerprint sequencing, and exec-pool
-//     fan-out built in PR 3 serve network traffic unchanged. Completed
-//     responses flow back to the I/O thread over an eventfd-signalled
-//     completion queue.
+//     It never executes a query — `stats` requests (and malformed-frame
+//     errors) are answered inline so they can never queue behind a cold
+//     search; `query` requests are admitted into bounded per-worker
+//     queues.
+//   * W dispatch workers (ServerConfig::search_workers, env
+//     METACORE_SERVER_WORKERS, default = hardware concurrency). An
+//     admitted search query is routed to worker
+//     serve::fingerprint_hash(query_fingerprint(query)) % W — all queries
+//     on one evaluator fingerprint land on one worker and keep arrival
+//     order (preserving coalescing and byte-exact determinism), while
+//     distinct fingerprints dispatch concurrently. Each worker drains its
+//     queue in arrival order and hands the drained batch to
+//     DesignService::submit_batch — so the in-flight coalescing,
+//     per-fingerprint sequencing, and exec-pool fan-out built in PR 3
+//     serve network traffic unchanged at any worker count.
+//   * One fast-lane worker for cheap query kinds (`archive_only`): an
+//     archive probe never queues behind a cold search on another
+//     evaluator. (Archive answers reflect whatever searches completed
+//     before dispatch, exactly as an in-process submit at that moment
+//     would.)
+//   * Completed responses flow back to the I/O thread over an
+//     eventfd-signalled completion queue; only the I/O thread ever
+//     touches a socket.
 //
 // Backpressure / admission control: the pending queue is bounded
 // (ServerConfig::max_pending_queries, env METACORE_SERVER_QUEUE). A query
@@ -70,9 +85,14 @@ struct ServerConfig {
   /// During drain, how long to wait for clients to read their final
   /// responses before force-closing.
   int drain_flush_timeout_ms = 5000;
+  /// Dispatch workers for search queries (the fast lane for cheap kinds
+  /// is one extra). 0 = hardware concurrency, resolved at start().
+  /// Env: METACORE_SERVER_WORKERS (positive; capped at 128).
+  std::size_t search_workers = 0;
 
-  /// Defaults with METACORE_SERVER_QUEUE / METACORE_SERVER_MAX_FRAME
-  /// applied; throws std::invalid_argument on malformed values.
+  /// Defaults with METACORE_SERVER_QUEUE / METACORE_SERVER_MAX_FRAME /
+  /// METACORE_SERVER_WORKERS applied; throws std::invalid_argument on
+  /// malformed values.
   static ServerConfig from_env();
 };
 
@@ -97,6 +117,14 @@ struct ServerStats {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   std::size_t latency_samples = 0;   ///< total latency samples recorded
+
+  // Worker-pool accounting.
+  std::size_t workers = 0;           ///< search dispatch workers (fast lane
+                                     ///< not included)
+  std::size_t fast_lane_queries = 0; ///< queries routed to the fast lane
+  /// Queued + running queries per worker right now; the last entry is the
+  /// fast lane.
+  std::vector<std::size_t> worker_depths;
 };
 
 std::string to_json(const ServerStats& stats);
@@ -146,9 +174,13 @@ class DesignServer {
   struct Connection;
   struct PendingQuery;
   struct Completion;
+  struct Worker;
 
   void io_loop();
-  void dispatch_loop();
+  void worker_loop(Worker& worker);
+  /// Worker index for an admitted query: fingerprint-hash routing for
+  /// searches, the fast lane (last worker) for archive_only.
+  std::size_t route_query(const serve::DesignQuery& query) const;
   void accept_ready();
   void connection_readable(Connection& conn);
   void connection_writable(Connection& conn);
@@ -172,7 +204,6 @@ class DesignServer {
   int wake_fd_ = -1;
 
   std::thread io_thread_;
-  std::thread dispatch_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
@@ -185,14 +216,22 @@ class DesignServer {
   std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
   std::uint64_t next_conn_id_ = 1;
 
-  // Pending-query queue: I/O thread produces, dispatch thread consumes.
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingQuery> pending_;
-  std::size_t in_flight_ = 0;
-  bool stop_dispatch_ = false;
+  // Dispatch worker pool: the I/O thread produces into per-worker queues
+  // (routed by fingerprint hash; last worker is the fast lane), each
+  // worker consumes its own. search_workers_ is resolved at start().
+  std::size_t search_workers_ = 1;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_workers_{false};
+  /// Admitted-but-not-yet-dispatched queries across all workers (the
+  /// admission quota and the queue_depth stat/backpressure hint).
+  std::atomic<std::size_t> total_pending_{0};
+  /// Queries inside some worker's submit_batch right now. Workers raise
+  /// this before lowering total_pending_ and push completions before
+  /// lowering it, so drain_complete() (pending -> in_flight ->
+  /// completions -> outboxes) can never observe a false "all done".
+  std::atomic<std::size_t> total_in_flight_{0};
 
-  // Completion queue: dispatch thread produces, I/O thread consumes.
+  // Completion queue: workers produce, I/O thread consumes.
   std::mutex completion_mutex_;
   std::deque<Completion> completions_;
 

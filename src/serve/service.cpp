@@ -68,19 +68,6 @@ core::ViterbiRequirements viterbi_requirements(const DesignQuery& query) {
   return req;
 }
 
-/// The query's evaluator scope: which store entries and which Pareto
-/// archive it reads and feeds. Constructing the metacore is cheap (no
-/// simulation happens before evaluate()).
-std::string query_fingerprint(const DesignQuery& query) {
-  if (query.kind == QueryKind::Viterbi) {
-    return core::ViterbiMetaCore(viterbi_requirements(query))
-        .evaluation_fingerprint();
-  }
-  return core::IirMetaCore(
-             core::paper_bandpass_requirements(query.sample_period_us))
-      .evaluation_fingerprint();
-}
-
 search::Objective query_objective(const DesignQuery& query,
                                   search::Objective base) {
   if (!query.minimize.empty()) base.minimize = query.minimize;
@@ -104,6 +91,16 @@ void write_point(std::ostream& os, const search::EvaluatedPoint& pt) {
 
 std::string to_string(QueryKind kind) {
   return kind == QueryKind::Viterbi ? "viterbi" : "iir";
+}
+
+std::string query_fingerprint(const DesignQuery& query) {
+  if (query.kind == QueryKind::Viterbi) {
+    return core::ViterbiMetaCore(viterbi_requirements(query))
+        .evaluation_fingerprint();
+  }
+  return core::IirMetaCore(
+             core::paper_bandpass_requirements(query.sample_period_us))
+      .evaluation_fingerprint();
 }
 
 std::string to_json(const DesignQuery& query) {
@@ -391,7 +388,22 @@ std::string DesignService::stats_json() const {
        << ",\"misses\":" << ss.misses << ",\"appends\":" << ss.appends
        << ",\"divergent_duplicates\":" << ss.divergent_duplicates
        << ",\"dropped_writes\":" << ss.dropped_writes
-       << ",\"degraded\":" << (ss.degraded ? "true" : "false");
+       << ",\"degraded\":" << (ss.degraded ? "true" : "false")
+       << ",\"shards\":" << ss.shards
+       << ",\"migrated_layout\":" << (ss.migrated_layout ? "true" : "false")
+       << ",\"quarantined_shards\":" << ss.quarantined_shards
+       << ",\"lock_contention\":" << ss.lock_contention
+       << ",\"shard_entries\":[";
+    for (std::size_t i = 0; i < ss.shard_entries.size(); ++i) {
+      if (i > 0) os << ',';
+      os << ss.shard_entries[i];
+    }
+    os << "],\"shard_bytes\":[";
+    for (std::size_t i = 0; i < ss.shard_bytes.size(); ++i) {
+      if (i > 0) os << ',';
+      os << ss.shard_bytes[i];
+    }
+    os << ']';
   }
   os << "}}";
   return os.str();

@@ -87,6 +87,13 @@ struct DesignQuery {
 std::string to_json(const DesignQuery& query);
 DesignQuery parse_design_query(const std::string& json);
 
+/// The query's evaluator scope: which store entries and which Pareto
+/// archive it reads and feeds. Cheap (constructing a metacore runs no
+/// simulation) — this is the routing key the sharded store and the
+/// server's dispatch worker pool hash (fingerprint_hash) to keep
+/// same-scope work ordered while distinct scopes run concurrently.
+std::string query_fingerprint(const DesignQuery& query);
+
 struct DesignResponse {
   bool feasible = false;
   bool from_archive = false;

@@ -1,5 +1,6 @@
 #include "serve/store.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -21,6 +22,9 @@ constexpr const char* kKind = "metacore-evaluation-store";
 constexpr const char* kWhat = "store";
 constexpr int kLegacyStoreVersion = 1;
 constexpr std::size_t kMaxSkipReasons = 100;
+constexpr std::size_t kMaxShards = 256;
+
+using Key = std::tuple<std::string, std::vector<int>, int>;
 
 void note_skip(StoreStats& stats, std::string reason) {
   ++stats.skipped_records;
@@ -59,7 +63,215 @@ std::size_t file_size_of(const std::string& path) {
   return ec ? 0 : static_cast<std::size_t>(size);
 }
 
+std::string payload_for(const Key& key, const search::Evaluation& eval) {
+  robust::CheckpointRecord rec;
+  rec.indices = std::get<1>(key);
+  rec.fidelity = std::get<2>(key);
+  rec.eval = eval;
+  std::ostringstream os;
+  os << "{\"fingerprint\":";
+  robust::write_escaped(os, std::get<0>(key));
+  os << ",\"record\":";
+  robust::write_eval_record(os, rec);
+  os << "}";
+  return os.str();
+}
+
+/// One journal file replayed into memory: entries, load accounting, and
+/// what the load decided about the file's future.
+struct FileLoad {
+  std::map<Key, search::Evaluation> entries;
+  StoreStats stats;          // journal_records / duplicates / skips / tail
+  bool fresh_start = false;  ///< the file starts empty (absent or header-torn)
+  bool legacy = false;       ///< v1 JSONL; must be rewritten framed
+};
+
+void merge_record(FileLoad& load, std::string fingerprint,
+                  robust::CheckpointRecord rec) {
+  ++load.stats.journal_records;
+  Key key{std::move(fingerprint), rec.indices, rec.fidelity};
+  auto [it, inserted] = load.entries.emplace(std::move(key), rec.eval);
+  if (!inserted) {
+    ++load.stats.duplicate_records;
+    if (!eval_equal(it->second, rec.eval)) {
+      ++load.stats.divergent_duplicates;
+    }
+  }
+}
+
+void load_framed(FileLoad& load, const std::string& path,
+                 const std::string& text) {
+  robust::JournalReadResult framed =
+      robust::read_journal_text(text, std::string(kWhat) + ": " + path);
+  if (framed.header.kind != kKind) {
+    throw std::runtime_error("store: " + path +
+                             " is not a metacore evaluation store");
+  }
+  if (framed.header.kind_version != kStoreVersion) {
+    throw std::runtime_error(
+        "store: " + path + " has unsupported version " +
+        std::to_string(framed.header.kind_version) +
+        " (this build reads version " + std::to_string(kStoreVersion) + ")");
+  }
+  load.stats.recovered_bytes = framed.recovered_tail_bytes;
+  load.stats.skipped_records = framed.skipped_records;
+  load.stats.skip_reasons = std::move(framed.skip_reasons);
+
+  for (std::size_t i = 0; i < framed.records.size(); ++i) {
+    const std::string& payload = framed.records[i];
+    std::string fingerprint;
+    robust::CheckpointRecord rec;
+    try {
+      const robust::JsonValue entry = robust::parse_json(payload, kWhat);
+      fingerprint = robust::require(entry, "fingerprint",
+                                    robust::JsonValue::Type::String, kWhat)
+                        .string;
+      rec = robust::parse_eval_record(
+          robust::require(entry, "record", robust::JsonValue::Type::Object,
+                          kWhat),
+          kWhat);
+    } catch (const std::runtime_error& e) {
+      // CRC-clean but unparseable: a writer bug or schema drift, not bit
+      // rot. Skipped with a reason like any other damaged record.
+      note_skip(load.stats, "store: record " + std::to_string(i + 1) +
+                                " is checksum-clean but failed to parse: " +
+                                e.what());
+      continue;
+    }
+    merge_record(load, std::move(fingerprint), std::move(rec));
+  }
+}
+
+void load_legacy(FileLoad& load, const std::string& path,
+                 const std::string& text) {
+  // Pre-journal (version 1) stores: header line + one JSON record per
+  // line, no checksums. Without CRCs we cannot tell damage from a writer
+  // bug, so the legacy policy stays strict: a newline-terminated line that
+  // fails to parse rejects the file. A clean legacy load is migrated to
+  // the framed format.
+  std::vector<std::pair<std::size_t, std::string>> lines;  // (offset, text)
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.emplace_back(start, text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  const std::size_t tail_bytes = text.size() - start;
+
+  robust::JsonValue header;
+  try {
+    header = robust::parse_json(lines[0].second, kWhat);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("store: " + path +
+                             " has an unreadable header line: " + e.what());
+  }
+  if (header.type != robust::JsonValue::Type::Object ||
+      robust::require(header, "magic", robust::JsonValue::Type::String, kWhat)
+              .string != kKind) {
+    throw std::runtime_error("store: " + path +
+                             " is not a metacore evaluation store");
+  }
+  const auto version = static_cast<int>(std::llround(
+      robust::require(header, "version", robust::JsonValue::Type::Number,
+                      kWhat)
+          .number));
+  if (version != kLegacyStoreVersion) {
+    throw std::runtime_error(
+        "store: " + path + " has unsupported version " +
+        std::to_string(version) + " (this build reads versions " +
+        std::to_string(kLegacyStoreVersion) + " and " +
+        std::to_string(kStoreVersion) + ")");
+  }
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    robust::JsonValue entry;
+    try {
+      entry = robust::parse_json(lines[i].second, kWhat);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(
+          "store: " + path + " is corrupt at line " + std::to_string(i + 1) +
+          " (a newline-terminated record failed to parse — not a truncated "
+          "tail, refusing to guess): " +
+          e.what());
+    }
+    std::string fingerprint =
+        robust::require(entry, "fingerprint", robust::JsonValue::Type::String,
+                        kWhat)
+            .string;
+    robust::CheckpointRecord rec = robust::parse_eval_record(
+        robust::require(entry, "record", robust::JsonValue::Type::Object,
+                        kWhat),
+        kWhat);
+    merge_record(load, std::move(fingerprint), std::move(rec));
+  }
+  if (tail_bytes > 0) {
+    load.stats.recovered_bytes = tail_bytes;
+  }
+  load.legacy = true;
+}
+
+/// Replays one journal at `path` (absent file => fresh). Throws
+/// std::runtime_error on header-level problems only.
+FileLoad load_journal_file(const std::string& path) {
+  FileLoad load;
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+  }
+
+  if (text.empty()) {
+    load.fresh_start = true;
+    return load;
+  }
+  if (text.find('\n') == std::string::npos) {
+    // Only an unterminated fragment: a crash while writing the very first
+    // (header) line. Nothing is lost by starting fresh.
+    load.stats.recovered_bytes = text.size();
+    load.fresh_start = true;
+    return load;
+  }
+
+  if (robust::looks_like_journal(text)) {
+    load_framed(load, path, text);
+  } else {
+    load_legacy(load, path, text);
+  }
+  return load;
+}
+
+std::string snapshot_text(const std::map<Key, search::Evaluation>& entries) {
+  std::string text = robust::journal_header_line(
+      robust::JournalHeader{kKind, kStoreVersion});
+  for (const auto& [key, eval] : entries) {
+    text += robust::frame_record(payload_for(key, eval));
+  }
+  return text;
+}
+
 }  // namespace
+
+std::uint64_t fingerprint_hash(std::string_view fingerprint) noexcept {
+  // FNV-1a, 64-bit: stable pure byte arithmetic — the shard (and dispatch
+  // worker) assignment must not change across runs, builds, or hosts.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : fingerprint) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::size_t shard_index(std::string_view fingerprint,
+                        std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(fingerprint_hash(fingerprint) % shard_count);
+}
 
 StoreConfig StoreConfig::from_env() {
   StoreConfig config;
@@ -80,330 +292,387 @@ StoreConfig StoreConfig::from_env() {
     }
     config.auto_compact_dead_ratio = ratio;
   }
+  if (const char* env = std::getenv("METACORE_STORE_SHARDS");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || value == 0 || value > kMaxShards) {
+      throw std::invalid_argument(
+          "store: METACORE_STORE_SHARDS must be an integer in [1, " +
+          std::to_string(kMaxShards) + "], got \"" + std::string(env) + "\"");
+    }
+    config.shards = static_cast<std::size_t>(value);
+  }
   return config;
 }
+
+/// One shard: a journal file plus its in-memory replica, lock, and
+/// accounting. With shards == 1 this is exactly the historical store.
+struct EvaluationStore::Shard {
+  std::string path;
+  mutable std::shared_mutex mutex;
+  std::map<Key, search::Evaluation> entries;
+  std::unique_ptr<robust::JournalWriter> writer;
+  bool fresh_start = false;    ///< load decided the file starts empty
+  bool needs_rewrite = false;  ///< load found damage/migration/dead bloat
+  bool degraded = false;
+  StoreStats stats;  // hit/miss/contention tracked separately (atomics)
+  mutable std::atomic<std::size_t> hits{0};
+  mutable std::atomic<std::size_t> misses{0};
+  std::atomic<std::size_t> contention{0};
+
+  void open_writer(const StoreConfig& config, bool truncate) {
+    writer = std::make_unique<robust::JournalWriter>(
+        path, robust::JournalHeader{kKind, kStoreVersion}, config.durability,
+        truncate, "store.journal");
+  }
+};
 
 EvaluationStore::EvaluationStore(std::string path, StoreConfig config)
     : path_(std::move(path)), config_(config) {
   if (path_.empty()) {
     throw std::invalid_argument("store: path must be non-empty");
   }
-  // A stale .tmp can only be the residue of a crash between snapshot write
-  // and rename; the journal itself is authoritative.
-  std::remove((path_ + ".tmp").c_str());
-  load_or_create();
-  if (needs_rewrite_) {
-    compact_locked();  // recovery/migration/bounded-growth rewrite
-  } else {
-    open_writer(fresh_start_);
+  if (config_.shards == 0 || config_.shards > kMaxShards) {
+    throw std::invalid_argument("store: shard count must be in [1, " +
+                                std::to_string(kMaxShards) + "]");
   }
-}
-
-std::string EvaluationStore::payload_for(
-    const Key& key, const search::Evaluation& eval) const {
-  robust::CheckpointRecord rec;
-  rec.indices = std::get<1>(key);
-  rec.fidelity = std::get<2>(key);
-  rec.eval = eval;
-  std::ostringstream os;
-  os << "{\"fingerprint\":";
-  robust::write_escaped(os, std::get<0>(key));
-  os << ",\"record\":";
-  robust::write_eval_record(os, rec);
-  os << "}";
-  return os.str();
-}
-
-std::string EvaluationStore::snapshot_text() const {
-  std::string text = robust::journal_header_line(
-      robust::JournalHeader{kKind, kStoreVersion});
-  for (const auto& [key, eval] : entries_) {
-    text += robust::frame_record(payload_for(key, eval));
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    if (config_.shards == 1) {
+      shard->path = path_;
+    } else {
+      char name[48];
+      std::snprintf(name, sizeof(name), "/shard-%02zu.journal", s);
+      shard->path = path_ + ".d" + name;
+    }
+    shards_.push_back(std::move(shard));
   }
-  return text;
+  base_stats_.shards = config_.shards;
+  open_layout();
 }
 
-void EvaluationStore::open_writer(bool truncate) {
-  writer_ = std::make_unique<robust::JournalWriter>(
-      path_, robust::JournalHeader{kKind, kStoreVersion}, config_.durability,
-      truncate, "store.journal");
+EvaluationStore::~EvaluationStore() = default;
+
+std::string EvaluationStore::shard_path(std::size_t shard) const {
+  return shards_.at(shard)->path;
 }
 
-void EvaluationStore::load_or_create() {
-  std::string text;
-  {
-    std::ifstream in(path_, std::ios::binary);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      text = buf.str();
+EvaluationStore::Shard& EvaluationStore::shard_for(
+    const std::string& fingerprint) {
+  return *shards_[shard_index(fingerprint, shards_.size())];
+}
+
+const EvaluationStore::Shard& EvaluationStore::shard_for(
+    const std::string& fingerprint) const {
+  return *shards_[shard_index(fingerprint, shards_.size())];
+}
+
+void EvaluationStore::open_layout() {
+  namespace fs = std::filesystem;
+  const std::string dir = path_ + ".d";
+
+  // What is on disk: the single file, and any shard journals in the
+  // directory (any index — a reshard must pick stragglers up too).
+  std::error_code ec;
+  const bool single_exists = fs::is_regular_file(path_, ec);
+  std::map<std::size_t, std::string> disk_shards;  // index -> path
+  if (fs::is_directory(dir, ec)) {
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("shard-", 0) != 0 ||
+          name.size() <= 6 + std::string(".journal").size() ||
+          name.substr(name.size() - 8) != ".journal") {
+        continue;
+      }
+      const std::string digits = name.substr(6, name.size() - 6 - 8);
+      char* end = nullptr;
+      const unsigned long long index = std::strtoull(digits.c_str(), &end, 10);
+      if (end == digits.c_str() || *end != '\0') continue;
+      disk_shards.emplace(static_cast<std::size_t>(index),
+                          entry.path().string());
     }
   }
 
-  if (text.empty()) {
-    fresh_start_ = true;
-    return;
-  }
-  if (text.find('\n') == std::string::npos) {
-    // Only an unterminated fragment: a crash while writing the very first
-    // (header) line. Nothing is lost by starting fresh.
-    stats_.recovered_bytes = text.size();
-    fresh_start_ = true;
+  // The on-disk layout matches the requested one only when it is exactly
+  // the requested one: single-file mode must see no shard journals;
+  // sharded mode must see no single file and either no shard files at all
+  // (a fresh store) or precisely shards {0 .. N-1} — a partial or
+  // differently-sized set was written under different routing and must be
+  // merged, not read in place.
+  const bool exact_shard_set =
+      disk_shards.size() == config_.shards &&
+      disk_shards.begin()->first == 0 &&
+      disk_shards.rbegin()->first == config_.shards - 1;
+  const bool matches =
+      config_.shards == 1
+          ? disk_shards.empty()
+          : !single_exists && (disk_shards.empty() || exact_shard_set);
+
+  if (!matches) {
+    std::vector<std::string> sources;
+    if (single_exists) sources.push_back(path_);
+    for (const auto& [index, shard_file] : disk_shards) {
+      sources.push_back(shard_file);
+    }
+    migrate_layout(sources);
     return;
   }
 
-  if (robust::looks_like_journal(text)) {
-    load_framed(text);
-  } else {
-    load_legacy(text);
+  if (config_.shards > 1) fs::create_directories(dir);
+  for (auto& shard : shards_) {
+    load_shard_in_place(*shard);
   }
-  stats_.live_entries = entries_.size();
+}
+
+void EvaluationStore::load_shard_in_place(Shard& shard) {
+  // A stale .tmp can only be the residue of a crash between snapshot write
+  // and rename; the journal itself is authoritative.
+  std::remove((shard.path + ".tmp").c_str());
+
+  FileLoad load;
+  try {
+    load = load_journal_file(shard.path);
+  } catch (const std::runtime_error& e) {
+    if (shards_.size() == 1) throw;
+    // A header-corrupt shard must not take the whole corpus down: rename
+    // it aside for forensics, count it, and restart the shard empty — the
+    // other shards keep serving everything they hold.
+    std::error_code ec;
+    std::filesystem::rename(shard.path, shard.path + ".rejected", ec);
+    if (ec) std::remove(shard.path.c_str());
+    ++base_stats_.quarantined_shards;
+    note_skip(base_stats_, std::string("store: shard quarantined to ") +
+                               shard.path + ".rejected: " + e.what());
+    load = FileLoad{};
+    load.fresh_start = true;
+  }
+
+  shard.entries = std::move(load.entries);
+  shard.stats = std::move(load.stats);
+  shard.stats.live_entries = shard.entries.size();
+  shard.fresh_start = load.fresh_start;
 
   // Recovery rewrites (damage, crash tails, legacy migration) are
   // unconditional — they restore the on-disk invariants. Pure duplicate
   // bloat compacts only past the configured dead-record ratio, so a
   // long-lived server's journal stays bounded without rewriting on every
   // restart.
-  const std::size_t dead = stats_.duplicate_records + stats_.skipped_records;
-  const std::size_t total = dead + entries_.size();
-  if (stats_.skipped_records > 0 || stats_.recovered_bytes > 0) {
-    needs_rewrite_ = true;
+  const std::size_t dead =
+      shard.stats.duplicate_records + shard.stats.skipped_records;
+  const std::size_t total = dead + shard.entries.size();
+  if (shard.stats.skipped_records > 0 || shard.stats.recovered_bytes > 0 ||
+      load.legacy) {
+    shard.needs_rewrite = true;
   } else if (dead > 0 && config_.auto_compact_dead_ratio > 0.0 && total > 0 &&
              static_cast<double>(dead) >=
                  config_.auto_compact_dead_ratio * static_cast<double>(total)) {
-    needs_rewrite_ = true;
+    shard.needs_rewrite = true;
+  }
+
+  if (shard.needs_rewrite) {
+    compact_shard_locked(shard);  // recovery/migration/bounded-growth rewrite
+  } else {
+    shard.open_writer(config_, shard.fresh_start);
   }
 }
 
-void EvaluationStore::load_framed(const std::string& text) {
-  robust::JournalReadResult framed =
-      robust::read_journal_text(text, std::string(kWhat) + ": " + path_);
-  if (framed.header.kind != kKind) {
-    throw std::runtime_error("store: " + path_ +
-                             " is not a metacore evaluation store");
-  }
-  if (framed.header.kind_version != kStoreVersion) {
-    throw std::runtime_error(
-        "store: " + path_ + " has unsupported version " +
-        std::to_string(framed.header.kind_version) +
-        " (this build reads version " + std::to_string(kStoreVersion) + ")");
-  }
-  stats_.recovered_bytes = framed.recovered_tail_bytes;
-  stats_.skipped_records = framed.skipped_records;
-  stats_.skip_reasons = std::move(framed.skip_reasons);
+void EvaluationStore::migrate_layout(const std::vector<std::string>& sources) {
+  namespace fs = std::filesystem;
+  base_stats_.migrated_layout = true;
 
-  for (std::size_t i = 0; i < framed.records.size(); ++i) {
-    const std::string& payload = framed.records[i];
-    std::string fingerprint;
-    robust::CheckpointRecord rec;
+  // Merge every source journal in deterministic order (single file first,
+  // then shards by index), first write winning — same-key records are
+  // bit-identical by construction, and any that are not are counted.
+  std::map<Key, search::Evaluation> merged;
+  for (const std::string& source : sources) {
+    std::remove((source + ".tmp").c_str());
+    FileLoad load;
     try {
-      const robust::JsonValue entry = robust::parse_json(payload, kWhat);
-      fingerprint = robust::require(entry, "fingerprint",
-                                    robust::JsonValue::Type::String, kWhat)
-                        .string;
-      rec = robust::parse_eval_record(
-          robust::require(entry, "record", robust::JsonValue::Type::Object,
-                          kWhat),
-          kWhat);
+      load = load_journal_file(source);
     } catch (const std::runtime_error& e) {
-      // CRC-clean but unparseable: a writer bug or schema drift, not bit
-      // rot. Skipped with a reason like any other damaged record.
-      note_skip(stats_, "store: record " + std::to_string(i + 1) +
-                            " is checksum-clean but failed to parse: " +
-                            e.what());
+      if (source == path_) throw;  // single-file semantics stay strict
+      std::error_code ec;
+      fs::rename(source, source + ".rejected", ec);
+      if (ec) std::remove(source.c_str());
+      ++base_stats_.quarantined_shards;
+      note_skip(base_stats_, "store: shard quarantined to " + source +
+                                 ".rejected: " + e.what());
       continue;
     }
-    ++stats_.journal_records;
-    Key key{std::move(fingerprint), rec.indices, rec.fidelity};
-    auto [it, inserted] = entries_.emplace(std::move(key), rec.eval);
-    if (!inserted) {
-      ++stats_.duplicate_records;
-      if (!eval_equal(it->second, rec.eval)) {
-        ++stats_.divergent_duplicates;
+    base_stats_.journal_records += load.stats.journal_records;
+    base_stats_.duplicate_records += load.stats.duplicate_records;
+    base_stats_.divergent_duplicates += load.stats.divergent_duplicates;
+    base_stats_.recovered_bytes += load.stats.recovered_bytes;
+    base_stats_.skipped_records += load.stats.skipped_records;
+    for (std::string& reason : load.stats.skip_reasons) {
+      if (base_stats_.skip_reasons.size() < kMaxSkipReasons) {
+        base_stats_.skip_reasons.push_back(std::move(reason));
+      }
+    }
+    for (auto& [key, eval] : load.entries) {
+      auto [it, inserted] = merged.emplace(key, std::move(eval));
+      if (!inserted) {
+        ++base_stats_.duplicate_records;
+        if (!eval_equal(it->second, eval)) {
+          ++base_stats_.divergent_duplicates;
+        }
       }
     }
   }
+
+  // Distribute to the target shards and write each as an atomic snapshot.
+  // A crash anywhere in here leaves a superset of journals on disk; the
+  // next open merges again, so no completed evaluation is ever lost.
+  if (config_.shards > 1) fs::create_directories(path_ + ".d");
+  for (auto& [key, eval] : merged) {
+    Shard& shard = shard_for(std::get<0>(key));
+    shard.entries.emplace(std::move(key), std::move(eval));
+  }
+  for (auto& shard : shards_) {
+    robust::atomic_replace_file(shard->path, snapshot_text(shard->entries),
+                                config_.durability, "store.compact", kWhat);
+    shard->open_writer(config_, false);
+    shard->stats.live_entries = shard->entries.size();
+  }
+
+  // Only now drop the stale sources that are not part of the new layout.
+  for (const std::string& source : sources) {
+    const bool is_target =
+        std::any_of(shards_.begin(), shards_.end(),
+                    [&](const auto& shard) { return shard->path == source; });
+    if (!is_target) std::remove(source.c_str());
+  }
+  if (config_.shards == 1) {
+    std::error_code ec;
+    fs::remove(path_ + ".d", ec);  // succeeds only when empty
+  }
 }
 
-void EvaluationStore::load_legacy(const std::string& text) {
-  // Pre-journal (version 1) stores: header line + one JSON record per
-  // line, no checksums. Without CRCs we cannot tell damage from a writer
-  // bug, so the legacy policy stays strict: a newline-terminated line that
-  // fails to parse rejects the file. A clean legacy load is migrated to
-  // the framed format (needs_rewrite_).
-  std::vector<std::pair<std::size_t, std::string>> lines;  // (offset, text)
-  std::size_t start = 0;
-  while (start < text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    if (nl == std::string::npos) break;
-    lines.emplace_back(start, text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  const std::size_t tail_bytes = text.size() - start;
-
-  robust::JsonValue header;
-  try {
-    header = robust::parse_json(lines[0].second, kWhat);
-  } catch (const std::runtime_error& e) {
-    throw std::runtime_error("store: " + path_ +
-                             " has an unreadable header line: " + e.what());
-  }
-  if (header.type != robust::JsonValue::Type::Object ||
-      robust::require(header, "magic", robust::JsonValue::Type::String, kWhat)
-              .string != kKind) {
-    throw std::runtime_error("store: " + path_ +
-                             " is not a metacore evaluation store");
-  }
-  const auto version = static_cast<int>(std::llround(
-      robust::require(header, "version", robust::JsonValue::Type::Number,
-                      kWhat)
-          .number));
-  if (version != kLegacyStoreVersion) {
-    throw std::runtime_error(
-        "store: " + path_ + " has unsupported version " +
-        std::to_string(version) + " (this build reads versions " +
-        std::to_string(kLegacyStoreVersion) + " and " +
-        std::to_string(kStoreVersion) + ")");
-  }
-
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    robust::JsonValue entry;
+std::size_t EvaluationStore::compact_shard_locked(Shard& shard) {
+  const std::size_t bytes_before = file_size_of(shard.path);
+  const std::string text = snapshot_text(shard.entries);
+  if (shard.writer) {
+    shard.stats.io_retries += shard.writer->io_retries();
     try {
-      entry = robust::parse_json(lines[i].second, kWhat);
-    } catch (const std::runtime_error& e) {
-      throw std::runtime_error(
-          "store: " + path_ + " is corrupt at line " + std::to_string(i + 1) +
-          " (a newline-terminated record failed to parse — not a truncated "
-          "tail, refusing to guess): " +
-          e.what());
-    }
-    const std::string fingerprint =
-        robust::require(entry, "fingerprint", robust::JsonValue::Type::String,
-                        kWhat)
-            .string;
-    const robust::CheckpointRecord rec = robust::parse_eval_record(
-        robust::require(entry, "record", robust::JsonValue::Type::Object,
-                        kWhat),
-        kWhat);
-    ++stats_.journal_records;
-    Key key{fingerprint, rec.indices, rec.fidelity};
-    auto [it, inserted] = entries_.emplace(std::move(key), rec.eval);
-    if (!inserted) {
-      ++stats_.duplicate_records;
-      if (!eval_equal(it->second, rec.eval)) {
-        ++stats_.divergent_duplicates;
-      }
-    }
-  }
-  if (tail_bytes > 0) {
-    stats_.recovered_bytes = tail_bytes;
-  }
-  needs_rewrite_ = true;  // migrate to the framed format
-}
-
-std::size_t EvaluationStore::compact_locked() {
-  const std::size_t bytes_before = file_size_of(path_);
-  const std::string text = snapshot_text();
-  if (writer_) {
-    stats_.io_retries += writer_->io_retries();
-    try {
-      writer_->close();
+      shard.writer->close();
     } catch (const robust::JournalIoError&) {
       // The journal is about to be replaced wholesale; a failed drain of
       // the old fd is moot.
     }
-    writer_.reset();
+    shard.writer.reset();
   }
   try {
-    robust::atomic_replace_file(path_, text, config_.durability,
+    robust::atomic_replace_file(shard.path, text, config_.durability,
                                 "store.compact", kWhat);
   } catch (const robust::JournalIoError&) {
     // Snapshot failed before the rename: the old journal is intact. Try
     // to resume appending to it; if even that fails, degrade.
     try {
-      open_writer(false);
+      shard.open_writer(config_, false);
     } catch (const robust::JournalIoError&) {
-      degraded_ = true;
+      shard.degraded = true;
     }
     throw;
   }
-  open_writer(false);
-  degraded_ = false;  // a fresh, complete journal re-establishes durability
-  ++stats_.compactions;
-  stats_.compaction_bytes_before = bytes_before;
-  stats_.compaction_bytes_after = text.size();
+  shard.open_writer(config_, false);
+  shard.degraded = false;  // a fresh, complete journal restores durability
+  shard.needs_rewrite = false;
+  ++shard.stats.compactions;
+  shard.stats.compaction_bytes_before = bytes_before;
+  shard.stats.compaction_bytes_after = text.size();
   return bytes_before > text.size() ? bytes_before - text.size() : 0;
 }
 
 std::size_t EvaluationStore::compact() {
-  std::unique_lock lock(mutex_);
-  return compact_locked();
+  std::size_t reclaimed = 0;
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    reclaimed += compact_shard_locked(*shard);
+  }
+  return reclaimed;
 }
 
 std::optional<search::Evaluation> EvaluationStore::lookup(
     const std::string& fingerprint, const std::vector<int>& indices,
     int fidelity) {
-  std::shared_lock lock(mutex_);
-  const auto it = entries_.find(Key{fingerprint, indices, fidelity});
-  if (it == entries_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+  const Shard& shard = shard_for(fingerprint);
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.entries.find(Key{fingerprint, indices, fidelity});
+  if (it == shard.entries.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
 void EvaluationStore::record(const std::string& fingerprint,
                              const std::vector<int>& indices, int fidelity,
                              const search::Evaluation& eval) {
-  std::unique_lock lock(mutex_);
+  Shard& shard = shard_for(fingerprint);
+  std::unique_lock lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // The contention signal worker/shard sizing is tuned on: how often a
+    // writer had to wait behind another thread on the same shard.
+    shard.contention.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
   Key key{fingerprint, indices, fidelity};
-  auto [it, inserted] = entries_.emplace(key, eval);
+  auto [it, inserted] = shard.entries.emplace(key, eval);
   if (!inserted) {
     // First write wins; a duplicate that is NOT bit-identical is a
     // determinism regression upstream — count it instead of masking it.
     if (!eval_equal(it->second, eval)) {
-      ++stats_.divergent_duplicates;
+      ++shard.stats.divergent_duplicates;
     }
     return;
   }
-  ++stats_.live_entries;
-  if (degraded_ || !writer_) {
-    ++stats_.dropped_writes;
+  ++shard.stats.live_entries;
+  if (shard.degraded || !shard.writer) {
+    ++shard.stats.dropped_writes;
     return;
   }
   try {
-    writer_->append(payload_for(key, eval));
+    shard.writer->append(payload_for(key, eval));
   } catch (const robust::JournalIoError&) {
-    // Terminal append failure (the retries are inside the writer): flip to
-    // degraded read-only mode. The entry stays in memory so the search
-    // keeps its result; only persistence is lost — callers see it in
-    // stats() rather than as a failed query.
-    degraded_ = true;
-    ++stats_.dropped_writes;
-    stats_.io_retries += writer_->io_retries();
+    // Terminal append failure (the retries are inside the writer): flip
+    // this shard to degraded read-only mode. The entry stays in memory so
+    // the search keeps its result; only persistence is lost — callers see
+    // it in stats() rather than as a failed query. Other shards keep
+    // journaling.
+    shard.degraded = true;
+    ++shard.stats.dropped_writes;
+    shard.stats.io_retries += shard.writer->io_retries();
     try {
-      writer_->close();
+      shard.writer->close();
     } catch (...) {
     }
-    writer_.reset();
+    shard.writer.reset();
     return;
   }
-  ++stats_.appends;
+  ++shard.stats.appends;
 }
 
 std::size_t EvaluationStore::size() const {
-  std::shared_lock lock(mutex_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 std::vector<std::tuple<std::vector<int>, int, search::Evaluation>>
 EvaluationStore::entries_for(const std::string& fingerprint) const {
-  std::shared_lock lock(mutex_);
+  const Shard& shard = shard_for(fingerprint);
+  std::shared_lock lock(shard.mutex);
   std::vector<std::tuple<std::vector<int>, int, search::Evaluation>> out;
   // Keys sort by fingerprint first, so the scope is one contiguous range.
-  for (auto it = entries_.lower_bound(Key{fingerprint, {}, 0});
-       it != entries_.end() && std::get<0>(it->first) == fingerprint; ++it) {
+  for (auto it = shard.entries.lower_bound(Key{fingerprint, {}, 0});
+       it != shard.entries.end() && std::get<0>(it->first) == fingerprint;
+       ++it) {
     out.emplace_back(std::get<1>(it->first), std::get<2>(it->first),
                      it->second);
   }
@@ -411,24 +680,54 @@ EvaluationStore::entries_for(const std::string& fingerprint) const {
 }
 
 bool EvaluationStore::degraded() const {
-  std::shared_lock lock(mutex_);
-  return degraded_;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    if (shard->degraded) return true;
+  }
+  return false;
 }
 
 std::size_t EvaluationStore::divergent_duplicates() const {
-  std::shared_lock lock(mutex_);
-  return stats_.divergent_duplicates;
+  std::size_t total = base_stats_.divergent_duplicates;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->stats.divergent_duplicates;
+  }
+  return total;
 }
 
 StoreStats EvaluationStore::stats() const {
-  std::shared_lock lock(mutex_);
-  StoreStats out = stats_;
-  out.live_entries = entries_.size();
-  out.degraded = degraded_;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  if (writer_) {
-    out.io_retries += writer_->io_retries();
+  StoreStats out = base_stats_;
+  out.shards = shards_.size();
+  out.shard_entries.reserve(shards_.size());
+  out.shard_bytes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    const StoreStats& ss = shard->stats;
+    out.live_entries += shard->entries.size();
+    out.journal_records += ss.journal_records;
+    out.duplicate_records += ss.duplicate_records;
+    out.skipped_records += ss.skipped_records;
+    out.recovered_bytes += ss.recovered_bytes;
+    out.appends += ss.appends;
+    out.divergent_duplicates += ss.divergent_duplicates;
+    out.dropped_writes += ss.dropped_writes;
+    out.io_retries += ss.io_retries;
+    if (shard->writer) out.io_retries += shard->writer->io_retries();
+    out.compactions += ss.compactions;
+    out.compaction_bytes_before += ss.compaction_bytes_before;
+    out.compaction_bytes_after += ss.compaction_bytes_after;
+    out.degraded = out.degraded || shard->degraded;
+    for (const std::string& reason : ss.skip_reasons) {
+      if (out.skip_reasons.size() <= kMaxSkipReasons) {
+        out.skip_reasons.push_back(reason);
+      }
+    }
+    out.hits += shard->hits.load(std::memory_order_relaxed);
+    out.misses += shard->misses.load(std::memory_order_relaxed);
+    out.lock_contention += shard->contention.load(std::memory_order_relaxed);
+    out.shard_entries.push_back(shard->entries.size());
+    out.shard_bytes.push_back(file_size_of(shard->path));
   }
   return out;
 }

@@ -1,51 +1,75 @@
 // Persistent, content-addressed evaluation store: the substrate that makes
 // MetaCore cost evaluations reusable *across* runs, searches, and service
-// queries. One store file is an append-only record journal
+// queries. Storage is one or more append-only record journals
 // (robust/journal.hpp) — a self-identifying header line followed by one
 // CRC32C-guarded, length-prefixed frame per evaluation, keyed by (evaluator
 // fingerprint, grid indices, fidelity). Payloads reuse the versioned-JSON
 // machinery of robust/checkpoint (robust::write_eval_record /
 // parse_eval_record), so stored doubles round-trip bit-exactly.
 //
-// Durability and recovery:
+// Sharding (StoreConfig::shards, env METACORE_STORE_SHARDS):
+//  * shards == 1 keeps the historical single-file layout at `path`,
+//    byte-compatible with every v2 store ever written.
+//  * shards == N > 1 spreads the corpus over `path`.d/shard-00.journal …
+//    shard-(N-1).journal, routed by fingerprint_hash(fingerprint) % N — so
+//    every entry of one evaluator scope lives in exactly one shard, and
+//    lookups/records/compactions on distinct fingerprints touch distinct
+//    files behind distinct locks. One torn shard recovers (or, for
+//    header-level corruption, is quarantined aside) without blocking the
+//    others.
+//  * Layout migration is transparent: opening a single-file store with
+//    N > 1 shards, a sharded store with 1, or resharding N -> M merges
+//    every journal found (first write wins; bit-different duplicates are
+//    counted as divergent), rewrites the requested layout atomically, and
+//    removes the stale files. A crash mid-migration leaves both layouts on
+//    disk; the next open simply merges again — no completed evaluation is
+//    ever lost.
+//
+// Durability and recovery (per shard):
 //  * Appends go through a pluggable durability policy (none | flush |
 //    fsync-every-N | fsync-on-close; METACORE_DURABILITY overrides), so a
 //    deployment chooses its crash window. A crash can only ever leave one
-//    incomplete frame at the tail; load drops it silently — no completed
-//    evaluation is lost.
+//    incomplete frame at the tail of one shard; load drops it silently —
+//    no completed evaluation is lost.
 //  * Every frame carries its own CRC32C: mid-file damage (bit rot, torn
 //    sectors) is skipped per record with a counted, descriptive reason in
-//    stats() instead of poisoning the whole journal. Only header-level
-//    problems (foreign file, unsupported version) reject the file.
-//  * Snapshot + compaction: compact() rewrites the live set as a
+//    stats() instead of poisoning the whole journal. Header-level problems
+//    (foreign file, unsupported version) reject a single-file store; in a
+//    sharded store the bad shard is renamed to <shard>.rejected, counted
+//    in quarantined_shards, and restarted empty while the rest serve.
+//  * Snapshot + compaction: compact() rewrites each shard's live set as a
 //    checksummed snapshot via tmp file + fsync + atomic rename; it runs
-//    automatically at open when the dead-record ratio (duplicates +
+//    automatically at open when a shard's dead-record ratio (duplicates +
 //    damage) crosses StoreConfig::auto_compact_dead_ratio, so a long-lived
-//    server's journal stays bounded. Legacy (v1 JSONL) stores are migrated
+//    server's journals stay bounded. Legacy (v1 JSONL) stores are migrated
 //    to the framed format on first open.
 //  * Degraded read-only mode: when an append fails terminally (disk gone
-//    bad mid-run, after bounded retries), the store keeps serving lookups
-//    and absorbing records in memory but stops journaling; stats() reports
-//    degraded=true and the dropped-write count, and a successful compact()
-//    re-establishes the journal.
+//    bad mid-run, after bounded retries), the affected shard keeps serving
+//    lookups and absorbing records in memory but stops journaling; stats()
+//    reports degraded=true and the dropped-write count, and a successful
+//    compact() re-establishes the journal. Healthy shards keep journaling.
 //
 // Crash points: every journal write/fsync/rename boundary consults a named
 // fail point ("store.journal.*", "store.compact.*"; robust/failpoint.hpp),
 // so the crash-matrix tests enumerate byte-exact kill points.
 //
 // Concurrency discipline: any number of concurrent readers (lookup), one
-// writer at a time (record) — enforced in-process with a shared mutex.
-// Cross-process single-writer discipline is the caller's contract, as with
-// the search checkpoints.
+// writer at a time *per shard* (record) — enforced in-process with a
+// shared mutex per shard; writers on distinct shards proceed in parallel,
+// and blocked writer acquisitions are counted in
+// StoreStats::lock_contention. Cross-process single-writer discipline is
+// the caller's contract, as with the search checkpoints.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -58,13 +82,26 @@ namespace metacore::serve {
 /// was the pre-CRC JSONL format, still readable (and migrated) on load.
 inline constexpr int kStoreVersion = 2;
 
-/// Load + traffic accounting; all counters are since open.
+/// Stable 64-bit FNV-1a over the fingerprint bytes: the routing hash that
+/// assigns an evaluator scope to a store shard — and, in the networked
+/// server, to a dispatch worker. Stable across runs, builds, and hosts by
+/// construction (pure byte arithmetic), so a store written at N shards is
+/// read back identically anywhere.
+std::uint64_t fingerprint_hash(std::string_view fingerprint) noexcept;
+
+/// The shard owning `fingerprint` in an N-shard layout:
+/// fingerprint_hash(fingerprint) % shard_count.
+std::size_t shard_index(std::string_view fingerprint,
+                        std::size_t shard_count) noexcept;
+
+/// Load + traffic accounting; all counters are since open, summed over the
+/// shards (per-shard breakdowns at the bottom).
 struct StoreStats {
   std::size_t live_entries = 0;      ///< distinct keys held after load
   std::size_t journal_records = 0;   ///< intact record frames parsed at load
   std::size_t duplicate_records = 0; ///< duplicate-key frames dropped at load
   std::size_t skipped_records = 0;   ///< damaged frames skipped at load
-  std::size_t recovered_bytes = 0;   ///< crashed-append tail dropped at load
+  std::size_t recovered_bytes = 0;   ///< crashed-append tails dropped at load
   std::size_t hits = 0;              ///< lookup() found the key
   std::size_t misses = 0;            ///< lookup() did not
   std::size_t appends = 0;           ///< record() journal appends
@@ -77,68 +114,89 @@ struct StoreStats {
   std::size_t compactions = 0;       ///< snapshot rewrites since open
   std::size_t compaction_bytes_before = 0;  ///< journal size before last one
   std::size_t compaction_bytes_after = 0;   ///< ... and after
-  bool degraded = false;             ///< journal lost mid-run; memory-only
+  bool degraded = false;             ///< any shard lost its journal mid-run
   /// One descriptive reason per skipped record (capped), e.g. the CRC
   /// mismatch and offset.
   std::vector<std::string> skip_reasons;
+
+  // Shard-layout accounting.
+  std::size_t shards = 1;            ///< shard count of this open store
+  /// True when open() found a different layout (single file vs sharded,
+  /// or another shard count) and rewrote it.
+  bool migrated_layout = false;
+  /// Shards whose journal failed header-level validation and were renamed
+  /// to <shard>.rejected (sharded layouts only; the shard restarts empty).
+  std::size_t quarantined_shards = 0;
+  /// record() writer-lock acquisitions that found the shard lock held and
+  /// had to block — the contention signal worker/shard sizing tunes on.
+  std::size_t lock_contention = 0;
+  std::vector<std::size_t> shard_entries;  ///< live keys per shard
+  std::vector<std::size_t> shard_bytes;    ///< journal bytes on disk per shard
 };
 
 struct StoreConfig {
   /// Append durability; defaults to the process-wide policy
   /// (METACORE_DURABILITY, else flush).
   robust::DurabilityConfig durability{};
-  /// Auto-compaction trigger at open: rewrite when
+  /// Auto-compaction trigger at open: rewrite a shard when
   /// dead / (dead + live) >= ratio, dead = duplicate + skipped records.
   /// <= 0 disables ratio-triggered compaction (recovery rewrites for
   /// damage/tails and legacy migration still happen). Override with
   /// METACORE_STORE_COMPACT_RATIO.
   double auto_compact_dead_ratio = 0.25;
+  /// Shard count (1 = historical single-file layout). Override with
+  /// METACORE_STORE_SHARDS; must be in [1, 256].
+  std::size_t shards = 1;
 
   /// durability from METACORE_DURABILITY, ratio from
-  /// METACORE_STORE_COMPACT_RATIO; throws std::invalid_argument on
-  /// malformed values.
+  /// METACORE_STORE_COMPACT_RATIO, shards from METACORE_STORE_SHARDS;
+  /// throws std::invalid_argument on malformed values.
   static StoreConfig from_env();
 };
 
 class EvaluationStore final : public search::EvaluationStoreBase {
  public:
-  /// Opens (creating if absent) the journal at `path`, replaying it into
-  /// memory with tail recovery, per-record damage skipping, legacy
-  /// migration, and ratio-triggered compaction as described above. Throws
-  /// std::runtime_error on I/O failure, a foreign file, or a version
-  /// mismatch.
+  /// Opens (creating if absent) the store at `path`, replaying every
+  /// journal of the on-disk layout into memory with tail recovery,
+  /// per-record damage skipping, legacy migration, layout migration, and
+  /// ratio-triggered compaction as described above. Throws
+  /// std::runtime_error on I/O failure, a foreign single-file store, or a
+  /// version mismatch.
   explicit EvaluationStore(std::string path,
                            StoreConfig config = StoreConfig::from_env());
+  ~EvaluationStore() override;  // out-of-line: Shard is incomplete here
 
-  /// Thread-safe; concurrent lookups proceed in parallel.
+  /// Thread-safe; concurrent lookups proceed in parallel (across and
+  /// within shards).
   std::optional<search::Evaluation> lookup(const std::string& fingerprint,
                                            const std::vector<int>& indices,
                                            int fidelity) override;
 
-  /// Thread-safe; writers are serialized. A key already present is left
-  /// untouched (first write wins); a duplicate whose evaluation *differs*
-  /// bumps divergent_duplicates. In degraded mode the entry is kept in
-  /// memory (searches keep working) and counted as a dropped write.
+  /// Thread-safe; writers are serialized per shard (distinct fingerprints
+  /// usually append concurrently). A key already present is left untouched
+  /// (first write wins); a duplicate whose evaluation *differs* bumps
+  /// divergent_duplicates. In degraded mode the entry is kept in memory
+  /// (searches keep working) and counted as a dropped write.
   void record(const std::string& fingerprint, const std::vector<int>& indices,
               int fidelity, const search::Evaluation& eval) override;
 
-  /// Number of distinct keys currently held.
+  /// Number of distinct keys currently held (all shards).
   std::size_t size() const;
 
   /// Entries recorded under `fingerprint`, as (indices, fidelity, eval)
   /// tuples in deterministic key order — the warm-start seed for Pareto
-  /// archives.
+  /// archives. Reads exactly one shard.
   std::vector<std::tuple<std::vector<int>, int, search::Evaluation>>
   entries_for(const std::string& fingerprint) const;
 
-  /// Rewrites the journal as a compacted snapshot of the live set (tmp
-  /// file + fsync + atomic rename), dropping dead records; re-establishes
-  /// journaling after degraded mode. Returns bytes reclaimed. Throws
-  /// robust::JournalIoError when the rewrite itself fails.
+  /// Rewrites every shard's journal as a compacted snapshot of its live
+  /// set (tmp file + fsync + atomic rename), dropping dead records;
+  /// re-establishes journaling after degraded mode. Returns bytes
+  /// reclaimed. Throws robust::JournalIoError when a rewrite fails.
   std::size_t compact();
 
-  /// True once an append has failed terminally: lookups and in-memory
-  /// recording still work, the journal does not grow.
+  /// True once an append has failed terminally on any shard: lookups and
+  /// in-memory recording still work, that shard's journal does not grow.
   bool degraded() const;
 
   std::size_t divergent_duplicates() const override;
@@ -147,28 +205,29 @@ class EvaluationStore final : public search::EvaluationStoreBase {
 
   const std::string& path() const { return path_; }
 
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// On-disk journal path of shard `shard` (the configured path itself in
+  /// the single-file layout).
+  std::string shard_path(std::size_t shard) const;
+
  private:
   using Key = std::tuple<std::string, std::vector<int>, int>;
+  struct Shard;
 
-  void load_or_create();
-  void load_framed(const std::string& text);
-  void load_legacy(const std::string& text);
-  std::string payload_for(const Key& key, const search::Evaluation& eval) const;
-  std::string snapshot_text() const;
-  std::size_t compact_locked();
-  void open_writer(bool truncate);
+  Shard& shard_for(const std::string& fingerprint);
+  const Shard& shard_for(const std::string& fingerprint) const;
+  void open_layout();
+  void load_shard_in_place(Shard& shard);
+  void migrate_layout(const std::vector<std::string>& sources);
+  std::size_t compact_shard_locked(Shard& shard);
 
   std::string path_;
   StoreConfig config_;
-  mutable std::shared_mutex mutex_;
-  std::map<Key, search::Evaluation> entries_;
-  std::unique_ptr<robust::JournalWriter> writer_;
-  bool fresh_start_ = false;     ///< load decided the file starts empty
-  bool needs_rewrite_ = false;   ///< load found damage/migration/dead bloat
-  bool degraded_ = false;
-  StoreStats stats_;  // hit/miss tracked separately (atomics below)
-  mutable std::atomic<std::size_t> hits_{0};
-  mutable std::atomic<std::size_t> misses_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Load accounting from a layout migration (per-shard loads write into
+  /// their shard's stats instead).
+  StoreStats base_stats_;
 };
 
 }  // namespace metacore::serve

@@ -5,8 +5,12 @@
 // queries in flight, and survival of clients that vanish mid-query.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -25,6 +29,10 @@ using namespace std::chrono_literals;
 std::string temp_store_path(const char* name) {
   const std::string path = testing::TempDir() + "/" + name;
   std::remove(path.c_str());
+  // Clear any sharded layout (`path.d/`) a previous run under
+  // METACORE_STORE_SHARDS may have left behind.
+  std::error_code ec;
+  std::filesystem::remove_all(path + ".d", ec);
   return path;
 }
 
@@ -263,6 +271,258 @@ TEST(DesignServer, ConcurrentConnectionsAreByteIdenticalAtAnyWidth) {
   std::remove(store_path.c_str());
 }
 
+TEST(DesignServer, WorkerShardConnectionMatrixIsByteIdentical) {
+  const std::string store_path = temp_store_path("net_matrix.store");
+
+  // Four distinct queries, warmed once; the reference bytes are what a
+  // fresh in-process service answers out of the warm store.
+  std::vector<serve::DesignQuery> unique;
+  for (const double mbps : {1.0, 2.0, 3.0, 4.0}) {
+    unique.push_back(tiny_query(mbps));
+  }
+  {
+    serve::ServiceConfig config;
+    config.store = std::make_shared<serve::EvaluationStore>(store_path);
+    serve::DesignService warmer(config);
+    for (const auto& query : unique) warmer.submit(query);
+  }
+  std::vector<std::string> reference(unique.size());
+  {
+    serve::ServiceConfig config;
+    config.store = std::make_shared<serve::EvaluationStore>(store_path);
+    serve::DesignService ref_service(config);
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      reference[i] = serve::to_json(ref_service.submit(unique[i]));
+    }
+  }
+
+  // The full decomposition matrix: every workers x shards x connections
+  // point must produce exactly the reference bytes for every query.
+  constexpr std::size_t kQueries = 16;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      serve::StoreConfig store_config;
+      store_config.shards = shards;
+      serve::ServiceConfig service_config;
+      service_config.store = std::make_shared<serve::EvaluationStore>(
+          store_path, store_config);
+      auto service = std::make_shared<serve::DesignService>(service_config);
+      ServerConfig server_config = loopback_config();
+      server_config.search_workers = workers;
+      DesignServer server(service, server_config);
+      server.start();
+
+      for (const std::size_t connections : {std::size_t{1}, std::size_t{4},
+                                            std::size_t{16}}) {
+        std::vector<std::vector<std::string>> got(connections);
+        std::vector<std::thread> senders;
+        for (std::size_t c = 0; c < connections; ++c) {
+          senders.emplace_back([&, c] {
+            DesignClient client;
+            client.connect("127.0.0.1", server.port());
+            std::vector<std::string> ids;
+            for (std::size_t q = c; q < kQueries; q += connections) {
+              const std::string id = "m" + std::to_string(q);
+              client.send_query(id, unique[q % unique.size()]);
+              ids.push_back(id);
+            }
+            for (const std::string& id : ids) {
+              const WireResponse response = client.recv_matching(id);
+              ASSERT_TRUE(response.ok()) << response.reason;
+              got[c].push_back(response.response_json);
+            }
+          });
+        }
+        for (auto& sender : senders) sender.join();
+        for (std::size_t c = 0; c < connections; ++c) {
+          std::size_t k = 0;
+          for (std::size_t q = c; q < kQueries; q += connections, ++k) {
+            EXPECT_EQ(got[c][k], reference[q % unique.size()])
+                << "workers=" << workers << " shards=" << shards
+                << " connections=" << connections << " query=" << q;
+          }
+        }
+      }
+      server.shutdown();
+      // Every decomposition leaves the corpus equivalent: migrating back
+      // to one file must reproduce the single-file layout losslessly.
+    }
+  }
+  serve::EvaluationStore final_store(store_path);
+  EXPECT_GT(final_store.size(), 0u);
+  std::remove(store_path.c_str());
+}
+
+TEST(DesignServer, SameFingerprintQueriesKeepArrivalOrderAcrossWorkers) {
+  // Two same-fingerprint queries pipelined back-to-back: the first (big
+  // budget) evaluates the space cold; the second (small budget, same
+  // evaluator scope) must run AFTER it and replay from the store. If
+  // multi-worker dispatch ever reordered them, the second would run cold
+  // (store_hits 0) — fingerprint routing makes the order a guarantee, not
+  // a race.
+  const std::string store_path = temp_store_path("net_order.store");
+  serve::ServiceConfig service_config;
+  service_config.store_path = store_path;
+  auto service = std::make_shared<serve::DesignService>(service_config);
+  ServerConfig config = loopback_config();
+  config.search_workers = 8;
+  DesignServer server(service, config);
+  server.start();
+
+  DesignClient client;
+  client.connect("127.0.0.1", server.port());
+  serve::DesignQuery big = tiny_query(6.0);
+  big.budget.initial_points_per_dim = 3;
+  big.budget.max_evaluations = 64;
+  serve::DesignQuery small = tiny_query(6.0);  // same fingerprint
+  small.budget.initial_points_per_dim = 2;
+  small.budget.max_evaluations = 8;
+  client.send_query("big", big);
+  client.send_query("small", small);
+
+  const WireResponse first = client.recv_matching("big");
+  const WireResponse second = client.recv_matching("small");
+  ASSERT_TRUE(first.ok()) << first.reason;
+  ASSERT_TRUE(second.ok()) << second.reason;
+  // The second query replayed at least part of the first one's work.
+  EXPECT_EQ(second.response_json.find("\"store_hits\":0,"),
+            std::string::npos)
+      << second.response_json;
+  server.shutdown();
+  std::remove(store_path.c_str());
+}
+
+TEST(DesignServer, FastLaneAnswersCheapQueriesDuringASlowSearch) {
+  auto service = std::make_shared<serve::DesignService>();
+  ServerConfig config = loopback_config();
+  config.search_workers = 1;  // one busy search worker: the worst case
+  DesignServer server(service, config);
+  server.start();
+
+  DesignClient busy;
+  busy.connect("127.0.0.1", server.port());
+  busy.send_query("slow", slow_query());
+  ASSERT_TRUE(wait_until([&] { return server.stats().in_flight >= 1; }));
+
+  // With the search worker pinned, stats (inline on the I/O thread) and
+  // archive_only probes (fast lane) must still answer promptly — their
+  // latency stays flat instead of queueing behind the search.
+  DesignClient probe;
+  probe.connect("127.0.0.1", server.port());
+  double worst_ms = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const WireResponse stats = probe.stats();
+    ASSERT_TRUE(stats.ok()) << stats.reason;
+    serve::DesignQuery archive_probe = tiny_query();
+    archive_probe.archive_only = true;
+    const WireResponse archive = probe.query(archive_probe);
+    ASSERT_TRUE(archive.ok()) << archive.reason;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    worst_ms = std::max(worst_ms, ms);
+  }
+  // The slow search is still running: the cheap round trips above did not
+  // wait for it.
+  EXPECT_GE(server.stats().in_flight, 1u);
+  EXPECT_LT(worst_ms, 5000.0);
+  const WireResponse stats = probe.stats();
+  EXPECT_NE(stats.stats_json.find("\"fast_lane_queries\":5"),
+            std::string::npos)
+      << stats.stats_json;
+  EXPECT_NE(stats.stats_json.find("\"workers\":1"), std::string::npos);
+  EXPECT_NE(stats.stats_json.find("\"worker_depths\":["), std::string::npos);
+
+  EXPECT_TRUE(busy.recv_matching("slow").ok());
+  server.shutdown();
+}
+
+TEST(DesignClientRetry, BackoffScheduleIsDeterministicCappedAndDepthScaled) {
+  RetryPolicy policy;
+  policy.base_ms = 10.0;
+  policy.cap_ms = 500.0;
+  policy.depth_weight = 0.1;
+  policy.jitter_key = 42;
+
+  // Pure function: the same (attempt, depth, counter) replays exactly.
+  EXPECT_EQ(retry_backoff_ms(policy, 0, 0, 0),
+            retry_backoff_ms(policy, 0, 0, 0));
+  // Half-jitter bounds: exp/2 <= backoff < exp.
+  for (std::size_t attempt = 0; attempt < 12; ++attempt) {
+    const double exp_ms =
+        std::min(policy.cap_ms, policy.base_ms * std::pow(2.0, attempt));
+    const double ms = retry_backoff_ms(policy, attempt, 0, attempt);
+    EXPECT_GE(ms, exp_ms / 2.0) << attempt;
+    EXPECT_LT(ms, exp_ms) << attempt;
+  }
+  // The queue-depth hint scales the wait: a deeply backed-up server earns
+  // a longer backoff at the same attempt/counter.
+  EXPECT_GT(retry_backoff_ms(policy, 0, 100, 7),
+            retry_backoff_ms(policy, 0, 0, 7));
+  // The cap is a real cap even with a huge depth hint.
+  EXPECT_LT(retry_backoff_ms(policy, 20, 100000, 3), policy.cap_ms);
+  // Distinct jitter keys desynchronize two otherwise-identical clients.
+  RetryPolicy other = policy;
+  other.jitter_key = 43;
+  EXPECT_NE(retry_backoff_ms(policy, 2, 0, 5),
+            retry_backoff_ms(other, 2, 0, 5));
+}
+
+TEST(DesignClientRetry, RetriesOverloadedRejectionsUntilAdmitted) {
+  ServerConfig config = loopback_config();
+  config.max_pending_queries = 1;
+  config.search_workers = 1;
+  auto service = std::make_shared<serve::DesignService>();
+  DesignServer server(service, config);
+  server.start();
+
+  DesignClient busy;
+  busy.connect("127.0.0.1", server.port());
+  busy.send_query("slow", slow_query());
+  ASSERT_TRUE(wait_until([&] { return server.stats().in_flight >= 1; }));
+  busy.send_query("fill", tiny_query(2.0));  // occupies the 1-slot queue
+  ASSERT_TRUE(wait_until([&] { return server.stats().queue_depth >= 1; }));
+
+  // The retrying client is rejected at first (queue full behind the slow
+  // search) and then admitted once the backlog drains — the caller sees
+  // one ok response, never a rejection.
+  DesignClient patient;
+  patient.connect("127.0.0.1", server.port());
+  RetryPolicy policy;
+  policy.max_retries = 400;
+  policy.base_ms = 5.0;
+  policy.cap_ms = 50.0;
+  policy.jitter_key = 7;
+  patient.set_retry_policy(policy);
+  const WireResponse response = patient.query(tiny_query(3.0));
+  ASSERT_TRUE(response.ok()) << response.status << ": " << response.reason;
+  const ClientStats& stats = patient.client_stats();
+  EXPECT_GE(stats.overloaded_rejections, 1u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_GT(stats.backoff_ms_total, 0.0);
+  EXPECT_EQ(stats.queries_sent, stats.retries + 1);
+
+  EXPECT_TRUE(busy.recv_matching("slow").ok());
+  EXPECT_TRUE(busy.recv_matching("fill").ok());
+  server.shutdown();
+}
+
+TEST(ServerConfigEnv, ParsesWorkerCount) {
+  ::setenv("METACORE_SERVER_WORKERS", "4", 1);
+  EXPECT_EQ(ServerConfig::from_env().search_workers, 4u);
+  ::setenv("METACORE_SERVER_WORKERS", "0", 1);
+  EXPECT_THROW(ServerConfig::from_env(), std::invalid_argument);
+  ::setenv("METACORE_SERVER_WORKERS", "xyz", 1);
+  EXPECT_THROW(ServerConfig::from_env(), std::invalid_argument);
+  ::setenv("METACORE_SERVER_WORKERS", "999", 1);
+  EXPECT_THROW(ServerConfig::from_env(), std::invalid_argument);
+  ::unsetenv("METACORE_SERVER_WORKERS");
+  EXPECT_EQ(ServerConfig::from_env().search_workers, 0u);  // auto
+}
+
 TEST(DesignServer, OverloadReturnsStructuredRejections) {
   ServerConfig config = loopback_config();
   config.max_pending_queries = 1;  // tiny admission quota
@@ -321,10 +581,15 @@ TEST(DesignServer, GracefulDrainFinishesInFlightAndFlushesTheStore) {
     client.send_query(id, tiny_query(mbps));
     ids.push_back(id);
   }
+  // Wait until all four frames cleared admission (queries_received counts
+  // decoded query frames, and nothing rejects before the drain begins) —
+  // otherwise shutdown() could race the client's sends and legitimately
+  // answer a late frame with a `draining` rejection.
   ASSERT_TRUE(wait_until([&] {
     const ServerStats stats = server.stats();
-    return stats.in_flight + stats.queue_depth >= 1;
+    return stats.queries_received >= ids.size();
   }));
+  ASSERT_EQ(server.stats().queries_rejected, 0u);
 
   // Drain while the batch is mid-flight: every admitted query must still
   // be answered before the server closes the connection. The join guard

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -24,7 +25,22 @@ namespace {
 std::string temp_store_path(const char* name) {
   const std::string path = testing::TempDir() + "/" + name;
   std::remove(path.c_str());
+  // Also clear any sharded layout (`path.d/`) a previous run under
+  // METACORE_STORE_SHARDS may have left behind — a stale shard directory
+  // would replay into a test expecting a cold store.
+  std::error_code ec;
+  std::filesystem::remove_all(path + ".d", ec);
   return path;
+}
+
+/// Explicit single-file layout: the byte-level journal tests assert the
+/// on-disk format of `path` itself, so an ambient METACORE_STORE_SHARDS
+/// (the CI worker-pool matrix sets it) must not move the records into a
+/// shard directory. Everything else from the environment still applies.
+StoreConfig single_file() {
+  StoreConfig config = StoreConfig::from_env();
+  config.shards = 1;
+  return config;
 }
 
 std::string read_file(const std::string& path) {
@@ -54,7 +70,7 @@ search::Evaluation sample_eval(double cost) {
 
 TEST(EvaluationStore, CreatesFreshJournalWithHeader) {
   const std::string path = temp_store_path("fresh.jsonl");
-  EvaluationStore store(path);
+  EvaluationStore store(path, single_file());
   EXPECT_EQ(store.size(), 0u);
   const std::string text = read_file(path);
   EXPECT_NE(text.find("metacore-journal"), std::string::npos);
@@ -164,7 +180,7 @@ TEST(EvaluationStore, CountsDivergentDuplicates) {
 TEST(EvaluationStore, CompactsDuplicateJournalRecordsOnLoad) {
   const std::string path = temp_store_path("compact.jsonl");
   {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single_file());
     store.record("fp", {7}, 0, sample_eval(1.0));
   }
   // Simulate a second writer-epoch having appended the same key (e.g. two
@@ -175,14 +191,14 @@ TEST(EvaluationStore, CompactsDuplicateJournalRecordsOnLoad) {
   const std::size_t first_nl = text.find('\n');
   append_raw(path, text.substr(first_nl + 1));
   {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single_file());
     EXPECT_EQ(store.size(), 1u);
     EXPECT_EQ(store.stats().journal_records, 2u);
     EXPECT_EQ(store.stats().duplicate_records, 1u);
     EXPECT_EQ(store.stats().compactions, 1u);
   }
   // The rewrite is durable: a third open sees a clean compacted journal.
-  EvaluationStore clean(path);
+  EvaluationStore clean(path, single_file());
   EXPECT_EQ(clean.stats().journal_records, 1u);
   EXPECT_EQ(clean.stats().duplicate_records, 0u);
   EXPECT_EQ(clean.stats().compactions, 0u);
@@ -267,7 +283,7 @@ TEST(EvaluationStore, CrashDuringHeaderWriteStartsFresh) {
 TEST(EvaluationStore, SkipsTerminatedGarbageWithCountedReason) {
   const std::string path = temp_store_path("garbage.jsonl");
   {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single_file());
     store.record("fp", {1}, 0, sample_eval(1.0));
   }
   // Newline-terminated damage cannot be a crashed append. With per-record
@@ -275,7 +291,7 @@ TEST(EvaluationStore, SkipsTerminatedGarbageWithCountedReason) {
   // descriptive reason instead of poisoning the whole journal.
   append_raw(path, "this is not a frame\n");
   {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single_file());
     EXPECT_EQ(store.size(), 1u);
     const auto stats = store.stats();
     EXPECT_EQ(stats.skipped_records, 1u);
@@ -285,7 +301,7 @@ TEST(EvaluationStore, SkipsTerminatedGarbageWithCountedReason) {
     ASSERT_TRUE(store.lookup("fp", {1}, 0).has_value());
   }
   // Damage triggers a recovery rewrite: the next open is clean.
-  EvaluationStore clean(path);
+  EvaluationStore clean(path, single_file());
   EXPECT_EQ(clean.stats().skipped_records, 0u);
   std::remove(path.c_str());
 }
@@ -293,7 +309,7 @@ TEST(EvaluationStore, SkipsTerminatedGarbageWithCountedReason) {
 TEST(EvaluationStore, SkipsCorruptRecordMidFileAndKeepsTheRest) {
   const std::string path = temp_store_path("midfile.jsonl");
   {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single_file());
     store.record("fp", {1}, 0, sample_eval(1.0));
     store.record("fp", {2}, 0, sample_eval(2.0));
   }
@@ -306,7 +322,7 @@ TEST(EvaluationStore, SkipsCorruptRecordMidFileAndKeepsTheRest) {
   text[payload_byte] ^= 0x20;
   write_file(path, text);
   {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single_file());
     EXPECT_EQ(store.size(), 1u);
     EXPECT_FALSE(store.lookup("fp", {1}, 0).has_value());
     ASSERT_TRUE(store.lookup("fp", {2}, 0).has_value());
@@ -317,7 +333,7 @@ TEST(EvaluationStore, SkipsCorruptRecordMidFileAndKeepsTheRest) {
               std::string::npos)
         << stats.skip_reasons.front();
   }
-  EvaluationStore clean(path);
+  EvaluationStore clean(path, single_file());
   EXPECT_EQ(clean.stats().skipped_records, 0u);
   EXPECT_EQ(clean.size(), 1u);
   std::remove(path.c_str());
@@ -325,14 +341,14 @@ TEST(EvaluationStore, SkipsCorruptRecordMidFileAndKeepsTheRest) {
 
 TEST(EvaluationStore, RejectsJournalFormatVersionMismatchDescriptively) {
   const std::string path = temp_store_path("version.jsonl");
-  { EvaluationStore store(path); }
+  { EvaluationStore store(path, single_file()); }
   std::string text = read_file(path);
   const auto pos = text.find("\"version\":1");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 11, "\"version\":9");
   write_file(path, text);
   try {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single_file());
     FAIL() << "journal format version mismatch must be rejected";
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
@@ -344,7 +360,7 @@ TEST(EvaluationStore, RejectsJournalFormatVersionMismatchDescriptively) {
 
 TEST(EvaluationStore, RejectsStoreSchemaVersionMismatchDescriptively) {
   const std::string path = temp_store_path("kind_version.jsonl");
-  { EvaluationStore store(path); }
+  { EvaluationStore store(path, single_file()); }
   std::string text = read_file(path);
   const std::string needle = "\"kind_version\":" + std::to_string(kStoreVersion);
   const auto pos = text.find(needle);
@@ -352,7 +368,7 @@ TEST(EvaluationStore, RejectsStoreSchemaVersionMismatchDescriptively) {
   text.replace(pos, needle.size(), "\"kind_version\":9");
   write_file(path, text);
   try {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single_file());
     FAIL() << "store schema version mismatch must be rejected";
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
@@ -384,8 +400,12 @@ TEST(EvaluationStore, MigratesLegacyV1StoreOnOpen) {
              "{\"fingerprint\":\"fp\",\"record\":{\"indices\":[3,1],"
              "\"fidelity\":1,\"feasible\":true,\"confidence_weight\":42,"
              "\"failure_reason\":\"\",\"metrics\":{\"cost\":1.25}}}\n");
+  // Pin the single-file layout: this test asserts the migrated bytes of
+  // `path` itself, so an ambient METACORE_STORE_SHARDS must not reshard.
+  StoreConfig single = StoreConfig::from_env();
+  single.shards = 1;
   {
-    EvaluationStore store(path);
+    EvaluationStore store(path, single);
     EXPECT_EQ(store.size(), 1u);
     const auto hit = store.lookup("fp", {3, 1}, 1);
     ASSERT_TRUE(hit.has_value());
@@ -395,7 +415,7 @@ TEST(EvaluationStore, MigratesLegacyV1StoreOnOpen) {
   const std::string text = read_file(path);
   EXPECT_NE(text.find("metacore-journal"), std::string::npos);
   EXPECT_NE(text.find("\n#"), std::string::npos);
-  EvaluationStore reopened(path);
+  EvaluationStore reopened(path, single);
   EXPECT_EQ(reopened.size(), 1u);
   ASSERT_TRUE(reopened.lookup("fp", {3, 1}, 1).has_value());
   std::remove(path.c_str());
@@ -448,6 +468,268 @@ TEST(EvaluationStore, ConcurrentReadersAndWriterAreSafe) {
   EvaluationStore reopened(path);
   EXPECT_EQ(reopened.size(), static_cast<std::size_t>(kWrites));
   std::remove(path.c_str());
+}
+
+// --- Sharded layout: fingerprint-prefix sharding, migration, isolation.
+
+StoreConfig sharded(std::size_t shards) {
+  StoreConfig config;
+  config.shards = shards;
+  return config;
+}
+
+TEST(ShardedStore, RoutingHashIsStableAndInRange) {
+  // The routing hash is a pure function of the bytes: the same fingerprint
+  // must route identically across runs, builds, and store instances.
+  EXPECT_EQ(fingerprint_hash("viterbi|x"), fingerprint_hash("viterbi|x"));
+  EXPECT_NE(fingerprint_hash("viterbi|x"), fingerprint_hash("viterbi|y"));
+  EXPECT_EQ(shard_index("anything", 1), 0u);
+  for (const char* fp : {"a", "b", "viterbi|ber=1e-4", "iir|t=1.0"}) {
+    EXPECT_LT(shard_index(fp, 4), 4u);
+    EXPECT_EQ(shard_index(fp, 4), shard_index(fp, 4));
+  }
+}
+
+TEST(ShardedStore, RoundTripsAcrossShardsWithPerShardJournals) {
+  const std::string path = temp_store_path("sharded.store");
+  constexpr std::size_t kShards = 4;
+  {
+    EvaluationStore store(path, sharded(kShards));
+    EXPECT_EQ(store.shard_count(), kShards);
+    for (int i = 0; i < 16; ++i) {
+      store.record("fp-" + std::to_string(i), {i}, 0,
+                   sample_eval(static_cast<double>(i)));
+    }
+    EXPECT_EQ(store.size(), 16u);
+    // Every entry landed in the shard its fingerprint hashes to.
+    for (int i = 0; i < 16; ++i) {
+      const std::string fp = "fp-" + std::to_string(i);
+      const std::string text =
+          read_file(store.shard_path(shard_index(fp, kShards)));
+      EXPECT_NE(text.find("\"" + fp + "\""), std::string::npos) << fp;
+    }
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.shards, kShards);
+    EXPECT_FALSE(stats.migrated_layout);
+    ASSERT_EQ(stats.shard_entries.size(), kShards);
+    std::size_t total = 0;
+    for (const std::size_t n : stats.shard_entries) total += n;
+    EXPECT_EQ(total, 16u);
+  }
+  // Reopen at the same shard count: an in-place per-shard load, no
+  // migration, nothing lost.
+  EvaluationStore reopened(path, sharded(kShards));
+  EXPECT_FALSE(reopened.stats().migrated_layout);
+  EXPECT_EQ(reopened.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    const auto hit = reopened.lookup("fp-" + std::to_string(i), {i}, 0);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->metric("cost"), static_cast<double>(i));
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::remove(reopened.shard_path(s).c_str());
+  }
+}
+
+TEST(ShardedStore, MigratesSingleFileToShardsAndBack) {
+  const std::string path = temp_store_path("migrate.store");
+  {
+    EvaluationStore store(path, sharded(1));  // historical single-file layout
+    for (int i = 0; i < 12; ++i) {
+      store.record("fp-" + std::to_string(i), {i}, 0,
+                   sample_eval(static_cast<double>(i)));
+    }
+  }
+  {
+    // Single file -> 4 shards: transparent merge + rewrite.
+    EvaluationStore store(path, sharded(4));
+    EXPECT_TRUE(store.stats().migrated_layout);
+    EXPECT_EQ(store.size(), 12u);
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(store.lookup("fp-" + std::to_string(i), {i}, 0).has_value());
+    }
+    // The stale single file is gone; appends keep working per shard.
+    EXPECT_TRUE(read_file(path).empty());
+    store.record("fp-new", {99}, 0, sample_eval(99.0));
+  }
+  {
+    // 4 shards -> single file: the reverse migration, byte-compatible v2.
+    EvaluationStore store(path, sharded(1));
+    EXPECT_TRUE(store.stats().migrated_layout);
+    EXPECT_EQ(store.size(), 13u);
+    ASSERT_TRUE(store.lookup("fp-new", {99}, 0).has_value());
+  }
+  // After migrating back, a single-file open sees a clean store with no
+  // further migration to do.
+  EvaluationStore plain(path, sharded(1));
+  EXPECT_FALSE(plain.stats().migrated_layout);
+  EXPECT_EQ(plain.size(), 13u);
+  std::remove(path.c_str());
+}
+
+TEST(ShardedStore, ReshardMergesEveryShard) {
+  const std::string path = temp_store_path("reshard.store");
+  {
+    EvaluationStore store(path, sharded(4));
+    for (int i = 0; i < 20; ++i) {
+      store.record("fp-" + std::to_string(i), {i}, 0,
+                   sample_eval(static_cast<double>(i)));
+    }
+  }
+  // 4 -> 2: shard files with index >= 2 are merged in and removed.
+  EvaluationStore store(path, sharded(2));
+  EXPECT_TRUE(store.stats().migrated_layout);
+  EXPECT_EQ(store.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.lookup("fp-" + std::to_string(i), {i}, 0).has_value());
+  }
+  EXPECT_EQ(read_file(path + ".d/shard-02.journal"), "");
+  EXPECT_EQ(read_file(path + ".d/shard-03.journal"), "");
+  std::remove(store.shard_path(0).c_str());
+  std::remove(store.shard_path(1).c_str());
+}
+
+TEST(ShardedStore, TornShardTailRecoversWhileOthersServe) {
+  const std::string path = temp_store_path("torn_shard.store");
+  constexpr std::size_t kShards = 4;
+  {
+    EvaluationStore store(path, sharded(kShards));
+    for (int i = 0; i < 16; ++i) {
+      store.record("fp-" + std::to_string(i), {i}, 0,
+                   sample_eval(static_cast<double>(i)));
+    }
+  }
+  // Crash-matrix one shard: truncate its journal at EVERY byte boundary of
+  // the final frame (each prefix is a possible post-crash state) and
+  // verify the open recovers the shard and the other shards serve
+  // everything they hold, untouched.
+  EvaluationStore probe(path, sharded(kShards));
+  const std::string victim = probe.shard_path(0);
+  const std::string full = read_file(victim);
+  const std::size_t last_frame = full.rfind("\n#") + 1;
+  ASSERT_GT(last_frame, 0u);
+  for (std::size_t cut = last_frame + 1; cut < full.size(); ++cut) {
+    write_file(victim, full.substr(0, cut));
+    EvaluationStore store(path, sharded(kShards));
+    EXPECT_EQ(store.stats().quarantined_shards, 0u) << "cut=" << cut;
+    // Every fingerprint outside the victim shard must still be served.
+    std::size_t outside = 0;
+    for (int i = 0; i < 16; ++i) {
+      const std::string fp = "fp-" + std::to_string(i);
+      if (shard_index(fp, kShards) == 0) continue;
+      ++outside;
+      EXPECT_TRUE(store.lookup(fp, {i}, 0).has_value())
+          << fp << " cut=" << cut;
+    }
+    ASSERT_GT(outside, 0u);
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::remove(probe.shard_path(s).c_str());
+  }
+}
+
+TEST(ShardedStore, QuarantinesHeaderCorruptShardAndServesTheRest) {
+  const std::string path = temp_store_path("quarantine.store");
+  constexpr std::size_t kShards = 4;
+  std::string victim;
+  {
+    EvaluationStore store(path, sharded(kShards));
+    for (int i = 0; i < 16; ++i) {
+      store.record("fp-" + std::to_string(i), {i}, 0,
+                   sample_eval(static_cast<double>(i)));
+    }
+    victim = store.shard_path(2);
+  }
+  // Header-level corruption would reject a single-file store; a sharded
+  // store quarantines just the bad shard and keeps serving the others.
+  write_file(victim, "{\"magic\":\"something-else\",\"version\":1}\n");
+  EvaluationStore store(path, sharded(kShards));
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.quarantined_shards, 1u);
+  EXPECT_FALSE(read_file(victim + ".rejected").empty());
+  std::size_t served = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::string fp = "fp-" + std::to_string(i);
+    if (shard_index(fp, kShards) == 2) continue;
+    ++served;
+    EXPECT_TRUE(store.lookup(fp, {i}, 0).has_value()) << fp;
+  }
+  ASSERT_GT(served, 0u);
+  // The quarantined shard restarted empty and accepts new work.
+  store.record("replacement", {1}, 0, sample_eval(5.0));
+  EXPECT_TRUE(store.lookup("replacement", {1}, 0).has_value());
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::remove(store.shard_path(s).c_str());
+  }
+  std::remove((victim + ".rejected").c_str());
+}
+
+TEST(ShardedStore, ConcurrentWritersOnDistinctShardsStayConsistent) {
+  const std::string path = temp_store_path("shard_concurrent.store");
+  EvaluationStore store(path, sharded(4));
+  constexpr int kPerThread = 64;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.record("fp-" + std::to_string(t), {i}, 0,
+                     sample_eval(static_cast<double>(i)));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(store.size(), 4u * kPerThread);
+  EXPECT_EQ(store.divergent_duplicates(), 0u);
+  // The contention counter is wired through stats (its value depends on
+  // scheduling; correctness above is the hard assertion).
+  (void)store.stats().lock_contention;
+  EvaluationStore reopened(path, sharded(4));
+  EXPECT_EQ(reopened.size(), 4u * kPerThread);
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::remove(store.shard_path(s).c_str());
+  }
+}
+
+TEST(ShardedStore, PerShardCompactionReclaimsOnlyTheBloatedShard) {
+  const std::string path = temp_store_path("shard_compact.store");
+  StoreConfig config = sharded(2);
+  config.auto_compact_dead_ratio = 0.0;  // manual compaction only
+  {
+    EvaluationStore store(path, config);
+    store.record("fp-a", {1}, 0, sample_eval(1.0));
+    store.record("fp-b", {1}, 0, sample_eval(2.0));
+    // Bloat exactly one shard with duplicate frames.
+    const std::string bloated = store.shard_path(shard_index("fp-a", 2));
+    const std::string text = read_file(bloated);
+    const std::string frames = text.substr(text.find('\n') + 1);
+    ASSERT_FALSE(frames.empty());
+  }
+  EvaluationStore store(path, config);
+  const std::string bloated = store.shard_path(shard_index("fp-a", 2));
+  const std::string text = read_file(bloated);
+  append_raw(bloated, text.substr(text.find('\n') + 1));
+  const std::size_t reclaimed = store.compact();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(store.stats().compactions, 2u);  // one per shard
+  EvaluationStore reopened(path, config);
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_EQ(reopened.stats().duplicate_records, 0u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    std::remove(store.shard_path(s).c_str());
+  }
+}
+
+TEST(ShardedStore, FromEnvParsesShardCount) {
+  ::setenv("METACORE_STORE_SHARDS", "4", 1);
+  EXPECT_EQ(StoreConfig::from_env().shards, 4u);
+  ::setenv("METACORE_STORE_SHARDS", "0", 1);
+  EXPECT_THROW(StoreConfig::from_env(), std::invalid_argument);
+  ::setenv("METACORE_STORE_SHARDS", "abc", 1);
+  EXPECT_THROW(StoreConfig::from_env(), std::invalid_argument);
+  ::setenv("METACORE_STORE_SHARDS", "400", 1);
+  EXPECT_THROW(StoreConfig::from_env(), std::invalid_argument);
+  ::unsetenv("METACORE_STORE_SHARDS");
+  EXPECT_EQ(StoreConfig::from_env().shards, 1u);
 }
 
 // --- Search integration: the contract the design-query service relies on.
