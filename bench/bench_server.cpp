@@ -19,6 +19,7 @@
 // records, so both the socket tax and the worker-pool scaling curve are
 // tracked across PRs.
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -48,10 +49,13 @@ std::string bench_serve_json_path() {
 /// A small pool of distinct queries; every connection cycles through it so
 /// the warm pass replays exactly the points the cold pass journaled. Four
 /// distinct throughput requirements = four evaluator fingerprints, so a
-/// multi-worker server has real routing to do.
-std::vector<serve::DesignQuery> query_pool() {
+/// multi-worker server has real routing to do. `deep` widens the search
+/// budget (denser grid, two refinement levels) so the archived Pareto
+/// fronts grow large — the shape the wire-byte comparison is about.
+std::vector<serve::DesignQuery> query_pool(bool deep) {
   std::vector<serve::DesignQuery> pool;
-  const std::size_t max_evals = bench::quick_mode() ? 16 : 48;
+  const std::size_t max_evals =
+      bench::quick_mode() ? 16 : (deep ? 96 : 48);
   for (const double mbps : {1.0, 2.0, 3.0, 4.0}) {
     serve::DesignQuery query;
     query.kind = serve::QueryKind::Viterbi;
@@ -59,9 +63,9 @@ std::vector<serve::DesignQuery> query_pool() {
     query.esn0_db = 1.0;
     query.throughput_mbps = mbps;
     query.ber_shards = 2;
-    query.budget.initial_points_per_dim = 2;
-    query.budget.max_resolution = 0;
-    query.budget.regions_per_level = 1;
+    query.budget.initial_points_per_dim = deep ? 3 : 2;
+    query.budget.max_resolution = deep ? 2 : 0;
+    query.budget.regions_per_level = deep ? 2 : 1;
     query.budget.max_evaluations = max_evals;
     pool.push_back(query);
   }
@@ -76,20 +80,41 @@ struct PassResult {
   std::size_t queries = 0;
   std::size_t errors = 0;
   std::size_t store_hits = 0;
+  std::size_t wire_bytes_sent = 0;      ///< client -> server, framing included
+  std::size_t wire_bytes_received = 0;  ///< server -> client
+  double wire_mb_per_sec = 0.0;         ///< both directions over the wall
+  std::size_t response_cache_hits = 0;
+};
+
+struct PassOptions {
+  /// Closed loop (send, wait, repeat) vs open loop (burst, then drain).
+  bool pipelined = false;
+  /// Negotiate the MCB1 binary wire mode before sending any query.
+  bool binary = false;
+  /// Serialized-response cache capacity (0 disables; 256 is the default).
+  std::size_t response_cache_capacity = 256;
+  /// Closed-loop replays of the whole pool per connection BEFORE the
+  /// measured phase (traffic counters reset afterwards, and the phases are
+  /// separated by a rendezvous). Two loops fill both the store replay path
+  /// and the serialized-response cache, so the measured phase isolates the
+  /// serving hot path the cache passes compare.
+  std::size_t prewarm_loops = 0;
 };
 
 /// Runs one pass against a fresh server over the given journal, with
 /// `workers` dispatch workers and the store sharded `shards` ways.
-/// `pipelined` switches each connection from closed-loop (send, wait,
-/// repeat) to open-loop (burst everything, then drain the responses).
-PassResult run_pass(const std::string& store_path, std::size_t connections,
-                    std::size_t queries_per_connection, bool pipelined,
-                    std::size_t workers, std::size_t shards) {
+PassResult run_pass(const std::string& store_path,
+                    const std::vector<serve::DesignQuery>& pool,
+                    std::size_t connections,
+                    std::size_t queries_per_connection,
+                    const PassOptions& options, std::size_t workers,
+                    std::size_t shards) {
   serve::StoreConfig store_config = serve::StoreConfig::from_env();
   store_config.shards = shards;
   serve::ServiceConfig service_config;
   service_config.store =
       std::make_shared<serve::EvaluationStore>(store_path, store_config);
+  service_config.response_cache_capacity = options.response_cache_capacity;
   auto service = std::make_shared<serve::DesignService>(service_config);
   net::ServerConfig server_config;
   server_config.search_workers = workers;
@@ -98,12 +123,14 @@ PassResult run_pass(const std::string& store_path, std::size_t connections,
   net::DesignServer server(service, server_config);
   server.start();
 
-  const auto pool = query_pool();
   std::mutex merge_mutex;
+  std::condition_variable ready_cv;
+  std::size_t ready = 0;
+  std::chrono::steady_clock::time_point measure_start;
+  std::chrono::steady_clock::time_point measure_end;
   std::vector<double> latencies_ms;
   PassResult pass;
 
-  const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> load_threads;
   for (std::size_t c = 0; c < connections; ++c) {
     load_threads.emplace_back([&, c] {
@@ -111,7 +138,25 @@ PassResult run_pass(const std::string& store_path, std::size_t connections,
       client.connect("127.0.0.1", server.port());
       std::vector<double> local_ms;
       std::size_t local_errors = 0;
-      if (pipelined) {
+      if (options.binary && !client.negotiate_binary()) ++local_errors;
+      for (std::size_t loop = 0; loop < options.prewarm_loops; ++loop) {
+        for (const auto& query : pool) {
+          if (!client.query(query).ok()) ++local_errors;
+        }
+      }
+      client.reset_stats();
+      // Rendezvous: every connection enters the measured phase together,
+      // so the wall clock covers serving, not prewarm stragglers.
+      {
+        std::unique_lock<std::mutex> lock(merge_mutex);
+        if (++ready == connections) {
+          measure_start = std::chrono::steady_clock::now();
+          ready_cv.notify_all();
+        } else {
+          ready_cv.wait(lock, [&] { return ready == connections; });
+        }
+      }
+      if (options.pipelined) {
         const auto burst_start = std::chrono::steady_clock::now();
         std::vector<std::string> ids;
         for (std::size_t q = 0; q < queries_per_connection; ++q) {
@@ -141,23 +186,107 @@ PassResult run_pass(const std::string& store_path, std::size_t connections,
           if (!r.ok()) ++local_errors;
         }
       }
+      const auto local_end = std::chrono::steady_clock::now();
       std::lock_guard<std::mutex> lock(merge_mutex);
       latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
                           local_ms.end());
       pass.errors += local_errors;
+      pass.wire_bytes_sent += client.client_stats().wire_bytes_sent;
+      pass.wire_bytes_received += client.client_stats().wire_bytes_received;
+      measure_end = std::max(measure_end, local_end);
     });
   }
   for (auto& thread : load_threads) thread.join();
-  pass.wall_ms = std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - start)
+  pass.wall_ms = std::chrono::duration<double, std::milli>(measure_end -
+                                                           measure_start)
                      .count();
   pass.store_hits = service->stats().store_hits;
+  pass.response_cache_hits = service->stats().response_cache_hits;
   server.shutdown();
 
   pass.queries = latencies_ms.size();
   pass.p50_ms = util::percentile(latencies_ms, 50.0);
   pass.p99_ms = util::percentile(latencies_ms, 99.0);
   pass.queries_per_sec = pass.queries / (pass.wall_ms / 1000.0);
+  pass.wire_mb_per_sec =
+      static_cast<double>(pass.wire_bytes_sent + pass.wire_bytes_received) /
+      1e6 / (pass.wall_ms / 1000.0);
+  return pass;
+}
+
+/// Measures the response wire bytes of large-front `archive_only` queries:
+/// each connection first replays the pool once (closed loop) so the
+/// service's Pareto archive fills, then — with its traffic counters reset —
+/// probes the archive repeatedly. Only the probe phase is measured, so
+/// bytes-per-response isolates the encoded DesignResponse payload cost of
+/// the chosen wire mode.
+PassResult run_archive_pass(const std::string& store_path,
+                            const std::vector<serve::DesignQuery>& pool,
+                            std::size_t connections,
+                            std::size_t probes_per_connection, bool binary,
+                            std::size_t workers, std::size_t shards) {
+  serve::StoreConfig store_config = serve::StoreConfig::from_env();
+  store_config.shards = shards;
+  serve::ServiceConfig service_config;
+  service_config.store =
+      std::make_shared<serve::EvaluationStore>(store_path, store_config);
+  auto service = std::make_shared<serve::DesignService>(service_config);
+  net::ServerConfig server_config;
+  server_config.search_workers = workers;
+  net::DesignServer server(service, server_config);
+  server.start();
+
+  std::vector<serve::DesignQuery> probes = pool;
+  for (auto& probe : probes) probe.archive_only = true;
+
+  std::mutex merge_mutex;
+  std::vector<double> latencies_ms;
+  PassResult pass;
+  std::vector<std::thread> load_threads;
+  for (std::size_t c = 0; c < connections; ++c) {
+    load_threads.emplace_back([&, c] {
+      net::DesignClient client;
+      client.connect("127.0.0.1", server.port());
+      std::size_t local_errors = 0;
+      if (binary && !client.negotiate_binary()) ++local_errors;
+      for (const auto& query : pool) {
+        if (!client.query(query).ok()) ++local_errors;
+      }
+      client.reset_stats();
+      const auto probe_start = std::chrono::steady_clock::now();
+      std::vector<double> local_ms;
+      for (std::size_t q = 0; q < probes_per_connection; ++q) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const net::WireResponse r = client.query(probes[(c + q) % probes.size()]);
+        local_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+        if (!r.ok() || r.response_json.empty()) ++local_errors;
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+      pass.errors += local_errors;
+      pass.wire_bytes_sent += client.client_stats().wire_bytes_sent;
+      pass.wire_bytes_received += client.client_stats().wire_bytes_received;
+      pass.wall_ms = std::max(
+          pass.wall_ms, std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - probe_start)
+                            .count());
+    });
+  }
+  for (auto& thread : load_threads) thread.join();
+  pass.store_hits = service->stats().store_hits;
+  pass.response_cache_hits = service->stats().response_cache_hits;
+  server.shutdown();
+
+  pass.queries = latencies_ms.size();
+  pass.p50_ms = util::percentile(latencies_ms, 50.0);
+  pass.p99_ms = util::percentile(latencies_ms, 99.0);
+  pass.queries_per_sec = pass.queries / (pass.wall_ms / 1000.0);
+  pass.wire_mb_per_sec =
+      static_cast<double>(pass.wire_bytes_sent + pass.wire_bytes_received) /
+      1e6 / (pass.wall_ms / 1000.0);
   return pass;
 }
 
@@ -167,13 +296,17 @@ void print_pass(const std::string& name, const PassResult& pass) {
             << util::format_double(pass.queries_per_sec, 1)
             << " q/s), p50 " << util::format_double(pass.p50_ms, 2)
             << " ms, p99 " << util::format_double(pass.p99_ms, 2) << " ms, "
-            << pass.store_hits << " store hits, " << pass.errors
-            << " errors\n";
+            << pass.store_hits << " store hits, "
+            << (pass.wire_bytes_sent + pass.wire_bytes_received)
+            << " wire bytes ("
+            << util::format_double(pass.wire_mb_per_sec, 2) << " MB/s), "
+            << pass.errors << " errors\n";
 }
 
 bench::BenchRecord to_record(const std::string& name, const PassResult& pass,
                              std::size_t connections, std::size_t workers,
-                             std::size_t shards) {
+                             std::size_t shards,
+                             const std::string& wire = "text") {
   bench::BenchRecord record;
   record.name = name;
   record.values["connections"] = static_cast<double>(connections);
@@ -186,6 +319,14 @@ bench::BenchRecord to_record(const std::string& name, const PassResult& pass,
   record.values["p99_ms"] = pass.p99_ms;
   record.values["errors"] = static_cast<double>(pass.errors);
   record.values["store_hits"] = static_cast<double>(pass.store_hits);
+  record.values["wire_bytes_sent"] =
+      static_cast<double>(pass.wire_bytes_sent);
+  record.values["wire_bytes_received"] =
+      static_cast<double>(pass.wire_bytes_received);
+  record.values["wire_mb_per_sec"] = pass.wire_mb_per_sec;
+  record.values["response_cache_hits"] =
+      static_cast<double>(pass.response_cache_hits);
+  record.labels["wire"] = wire;
   return record;
 }
 
@@ -210,13 +351,22 @@ int main() {
             << " query(ies) each, loopback TCP, "
             << std::thread::hardware_concurrency() << " hardware thread(s)\n";
 
+  // METACORE_BENCH_SECTION=sweep|wire runs just that section (iteration
+  // aid); unset runs everything.
+  const char* section_env = std::getenv("METACORE_BENCH_SECTION");
+  const std::string section = section_env != nullptr ? section_env : "";
+  const bool run_sweep = section.empty() || section == "sweep";
+  const bool run_wire = section.empty() || section == "wire";
+
   std::vector<bench::BenchRecord> records;
   bool consistent = true;
   double warm_pipelined_qps_1w = 0.0;
   double warm_pipelined_qps_best = 0.0;
   std::size_t best_workers = 1;
+  const auto sweep_pool = query_pool(/*deep=*/false);
 
-  for (const std::size_t workers : worker_sweep) {
+  for (const std::size_t workers :
+       run_sweep ? worker_sweep : std::vector<std::size_t>{}) {
     // Shard the store to match the worker pool so per-fingerprint routing
     // lands each worker on its own shard (the intended deployment shape).
     const std::size_t shards = workers;
@@ -226,17 +376,20 @@ int main() {
 
     std::cout << "\n[" << workers << " worker(s), " << shards
               << " shard(s)]\n";
-    const PassResult cold = run_pass(store_path, connections,
-                                     queries_per_connection, false, workers,
-                                     shards);
+    PassOptions closed_loop;
+    PassOptions pipelined;
+    pipelined.pipelined = true;
+    const PassResult cold =
+        run_pass(store_path, sweep_pool, connections, queries_per_connection,
+                 closed_loop, workers, shards);
     print_pass("cold closed-loop", cold);
-    const PassResult warm = run_pass(store_path, connections,
-                                     queries_per_connection, false, workers,
-                                     shards);
+    const PassResult warm =
+        run_pass(store_path, sweep_pool, connections, queries_per_connection,
+                 closed_loop, workers, shards);
     print_pass("warm closed-loop", warm);
-    const PassResult burst = run_pass(store_path, connections,
-                                      queries_per_connection, true, workers,
-                                      shards);
+    const PassResult burst =
+        run_pass(store_path, sweep_pool, connections, queries_per_connection,
+                 pipelined, workers, shards);
     print_pass("warm pipelined ", burst);
 
     // The cold pass may legitimately record some store hits: connections
@@ -263,15 +416,129 @@ int main() {
     remove_store(store_path);
   }
 
-  const double scaling = warm_pipelined_qps_1w > 0.0
-                             ? warm_pipelined_qps_best / warm_pipelined_qps_1w
-                             : 0.0;
-  std::cout << "\nwarm pipelined scaling: best "
-            << util::format_double(warm_pipelined_qps_best, 1) << " q/s at "
-            << best_workers << " worker(s), "
-            << util::format_double(scaling, 2)
-            << "x over 1 worker; accounting "
-            << (consistent ? "consistent" : "INCONSISTENT") << "\n";
+  if (run_sweep) {
+    const double scaling =
+        warm_pipelined_qps_1w > 0.0
+            ? warm_pipelined_qps_best / warm_pipelined_qps_1w
+            : 0.0;
+    std::cout << "\nwarm pipelined scaling: best "
+              << util::format_double(warm_pipelined_qps_best, 1)
+              << " q/s at " << best_workers << " worker(s), "
+              << util::format_double(scaling, 2)
+              << "x over 1 worker; accounting "
+              << (consistent ? "consistent" : "INCONSISTENT") << "\n";
+  }
+
+  // --- Wire mode x response cache (fixed 2 workers / 2 shards) -----------
+  //
+  // Same warm store for every pass, so the passes differ only in wire
+  // encoding and cache capacity: pipelined repeats measure the response
+  // cache's qps win, closed-loop archive probes measure the binary
+  // encoding's wire-byte win on large-front responses.
+  if (run_wire) {
+    const std::size_t wire_workers = 2;
+    const std::size_t wire_shards = 2;
+    const std::size_t repeats = bench::quick_mode() ? 6 : 16;
+    const std::string store_path = "bench_server_store_wire.jsonl";
+    remove_store(store_path);
+    std::cout << "\n[wire mode x response cache, " << wire_workers
+              << " worker(s)]\n";
+
+    // The deep pool archives a dense multi-level search per fingerprint,
+    // so archive probes answer with the large Pareto fronts whose byte
+    // cost the wire modes are compared on.
+    const auto wire_pool = query_pool(/*deep=*/true);
+    PassOptions seed_options;  // journal the pool once, text, closed loop
+    run_pass(store_path, wire_pool, connections, queries_per_connection,
+             seed_options, wire_workers, wire_shards);
+
+    PassOptions cache_off;
+    cache_off.pipelined = true;
+    cache_off.response_cache_capacity = 0;
+    cache_off.prewarm_loops = 2;
+    PassOptions cache_on = cache_off;
+    cache_on.response_cache_capacity = 256;
+    PassOptions binary_on = cache_on;
+    binary_on.binary = true;
+
+    const PassResult off =
+        run_pass(store_path, wire_pool, connections, repeats, cache_off,
+                 wire_workers, wire_shards);
+    print_pass("warm pipelined, text, cache off", off);
+    const PassResult on =
+        run_pass(store_path, wire_pool, connections, repeats, cache_on,
+                 wire_workers, wire_shards);
+    print_pass("warm pipelined, text, cache on ", on);
+    const PassResult bin =
+        run_pass(store_path, wire_pool, connections, repeats, binary_on,
+                 wire_workers, wire_shards);
+    print_pass("warm pipelined, binary, cache on", bin);
+    const double cache_speedup =
+        off.queries_per_sec > 0.0 ? on.queries_per_sec / off.queries_per_sec
+                                  : 0.0;
+    std::cout << "  response cache qps gain: "
+              << util::format_double(cache_speedup, 2) << "x ("
+              << on.response_cache_hits << " hits)\n";
+
+    const std::size_t probes = bench::quick_mode() ? 4 : 12;
+    const PassResult text_archive =
+        run_archive_pass(store_path, wire_pool, connections, probes, false,
+                         wire_workers, wire_shards);
+    print_pass("archive probes, text  ", text_archive);
+    const PassResult bin_archive =
+        run_archive_pass(store_path, wire_pool, connections, probes, true,
+                         wire_workers, wire_shards);
+    print_pass("archive probes, binary", bin_archive);
+    const double text_bytes_per_response =
+        text_archive.queries > 0
+            ? static_cast<double>(text_archive.wire_bytes_received) /
+                  static_cast<double>(text_archive.queries)
+            : 0.0;
+    const double bin_bytes_per_response =
+        bin_archive.queries > 0
+            ? static_cast<double>(bin_archive.wire_bytes_received) /
+                  static_cast<double>(bin_archive.queries)
+            : 0.0;
+    const double wire_cut = bin_bytes_per_response > 0.0
+                                ? text_bytes_per_response /
+                                      bin_bytes_per_response
+                                : 0.0;
+    std::cout << "  archive response bytes: text "
+              << util::format_double(text_bytes_per_response, 0)
+              << " B, binary "
+              << util::format_double(bin_bytes_per_response, 0) << " B — "
+              << util::format_double(wire_cut, 2) << "x cut\n";
+
+    // The binary mode must actually pay for itself on large-front
+    // responses (the acceptance bar is a >= 2x wire-byte cut), the cache
+    // must actually hit, and nothing may error in any mode. Quick mode
+    // shrinks the fronts (and with them the byte win), so the 2x bar is
+    // only enforced on full-size runs.
+    consistent = consistent && off.errors == 0 && on.errors == 0 &&
+                 bin.errors == 0 && text_archive.errors == 0 &&
+                 bin_archive.errors == 0 && on.response_cache_hits > 0 &&
+                 (bench::quick_mode() || wire_cut >= 2.0);
+
+    records.push_back(to_record("serve_wire_pipelined_cache_off", off,
+                                connections, wire_workers, wire_shards));
+    records.push_back(to_record("serve_wire_pipelined_cache_on", on,
+                                connections, wire_workers, wire_shards));
+    records.push_back(to_record("serve_wire_pipelined_binary", bin,
+                                connections, wire_workers, wire_shards,
+                                "binary"));
+    bench::BenchRecord text_rec =
+        to_record("serve_wire_archive_text", text_archive, connections,
+                  wire_workers, wire_shards);
+    text_rec.values["bytes_per_response"] = text_bytes_per_response;
+    records.push_back(text_rec);
+    bench::BenchRecord bin_rec =
+        to_record("serve_wire_archive_binary", bin_archive, connections,
+                  wire_workers, wire_shards, "binary");
+    bin_rec.values["bytes_per_response"] = bin_bytes_per_response;
+    bin_rec.values["wire_cut_vs_text"] = wire_cut;
+    records.push_back(bin_rec);
+    remove_store(store_path);
+  }
 
   for (auto& record : records) {
     record.labels["consistent"] = consistent ? "true" : "false";

@@ -59,12 +59,17 @@ double retry_backoff_ms(const RetryPolicy& policy, std::size_t attempt,
                         std::uint64_t jitter_counter);
 
 /// Per-client traffic counters (single-threaded like the client itself).
+/// Lifetime: reset by connect() — each (re)connection starts a fresh
+/// window, so retry accounting never bleeds across reconnects — and on
+/// demand via reset_stats().
 struct ClientStats {
   std::size_t queries_sent = 0;           ///< query frames shipped
   std::size_t overloaded_rejections = 0;  ///< overloaded envelopes seen
   std::size_t retries = 0;                ///< resends after backoff
   std::size_t gave_up = 0;                ///< retry budget exhausted
   double backoff_ms_total = 0.0;          ///< time spent backing off
+  std::size_t wire_bytes_sent = 0;        ///< bytes shipped, framing included
+  std::size_t wire_bytes_received = 0;    ///< bytes read off the socket
 };
 
 class DesignClient {
@@ -77,18 +82,33 @@ class DesignClient {
 
   /// Connects to host:port (numeric IPv4 or a resolvable name such as
   /// "localhost"). `timeout_ms` bounds connect, and every subsequent
-  /// send/receive. Throws std::runtime_error on failure.
+  /// send/receive. Throws std::runtime_error on failure. Resets all
+  /// per-connection state: stats, decoder buffers, buffered out-of-order
+  /// responses, the id sequence, and the wire mode (back to text).
   void connect(const std::string& host, int port, int timeout_ms = 30000);
 
   bool connected() const noexcept { return fd_ >= 0; }
   void close();
 
+  /// Requests the MCB1 binary wire mode (a blocking hello round trip;
+  /// must be the first request on the connection). Returns true when the
+  /// server granted binary — every subsequent frame in both directions is
+  /// binary — and false when it declined (the connection simply stays in
+  /// text mode; everything keeps working). Throws on transport errors.
+  bool negotiate_binary();
+
+  /// The active wire mode.
+  serve::WireEncoding wire() const noexcept { return wire_; }
+
   /// Multiplexed primitives: frame off one request without waiting.
   void send_query(const std::string& id, const serve::DesignQuery& query);
   void send_stats(const std::string& id);
-  /// Ships an arbitrary payload as one frame — the malformed/garbage-frame
-  /// tests use this to poke the server off the happy path.
+  /// Ships an arbitrary payload as one TEXT frame — the malformed/garbage-
+  /// frame tests use this to poke the server off the happy path.
   void send_raw(const std::string& payload);
+  /// Ships bytes verbatim, no framing at all — the binary corruption-fuzz
+  /// tests build (and damage) their own frames.
+  void send_bytes(const std::string& bytes);
 
   /// Next response envelope in server order (may belong to any in-flight
   /// id). Throws on timeout or connection loss.
@@ -108,6 +128,10 @@ class DesignClient {
 
   const ClientStats& client_stats() const noexcept { return stats_; }
 
+  /// Zeroes the traffic counters without touching the connection (the
+  /// benches bracket measurement passes with this).
+  void reset_stats() noexcept { stats_ = ClientStats{}; }
+
   /// Waits for the response with this exact id (drawing from the buffer
   /// first, then the socket).
   WireResponse recv_matching(const std::string& id);
@@ -119,11 +143,17 @@ class DesignClient {
 
  private:
   void send_all(const std::string& bytes);
+  /// Frames `payload` as one binary frame (prefixing the one-time "MCB1"
+  /// preamble) and ships it.
+  void send_binary_frame(const std::string& payload);
 
   int fd_ = -1;
   int timeout_ms_ = 30000;
   std::uint64_t next_seq_ = 0;
   FrameDecoder decoder_;
+  serve::WireEncoding wire_ = serve::WireEncoding::Json;
+  BinaryFrameDecoder binary_decoder_;
+  bool preamble_sent_ = false;
   std::map<std::string, WireResponse> out_of_order_;
   RetryPolicy retry_{};
   ClientStats stats_{};

@@ -1,0 +1,65 @@
+// MCB1 binary encodings of the service documents — the compact wire form
+// behind the negotiated binary mode (net/): varints for counters, raw
+// little-endian 8-byte doubles (bit-exact round trip, no text formatting),
+// grid indices and metric vectors as raw little-endian arrays, and a
+// per-response string table so repeated metric names on a large Pareto
+// front cost one varint per use instead of a quoted JSON key per point.
+//
+// The encodings are canonical: equal documents encode to equal bytes, and
+// decode(encode(x)) reproduces x exactly — pinned in tests by re-serializing
+// the decoded struct through the canonical JSON writers and comparing bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/service.hpp"
+
+namespace metacore::serve {
+
+/// Version byte leading every binary document (query, response, envelope).
+inline constexpr std::uint8_t kBinaryCodecVersion = 1;
+
+std::string encode_binary(const DesignQuery& query);
+DesignQuery decode_design_query(std::string_view bytes);
+
+std::string encode_binary(const DesignResponse& response);
+DesignResponse decode_design_response(std::string_view bytes);
+
+/// Low-level primitives of the MCB1 encoding, shared with the envelope
+/// codec in net/protocol: LEB128 varints, zigzag for signed ints, packed
+/// bit-exact doubles (count byte + the non-zero tail of the little-endian
+/// image, so quantized grid values cost 2-3 bytes), and length-prefixed
+/// strings.
+namespace bincode {
+
+void put_u8(std::string& out, std::uint8_t v);
+void put_varint(std::string& out, std::uint64_t v);
+void put_zigzag(std::string& out, std::int64_t v);
+void put_f64(std::string& out, double v);
+void put_string(std::string& out, std::string_view s);
+
+/// Sequential reader over an encoded document. Every accessor throws
+/// std::runtime_error (prefixed with `what`) on truncation or malformed
+/// data — never reads past the buffer.
+struct Reader {
+  std::string_view data;
+  const char* what = "binary";
+  std::size_t pos = 0;
+
+  std::uint8_t u8();
+  std::uint64_t varint();
+  std::int64_t zigzag();
+  double f64();
+  std::string string();
+  /// Checks that at least `n` bytes remain (for raw-array reads).
+  void need(std::size_t n) const;
+  std::size_t remaining() const { return data.size() - pos; }
+  bool done() const { return pos == data.size(); }
+  [[noreturn]] void fail(const std::string& message) const;
+};
+
+}  // namespace bincode
+
+}  // namespace metacore::serve

@@ -8,11 +8,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include <cstdlib>
+
 #include "core/report.hpp"
 #include "exec/thread_pool.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/json.hpp"
 #include "search/pareto.hpp"
+#include "serve/binary_codec.hpp"
 
 namespace metacore::serve {
 
@@ -73,6 +76,28 @@ search::Objective query_objective(const DesignQuery& query,
   if (!query.minimize.empty()) base.minimize = query.minimize;
   if (!query.constraints.empty()) base.constraints = query.constraints;
   return base;
+}
+
+std::string encode_response(const DesignResponse& response,
+                            WireEncoding encoding) {
+  return encoding == WireEncoding::Binary ? encode_binary(response)
+                                          : to_json(response);
+}
+
+/// Cache cap: METACORE_RESPONSE_CACHE when set (0 disables), else the
+/// configured value. Throws std::invalid_argument on a malformed value.
+std::size_t cache_capacity_from_env(std::size_t configured) {
+  const char* env = std::getenv("METACORE_RESPONSE_CACHE");
+  if (env == nullptr || *env == '\0') return configured;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') {
+    throw std::invalid_argument(
+        "service: METACORE_RESPONSE_CACHE must be a non-negative integer, "
+        "got \"" +
+        std::string(env) + "\"");
+  }
+  return static_cast<std::size_t>(value);
 }
 
 void write_point(std::ostream& os, const search::EvaluatedPoint& pt) {
@@ -247,7 +272,8 @@ struct DesignService::InFlight {
   std::exception_ptr error;
 };
 
-DesignService::DesignService(ServiceConfig config) {
+DesignService::DesignService(ServiceConfig config)
+    : cache_capacity_(cache_capacity_from_env(config.response_cache_capacity)) {
   if (config.store) {
     store_ = std::move(config.store);
   } else if (!config.store_path.empty()) {
@@ -360,6 +386,163 @@ std::vector<DesignResponse> DesignService::submit_batch(
   return responses;
 }
 
+std::shared_ptr<const std::string> DesignService::submit_encoded(
+    const DesignQuery& query, WireEncoding encoding) {
+  const auto slot = static_cast<std::size_t>(encoding);
+  if (cache_capacity_ == 0) {
+    return std::make_shared<const std::string>(
+        encode_response(submit(query), encoding));
+  }
+
+  // An unconstructible query (bad requirements) has no evaluator scope to
+  // stamp; skip the cache and let submit() raise the real error.
+  std::string fingerprint;
+  try {
+    fingerprint = query_fingerprint(query);
+  } catch (...) {
+    return std::make_shared<const std::string>(
+        encode_response(submit(query), encoding));
+  }
+
+  const std::string key = to_json(query);
+  const Generation g0 = current_generation(fingerprint);
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    auto it = response_cache_.find(key);
+    if (it != response_cache_.end()) {
+      if (it->second.gen == g0) {
+        // Valid entry: the scope has not moved since the cached run, so a
+        // fresh submit() would reproduce these exact bytes. A missing
+        // encoding is filled from the cached struct — still zero
+        // re-search.
+        auto& encoded = it->second.encoded[slot];
+        if (!encoded) {
+          encoded = std::make_shared<const std::string>(
+              encode_response(it->second.response, encoding));
+        }
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.queries;
+          ++stats_.response_cache_hits;
+        }
+        return encoded;
+      }
+      // The store or archive generation moved: the entry may no longer
+      // match what a fresh run would answer (store_hits, archive
+      // population). Drop it.
+      response_cache_.erase(it);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.response_cache_invalidations;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.response_cache_misses;
+  }
+
+  DesignResponse response = submit(query);
+  const Generation g1 = current_generation(fingerprint);
+  auto bytes = std::make_shared<const std::string>(
+      encode_response(response, encoding));
+  // Cache only runs that left their scope unchanged (g1 == g0): a cold
+  // search appends to the store, so its repeat would answer differently
+  // (store_hits) — the *repeat* is the run that becomes cacheable.
+  if (g1 == g0) {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    auto [it, inserted] = response_cache_.try_emplace(key);
+    if (inserted) {
+      cache_fifo_.push_back(key);
+      it->second.gen = g1;
+      it->second.response = std::move(response);
+      // FIFO eviction, skipping keys an invalidation already erased.
+      while (response_cache_.size() > cache_capacity_ &&
+             !cache_fifo_.empty()) {
+        response_cache_.erase(cache_fifo_.front());
+        cache_fifo_.erase(cache_fifo_.begin());
+      }
+    } else if (it->second.gen != g1) {
+      it->second = CachedResponse{};
+      it->second.gen = g1;
+      it->second.response = std::move(response);
+    }
+    auto refreshed = response_cache_.find(key);
+    if (refreshed != response_cache_.end() && refreshed->second.gen == g1) {
+      refreshed->second.encoded[slot] = bytes;
+    }
+  }
+  return bytes;
+}
+
+std::vector<std::shared_ptr<const std::string>>
+DesignService::submit_batch_encoded(const std::vector<EncodedQuery>& items) {
+  std::vector<std::shared_ptr<const std::string>> out(items.size());
+  if (items.empty()) return out;
+
+  // Deduplicate identical (query, encoding) pairs up front — same
+  // rationale as submit_batch: byte-identical output at any thread count.
+  std::map<std::pair<std::string, int>, std::size_t> first_of;
+  std::vector<std::size_t> slot_of(items.size());
+  std::vector<std::size_t> unique;
+  std::size_t duplicates = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    auto [it, inserted] = first_of.emplace(
+        std::make_pair(to_json(items[i].query),
+                       static_cast<int>(items[i].encoding)),
+        unique.size());
+    if (inserted) {
+      unique.push_back(i);
+    } else {
+      ++duplicates;
+    }
+    slot_of[i] = it->second;
+  }
+  if (duplicates > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.queries += duplicates;
+    stats_.coalesced += duplicates;
+  }
+
+  // Same-fingerprint queries run sequentially in batch order (see
+  // submit_batch); distinct scopes fan out in parallel.
+  std::map<std::string, std::vector<std::size_t>> by_fingerprint;
+  for (std::size_t u = 0; u < unique.size(); ++u) {
+    by_fingerprint[query_fingerprint(items[unique[u]].query)].push_back(u);
+  }
+  std::vector<const std::vector<std::size_t>*> groups;
+  groups.reserve(by_fingerprint.size());
+  for (const auto& [fingerprint, slots] : by_fingerprint) {
+    groups.push_back(&slots);
+  }
+
+  std::vector<std::shared_ptr<const std::string>> unique_out(unique.size());
+  exec::parallel_for(groups.size(), [&](std::size_t g) {
+    for (const std::size_t u : *groups[g]) {
+      const EncodedQuery& item = items[unique[u]];
+      unique_out[u] = submit_encoded(item.query, item.encoding);
+    }
+  });
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out[i] = unique_out[slot_of[i]];
+  }
+  return out;
+}
+
+std::size_t DesignService::response_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return response_cache_.size();
+}
+
+DesignService::Generation DesignService::current_generation(
+    const std::string& fingerprint) const {
+  Generation gen{0, 0};
+  if (store_) gen.first = store_->generation(fingerprint);
+  std::shared_lock<std::shared_mutex> lock(archive_mutex_);
+  const auto it = archive_generation_.find(fingerprint);
+  gen.second = it == archive_generation_.end() ? 0 : it->second;
+  return gen;
+}
+
 ServiceStats DesignService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
@@ -373,7 +556,11 @@ std::string to_json(const ServiceStats& stats) {
      << ",\"archive_answers\":" << stats.archive_answers
      << ",\"evaluations\":" << stats.evaluations
      << ",\"cache_hits\":" << stats.cache_hits
-     << ",\"store_hits\":" << stats.store_hits << '}';
+     << ",\"store_hits\":" << stats.store_hits
+     << ",\"response_cache_hits\":" << stats.response_cache_hits
+     << ",\"response_cache_misses\":" << stats.response_cache_misses
+     << ",\"response_cache_invalidations\":"
+     << stats.response_cache_invalidations << '}';
   return os.str();
 }
 
@@ -588,10 +775,19 @@ void DesignService::absorb_history(
     const std::vector<search::EvaluatedPoint>& history) {
   std::unique_lock<std::shared_mutex> lock(archive_mutex_);
   auto& archive = archives_[fingerprint];
+  bool changed = false;
   for (const search::EvaluatedPoint& pt : history) {
     auto [it, inserted] = archive.emplace(pt.indices, pt);
-    if (!inserted && pt.fidelity > it->second.fidelity) it->second = pt;
+    if (inserted) {
+      changed = true;
+    } else if (pt.fidelity > it->second.fidelity) {
+      it->second = pt;
+      changed = true;
+    }
   }
+  // Only an actual change advances the generation: a warm replay that
+  // re-absorbs known points leaves cached serialized responses valid.
+  if (changed) ++archive_generation_[fingerprint];
 }
 
 }  // namespace metacore::serve

@@ -22,11 +22,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/iir_metacore.hpp"
@@ -119,6 +121,12 @@ struct DesignResponse {
 
 std::string to_json(const DesignResponse& response);
 
+/// The wire encodings a response can be serialized into: canonical text
+/// JSON (the default wire mode) and the MCB1 binary form
+/// (serve/binary_codec.hpp). Used as the per-encoding key of the
+/// serialized-response cache below.
+enum class WireEncoding : int { Json = 0, Binary = 1 };
+
 struct ServiceStats {
   std::size_t queries = 0;           ///< submits (batch entries included)
   std::size_t searches_launched = 0; ///< searches actually executed
@@ -129,6 +137,14 @@ struct ServiceStats {
   std::size_t evaluations = 0;       ///< evaluator calls across searches
   std::size_t cache_hits = 0;        ///< in-search cache reuse
   std::size_t store_hits = 0;        ///< answers replayed from the store
+  // Serialized-response cache (submit_encoded): repeats of an identical
+  // query whose evaluator scope has not changed are answered as cached
+  // pre-encoded bytes — zero re-search, zero re-serialization.
+  std::size_t response_cache_hits = 0;
+  std::size_t response_cache_misses = 0;
+  /// Cached entries discarded because the store/archive generation moved
+  /// (append, compaction, migration) between caching and the repeat.
+  std::size_t response_cache_invalidations = 0;
 };
 
 /// Canonical JSON of the service counters — the `stats` query kind of the
@@ -142,6 +158,9 @@ struct ServiceConfig {
   /// Share an already-open store instead (takes precedence over
   /// store_path).
   std::shared_ptr<EvaluationStore> store;
+  /// Entry cap of the serialized-response cache (0 disables it). The env
+  /// override METACORE_RESPONSE_CACHE, when set, wins over this value.
+  std::size_t response_cache_capacity = 256;
 };
 
 class DesignService {
@@ -158,6 +177,34 @@ class DesignService {
   /// thread count.
   std::vector<DesignResponse> submit_batch(
       const std::vector<DesignQuery>& queries);
+
+  /// The serving hot path: answers the query as encoded response-body
+  /// bytes (canonical JSON or MCB1 binary), consulting the
+  /// serialized-response cache first. A repeat of an identical query whose
+  /// evaluator scope held still (same store shard + archive generation) is
+  /// answered from the cached bytes with zero re-search and zero
+  /// re-serialization; the networked server splices them straight into the
+  /// response frame. Entries are stamped with the generation observed
+  /// around their run and only cached when the run itself left the scope
+  /// unchanged — so a cached answer is always byte-identical to what a
+  /// fresh submit() would produce right now.
+  std::shared_ptr<const std::string> submit_encoded(const DesignQuery& query,
+                                                    WireEncoding encoding);
+
+  struct EncodedQuery {
+    DesignQuery query;
+    WireEncoding encoding = WireEncoding::Json;
+  };
+
+  /// Batch form of submit_encoded: deduplicates identical (query,
+  /// encoding) pairs, groups by evaluator fingerprint (same-scope queries
+  /// run sequentially in batch order), and fans the groups out across the
+  /// exec thread pool — same determinism contract as submit_batch.
+  std::vector<std::shared_ptr<const std::string>> submit_batch_encoded(
+      const std::vector<EncodedQuery>& items);
+
+  /// Entries currently held by the serialized-response cache.
+  std::size_t response_cache_size() const;
 
   ServiceStats stats() const;
 
@@ -176,13 +223,32 @@ class DesignService {
  private:
   struct InFlight;
 
+  /// (store shard generation, archive generation) for one evaluator
+  /// scope — the validity stamp of a serialized-response cache entry.
+  using Generation = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct CachedResponse {
+    Generation gen{};
+    DesignResponse response;
+    /// Lazily filled per encoding, indexed by WireEncoding.
+    std::shared_ptr<const std::string> encoded[2];
+  };
+
   /// Executes the query for real (search or archive answer).
   DesignResponse run_query(const DesignQuery& query);
   DesignResponse answer_from_archive(const DesignQuery& query);
   void absorb_history(const std::string& fingerprint,
                       const std::vector<search::EvaluatedPoint>& history);
+  Generation current_generation(const std::string& fingerprint) const;
 
   std::shared_ptr<EvaluationStore> store_;
+  std::size_t cache_capacity_ = 0;
+
+  mutable std::mutex cache_mutex_;
+  std::map<std::string, CachedResponse> response_cache_;
+  /// Insertion order for FIFO eviction; stale keys (erased by an
+  /// invalidation) are skipped lazily when they reach the front.
+  std::vector<std::string> cache_fifo_;
 
   std::mutex registry_mutex_;
   std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
@@ -195,6 +261,9 @@ class DesignService {
   mutable std::shared_mutex archive_mutex_;
   std::map<std::string, std::map<std::vector<int>, search::EvaluatedPoint>>
       archives_;
+  /// Bumped whenever absorb_history actually changes a scope's archive —
+  /// the in-memory half of the cache-validity generation.
+  std::map<std::string, std::uint64_t> archive_generation_;
 };
 
 }  // namespace metacore::serve

@@ -320,6 +320,9 @@ struct EvaluationStore::Shard {
   mutable std::atomic<std::size_t> hits{0};
   mutable std::atomic<std::size_t> misses{0};
   std::atomic<std::size_t> contention{0};
+  /// See EvaluationStore::generation(). Written under the writer lock,
+  /// read lock-free by the response-cache validity check.
+  std::atomic<std::uint64_t> generation{0};
 
   void open_writer(const StoreConfig& config, bool truncate) {
     writer = std::make_unique<robust::JournalWriter>(
@@ -535,6 +538,7 @@ void EvaluationStore::migrate_layout(const std::vector<std::string>& sources) {
                                 config_.durability, "store.compact", kWhat);
     shard->open_writer(config_, false);
     shard->stats.live_entries = shard->entries.size();
+    shard->generation.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Only now drop the stale sources that are not part of the new layout.
@@ -579,6 +583,7 @@ std::size_t EvaluationStore::compact_shard_locked(Shard& shard) {
   shard.open_writer(config_, false);
   shard.degraded = false;  // a fresh, complete journal restores durability
   shard.needs_rewrite = false;
+  shard.generation.fetch_add(1, std::memory_order_relaxed);
   ++shard.stats.compactions;
   shard.stats.compaction_bytes_before = bytes_before;
   shard.stats.compaction_bytes_after = text.size();
@@ -630,6 +635,7 @@ void EvaluationStore::record(const std::string& fingerprint,
     return;
   }
   ++shard.stats.live_entries;
+  shard.generation.fetch_add(1, std::memory_order_relaxed);
   if (shard.degraded || !shard.writer) {
     ++shard.stats.dropped_writes;
     return;
@@ -653,6 +659,11 @@ void EvaluationStore::record(const std::string& fingerprint,
     return;
   }
   ++shard.stats.appends;
+}
+
+std::uint64_t EvaluationStore::generation(std::string_view fingerprint) const {
+  return shards_[shard_index(fingerprint, shards_.size())]->generation.load(
+      std::memory_order_relaxed);
 }
 
 std::size_t EvaluationStore::size() const {

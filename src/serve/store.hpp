@@ -199,6 +199,14 @@ class EvaluationStore final : public search::EvaluationStoreBase {
   /// in-memory recording still work, that shard's journal does not grow.
   bool degraded() const;
 
+  /// Mutation generation of the shard owning `fingerprint`: bumped on every
+  /// new-key record() (journaled or in-memory), every compaction of that
+  /// shard, and layout migration at open. A serialized-response cache entry
+  /// stamped with the generation observed around its search is valid
+  /// exactly while this number holds still — any append or rewrite that
+  /// could change what a repeat query would answer advances it.
+  std::uint64_t generation(std::string_view fingerprint) const;
+
   std::size_t divergent_duplicates() const override;
 
   StoreStats stats() const;

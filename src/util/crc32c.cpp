@@ -1,8 +1,21 @@
 #include "util/crc32c.hpp"
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
 
 namespace metacore::util {
+
+namespace detail {
+#if METACORE_CRC32C_HAVE_SSE42
+// Defined in crc32c_sse4.cpp (compiled with -msse4.2).
+std::uint32_t crc32c_sse42(const void* data, std::size_t size) noexcept;
+#endif
+}  // namespace detail
 
 namespace {
 
@@ -36,9 +49,76 @@ constexpr Tables build_tables() {
 
 constexpr Tables kTables = build_tables();
 
+using Crc32cFn = std::uint32_t (*)(const void*, std::size_t);
+
+bool hw_compiled() noexcept {
+#if METACORE_CRC32C_HAVE_SSE42
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool hw_cpu_ok() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sse4.2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::pair<Crc32cFn, const char*> backend_for(bool hw) {
+#if METACORE_CRC32C_HAVE_SSE42
+  if (hw) return {detail::crc32c_sse42, "hw-sse42"};
+#else
+  (void)hw;
+#endif
+  return {crc32c_sw, "sw-slice8"};
+}
+
+/// Startup selection: METACORE_CRC32C if set, else hardware when available.
+std::pair<Crc32cFn, const char*> initial_backend() {
+  const char* env = std::getenv("METACORE_CRC32C");
+  if (env == nullptr || *env == '\0' || std::string_view(env) == "auto") {
+    return backend_for(crc32c_hw_available());
+  }
+  const std::string value(env);
+  if (value == "sw") return backend_for(false);
+  if (value == "hw") {
+    if (!crc32c_hw_available()) {
+      throw std::runtime_error(
+          std::string("METACORE_CRC32C=hw requested but the SSE4.2 path is ") +
+          (hw_compiled() ? "not supported by this CPU"
+                         : "not compiled into this binary"));
+    }
+    return backend_for(true);
+  }
+  throw std::invalid_argument(
+      "METACORE_CRC32C must be 'sw', 'hw', or 'auto', got '" + value + "'");
+}
+
+// Same shape as comm::simd's kernel table: a single atomically swappable
+// function pointer plus a name, resolved once on first use; both backends
+// are bit-identical so a racing reader observing the old pointer is still
+// correct.
+struct Dispatch {
+  std::atomic<Crc32cFn> fn;
+  std::atomic<const char*> name;
+  Dispatch() {
+    const auto [f, n] = initial_backend();
+    fn.store(f, std::memory_order_relaxed);
+    name.store(n, std::memory_order_relaxed);
+  }
+};
+
+Dispatch& dispatch() {
+  static Dispatch d;
+  return d;
+}
+
 }  // namespace
 
-std::uint32_t crc32c(const void* data, std::size_t size) noexcept {
+std::uint32_t crc32c_sw(const void* data, std::size_t size) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t crc = 0xFFFFFFFFu;
   while (size >= 8) {
@@ -57,6 +137,39 @@ std::uint32_t crc32c(const void* data, std::size_t size) noexcept {
     crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t size) {
+  return dispatch().fn.load(std::memory_order_relaxed)(data, size);
+}
+
+bool crc32c_hw_available() noexcept { return hw_compiled() && hw_cpu_ok(); }
+
+std::string_view crc32c_backend() {
+  return dispatch().name.load(std::memory_order_relaxed);
+}
+
+void crc32c_force_backend(std::string_view backend) {
+  Crc32cFn fn = nullptr;
+  const char* name = nullptr;
+  if (backend == "sw") {
+    std::tie(fn, name) = backend_for(false);
+  } else if (backend == "hw") {
+    if (!crc32c_hw_available()) {
+      throw std::runtime_error(
+          std::string("crc32c_force_backend(hw): the SSE4.2 path is ") +
+          (hw_compiled() ? "not supported by this CPU"
+                         : "not compiled into this binary"));
+    }
+    std::tie(fn, name) = backend_for(true);
+  } else if (backend == "auto") {
+    std::tie(fn, name) = backend_for(crc32c_hw_available());
+  } else {
+    throw std::invalid_argument("crc32c_force_backend: unknown backend '" +
+                                std::string(backend) + "'");
+  }
+  dispatch().fn.store(fn, std::memory_order_relaxed);
+  dispatch().name.store(name, std::memory_order_relaxed);
 }
 
 }  // namespace metacore::util

@@ -1,0 +1,32 @@
+// SSE4.2 CRC32C tier: the x86 `crc32` instruction implements exactly the
+// reflected Castagnoli polynomial the software table walks, so this path
+// is bit-identical to crc32c_sw — verified by tests over random buffers at
+// every length. Compiled with -msse4.2 only for this TU (see
+// src/util/CMakeLists.txt); the dispatcher in crc32c.cpp decides at
+// runtime whether it ever runs.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include <nmmintrin.h>
+
+namespace metacore::util::detail {
+
+std::uint32_t crc32c_sse42(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = 0xFFFFFFFFu;
+  while (size >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = _mm_crc32_u64(crc, chunk);
+    p += 8;
+    size -= 8;
+  }
+  auto crc32 = static_cast<std::uint32_t>(crc);
+  while (size-- > 0) {
+    crc32 = _mm_crc32_u8(crc32, *p++);
+  }
+  return crc32 ^ 0xFFFFFFFFu;
+}
+
+}  // namespace metacore::util::detail

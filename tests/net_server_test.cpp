@@ -296,8 +296,11 @@ TEST(DesignServer, WorkerShardConnectionMatrixIsByteIdentical) {
     }
   }
 
-  // The full decomposition matrix: every workers x shards x connections
-  // point must produce exactly the reference bytes for every query.
+  // The full decomposition matrix: every workers x shards x connections x
+  // wire-mode point must produce exactly the reference bytes for every
+  // query. Odd connections negotiate the MCB1 binary mode (so both wire
+  // modes run concurrently against one server); a binary answer decodes
+  // and re-serializes to the same canonical bytes.
   constexpr std::size_t kQueries = 16;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
                                     std::size_t{8}}) {
@@ -321,6 +324,9 @@ TEST(DesignServer, WorkerShardConnectionMatrixIsByteIdentical) {
           senders.emplace_back([&, c] {
             DesignClient client;
             client.connect("127.0.0.1", server.port());
+            if (c % 2 == 1) {
+              ASSERT_TRUE(client.negotiate_binary());
+            }
             std::vector<std::string> ids;
             for (std::size_t q = c; q < kQueries; q += connections) {
               const std::string id = "m" + std::to_string(q);
@@ -340,7 +346,8 @@ TEST(DesignServer, WorkerShardConnectionMatrixIsByteIdentical) {
           for (std::size_t q = c; q < kQueries; q += connections, ++k) {
             EXPECT_EQ(got[c][k], reference[q % unique.size()])
                 << "workers=" << workers << " shards=" << shards
-                << " connections=" << connections << " query=" << q;
+                << " connections=" << connections << " query=" << q
+                << " wire=" << (c % 2 == 1 ? "binary" : "text");
           }
         }
       }
